@@ -1,0 +1,37 @@
+//! Microbenchmarks of the distribution distance measures — the inner loop of
+//! utility-feature computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use viewseeker_stats::{Distance, Distribution};
+
+fn make_pair(bins: usize) -> (Distribution, Distribution) {
+    let a: Vec<f64> = (0..bins).map(|i| (i % 7 + 1) as f64).collect();
+    let b: Vec<f64> = (0..bins).map(|i| (i % 5 + 2) as f64).collect();
+    (
+        Distribution::from_aggregates(&a).unwrap(),
+        Distribution::from_aggregates(&b).unwrap(),
+    )
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distances");
+    for bins in [4usize, 16, 64] {
+        let (p, q) = make_pair(bins);
+        for d in Distance::all() {
+            group.bench_with_input(
+                BenchmarkId::new(d.to_string(), bins),
+                &bins,
+                |bench, _| {
+                    bench.iter(|| {
+                        d.eval(std::hint::black_box(&p), std::hint::black_box(&q))
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Benchmarks the per-iteration model refits: the view utility estimator
+//! (ridge regression) and the uncertainty estimator (logistic regression),
+//! at training-set sizes typical of an interactive session.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use viewseeker_learn::{
+    LogisticConfig, LogisticRegression, RidgeConfig, RidgeRegression,
+};
+
+fn training_set(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..8)
+                .map(|j| ((i * 7 + j * 13) % 100) as f64 / 100.0)
+                .collect()
+        })
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| (0.4 * r[0] + 0.6 * r[1]).min(1.0)).collect();
+    (x, y)
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator_refit");
+    for n in [4usize, 16, 64] {
+        let (x, y) = training_set(n);
+        group.bench_with_input(BenchmarkId::new("ridge", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = RidgeRegression::new(RidgeConfig::default());
+                m.fit(std::hint::black_box(&x), std::hint::black_box(&y)).unwrap();
+                m
+            })
+        });
+        let y_bin: Vec<f64> = y.iter().map(|v| f64::from(*v >= 0.5)).collect();
+        group.bench_with_input(BenchmarkId::new("logistic", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = LogisticRegression::new(LogisticConfig::default());
+                m.fit(std::hint::black_box(&x), std::hint::black_box(&y_bin))
+                    .unwrap();
+                m
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Benchmarks of the extension surface: scatter-view materialization,
+//! MMR diversification, and snapshot round-trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use viewseeker_core::persist::SessionSnapshot;
+use viewseeker_core::scatter::{materialize_scatter, ScatterSpace, ScatterViewDef};
+use viewseeker_core::{diverse_top_k, ViewSeeker, ViewSeekerConfig};
+use viewseeker_dataset::generate::{generate_diab, generate_syn, DiabConfig, SynConfig};
+use viewseeker_dataset::{Predicate, SelectQuery};
+
+fn bench_scatter(c: &mut Criterion) {
+    let table = generate_syn(&SynConfig::small(20_000, 1)).unwrap();
+    let dq = SelectQuery::new(Predicate::range("d0", 0.0, 30.0))
+        .execute(&table)
+        .unwrap();
+    let dr = table.all_rows();
+
+    let mut group = c.benchmark_group("scatter");
+    for grid in [4usize, 8, 16] {
+        let def = ScatterViewDef {
+            x: "m0".into(),
+            y: "m1".into(),
+            grid,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("materialize_one_pair", grid),
+            &grid,
+            |b, _| b.iter(|| materialize_scatter(&table, &dq, &dr, &def).unwrap()),
+        );
+    }
+    let space = ScatterSpace::enumerate(&table, 8).unwrap();
+    group.bench_function("feature_matrix_10_pairs", |b| {
+        b.iter(|| {
+            viewseeker_core::scatter::scatter_feature_matrix(&table, &dq, &dr, &space, 64.0)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_diversity_and_persistence(c: &mut Criterion) {
+    let table = generate_diab(&DiabConfig::small(5_000, 2)).unwrap();
+    let query = SelectQuery::new(Predicate::eq("a0", "a0_v0"));
+    let mut seeker = ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
+    for i in 0..8 {
+        let v = seeker.next_views(1).unwrap()[0];
+        seeker
+            .submit_feedback(v, if i % 2 == 0 { 0.9 } else { 0.1 })
+            .unwrap();
+    }
+    let scores = seeker.predicted_scores().unwrap();
+    let matrix = seeker.feature_matrix().clone();
+
+    let mut group = c.benchmark_group("extensions");
+    group.bench_function("mmr_top10_of_280", |b| {
+        b.iter(|| diverse_top_k(&matrix, &scores, 10, 0.7).unwrap())
+    });
+    group.bench_function("snapshot_save_restore", |b| {
+        b.iter(|| {
+            let json = SessionSnapshot::from_seeker(&seeker).to_json().unwrap();
+            SessionSnapshot::from_json(&json)
+                .unwrap()
+                .restore_seeker(&table, &query, ViewSeekerConfig::default())
+                .unwrap()
+                .label_count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scatter, bench_diversity_and_persistence);
+criterion_main!(benches);

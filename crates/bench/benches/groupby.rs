@@ -1,0 +1,30 @@
+//! Microbenchmarks of the group-by aggregation executor — the cost of
+//! materializing one view, which the α-sampling optimization amortizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use viewseeker_dataset::aggregate::{group_by_aggregate, within_bin_dispersion};
+use viewseeker_dataset::generate::{generate_diab, DiabConfig};
+use viewseeker_dataset::{AggregateFunction, BinSpec};
+
+fn bench_groupby(c: &mut Criterion) {
+    let mut group = c.benchmark_group("groupby");
+    for rows in [10_000usize, 100_000] {
+        let table = generate_diab(&DiabConfig::small(rows, 1)).unwrap();
+        let all = table.all_rows();
+        let spec = BinSpec::categorical_of(table.column_by_name("a6").unwrap()).unwrap();
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::new("avg", rows), &rows, |b, _| {
+            b.iter(|| {
+                group_by_aggregate(&table, &all, "a6", &spec, "m0", AggregateFunction::Avg)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dispersion", rows), &rows, |b, _| {
+            b.iter(|| within_bin_dispersion(&table, &all, "a6", &spec, "m0").unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_groupby);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Ablation: the α partial-data ratio.
+//!
+//! Sweeps α from 1% to 100%, measuring the offline-initialization time the
+//! sampling saves against the extra labels the rough features cost — the
+//! trade the paper's §3.3 optimization navigates at α = 10%.
+
+use viewseeker_bench::{banner, BenchArgs};
+use viewseeker_core::{RefineBudget, ViewSeekerConfig};
+use viewseeker_eval::experiments::alpha_sweep;
+use viewseeker_eval::report::{alpha_table, to_json};
+use viewseeker_eval::diab_testbed;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Ablation: α sweep (DIAB)",
+        "labels and runtime to UD = 0 across partial-data ratios; refinement budget fixed",
+    );
+    let testbed = diab_testbed(args.scale(20_000), args.seed).expect("DIAB testbed");
+    let config = ViewSeekerConfig {
+        refine_budget: RefineBudget::Views(25),
+        ..args.seeker_config()
+    };
+    let alphas = [0.01, 0.05, 0.10, 0.25, 0.50, 1.0];
+    let points = alpha_sweep(&testbed, &config, &alphas, 10, 200).expect("experiment");
+    println!("{}", alpha_table(&points));
+    args.maybe_write_json(&to_json(&points).expect("serializable"));
+}

@@ -1,0 +1,24 @@
+//! Ablation: views presented per iteration (the paper's `M`, default 1).
+//!
+//! Presenting several views per prompt reduces the number of interaction
+//! rounds but selects all of them from one model state, so each label is
+//! individually less informative. This bench quantifies the labels-vs-
+//! rounds trade over all 11 Table 2 ideal functions.
+
+use viewseeker_bench::{banner, BenchArgs};
+use viewseeker_eval::experiments::batch_size_sweep;
+use viewseeker_eval::report::{batch_table, to_json};
+use viewseeker_eval::diab_testbed;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Ablation: batch size M (DIAB)",
+        "labels and prompt rounds to 100% precision@10, averaged over all 11 ideal functions",
+    );
+    let testbed = diab_testbed(args.scale(10_000), args.seed).expect("DIAB testbed");
+    let points = batch_size_sweep(&testbed, &args.seeker_config(), &[1, 2, 3, 5, 8], 10, 200)
+        .expect("experiment");
+    println!("{}", batch_table(&points));
+    args.maybe_write_json(&to_json(&points).expect("serializable"));
+}

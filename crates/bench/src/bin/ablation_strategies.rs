@@ -1,0 +1,24 @@
+//! Ablation: query strategy.
+//!
+//! The paper picks least-confidence uncertainty sampling for its efficiency
+//! and cites QBC (Seung et al.) as an alternative; random sampling is the
+//! no-active-learning control. This bench measures the labels each strategy
+//! needs to reach 100% precision@10, averaged over all 11 ideal functions.
+
+use viewseeker_bench::{banner, BenchArgs};
+use viewseeker_eval::experiments::strategy_ablation;
+use viewseeker_eval::report::{strategy_table, to_json};
+use viewseeker_eval::diab_testbed;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Ablation: uncertainty sampling vs random vs query-by-committee (DIAB)",
+        "labels to 100% precision@10, averaged over all 11 Table 2 ideal functions",
+    );
+    let testbed = diab_testbed(args.scale(10_000), args.seed).expect("DIAB testbed");
+    let points = strategy_ablation(&testbed, &args.seeker_config(), 10, 200)
+        .expect("experiment");
+    println!("{}", strategy_table(&points));
+    args.maybe_write_json(&to_json(&points).expect("serializable"));
+}

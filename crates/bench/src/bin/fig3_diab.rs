@@ -1,0 +1,41 @@
+//! Regenerates **Figure 3: Recommendation precision for the DIAB dataset**.
+//!
+//! For k ∈ {5, 10, 15, 20, 25, 30} and each ideal-function group (single /
+//! two / three components), prints the mean number of labels a simulated
+//! user must provide before ViewSeeker's top-k reaches 100% precision.
+//!
+//! Paper's headline: 7–16 labels on average across the sweep.
+
+use viewseeker_bench::{banner, BenchArgs};
+use viewseeker_eval::experiments::effort::{user_effort_experiment, PAPER_KS};
+use viewseeker_eval::report::{effort_table, to_json};
+use viewseeker_eval::{diab_testbed, TestbedScale};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 3: user effort to 100% precision (DIAB)",
+        "x-axis: k of top-k; y-axis: labels needed; one column per u* group",
+    );
+    let scale = args.scale(20_000);
+    let testbed = diab_testbed(scale, args.seed).expect("DIAB testbed");
+    eprintln!(
+        "testbed: {} rows, DQ selectivity {:.3}%{}",
+        testbed.table.row_count(),
+        testbed.selectivity * 100.0,
+        if matches!(scale, TestbedScale::Paper) {
+            " (paper scale)"
+        } else {
+            ""
+        }
+    );
+
+    let points = user_effort_experiment(&testbed, &args.seeker_config(), &PAPER_KS, 200)
+        .expect("experiment");
+    println!("{}", effort_table(&points));
+
+    let overall: f64 =
+        points.iter().map(|p| p.mean_labels).sum::<f64>() / points.len() as f64;
+    println!("overall mean labels: {overall:.1} (paper: 7-16)");
+    args.maybe_write_json(&to_json(&points).expect("serializable"));
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Figure 4: Recommendation precision for the SYN dataset**.
+//!
+//! Same protocol as Figure 3 on the synthetic 5-dimension / 5-measure /
+//! 2-bin-configuration numeric dataset.
+
+use viewseeker_bench::{banner, BenchArgs};
+use viewseeker_eval::experiments::effort::{user_effort_experiment, PAPER_KS};
+use viewseeker_eval::report::{effort_table, to_json};
+use viewseeker_eval::syn_testbed;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 4: user effort to 100% precision (SYN)",
+        "x-axis: k of top-k; y-axis: labels needed; one column per u* group",
+    );
+    let testbed = syn_testbed(args.scale(50_000), args.seed).expect("SYN testbed");
+    eprintln!(
+        "testbed: {} rows, DQ selectivity {:.3}%",
+        testbed.table.row_count(),
+        testbed.selectivity * 100.0
+    );
+
+    let points = user_effort_experiment(&testbed, &args.seeker_config(), &PAPER_KS, 200)
+        .expect("experiment");
+    println!("{}", effort_table(&points));
+
+    let overall: f64 =
+        points.iter().map(|p| p.mean_labels).sum::<f64>() / points.len() as f64;
+    println!("overall mean labels: {overall:.1} (paper: 7-16)");
+    args.maybe_write_json(&to_json(&points).expect("serializable"));
+}

@@ -1,0 +1,35 @@
+//! Regenerates **Figure 5: Precision comparison with individual utility
+//! features**.
+//!
+//! Ideal utility function #11 (0.3·EMD + 0.3·KL + 0.4·Accuracy) on DIAB:
+//! ViewSeeker's learned estimator against the 8 fixed single-feature
+//! baselines, in maximum achievable precision@10.
+//!
+//! Paper's headline: ViewSeeker achieves ≈3× the precision of the best
+//! fixed baseline (EMD).
+
+use viewseeker_bench::{banner, BenchArgs};
+use viewseeker_eval::experiments::baseline_experiment;
+use viewseeker_eval::report::{baseline_table, to_json};
+use viewseeker_eval::diab_testbed;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 5: ViewSeeker vs fixed single-feature baselines (DIAB)",
+        "ideal u* = 0.3*EMD + 0.3*KL + 0.4*Accuracy (Table 2 #11), k = 10",
+    );
+    let testbed = diab_testbed(args.scale(20_000), args.seed).expect("DIAB testbed");
+    let cmp = baseline_experiment(&testbed, &args.seeker_config(), 11, 10, 200)
+        .expect("experiment");
+    println!("{}", baseline_table(&cmp));
+    println!(
+        "ViewSeeker converged in {} labels; precision trace: {:?}",
+        cmp.labels_used,
+        cmp.viewseeker_trace
+            .iter()
+            .map(|p| (p * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    args.maybe_write_json(&to_json(&cmp).expect("serializable"));
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Figure 6: Recommendation precision with optimization
+//! (DIAB)** — the number of labels needed to reach UD = 0 with and without
+//! the α-sampling + incremental-refinement optimizations.
+//!
+//! Paper's headline: the optimized model needs ≈19% more labels.
+
+use viewseeker_bench::{banner, BenchArgs};
+use viewseeker_core::ViewSeekerConfig;
+use viewseeker_eval::experiments::optimization_experiment;
+use viewseeker_eval::report::{optimization_labels_table, to_json};
+use viewseeker_eval::diab_testbed;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 6: labels to UD = 0, optimization off vs on (DIAB)",
+        "optimized model: α = 10% rough features + prioritized incremental refinement",
+    );
+    let testbed = diab_testbed(args.scale(20_000), args.seed).expect("DIAB testbed");
+    let baseline = args.seeker_config();
+    // The paper constrains refinement by wall-clock (tl = 1 s per
+    // iteration); this Rust implementation refines the whole view space in
+    // well under tl, which would make the optimized model exact from the
+    // first iteration and erase the trade-off the figure studies. We
+    // therefore emulate the paper's compute-constrained regime with a
+    // deterministic budget of 10% of the view space per iteration —
+    // refinement completes over ~10 interactions, as it does in the paper's
+    // testbed.
+    let optimized = ViewSeekerConfig {
+        alpha: 0.10,
+        refine_budget: viewseeker_core::RefineBudget::Views(28),
+        ..baseline.clone()
+    };
+    let points =
+        optimization_experiment(&testbed, &baseline, &optimized, 10, 200).expect("experiment");
+    println!("{}", optimization_labels_table(&points));
+    let mean_overhead: f64 =
+        points.iter().map(|p| p.label_overhead()).sum::<f64>() / points.len() as f64;
+    println!(
+        "mean label overhead of the optimized model: {:+.1}% (paper: +19%)",
+        mean_overhead * 100.0
+    );
+    args.maybe_write_json(&to_json(&points).expect("serializable"));
+}

@@ -1,0 +1,37 @@
+//! Regenerates **Table 2: Simulated Ideal Utility Functions**.
+//!
+//! Prints the 11 ideal utility functions the evaluation sweeps, exactly as
+//! constructed by `viewseeker_eval::idealfn`, for diffing against the paper.
+
+use viewseeker_bench::{banner, BenchArgs};
+use viewseeker_eval::ideal_functions;
+use viewseeker_eval::report::markdown_table;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Table 2: Simulated Ideal Utility Functions",
+        "u*() = β₁u₁() + … + βₙuₙ() over the 8 utility features",
+    );
+    let rows: Vec<Vec<String>> = ideal_functions()
+        .iter()
+        .map(|f| {
+            vec![
+                f.number.to_string(),
+                f.group.to_string(),
+                f.utility.name().to_owned(),
+            ]
+        })
+        .collect();
+    let table = markdown_table(&["#", "group", "involved utility features and weights"], &rows);
+    println!("{table}");
+    args.maybe_write_json(
+        &serde_json::to_string_pretty(
+            &ideal_functions()
+                .iter()
+                .map(|f| (f.number, f.utility.name().to_owned()))
+                .collect::<Vec<_>>(),
+        )
+        .expect("serializable"),
+    );
+}

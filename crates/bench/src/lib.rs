@@ -1,0 +1,170 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every table/figure of the paper has a binary under `src/bin/` (see
+//! DESIGN.md §4 for the index). All binaries accept the same flags:
+//!
+//! ```text
+//! --paper          run at the paper's full scale (100k DIAB / 1M SYN rows)
+//! --rows N         override the row count (default: a laptop-scale subset)
+//! --seed N         override the testbed seed
+//! --threads N      offline-phase worker threads (default: CPU count)
+//! --json PATH      also dump the raw results as JSON
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use viewseeker_core::ViewSeekerConfig;
+use viewseeker_eval::TestbedScale;
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Run at full Table 1 scale.
+    pub paper: bool,
+    /// Explicit row-count override.
+    pub rows: Option<usize>,
+    /// Testbed seed.
+    pub seed: u64,
+    /// Offline-phase threads.
+    pub threads: usize,
+    /// Optional JSON output path.
+    pub json: Option<PathBuf>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self {
+            paper: false,
+            rows: None,
+            seed: 7,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            json: None,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`, exiting with a usage message on bad input.
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed flags (the binaries surface this as a usage
+    /// error).
+    #[must_use]
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("flag {name} needs a value"))
+            };
+            match arg.as_str() {
+                "--paper" => out.paper = true,
+                "--rows" => out.rows = Some(value("--rows").parse().expect("--rows: integer")),
+                "--seed" => out.seed = value("--seed").parse().expect("--seed: integer"),
+                "--threads" => {
+                    out.threads = value("--threads").parse().expect("--threads: integer");
+                }
+                "--json" => out.json = Some(PathBuf::from(value("--json"))),
+                other => panic!("unknown flag {other} (see crate docs for usage)"),
+            }
+        }
+        out
+    }
+
+    /// The testbed scale for a dataset whose paper row count is
+    /// `paper_rows`, with `default_small` as the laptop default.
+    #[must_use]
+    pub fn scale(&self, default_small: usize) -> TestbedScale {
+        if let Some(rows) = self.rows {
+            TestbedScale::Small(rows)
+        } else if self.paper {
+            TestbedScale::Paper
+        } else {
+            TestbedScale::Small(default_small)
+        }
+    }
+
+    /// A seeker configuration with the CLI's thread count applied.
+    #[must_use]
+    pub fn seeker_config(&self) -> ViewSeekerConfig {
+        ViewSeekerConfig {
+            init_threads: self.threads,
+            seed: self.seed,
+            ..ViewSeekerConfig::default()
+        }
+    }
+
+    /// Writes `json` to the `--json` path if one was given.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure (acceptable in a bench binary).
+    pub fn maybe_write_json(&self, json: &str) {
+        if let Some(path) = &self.json {
+            std::fs::write(path, json).expect("writing --json output");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(title: &str, detail: &str) {
+    println!("=== {title} ===");
+    if !detail.is_empty() {
+        println!("{detail}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_flags() {
+        let a = BenchArgs::parse_from(
+            ["--paper", "--rows", "123", "--seed", "9", "--threads", "2", "--json", "/tmp/x.json"]
+                .map(String::from),
+        );
+        assert!(a.paper);
+        assert_eq!(a.rows, Some(123));
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.json.unwrap().to_str().unwrap(), "/tmp/x.json");
+    }
+
+    #[test]
+    fn scale_precedence_rows_beats_paper() {
+        let a = BenchArgs::parse_from(["--paper", "--rows", "50"].map(String::from));
+        assert_eq!(a.scale(1000), TestbedScale::Small(50));
+        let b = BenchArgs::parse_from(["--paper".to_owned()]);
+        assert_eq!(b.scale(1000), TestbedScale::Paper);
+        let c = BenchArgs::parse_from(Vec::<String>::new());
+        assert_eq!(c.scale(1000), TestbedScale::Small(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = BenchArgs::parse_from(["--bogus".to_owned()]);
+    }
+
+    #[test]
+    fn seeker_config_carries_threads_and_seed() {
+        let a = BenchArgs::parse_from(["--threads", "3", "--seed", "11"].map(String::from));
+        let c = a.seeker_config();
+        assert_eq!(c.init_threads, 3);
+        assert_eq!(c.seed, 11);
+    }
+}

@@ -1,0 +1,180 @@
+//! ASCII rendering of views: side-by-side target (DQ) vs reference (DR) bar
+//! charts, the terminal counterpart of the paper's Figure 1/2 histograms.
+
+use viewseeker_core::viewgen::ViewData;
+use viewseeker_dataset::BinSpec;
+
+/// Maximum bar width in characters.
+const BAR_WIDTH: usize = 36;
+/// Maximum label width before truncation.
+const LABEL_WIDTH: usize = 14;
+
+/// Renders one materialized view as a two-series bar chart.
+#[must_use]
+pub fn render_view(title: &str, spec: &BinSpec, data: &ViewData) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("┌── {title}\n"));
+    let max = data
+        .target
+        .masses()
+        .iter()
+        .chain(data.reference.masses())
+        .copied()
+        .fold(f64::MIN_POSITIVE, f64::max);
+    for bin in 0..data.bins {
+        let label = truncate(&spec.label(bin), LABEL_WIDTH);
+        let t = data.target.mass(bin);
+        let r = data.reference.mass(bin);
+        out.push_str(&format!(
+            "│ {label:<LABEL_WIDTH$} DQ {:<BAR_WIDTH$} {t:.3}\n",
+            bar(t, max)
+        ));
+        out.push_str(&format!(
+            "│ {blank:<LABEL_WIDTH$} DR {:<BAR_WIDTH$} {r:.3}\n",
+            bar(r, max),
+            blank = ""
+        ));
+    }
+    out.push_str(&format!(
+        "└── target: {} rows of DQ; deviation is DQ-vs-DR shape difference\n",
+        data.target_rows
+    ));
+    out
+}
+
+/// A proportional bar of `value` against `max`.
+fn bar(value: f64, max: f64) -> String {
+    let chars = ((value / max) * BAR_WIDTH as f64).round().clamp(0.0, BAR_WIDTH as f64);
+    "█".repeat(chars as usize)
+}
+
+/// Truncates a label with an ellipsis.
+fn truncate(s: &str, width: usize) -> String {
+    if s.chars().count() <= width {
+        s.to_owned()
+    } else {
+        let head: String = s.chars().take(width.saturating_sub(1)).collect();
+        format!("{head}…")
+    }
+}
+
+/// Shade ramp for density maps, light to dark.
+const SHADES: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Renders a scatter view's two density grids side by side (DQ vs DR).
+/// `target` and `reference` are row-major `grid × grid` probability masses.
+#[must_use]
+pub fn render_density_grid(
+    title: &str,
+    grid: usize,
+    target: &[f64],
+    reference: &[f64],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("┌── {title}\n"));
+    let max = target
+        .iter()
+        .chain(reference)
+        .copied()
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let shade = |v: f64| -> char {
+        let idx = ((v / max) * (SHADES.len() - 1) as f64).round() as usize;
+        SHADES[idx.min(SHADES.len() - 1)]
+    };
+    out.push_str(&format!(
+        "│ {:<width$}   {:<width$}\n",
+        "DQ (query subset)",
+        "DR (all data)",
+        width = grid
+    ));
+    // Row 0 of the grid is the lowest y; print top-down.
+    for row in (0..grid).rev() {
+        let mut left = String::with_capacity(grid);
+        let mut right = String::with_capacity(grid);
+        for col in 0..grid {
+            left.push(shade(target[row * grid + col]));
+            right.push(shade(reference[row * grid + col]));
+        }
+        out.push_str(&format!("│ {left}   {right}\n"));
+    }
+    out.push_str("└──\n");
+    out
+}
+
+/// Renders a compact ranked list of views with scores.
+#[must_use]
+pub fn render_ranking(rows: &[(usize, String, f64)]) -> String {
+    let mut out = String::new();
+    for (rank, title, score) in rows {
+        out.push_str(&format!("  {rank:>2}. {title:<44} {score:>7.4}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewseeker_stats::Distribution;
+
+    fn demo_data() -> ViewData {
+        ViewData {
+            target: Distribution::from_aggregates(&[3.0, 1.0]).unwrap(),
+            reference: Distribution::from_aggregates(&[1.0, 1.0]).unwrap(),
+            target_rows: 42,
+            dispersion: 0.0,
+            bins: 2,
+        }
+    }
+
+    #[test]
+    fn renders_every_bin_twice() {
+        let spec = BinSpec::Categorical {
+            labels: vec!["yes".into(), "no".into()],
+        };
+        let s = render_view("COUNT(m) BY a", &spec, &demo_data());
+        // One DQ bar line and one DR bar line per bin (footer text mentions
+        // the names without surrounding spaces, so they don't count here).
+        assert_eq!(s.lines().filter(|l| l.contains(" DQ ")).count(), 2);
+        assert_eq!(s.lines().filter(|l| l.contains(" DR ")).count(), 2);
+        assert!(s.contains("COUNT(m) BY a"));
+        assert!(s.contains("42 rows"));
+        assert!(s.contains("yes"));
+    }
+
+    #[test]
+    fn bars_are_proportional() {
+        assert_eq!(bar(1.0, 1.0).chars().count(), BAR_WIDTH);
+        assert_eq!(bar(0.5, 1.0).chars().count(), BAR_WIDTH / 2);
+        assert_eq!(bar(0.0, 1.0), "");
+    }
+
+    #[test]
+    fn truncation_adds_ellipsis() {
+        assert_eq!(truncate("short", 10), "short");
+        let t = truncate("averyverylonglabel", 8);
+        assert!(t.chars().count() <= 8);
+        assert!(t.ends_with('…'));
+    }
+
+    #[test]
+    fn ranking_lists_all_rows() {
+        let s = render_ranking(&[
+            (1, "AVG(m) BY a".into(), 0.9),
+            (2, "SUM(m) BY b".into(), 0.5),
+        ]);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("1. AVG(m) BY a"));
+    }
+
+    #[test]
+    fn density_grid_renders_both_panels() {
+        let target = vec![0.0, 0.0, 0.0, 1.0];
+        let reference = vec![0.25, 0.25, 0.25, 0.25];
+        let s = render_density_grid("SCATTER(a vs b)", 2, &target, &reference);
+        assert!(s.contains("SCATTER(a vs b)"));
+        // 2 grid rows + header + title + footer.
+        assert_eq!(s.lines().count(), 5);
+        // The hot cell renders as the darkest shade.
+        assert!(s.contains('@'));
+    }
+}

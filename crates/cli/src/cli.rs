@@ -1,0 +1,363 @@
+//! Command-line parsing for the `viewseeker` binary.
+
+/// Usage text shown on parse errors and `--help`.
+pub const USAGE: &str = "\
+viewseeker — interactive view recommendation (ViewSeeker reproduction)
+
+USAGE:
+  viewseeker generate --dataset diab|syn [--rows N] [--seed N] --out FILE.csv
+  viewseeker views    --data FILE.csv --query QUERY [--bins 3,4]
+  viewseeker rank     --data FILE.csv --query QUERY --utility EXPR [--k N] [--diverse LAMBDA]
+  viewseeker explore  --data FILE.csv --query QUERY [--k N] [--alpha F] [--exclude col1,col2]
+                      [--save SESSION.json] [--resume SESSION.json]
+  viewseeker simulate --data FILE.csv --query QUERY --ideal EXPR [--k N] [--max-labels N]
+  viewseeker scatter  --data FILE.csv --query QUERY --ideal EXPR [--grid N] [--k N]
+  viewseeker query    --data FILE.csv --sql 'SELECT city, AVG(m_sales) FROM t GROUP BY city'
+
+QUERY mini-language (conjunction with '&'):
+  a0=a0_v0            equality          color in red|blue   membership
+  age:[20,65)         numeric range     *                   everything
+  SQL WHERE syntax also works: \"a0 = 'a0_v0' AND age BETWEEN 20 AND 65\"
+
+UTILITY expressions:  '0.5*EMD + 0.5*KL', 'Accuracy', ...
+  features: KL, EMD, L1, L2, MAX_DIFF, Usability, Accuracy, p-value
+
+Schema convention for CSV files: columns named m_* are numeric measures,
+columns named n_* are numeric dimensions, everything else is a categorical
+dimension.";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a synthetic dataset and write it as CSV.
+    Generate {
+        /// `"diab"` or `"syn"`.
+        dataset: String,
+        /// Row count (defaults per dataset).
+        rows: Option<usize>,
+        /// RNG seed.
+        seed: u64,
+        /// Output path.
+        out: String,
+    },
+    /// List the enumerated view space.
+    Views {
+        /// CSV path.
+        data: String,
+        /// Query expression.
+        query: String,
+        /// Bin configurations for numeric dimensions.
+        bins: Vec<usize>,
+    },
+    /// Non-interactive SeeDB-style ranking with a fixed utility.
+    Rank {
+        /// CSV path.
+        data: String,
+        /// Query expression.
+        query: String,
+        /// Utility expression.
+        utility: String,
+        /// Top-k size.
+        k: usize,
+        /// Bin configurations.
+        bins: Vec<usize>,
+        /// MMR diversification trade-off λ (None = plain ranking).
+        diverse: Option<f64>,
+    },
+    /// The interactive loop against a human at the terminal.
+    Explore {
+        /// CSV path.
+        data: String,
+        /// Query expression.
+        query: String,
+        /// Top-k size.
+        k: usize,
+        /// α partial-data ratio (1.0 = exact).
+        alpha: f64,
+        /// Dimensions to exclude from the view space.
+        exclude: Vec<String>,
+        /// Bin configurations.
+        bins: Vec<usize>,
+        /// Write a session snapshot here on exit.
+        save: Option<String>,
+        /// Resume from a previously saved snapshot.
+        resume: Option<String>,
+    },
+    /// A simulated session against a hidden ideal utility.
+    Simulate {
+        /// CSV path.
+        data: String,
+        /// Query expression.
+        query: String,
+        /// The hidden ideal utility expression.
+        ideal: String,
+        /// Top-k size.
+        k: usize,
+        /// Label budget.
+        max_labels: usize,
+        /// Bin configurations.
+        bins: Vec<usize>,
+    },
+    /// A simulated session over scatter-plot views (the future-work
+    /// extension).
+    Scatter {
+        /// CSV path.
+        data: String,
+        /// Query expression.
+        query: String,
+        /// The hidden ideal utility expression.
+        ideal: String,
+        /// Density-grid cells per axis.
+        grid: usize,
+        /// Top-k size.
+        k: usize,
+        /// Label budget.
+        max_labels: usize,
+    },
+    /// Execute an ad-hoc SQL query and print the result table.
+    Query {
+        /// CSV path.
+        data: String,
+        /// The SQL statement.
+        sql: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+impl Command {
+    /// Parses an argument vector (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown subcommands, unknown
+    /// flags, missing values, or unparseable numbers.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let Some((sub, rest)) = args.split_first() else {
+            return Err("missing subcommand".into());
+        };
+        if sub == "--help" || sub == "-h" || sub == "help" {
+            return Ok(Command::Help);
+        }
+        let flags = Flags::collect(rest)?;
+        match sub.as_str() {
+            "generate" => Ok(Command::Generate {
+                dataset: flags.require("--dataset")?,
+                rows: flags.get_parsed("--rows")?,
+                seed: flags.get_parsed("--seed")?.unwrap_or(7),
+                out: flags.require("--out")?,
+            }),
+            "views" => Ok(Command::Views {
+                data: flags.require("--data")?,
+                query: flags.get("--query").unwrap_or_else(|| "*".into()),
+                bins: flags.bin_configs()?,
+            }),
+            "rank" => Ok(Command::Rank {
+                data: flags.require("--data")?,
+                query: flags.get("--query").unwrap_or_else(|| "*".into()),
+                utility: flags.require("--utility")?,
+                k: flags.get_parsed("--k")?.unwrap_or(10),
+                bins: flags.bin_configs()?,
+                diverse: flags.get_parsed("--diverse")?,
+            }),
+            "explore" => Ok(Command::Explore {
+                data: flags.require("--data")?,
+                query: flags.get("--query").unwrap_or_else(|| "*".into()),
+                k: flags.get_parsed("--k")?.unwrap_or(5),
+                alpha: flags.get_parsed("--alpha")?.unwrap_or(1.0),
+                exclude: flags.list("--exclude"),
+                bins: flags.bin_configs()?,
+                save: flags.get("--save"),
+                resume: flags.get("--resume"),
+            }),
+            "scatter" => Ok(Command::Scatter {
+                data: flags.require("--data")?,
+                query: flags.get("--query").unwrap_or_else(|| "*".into()),
+                ideal: flags.require("--ideal")?,
+                grid: flags.get_parsed("--grid")?.unwrap_or(8),
+                k: flags.get_parsed("--k")?.unwrap_or(3),
+                max_labels: flags.get_parsed("--max-labels")?.unwrap_or(30),
+            }),
+            "query" => Ok(Command::Query {
+                data: flags.require("--data")?,
+                sql: flags.require("--sql")?,
+            }),
+            "simulate" => Ok(Command::Simulate {
+                data: flags.require("--data")?,
+                query: flags.get("--query").unwrap_or_else(|| "*".into()),
+                ideal: flags.require("--ideal")?,
+                k: flags.get_parsed("--k")?.unwrap_or(10),
+                max_labels: flags.get_parsed("--max-labels")?.unwrap_or(50),
+                bins: flags.bin_configs()?,
+            }),
+            other => Err(format!("unknown subcommand {other:?}")),
+        }
+    }
+}
+
+/// `--flag value` pairs.
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn collect(args: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            if !flag.starts_with("--") {
+                return Err(format!("expected a --flag, got {flag:?}"));
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))?;
+            pairs.push((flag.clone(), value.clone()));
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, flag: &str) -> Option<String> {
+        self.pairs
+            .iter()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.clone())
+    }
+
+    fn require(&self, flag: &str) -> Result<String, String> {
+        self.get(flag).ok_or_else(|| format!("missing required {flag}"))
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, String> {
+        self.get(flag)
+            .map(|v| {
+                v.parse::<T>()
+                    .map_err(|_| format!("cannot parse {flag} value {v:?}"))
+            })
+            .transpose()
+    }
+
+    fn list(&self, flag: &str) -> Vec<String> {
+        self.get(flag)
+            .map(|v| {
+                v.split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn bin_configs(&self) -> Result<Vec<usize>, String> {
+        match self.get("--bins") {
+            None => Ok(vec![3, 4]),
+            Some(v) => v
+                .split(',')
+                .map(|b| {
+                    b.trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad bin count {b:?}"))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, String> {
+        Command::parse(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_generate() {
+        let c = parse(&[
+            "generate", "--dataset", "diab", "--rows", "500", "--out", "x.csv",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Generate {
+                dataset: "diab".into(),
+                rows: Some(500),
+                seed: 7,
+                out: "x.csv".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_explore_with_defaults() {
+        let c = parse(&["explore", "--data", "x.csv", "--query", "a0=v"]).unwrap();
+        match c {
+            Command::Explore {
+                k, alpha, exclude, bins, save, resume, ..
+            } => {
+                assert_eq!(k, 5);
+                assert_eq!(alpha, 1.0);
+                assert!(exclude.is_empty());
+                assert_eq!(bins, vec![3, 4]);
+                assert!(save.is_none() && resume.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_scatter_with_defaults() {
+        let c = parse(&["scatter", "--data", "x.csv", "--ideal", "EMD"]).unwrap();
+        match c {
+            Command::Scatter { grid, k, max_labels, .. } => {
+                assert_eq!(grid, 8);
+                assert_eq!(k, 3);
+                assert_eq!(max_labels, 30);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_save_and_resume() {
+        let c = parse(&["explore", "--data", "x.csv", "--save", "s.json", "--resume", "r.json"]).unwrap();
+        match c {
+            Command::Explore { save, resume, .. } => {
+                assert_eq!(save.as_deref(), Some("s.json"));
+                assert_eq!(resume.as_deref(), Some("r.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_exclude_and_bins_lists() {
+        let c = parse(&[
+            "explore", "--data", "x.csv", "--exclude", "a0, a1", "--bins", "2,5",
+        ])
+        .unwrap();
+        match c {
+            Command::Explore { exclude, bins, .. } => {
+                assert_eq!(exclude, vec!["a0".to_owned(), "a1".to_owned()]);
+                assert_eq!(bins, vec![2, 5]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["bogus"]).is_err());
+        assert!(parse(&["generate", "--dataset"]).is_err());
+        assert!(parse(&["generate", "positional"]).is_err());
+        assert!(parse(&["generate", "--out", "x.csv"]).is_err(), "--dataset required");
+        assert!(parse(&["rank", "--data", "x", "--utility", "EMD", "--k", "NaNope"]).is_err());
+        assert!(parse(&["views", "--data", "x", "--bins", "3,x"]).is_err());
+    }
+}

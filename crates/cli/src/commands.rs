@@ -1,0 +1,646 @@
+//! Subcommand implementations.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, Write};
+
+use viewseeker_core::persist::SessionSnapshot;
+use viewseeker_core::scatter::{materialize_scatter, scatter_feature_matrix, ScatterSpace};
+use viewseeker_core::viewgen::{bin_spec_for, materialize_view};
+use viewseeker_core::{
+    tie_aware_precision_at_k, FeedbackSession, UtilityFeature, ViewId, ViewSeeker,
+    ViewSeekerConfig,
+};
+use viewseeker_dataset::csv::{read_csv, write_csv};
+use viewseeker_dataset::generate::{generate_diab, generate_syn, DiabConfig, SynConfig};
+use viewseeker_dataset::schema::{AttributeRole, ColumnMeta, ColumnType};
+use viewseeker_dataset::{Schema, SelectQuery, Table};
+use viewseeker_eval::runner::{exact_feature_matrix, run_session, RunnerConfig, StopCriterion};
+use viewseeker_eval::SimulatedUser;
+
+use crate::chart::{render_density_grid, render_ranking, render_view};
+use crate::cli::{Command, USAGE};
+use crate::parse::{parse_query, parse_utility};
+
+/// Executes a parsed command.
+///
+/// # Errors
+///
+/// Returns a human-readable message for any I/O, parse, or engine failure.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Generate {
+            dataset,
+            rows,
+            seed,
+            out,
+        } => generate(&dataset, rows, seed, &out),
+        Command::Views { data, query, bins } => views(&data, &query, &bins),
+        Command::Rank {
+            data,
+            query,
+            utility,
+            k,
+            bins,
+            diverse,
+        } => rank(&data, &query, &utility, k, &bins, diverse),
+        Command::Explore {
+            data,
+            query,
+            k,
+            alpha,
+            exclude,
+            bins,
+            save,
+            resume,
+        } => explore(&data, &query, k, alpha, exclude, &bins, save, resume),
+        Command::Query { data, sql } => sql_query(&data, &sql),
+        Command::Scatter {
+            data,
+            query,
+            ideal,
+            grid,
+            k,
+            max_labels,
+        } => scatter(&data, &query, &ideal, grid, k, max_labels),
+        Command::Simulate {
+            data,
+            query,
+            ideal,
+            k,
+            max_labels,
+            bins,
+        } => simulate(&data, &query, &ideal, k, max_labels, &bins),
+    }
+}
+
+fn generate(dataset: &str, rows: Option<usize>, seed: u64, out: &str) -> Result<(), String> {
+    let table = match dataset {
+        "diab" => generate_diab(&DiabConfig::small(rows.unwrap_or(20_000), seed))
+            .map_err(|e| e.to_string())?,
+        "syn" => generate_syn(&SynConfig::small(rows.unwrap_or(50_000), seed))
+            .map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown dataset {other:?} (expected diab or syn)")),
+    };
+    let file = File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
+    write_csv(&table, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} rows × {} columns to {out}",
+        table.row_count(),
+        table.schema().len()
+    );
+    Ok(())
+}
+
+/// Loads a CSV, inferring the schema by name convention + value sniffing:
+/// measure columns are named `m_*` or `m<digits>`; any other column whose
+/// sampled values all parse as numbers becomes a numeric dimension; the rest
+/// are categorical dimensions.
+pub fn load_table(path: &str) -> Result<Table, String> {
+    let file = File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    let mut reader = BufReader::new(file);
+
+    let mut header_line = String::new();
+    reader
+        .read_line(&mut header_line)
+        .map_err(|e| e.to_string())?;
+    let header: Vec<String> = header_line
+        .trim_end()
+        .split(',')
+        .map(|h| h.trim_matches('"').to_owned())
+        .collect();
+
+    // Sniff up to 64 data rows for numeric-ness per column.
+    let mut numeric = vec![true; header.len()];
+    let mut sampled = 0;
+    for line in reader.lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        for (i, field) in line.split(',').enumerate() {
+            if i < numeric.len() && field.trim_matches('"').parse::<f64>().is_err() {
+                numeric[i] = false;
+            }
+        }
+        sampled += 1;
+        if sampled >= 64 {
+            break;
+        }
+    }
+
+    let schema = infer_schema(&header, &numeric)?;
+    let file = File::open(path).map_err(|e| format!("reopening {path}: {e}"))?;
+    read_csv(&schema, BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+/// Builds a schema from header names and per-column numeric-ness.
+fn infer_schema(header: &[String], numeric: &[bool]) -> Result<Schema, String> {
+    let metas = header
+        .iter()
+        .zip(numeric)
+        .map(|(name, &is_numeric)| {
+            let is_measure = name.starts_with("m_")
+                || (name.starts_with('m') && name[1..].chars().all(|c| c.is_ascii_digit()))
+                    && !name[1..].is_empty();
+            let (column_type, role) = if is_measure && is_numeric {
+                (ColumnType::Numeric, AttributeRole::Measure)
+            } else if is_numeric {
+                (ColumnType::Numeric, AttributeRole::Dimension)
+            } else {
+                (ColumnType::Categorical, AttributeRole::Dimension)
+            };
+            ColumnMeta {
+                name: name.clone(),
+                column_type,
+                role,
+            }
+        })
+        .collect();
+    Schema::new(metas).map_err(|e| e.to_string())
+}
+
+fn views(data: &str, query: &str, bins: &[usize]) -> Result<(), String> {
+    let table = load_table(data)?;
+    let predicate = parse_query(query)?;
+    let q = SelectQuery::new(predicate);
+    let dq = q.execute(&table).map_err(|e| e.to_string())?;
+    let space = viewseeker_core::ViewSpace::enumerate(&table, bins).map_err(|e| e.to_string())?;
+    println!(
+        "{} rows total, query selects {} ({:.2}%)",
+        table.row_count(),
+        dq.len(),
+        100.0 * dq.len() as f64 / table.row_count().max(1) as f64
+    );
+    println!("view space: {} candidate views\n", space.len());
+    for id in space.ids() {
+        println!("  [{:>3}] {}", id.index(), space.def(id).map_err(|e| e.to_string())?);
+    }
+    Ok(())
+}
+
+fn rank(
+    data: &str,
+    query: &str,
+    utility: &str,
+    k: usize,
+    bins: &[usize],
+    diverse: Option<f64>,
+) -> Result<(), String> {
+    let table = load_table(data)?;
+    let q = SelectQuery::new(parse_query(query)?);
+    let composite = parse_utility(utility)?;
+    let config = ViewSeekerConfig {
+        bin_configs: bins.to_vec(),
+        ..ViewSeekerConfig::default()
+    };
+    let matrix = exact_feature_matrix(&table, &q, &config).map_err(|e| e.to_string())?;
+    let space = viewseeker_core::ViewSpace::enumerate(&table, bins).map_err(|e| e.to_string())?;
+    let scores = composite.scores(&matrix).map_err(|e| e.to_string())?;
+    let top = match diverse {
+        Some(lambda) => viewseeker_core::diverse_top_k(&matrix, &scores, k, lambda)
+            .map_err(|e| e.to_string())?,
+        None => composite.top_k(&matrix, k).map_err(|e| e.to_string())?,
+    };
+
+    match diverse {
+        Some(lambda) => println!(
+            "top-{k} views by fixed utility {} (MMR-diversified, λ = {lambda})\n",
+            composite.name()
+        ),
+        None => println!("top-{k} views by fixed utility {}\n", composite.name()),
+    }
+    let rows: Vec<(usize, String, f64)> = top
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            Ok((
+                i + 1,
+                space.def(*v).map_err(|e| e.to_string())?.to_string(),
+                scores[v.index()],
+            ))
+        })
+        .collect::<Result<_, String>>()?;
+    println!("{}", render_ranking(&rows));
+
+    // Chart the winner.
+    if let Some(best) = top.first() {
+        let def = space.def(*best).map_err(|e| e.to_string())?;
+        let dq = q.execute(&table).map_err(|e| e.to_string())?;
+        let spec = bin_spec_for(&table, def).map_err(|e| e.to_string())?;
+        let vd = materialize_view(&table, &dq, &table.all_rows(), def)
+            .map_err(|e| e.to_string())?;
+        println!("{}", render_view(&def.to_string(), &spec, &vd));
+    }
+    Ok(())
+}
+
+/// One line of user input during `explore`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RatingInput {
+    /// A 0–1 interestingness rating.
+    Score(f64),
+    /// Show the current top-k and continue.
+    ShowTop,
+    /// End the session.
+    Quit,
+}
+
+/// Parses a rating prompt line.
+///
+/// # Errors
+///
+/// Returns a help message for unrecognized input.
+pub fn parse_rating(line: &str) -> Result<RatingInput, String> {
+    match line.trim().to_ascii_lowercase().as_str() {
+        "q" | "quit" | "done" => Ok(RatingInput::Quit),
+        "t" | "top" => Ok(RatingInput::ShowTop),
+        other => {
+            let score: f64 = other
+                .parse()
+                .map_err(|_| "enter a rating in [0,1], 't' for top-k, or 'q' to finish".to_owned())?;
+            if (0.0..=1.0).contains(&score) {
+                Ok(RatingInput::Score(score))
+            } else {
+                Err(format!("rating {score} outside [0,1]"))
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn explore(
+    data: &str,
+    query: &str,
+    k: usize,
+    alpha: f64,
+    exclude: Vec<String>,
+    bins: &[usize],
+    save: Option<String>,
+    resume: Option<String>,
+) -> Result<(), String> {
+    let table = load_table(data)?;
+    let q = SelectQuery::new(parse_query(query)?);
+    let config = ViewSeekerConfig {
+        bin_configs: bins.to_vec(),
+        alpha,
+        excluded_dimensions: exclude,
+        ..ViewSeekerConfig::default()
+    };
+    let mut seeker = match resume {
+        Some(path) => {
+            let json = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {path}: {e}"))?;
+            let snapshot = SessionSnapshot::from_json(&json).map_err(|e| e.to_string())?;
+            let restored = snapshot
+                .restore_seeker(&table, &q, config)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "resumed session from {path}: {} labels replayed",
+                restored.label_count()
+            );
+            restored
+        }
+        None => ViewSeeker::new(&table, &q, config).map_err(|e| e.to_string())?,
+    };
+    let dq = seeker.dq().clone();
+    println!(
+        "exploring {} rows ({} selected by the query); {} candidate views",
+        table.row_count(),
+        dq.len(),
+        seeker.view_space().len()
+    );
+    println!("rate each view 0 (boring) … 1 (fascinating); 't' shows the top-{k}; 'q' finishes\n");
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    'session: loop {
+        let Some(view) = seeker.next_views(1).map_err(|e| e.to_string())?.pop() else {
+            println!("every view has been labeled — ending the session");
+            break;
+        };
+        show_view(&table, &dq, &seeker, view)?;
+        loop {
+            print!("your rating> ");
+            std::io::stdout().flush().map_err(|e| e.to_string())?;
+            line.clear();
+            if stdin.lock().read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+                break 'session; // EOF
+            }
+            match parse_rating(&line) {
+                Ok(RatingInput::Quit) => break 'session,
+                Ok(RatingInput::ShowTop) => {
+                    if seeker.label_count() == 0 {
+                        println!("(no labels yet — rate at least one view first)");
+                    } else {
+                        print_top_k(&seeker, k)?;
+                    }
+                }
+                Ok(RatingInput::Score(score)) => {
+                    seeker
+                        .submit_feedback(view, score)
+                        .map_err(|e| e.to_string())?;
+                    break;
+                }
+                Err(msg) => println!("{msg}"),
+            }
+        }
+    }
+
+    if let Some(path) = save {
+        let json = SessionSnapshot::from_seeker(&seeker)
+            .to_json()
+            .map_err(|e| e.to_string())?;
+        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("session snapshot saved to {path}");
+    }
+    if seeker.label_count() == 0 {
+        println!("no feedback collected; nothing to recommend");
+        return Ok(());
+    }
+    println!(
+        "\nsession finished after {} labels — your personalized top-{k}:\n",
+        seeker.label_count()
+    );
+    print_top_k(&seeker, k)?;
+    if let Some(weights) = seeker.learned_weights() {
+        println!("\nyour learned utility function:");
+        for (feature, w) in UtilityFeature::all().iter().zip(weights) {
+            println!("  {feature:<10} {w:+.3}");
+        }
+    }
+    Ok(())
+}
+
+fn show_view(
+    table: &Table,
+    dq: &viewseeker_dataset::RowSet,
+    seeker: &ViewSeeker<'_>,
+    view: ViewId,
+) -> Result<(), String> {
+    let def = seeker.view_space().def(view).map_err(|e| e.to_string())?;
+    let spec = bin_spec_for(table, def).map_err(|e| e.to_string())?;
+    let vd = materialize_view(table, dq, &table.all_rows(), def).map_err(|e| e.to_string())?;
+    println!("{}", render_view(&def.to_string(), &spec, &vd));
+    Ok(())
+}
+
+fn print_top_k(seeker: &ViewSeeker<'_>, k: usize) -> Result<(), String> {
+    let scores = seeker.predicted_scores().map_err(|e| e.to_string())?;
+    let rows: Vec<(usize, String, f64)> = seeker
+        .recommend(k)
+        .map_err(|e| e.to_string())?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            Ok((
+                i + 1,
+                seeker
+                    .view_space()
+                    .def(*v)
+                    .map_err(|e| e.to_string())?
+                    .to_string(),
+                scores[v.index()],
+            ))
+        })
+        .collect::<Result<_, String>>()?;
+    println!("{}", render_ranking(&rows));
+    Ok(())
+}
+
+fn simulate(
+    data: &str,
+    query: &str,
+    ideal: &str,
+    k: usize,
+    max_labels: usize,
+    bins: &[usize],
+) -> Result<(), String> {
+    let table = load_table(data)?;
+    let q = SelectQuery::new(parse_query(query)?);
+    let composite = parse_utility(ideal)?;
+    let config = ViewSeekerConfig {
+        bin_configs: bins.to_vec(),
+        ..ViewSeekerConfig::default()
+    };
+    println!(
+        "simulating a user whose hidden ideal utility is {}\n",
+        composite.name()
+    );
+    let outcome = run_session(
+        &table,
+        &q,
+        config.clone(),
+        &composite,
+        &RunnerConfig {
+            k,
+            max_labels,
+            stop: StopCriterion::Precision(1.0),
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    for (i, (p, ud)) in outcome
+        .precision_trace
+        .iter()
+        .zip(&outcome.ud_trace)
+        .enumerate()
+    {
+        println!(
+            "label {:>3}: precision@{k} {:>5.1}%   utility distance {:.4}",
+            i + 1,
+            p * 100.0,
+            ud
+        );
+    }
+    println!(
+        "\n{} after {} labels (init {:.2?}, user-perceived total {:.2?})",
+        if outcome.converged {
+            "reached 100% precision"
+        } else {
+            "stopped at the label budget"
+        },
+        outcome.labels_used,
+        outcome.init_time,
+        outcome.system_time,
+    );
+
+    // Show what the user would have seen: the ideal top-k.
+    let matrix = exact_feature_matrix(&table, &q, &config).map_err(|e| e.to_string())?;
+    let space = viewseeker_core::ViewSpace::enumerate(&table, bins).map_err(|e| e.to_string())?;
+    let user = SimulatedUser::new(&composite, &matrix).map_err(|e| e.to_string())?;
+    println!("\nideal top-{k} under that utility:");
+    let rows: Vec<(usize, String, f64)> = user
+        .ideal_top_k(k)
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            Ok((
+                i + 1,
+                space.def(*v).map_err(|e| e.to_string())?.to_string(),
+                user.label(*v).map_err(|e| e.to_string())?,
+            ))
+        })
+        .collect::<Result<_, String>>()?;
+    println!("{}", render_ranking(&rows));
+    Ok(())
+}
+
+/// Ad-hoc SQL against a CSV.
+fn sql_query(data: &str, sql: &str) -> Result<(), String> {
+    let table = load_table(data)?;
+    let result = viewseeker_dataset::sql::execute(sql, &table).map_err(|e| e.to_string())?;
+    print!("{}", result.to_text_table());
+    println!("({} rows)", result.rows.len());
+    Ok(())
+}
+
+/// Simulated session over scatter-plot views.
+fn scatter(
+    data: &str,
+    query: &str,
+    ideal: &str,
+    grid: usize,
+    k: usize,
+    max_labels: usize,
+) -> Result<(), String> {
+    let table = load_table(data)?;
+    let q = SelectQuery::new(parse_query(query)?);
+    let composite = parse_utility(ideal)?;
+    let dq = q.execute(&table).map_err(|e| e.to_string())?;
+    let space = ScatterSpace::enumerate(&table, grid).map_err(|e| e.to_string())?;
+    println!(
+        "scatter view space: {} measure pairs on a {grid}x{grid} grid",
+        space.len()
+    );
+    let matrix = scatter_feature_matrix(&table, &dq, &table.all_rows(), &space, (grid * grid) as f64)
+        .map_err(|e| e.to_string())?;
+    let truth = composite
+        .normalized_scores(&matrix)
+        .map_err(|e| e.to_string())?;
+
+    let mut session = FeedbackSession::new(matrix, ViewSeekerConfig::default())
+        .map_err(|e| e.to_string())?;
+    let mut labels = 0;
+    let mut precision = 0.0;
+    while labels < max_labels && precision < 1.0 {
+        let Some(item) = session.next_items(1).map_err(|e| e.to_string())?.pop() else {
+            break;
+        };
+        session
+            .submit_feedback(item, truth[item.index()])
+            .map_err(|e| e.to_string())?;
+        labels += 1;
+        precision = tie_aware_precision_at_k(
+            &truth,
+            &session.recommend(k).map_err(|e| e.to_string())?,
+            k,
+        );
+    }
+    println!(
+        "after {labels} simulated ratings: precision@{k} = {:.0}%\n",
+        precision * 100.0
+    );
+
+    println!("top-{k} scatter views:");
+    for (rank, item) in session
+        .recommend(k)
+        .map_err(|e| e.to_string())?
+        .iter()
+        .enumerate()
+    {
+        let def = space.def(*item).map_err(|e| e.to_string())?;
+        println!("  {}. {def}", rank + 1);
+    }
+    // Render the winner's density comparison.
+    if let Some(best) = session.recommend(1).map_err(|e| e.to_string())?.first() {
+        let def = space.def(*best).map_err(|e| e.to_string())?;
+        let vd = materialize_scatter(&table, &dq, &table.all_rows(), def)
+            .map_err(|e| e.to_string())?;
+        println!();
+        print!(
+            "{}",
+            render_density_grid(&def.to_string(), grid, vd.target.masses(), vd.reference.masses())
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rating_parser_accepts_scores_and_commands() {
+        assert_eq!(parse_rating("0.7").unwrap(), RatingInput::Score(0.7));
+        assert_eq!(parse_rating(" 1 ").unwrap(), RatingInput::Score(1.0));
+        assert_eq!(parse_rating("q").unwrap(), RatingInput::Quit);
+        assert_eq!(parse_rating("DONE").unwrap(), RatingInput::Quit);
+        assert_eq!(parse_rating("t").unwrap(), RatingInput::ShowTop);
+        assert!(parse_rating("1.5").is_err());
+        assert!(parse_rating("meh").is_err());
+    }
+
+    #[test]
+    fn schema_inference_convention() {
+        let header: Vec<String> = ["region", "n_age", "m_sales", "m0"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let numeric = vec![false, true, true, true];
+        let schema = infer_schema(&header, &numeric).unwrap();
+        assert_eq!(schema.dimension_names(), vec!["region", "n_age"]);
+        assert_eq!(schema.measure_names(), vec!["m_sales", "m0"]);
+        assert_eq!(
+            schema.column("n_age").unwrap().column_type,
+            ColumnType::Numeric
+        );
+        assert_eq!(
+            schema.column("region").unwrap().column_type,
+            ColumnType::Categorical
+        );
+    }
+
+    #[test]
+    fn measure_named_column_with_text_values_degrades_to_categorical() {
+        let header: Vec<String> = ["m_notes"].iter().map(|s| (*s).to_owned()).collect();
+        let schema = infer_schema(&header, &[false]).unwrap();
+        assert_eq!(schema.measure_names().len(), 0);
+        assert_eq!(schema.dimension_names(), vec!["m_notes"]);
+    }
+
+    #[test]
+    fn generate_then_load_round_trip() {
+        let dir = std::env::temp_dir().join("viewseeker_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let path_str = path.to_str().unwrap().to_owned();
+        generate("diab", Some(300), 3, &path_str).unwrap();
+        let table = load_table(&path_str).unwrap();
+        assert_eq!(table.row_count(), 300);
+        assert_eq!(table.measure_names().len(), 8);
+        assert_eq!(table.dimension_names().len(), 7);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn syn_load_infers_numeric_dimensions() {
+        let dir = std::env::temp_dir().join("viewseeker_cli_test_syn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.csv");
+        let path_str = path.to_str().unwrap().to_owned();
+        generate("syn", Some(200), 4, &path_str).unwrap();
+        let table = load_table(&path_str).unwrap();
+        assert_eq!(table.dimension_names(), vec!["d0", "d1", "d2", "d3", "d4"]);
+        assert!(!table.column_by_name("d0").unwrap().is_categorical());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unknown_dataset_rejected() {
+        assert!(generate("nope", None, 1, "/tmp/x.csv").is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! SeeDB-style fixed-utility baselines.
+//!
+//! "We use the 8 individual utility features (e.g., KL, EMD, L1, L2, etc.)
+//! as the baselines" (paper, Experiment 2). A [`SingleFeatureRanker`] ranks
+//! the whole view space by one raw utility feature — exactly what a classic
+//! view recommender with that utility function hard-coded would return. Its
+//! precision against the ideal top-k is *fixed*: no amount of interaction
+//! improves it, which is the point of Figure 5.
+
+use crate::features::{FeatureMatrix, UtilityFeature};
+use crate::metrics::precision_at_k;
+use crate::view::ViewId;
+use crate::CoreError;
+
+/// A non-interactive recommender that ranks views by one fixed utility
+/// feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingleFeatureRanker {
+    feature: UtilityFeature,
+}
+
+impl SingleFeatureRanker {
+    /// Creates a ranker for `feature`.
+    #[must_use]
+    pub fn new(feature: UtilityFeature) -> Self {
+        Self { feature }
+    }
+
+    /// One ranker per utility feature — the full baseline suite of
+    /// Experiment 2.
+    #[must_use]
+    pub fn all() -> Vec<SingleFeatureRanker> {
+        UtilityFeature::all().into_iter().map(Self::new).collect()
+    }
+
+    /// The feature this baseline ranks by.
+    #[must_use]
+    pub fn feature(self) -> UtilityFeature {
+        self.feature
+    }
+
+    /// The top-`k` views by this feature (ties broken by view id).
+    #[must_use]
+    pub fn top_k(self, matrix: &FeatureMatrix, k: usize) -> Vec<ViewId> {
+        let column = matrix.column(self.feature);
+        viewseeker_stats::rank_descending(&column)
+            .into_iter()
+            .take(k)
+            .map(ViewId::new_unchecked)
+            .collect()
+    }
+
+    /// The *maximum achievable* precision of this baseline against an ideal
+    /// top-k — fixed for all time, since the ranking never changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] if `k == 0`.
+    pub fn max_precision(
+        self,
+        matrix: &FeatureMatrix,
+        ideal_top_k: &[ViewId],
+    ) -> Result<f64, CoreError> {
+        if ideal_top_k.is_empty() {
+            return Err(CoreError::Invalid("ideal top-k must be non-empty".into()));
+        }
+        Ok(precision_at_k(
+            &self.top_k(matrix, ideal_top_k.len()),
+            ideal_top_k,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composite::CompositeUtility;
+    use crate::features::FEATURE_COUNT;
+
+    fn matrix() -> FeatureMatrix {
+        // Feature 0 (KL) and feature 1 (EMD) rank views oppositely.
+        FeatureMatrix::new(vec![
+            [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [0.75, 0.25, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [0.25, 0.75, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn ranks_by_its_own_feature() {
+        let m = matrix();
+        let kl = SingleFeatureRanker::new(UtilityFeature::Kl);
+        let emd = SingleFeatureRanker::new(UtilityFeature::Emd);
+        assert_eq!(
+            kl.top_k(&m, 3).iter().map(|v| v.index()).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(
+            emd.top_k(&m, 3).iter().map(|v| v.index()).collect::<Vec<_>>(),
+            vec![4, 3, 2]
+        );
+    }
+
+    #[test]
+    fn matching_feature_gets_perfect_precision() {
+        let m = matrix();
+        let ideal = CompositeUtility::single(UtilityFeature::Kl)
+            .top_k(&m, 3)
+            .unwrap();
+        let p = SingleFeatureRanker::new(UtilityFeature::Kl)
+            .max_precision(&m, &ideal)
+            .unwrap();
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn mismatched_feature_scores_poorly() {
+        let m = matrix();
+        let ideal = CompositeUtility::single(UtilityFeature::Kl)
+            .top_k(&m, 2)
+            .unwrap();
+        let p = SingleFeatureRanker::new(UtilityFeature::Emd)
+            .max_precision(&m, &ideal)
+            .unwrap();
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn all_covers_every_feature() {
+        let rankers = SingleFeatureRanker::all();
+        assert_eq!(rankers.len(), FEATURE_COUNT);
+        let feats: Vec<_> = rankers.iter().map(|r| r.feature()).collect();
+        for f in UtilityFeature::all() {
+            assert!(feats.contains(&f));
+        }
+    }
+
+    #[test]
+    fn empty_ideal_rejected() {
+        let m = matrix();
+        assert!(SingleFeatureRanker::new(UtilityFeature::Kl)
+            .max_precision(&m, &[])
+            .is_err());
+    }
+}

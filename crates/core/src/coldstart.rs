@@ -1,0 +1,136 @@
+//! The cold-start stage of the interactive phase.
+//!
+//! "Machine learning models such as the uncertainty estimator must be
+//! trained with both positive and negative views. ... To facilitate this
+//! process, ViewSeeker would first select views ranked highest according to
+//! each utility feature. Each utility feature would then be considered in a
+//! sequential manner ... In the case where no positive or negative feedback
+//! has been received after visiting all dimensions, ViewSeeker will then
+//! switch to random sampling" (paper §3.2).
+
+use std::collections::HashSet;
+
+use crate::features::{FeatureMatrix, UtilityFeature};
+use crate::view::ViewId;
+
+/// Sequential per-feature probing state.
+#[derive(Debug, Clone)]
+pub struct ColdStart {
+    /// Features not yet probed, in presentation order.
+    queue: Vec<UtilityFeature>,
+    cursor: usize,
+}
+
+impl Default for ColdStart {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ColdStart {
+    /// A fresh cold-start pass over all eight utility features.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            queue: UtilityFeature::all().to_vec(),
+            cursor: 0,
+        }
+    }
+
+    /// Whether every feature has been probed.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor >= self.queue.len()
+    }
+
+    /// The feature that will drive the next probe, if any remain.
+    #[must_use]
+    pub fn current_feature(&self) -> Option<UtilityFeature> {
+        self.queue.get(self.cursor).copied()
+    }
+
+    /// Returns up to `m` unlabeled views ranked highest by the next utility
+    /// feature, advancing to the following feature. `None` once all features
+    /// have been probed (the caller then falls back to random sampling).
+    pub fn next_candidates(
+        &mut self,
+        matrix: &FeatureMatrix,
+        labeled: &HashSet<usize>,
+        m: usize,
+    ) -> Option<Vec<ViewId>> {
+        let feature = self.queue.get(self.cursor).copied()?;
+        self.cursor += 1;
+        let column = matrix.column(feature);
+        let picks: Vec<ViewId> = viewseeker_stats::rank_descending(&column)
+            .into_iter()
+            .filter(|i| !labeled.contains(i))
+            .take(m)
+            .map(ViewId::new_unchecked)
+            .collect();
+        Some(picks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FEATURE_COUNT;
+
+    fn matrix() -> FeatureMatrix {
+        // View i is the top view of feature i (diagonal signal).
+        let mut raws = Vec::new();
+        for i in 0..FEATURE_COUNT {
+            let mut row = [0.0; FEATURE_COUNT];
+            row[i] = 1.0;
+            raws.push(row);
+        }
+        FeatureMatrix::new(raws)
+    }
+
+    #[test]
+    fn probes_each_feature_in_order() {
+        let m = matrix();
+        let mut cs = ColdStart::new();
+        let labeled = HashSet::new();
+        for expected in 0..FEATURE_COUNT {
+            assert_eq!(
+                cs.current_feature(),
+                Some(UtilityFeature::all()[expected])
+            );
+            let picks = cs.next_candidates(&m, &labeled, 1).unwrap();
+            assert_eq!(picks[0].index(), expected, "feature {expected}'s top view");
+        }
+        assert!(cs.is_exhausted());
+        assert!(cs.next_candidates(&m, &labeled, 1).is_none());
+        assert_eq!(cs.current_feature(), None);
+    }
+
+    #[test]
+    fn skips_labeled_views() {
+        let m = matrix();
+        let mut cs = ColdStart::new();
+        let labeled: HashSet<usize> = [0].into_iter().collect();
+        // Feature 0's top view (view 0) is labeled; the probe should return
+        // a different view rather than repeating it.
+        let picks = cs.next_candidates(&m, &labeled, 1).unwrap();
+        assert_ne!(picks[0].index(), 0);
+    }
+
+    #[test]
+    fn returns_up_to_m_views() {
+        let m = matrix();
+        let mut cs = ColdStart::new();
+        let picks = cs.next_candidates(&m, &HashSet::new(), 3).unwrap();
+        assert_eq!(picks.len(), 3);
+        assert_eq!(picks[0].index(), 0, "top of feature 0 first");
+    }
+
+    #[test]
+    fn everything_labeled_yields_empty_batch() {
+        let m = matrix();
+        let mut cs = ColdStart::new();
+        let labeled: HashSet<usize> = (0..FEATURE_COUNT).collect();
+        let picks = cs.next_candidates(&m, &labeled, 2).unwrap();
+        assert!(picks.is_empty());
+    }
+}

@@ -1,0 +1,249 @@
+//! Composite utility functions.
+//!
+//! The user's ideal utility function is an arbitrary linear combination of
+//! the utility components (Eq. 4):
+//!
+//! ```text
+//! u*() = β₁·u₁() + β₂·u₂() + … + βₙ·uₙ()
+//! ```
+//!
+//! [`CompositeUtility`] represents such a combination over the normalized
+//! feature columns; the evaluation harness instantiates the 11 simulated
+//! ideal functions of Table 2 with it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::features::{FeatureMatrix, UtilityFeature, FEATURE_COUNT};
+use crate::view::ViewId;
+use crate::CoreError;
+
+/// A linear combination of utility features.
+///
+/// ```
+/// use viewseeker_core::{CompositeUtility, UtilityFeature};
+///
+/// // Table 2's function #4: u*() = 0.5·EMD + 0.5·KL.
+/// let u = CompositeUtility::new(&[
+///     (UtilityFeature::Emd, 0.5),
+///     (UtilityFeature::Kl, 0.5),
+/// ])
+/// .unwrap();
+/// assert_eq!(u.component_count(), 2);
+/// assert_eq!(u.name(), "0.5*EMD + 0.5*KL");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositeUtility {
+    /// Dense weight per feature column.
+    weights: [f64; FEATURE_COUNT],
+    /// Human-readable name (e.g. `"0.5*EMD + 0.5*KL"`).
+    name: String,
+}
+
+impl CompositeUtility {
+    /// Builds a composite from `(feature, weight)` terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] for an empty term list, a repeated
+    /// feature, or a non-finite weight.
+    pub fn new(terms: &[(UtilityFeature, f64)]) -> Result<Self, CoreError> {
+        if terms.is_empty() {
+            return Err(CoreError::Invalid("composite needs at least one term".into()));
+        }
+        let mut weights = [0.0; FEATURE_COUNT];
+        let mut seen = [false; FEATURE_COUNT];
+        for (f, w) in terms {
+            if !w.is_finite() {
+                return Err(CoreError::Invalid(format!("non-finite weight for {f}")));
+            }
+            let c = f.column();
+            if seen[c] {
+                return Err(CoreError::Invalid(format!("feature {f} repeated")));
+            }
+            seen[c] = true;
+            weights[c] = *w;
+        }
+        let name = terms
+            .iter()
+            .map(|(f, w)| format!("{w}*{f}"))
+            .collect::<Vec<_>>()
+            .join(" + ");
+        Ok(Self { weights, name })
+    }
+
+    /// A single-feature utility (βᵢ = 1, all other β = 0) — the degenerate
+    /// case where `u*` is one of the classic fixed utility functions.
+    #[must_use]
+    pub fn single(feature: UtilityFeature) -> Self {
+        Self::new(&[(feature, 1.0)]).expect("single term is always valid")
+    }
+
+    /// The dense weight vector.
+    #[must_use]
+    pub fn weights(&self) -> &[f64; FEATURE_COUNT] {
+        &self.weights
+    }
+
+    /// Number of features with non-zero weight.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.weights.iter().filter(|w| **w != 0.0).count()
+    }
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Utility score of one normalized feature row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] for a wrong-length row.
+    pub fn score(&self, normalized_features: &[f64]) -> Result<f64, CoreError> {
+        if normalized_features.len() != FEATURE_COUNT {
+            return Err(CoreError::Invalid(format!(
+                "expected {FEATURE_COUNT} features, got {}",
+                normalized_features.len()
+            )));
+        }
+        Ok(self
+            .weights
+            .iter()
+            .zip(normalized_features)
+            .map(|(w, f)| w * f)
+            .sum())
+    }
+
+    /// Raw scores of every view in the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompositeUtility::score`] errors.
+    pub fn scores(&self, matrix: &FeatureMatrix) -> Result<Vec<f64>, CoreError> {
+        matrix.rows().iter().map(|r| self.score(r)).collect()
+    }
+
+    /// Scores scaled so the best view gets 1.0 — this is what the simulated
+    /// user reports: "u*(vᵢ) = 0.7 indicates the interestingness of view vᵢ
+    /// is about 70% of the maximum" (paper §4).
+    ///
+    /// Scores are shifted to be non-negative first, so combinations with
+    /// negative weights still yield labels in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scoring errors; returns [`CoreError::Invalid`] for an
+    /// empty matrix.
+    pub fn normalized_scores(&self, matrix: &FeatureMatrix) -> Result<Vec<f64>, CoreError> {
+        let mut scores = self.scores(matrix)?;
+        let min = scores.iter().copied().fold(f64::INFINITY, f64::min);
+        if !min.is_finite() {
+            return Err(CoreError::Invalid("cannot normalize empty score set".into()));
+        }
+        if min < 0.0 {
+            for s in &mut scores {
+                *s -= min;
+            }
+        }
+        let max = scores.iter().copied().fold(0.0, f64::max);
+        if max > 0.0 {
+            for s in &mut scores {
+                *s /= max;
+            }
+        }
+        Ok(scores)
+    }
+
+    /// The ids of the top-`k` views under this utility (ties broken by id).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scoring errors.
+    pub fn top_k(&self, matrix: &FeatureMatrix, k: usize) -> Result<Vec<ViewId>, CoreError> {
+        let scores = self.scores(matrix)?;
+        let order = viewseeker_stats::rank_descending(&scores);
+        // Rank indices come from the matrix and are always in range.
+        Ok(order.into_iter().take(k).map(ViewId::new_unchecked).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> FeatureMatrix {
+        FeatureMatrix::new(vec![
+            [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn single_feature_scores_its_column() {
+        let m = matrix();
+        let u = CompositeUtility::single(UtilityFeature::Kl);
+        assert_eq!(u.scores(&m).unwrap(), vec![1.0, 0.0, 0.5, 0.0]);
+        assert_eq!(u.component_count(), 1);
+        assert_eq!(u.name(), "1*KL");
+    }
+
+    #[test]
+    fn composite_weights_combine() {
+        let m = matrix();
+        let u = CompositeUtility::new(&[
+            (UtilityFeature::Kl, 0.5),
+            (UtilityFeature::Emd, 0.5),
+        ])
+        .unwrap();
+        let s = u.scores(&m).unwrap();
+        assert_eq!(s, vec![0.5, 0.5, 0.5, 0.0]);
+        assert_eq!(u.component_count(), 2);
+    }
+
+    #[test]
+    fn normalized_scores_peak_at_one() {
+        let m = matrix();
+        let u = CompositeUtility::single(UtilityFeature::Kl);
+        let s = u.normalized_scores(&m).unwrap();
+        assert_eq!(s[0], 1.0);
+        assert!(s.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn negative_weights_still_normalize_into_unit_interval() {
+        let m = matrix();
+        let u = CompositeUtility::new(&[
+            (UtilityFeature::Kl, 1.0),
+            (UtilityFeature::Emd, -1.0),
+        ])
+        .unwrap();
+        let s = u.normalized_scores(&m).unwrap();
+        assert!(s.iter().all(|v| (0.0..=1.0).contains(v)));
+        assert!(s.iter().any(|v| (*v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn top_k_orders_by_score() {
+        let m = matrix();
+        let u = CompositeUtility::single(UtilityFeature::Kl);
+        let top = u.top_k(&m, 2).unwrap();
+        assert_eq!(top.iter().map(|v| v.index()).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CompositeUtility::new(&[]).is_err());
+        assert!(CompositeUtility::new(&[
+            (UtilityFeature::Kl, 0.5),
+            (UtilityFeature::Kl, 0.5)
+        ])
+        .is_err());
+        assert!(CompositeUtility::new(&[(UtilityFeature::Kl, f64::NAN)]).is_err());
+        let u = CompositeUtility::single(UtilityFeature::Emd);
+        assert!(u.score(&[0.0; 3]).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! ViewSeeker configuration.
+//!
+//! Defaults reproduce the paper's testbed parameters (Table 1): one view
+//! presented per iteration (`M = 1`), α = 10% partial-data ratio, a 1-second
+//! per-iteration time limit, and the 8 utility features of §3.1.
+
+use std::time::Duration;
+
+use crate::CoreError;
+
+/// How much incremental-refinement work may run between labeling prompts
+/// (the paper's "spare computing power ... while ensuring the time
+/// constraint tl is obeyed").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefineBudget {
+    /// Refine at most this many views per iteration (deterministic; used by
+    /// tests and reproducible experiments).
+    Views(usize),
+    /// Refine until this much wall-clock time has elapsed (the paper's
+    /// actual mechanism; used by the runtime benchmarks).
+    Time(Duration),
+}
+
+/// Which active-learning query strategy drives the interactive phase.
+///
+/// The paper uses least-confidence uncertainty sampling; the alternatives
+/// exist for the strategy-ablation benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStrategyKind {
+    /// Least-confidence uncertainty sampling (paper §3.2, the default).
+    Uncertainty,
+    /// Uniform random selection among unlabeled views.
+    Random,
+    /// Bootstrap query-by-committee with the given committee size.
+    QueryByCommittee {
+        /// Number of committee members (≥ 2).
+        committee_size: usize,
+    },
+}
+
+/// Configuration of a [`crate::ViewSeeker`] session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewSeekerConfig {
+    /// Views presented to the user per iteration (paper default: 1).
+    pub views_per_iteration: usize,
+    /// Equal-width bin configurations applied to each *numeric* dimension
+    /// attribute; categorical dimensions always use their natural bins.
+    /// (The SYN testbed uses `[3, 4]`.)
+    pub bin_configs: Vec<usize>,
+    /// Feedback at or above this value counts as a positive label.
+    pub positive_threshold: f64,
+    /// Ridge regularization of the view utility estimator.
+    pub ridge_lambda: f64,
+    /// L2 regularization of the uncertainty estimator.
+    pub logistic_lambda: f64,
+    /// Ideal on-screen bin count for the usability feature.
+    pub usability_optimal_bins: f64,
+    /// Fraction of data used for the initial "rough" feature pass
+    /// (α, paper §3.3). `1.0` disables the optimization.
+    pub alpha: f64,
+    /// Incremental-refinement budget per iteration (only meaningful when
+    /// `alpha < 1.0`).
+    pub refine_budget: RefineBudget,
+    /// Dimension attributes to omit from the view space — typically the
+    /// attributes the query already constrains (SeeDB's convention), whose
+    /// views would be trivially deviating point masses.
+    pub excluded_dimensions: Vec<String>,
+    /// Active-learning query strategy for the interactive phase.
+    pub strategy: QueryStrategyKind,
+    /// Seed for all stochastic choices (sampling, random fallback).
+    pub seed: u64,
+    /// Number of worker threads for the offline feature pass (1 = serial).
+    pub init_threads: usize,
+}
+
+impl Default for ViewSeekerConfig {
+    fn default() -> Self {
+        Self {
+            views_per_iteration: 1,
+            bin_configs: vec![3, 4],
+            positive_threshold: 0.5,
+            ridge_lambda: 1e-4,
+            logistic_lambda: 1e-3,
+            usability_optimal_bins: 8.0,
+            alpha: 1.0,
+            refine_budget: RefineBudget::Time(Duration::from_millis(200)),
+            excluded_dimensions: Vec::new(),
+            strategy: QueryStrategyKind::Uncertainty,
+            seed: 0x5EEC_4EED,
+            init_threads: 1,
+        }
+    }
+}
+
+impl ViewSeekerConfig {
+    /// The paper's optimization-enabled configuration: α = 10%, tl = 1 s.
+    #[must_use]
+    pub fn optimized() -> Self {
+        Self {
+            alpha: 0.10,
+            refine_budget: RefineBudget::Time(Duration::from_secs(1)),
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] for out-of-range fields.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.views_per_iteration == 0 {
+            return Err(CoreError::Invalid("views_per_iteration must be ≥ 1".into()));
+        }
+        if self.bin_configs.is_empty() || self.bin_configs.contains(&0) {
+            return Err(CoreError::Invalid(
+                "bin_configs must be non-empty and positive".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.positive_threshold) {
+            return Err(CoreError::Invalid(format!(
+                "positive_threshold {} outside [0, 1]",
+                self.positive_threshold
+            )));
+        }
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(CoreError::Invalid(format!(
+                "alpha {} outside (0, 1]",
+                self.alpha
+            )));
+        }
+        if self.ridge_lambda < 0.0 || self.logistic_lambda < 0.0 {
+            return Err(CoreError::Invalid("regularization must be ≥ 0".into()));
+        }
+        if self.usability_optimal_bins <= 0.0 {
+            return Err(CoreError::Invalid(
+                "usability_optimal_bins must be positive".into(),
+            ));
+        }
+        if self.init_threads == 0 {
+            return Err(CoreError::Invalid("init_threads must be ≥ 1".into()));
+        }
+        if let QueryStrategyKind::QueryByCommittee { committee_size } = self.strategy {
+            if committee_size < 2 {
+                return Err(CoreError::Invalid(
+                    "a query-by-committee needs at least 2 members".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        ViewSeekerConfig::default().validate().unwrap();
+        ViewSeekerConfig::optimized().validate().unwrap();
+    }
+
+    #[test]
+    fn optimized_matches_table_1() {
+        let c = ViewSeekerConfig::optimized();
+        assert!((c.alpha - 0.10).abs() < 1e-12);
+        assert_eq!(c.refine_budget, RefineBudget::Time(Duration::from_secs(1)));
+        assert_eq!(c.views_per_iteration, 1);
+    }
+
+    #[test]
+    fn invalid_fields_are_rejected() {
+        let base = ViewSeekerConfig::default();
+        for bad in [
+            ViewSeekerConfig {
+                views_per_iteration: 0,
+                ..base.clone()
+            },
+            ViewSeekerConfig {
+                bin_configs: vec![],
+                ..base.clone()
+            },
+            ViewSeekerConfig {
+                bin_configs: vec![3, 0],
+                ..base.clone()
+            },
+            ViewSeekerConfig {
+                positive_threshold: 1.5,
+                ..base.clone()
+            },
+            ViewSeekerConfig {
+                alpha: 0.0,
+                ..base.clone()
+            },
+            ViewSeekerConfig {
+                alpha: 1.1,
+                ..base.clone()
+            },
+            ViewSeekerConfig {
+                ridge_lambda: -1.0,
+                ..base.clone()
+            },
+            ViewSeekerConfig {
+                usability_optimal_bins: 0.0,
+                ..base.clone()
+            },
+            ViewSeekerConfig {
+                init_threads: 0,
+                ..base.clone()
+            },
+            ViewSeekerConfig {
+                strategy: QueryStrategyKind::QueryByCommittee { committee_size: 1 },
+                ..base.clone()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be invalid");
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Diversified top-k recommendation (DiVE-style).
+//!
+//! The paper's related work cites DiVE (Mafrur, Sharaf, Khan — CIKM'18):
+//! "DiVE: Diversifying View Recommendation for Visual Data Exploration".
+//! A pure utility-ranked top-k is often redundant — the same deviating
+//! dimension shows up under five aggregate functions. This module provides
+//! the classic *maximal marginal relevance* (MMR) greedy diversification
+//! over the normalized utility-feature space:
+//!
+//! ```text
+//! next = argmax_v  λ·score(v) − (1 − λ)·max_{s ∈ selected} sim(v, s)
+//! ```
+//!
+//! with `sim` the feature-space similarity. `λ = 1` degenerates to the plain
+//! utility ranking; lower λ trades predicted utility for coverage.
+
+use crate::features::{FeatureMatrix, FEATURE_COUNT};
+use crate::view::ViewId;
+use crate::CoreError;
+
+/// Similarity of two normalized feature rows in `[0, 1]`: 1 − the L2
+/// distance scaled by its maximum (`√d` over the unit cube).
+#[must_use]
+pub fn feature_similarity(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let dist: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt();
+    1.0 - dist / (a.len() as f64).sqrt()
+}
+
+/// Greedy MMR selection of `k` views: each pick maximizes
+/// `λ·score − (1 − λ)·max-similarity-to-already-selected`.
+///
+/// ```
+/// use viewseeker_core::{diverse_top_k, FeatureMatrix};
+///
+/// // Two near-duplicate high scorers and one distinct runner-up.
+/// let matrix = FeatureMatrix::new(vec![
+///     [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+///     [0.99, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+///     [0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+/// ]);
+/// let scores = vec![1.0, 0.99, 0.5];
+/// let picks = diverse_top_k(&matrix, &scores, 2, 0.5).unwrap();
+/// let ids: Vec<usize> = picks.iter().map(|v| v.index()).collect();
+/// assert_eq!(ids, vec![0, 2], "the near-duplicate is skipped");
+/// ```
+///
+/// `scores` is one utility score per matrix row (any scale; ranks are what
+/// matter for `λ = 1`, magnitudes matter for the trade-off). Ties break by
+/// view index for determinism.
+///
+/// # Errors
+///
+/// * [`CoreError::Invalid`] if `lambda` is outside `[0, 1]` or `scores`
+///   disagrees with the matrix in length.
+pub fn diverse_top_k(
+    matrix: &FeatureMatrix,
+    scores: &[f64],
+    k: usize,
+    lambda: f64,
+) -> Result<Vec<ViewId>, CoreError> {
+    if !(0.0..=1.0).contains(&lambda) {
+        return Err(CoreError::Invalid(format!("lambda {lambda} outside [0, 1]")));
+    }
+    if scores.len() != matrix.len() {
+        return Err(CoreError::Invalid(format!(
+            "{} scores for {} views",
+            scores.len(),
+            matrix.len()
+        )));
+    }
+    let n = matrix.len();
+    let k = k.min(n);
+    let mut selected: Vec<usize> = Vec::with_capacity(k);
+    // Max similarity of each candidate to the selected set, updated
+    // incrementally (classic O(k·n) MMR).
+    let mut max_sim = vec![0.0f64; n];
+    let mut taken = vec![false; n];
+
+    for round in 0..k {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..n {
+            if taken[i] {
+                continue;
+            }
+            let mmr = if round == 0 {
+                scores[i]
+            } else {
+                lambda * scores[i] - (1.0 - lambda) * max_sim[i]
+            };
+            let better = match best {
+                None => true,
+                Some((_, b)) => mmr > b + 1e-15,
+            };
+            if better {
+                best = Some((i, mmr));
+            }
+        }
+        let Some((pick, _)) = best else { break };
+        taken[pick] = true;
+        selected.push(pick);
+        let pick_row = matrix.row(pick);
+        for i in 0..n {
+            if !taken[i] {
+                let sim = feature_similarity(matrix.row(i), pick_row);
+                if sim > max_sim[i] {
+                    max_sim[i] = sim;
+                }
+            }
+        }
+    }
+    Ok(selected.into_iter().map(ViewId::new_unchecked).collect())
+}
+
+/// Mean pairwise feature-space distance of a view set — the diversity
+/// measure the MMR trade-off increases. 0 for fewer than two views.
+#[must_use]
+pub fn mean_pairwise_distance(matrix: &FeatureMatrix, views: &[ViewId]) -> f64 {
+    if views.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for (i, a) in views.iter().enumerate() {
+        for b in &views[i + 1..] {
+            let sim = feature_similarity(matrix.row(a.index()), matrix.row(b.index()));
+            total += (1.0 - sim) * (FEATURE_COUNT as f64).sqrt();
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three clusters of near-duplicate views with descending scores.
+    fn matrix_and_scores() -> (FeatureMatrix, Vec<f64>) {
+        let mut raws = Vec::new();
+        let mut scores = Vec::new();
+        for cluster in 0..3 {
+            for member in 0..3 {
+                let mut r = [0.0; FEATURE_COUNT];
+                // Jitter inside the hot column keeps cluster members close
+                // even after per-column min-max normalization.
+                r[cluster] = 1.0 - member as f64 * 0.01;
+                raws.push(r);
+                // Cluster 0 has the highest scores, then 1, then 2.
+                scores.push(1.0 - cluster as f64 * 0.2 - member as f64 * 0.01);
+            }
+        }
+        (FeatureMatrix::new(raws), scores)
+    }
+
+    #[test]
+    fn lambda_one_is_plain_ranking() {
+        let (m, scores) = matrix_and_scores();
+        let plain: Vec<usize> = viewseeker_stats::rank_descending(&scores)
+            .into_iter()
+            .take(3)
+            .collect();
+        let mmr: Vec<usize> = diverse_top_k(&m, &scores, 3, 1.0)
+            .unwrap()
+            .iter()
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(mmr, plain);
+    }
+
+    #[test]
+    fn diversification_spreads_across_clusters() {
+        let (m, scores) = matrix_and_scores();
+        // Plain top-3 is all of cluster 0.
+        let plain = diverse_top_k(&m, &scores, 3, 1.0).unwrap();
+        // λ = 0.5 should pick one view from each cluster instead.
+        let diverse = diverse_top_k(&m, &scores, 3, 0.5).unwrap();
+        let d_plain = mean_pairwise_distance(&m, &plain);
+        let d_diverse = mean_pairwise_distance(&m, &diverse);
+        assert!(
+            d_diverse > d_plain,
+            "diversified set should be more spread: {d_diverse} vs {d_plain}"
+        );
+        // Each pick comes from a distinct cluster (distinct hot feature).
+        let hot: std::collections::HashSet<usize> = diverse
+            .iter()
+            .map(|v| {
+                m.row(v.index())
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0
+            })
+            .collect();
+        assert_eq!(hot.len(), 3);
+    }
+
+    #[test]
+    fn first_pick_is_always_the_best_view() {
+        let (m, scores) = matrix_and_scores();
+        for lambda in [0.0, 0.3, 0.7, 1.0] {
+            let picks = diverse_top_k(&m, &scores, 1, lambda).unwrap();
+            assert_eq!(picks[0].index(), 0, "λ = {lambda}");
+        }
+    }
+
+    #[test]
+    fn k_larger_than_space_is_capped() {
+        let (m, scores) = matrix_and_scores();
+        let picks = diverse_top_k(&m, &scores, 100, 0.5).unwrap();
+        assert_eq!(picks.len(), 9);
+        // No duplicates.
+        let set: std::collections::HashSet<usize> =
+            picks.iter().map(|v| v.index()).collect();
+        assert_eq!(set.len(), 9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (m, scores) = matrix_and_scores();
+        assert!(diverse_top_k(&m, &scores, 3, 1.5).is_err());
+        assert!(diverse_top_k(&m, &scores[..2], 3, 0.5).is_err());
+    }
+
+    #[test]
+    fn similarity_properties() {
+        let a = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let b = [0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        assert!((feature_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        let sim = feature_similarity(&a, &b);
+        assert!((0.0..1.0).contains(&sim));
+        assert!((sim - feature_similarity(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_distance_degenerate_cases() {
+        let (m, _) = matrix_and_scores();
+        assert_eq!(mean_pairwise_distance(&m, &[]), 0.0);
+        assert_eq!(mean_pairwise_distance(&m, &[ViewId::new_unchecked(0)]), 0.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! The two learned models of the interactive phase.
+//!
+//! * [`ViewUtilityEstimator`] — a ridge linear regression predicting the
+//!   user's utility score for any view from its normalized features; its
+//!   predictions rank the view space for recommendation and prioritize
+//!   incremental refinement.
+//! * [`UncertaintyEstimator`] — a logistic regression over the same features
+//!   whose predicted class probability drives least-confidence uncertainty
+//!   sampling (most uncertain view = probability closest to 0.5).
+//!
+//! Both are retrained from scratch on every new label — with tens of labels
+//! over 8 features this takes microseconds and keeps the implementation
+//! simple and deterministic.
+
+use viewseeker_learn::{
+    LogisticConfig, LogisticRegression, RidgeConfig, RidgeRegression,
+};
+
+use crate::features::FeatureMatrix;
+use crate::view::ViewId;
+use crate::CoreError;
+
+/// A labeled training example: view id and the user's feedback in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Label {
+    /// The labeled view.
+    pub view: ViewId,
+    /// User feedback, 0 = not interesting … 1 = most interesting.
+    pub score: f64,
+}
+
+/// The view utility estimator (paper §3.2, a linear regression).
+#[derive(Debug, Clone)]
+pub struct ViewUtilityEstimator {
+    model: RidgeRegression,
+}
+
+impl ViewUtilityEstimator {
+    /// Creates an unfitted estimator with ridge penalty `lambda`.
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        Self {
+            model: RidgeRegression::new(RidgeConfig {
+                lambda,
+                fit_intercept: true,
+            }),
+        }
+    }
+
+    /// Refits on all labels collected so far.
+    ///
+    /// # Errors
+    ///
+    /// Propagates learning errors ([`CoreError::Learn`]); labels must be
+    /// non-empty.
+    pub fn refit(&mut self, matrix: &FeatureMatrix, labels: &[Label]) -> Result<(), CoreError> {
+        let x: Vec<Vec<f64>> = labels.iter().map(|l| matrix.row(l.view.index()).to_vec()).collect();
+        let y: Vec<f64> = labels.iter().map(|l| l.score).collect();
+        self.model.fit(&x, &y)?;
+        Ok(())
+    }
+
+    /// Predicted utility of every view in the matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Learn`] if the estimator has not been fitted.
+    pub fn predict_all(&self, matrix: &FeatureMatrix) -> Result<Vec<f64>, CoreError> {
+        Ok(self.model.predict_batch(matrix.rows())?)
+    }
+
+    /// The ids of the top-`k` views by predicted utility.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Learn`] if the estimator has not been fitted.
+    pub fn top_k(&self, matrix: &FeatureMatrix, k: usize) -> Result<Vec<ViewId>, CoreError> {
+        let scores = self.predict_all(matrix)?;
+        let order = viewseeker_stats::rank_descending(&scores);
+        Ok(order.into_iter().take(k).map(ViewId::new_unchecked).collect())
+    }
+
+    /// The learned feature weights (the discovered β vector of Eq. 4), if
+    /// fitted.
+    #[must_use]
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.model.weights()
+    }
+
+    /// Whether the estimator has been fitted at least once.
+    #[must_use]
+    pub fn is_fitted(&self) -> bool {
+        self.model.is_fitted()
+    }
+}
+
+/// The uncertainty estimator (paper §3.2, a logistic regression).
+#[derive(Debug, Clone)]
+pub struct UncertaintyEstimator {
+    model: LogisticRegression,
+    positive_threshold: f64,
+}
+
+impl UncertaintyEstimator {
+    /// Creates an unfitted estimator; labels ≥ `positive_threshold` count as
+    /// the positive class.
+    #[must_use]
+    pub fn new(lambda: f64, positive_threshold: f64) -> Self {
+        Self {
+            model: LogisticRegression::new(LogisticConfig {
+                lambda,
+                ..LogisticConfig::default()
+            }),
+            positive_threshold,
+        }
+    }
+
+    /// Refits on all labels collected so far.
+    ///
+    /// # Errors
+    ///
+    /// Propagates learning errors.
+    pub fn refit(&mut self, matrix: &FeatureMatrix, labels: &[Label]) -> Result<(), CoreError> {
+        let x: Vec<Vec<f64>> = labels.iter().map(|l| matrix.row(l.view.index()).to_vec()).collect();
+        let y: Vec<f64> = labels
+            .iter()
+            .map(|l| {
+                if l.score >= self.positive_threshold {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        self.model.fit(&x, &y)?;
+        Ok(())
+    }
+
+    /// Least-confidence uncertainty `1 − max(p, 1−p)` for one view —
+    /// maximal (0.5) when the class probability is exactly 0.5 (Eq. 6).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Learn`] if not fitted.
+    pub fn uncertainty(&self, matrix: &FeatureMatrix, view: ViewId) -> Result<f64, CoreError> {
+        let p = self.model.predict_proba(matrix.row(view.index()))?;
+        Ok(1.0 - p.max(1.0 - p))
+    }
+
+    /// Uncertainty of every view in the matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Learn`] if not fitted.
+    pub fn uncertainties(&self, matrix: &FeatureMatrix) -> Result<Vec<f64>, CoreError> {
+        let probs = self.model.predict_proba_batch(matrix.rows())?;
+        Ok(probs.into_iter().map(|p| 1.0 - p.max(1.0 - p)).collect())
+    }
+
+    /// Whether the estimator has been fitted at least once.
+    #[must_use]
+    pub fn is_fitted(&self) -> bool {
+        self.model.is_fitted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FEATURE_COUNT;
+
+    fn matrix() -> FeatureMatrix {
+        // 5 views; utility feature 0 carries the signal.
+        FeatureMatrix::new(vec![
+            [0.0, 0.3, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [0.25, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [0.5, 0.9, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [0.75, 0.2, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            [1.0, 0.6, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ])
+    }
+
+    fn labels(pairs: &[(usize, f64)]) -> Vec<Label> {
+        pairs
+            .iter()
+            .map(|(i, s)| Label {
+                view: ViewId::new_unchecked(*i),
+                score: *s,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn utility_estimator_learns_a_single_feature() {
+        let m = matrix();
+        let mut ve = ViewUtilityEstimator::new(1e-6);
+        assert!(!ve.is_fitted());
+        ve.refit(&m, &labels(&[(0, 0.0), (2, 0.5), (4, 1.0)])).unwrap();
+        assert!(ve.is_fitted());
+        let preds = ve.predict_all(&m).unwrap();
+        assert!((preds[1] - 0.25).abs() < 0.05);
+        assert!((preds[3] - 0.75).abs() < 0.05);
+        let top2 = ve.top_k(&m, 2).unwrap();
+        assert_eq!(
+            top2.iter().map(|v| v.index()).collect::<Vec<_>>(),
+            vec![4, 3]
+        );
+    }
+
+    #[test]
+    fn utility_estimator_weights_expose_beta() {
+        let m = matrix();
+        let mut ve = ViewUtilityEstimator::new(1e-6);
+        ve.refit(&m, &labels(&[(0, 0.0), (1, 0.25), (2, 0.5), (3, 0.75), (4, 1.0)]))
+            .unwrap();
+        let w = ve.weights().unwrap();
+        assert_eq!(w.len(), FEATURE_COUNT);
+        assert!(w[0] > 0.8, "the signal feature should dominate: {w:?}");
+    }
+
+    #[test]
+    fn unfitted_estimators_error() {
+        let m = matrix();
+        let ve = ViewUtilityEstimator::new(1e-4);
+        assert!(matches!(ve.predict_all(&m), Err(CoreError::Learn(_))));
+        let ue = UncertaintyEstimator::new(1e-3, 0.5);
+        assert!(ue.uncertainties(&m).is_err());
+    }
+
+    #[test]
+    fn uncertainty_peaks_between_classes() {
+        let m = matrix();
+        let mut ue = UncertaintyEstimator::new(1e-4, 0.5);
+        ue.refit(&m, &labels(&[(0, 0.0), (1, 0.0), (3, 1.0), (4, 1.0)]))
+            .unwrap();
+        let u = ue.uncertainties(&m).unwrap();
+        let mid = ue.uncertainty(&m, ViewId::new_unchecked(2)).unwrap();
+        assert_eq!(u[2], mid);
+        assert!(mid >= u[0] && mid >= u[4], "middle view most uncertain: {u:?}");
+        assert!(u.iter().all(|v| (0.0..=0.5 + 1e-12).contains(v)));
+    }
+
+    #[test]
+    fn positive_threshold_controls_binarization() {
+        let m = matrix();
+        let mut strict = UncertaintyEstimator::new(1e-4, 0.9);
+        // With a 0.9 threshold the 0.7 label is negative → all negatives.
+        strict
+            .refit(&m, &labels(&[(0, 0.1), (4, 0.7)]))
+            .unwrap();
+        let mut lenient = UncertaintyEstimator::new(1e-4, 0.5);
+        lenient
+            .refit(&m, &labels(&[(0, 0.1), (4, 0.7)]))
+            .unwrap();
+        let us = strict.uncertainties(&m).unwrap();
+        let ul = lenient.uncertainties(&m).unwrap();
+        assert_ne!(us, ul);
+    }
+}

@@ -1,0 +1,382 @@
+//! Offline phase, stage 2: utility features.
+//!
+//! "We noticed that each previously proposed utility function is essentially
+//! a combination of one or more 'utility components' (e.g., deviations,
+//! usability, accuracy). Thus, we incorporate these components as additional
+//! features of the views" (paper §3.1). The tool implements eight:
+//!
+//! | # | Feature  | Definition |
+//! |---|----------|------------|
+//! | 0 | KL       | KL divergence between target and reference distribution |
+//! | 1 | EMD      | Earth Mover's Distance between them |
+//! | 2 | L1       | L1 distance |
+//! | 3 | L2       | L2 distance |
+//! | 4 | MAX_DIFF | maximum deviation in any individual bin |
+//! | 5 | Usability| visual quality via relative bin width (MuVE) |
+//! | 6 | Accuracy | 1/(1+SSE) of the measure around its bin aggregate (MuVE) |
+//! | 7 | P-value  | 1 − p of a χ² test of the target against the reference |
+//!
+//! Each feature column is min-max normalized over the view space so learned
+//! weights are comparable (and so the simulated user's "fraction of the
+//! maximum" feedback is well-defined).
+
+use serde::{Deserialize, Serialize};
+use viewseeker_stats::{
+    chi_squared_gof, earth_movers_distance, kl_divergence, l1_distance, l2_distance,
+    max_deviation, min_max_normalize,
+};
+
+use crate::viewgen::ViewData;
+use crate::CoreError;
+
+/// Number of utility features (paper Table 1: 8).
+pub const FEATURE_COUNT: usize = 8;
+
+/// The eight utility components of §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UtilityFeature {
+    /// Kullback–Leibler divergence.
+    Kl,
+    /// Earth Mover's Distance.
+    Emd,
+    /// L1 distance.
+    L1,
+    /// L2 distance.
+    L2,
+    /// Maximum per-bin deviation.
+    MaxDiff,
+    /// Visual usability (relative bin width).
+    Usability,
+    /// Accuracy (within-bin SSE, inverted).
+    Accuracy,
+    /// Statistical extremeness (1 − χ² p-value).
+    PValue,
+}
+
+impl UtilityFeature {
+    /// All eight features, in column order.
+    #[must_use]
+    pub fn all() -> [UtilityFeature; FEATURE_COUNT] {
+        [
+            UtilityFeature::Kl,
+            UtilityFeature::Emd,
+            UtilityFeature::L1,
+            UtilityFeature::L2,
+            UtilityFeature::MaxDiff,
+            UtilityFeature::Usability,
+            UtilityFeature::Accuracy,
+            UtilityFeature::PValue,
+        ]
+    }
+
+    /// This feature's column index in the feature matrix.
+    #[must_use]
+    pub fn column(self) -> usize {
+        match self {
+            UtilityFeature::Kl => 0,
+            UtilityFeature::Emd => 1,
+            UtilityFeature::L1 => 2,
+            UtilityFeature::L2 => 3,
+            UtilityFeature::MaxDiff => 4,
+            UtilityFeature::Usability => 5,
+            UtilityFeature::Accuracy => 6,
+            UtilityFeature::PValue => 7,
+        }
+    }
+}
+
+impl std::fmt::Display for UtilityFeature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            UtilityFeature::Kl => "KL",
+            UtilityFeature::Emd => "EMD",
+            UtilityFeature::L1 => "L1",
+            UtilityFeature::L2 => "L2",
+            UtilityFeature::MaxDiff => "MAX_DIFF",
+            UtilityFeature::Usability => "Usability",
+            UtilityFeature::Accuracy => "Accuracy",
+            UtilityFeature::PValue => "p-value",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Computes the raw (unnormalized) 8-feature vector of one materialized
+/// view.
+///
+/// `usability_optimal_bins` is the bin count considered visually ideal; the
+/// usability score is `1/(1 + |log₂(bins / optimal)|)` — a hump peaking at
+/// the optimum, a monotone transform of MuVE's relative-bin-width quality.
+///
+/// # Errors
+///
+/// Propagates distance errors (never occur for a well-formed [`ViewData`],
+/// whose distributions share a bin count by construction).
+pub fn compute_features(
+    data: &ViewData,
+    usability_optimal_bins: f64,
+) -> Result<[f64; FEATURE_COUNT], CoreError> {
+    let t = &data.target;
+    let r = &data.reference;
+    let kl = kl_divergence(t, r)?;
+    let emd = earth_movers_distance(t, r)?;
+    let l1 = l1_distance(t, r)?;
+    let l2 = l2_distance(t, r)?;
+    let max_diff = max_deviation(t, r)?;
+
+    let usability = 1.0 / (1.0 + (data.bins as f64 / usability_optimal_bins).log2().abs());
+    let accuracy = 1.0 / (1.0 + data.dispersion);
+
+    // χ²: the reference view is the null hypothesis; the observed counts are
+    // the target's mass scaled to its row total. A view over an empty DQ (or
+    // a degenerate test) is maximally unsurprising: p = 1, feature = 0.
+    let p_value_feature = if data.target_rows == 0 {
+        0.0
+    } else {
+        let observed: Vec<f64> = t
+            .masses()
+            .iter()
+            .map(|m| m * data.target_rows as f64)
+            .collect();
+        match chi_squared_gof(&observed, &r.smoothed()) {
+            Ok(result) => 1.0 - result.p_value,
+            Err(_) => 0.0,
+        }
+    };
+
+    Ok([kl, emd, l1, l2, max_diff, usability, accuracy, p_value_feature])
+}
+
+/// The feature matrix of a view space: one raw 8-feature row per view, plus
+/// the min-max-normalized version used by the estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    raw: Vec<[f64; FEATURE_COUNT]>,
+    normalized: Vec<Vec<f64>>,
+}
+
+impl FeatureMatrix {
+    /// Builds the matrix from per-view raw feature vectors.
+    #[must_use]
+    pub fn new(raw: Vec<[f64; FEATURE_COUNT]>) -> Self {
+        let mut m = Self {
+            raw,
+            normalized: Vec::new(),
+        };
+        m.renormalize();
+        m
+    }
+
+    /// Builds the matrix by computing features of every materialized view.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`compute_features`] errors.
+    pub fn from_views(
+        views: &[ViewData],
+        usability_optimal_bins: f64,
+    ) -> Result<Self, CoreError> {
+        let raw = views
+            .iter()
+            .map(|v| compute_features(v, usability_optimal_bins))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::new(raw))
+    }
+
+    /// Number of views (rows).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether the matrix has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// The normalized feature row of view `i` (each entry in `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.normalized[i]
+    }
+
+    /// All normalized rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.normalized
+    }
+
+    /// The raw (unnormalized) feature row of view `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn raw_row(&self, i: usize) -> &[f64; FEATURE_COUNT] {
+        &self.raw[i]
+    }
+
+    /// One normalized feature column.
+    #[must_use]
+    pub fn column(&self, feature: UtilityFeature) -> Vec<f64> {
+        let c = feature.column();
+        self.normalized.iter().map(|r| r[c]).collect()
+    }
+
+    /// Replaces the raw features of view `i` (used by incremental
+    /// refinement) **without** renormalizing; call [`Self::renormalize`]
+    /// after a refinement batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownView`] for an out-of-range index.
+    pub fn update_raw(&mut self, i: usize, features: [f64; FEATURE_COUNT]) -> Result<(), CoreError> {
+        let slot = self.raw.get_mut(i).ok_or(CoreError::UnknownView(i))?;
+        *slot = features;
+        Ok(())
+    }
+
+    /// Recomputes the min-max normalization of every column from the current
+    /// raw values.
+    pub fn renormalize(&mut self) {
+        let n = self.raw.len();
+        let mut columns: Vec<Vec<f64>> = (0..FEATURE_COUNT)
+            .map(|c| self.raw.iter().map(|r| r[c]).collect())
+            .collect();
+        for col in &mut columns {
+            min_max_normalize(col);
+        }
+        self.normalized = (0..n)
+            .map(|i| (0..FEATURE_COUNT).map(|c| columns[c][i]).collect())
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewseeker_stats::Distribution;
+
+    fn view_data(target: &[f64], reference: &[f64], rows: u64, dispersion: f64) -> ViewData {
+        ViewData {
+            target: Distribution::from_aggregates(target).unwrap(),
+            reference: Distribution::from_aggregates(reference).unwrap(),
+            target_rows: rows,
+            dispersion,
+            bins: target.len(),
+        }
+    }
+
+    #[test]
+    fn identical_views_have_zero_deviation_features() {
+        let vd = view_data(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0], 100, 0.0);
+        let f = compute_features(&vd, 8.0).unwrap();
+        for c in [0usize, 1, 2, 3, 4] {
+            assert!(f[c].abs() < 1e-6, "deviation feature {c} should be ~0");
+        }
+        // Identical distributions are unsurprising under χ².
+        assert!(f[7] < 0.5);
+    }
+
+    #[test]
+    fn deviating_views_score_higher() {
+        let flat = view_data(&[1.0, 1.0, 1.0], &[1.0, 1.0, 1.0], 100, 0.0);
+        let skew = view_data(&[10.0, 1.0, 1.0], &[1.0, 1.0, 1.0], 100, 0.0);
+        let ff = compute_features(&flat, 8.0).unwrap();
+        let fs = compute_features(&skew, 8.0).unwrap();
+        for c in [0usize, 1, 2, 3, 4, 7] {
+            assert!(fs[c] > ff[c], "feature {c}: {} !> {}", fs[c], ff[c]);
+        }
+    }
+
+    #[test]
+    fn usability_peaks_at_optimal_bins() {
+        let at_opt = view_data(&[1.0; 8], &[1.0; 8], 10, 0.0);
+        let few = view_data(&[1.0; 2], &[1.0; 2], 10, 0.0);
+        let many = view_data(&[1.0; 32], &[1.0; 32], 10, 0.0);
+        let u_opt = compute_features(&at_opt, 8.0).unwrap()[5];
+        let u_few = compute_features(&few, 8.0).unwrap()[5];
+        let u_many = compute_features(&many, 8.0).unwrap()[5];
+        assert_eq!(u_opt, 1.0);
+        assert!(u_few < u_opt && u_many < u_opt);
+        // Symmetric in log-space: 2 bins (÷4) and 32 bins (×4) score equally.
+        assert!((u_few - u_many).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_decreases_with_dispersion() {
+        let tight = view_data(&[1.0, 1.0], &[1.0, 1.0], 10, 0.1);
+        let loose = view_data(&[1.0, 1.0], &[1.0, 1.0], 10, 10.0);
+        let a_tight = compute_features(&tight, 8.0).unwrap()[6];
+        let a_loose = compute_features(&loose, 8.0).unwrap()[6];
+        assert!(a_tight > a_loose);
+    }
+
+    #[test]
+    fn pvalue_feature_grows_with_sample_size() {
+        // The same relative deviation is more surprising with more rows.
+        let small = view_data(&[3.0, 1.0], &[1.0, 1.0], 20, 0.0);
+        let large = view_data(&[3.0, 1.0], &[1.0, 1.0], 2_000, 0.0);
+        let ps = compute_features(&small, 8.0).unwrap()[7];
+        let pl = compute_features(&large, 8.0).unwrap()[7];
+        assert!(pl > ps);
+        assert!(pl > 0.99);
+    }
+
+    #[test]
+    fn empty_target_zeroes_pvalue() {
+        let vd = view_data(&[0.0, 0.0], &[1.0, 2.0], 0, 0.0);
+        let f = compute_features(&vd, 8.0).unwrap();
+        assert_eq!(f[7], 0.0);
+    }
+
+    #[test]
+    fn matrix_normalizes_each_column_to_unit_range() {
+        let raws = vec![
+            [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+            [1.0, 3.0, 2.0, 9.0, 8.0, 5.0, 0.0, 7.0],
+            [2.0, 2.0, 2.0, 6.0, 0.0, 5.0, 3.0, 7.0],
+        ];
+        let m = FeatureMatrix::new(raws);
+        assert_eq!(m.len(), 3);
+        // Column 0 spans 0..2 → normalized 0, 0.5, 1.
+        assert_eq!(m.column(UtilityFeature::Kl), vec![0.0, 0.5, 1.0]);
+        // Constant columns normalize to zero.
+        assert_eq!(m.column(UtilityFeature::Usability), vec![0.0, 0.0, 0.0]);
+        assert_eq!(m.column(UtilityFeature::PValue), vec![0.0, 0.0, 0.0]);
+        // L1 column is constant at 2.
+        assert_eq!(m.column(UtilityFeature::L1), vec![0.0, 0.0, 0.0]);
+        for row in m.rows() {
+            assert!(row.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn update_raw_then_renormalize() {
+        let mut m = FeatureMatrix::new(vec![
+            [0.0; FEATURE_COUNT],
+            [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ]);
+        assert_eq!(m.row(1)[0], 1.0);
+        m.update_raw(0, [2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        // Normalization is stale until renormalize().
+        assert_eq!(m.row(1)[0], 1.0);
+        m.renormalize();
+        // Raw column 0 is now [2.0, 1.0] → normalized [1.0, 0.0].
+        assert_eq!(m.row(0)[0], 1.0);
+        assert_eq!(m.row(1)[0], 0.0);
+        assert!(m.update_raw(5, [0.0; FEATURE_COUNT]).is_err());
+    }
+
+    #[test]
+    fn feature_columns_are_consistent() {
+        for (i, f) in UtilityFeature::all().iter().enumerate() {
+            assert_eq!(f.column(), i);
+        }
+    }
+}

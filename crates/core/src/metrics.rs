@@ -1,0 +1,162 @@
+//! Recommendation quality metrics.
+//!
+//! * [`precision_at_k`] — the paper's Experiment 1/2 measure: the size of
+//!   the intersection between the recommended top-k and the ideal top-k,
+//!   divided by k.
+//! * [`utility_distance`] — Eq. 8, used by the optimization evaluation to
+//!   remove top-k tie non-determinism: the ideal utility mass the
+//!   recommendation *missed*, averaged over k. `UD = 0` iff the recommended
+//!   set is utility-equivalent to the ideal set, even if the identities of
+//!   tied boundary views differ.
+
+use crate::view::ViewId;
+
+/// `|Vᵖ ∩ V*| / k` where both slices hold top-k view ids.
+///
+/// `k` is taken from `ideal.len()`; duplicate ids inside a slice are counted
+/// once. Returns 0 for an empty ideal set.
+#[must_use]
+pub fn precision_at_k(recommended: &[ViewId], ideal: &[ViewId]) -> f64 {
+    if ideal.is_empty() {
+        return 0.0;
+    }
+    let hit = recommended
+        .iter()
+        .filter(|v| ideal.contains(v))
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    hit as f64 / ideal.len() as f64
+}
+
+/// Tie-aware precision@k: the fraction of the first `k` recommended views
+/// whose ideal score is at least the k-th largest ideal score (within a tiny
+/// tolerance).
+///
+/// Motivation (paper §5.2): "views directly after the kth view may have very
+/// close, or even identical, utility as the kth view. In such cases,
+/// changing the order among these close views should not affect the
+/// precision". With synthetic view spaces exact ties are common (e.g. COUNT
+/// views are identical across measures), so set-intersection precision can
+/// never reach 1 even for a perfectly learned utility function; this variant
+/// counts any view tied with the boundary as a hit.
+#[must_use]
+pub fn tie_aware_precision_at_k(ideal_scores: &[f64], recommended: &[ViewId], k: usize) -> f64 {
+    if k == 0 || ideal_scores.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = ideal_scores.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let kth = sorted[k.min(sorted.len()) - 1];
+    let hits = recommended
+        .iter()
+        .take(k)
+        .filter(|v| ideal_scores[v.index()] >= kth - 1e-9)
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Utility distance (Eq. 8):
+///
+/// ```text
+/// UD = ( Σ_{v ∈ V*} u*(v)  −  Σ_{v ∈ Vᵖ} u*(v) ) / k
+/// ```
+///
+/// `ideal_scores` is the full per-view score vector of `u*`; ids index into
+/// it. Non-negative whenever `ideal` really is the top-k under those scores;
+/// tiny negative round-off is clamped to zero.
+#[must_use]
+pub fn utility_distance(ideal_scores: &[f64], recommended: &[ViewId], ideal: &[ViewId]) -> f64 {
+    if ideal.is_empty() {
+        return 0.0;
+    }
+    let sum = |ids: &[ViewId]| -> f64 { ids.iter().map(|v| ideal_scores[v.index()]).sum() };
+    let ud = (sum(ideal) - sum(recommended)) / ideal.len() as f64;
+    if ud.abs() < 1e-12 {
+        0.0
+    } else {
+        ud
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<ViewId> {
+        v.iter().map(|i| ViewId::new_unchecked(*i)).collect()
+    }
+
+    #[test]
+    fn precision_basics() {
+        assert_eq!(precision_at_k(&ids(&[0, 1, 2]), &ids(&[0, 1, 2])), 1.0);
+        assert_eq!(precision_at_k(&ids(&[0, 1, 9]), &ids(&[0, 1, 2])), 2.0 / 3.0);
+        assert_eq!(precision_at_k(&ids(&[7, 8, 9]), &ids(&[0, 1, 2])), 0.0);
+        assert_eq!(precision_at_k(&ids(&[0]), &ids(&[])), 0.0);
+    }
+
+    #[test]
+    fn precision_is_order_insensitive() {
+        assert_eq!(precision_at_k(&ids(&[2, 0, 1]), &ids(&[0, 1, 2])), 1.0);
+    }
+
+    #[test]
+    fn precision_counts_duplicates_once() {
+        assert_eq!(precision_at_k(&ids(&[0, 0, 0]), &ids(&[0, 1, 2])), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn tie_aware_precision_counts_boundary_ties() {
+        // Scores: views 2 and 3 tie at the k=3 boundary.
+        let scores = vec![0.9, 0.8, 0.5, 0.5, 0.1];
+        // Recommending 3 instead of 2 is a full hit.
+        assert_eq!(
+            tie_aware_precision_at_k(&scores, &ids(&[0, 1, 3]), 3),
+            1.0
+        );
+        // Recommending view 4 (below the boundary) is a miss.
+        assert_eq!(
+            tie_aware_precision_at_k(&scores, &ids(&[0, 1, 4]), 3),
+            2.0 / 3.0
+        );
+        // Degenerate inputs.
+        assert_eq!(tie_aware_precision_at_k(&scores, &ids(&[0]), 0), 0.0);
+        assert_eq!(tie_aware_precision_at_k(&[], &ids(&[]), 3), 0.0);
+        // Only the first k recommendations count.
+        assert_eq!(
+            tie_aware_precision_at_k(&scores, &ids(&[0, 1, 2, 4]), 3),
+            1.0
+        );
+    }
+
+    #[test]
+    fn ud_zero_for_identical_sets() {
+        let scores = vec![0.9, 0.8, 0.7, 0.1];
+        assert_eq!(
+            utility_distance(&scores, &ids(&[0, 1, 2]), &ids(&[0, 1, 2])),
+            0.0
+        );
+    }
+
+    #[test]
+    fn ud_zero_for_utility_equivalent_ties() {
+        // Views 2 and 3 tie; swapping them keeps UD = 0 even though
+        // precision would drop — exactly the non-determinism Eq. 8 removes.
+        let scores = vec![0.9, 0.8, 0.5, 0.5];
+        let ud = utility_distance(&scores, &ids(&[0, 1, 3]), &ids(&[0, 1, 2]));
+        assert_eq!(ud, 0.0);
+        assert!(precision_at_k(&ids(&[0, 1, 3]), &ids(&[0, 1, 2])) < 1.0);
+    }
+
+    #[test]
+    fn ud_measures_missed_utility_mass() {
+        let scores = vec![1.0, 0.8, 0.6, 0.0];
+        // Recommending view 3 (score 0) instead of view 2 (0.6) over k = 3.
+        let ud = utility_distance(&scores, &ids(&[0, 1, 3]), &ids(&[0, 1, 2]));
+        assert!((ud - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ud_empty_ideal_is_zero() {
+        assert_eq!(utility_distance(&[1.0], &ids(&[0]), &ids(&[])), 0.0);
+    }
+}

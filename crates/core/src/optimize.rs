@@ -1,0 +1,197 @@
+//! Incremental feature refinement (paper §3.3).
+//!
+//! With the α-sampling optimization, the offline phase computes only "rough"
+//! utility features from an α% sample. "During the second phase, ViewSeeker
+//! will incrementally refine the utility score of each view with the entire
+//! set of data whenever there is spare computing power available between
+//! user labeling prompts ... ViewSeeker uses the current view utility
+//! estimator to rank the views, and the views ranked highly would have
+//! higher priority in computing the accurate utility features. Effectively,
+//! these optimizations allow ViewSeeker to reduce the unnecessary
+//! computation by pruning out the calculations for views that are less
+//! promising."
+//!
+//! [`IncrementalRefiner`] tracks which views still hold rough features and
+//! walks a caller-supplied priority order within a per-iteration budget —
+//! either a deterministic view count (tests, reproducible experiments) or a
+//! wall-clock allowance (the paper's `tl`).
+
+use std::time::Instant;
+
+use crate::config::RefineBudget;
+use crate::CoreError;
+
+/// Tracks refinement progress across the view space.
+#[derive(Debug, Clone)]
+pub struct IncrementalRefiner {
+    refined: Vec<bool>,
+    remaining: usize,
+}
+
+impl IncrementalRefiner {
+    /// A refiner over `n` views, all initially holding rough features.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            refined: vec![false; n],
+            remaining: n,
+        }
+    }
+
+    /// Number of views still holding rough (α-sampled) features.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.remaining
+    }
+
+    /// Whether every view has been refined with full data.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Whether view `i` has been refined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn is_refined(&self, i: usize) -> bool {
+        self.refined[i]
+    }
+
+    /// Refines views in `priority` order within `budget`, calling
+    /// `recompute(i)` for each view that still holds rough features.
+    /// Returns how many views were refined this round.
+    ///
+    /// Views appearing early in `priority` are the ones the current utility
+    /// estimator ranks highest; low-priority views may never be reached —
+    /// that is the pruning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first `recompute` error; the refiner stays consistent
+    /// (the failed view is still marked pending).
+    pub fn refine_batch<F>(
+        &mut self,
+        priority: &[usize],
+        budget: RefineBudget,
+        mut recompute: F,
+    ) -> Result<usize, CoreError>
+    where
+        F: FnMut(usize) -> Result<(), CoreError>,
+    {
+        if self.remaining == 0 {
+            return Ok(0);
+        }
+        let started = Instant::now();
+        let mut done = 0usize;
+        for &i in priority {
+            match budget {
+                RefineBudget::Views(max) if done >= max => break,
+                RefineBudget::Time(limit) if done > 0 && started.elapsed() >= limit => break,
+                _ => {}
+            }
+            if i >= self.refined.len() || self.refined[i] {
+                continue;
+            }
+            recompute(i)?;
+            self.refined[i] = true;
+            self.remaining -= 1;
+            done += 1;
+            if self.remaining == 0 {
+                break;
+            }
+        }
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn refines_in_priority_order_within_view_budget() {
+        let mut r = IncrementalRefiner::new(5);
+        let mut order = Vec::new();
+        let done = r
+            .refine_batch(&[3, 1, 4, 0, 2], RefineBudget::Views(2), |i| {
+                order.push(i);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(done, 2);
+        assert_eq!(order, vec![3, 1]);
+        assert_eq!(r.pending(), 3);
+        assert!(r.is_refined(3) && r.is_refined(1));
+        assert!(!r.is_refined(0));
+    }
+
+    #[test]
+    fn skips_already_refined_views() {
+        let mut r = IncrementalRefiner::new(3);
+        r.refine_batch(&[0], RefineBudget::Views(1), |_| Ok(())).unwrap();
+        let mut order = Vec::new();
+        r.refine_batch(&[0, 1, 2], RefineBudget::Views(10), |i| {
+            order.push(i);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(order, vec![1, 2]);
+        assert!(r.is_complete());
+    }
+
+    #[test]
+    fn complete_refiner_is_a_noop() {
+        let mut r = IncrementalRefiner::new(1);
+        r.refine_batch(&[0], RefineBudget::Views(5), |_| Ok(())).unwrap();
+        let done = r
+            .refine_batch(&[0], RefineBudget::Views(5), |_| {
+                panic!("should not recompute")
+            })
+            .unwrap();
+        assert_eq!(done, 0);
+    }
+
+    #[test]
+    fn time_budget_always_refines_at_least_one() {
+        let mut r = IncrementalRefiner::new(4);
+        // A zero time budget must still make progress — otherwise refinement
+        // could starve forever on a slow machine.
+        let done = r
+            .refine_batch(
+                &[0, 1, 2, 3],
+                RefineBudget::Time(Duration::ZERO),
+                |_| Ok(()),
+            )
+            .unwrap();
+        assert_eq!(done, 1);
+    }
+
+    #[test]
+    fn error_keeps_view_pending() {
+        let mut r = IncrementalRefiner::new(2);
+        let result = r.refine_batch(&[0, 1], RefineBudget::Views(2), |i| {
+            if i == 0 {
+                Err(CoreError::Invalid("boom".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(result.is_err());
+        assert!(!r.is_refined(0));
+        assert_eq!(r.pending(), 2);
+    }
+
+    #[test]
+    fn out_of_range_priorities_are_ignored() {
+        let mut r = IncrementalRefiner::new(2);
+        let done = r
+            .refine_batch(&[99, 1], RefineBudget::Views(5), |_| Ok(()))
+            .unwrap();
+        assert_eq!(done, 1);
+        assert!(r.is_refined(1));
+    }
+}

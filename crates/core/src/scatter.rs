@@ -1,0 +1,382 @@
+//! Scatter-plot views — the paper's future-work extension.
+//!
+//! "In the future, we plan to ... extend it to support more visualization
+//! types, such as scatter plot, line chart etc." (paper §7).
+//!
+//! A scatter view pairs two measure attributes `(x, y)`. The key design
+//! move that lets the *entire* existing pipeline apply is to represent a
+//! scatter view, like a bar-chart view, as a pair of probability
+//! distributions: the **2-D density histogram** of `(x, y)` over a `g × g`
+//! grid (cell edges derived from the full table, so `DQ` and `DR` share the
+//! grid), flattened row-major. The target/reference deviation features (KL,
+//! EMD, L1, L2, MAX_DIFF), the χ² p-value, and the usability hump then work
+//! unchanged through [`crate::features::compute_features`]; the accuracy
+//! component becomes the residual variance of the least-squares trend line
+//! through the `DQ` points — "how well does a fitted trend summarize this
+//! scatter".
+//!
+//! Interactive recommendation over scatter views runs through
+//! [`crate::session::FeedbackSession`].
+
+use viewseeker_dataset::{RowSet, Table};
+use viewseeker_stats::Distribution;
+
+use crate::features::FeatureMatrix;
+use crate::view::ViewId;
+use crate::viewgen::ViewData;
+use crate::CoreError;
+
+/// One scatter-plot view: a pair of measure attributes and a grid
+/// resolution.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScatterViewDef {
+    /// Measure on the x axis.
+    pub x: String,
+    /// Measure on the y axis.
+    pub y: String,
+    /// Cells per axis of the density grid (total bins = `grid²`).
+    pub grid: usize,
+}
+
+impl std::fmt::Display for ScatterViewDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SCATTER({} vs {}) [{g}x{g} grid]",
+            self.x,
+            self.y,
+            g = self.grid
+        )
+    }
+}
+
+/// The enumerated space of scatter views over a table: every unordered pair
+/// of distinct measure attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatterSpace {
+    views: Vec<ScatterViewDef>,
+}
+
+impl ScatterSpace {
+    /// Enumerates all measure pairs at the given grid resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] if the table has fewer than two
+    /// measures or `grid == 0`.
+    pub fn enumerate(table: &Table, grid: usize) -> Result<Self, CoreError> {
+        if grid == 0 {
+            return Err(CoreError::Invalid("grid must be positive".into()));
+        }
+        let measures = table.measure_names();
+        if measures.len() < 2 {
+            return Err(CoreError::Invalid(
+                "scatter views need at least two measures".into(),
+            ));
+        }
+        let mut views = Vec::new();
+        for i in 0..measures.len() {
+            for j in i + 1..measures.len() {
+                views.push(ScatterViewDef {
+                    x: measures[i].to_owned(),
+                    y: measures[j].to_owned(),
+                    grid,
+                });
+            }
+        }
+        Ok(Self { views })
+    }
+
+    /// Number of scatter views.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether the space is empty (never true once enumerated).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// The definition behind an id.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownView`] for an out-of-range id.
+    pub fn def(&self, id: ViewId) -> Result<&ScatterViewDef, CoreError> {
+        self.views
+            .get(id.index())
+            .ok_or(CoreError::UnknownView(id.index()))
+    }
+
+    /// All definitions in enumeration order.
+    #[must_use]
+    pub fn defs(&self) -> &[ScatterViewDef] {
+        &self.views
+    }
+}
+
+/// Materializes one scatter view: 2-D density histograms of `(x, y)` for
+/// `DQ` (target) and `DR` (reference) over a shared full-table grid, plus
+/// the trend-line residual variance of the target points.
+///
+/// # Errors
+///
+/// Propagates column-lookup errors; [`CoreError::Invalid`] for a degenerate
+/// (empty or constant) measure column.
+pub fn materialize_scatter(
+    table: &Table,
+    dq: &RowSet,
+    dr: &RowSet,
+    def: &ScatterViewDef,
+) -> Result<ViewData, CoreError> {
+    let xs = table.numeric_values(&def.x)?;
+    let ys = table.numeric_values(&def.y)?;
+    let x_range = range_of(xs)
+        .ok_or_else(|| CoreError::Invalid(format!("measure {} has no finite values", def.x)))?;
+    let y_range = range_of(ys)
+        .ok_or_else(|| CoreError::Invalid(format!("measure {} has no finite values", def.y)))?;
+
+    let target_counts = grid_counts(xs, ys, dq, def.grid, x_range, y_range);
+    let reference_counts = grid_counts(xs, ys, dr, def.grid, x_range, y_range);
+
+    Ok(ViewData {
+        target: Distribution::from_aggregates(&target_counts)?,
+        reference: Distribution::from_aggregates(&reference_counts)?,
+        target_rows: dq.len() as u64,
+        dispersion: trend_residual_variance(xs, ys, dq),
+        bins: def.grid * def.grid,
+    })
+}
+
+/// Materializes every scatter view and assembles the 8-feature matrix —
+/// the scatter counterpart of the offline initialization phase.
+///
+/// # Errors
+///
+/// Propagates materialization errors.
+pub fn scatter_feature_matrix(
+    table: &Table,
+    dq: &RowSet,
+    dr: &RowSet,
+    space: &ScatterSpace,
+    usability_optimal_bins: f64,
+) -> Result<FeatureMatrix, CoreError> {
+    let views = space
+        .defs()
+        .iter()
+        .map(|def| materialize_scatter(table, dq, dr, def))
+        .collect::<Result<Vec<_>, _>>()?;
+    FeatureMatrix::from_views(&views, usability_optimal_bins)
+}
+
+fn range_of(values: &[f64]) -> Option<(f64, f64)> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Row-major `g × g` cell counts of the selected rows.
+fn grid_counts(
+    xs: &[f64],
+    ys: &[f64],
+    rows: &RowSet,
+    grid: usize,
+    (x_lo, x_hi): (f64, f64),
+    (y_lo, y_hi): (f64, f64),
+) -> Vec<f64> {
+    let mut counts = vec![0.0; grid * grid];
+    let x_width = (x_hi - x_lo) / grid as f64;
+    let y_width = (y_hi - y_lo) / grid as f64;
+    let cell = |v: f64, lo: f64, width: f64| -> usize {
+        if width <= 0.0 || v.is_nan() {
+            0
+        } else {
+            (((v - lo) / width).floor() as i64).clamp(0, grid as i64 - 1) as usize
+        }
+    };
+    for &row in rows.ids() {
+        let row = row as usize;
+        let cx = cell(xs[row], x_lo, x_width);
+        let cy = cell(ys[row], y_lo, y_width);
+        counts[cy * grid + cx] += 1.0;
+    }
+    counts
+}
+
+/// Per-point residual variance of the least-squares line `y ≈ a·x + b`
+/// fitted to the selected rows; 0 for fewer than 2 points or a vertical
+/// spread.
+fn trend_residual_variance(xs: &[f64], ys: &[f64], rows: &RowSet) -> f64 {
+    let n = rows.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &row in rows.ids() {
+        let (x, y) = (xs[row as usize], ys[row as usize]);
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let denom = nf * sxx - sx * sx;
+    let (a, b) = if denom.abs() < 1e-12 {
+        (0.0, sy / nf)
+    } else {
+        let a = (nf * sxy - sx * sy) / denom;
+        (a, (sy - a * sx) / nf)
+    };
+    let sse: f64 = rows
+        .ids()
+        .iter()
+        .map(|&row| {
+            let (x, y) = (xs[row as usize], ys[row as usize]);
+            let r = y - (a * x + b);
+            r * r
+        })
+        .sum();
+    sse / nf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewseeker_dataset::generate::{generate_syn, SynConfig};
+    use viewseeker_dataset::{Column, Predicate, Schema, SelectQuery};
+
+    fn syn_table() -> Table {
+        generate_syn(&SynConfig::small(3_000, 13)).unwrap()
+    }
+
+    #[test]
+    fn enumerates_all_measure_pairs() {
+        let t = syn_table(); // 5 measures → C(5,2) = 10 pairs
+        let s = ScatterSpace::enumerate(&t, 6).unwrap();
+        assert_eq!(s.len(), 10);
+        assert!(s.defs().iter().all(|d| d.x < d.y));
+        assert!(ScatterSpace::enumerate(&t, 0).is_err());
+    }
+
+    #[test]
+    fn needs_two_measures() {
+        let schema = Schema::builder()
+            .categorical_dimension("c")
+            .measure("m")
+            .build()
+            .unwrap();
+        let t = Table::new(
+            schema,
+            vec![
+                Column::categorical_from_values(&["a"]),
+                Column::numeric(vec![1.0]),
+            ],
+        )
+        .unwrap();
+        assert!(ScatterSpace::enumerate(&t, 4).is_err());
+    }
+
+    #[test]
+    fn materialized_grids_are_valid_distributions() {
+        let t = syn_table();
+        let dq = SelectQuery::new(Predicate::range("d0", 0.0, 25.0))
+            .execute(&t)
+            .unwrap();
+        let space = ScatterSpace::enumerate(&t, 5).unwrap();
+        for (i, def) in space.defs().iter().enumerate() {
+            let vd = materialize_scatter(&t, &dq, &t.all_rows(), def).unwrap();
+            assert_eq!(vd.bins, 25, "view {i}");
+            assert_eq!(vd.target.len(), 25);
+            assert!((vd.target.masses().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(vd.dispersion >= 0.0);
+        }
+    }
+
+    #[test]
+    fn identical_selections_give_identical_distributions() {
+        let t = syn_table();
+        let def = ScatterViewDef {
+            x: "m0".into(),
+            y: "m1".into(),
+            grid: 4,
+        };
+        let vd = materialize_scatter(&t, &t.all_rows(), &t.all_rows(), &def).unwrap();
+        assert_eq!(vd.target, vd.reference);
+    }
+
+    #[test]
+    fn perfect_linear_trend_has_zero_residual() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let rows = RowSet::all(50);
+        assert!(trend_residual_variance(&xs, &ys, &rows) < 1e-9);
+    }
+
+    #[test]
+    fn noisy_trend_has_positive_residual() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + if i % 2 == 0 { 5.0 } else { -5.0 })
+            .collect();
+        let rows = RowSet::all(50);
+        assert!(trend_residual_variance(&xs, &ys, &rows) > 1.0);
+    }
+
+    #[test]
+    fn constant_x_falls_back_to_mean_fit() {
+        let xs = vec![1.0; 10];
+        let ys: Vec<f64> = (0..10).map(f64::from).collect();
+        let rows = RowSet::all(10);
+        let v = trend_residual_variance(&xs, &ys, &rows);
+        // Residuals around the mean of 0..9.
+        assert!((v - 8.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feature_matrix_covers_the_space() {
+        let t = syn_table();
+        let dq = SelectQuery::new(Predicate::range("d1", 50.0, 100.0))
+            .execute(&t)
+            .unwrap();
+        let space = ScatterSpace::enumerate(&t, 4).unwrap();
+        let m = scatter_feature_matrix(&t, &dq, &t.all_rows(), &space, 16.0).unwrap();
+        assert_eq!(m.len(), space.len());
+        for row in m.rows() {
+            assert!(row.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn empty_dq_is_handled() {
+        let t = syn_table();
+        let def = ScatterViewDef {
+            x: "m0".into(),
+            y: "m2".into(),
+            grid: 3,
+        };
+        let vd = materialize_scatter(&t, &RowSet::empty(), &t.all_rows(), &def).unwrap();
+        assert_eq!(vd.target_rows, 0);
+        assert_eq!(vd.dispersion, 0.0);
+    }
+
+    #[test]
+    fn unknown_measure_errors() {
+        let t = syn_table();
+        let def = ScatterViewDef {
+            x: "nope".into(),
+            y: "m1".into(),
+            grid: 3,
+        };
+        assert!(materialize_scatter(&t, &t.all_rows(), &t.all_rows(), &def).is_err());
+    }
+}

@@ -1,0 +1,479 @@
+//! The ViewSeeker session (Algorithm 1).
+//!
+//! ```text
+//! Require: the raw data set DR and a subset DQ specified by a query
+//! Ensure:  the view utility estimator VE
+//!  1: U  ← generateViews(DQ, DR)
+//!  2: L  ← obtain initial set of view labels          (cold start)
+//!  3: VE ← initialize view utility estimator using L
+//!  4: UE ← initialize uncertainty estimator using L
+//!  5: loop
+//!  6:   choose one x from U using UE                  (uncertainty sampling)
+//!  7:   solicit user's label on x
+//!  8:   L ← L ∪ {x};  U ← U − {x}
+//!  9:   VE ← refine VE using L;  UE ← refine UE using L
+//! 10:   T ← recommend top views using VE
+//! 11:   if the user is satisfied with T then break
+//! 12: end loop
+//! 13: return the most recent VE
+//! ```
+//!
+//! [`ViewSeeker`] binds the loop to bar-chart views over a table: it runs
+//! the offline initialization (view materialization + feature computation,
+//! on an α-sample when the §3.3 optimization is enabled), then delegates the
+//! interactive loop to a [`FeedbackSession`] while interleaving incremental
+//! feature refinement between labeling prompts. The caller (a UI or the
+//! simulated-user harness) alternates [`ViewSeeker::next_views`] and
+//! [`ViewSeeker::submit_feedback`], reading [`ViewSeeker::recommend`]
+//! whenever it wants the current top-k; the session never terminates itself
+//! (stopping is the user's decision, line 11).
+
+use std::time::{Duration, Instant};
+
+use viewseeker_dataset::sample::bernoulli_sample;
+use viewseeker_dataset::{RowSet, SelectQuery, Table};
+
+use crate::config::ViewSeekerConfig;
+use crate::estimator::Label;
+use crate::features::{compute_features, FeatureMatrix};
+use crate::optimize::IncrementalRefiner;
+use crate::session::FeedbackSession;
+use crate::view::{ViewId, ViewSpace};
+use crate::viewgen::{materialize_all_shared, materialize_view};
+use crate::CoreError;
+
+/// Which stage of the interactive phase the session is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeekerPhase {
+    /// Collecting the first positive and negative labels by probing each
+    /// utility feature's top view (then random fallback).
+    ColdStart,
+    /// Uncertainty-sampling-driven refinement of both estimators.
+    Active,
+}
+
+/// An interactive view-recommendation session over one table and query.
+#[derive(Debug)]
+pub struct ViewSeeker<'a> {
+    table: &'a Table,
+    dq: RowSet,
+    dr: RowSet,
+    config: ViewSeekerConfig,
+    space: ViewSpace,
+    /// Working copy of the matrix that refinement mutates; the session holds
+    /// its own copy and is refreshed through `update_matrix`.
+    matrix: FeatureMatrix,
+    session: FeedbackSession,
+    refiner: Option<IncrementalRefiner>,
+    refinement_time: Duration,
+}
+
+impl<'a> ViewSeeker<'a> {
+    /// Runs the offline initialization phase: executes the query to obtain
+    /// `DQ`, enumerates the view space, materializes every view (with the
+    /// shared-scan optimization), and computes the feature matrix — on an
+    /// α% sample when the optimization is enabled (`config.alpha < 1`).
+    ///
+    /// # Errors
+    ///
+    /// Configuration validation errors, query errors, and materialization
+    /// errors.
+    pub fn new(
+        table: &'a Table,
+        query: &SelectQuery,
+        config: ViewSeekerConfig,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        let dq = query.execute(table)?;
+        let dr = table.all_rows();
+        let space =
+            ViewSpace::enumerate_excluding(table, &config.bin_configs, &config.excluded_dimensions)?;
+
+        let (init_dq, init_dr) = if config.alpha < 1.0 {
+            (
+                bernoulli_sample(&dq, config.alpha, config.seed),
+                bernoulli_sample(&dr, config.alpha, config.seed.wrapping_add(1)),
+            )
+        } else {
+            (dq.clone(), dr.clone())
+        };
+
+        let views =
+            materialize_all_shared(table, &init_dq, &init_dr, &space, config.init_threads)?;
+        let matrix = FeatureMatrix::from_views(&views, config.usability_optimal_bins)?;
+        let refiner = (config.alpha < 1.0).then(|| IncrementalRefiner::new(space.len()));
+        let session = FeedbackSession::new(matrix.clone(), config.clone())?;
+
+        Ok(Self {
+            table,
+            dq,
+            dr,
+            config,
+            space,
+            matrix,
+            session,
+            refiner,
+            refinement_time: Duration::ZERO,
+        })
+    }
+
+    /// The current phase of the session.
+    #[must_use]
+    pub fn phase(&self) -> SeekerPhase {
+        self.session.phase()
+    }
+
+    /// The enumerated view space.
+    #[must_use]
+    pub fn view_space(&self) -> &ViewSpace {
+        &self.space
+    }
+
+    /// The current feature matrix (rough values may still be present while
+    /// refinement is incomplete).
+    #[must_use]
+    pub fn feature_matrix(&self) -> &FeatureMatrix {
+        self.session.feature_matrix()
+    }
+
+    /// All labels collected so far, in submission order.
+    #[must_use]
+    pub fn labels(&self) -> &[Label] {
+        self.session.labels()
+    }
+
+    /// Number of views labeled so far (the "user effort" measure of
+    /// Experiment 1).
+    #[must_use]
+    pub fn label_count(&self) -> usize {
+        self.session.label_count()
+    }
+
+    /// Number of views still holding rough (α-sampled) features; 0 when the
+    /// optimization is disabled or refinement has finished.
+    #[must_use]
+    pub fn pending_refinements(&self) -> usize {
+        self.refiner.as_ref().map_or(0, IncrementalRefiner::pending)
+    }
+
+    /// The rows selected by the session's query (`DQ`).
+    #[must_use]
+    pub fn dq(&self) -> &RowSet {
+        &self.dq
+    }
+
+    /// Total wall-clock spent in incremental refinement so far.
+    ///
+    /// Refinement runs between labeling prompts — work the paper hides
+    /// inside user think-time ("makes the delays transparent to the user",
+    /// §3.3). Harnesses measuring user-perceived system latency subtract
+    /// this from the session's total wall-clock.
+    #[must_use]
+    pub fn refinement_time(&self) -> Duration {
+        self.refinement_time
+    }
+
+    /// Selects the next `m` views to present to the user for labeling
+    /// (Algorithm 1, line 6). Runs the incremental-refinement budget first —
+    /// the work the paper hides inside user think-time.
+    ///
+    /// Returns an empty vector once every view has been labeled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator errors.
+    pub fn next_views(&mut self, m: usize) -> Result<Vec<ViewId>, CoreError> {
+        self.run_refinement()?;
+        self.session.next_items(m)
+    }
+
+    /// Records the user's feedback on a view and refines both estimators
+    /// (Algorithm 1, lines 7–11).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidLabel`] for a score outside `[0, 1]`;
+    /// * [`CoreError::UnknownView`] / [`CoreError::AlreadyLabeled`];
+    /// * estimator-fitting errors.
+    pub fn submit_feedback(&mut self, view: ViewId, score: f64) -> Result<(), CoreError> {
+        self.session.submit_feedback(view, score)
+    }
+
+    /// The current top-`k` recommendation by the view utility estimator
+    /// (Algorithm 1, line 12 / the set `T`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Learn`] until at least one label has been submitted.
+    pub fn recommend(&self, k: usize) -> Result<Vec<ViewId>, CoreError> {
+        self.session.recommend(k)
+    }
+
+    /// The view utility estimator's predicted score for every view.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Learn`] until at least one label has been submitted.
+    pub fn predicted_scores(&self) -> Result<Vec<f64>, CoreError> {
+        self.session.predicted_scores()
+    }
+
+    /// A diversified top-`k` recommendation (DiVE-style MMR, see
+    /// [`crate::diversity`]): avoids returning five aggregate variants of
+    /// the same underlying deviation.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FeedbackSession::recommend_diverse`].
+    pub fn recommend_diverse(&self, k: usize, lambda: f64) -> Result<Vec<ViewId>, CoreError> {
+        self.session.recommend_diverse(k, lambda)
+    }
+
+    /// The learned feature weights (the discovered β of Eq. 4), once fitted.
+    #[must_use]
+    pub fn learned_weights(&self) -> Option<&[f64]> {
+        self.session.learned_weights()
+    }
+
+    /// Runs one incremental-refinement budget (paper §3.3): recomputes the
+    /// full-data features of the highest-priority still-rough views, then
+    /// renormalizes the matrix and pushes it into the session (which refits
+    /// the estimators).
+    fn run_refinement(&mut self) -> Result<(), CoreError> {
+        let Some(refiner) = &mut self.refiner else {
+            return Ok(());
+        };
+        if refiner.is_complete() {
+            return Ok(());
+        }
+        let started = Instant::now();
+        // Priority: the current utility estimator's ranking, else view order
+        // before any labels exist.
+        let priority: Vec<usize> = if self.session.label_count() > 0 {
+            let scores = self.session.predicted_scores()?;
+            viewseeker_stats::rank_descending(&scores)
+        } else {
+            (0..self.space.len()).collect()
+        };
+
+        let table = self.table;
+        let dq = &self.dq;
+        let dr = &self.dr;
+        let space = &self.space;
+        let matrix = &mut self.matrix;
+        let opt_bins = self.config.usability_optimal_bins;
+        let refined = refiner.refine_batch(&priority, self.config.refine_budget, |i| {
+            let def = space.def(ViewId::new_unchecked(i))?;
+            let data = materialize_view(table, dq, dr, def)?;
+            matrix.update_raw(i, compute_features(&data, opt_bins)?)
+        })?;
+
+        if refined > 0 {
+            self.matrix.renormalize();
+            self.session.update_matrix(self.matrix.clone())?;
+        }
+        self.refinement_time += started.elapsed();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composite::CompositeUtility;
+    use crate::config::RefineBudget;
+    use crate::features::UtilityFeature;
+    use crate::metrics::precision_at_k;
+    use std::collections::HashSet;
+    use viewseeker_dataset::generate::{generate_diab, DiabConfig};
+    use viewseeker_dataset::Predicate;
+
+    fn testbed() -> (viewseeker_dataset::Table, SelectQuery) {
+        let table = generate_diab(&DiabConfig::small(3_000, 11)).unwrap();
+        let query = SelectQuery::new(Predicate::eq("a0", "a0_v0"));
+        (table, query)
+    }
+
+    /// Drives a session against a simulated user until 100% precision at
+    /// `k` is reached or `max_labels` are spent; returns labels used.
+    fn drive(
+        seeker: &mut ViewSeeker<'_>,
+        ideal: &CompositeUtility,
+        k: usize,
+        max_labels: usize,
+    ) -> usize {
+        let ideal_scores = ideal.normalized_scores(seeker.feature_matrix()).unwrap();
+        let ideal_top = ideal.top_k(seeker.feature_matrix(), k).unwrap();
+        for used in 1..=max_labels {
+            let picks = seeker.next_views(1).unwrap();
+            let Some(v) = picks.first().copied() else {
+                return used - 1;
+            };
+            seeker.submit_feedback(v, ideal_scores[v.index()]).unwrap();
+            let rec = seeker.recommend(k).unwrap();
+            if precision_at_k(&rec, &ideal_top) >= 1.0 {
+                return used;
+            }
+        }
+        max_labels
+    }
+
+    #[test]
+    fn session_starts_in_cold_start_and_transitions() {
+        let (table, query) = testbed();
+        let mut s = ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
+        assert_eq!(s.phase(), SeekerPhase::ColdStart);
+        assert_eq!(s.label_count(), 0);
+
+        // Label one clearly-positive and one clearly-negative view.
+        let v1 = s.next_views(1).unwrap()[0];
+        s.submit_feedback(v1, 0.9).unwrap();
+        assert_eq!(s.phase(), SeekerPhase::ColdStart);
+        let v2 = s.next_views(1).unwrap()[0];
+        s.submit_feedback(v2, 0.1).unwrap();
+        assert_eq!(s.phase(), SeekerPhase::Active);
+        assert_eq!(s.label_count(), 2);
+    }
+
+    #[test]
+    fn learns_a_single_component_ideal_quickly() {
+        let (table, query) = testbed();
+        let mut s = ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
+        let ideal = CompositeUtility::single(UtilityFeature::Emd);
+        let used = drive(&mut s, &ideal, 5, 60);
+        assert!(used < 60, "did not converge within 60 labels");
+        let ideal_top = ideal.top_k(s.feature_matrix(), 5).unwrap();
+        assert_eq!(precision_at_k(&s.recommend(5).unwrap(), &ideal_top), 1.0);
+    }
+
+    #[test]
+    fn learns_a_composite_ideal() {
+        let (table, query) = testbed();
+        let mut s = ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
+        let ideal = CompositeUtility::new(&[
+            (UtilityFeature::Emd, 0.5),
+            (UtilityFeature::Kl, 0.5),
+        ])
+        .unwrap();
+        let used = drive(&mut s, &ideal, 10, 120);
+        assert!(used < 120, "composite ideal did not converge");
+    }
+
+    #[test]
+    fn feedback_validation() {
+        let (table, query) = testbed();
+        let mut s = ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
+        let v = s.next_views(1).unwrap()[0];
+        assert!(matches!(
+            s.submit_feedback(v, 1.5),
+            Err(CoreError::InvalidLabel(_))
+        ));
+        assert!(matches!(
+            s.submit_feedback(v, f64::NAN),
+            Err(CoreError::InvalidLabel(_))
+        ));
+        s.submit_feedback(v, 0.5).unwrap();
+        assert!(matches!(
+            s.submit_feedback(v, 0.5),
+            Err(CoreError::AlreadyLabeled(_))
+        ));
+        let bogus = ViewId::new_unchecked(999_999);
+        assert!(matches!(
+            s.submit_feedback(bogus, 0.5),
+            Err(CoreError::UnknownView(_))
+        ));
+    }
+
+    #[test]
+    fn recommend_before_any_label_errors() {
+        let (table, query) = testbed();
+        let s = ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
+        assert!(matches!(s.recommend(5), Err(CoreError::Learn(_))));
+        assert!(s.learned_weights().is_none());
+    }
+
+    #[test]
+    fn exhausting_the_view_space_returns_empty() {
+        let table = generate_diab(&DiabConfig {
+            rows: 300,
+            dimension_cardinalities: vec![2],
+            measures: 1,
+            ..DiabConfig::default()
+        })
+        .unwrap();
+        let query = SelectQuery::new(Predicate::eq("a0", "a0_v0"));
+        let mut s = ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
+        assert_eq!(s.view_space().len(), 5); // 1 dim × 1 measure × 5 aggs
+        for i in 0..5 {
+            let v = s.next_views(1).unwrap()[0];
+            s.submit_feedback(v, if i % 2 == 0 { 0.9 } else { 0.1 }).unwrap();
+        }
+        assert!(s.next_views(1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn alpha_sampling_initializes_rough_then_refines() {
+        let (table, query) = testbed();
+        let cfg = ViewSeekerConfig {
+            alpha: 0.2,
+            refine_budget: RefineBudget::Views(50),
+            ..ViewSeekerConfig::default()
+        };
+        let mut s = ViewSeeker::new(&table, &query, cfg).unwrap();
+        let total = s.view_space().len();
+        assert_eq!(s.pending_refinements(), total);
+        // Each next_views() call consumes one refinement budget.
+        let _ = s.next_views(1).unwrap();
+        assert_eq!(s.pending_refinements(), total - 50);
+        for _ in 0..(total / 50) + 1 {
+            let _ = s.next_views(1).unwrap();
+        }
+        assert_eq!(s.pending_refinements(), 0);
+        assert!(s.refinement_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn optimized_session_still_converges() {
+        let (table, query) = testbed();
+        let cfg = ViewSeekerConfig {
+            alpha: 0.3,
+            refine_budget: RefineBudget::Views(30),
+            ..ViewSeekerConfig::default()
+        };
+        let mut s = ViewSeeker::new(&table, &query, cfg).unwrap();
+        let ideal = CompositeUtility::single(UtilityFeature::L2);
+        // Note: ideal is evaluated on the *final* (refined) features, so
+        // convergence implies refinement worked end-to-end.
+        let used = drive(&mut s, &ideal, 5, 150);
+        assert!(used < 150, "optimized session did not converge");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (table, query) = testbed();
+        let run = || {
+            let mut s = ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
+            let ideal = CompositeUtility::single(UtilityFeature::Kl);
+            let scores = ideal.normalized_scores(s.feature_matrix()).unwrap();
+            let mut trace = Vec::new();
+            for _ in 0..10 {
+                let v = s.next_views(1).unwrap()[0];
+                trace.push(v.index());
+                s.submit_feedback(v, scores[v.index()]).unwrap();
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn m_views_per_iteration() {
+        let (table, query) = testbed();
+        let mut s = ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
+        let picks = s.next_views(3).unwrap();
+        assert_eq!(picks.len(), 3);
+        // Distinct views.
+        let set: HashSet<usize> = picks.iter().map(|v| v.index()).collect();
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,310 @@
+//! View definitions and view-space enumeration.
+//!
+//! A view is a triple `(a, m, f)` — dimension attribute, measure attribute,
+//! aggregate function — optionally extended with a bin count for numeric
+//! dimensions (the SYN testbed enumerates every view under both a 3-bin and
+//! a 4-bin configuration, Table 1). The view space is the cross product
+//! (Eq. 1); each member gets a stable [`ViewId`] used everywhere else in the
+//! system.
+
+use serde::{Deserialize, Serialize};
+use viewseeker_dataset::{AggregateFunction, AttributeRole, Table};
+
+use crate::CoreError;
+
+/// Stable identifier of a view within one [`ViewSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ViewId(usize);
+
+impl ViewId {
+    /// Crate-internal constructor: indices produced by the feature matrix /
+    /// rankers are valid by construction. Public code goes through
+    /// [`ViewSpace::id`], which bounds-checks.
+    pub(crate) fn new_unchecked(index: usize) -> Self {
+        ViewId(index)
+    }
+
+    /// Wraps a raw matrix index without validating it against a view space.
+    ///
+    /// Use [`ViewSpace::id`] when a view space is at hand; this constructor
+    /// exists for harness code that works with ranking indices derived from
+    /// a [`crate::FeatureMatrix`] (which are valid by construction). Methods
+    /// taking a `ViewId` report [`crate::CoreError::UnknownView`] if an
+    /// out-of-range id reaches them.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        ViewId(index)
+    }
+
+    /// The view's index into the enumeration order of its view space.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The logical definition of one candidate view.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ViewDef {
+    /// Dimension attribute `a` (grouped by).
+    pub dimension: String,
+    /// Measure attribute `m` (aggregated).
+    pub measure: String,
+    /// Aggregate function `f`.
+    pub aggregate: AggregateFunction,
+    /// Bin count for a numeric dimension; `None` for a categorical
+    /// dimension's natural bins.
+    pub bins: Option<usize>,
+}
+
+impl ViewDef {
+    /// Renders the view as the SQL queries it stands for (paper §2.1: "a
+    /// view vᵢ essentially represents an SQL query with a group-by clause").
+    /// `where_clause` is the user query's WHERE text, present for the target
+    /// view and absent for the reference view.
+    #[must_use]
+    pub fn to_sql(&self, table_name: &str, where_clause: Option<&str>) -> String {
+        let group = match self.bins {
+            Some(b) => format!("BIN({}, {b})", self.dimension),
+            None => self.dimension.clone(),
+        };
+        let mut sql = format!(
+            "SELECT {group}, {}({}) FROM {table_name}",
+            self.aggregate, self.measure
+        );
+        if let Some(w) = where_clause {
+            sql.push_str(" WHERE ");
+            sql.push_str(w);
+        }
+        sql.push_str(&format!(" GROUP BY {group}"));
+        sql
+    }
+}
+
+impl std::fmt::Display for ViewDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({}) BY {}", self.aggregate, self.measure, self.dimension)?;
+        if let Some(b) = self.bins {
+            write!(f, " [{b} bins]")?;
+        }
+        Ok(())
+    }
+}
+
+/// The enumerated space of all candidate views over a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewSpace {
+    views: Vec<ViewDef>,
+}
+
+impl ViewSpace {
+    /// Enumerates all views of `table`: every (dimension, measure,
+    /// aggregate) triple, with numeric dimensions expanded once per entry of
+    /// `bin_configs` and categorical dimensions using their natural bins.
+    ///
+    /// For the paper's testbeds this yields exactly 280 views on DIAB
+    /// (7 × 8 × 5, categorical dims) and 250 on SYN (5 × 5 × 5 × 2 bin
+    /// configs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] if the table has no dimensions or no
+    /// measures, or if `bin_configs` is empty/contains zero while numeric
+    /// dimensions exist.
+    pub fn enumerate(table: &Table, bin_configs: &[usize]) -> Result<Self, CoreError> {
+        Self::enumerate_excluding(table, bin_configs, &[])
+    }
+
+    /// Like [`ViewSpace::enumerate`], but omits the named dimension
+    /// attributes. SeeDB-style recommenders exclude attributes already
+    /// constrained by the user's query — grouping by an attribute the query
+    /// fixes to one value yields a point-mass target view whose deviation is
+    /// trivially maximal and carries no insight.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ViewSpace::enumerate`]; also fails if the exclusions leave
+    /// no dimensions.
+    pub fn enumerate_excluding(
+        table: &Table,
+        bin_configs: &[usize],
+        excluded_dimensions: &[String],
+    ) -> Result<Self, CoreError> {
+        let dims: Vec<(&str, bool)> = table
+            .schema()
+            .columns()
+            .iter()
+            .filter(|c| c.role == AttributeRole::Dimension)
+            .filter(|c| !excluded_dimensions.contains(&c.name))
+            .map(|c| {
+                let is_cat = table
+                    .column_by_name(&c.name)
+                    .map(|col| col.is_categorical())
+                    .unwrap_or(false);
+                (c.name.as_str(), is_cat)
+            })
+            .collect();
+        let measures = table.measure_names();
+        if dims.is_empty() || measures.is_empty() {
+            return Err(CoreError::Invalid(
+                "view enumeration needs at least one dimension and one measure".into(),
+            ));
+        }
+        let has_numeric_dim = dims.iter().any(|(_, is_cat)| !is_cat);
+        if has_numeric_dim && (bin_configs.is_empty() || bin_configs.contains(&0)) {
+            return Err(CoreError::Invalid(
+                "numeric dimensions need non-empty, positive bin_configs".into(),
+            ));
+        }
+
+        let mut views = Vec::new();
+        for (dim, is_cat) in &dims {
+            let bin_options: Vec<Option<usize>> = if *is_cat {
+                vec![None]
+            } else {
+                bin_configs.iter().map(|b| Some(*b)).collect()
+            };
+            for bins in &bin_options {
+                for measure in &measures {
+                    for aggregate in AggregateFunction::all() {
+                        views.push(ViewDef {
+                            dimension: (*dim).to_owned(),
+                            measure: (*measure).to_owned(),
+                            aggregate,
+                            bins: *bins,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Self { views })
+    }
+
+    /// Number of views.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether the space is empty (never true for an enumerated space).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// The definition behind a [`ViewId`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownView`] for an out-of-range id.
+    pub fn def(&self, id: ViewId) -> Result<&ViewDef, CoreError> {
+        self.views.get(id.0).ok_or(CoreError::UnknownView(id.0))
+    }
+
+    /// All view ids in enumeration order.
+    pub fn ids(&self) -> impl Iterator<Item = ViewId> + '_ {
+        (0..self.views.len()).map(ViewId)
+    }
+
+    /// All view definitions in enumeration order.
+    #[must_use]
+    pub fn defs(&self) -> &[ViewDef] {
+        &self.views
+    }
+
+    /// Wraps a raw index into a [`ViewId`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownView`] for an out-of-range index.
+    pub fn id(&self, index: usize) -> Result<ViewId, CoreError> {
+        if index < self.views.len() {
+            Ok(ViewId(index))
+        } else {
+            Err(CoreError::UnknownView(index))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewseeker_dataset::generate::{generate_diab, generate_syn, DiabConfig, SynConfig};
+
+    #[test]
+    fn diab_space_is_280_views() {
+        let t = generate_diab(&DiabConfig::small(200, 1)).unwrap();
+        let vs = ViewSpace::enumerate(&t, &[3, 4]).unwrap();
+        assert_eq!(vs.len(), 280, "7 dims × 8 measures × 5 aggregates");
+        // Categorical dims never expand per bin config.
+        assert!(vs.defs().iter().all(|v| v.bins.is_none()));
+    }
+
+    #[test]
+    fn syn_space_is_250_views() {
+        let t = generate_syn(&SynConfig::small(200, 1)).unwrap();
+        let vs = ViewSpace::enumerate(&t, &[3, 4]).unwrap();
+        assert_eq!(vs.len(), 250, "5 dims × 5 measures × 5 aggregates × 2 bins");
+        assert!(vs.defs().iter().all(|v| v.bins.is_some()));
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        let t = generate_diab(&DiabConfig::small(100, 2)).unwrap();
+        let vs = ViewSpace::enumerate(&t, &[3]).unwrap();
+        for id in vs.ids() {
+            assert_eq!(vs.id(id.index()).unwrap(), id);
+            assert!(vs.def(id).is_ok());
+        }
+        assert!(matches!(
+            vs.id(vs.len()),
+            Err(CoreError::UnknownView(_))
+        ));
+        assert!(vs.def(ViewId(99_999)).is_err());
+    }
+
+    #[test]
+    fn empty_bin_configs_only_matter_for_numeric_dims() {
+        let diab = generate_diab(&DiabConfig::small(100, 3)).unwrap();
+        assert!(ViewSpace::enumerate(&diab, &[]).is_ok());
+        let syn = generate_syn(&SynConfig::small(100, 3)).unwrap();
+        assert!(ViewSpace::enumerate(&syn, &[]).is_err());
+        assert!(ViewSpace::enumerate(&syn, &[0]).is_err());
+    }
+
+    #[test]
+    fn to_sql_renders_target_and_reference_queries() {
+        let def = ViewDef {
+            dimension: "a0".into(),
+            measure: "m0".into(),
+            aggregate: AggregateFunction::Avg,
+            bins: None,
+        };
+        assert_eq!(
+            def.to_sql("diab", Some("a1 = 'x'")),
+            "SELECT a0, AVG(m0) FROM diab WHERE a1 = 'x' GROUP BY a0"
+        );
+        assert_eq!(
+            def.to_sql("diab", None),
+            "SELECT a0, AVG(m0) FROM diab GROUP BY a0"
+        );
+        let binned = ViewDef {
+            dimension: "d0".into(),
+            measure: "m1".into(),
+            aggregate: AggregateFunction::Count,
+            bins: Some(4),
+        };
+        assert!(binned.to_sql("syn", None).contains("BIN(d0, 4)"));
+    }
+
+    #[test]
+    fn display_is_sqlish() {
+        let def = ViewDef {
+            dimension: "region".into(),
+            measure: "sales".into(),
+            aggregate: AggregateFunction::Avg,
+            bins: Some(4),
+        };
+        assert_eq!(def.to_string(), "AVG(sales) BY region [4 bins]");
+    }
+}

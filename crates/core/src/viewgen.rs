@@ -1,0 +1,360 @@
+//! Offline phase, stage 1: view materialization.
+//!
+//! For each view `vᵢ` ViewSeeker generates two aggregate results — the
+//! *target view* `vᵢᵀ` over the query subset `DQ` and the *reference view*
+//! `vᵢᴿ` over the whole database `DR` — and normalizes both into probability
+//! distributions (Eq. 5). The two share one [`BinSpec`] derived from the
+//! full table, so bin `j` means the same thing in both distributions.
+//!
+//! The within-bin dispersion of the target view (the MuVE-style accuracy
+//! quantity) is computed in the same pass.
+
+use std::collections::HashMap;
+
+use viewseeker_dataset::aggregate::{group_by_aggregate, group_by_all, within_bin_dispersion};
+use viewseeker_dataset::{BinSpec, RowSet, Table};
+use viewseeker_stats::Distribution;
+
+use crate::view::{ViewDef, ViewSpace};
+use crate::CoreError;
+
+/// The materialized numeric content of one view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewData {
+    /// Normalized distribution of the target view (over `DQ`).
+    pub target: Distribution,
+    /// Normalized distribution of the reference view (over `DR`).
+    pub reference: Distribution,
+    /// Rows of `DQ` that contributed to the target view.
+    pub target_rows: u64,
+    /// Within-bin dispersion of the measure in the target view
+    /// (accuracy component; smaller = the bars summarize their bins better).
+    pub dispersion: f64,
+    /// Number of bins shared by both distributions.
+    pub bins: usize,
+}
+
+/// Derives the shared bin spec of a view from the *full* table, so `DQ` and
+/// `DR` bin identically.
+///
+/// # Errors
+///
+/// Propagates dataset errors (unknown columns, type mismatches).
+pub fn bin_spec_for(table: &Table, def: &ViewDef) -> Result<BinSpec, CoreError> {
+    let col = table.column_by_name(&def.dimension)?;
+    let spec = match def.bins {
+        None => BinSpec::categorical_of(col)?,
+        Some(b) => BinSpec::equal_width_of(col, b)?,
+    };
+    Ok(spec)
+}
+
+/// Materializes one view over the given target (`dq`) and reference (`dr`)
+/// row sets.
+///
+/// # Errors
+///
+/// Propagates dataset errors and distribution-construction errors.
+pub fn materialize_view(
+    table: &Table,
+    dq: &RowSet,
+    dr: &RowSet,
+    def: &ViewDef,
+) -> Result<ViewData, CoreError> {
+    let spec = bin_spec_for(table, def)?;
+    let target_agg = group_by_aggregate(table, dq, &def.dimension, &spec, &def.measure, def.aggregate)?;
+    let reference_agg =
+        group_by_aggregate(table, dr, &def.dimension, &spec, &def.measure, def.aggregate)?;
+    let dispersion = within_bin_dispersion(table, dq, &def.dimension, &spec, &def.measure)?;
+    Ok(ViewData {
+        target: Distribution::from_aggregates(&target_agg.aggregates)?,
+        reference: Distribution::from_aggregates(&reference_agg.aggregates)?,
+        target_rows: target_agg.total_rows(),
+        dispersion,
+        bins: spec.bin_count(),
+    })
+}
+
+/// Materializes every view of `space`, optionally in parallel.
+///
+/// `threads == 1` runs serially; otherwise the view list is split into
+/// contiguous chunks processed by `threads` scoped worker threads — view
+/// materialization is embarrassingly parallel and dominates offline-phase
+/// time on large tables.
+///
+/// # Errors
+///
+/// Propagates the first materialization error encountered.
+pub fn materialize_all(
+    table: &Table,
+    dq: &RowSet,
+    dr: &RowSet,
+    space: &ViewSpace,
+    threads: usize,
+) -> Result<Vec<ViewData>, CoreError> {
+    let defs = space.defs();
+    if threads <= 1 || defs.len() < 2 {
+        return defs
+            .iter()
+            .map(|def| materialize_view(table, dq, dr, def))
+            .collect();
+    }
+
+    let threads = threads.min(defs.len());
+    let chunk = defs.len().div_ceil(threads);
+    let results: Vec<Result<Vec<ViewData>, CoreError>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = defs
+            .chunks(chunk)
+            .map(|slice| {
+                s.spawn(move |_| {
+                    slice
+                        .iter()
+                        .map(|def| materialize_view(table, dq, dr, def))
+                        .collect::<Result<Vec<ViewData>, CoreError>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("materialization worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+
+    let mut out = Vec::with_capacity(defs.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+/// Materializes every view of `space` with the SeeDB-style *shared
+/// computation* optimization: views differing only in their aggregate
+/// function share one scan per `(dimension, bins, measure)` group (a 5×
+/// reduction in scans plus a free dispersion pass), optionally parallelized
+/// across groups.
+///
+/// Produces results identical to [`materialize_all`].
+///
+/// # Errors
+///
+/// Propagates the first materialization error encountered.
+pub fn materialize_all_shared(
+    table: &Table,
+    dq: &RowSet,
+    dr: &RowSet,
+    space: &ViewSpace,
+    threads: usize,
+) -> Result<Vec<ViewData>, CoreError> {
+    type GroupKey = (String, Option<usize>, String);
+
+    // Unique (dimension, bins, measure) groups in first-seen order.
+    let mut keys: Vec<GroupKey> = Vec::new();
+    let mut key_index: HashMap<GroupKey, usize> = HashMap::new();
+    let mut view_groups = Vec::with_capacity(space.len());
+    for def in space.defs() {
+        let key = (def.dimension.clone(), def.bins, def.measure.clone());
+        let idx = *key_index.entry(key.clone()).or_insert_with(|| {
+            keys.push(key);
+            keys.len() - 1
+        });
+        view_groups.push(idx);
+    }
+
+    struct GroupData {
+        target: viewseeker_dataset::aggregate::GroupByAllResult,
+        reference: viewseeker_dataset::aggregate::GroupByAllResult,
+        bins: usize,
+    }
+
+    let compute_group = |key: &GroupKey| -> Result<GroupData, CoreError> {
+        let (dimension, bins, measure) = key;
+        let spec = bin_spec_for(
+            table,
+            &ViewDef {
+                dimension: dimension.clone(),
+                measure: measure.clone(),
+                aggregate: viewseeker_dataset::AggregateFunction::Count,
+                bins: *bins,
+            },
+        )?;
+        Ok(GroupData {
+            target: group_by_all(table, dq, dimension, &spec, measure)?,
+            reference: group_by_all(table, dr, dimension, &spec, measure)?,
+            bins: spec.bin_count(),
+        })
+    };
+
+    let groups: Vec<GroupData> = if threads <= 1 || keys.len() < 2 {
+        keys.iter().map(compute_group).collect::<Result<_, _>>()?
+    } else {
+        let threads = threads.min(keys.len());
+        let chunk = keys.len().div_ceil(threads);
+        let results: Vec<Result<Vec<GroupData>, CoreError>> =
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = keys
+                    .chunks(chunk)
+                    .map(|slice| {
+                        s.spawn(move |_| {
+                            slice.iter().map(compute_group).collect::<Result<Vec<_>, _>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shared materialization worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope failed");
+        let mut out = Vec::with_capacity(keys.len());
+        for r in results {
+            out.extend(r?);
+        }
+        out
+    };
+
+    space
+        .defs()
+        .iter()
+        .zip(&view_groups)
+        .map(|(def, &g)| {
+            let group = &groups[g];
+            Ok(ViewData {
+                target: Distribution::from_aggregates(group.target.aggregates(def.aggregate))?,
+                reference: Distribution::from_aggregates(
+                    group.reference.aggregates(def.aggregate),
+                )?,
+                target_rows: group.target.total_rows(),
+                dispersion: group.target.dispersion,
+                bins: group.bins,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewseeker_dataset::generate::{generate_diab, generate_syn, DiabConfig, SynConfig};
+    use viewseeker_dataset::{Predicate, SelectQuery};
+
+    #[test]
+    fn target_and_reference_share_bins() {
+        let t = generate_diab(&DiabConfig::small(2_000, 1)).unwrap();
+        let dq = SelectQuery::new(Predicate::eq("a0", "a0_v0"))
+            .execute(&t)
+            .unwrap();
+        let space = ViewSpace::enumerate(&t, &[3, 4]).unwrap();
+        for id in space.ids().take(25) {
+            let vd = materialize_view(&t, &dq, &t.all_rows(), space.def(id).unwrap()).unwrap();
+            assert_eq!(vd.target.len(), vd.reference.len());
+            assert_eq!(vd.target.len(), vd.bins);
+        }
+    }
+
+    #[test]
+    fn numeric_bins_use_full_table_range() {
+        // DQ restricted to small d0 values must still produce a target
+        // distribution over the full-range bins — with its mass on the low
+        // bins rather than renormalized to its own range.
+        let t = generate_syn(&SynConfig::small(5_000, 2)).unwrap();
+        let dq = SelectQuery::new(Predicate::range("d0", 0.0, 20.0))
+            .execute(&t)
+            .unwrap();
+        let def = ViewDef {
+            dimension: "d0".into(),
+            measure: "m0".into(),
+            aggregate: viewseeker_dataset::AggregateFunction::Count,
+            bins: Some(4),
+        };
+        let vd = materialize_view(&t, &dq, &t.all_rows(), &def).unwrap();
+        // 4 bins over [0, 100): DQ (d0 < 20) lives entirely in bin 0.
+        assert!(vd.target.mass(0) > 0.99);
+        // The reference is roughly uniform.
+        assert!((vd.reference.mass(0) - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn empty_dq_degrades_to_uniform_target() {
+        let t = generate_diab(&DiabConfig::small(500, 3)).unwrap();
+        let def = ViewDef {
+            dimension: "a1".into(),
+            measure: "m0".into(),
+            aggregate: viewseeker_dataset::AggregateFunction::Sum,
+            bins: None,
+        };
+        let vd = materialize_view(&t, &RowSet::empty(), &t.all_rows(), &def).unwrap();
+        assert_eq!(vd.target_rows, 0);
+        let n = vd.target.len() as f64;
+        assert!(vd
+            .target
+            .masses()
+            .iter()
+            .all(|m| (m - 1.0 / n).abs() < 1e-12));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let t = generate_diab(&DiabConfig::small(1_000, 4)).unwrap();
+        let dq = SelectQuery::new(Predicate::eq("a2", "a2_v0"))
+            .execute(&t)
+            .unwrap();
+        let space = ViewSpace::enumerate(&t, &[3]).unwrap();
+        let serial = materialize_all(&t, &dq, &t.all_rows(), &space, 1).unwrap();
+        let parallel = materialize_all(&t, &dq, &t.all_rows(), &space, 4).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), space.len());
+    }
+
+    #[test]
+    fn shared_materialization_matches_naive() {
+        let t = generate_diab(&DiabConfig::small(1_500, 8)).unwrap();
+        let dq = SelectQuery::new(Predicate::eq("a1", "a1_v1"))
+            .execute(&t)
+            .unwrap();
+        let space = ViewSpace::enumerate(&t, &[3, 4]).unwrap();
+        let naive = materialize_all(&t, &dq, &t.all_rows(), &space, 1).unwrap();
+        let shared = materialize_all_shared(&t, &dq, &t.all_rows(), &space, 1).unwrap();
+        assert_eq!(naive, shared);
+        let shared_par = materialize_all_shared(&t, &dq, &t.all_rows(), &space, 4).unwrap();
+        assert_eq!(naive, shared_par);
+    }
+
+    #[test]
+    fn shared_materialization_on_numeric_dims() {
+        let t = generate_syn(&SynConfig::small(2_000, 9)).unwrap();
+        let dq = SelectQuery::new(Predicate::range("d1", 0.0, 30.0))
+            .execute(&t)
+            .unwrap();
+        let space = ViewSpace::enumerate(&t, &[3, 4]).unwrap();
+        let naive = materialize_all(&t, &dq, &t.all_rows(), &space, 1).unwrap();
+        let shared = materialize_all_shared(&t, &dq, &t.all_rows(), &space, 2).unwrap();
+        assert_eq!(naive, shared);
+    }
+
+    #[test]
+    fn dispersion_is_nonnegative() {
+        let t = generate_syn(&SynConfig::small(2_000, 5)).unwrap();
+        let space = ViewSpace::enumerate(&t, &[3, 4]).unwrap();
+        let dq = t.all_rows();
+        for id in space.ids().take(20) {
+            let vd = materialize_view(&t, &dq, &t.all_rows(), space.def(id).unwrap()).unwrap();
+            assert!(vd.dispersion >= 0.0);
+        }
+    }
+
+    #[test]
+    fn unknown_column_propagates() {
+        let t = generate_diab(&DiabConfig::small(100, 6)).unwrap();
+        let def = ViewDef {
+            dimension: "nope".into(),
+            measure: "m0".into(),
+            aggregate: viewseeker_dataset::AggregateFunction::Count,
+            bins: None,
+        };
+        assert!(matches!(
+            materialize_view(&t, &t.all_rows(), &t.all_rows(), &def),
+            Err(CoreError::Dataset(_))
+        ));
+    }
+}

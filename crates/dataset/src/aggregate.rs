@@ -1,0 +1,530 @@
+//! Group-by aggregation.
+//!
+//! A view `(a, m, f)` is the result of
+//!
+//! ```sql
+//! SELECT a, f(m) FROM D [WHERE q] GROUP BY a
+//! ```
+//!
+//! [`group_by_aggregate`] executes that in a single pass over the selected
+//! rows, scattering into per-bin accumulators. The paper's aggregate function
+//! set `F` has five members (Table 1): COUNT, SUM, AVG, MIN, MAX.
+
+use serde::{Deserialize, Serialize};
+
+use crate::binning::BinSpec;
+use crate::selection::RowSet;
+use crate::table::Table;
+use crate::DatasetError;
+
+/// The paper's five aggregate functions (`|F| = 5`, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregateFunction {
+    /// Row count per bin (ignores the measure's values).
+    Count,
+    /// Sum of the measure per bin.
+    Sum,
+    /// Arithmetic mean of the measure per bin (0 for empty bins).
+    Avg,
+    /// Minimum of the measure per bin (0 for empty bins).
+    Min,
+    /// Maximum of the measure per bin (0 for empty bins).
+    Max,
+}
+
+impl AggregateFunction {
+    /// All five aggregate functions, in a stable order.
+    #[must_use]
+    pub fn all() -> [AggregateFunction; 5] {
+        [
+            AggregateFunction::Count,
+            AggregateFunction::Sum,
+            AggregateFunction::Avg,
+            AggregateFunction::Min,
+            AggregateFunction::Max,
+        ]
+    }
+}
+
+impl std::fmt::Display for AggregateFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            AggregateFunction::Count => "COUNT",
+            AggregateFunction::Sum => "SUM",
+            AggregateFunction::Avg => "AVG",
+            AggregateFunction::Min => "MIN",
+            AggregateFunction::Max => "MAX",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The result of a group-by aggregation: one aggregate value and one row
+/// count per bin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupByResult {
+    /// Per-bin aggregate values (`f(m)` per bin). Empty bins yield 0.
+    pub aggregates: Vec<f64>,
+    /// Per-bin row counts (useful for χ² and diagnostics).
+    pub counts: Vec<u64>,
+}
+
+impl GroupByResult {
+    /// Number of bins.
+    #[must_use]
+    pub fn bin_count(&self) -> usize {
+        self.aggregates.len()
+    }
+
+    /// Total number of rows that contributed.
+    #[must_use]
+    pub fn total_rows(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Executes `SELECT dimension, func(measure) GROUP BY dimension` over the
+/// rows of `rows`, binning the dimension with `spec`.
+///
+/// # Errors
+///
+/// * column lookup / type errors from the table;
+/// * bin-assignment errors from [`BinSpec::assign`].
+pub fn group_by_aggregate(
+    table: &Table,
+    rows: &RowSet,
+    dimension: &str,
+    spec: &BinSpec,
+    measure: &str,
+    func: AggregateFunction,
+) -> Result<GroupByResult, DatasetError> {
+    let dim_col = table.column_by_name(dimension)?;
+    let measure_vals = table.numeric_values(measure)?;
+    let bins = spec.assign(dim_col)?;
+    let n_bins = spec.bin_count();
+
+    let mut counts = vec![0u64; n_bins];
+    let mut sums = vec![0.0f64; n_bins];
+    let mut mins = vec![f64::INFINITY; n_bins];
+    let mut maxs = vec![f64::NEG_INFINITY; n_bins];
+
+    for &row in rows.ids() {
+        let row = row as usize;
+        if row >= bins.len() {
+            return Err(DatasetError::IndexOutOfRange {
+                index: row,
+                len: bins.len(),
+            });
+        }
+        let b = bins[row] as usize;
+        let v = measure_vals[row];
+        counts[b] += 1;
+        sums[b] += v;
+        if v < mins[b] {
+            mins[b] = v;
+        }
+        if v > maxs[b] {
+            maxs[b] = v;
+        }
+    }
+
+    let aggregates = (0..n_bins)
+        .map(|b| {
+            if counts[b] == 0 {
+                0.0
+            } else {
+                match func {
+                    AggregateFunction::Count => counts[b] as f64,
+                    AggregateFunction::Sum => sums[b],
+                    AggregateFunction::Avg => sums[b] / counts[b] as f64,
+                    AggregateFunction::Min => mins[b],
+                    AggregateFunction::Max => maxs[b],
+                }
+            }
+        })
+        .collect();
+
+    Ok(GroupByResult { aggregates, counts })
+}
+
+/// Within-bin dispersion: the sum over bins of the squared error of each
+/// row's measure value around its bin mean.
+///
+/// This is the MuVE-style *accuracy* quantity — how faithfully one bar per
+/// bin summarizes the underlying rows (smaller = more accurate view). The
+/// value is normalized by the number of contributing rows so tables of
+/// different sizes are comparable.
+///
+/// # Errors
+///
+/// Same error surface as [`group_by_aggregate`].
+pub fn within_bin_dispersion(
+    table: &Table,
+    rows: &RowSet,
+    dimension: &str,
+    spec: &BinSpec,
+    measure: &str,
+) -> Result<f64, DatasetError> {
+    let dim_col = table.column_by_name(dimension)?;
+    let measure_vals = table.numeric_values(measure)?;
+    let bins = spec.assign(dim_col)?;
+    let n_bins = spec.bin_count();
+
+    // Single-pass variance via sum and sum of squares per bin.
+    let mut counts = vec![0u64; n_bins];
+    let mut sums = vec![0.0f64; n_bins];
+    let mut sq_sums = vec![0.0f64; n_bins];
+    for &row in rows.ids() {
+        let row = row as usize;
+        if row >= bins.len() {
+            return Err(DatasetError::IndexOutOfRange {
+                index: row,
+                len: bins.len(),
+            });
+        }
+        let b = bins[row] as usize;
+        let v = measure_vals[row];
+        counts[b] += 1;
+        sums[b] += v;
+        sq_sums[b] += v * v;
+    }
+
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Ok(0.0);
+    }
+    let mut sse = 0.0;
+    for b in 0..n_bins {
+        if counts[b] > 0 {
+            let n = counts[b] as f64;
+            // Σ(v−mean)² = Σv² − (Σv)²/n ; clamp tiny negative round-off.
+            sse += (sq_sums[b] - sums[b] * sums[b] / n).max(0.0);
+        }
+    }
+    Ok(sse / total as f64)
+}
+
+
+/// All five aggregates of one (dimension, measure) pair computed in a single
+/// pass, plus the within-bin dispersion — the SeeDB-style *shared
+/// computation* optimization: views differing only in their aggregate
+/// function share one scan instead of five.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupByAllResult {
+    /// Per-bin row counts.
+    pub counts: Vec<u64>,
+    /// Per-bin counts as aggregate values (what COUNT produces).
+    pub count_values: Vec<f64>,
+    /// Per-bin sums of the measure.
+    pub sums: Vec<f64>,
+    /// Per-bin means (0 for empty bins).
+    pub avgs: Vec<f64>,
+    /// Per-bin minimums (0 for empty bins).
+    pub mins: Vec<f64>,
+    /// Per-bin maximums (0 for empty bins).
+    pub maxs: Vec<f64>,
+    /// Within-bin dispersion (see [`within_bin_dispersion`]).
+    pub dispersion: f64,
+}
+
+impl GroupByAllResult {
+    /// The aggregate vector for one function, exactly as
+    /// [`group_by_aggregate`] would have produced it.
+    #[must_use]
+    pub fn aggregates(&self, func: AggregateFunction) -> &[f64] {
+        match func {
+            AggregateFunction::Count => &self.count_values,
+            AggregateFunction::Sum => &self.sums,
+            AggregateFunction::Avg => &self.avgs,
+            AggregateFunction::Min => &self.mins,
+            AggregateFunction::Max => &self.maxs,
+        }
+    }
+
+    /// Total rows that contributed.
+    #[must_use]
+    pub fn total_rows(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Computes every aggregate function plus the within-bin dispersion of one
+/// `(dimension, measure)` pair in a single pass over the selected rows.
+///
+/// Equivalent to five [`group_by_aggregate`] calls plus one
+/// [`within_bin_dispersion`] call, at roughly one sixth of the scan cost.
+///
+/// # Errors
+///
+/// Same error surface as [`group_by_aggregate`].
+pub fn group_by_all(
+    table: &Table,
+    rows: &RowSet,
+    dimension: &str,
+    spec: &BinSpec,
+    measure: &str,
+) -> Result<GroupByAllResult, DatasetError> {
+    let dim_col = table.column_by_name(dimension)?;
+    let measure_vals = table.numeric_values(measure)?;
+    let bins = spec.assign(dim_col)?;
+    let n_bins = spec.bin_count();
+
+    let mut counts = vec![0u64; n_bins];
+    let mut sums = vec![0.0f64; n_bins];
+    let mut sq_sums = vec![0.0f64; n_bins];
+    let mut mins = vec![f64::INFINITY; n_bins];
+    let mut maxs = vec![f64::NEG_INFINITY; n_bins];
+
+    for &row in rows.ids() {
+        let row = row as usize;
+        if row >= bins.len() {
+            return Err(DatasetError::IndexOutOfRange {
+                index: row,
+                len: bins.len(),
+            });
+        }
+        let b = bins[row] as usize;
+        let v = measure_vals[row];
+        counts[b] += 1;
+        sums[b] += v;
+        sq_sums[b] += v * v;
+        if v < mins[b] {
+            mins[b] = v;
+        }
+        if v > maxs[b] {
+            maxs[b] = v;
+        }
+    }
+
+    let total: u64 = counts.iter().sum();
+    let mut sse = 0.0;
+    let mut count_values = vec![0.0; n_bins];
+    let mut avgs = vec![0.0; n_bins];
+    for b in 0..n_bins {
+        if counts[b] == 0 {
+            mins[b] = 0.0;
+            maxs[b] = 0.0;
+        } else {
+            let n = counts[b] as f64;
+            count_values[b] = n;
+            avgs[b] = sums[b] / n;
+            sse += (sq_sums[b] - sums[b] * sums[b] / n).max(0.0);
+        }
+    }
+    let dispersion = if total == 0 { 0.0 } else { sse / total as f64 };
+
+    Ok(GroupByAllResult {
+        counts,
+        count_values,
+        sums,
+        avgs,
+        mins,
+        maxs,
+        dispersion,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::schema::Schema;
+
+    fn table() -> Table {
+        let schema = Schema::builder()
+            .categorical_dimension("cat")
+            .measure("m")
+            .build()
+            .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::categorical_from_values(&["a", "b", "a", "b", "a"]),
+                Column::numeric(vec![1.0, 10.0, 3.0, 20.0, 5.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn run(func: AggregateFunction) -> GroupByResult {
+        let t = table();
+        let spec = BinSpec::categorical_of(t.column_by_name("cat").unwrap()).unwrap();
+        group_by_aggregate(&t, &t.all_rows(), "cat", &spec, "m", func).unwrap()
+    }
+
+    #[test]
+    fn count_sum_avg_min_max() {
+        assert_eq!(run(AggregateFunction::Count).aggregates, vec![3.0, 2.0]);
+        assert_eq!(run(AggregateFunction::Sum).aggregates, vec![9.0, 30.0]);
+        assert_eq!(run(AggregateFunction::Avg).aggregates, vec![3.0, 15.0]);
+        assert_eq!(run(AggregateFunction::Min).aggregates, vec![1.0, 10.0]);
+        assert_eq!(run(AggregateFunction::Max).aggregates, vec![5.0, 20.0]);
+    }
+
+    #[test]
+    fn counts_match_selection() {
+        let r = run(AggregateFunction::Sum);
+        assert_eq!(r.counts, vec![3, 2]);
+        assert_eq!(r.total_rows(), 5);
+        assert_eq!(r.bin_count(), 2);
+    }
+
+    #[test]
+    fn restricted_selection_changes_aggregates() {
+        let t = table();
+        let spec = BinSpec::categorical_of(t.column_by_name("cat").unwrap()).unwrap();
+        let rows = RowSet::from_ids(vec![0, 1]).unwrap();
+        let r = group_by_aggregate(&t, &rows, "cat", &spec, "m", AggregateFunction::Sum).unwrap();
+        assert_eq!(r.aggregates, vec![1.0, 10.0]);
+        assert_eq!(r.counts, vec![1, 1]);
+    }
+
+    #[test]
+    fn empty_bins_are_zero() {
+        let t = table();
+        let spec = BinSpec::categorical_of(t.column_by_name("cat").unwrap()).unwrap();
+        let rows = RowSet::from_ids(vec![0]).unwrap(); // only an "a" row
+        for f in AggregateFunction::all() {
+            let r = group_by_aggregate(&t, &rows, "cat", &spec, "m", f).unwrap();
+            assert_eq!(r.aggregates[1], 0.0, "{f} over an empty bin should be 0");
+        }
+    }
+
+    #[test]
+    fn empty_selection_yields_all_zero() {
+        let t = table();
+        let spec = BinSpec::categorical_of(t.column_by_name("cat").unwrap()).unwrap();
+        let r = group_by_aggregate(
+            &t,
+            &RowSet::empty(),
+            "cat",
+            &spec,
+            "m",
+            AggregateFunction::Avg,
+        )
+        .unwrap();
+        assert_eq!(r.aggregates, vec![0.0, 0.0]);
+        assert_eq!(r.total_rows(), 0);
+    }
+
+    #[test]
+    fn numeric_dimension_binning() {
+        let schema = Schema::builder()
+            .numeric_dimension("x")
+            .measure("m")
+            .build()
+            .unwrap();
+        let t = Table::new(
+            schema,
+            vec![
+                Column::numeric(vec![0.0, 1.0, 2.0, 3.0]),
+                Column::numeric(vec![1.0, 1.0, 1.0, 1.0]),
+            ],
+        )
+        .unwrap();
+        let spec = BinSpec::equal_width_of(t.column_by_name("x").unwrap(), 2).unwrap();
+        let r =
+            group_by_aggregate(&t, &t.all_rows(), "x", &spec, "m", AggregateFunction::Count)
+                .unwrap();
+        assert_eq!(r.aggregates, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn dispersion_zero_when_bins_are_constant() {
+        let schema = Schema::builder()
+            .categorical_dimension("cat")
+            .measure("m")
+            .build()
+            .unwrap();
+        let t = Table::new(
+            schema,
+            vec![
+                Column::categorical_from_values(&["a", "a", "b", "b"]),
+                Column::numeric(vec![7.0, 7.0, 2.0, 2.0]),
+            ],
+        )
+        .unwrap();
+        let spec = BinSpec::categorical_of(t.column_by_name("cat").unwrap()).unwrap();
+        let d = within_bin_dispersion(&t, &t.all_rows(), "cat", &spec, "m").unwrap();
+        assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispersion_matches_hand_computation() {
+        let t = table();
+        let spec = BinSpec::categorical_of(t.column_by_name("cat").unwrap()).unwrap();
+        let d = within_bin_dispersion(&t, &t.all_rows(), "cat", &spec, "m").unwrap();
+        // bin a: {1,3,5} mean 3 → SSE 8; bin b: {10,20} mean 15 → SSE 50.
+        assert!((d - 58.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispersion_of_empty_selection_is_zero() {
+        let t = table();
+        let spec = BinSpec::categorical_of(t.column_by_name("cat").unwrap()).unwrap();
+        let d = within_bin_dispersion(&t, &RowSet::empty(), "cat", &spec, "m").unwrap();
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let t = table();
+        let spec = BinSpec::categorical_of(t.column_by_name("cat").unwrap()).unwrap();
+        assert!(group_by_aggregate(
+            &t,
+            &t.all_rows(),
+            "nope",
+            &spec,
+            "m",
+            AggregateFunction::Sum
+        )
+        .is_err());
+        assert!(group_by_aggregate(
+            &t,
+            &t.all_rows(),
+            "cat",
+            &spec,
+            "nope",
+            AggregateFunction::Sum
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn group_by_all_matches_individual_aggregates() {
+        let t = table();
+        let spec = BinSpec::categorical_of(t.column_by_name("cat").unwrap()).unwrap();
+        let all = group_by_all(&t, &t.all_rows(), "cat", &spec, "m").unwrap();
+        for f in AggregateFunction::all() {
+            let single = group_by_aggregate(&t, &t.all_rows(), "cat", &spec, "m", f).unwrap();
+            assert_eq!(
+                all.aggregates(f),
+                single.aggregates.as_slice(),
+                "mismatch for {f}"
+            );
+        }
+        let disp = within_bin_dispersion(&t, &t.all_rows(), "cat", &spec, "m").unwrap();
+        assert!((all.dispersion - disp).abs() < 1e-12);
+        assert_eq!(all.total_rows(), 5);
+    }
+
+    #[test]
+    fn group_by_all_empty_selection() {
+        let t = table();
+        let spec = BinSpec::categorical_of(t.column_by_name("cat").unwrap()).unwrap();
+        let all = group_by_all(&t, &RowSet::empty(), "cat", &spec, "m").unwrap();
+        assert_eq!(all.total_rows(), 0);
+        assert_eq!(all.dispersion, 0.0);
+        for f in AggregateFunction::all() {
+            assert!(all.aggregates(f).iter().all(|v| *v == 0.0), "{f}");
+        }
+    }
+
+    #[test]
+    fn group_by_all_error_paths() {
+        let t = table();
+        let spec = BinSpec::categorical_of(t.column_by_name("cat").unwrap()).unwrap();
+        assert!(group_by_all(&t, &t.all_rows(), "nope", &spec, "m").is_err());
+        assert!(group_by_all(&t, &t.all_rows(), "cat", &spec, "nope").is_err());
+    }
+}

@@ -1,0 +1,365 @@
+//! Bin specifications for group-by dimensions.
+//!
+//! A view groups rows into *bins* along a dimension attribute:
+//!
+//! * a categorical dimension has one bin per dictionary entry;
+//! * a numeric dimension is split into `n` equal-width bins over its value
+//!   range — the SYN testbed uses two bin configurations (3 and 4 bins),
+//!   which doubles its view space (Table 1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::column::Column;
+use crate::DatasetError;
+
+/// How a dimension column's values map to bin indices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BinSpec {
+    /// One bin per dictionary code of a categorical column.
+    Categorical {
+        /// Bin labels (the dictionary), index = bin.
+        labels: Vec<String>,
+    },
+    /// `count` equal-width bins over `[min, max]` of a numeric column.
+    /// Values outside the range clamp to the first/last bin; the max value
+    /// falls in the last bin.
+    EqualWidth {
+        /// Number of bins (≥ 1).
+        count: usize,
+        /// Lower edge of the first bin.
+        min: f64,
+        /// Upper edge of the last bin.
+        max: f64,
+    },
+    /// Quantile (equal-frequency) bins: bin `i` covers
+    /// `[edges[i], edges[i+1])`, with the final bin closed above. Produces
+    /// visually balanced histograms on skewed measures — the line-chart-
+    /// friendly binning the paper's future work gestures at.
+    EqualFrequency {
+        /// Interior bin edges, strictly increasing (`len = bins − 1`).
+        edges: Vec<f64>,
+    },
+}
+
+impl BinSpec {
+    /// Derives the natural categorical spec from a categorical column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::ColumnTypeMismatch`] for a numeric column and
+    /// [`DatasetError::Invalid`] for an empty dictionary.
+    pub fn categorical_of(column: &Column) -> Result<Self, DatasetError> {
+        let labels = column
+            .dictionary()
+            .ok_or(DatasetError::ColumnTypeMismatch {
+                column: String::new(),
+                expected: "categorical",
+            })?
+            .to_vec();
+        if labels.is_empty() {
+            return Err(DatasetError::Invalid(
+                "categorical column has an empty dictionary".into(),
+            ));
+        }
+        Ok(BinSpec::Categorical { labels })
+    }
+
+    /// Derives an equal-width spec over the observed range of a numeric
+    /// column.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::Invalid`] for zero bins or an empty/all-NaN column;
+    /// [`DatasetError::ColumnTypeMismatch`] for a categorical column.
+    pub fn equal_width_of(column: &Column, count: usize) -> Result<Self, DatasetError> {
+        if count == 0 {
+            return Err(DatasetError::Invalid("bin count must be positive".into()));
+        }
+        if column.is_categorical() {
+            return Err(DatasetError::ColumnTypeMismatch {
+                column: String::new(),
+                expected: "numeric",
+            });
+        }
+        let (min, max) = column
+            .numeric_range()
+            .ok_or_else(|| DatasetError::Invalid("cannot bin an empty column".into()))?;
+        Ok(BinSpec::EqualWidth { count, min, max })
+    }
+
+    /// Derives an equal-frequency (quantile) spec from a numeric column:
+    /// interior edges are placed at the `i/count` quantiles of the observed
+    /// values, deduplicated (heavily repeated values can merge bins).
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::Invalid`] for zero bins or an empty/all-NaN column;
+    /// [`DatasetError::ColumnTypeMismatch`] for a categorical column.
+    pub fn equal_frequency_of(column: &Column, count: usize) -> Result<Self, DatasetError> {
+        if count == 0 {
+            return Err(DatasetError::Invalid("bin count must be positive".into()));
+        }
+        let values = column.values().ok_or(DatasetError::ColumnTypeMismatch {
+            column: String::new(),
+            expected: "numeric",
+        })?;
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if sorted.is_empty() {
+            return Err(DatasetError::Invalid("cannot bin an empty column".into()));
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
+        let mut edges = Vec::with_capacity(count.saturating_sub(1));
+        for i in 1..count {
+            let pos = (i * sorted.len()) / count;
+            let edge = sorted[pos.min(sorted.len() - 1)];
+            // An edge at (or below) the minimum would split off an empty
+            // first bin; duplicated edges would create empty middle bins.
+            if edge > sorted[0] && edges.last().is_none_or(|last| *last < edge) {
+                edges.push(edge);
+            }
+        }
+        Ok(BinSpec::EqualFrequency { edges })
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bin_count(&self) -> usize {
+        match self {
+            BinSpec::Categorical { labels } => labels.len(),
+            BinSpec::EqualWidth { count, .. } => *count,
+            BinSpec::EqualFrequency { edges } => edges.len() + 1,
+        }
+    }
+
+    /// Human-readable label for bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bin_count()`.
+    #[must_use]
+    pub fn label(&self, i: usize) -> String {
+        match self {
+            BinSpec::Categorical { labels } => labels[i].clone(),
+            BinSpec::EqualWidth { count, min, max } => {
+                assert!(i < *count, "bin index out of range");
+                let width = (max - min) / *count as f64;
+                let lo = min + width * i as f64;
+                let hi = if i + 1 == *count { *max } else { lo + width };
+                format!("[{lo:.3}, {hi:.3}{}", if i + 1 == *count { "]" } else { ")" })
+            }
+            BinSpec::EqualFrequency { edges } => {
+                assert!(i <= edges.len(), "bin index out of range");
+                match (i.checked_sub(1).map(|j| edges[j]), edges.get(i)) {
+                    (None, Some(hi)) => format!("(-inf, {hi:.3})"),
+                    (Some(lo), Some(hi)) => format!("[{lo:.3}, {hi:.3})"),
+                    (Some(lo), None) => format!("[{lo:.3}, +inf)"),
+                    (None, None) => "(-inf, +inf)".to_owned(),
+                }
+            }
+        }
+    }
+
+    /// Maps every row of `column` to its bin index.
+    ///
+    /// Numeric NaNs map to bin 0 (they land somewhere deterministic rather
+    /// than being dropped, so target/reference bin totals stay consistent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::ColumnTypeMismatch`] if the column kind does
+    /// not match the spec, or [`DatasetError::IndexOutOfRange`] if a
+    /// categorical code exceeds the label list.
+    pub fn assign(&self, column: &Column) -> Result<Vec<u32>, DatasetError> {
+        match (self, column) {
+            (BinSpec::Categorical { labels }, Column::Categorical { codes, .. }) => {
+                if let Some(&bad) = codes.iter().find(|c| **c as usize >= labels.len()) {
+                    return Err(DatasetError::IndexOutOfRange {
+                        index: bad as usize,
+                        len: labels.len(),
+                    });
+                }
+                Ok(codes.clone())
+            }
+            (BinSpec::EqualWidth { count, min, max }, Column::Numeric(values)) => {
+                let count = *count;
+                let width = (max - min) / count as f64;
+                Ok(values
+                    .iter()
+                    .map(|&v| {
+                        if v.is_nan() || width <= 0.0 {
+                            0
+                        } else {
+                            let raw = ((v - min) / width).floor();
+                            (raw.clamp(0.0, (count - 1) as f64)) as u32
+                        }
+                    })
+                    .collect())
+            }
+            (BinSpec::EqualFrequency { edges }, Column::Numeric(values)) => Ok(values
+                .iter()
+                .map(|&v| {
+                    if v.is_nan() {
+                        0
+                    } else {
+                        // First edge strictly greater than v = the bin index.
+                        edges.partition_point(|e| *e <= v) as u32
+                    }
+                })
+                .collect()),
+            (BinSpec::Categorical { .. }, Column::Numeric(_)) => {
+                Err(DatasetError::ColumnTypeMismatch {
+                    column: String::new(),
+                    expected: "categorical",
+                })
+            }
+            (BinSpec::EqualWidth { .. } | BinSpec::EqualFrequency { .. }, Column::Categorical { .. }) => {
+                Err(DatasetError::ColumnTypeMismatch {
+                    column: String::new(),
+                    expected: "numeric",
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorical_spec_mirrors_dictionary() {
+        let col = Column::categorical_from_values(&["a", "b", "a", "c"]);
+        let spec = BinSpec::categorical_of(&col).unwrap();
+        assert_eq!(spec.bin_count(), 3);
+        assert_eq!(spec.label(0), "a");
+        assert_eq!(spec.assign(&col).unwrap(), vec![0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn equal_width_assignment() {
+        let col = Column::numeric(vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+        let spec = BinSpec::equal_width_of(&col, 4).unwrap();
+        assert_eq!(spec.bin_count(), 4);
+        // Width 2.5: [0,2.5) [2.5,5) [5,7.5) [7.5,10]; 10.0 clamps into bin 3.
+        assert_eq!(spec.assign(&col).unwrap(), vec![0, 1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn values_outside_range_clamp() {
+        let spec = BinSpec::EqualWidth {
+            count: 3,
+            min: 0.0,
+            max: 3.0,
+        };
+        let col = Column::numeric(vec![-5.0, 99.0, 1.5]);
+        assert_eq!(spec.assign(&col).unwrap(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn nan_maps_to_first_bin() {
+        let spec = BinSpec::EqualWidth {
+            count: 2,
+            min: 0.0,
+            max: 1.0,
+        };
+        let col = Column::numeric(vec![f64::NAN, 0.9]);
+        assert_eq!(spec.assign(&col).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn degenerate_range_maps_everything_to_bin_zero() {
+        let col = Column::numeric(vec![5.0, 5.0, 5.0]);
+        let spec = BinSpec::equal_width_of(&col, 3).unwrap();
+        assert_eq!(spec.assign(&col).unwrap(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn zero_bins_rejected() {
+        let col = Column::numeric(vec![1.0]);
+        assert!(BinSpec::equal_width_of(&col, 0).is_err());
+    }
+
+    #[test]
+    fn kind_mismatches_rejected() {
+        let cat = Column::categorical_from_values(&["x"]);
+        let num = Column::numeric(vec![1.0]);
+        assert!(BinSpec::categorical_of(&num).is_err());
+        assert!(BinSpec::equal_width_of(&cat, 2).is_err());
+        let cat_spec = BinSpec::categorical_of(&cat).unwrap();
+        assert!(cat_spec.assign(&num).is_err());
+        let num_spec = BinSpec::equal_width_of(&num, 2).unwrap();
+        assert!(num_spec.assign(&cat).is_err());
+    }
+
+    #[test]
+    fn numeric_labels_are_half_open_except_last() {
+        let spec = BinSpec::EqualWidth {
+            count: 2,
+            min: 0.0,
+            max: 2.0,
+        };
+        assert_eq!(spec.label(0), "[0.000, 1.000)");
+        assert_eq!(spec.label(1), "[1.000, 2.000]");
+    }
+
+    #[test]
+    fn stale_dictionary_code_detected() {
+        let spec = BinSpec::Categorical {
+            labels: vec!["only".into()],
+        };
+        let col = Column::categorical_from_values(&["only", "new"]);
+        assert!(matches!(
+            spec.assign(&col),
+            Err(DatasetError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn equal_frequency_balances_skewed_data() {
+        // Heavily right-skewed values: quantile bins stay balanced where
+        // equal-width bins would dump almost everything into bin 0.
+        let values: Vec<f64> = (0..100).map(|i| ((i as f64) / 10.0).exp()).collect();
+        let col = Column::numeric(values);
+        let spec = BinSpec::equal_frequency_of(&col, 4).unwrap();
+        assert_eq!(spec.bin_count(), 4);
+        let assigned = spec.assign(&col).unwrap();
+        let mut counts = [0usize; 4];
+        for b in &assigned {
+            counts[*b as usize] += 1;
+        }
+        for c in counts {
+            assert!((20..=30).contains(&c), "balanced bins, got {counts:?}");
+        }
+    }
+
+    #[test]
+    fn equal_frequency_merges_duplicate_edges() {
+        // A constant column cannot be split: it degrades to a single bin.
+        let col = Column::numeric(vec![5.0; 20]);
+        let spec = BinSpec::equal_frequency_of(&col, 4).unwrap();
+        assert_eq!(spec.bin_count(), 1);
+        assert!(spec.assign(&col).unwrap().iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn equal_frequency_labels_and_errors() {
+        let col = Column::numeric(vec![1.0, 2.0, 3.0, 4.0]);
+        let spec = BinSpec::equal_frequency_of(&col, 2).unwrap();
+        assert!(spec.label(0).starts_with("(-inf"));
+        assert!(spec.label(1).ends_with("+inf)"));
+        assert!(BinSpec::equal_frequency_of(&col, 0).is_err());
+        let cat = Column::categorical_from_values(&["x"]);
+        assert!(BinSpec::equal_frequency_of(&cat, 2).is_err());
+        assert!(spec.assign(&cat).is_err());
+        let empty = Column::numeric(vec![]);
+        assert!(BinSpec::equal_frequency_of(&empty, 2).is_err());
+    }
+
+    #[test]
+    fn equal_frequency_nan_maps_to_first_bin() {
+        let col = Column::numeric(vec![1.0, 2.0, 3.0, 4.0]);
+        let spec = BinSpec::equal_frequency_of(&col, 2).unwrap();
+        let probe = Column::numeric(vec![f64::NAN, 4.0]);
+        assert_eq!(spec.assign(&probe).unwrap(), vec![0, 1]);
+    }
+}

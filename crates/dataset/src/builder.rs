@@ -1,0 +1,233 @@
+//! Row-oriented table construction.
+//!
+//! [`Table`] is column-oriented; application code usually has rows. The
+//! [`TableBuilder`] accepts typed rows and assembles the columns, validating
+//! shape as it goes:
+//!
+//! ```
+//! use viewseeker_dataset::builder::TableBuilder;
+//! use viewseeker_dataset::Schema;
+//!
+//! let schema = Schema::builder()
+//!     .categorical_dimension("city")
+//!     .measure("sales")
+//!     .build()
+//!     .unwrap();
+//! let mut b = TableBuilder::new(schema);
+//! b.push_row(row!["Lisbon", 12.5]).unwrap();
+//! b.push_row(row!["Porto", 8.0]).unwrap();
+//! let table = b.finish().unwrap();
+//! assert_eq!(table.row_count(), 2);
+//! # use viewseeker_dataset::row;
+//! ```
+
+use crate::column::Column;
+use crate::schema::{ColumnType, Schema};
+use crate::table::Table;
+use crate::DatasetError;
+
+/// One typed cell of a row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A categorical value.
+    Text(String),
+    /// A numeric value.
+    Number(f64),
+}
+
+impl From<&str> for Cell {
+    fn from(v: &str) -> Self {
+        Cell::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(v: String) -> Self {
+        Cell::Text(v)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Number(v)
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Number(v as f64)
+    }
+}
+
+impl From<i32> for Cell {
+    fn from(v: i32) -> Self {
+        Cell::Number(f64::from(v))
+    }
+}
+
+/// Builds a row of [`Cell`]s from mixed literals: `row!["NY", 3.5, 7]`.
+#[macro_export]
+macro_rules! row {
+    ($($cell:expr),* $(,)?) => {
+        vec![$($crate::builder::Cell::from($cell)),*]
+    };
+}
+
+/// Accumulates typed rows and produces a [`Table`].
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    schema: Schema,
+    text_columns: Vec<Vec<String>>,
+    numeric_columns: Vec<Vec<f64>>,
+    rows: usize,
+}
+
+impl TableBuilder {
+    /// Starts a builder for `schema`.
+    #[must_use]
+    pub fn new(schema: Schema) -> Self {
+        let n = schema.len();
+        Self {
+            schema,
+            text_columns: vec![Vec::new(); n],
+            numeric_columns: vec![Vec::new(); n],
+            rows: 0,
+        }
+    }
+
+    /// Number of rows accumulated so far.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Appends one row; cells must match the schema in arity and type.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::Invalid`] for a wrong arity;
+    /// [`DatasetError::ColumnTypeMismatch`] for a cell of the wrong type.
+    pub fn push_row(&mut self, cells: Vec<Cell>) -> Result<(), DatasetError> {
+        if cells.len() != self.schema.len() {
+            return Err(DatasetError::Invalid(format!(
+                "row has {} cells, schema has {} columns",
+                cells.len(),
+                self.schema.len()
+            )));
+        }
+        // Validate the whole row before mutating anything, so a failed push
+        // leaves the builder unchanged.
+        for (cell, meta) in cells.iter().zip(self.schema.columns()) {
+            let ok = matches!(
+                (cell, meta.column_type),
+                (Cell::Text(_), ColumnType::Categorical) | (Cell::Number(_), ColumnType::Numeric)
+            );
+            if !ok {
+                return Err(DatasetError::ColumnTypeMismatch {
+                    column: meta.name.clone(),
+                    expected: match meta.column_type {
+                        ColumnType::Categorical => "categorical (text cell)",
+                        ColumnType::Numeric => "numeric (number cell)",
+                    },
+                });
+            }
+        }
+        for (i, cell) in cells.into_iter().enumerate() {
+            match cell {
+                Cell::Text(v) => self.text_columns[i].push(v),
+                Cell::Number(v) => self.numeric_columns[i].push(v),
+            }
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Finalizes the table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-construction errors (none arise for rows accepted by
+    /// `push_row`).
+    pub fn finish(self) -> Result<Table, DatasetError> {
+        let columns = self
+            .schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, meta)| match meta.column_type {
+                ColumnType::Categorical => {
+                    Column::categorical_from_values(&self.text_columns[i])
+                }
+                ColumnType::Numeric => Column::numeric(self.numeric_columns[i].clone()),
+            })
+            .collect();
+        Table::new(self.schema, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .categorical_dimension("city")
+            .numeric_dimension("age")
+            .measure("sales")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_a_table_from_rows() {
+        let mut b = TableBuilder::new(schema());
+        b.push_row(row!["NY", 34, 100.0]).unwrap();
+        b.push_row(row!["LA", 41.5, 80]).unwrap();
+        assert_eq!(b.row_count(), 2);
+        let t = b.finish().unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.column(0).category_at(1), "LA");
+        assert_eq!(t.numeric_values("age").unwrap(), &[34.0, 41.5]);
+        assert_eq!(t.numeric_values("sales").unwrap(), &[100.0, 80.0]);
+    }
+
+    #[test]
+    fn wrong_arity_rejected_without_mutation() {
+        let mut b = TableBuilder::new(schema());
+        assert!(b.push_row(row!["NY", 34]).is_err());
+        assert_eq!(b.row_count(), 0);
+        b.push_row(row!["NY", 34, 1.0]).unwrap();
+        assert_eq!(b.row_count(), 1);
+    }
+
+    #[test]
+    fn wrong_type_rejected_without_mutation() {
+        let mut b = TableBuilder::new(schema());
+        // Text where a number belongs.
+        assert!(matches!(
+            b.push_row(row!["NY", "not a number", 1.0]),
+            Err(DatasetError::ColumnTypeMismatch { .. })
+        ));
+        // Number where text belongs.
+        assert!(b.push_row(row![5, 34, 1.0]).is_err());
+        assert_eq!(b.row_count(), 0);
+        // Builder still usable.
+        b.push_row(row!["OK", 1, 1]).unwrap();
+        assert_eq!(b.finish().unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn empty_builder_finishes_to_empty_table() {
+        let t = TableBuilder::new(schema()).finish().unwrap();
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn cell_conversions() {
+        assert_eq!(Cell::from("x"), Cell::Text("x".into()));
+        assert_eq!(Cell::from(String::from("y")), Cell::Text("y".into()));
+        assert_eq!(Cell::from(2.5), Cell::Number(2.5));
+        assert_eq!(Cell::from(3i64), Cell::Number(3.0));
+        assert_eq!(Cell::from(4i32), Cell::Number(4.0));
+    }
+}

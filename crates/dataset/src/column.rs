@@ -1,0 +1,255 @@
+//! Column storage.
+//!
+//! Two physical layouts cover the paper's data model:
+//!
+//! * **Categorical** — dictionary-encoded: a `Vec<u32>` of codes plus a
+//!   dictionary of distinct string values. Group-by over a categorical
+//!   dimension is a direct scatter on the codes.
+//! * **Numeric** — dense `Vec<f64>`. Used for measures, and for numeric
+//!   dimensions that are grouped via equal-width binning (the SYN dataset's
+//!   3- and 4-bin configurations).
+
+use serde::{Deserialize, Serialize};
+
+use crate::DatasetError;
+
+/// A single column of data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    /// Dictionary-encoded categorical column.
+    Categorical {
+        /// Per-row dictionary codes; every code is `< dictionary.len()`.
+        codes: Vec<u32>,
+        /// Distinct values; index = code.
+        dictionary: Vec<String>,
+    },
+    /// Dense numeric column.
+    Numeric(Vec<f64>),
+}
+
+impl Column {
+    /// Builds a categorical column from raw string values, constructing the
+    /// dictionary in first-appearance order.
+    #[must_use]
+    pub fn categorical_from_values<S: AsRef<str>>(values: &[S]) -> Self {
+        let mut dictionary: Vec<String> = Vec::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for v in values {
+            let v = v.as_ref();
+            let code = match dictionary.iter().position(|d| d == v) {
+                Some(i) => i as u32,
+                None => {
+                    dictionary.push(v.to_owned());
+                    (dictionary.len() - 1) as u32
+                }
+            };
+            codes.push(code);
+        }
+        Column::Categorical { codes, dictionary }
+    }
+
+    /// Builds a categorical column directly from codes and a dictionary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::IndexOutOfRange`] if any code exceeds the
+    /// dictionary, or [`DatasetError::Invalid`] if the dictionary is empty
+    /// while codes exist.
+    pub fn categorical_from_codes(
+        codes: Vec<u32>,
+        dictionary: Vec<String>,
+    ) -> Result<Self, DatasetError> {
+        if dictionary.is_empty() && !codes.is_empty() {
+            return Err(DatasetError::Invalid(
+                "non-empty codes with empty dictionary".into(),
+            ));
+        }
+        if let Some(&bad) = codes.iter().find(|c| **c as usize >= dictionary.len()) {
+            return Err(DatasetError::IndexOutOfRange {
+                index: bad as usize,
+                len: dictionary.len(),
+            });
+        }
+        Ok(Column::Categorical { codes, dictionary })
+    }
+
+    /// Builds a numeric column.
+    #[must_use]
+    pub fn numeric(values: Vec<f64>) -> Self {
+        Column::Numeric(values)
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Categorical { codes, .. } => codes.len(),
+            Column::Numeric(values) => values.len(),
+        }
+    }
+
+    /// Whether the column has zero rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this is a categorical column.
+    #[must_use]
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, Column::Categorical { .. })
+    }
+
+    /// The dictionary codes, if categorical.
+    #[must_use]
+    pub fn codes(&self) -> Option<&[u32]> {
+        match self {
+            Column::Categorical { codes, .. } => Some(codes),
+            Column::Numeric(_) => None,
+        }
+    }
+
+    /// The dictionary, if categorical.
+    #[must_use]
+    pub fn dictionary(&self) -> Option<&[String]> {
+        match self {
+            Column::Categorical { dictionary, .. } => Some(dictionary),
+            Column::Numeric(_) => None,
+        }
+    }
+
+    /// The numeric values, if numeric.
+    #[must_use]
+    pub fn values(&self) -> Option<&[f64]> {
+        match self {
+            Column::Numeric(values) => Some(values),
+            Column::Categorical { .. } => None,
+        }
+    }
+
+    /// Number of distinct values: dictionary size for categorical columns,
+    /// exact distinct count for numeric columns.
+    #[must_use]
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Column::Categorical { dictionary, .. } => dictionary.len(),
+            Column::Numeric(values) => {
+                let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+                sorted.dedup();
+                sorted.len()
+            }
+        }
+    }
+
+    /// `(min, max)` of a numeric column, ignoring NaNs; `None` for
+    /// categorical or all-NaN columns.
+    #[must_use]
+    pub fn numeric_range(&self) -> Option<(f64, f64)> {
+        let values = self.values()?;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in values {
+            if v.is_nan() {
+                continue;
+            }
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    /// The string value at `row` of a categorical column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column is numeric or `row` is out of range.
+    #[must_use]
+    pub fn category_at(&self, row: usize) -> &str {
+        match self {
+            Column::Categorical { codes, dictionary } => &dictionary[codes[row] as usize],
+            Column::Numeric(_) => panic!("category_at on a numeric column"),
+        }
+    }
+
+    /// Gathers the rows listed in `rows` into a new column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row index is out of range.
+    #[must_use]
+    pub fn gather(&self, rows: &[u32]) -> Column {
+        match self {
+            Column::Categorical { codes, dictionary } => Column::Categorical {
+                codes: rows.iter().map(|&r| codes[r as usize]).collect(),
+                dictionary: dictionary.clone(),
+            },
+            Column::Numeric(values) => {
+                Column::Numeric(rows.iter().map(|&r| values[r as usize]).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorical_dictionary_is_first_appearance_order() {
+        let c = Column::categorical_from_values(&["b", "a", "b", "c"]);
+        assert_eq!(c.dictionary().unwrap(), &["b", "a", "c"]);
+        assert_eq!(c.codes().unwrap(), &[0, 1, 0, 2]);
+        assert_eq!(c.cardinality(), 3);
+        assert_eq!(c.category_at(3), "c");
+    }
+
+    #[test]
+    fn categorical_from_codes_validates() {
+        assert!(Column::categorical_from_codes(vec![0, 2], vec!["a".into(), "b".into()]).is_err());
+        assert!(Column::categorical_from_codes(vec![0], vec![]).is_err());
+        assert!(Column::categorical_from_codes(vec![], vec![]).is_ok());
+        assert!(Column::categorical_from_codes(vec![1, 0], vec!["a".into(), "b".into()]).is_ok());
+    }
+
+    #[test]
+    fn numeric_accessors() {
+        let c = Column::numeric(vec![3.0, 1.0, 2.0, 1.0]);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_categorical());
+        assert_eq!(c.cardinality(), 3);
+        assert_eq!(c.numeric_range(), Some((1.0, 3.0)));
+        assert!(c.codes().is_none());
+    }
+
+    #[test]
+    fn numeric_range_ignores_nan() {
+        let c = Column::numeric(vec![f64::NAN, 2.0, 5.0]);
+        assert_eq!(c.numeric_range(), Some((2.0, 5.0)));
+        let all_nan = Column::numeric(vec![f64::NAN]);
+        assert_eq!(all_nan.numeric_range(), None);
+    }
+
+    #[test]
+    fn gather_preserves_dictionary() {
+        let c = Column::categorical_from_values(&["x", "y", "z"]);
+        let g = c.gather(&[2, 0]);
+        assert_eq!(g.codes().unwrap(), &[2, 0]);
+        assert_eq!(g.dictionary().unwrap(), c.dictionary().unwrap());
+    }
+
+    #[test]
+    fn gather_numeric() {
+        let c = Column::numeric(vec![10.0, 20.0, 30.0]);
+        let g = c.gather(&[1, 1, 2]);
+        assert_eq!(g.values().unwrap(), &[20.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn empty_column_properties() {
+        let c = Column::numeric(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.cardinality(), 0);
+        assert_eq!(c.numeric_range(), None);
+    }
+}

@@ -1,0 +1,333 @@
+//! Minimal CSV codec.
+//!
+//! Enough of RFC 4180 to round-trip the generated datasets: comma separation,
+//! double-quote quoting with `""` escapes, a header row, and `\n`/`\r\n` line
+//! endings. Hand-rolled to keep the workspace free of I/O dependencies.
+
+use std::io::{BufRead, Write};
+
+use crate::column::Column;
+use crate::schema::{AttributeRole, ColumnMeta, ColumnType, Schema};
+use crate::table::Table;
+use crate::DatasetError;
+
+/// Writes `table` as CSV with a header row.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Csv`] on I/O failure.
+pub fn write_csv<W: Write>(table: &Table, mut out: W) -> Result<(), DatasetError> {
+    let io = |e: std::io::Error| DatasetError::Csv(e.to_string());
+    let header: Vec<String> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| quote_field(&c.name))
+        .collect();
+    writeln!(out, "{}", header.join(",")).map_err(io)?;
+    for row in 0..table.row_count() {
+        let mut fields = Vec::with_capacity(table.schema().len());
+        for ci in 0..table.schema().len() {
+            let field = match table.column(ci) {
+                Column::Categorical { .. } => quote_field(table.column(ci).category_at(row)),
+                Column::Numeric(values) => format_number(values[row]),
+            };
+            fields.push(field);
+        }
+        writeln!(out, "{}", fields.join(",")).map_err(io)?;
+    }
+    Ok(())
+}
+
+/// Reads a CSV produced by [`write_csv`] back into a table, using `schema`
+/// to decide each column's type and role.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Csv`] for malformed input (wrong field counts,
+/// unparseable numbers, header mismatch) and propagates table-construction
+/// errors.
+pub fn read_csv<R: BufRead>(schema: &Schema, input: R) -> Result<Table, DatasetError> {
+    let mut lines = CsvRecords::new(input);
+    let header = lines
+        .next()
+        .ok_or_else(|| DatasetError::Csv("empty input".into()))??;
+    let expected: Vec<&str> = schema.columns().iter().map(|c| c.name.as_str()).collect();
+    if header != expected {
+        return Err(DatasetError::Csv(format!(
+            "header mismatch: got {header:?}, expected {expected:?}"
+        )));
+    }
+
+    let mut cat_data: Vec<Vec<String>> = vec![Vec::new(); schema.len()];
+    let mut num_data: Vec<Vec<f64>> = vec![Vec::new(); schema.len()];
+    for record in lines {
+        let record = record?;
+        if record.len() != schema.len() {
+            return Err(DatasetError::Csv(format!(
+                "row has {} fields, expected {}",
+                record.len(),
+                schema.len()
+            )));
+        }
+        for (i, (field, meta)) in record.iter().zip(schema.columns()).enumerate() {
+            match meta.column_type {
+                ColumnType::Categorical => cat_data[i].push(field.clone()),
+                ColumnType::Numeric => num_data[i].push(field.parse::<f64>().map_err(|_| {
+                    DatasetError::Csv(format!("cannot parse {field:?} as a number"))
+                })?),
+            }
+        }
+    }
+
+    let columns = schema
+        .columns()
+        .iter()
+        .enumerate()
+        .map(|(i, meta)| match meta.column_type {
+            ColumnType::Categorical => Column::categorical_from_values(&cat_data[i]),
+            ColumnType::Numeric => Column::numeric(std::mem::take(&mut num_data[i])),
+        })
+        .collect();
+    Table::new(schema.clone(), columns)
+}
+
+/// Infers a schema from a CSV header using a naming convention: columns whose
+/// names start with `m_` become measures, everything else a categorical
+/// dimension (numeric dimensions must be declared explicitly).
+///
+/// # Errors
+///
+/// [`DatasetError::Csv`] on empty input; schema validation errors otherwise.
+pub fn infer_schema<R: BufRead>(input: R) -> Result<Schema, DatasetError> {
+    let mut lines = CsvRecords::new(input);
+    let header = lines
+        .next()
+        .ok_or_else(|| DatasetError::Csv("empty input".into()))??;
+    let metas = header
+        .into_iter()
+        .map(|name| {
+            let is_measure = name.starts_with("m_");
+            ColumnMeta {
+                column_type: if is_measure {
+                    ColumnType::Numeric
+                } else {
+                    ColumnType::Categorical
+                },
+                role: if is_measure {
+                    AttributeRole::Measure
+                } else {
+                    AttributeRole::Dimension
+                },
+                name,
+            }
+        })
+        .collect();
+    Schema::new(metas)
+}
+
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+fn format_number(v: f64) -> String {
+    // Round-trippable f64 formatting.
+    let mut s = format!("{v}");
+    if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("NaN") {
+        s.push_str(".0");
+    }
+    s
+}
+
+/// Iterator over parsed CSV records.
+struct CsvRecords<R: BufRead> {
+    input: R,
+    buf: String,
+}
+
+impl<R: BufRead> CsvRecords<R> {
+    fn new(input: R) -> Self {
+        Self {
+            input,
+            buf: String::new(),
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for CsvRecords<R> {
+    type Item = Result<Vec<String>, DatasetError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.buf.clear();
+        // A record may span lines if a quoted field contains newlines; keep
+        // reading until quotes balance.
+        loop {
+            let start = self.buf.len();
+            match self.input.read_line(&mut self.buf) {
+                Ok(0) if self.buf.is_empty() => return None,
+                Ok(0) => break,
+                Ok(_) => {
+                    let quotes = self.buf.bytes().filter(|b| *b == b'"').count();
+                    if quotes % 2 == 0 {
+                        break;
+                    }
+                    // Unbalanced: the newline we just consumed belongs to a
+                    // quoted field; continue reading.
+                    let _ = start;
+                }
+                Err(e) => return Some(Err(DatasetError::Csv(e.to_string()))),
+            }
+        }
+        let line = self.buf.trim_end_matches(['\n', '\r']);
+        if line.is_empty() {
+            return self.next();
+        }
+        Some(parse_record(line))
+    }
+}
+
+fn parse_record(line: &str) -> Result<Vec<String>, DatasetError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' if field.is_empty() => in_quotes = true,
+                '"' => return Err(DatasetError::Csv("stray quote mid-field".into())),
+                ',' => fields.push(std::mem::take(&mut field)),
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DatasetError::Csv("unterminated quoted field".into()));
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn demo_table() -> Table {
+        let schema = Schema::builder()
+            .categorical_dimension("city")
+            .measure("m_sales")
+            .build()
+            .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::categorical_from_values(&["NY", "LA, CA", "chi\"town"]),
+                Column::numeric(vec![1.5, -2.0, 1e10]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_table() {
+        let t = demo_table();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(t.schema(), Cursor::new(&buf)).unwrap();
+        assert_eq!(back.row_count(), 3);
+        assert_eq!(back.column(0).category_at(1), "LA, CA");
+        assert_eq!(back.column(0).category_at(2), "chi\"town");
+        assert_eq!(back.numeric_values("m_sales").unwrap(), &[1.5, -2.0, 1e10]);
+    }
+
+    #[test]
+    fn quoting_special_characters() {
+        assert_eq!(quote_field("plain"), "plain");
+        assert_eq!(quote_field("a,b"), "\"a,b\"");
+        assert_eq!(quote_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn infer_schema_by_convention() {
+        let csv = "region,m_profit\nwest,1.0\n";
+        let s = infer_schema(Cursor::new(csv)).unwrap();
+        assert_eq!(s.dimension_names(), vec!["region"]);
+        assert_eq!(s.measure_names(), vec!["m_profit"]);
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let t = demo_table();
+        let wrong = Schema::builder()
+            .categorical_dimension("other")
+            .measure("m_sales")
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        assert!(matches!(
+            read_csv(&wrong, Cursor::new(&buf)),
+            Err(DatasetError::Csv(_))
+        ));
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let schema = Schema::builder().measure("m_x").build().unwrap();
+        let csv = "m_x\nnot_a_number\n";
+        assert!(matches!(
+            read_csv(&schema, Cursor::new(csv)),
+            Err(DatasetError::Csv(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_field_count_rejected() {
+        let schema = Schema::builder()
+            .categorical_dimension("a")
+            .measure("m_b")
+            .build()
+            .unwrap();
+        let csv = "a,m_b\nonly_one_field\n";
+        assert!(read_csv(&schema, Cursor::new(csv)).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(parse_record("\"oops").is_err());
+        assert!(parse_record("a\"b").is_err());
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let schema = Schema::builder().categorical_dimension("a").build().unwrap();
+        let csv = "a\n\nx\n\n";
+        let t = read_csv(&schema, Cursor::new(csv)).unwrap();
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn quoted_newline_inside_field() {
+        let schema = Schema::builder().categorical_dimension("a").build().unwrap();
+        let csv = "a\n\"line1\nline2\"\n";
+        let t = read_csv(&schema, Cursor::new(csv)).unwrap();
+        assert_eq!(t.column(0).category_at(0), "line1\nline2");
+    }
+}

@@ -1,0 +1,272 @@
+//! A DIAB-like categorical dataset.
+//!
+//! The paper's DIAB testbed is a 100k-record categorical dataset of diabetic
+//! patients with, after preprocessing, 7 dimension attributes of varying
+//! cardinality and 8 measure attributes (280 distinct views). The original
+//! preprocessing is unspecified, so this generator produces a *synthetic
+//! stand-in with the same shape* and — crucially — *planted structure*:
+//!
+//! * dimension attributes draw from skewed (Zipf-like) categorical
+//!   distributions of mixed cardinality, mimicking clinical codes;
+//! * each measure is a base signal plus per-dimension-value effects for a
+//!   couple of randomly chosen dimensions plus Gaussian noise, so grouping by
+//!   the "right" dimension reveals genuine deviation while other groupings
+//!   look flat — exactly the property view recommendation exploits.
+//!
+//! See DESIGN.md §3 for why this substitution preserves the experiments'
+//! behaviour.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution as RandDistribution, Normal};
+
+use crate::column::Column;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::DatasetError;
+
+/// Configuration for the DIAB-like generator. Defaults reproduce Table 1's
+/// shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiabConfig {
+    /// Number of records (paper: 100,000).
+    pub rows: usize,
+    /// Cardinality of each dimension attribute (paper: 7 attributes of
+    /// "variable" cardinality).
+    pub dimension_cardinalities: Vec<usize>,
+    /// Number of measure attributes (paper: 8).
+    pub measures: usize,
+    /// How many dimensions influence each measure (planted correlations).
+    pub effects_per_measure: usize,
+    /// Standard deviation of the per-row Gaussian noise on measures.
+    pub noise_std: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DiabConfig {
+    fn default() -> Self {
+        Self {
+            rows: 100_000,
+            dimension_cardinalities: vec![2, 3, 4, 5, 6, 8, 10],
+            measures: 8,
+            effects_per_measure: 2,
+            noise_std: 1.0,
+            seed: 0xD1AB_D1AB,
+        }
+    }
+}
+
+impl DiabConfig {
+    /// A laptop-scale variant keeping Table 1's attribute shape.
+    #[must_use]
+    pub fn small(rows: usize, seed: u64) -> Self {
+        Self {
+            rows,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates the DIAB-like table: categorical dimensions `a0..a6` (by
+/// default) and measures `m0..m7`.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Invalid`] for zero rows/measures, an empty
+/// cardinality list, or a zero cardinality.
+pub fn generate_diab(config: &DiabConfig) -> Result<Table, DatasetError> {
+    if config.rows == 0 {
+        return Err(DatasetError::Invalid("rows must be positive".into()));
+    }
+    if config.measures == 0 {
+        return Err(DatasetError::Invalid("need at least one measure".into()));
+    }
+    if config.dimension_cardinalities.is_empty() {
+        return Err(DatasetError::Invalid("need at least one dimension".into()));
+    }
+    if config.dimension_cardinalities.contains(&0) {
+        return Err(DatasetError::Invalid(
+            "dimension cardinality must be positive".into(),
+        ));
+    }
+
+    let mut builder = Schema::builder();
+    for d in 0..config.dimension_cardinalities.len() {
+        builder = builder.categorical_dimension(format!("a{d}"));
+    }
+    for m in 0..config.measures {
+        builder = builder.measure(format!("m{m}"));
+    }
+    let schema = builder.build()?;
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_dims = config.dimension_cardinalities.len();
+
+    // --- dimension columns: Zipf-ish skew over each dictionary ---
+    let mut dim_codes: Vec<Vec<u32>> = Vec::with_capacity(n_dims);
+    let mut columns: Vec<Column> = Vec::with_capacity(n_dims + config.measures);
+    for (d, &card) in config.dimension_cardinalities.iter().enumerate() {
+        // weights ∝ 1/(rank+1): mild skew, every value still well-populated.
+        let weights: Vec<f64> = (0..card).map(|r| 1.0 / (r as f64 + 1.0)).collect();
+        let total: f64 = weights.iter().sum();
+        let codes: Vec<u32> = (0..config.rows)
+            .map(|_| {
+                let mut u = rng.gen::<f64>() * total;
+                for (code, w) in weights.iter().enumerate() {
+                    if u < *w {
+                        return code as u32;
+                    }
+                    u -= w;
+                }
+                (card - 1) as u32
+            })
+            .collect();
+        let dictionary: Vec<String> = (0..card).map(|v| format!("a{d}_v{v}")).collect();
+        dim_codes.push(codes.clone());
+        columns.push(Column::categorical_from_codes(codes, dictionary)?);
+    }
+
+    // --- measure columns: base + planted per-value effects + noise ---
+    let noise = Normal::new(0.0, config.noise_std.max(1e-12))
+        .map_err(|e| DatasetError::Invalid(format!("bad noise_std: {e}")))?;
+    for m in 0..config.measures {
+        let base = 10.0 + m as f64 * 2.0;
+        // Choose which dimensions drive this measure and an effect size per
+        // dictionary value of each chosen dimension.
+        let k = config.effects_per_measure.min(n_dims);
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        while chosen.len() < k {
+            let d = rng.gen_range(0..n_dims);
+            if !chosen.contains(&d) {
+                chosen.push(d);
+            }
+        }
+        let effects: Vec<Vec<f64>> = chosen
+            .iter()
+            .map(|&d| {
+                (0..config.dimension_cardinalities[d])
+                    .map(|_| rng.gen_range(-3.0..3.0))
+                    .collect()
+            })
+            .collect();
+
+        let values: Vec<f64> = (0..config.rows)
+            .map(|row| {
+                let mut v = base;
+                for (ci, &d) in chosen.iter().enumerate() {
+                    v += effects[ci][dim_codes[d][row] as usize];
+                }
+                v + noise.sample(&mut rng)
+            })
+            .collect();
+        columns.push(Column::numeric(values));
+    }
+
+    Table::new(schema, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{group_by_aggregate, AggregateFunction};
+    use crate::binning::BinSpec;
+
+    #[test]
+    fn shape_matches_table_1() {
+        let t = generate_diab(&DiabConfig::small(2000, 1)).unwrap();
+        assert_eq!(t.dimension_names().len(), 7);
+        assert_eq!(t.measure_names().len(), 8);
+        assert_eq!(t.row_count(), 2000);
+        // 7 dims × 8 measures × 5 aggregates = 280 distinct views (Table 1).
+        assert_eq!(7 * 8 * 5, 280);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_diab(&DiabConfig::small(500, 4)).unwrap();
+        let b = generate_diab(&DiabConfig::small(500, 4)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cardinalities_are_respected() {
+        let t = generate_diab(&DiabConfig::small(5000, 2)).unwrap();
+        let expected = [2usize, 3, 4, 5, 6, 8, 10];
+        for (d, card) in expected.iter().enumerate() {
+            let col = t.column_by_name(&format!("a{d}")).unwrap();
+            assert_eq!(col.dictionary().unwrap().len(), *card);
+        }
+    }
+
+    #[test]
+    fn skew_populates_every_value() {
+        let t = generate_diab(&DiabConfig::small(20_000, 3)).unwrap();
+        let col = t.column_by_name("a6").unwrap();
+        let mut counts = vec![0u64; col.dictionary().unwrap().len()];
+        for &c in col.codes().unwrap() {
+            counts[c as usize] += 1;
+        }
+        assert!(counts.iter().all(|c| *c > 0), "all values populated");
+        assert!(counts[0] > counts[9], "first value is most frequent");
+    }
+
+    #[test]
+    fn planted_effects_create_group_deviation() {
+        // At least one (dimension, measure) pair must show clear between-group
+        // mean differences — the structure view recommendation detects.
+        let t = generate_diab(&DiabConfig::small(20_000, 5)).unwrap();
+        let mut max_spread = 0.0f64;
+        for d in 0..7 {
+            let dim = format!("a{d}");
+            let spec = BinSpec::categorical_of(t.column_by_name(&dim).unwrap()).unwrap();
+            for m in 0..8 {
+                let r = group_by_aggregate(
+                    &t,
+                    &t.all_rows(),
+                    &dim,
+                    &spec,
+                    &format!("m{m}"),
+                    AggregateFunction::Avg,
+                )
+                .unwrap();
+                let lo = r.aggregates.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = r
+                    .aggregates
+                    .iter()
+                    .copied()
+                    .fold(f64::NEG_INFINITY, f64::max);
+                max_spread = max_spread.max(hi - lo);
+            }
+        }
+        assert!(
+            max_spread > 1.0,
+            "expected a planted effect spread > 1, got {max_spread}"
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(generate_diab(&DiabConfig {
+            rows: 0,
+            ..DiabConfig::default()
+        })
+        .is_err());
+        assert!(generate_diab(&DiabConfig {
+            measures: 0,
+            ..DiabConfig::default()
+        })
+        .is_err());
+        assert!(generate_diab(&DiabConfig {
+            dimension_cardinalities: vec![],
+            ..DiabConfig::default()
+        })
+        .is_err());
+        assert!(generate_diab(&DiabConfig {
+            dimension_cardinalities: vec![3, 0],
+            ..DiabConfig::default()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! Synthetic dataset and workload generators (the paper's testbed, Table 1).
+//!
+//! * [`syn`] — the SYN dataset: numeric records with uniformly distributed
+//!   attribute values (1M rows, 5 dimensions, 5 measures in the paper).
+//! * [`diab`] — a DIAB-like dataset: categorical dimension attributes of
+//!   mixed cardinality and numeric measures with planted correlations,
+//!   standing in for the paper's 100k-record diabetic-patients data (see
+//!   DESIGN.md §3 for the substitution rationale).
+//! * [`hypercube`] — the hypercube query generator: the paper creates `DQ`
+//!   as "a hypercube in the recording space" with a target cardinality ratio
+//!   of 0.5%.
+
+pub mod diab;
+pub mod hypercube;
+pub mod syn;
+
+pub use diab::{generate_diab, DiabConfig};
+pub use hypercube::{hypercube_query, HypercubeConfig};
+pub use syn::{generate_syn, SynConfig};

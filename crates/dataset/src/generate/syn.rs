@@ -1,0 +1,160 @@
+//! The SYN synthetic dataset (Table 1).
+//!
+//! "SYN is a synthetic dataset with 1 million numerical records that contains
+//! 5 dimension attributes, 5 measure attributes, and 2 bin configurations
+//! (i.e., we create views with 3 bins or 4 bins). The values of the
+//! attributes of each record are uniformly distributed."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::column::Column;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::DatasetError;
+
+/// Configuration for the SYN generator. The default reproduces Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynConfig {
+    /// Number of records (paper: 1,000,000).
+    pub rows: usize,
+    /// Number of numeric dimension attributes (paper: 5).
+    pub dimensions: usize,
+    /// Number of numeric measure attributes (paper: 5).
+    pub measures: usize,
+    /// Value range `[low, high)` of every attribute.
+    pub value_range: (f64, f64),
+    /// RNG seed — the generator is fully deterministic per seed.
+    pub seed: u64,
+}
+
+impl Default for SynConfig {
+    fn default() -> Self {
+        Self {
+            rows: 1_000_000,
+            dimensions: 5,
+            measures: 5,
+            value_range: (0.0, 100.0),
+            seed: 0x5EED_5EED,
+        }
+    }
+}
+
+impl SynConfig {
+    /// A laptop-scale variant for tests and quick experiments, keeping the
+    /// attribute shape of Table 1 but fewer rows.
+    #[must_use]
+    pub fn small(rows: usize, seed: u64) -> Self {
+        Self {
+            rows,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates the SYN table: `dimensions` numeric dimension attributes named
+/// `d0..` and `measures` measure attributes named `m0..`, all i.i.d. uniform
+/// over `value_range`.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Invalid`] for zero rows/dimensions/measures or an
+/// empty value range.
+pub fn generate_syn(config: &SynConfig) -> Result<Table, DatasetError> {
+    if config.rows == 0 {
+        return Err(DatasetError::Invalid("rows must be positive".into()));
+    }
+    if config.dimensions == 0 || config.measures == 0 {
+        return Err(DatasetError::Invalid(
+            "need at least one dimension and one measure".into(),
+        ));
+    }
+    let (lo, hi) = config.value_range;
+    if lo >= hi {
+        return Err(DatasetError::Invalid(format!(
+            "empty value range [{lo}, {hi})"
+        )));
+    }
+
+    let mut builder = Schema::builder();
+    for d in 0..config.dimensions {
+        builder = builder.numeric_dimension(format!("d{d}"));
+    }
+    for m in 0..config.measures {
+        builder = builder.measure(format!("m{m}"));
+    }
+    let schema = builder.build()?;
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut columns = Vec::with_capacity(config.dimensions + config.measures);
+    for _ in 0..config.dimensions + config.measures {
+        let values: Vec<f64> = (0..config.rows).map(|_| rng.gen_range(lo..hi)).collect();
+        columns.push(Column::numeric(values));
+    }
+    Table::new(schema, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_config() {
+        let t = generate_syn(&SynConfig::small(1000, 1)).unwrap();
+        assert_eq!(t.row_count(), 1000);
+        assert_eq!(t.dimension_names(), vec!["d0", "d1", "d2", "d3", "d4"]);
+        assert_eq!(t.measure_names(), vec!["m0", "m1", "m2", "m3", "m4"]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_syn(&SynConfig::small(500, 9)).unwrap();
+        let b = generate_syn(&SynConfig::small(500, 9)).unwrap();
+        assert_eq!(a, b);
+        let c = generate_syn(&SynConfig::small(500, 10)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_respect_range() {
+        let cfg = SynConfig {
+            rows: 2000,
+            value_range: (-5.0, 5.0),
+            ..SynConfig::default()
+        };
+        let t = generate_syn(&cfg).unwrap();
+        for name in ["d0", "m4"] {
+            let (lo, hi) = t.column_by_name(name).unwrap().numeric_range().unwrap();
+            assert!(lo >= -5.0 && hi < 5.0);
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let t = generate_syn(&SynConfig::small(50_000, 3)).unwrap();
+        let vals = t.numeric_values("d0").unwrap();
+        let below_half = vals.iter().filter(|v| **v < 50.0).count() as f64;
+        let frac = below_half / vals.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "fraction below midpoint: {frac}");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(generate_syn(&SynConfig {
+            rows: 0,
+            ..SynConfig::default()
+        })
+        .is_err());
+        assert!(generate_syn(&SynConfig {
+            dimensions: 0,
+            ..SynConfig::default()
+        })
+        .is_err());
+        assert!(generate_syn(&SynConfig {
+            value_range: (1.0, 1.0),
+            ..SynConfig::default()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! In-memory columnar analytic engine for ViewSeeker.
+//!
+//! ViewSeeker operates over a multi-dimensional data model: a table with
+//! *dimension attributes* `A` (categorical or binnable numeric columns that
+//! views group by) and *measure attributes* `M` (numeric columns that views
+//! aggregate). This crate provides that substrate, built from scratch:
+//!
+//! * [`schema`] / [`mod@column`] / [`table`] — a dictionary-encoded columnar
+//!   store with role-tagged attributes;
+//! * [`predicate`] / [`selection`] / [`query`] — a predicate AST evaluated
+//!   into row selections; this is how the user query `Q` carves the subset
+//!   `DQ` out of the full database `DR`;
+//! * [`binning`] / [`aggregate`] — group-by aggregation over a dimension with
+//!   one of the paper's five aggregate functions (COUNT, SUM, AVG, MIN, MAX),
+//!   producing the per-bin vectors that become view distributions;
+//! * [`sample`] — seeded uniform sampling (the α-sampling optimization);
+//! * [`csv`] — a minimal CSV codec so generated datasets can be persisted;
+//! * [`generate`] — the SYN and DIAB-like dataset generators plus the
+//!   hypercube query generator used by the paper's testbed (Table 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod binning;
+pub mod builder;
+pub mod column;
+pub mod csv;
+pub mod generate;
+pub mod predicate;
+pub mod query;
+pub mod sample;
+pub mod schema;
+pub mod selection;
+pub mod sql;
+pub mod table;
+
+pub use aggregate::{AggregateFunction, GroupByResult};
+pub use binning::BinSpec;
+pub use column::Column;
+pub use predicate::Predicate;
+pub use query::SelectQuery;
+pub use schema::{AttributeRole, ColumnMeta, Schema};
+pub use selection::RowSet;
+pub use table::Table;
+
+/// Errors produced by the dataset engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// The column exists but has the wrong type or role for the operation.
+    ColumnTypeMismatch {
+        /// Column name.
+        column: String,
+        /// What the operation expected.
+        expected: &'static str,
+    },
+    /// Columns of differing lengths were assembled into one table.
+    LengthMismatch {
+        /// Column name.
+        column: String,
+        /// That column's length.
+        len: usize,
+        /// The table's row count.
+        expected: usize,
+    },
+    /// A dictionary code or row index was out of range.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The container's length.
+        len: usize,
+    },
+    /// CSV input could not be parsed.
+    Csv(String),
+    /// SQL input could not be parsed or executed.
+    Sql(String),
+    /// Invalid construction parameters (empty schema, zero bins, ...).
+    Invalid(String),
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            DatasetError::ColumnTypeMismatch { column, expected } => {
+                write!(f, "column {column} is not {expected}")
+            }
+            DatasetError::LengthMismatch {
+                column,
+                len,
+                expected,
+            } => write!(
+                f,
+                "column {column} has {len} rows, table expects {expected}"
+            ),
+            DatasetError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for length {len}")
+            }
+            DatasetError::Csv(msg) => write!(f, "csv error: {msg}"),
+            DatasetError::Sql(msg) => write!(f, "sql error: {msg}"),
+            DatasetError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}

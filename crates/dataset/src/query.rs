@@ -1,0 +1,108 @@
+//! Select queries.
+//!
+//! A [`SelectQuery`] wraps a predicate and is how the user specifies the
+//! explored subset `DQ` over the full database `DR` (the paper's "data
+//! specification method such as an SQL/NoSQL query over DR").
+
+use crate::predicate::Predicate;
+use crate::selection::RowSet;
+use crate::table::Table;
+use crate::DatasetError;
+
+/// A selection query over a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    predicate: Predicate,
+}
+
+impl SelectQuery {
+    /// Builds a query from a predicate.
+    #[must_use]
+    pub fn new(predicate: Predicate) -> Self {
+        Self { predicate }
+    }
+
+    /// The query that selects all rows.
+    #[must_use]
+    pub fn select_all() -> Self {
+        Self {
+            predicate: Predicate::True,
+        }
+    }
+
+    /// The wrapped predicate.
+    #[must_use]
+    pub fn predicate(&self) -> &Predicate {
+        &self.predicate
+    }
+
+    /// Executes the query, returning the selected rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate evaluation errors.
+    pub fn execute(&self, table: &Table) -> Result<RowSet, DatasetError> {
+        self.predicate.evaluate(table)
+    }
+
+    /// Executes and reports the selectivity (fraction of rows selected) —
+    /// the paper's testbed targets a `DQ` cardinality ratio of 0.5%.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate evaluation errors.
+    pub fn execute_with_selectivity(&self, table: &Table) -> Result<(RowSet, f64), DatasetError> {
+        let rows = self.execute(table)?;
+        let sel = rows.selectivity(table.row_count());
+        Ok((rows, sel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::schema::Schema;
+
+    fn table() -> Table {
+        let schema = Schema::builder()
+            .categorical_dimension("g")
+            .measure("m")
+            .build()
+            .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::categorical_from_values(&["x", "y", "x", "y"]),
+                Column::numeric(vec![1.0, 2.0, 3.0, 4.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_all() {
+        let t = table();
+        let (rows, sel) = SelectQuery::select_all()
+            .execute_with_selectivity(&t)
+            .unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(sel, 1.0);
+    }
+
+    #[test]
+    fn filtered_query() {
+        let t = table();
+        let q = SelectQuery::new(Predicate::eq("g", "x"));
+        let (rows, sel) = q.execute_with_selectivity(&t).unwrap();
+        assert_eq!(rows.ids(), &[0, 2]);
+        assert_eq!(sel, 0.5);
+    }
+
+    #[test]
+    fn error_propagates() {
+        let t = table();
+        let q = SelectQuery::new(Predicate::eq("missing", "x"));
+        assert!(q.execute(&t).is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Table schemas with role-tagged attributes.
+//!
+//! The multi-dimensional data model of the paper splits attributes into a set
+//! of *dimension attributes* `A = {a₁, a₂, …}` (grouped by) and *measure
+//! attributes* `M = {m₁, m₂, …}` (aggregated). A [`Schema`] records, for each
+//! column, its name, storage type, and [`AttributeRole`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::DatasetError;
+
+/// The role an attribute plays in the multi-dimensional data model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttributeRole {
+    /// A dimension attribute: views group by it.
+    Dimension,
+    /// A measure attribute: views aggregate it.
+    Measure,
+}
+
+/// Storage type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// Dictionary-encoded categorical values.
+    Categorical,
+    /// Dense 64-bit floating-point values.
+    Numeric,
+}
+
+/// Metadata for a single column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnMeta {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Storage type.
+    pub column_type: ColumnType,
+    /// Role in the multi-dimensional model.
+    pub role: AttributeRole,
+}
+
+/// An ordered collection of column metadata with unique names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnMeta>,
+}
+
+impl Schema {
+    /// Builds a schema from column metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Invalid`] if `columns` is empty or contains a
+    /// duplicate name, and [`DatasetError::ColumnTypeMismatch`] if a measure
+    /// attribute is declared categorical (measures must be aggregatable).
+    pub fn new(columns: Vec<ColumnMeta>) -> Result<Self, DatasetError> {
+        if columns.is_empty() {
+            return Err(DatasetError::Invalid("schema has no columns".into()));
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(DatasetError::Invalid(format!(
+                    "duplicate column name: {}",
+                    c.name
+                )));
+            }
+            if c.role == AttributeRole::Measure && c.column_type != ColumnType::Numeric {
+                return Err(DatasetError::ColumnTypeMismatch {
+                    column: c.name.clone(),
+                    expected: "numeric (measure attributes must be aggregatable)",
+                });
+            }
+        }
+        Ok(Self { columns })
+    }
+
+    /// Starts a fluent builder.
+    #[must_use]
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder { columns: Vec::new() }
+    }
+
+    /// All column metadata, in declaration order.
+    #[must_use]
+    pub fn columns(&self) -> &[ColumnMeta] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns (never true for a constructed
+    /// schema).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of the column named `name`.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Metadata of the column named `name`.
+    #[must_use]
+    pub fn column(&self, name: &str) -> Option<&ColumnMeta> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Names of all dimension attributes, in declaration order.
+    #[must_use]
+    pub fn dimension_names(&self) -> Vec<&str> {
+        self.columns
+            .iter()
+            .filter(|c| c.role == AttributeRole::Dimension)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+
+    /// Names of all measure attributes, in declaration order.
+    #[must_use]
+    pub fn measure_names(&self) -> Vec<&str> {
+        self.columns
+            .iter()
+            .filter(|c| c.role == AttributeRole::Measure)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+}
+
+/// Fluent builder for [`Schema`].
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    columns: Vec<ColumnMeta>,
+}
+
+impl SchemaBuilder {
+    /// Adds a categorical dimension attribute.
+    #[must_use]
+    pub fn categorical_dimension(mut self, name: impl Into<String>) -> Self {
+        self.columns.push(ColumnMeta {
+            name: name.into(),
+            column_type: ColumnType::Categorical,
+            role: AttributeRole::Dimension,
+        });
+        self
+    }
+
+    /// Adds a numeric dimension attribute (grouped via equal-width binning).
+    #[must_use]
+    pub fn numeric_dimension(mut self, name: impl Into<String>) -> Self {
+        self.columns.push(ColumnMeta {
+            name: name.into(),
+            column_type: ColumnType::Numeric,
+            role: AttributeRole::Dimension,
+        });
+        self
+    }
+
+    /// Adds a numeric measure attribute.
+    #[must_use]
+    pub fn measure(mut self, name: impl Into<String>) -> Self {
+        self.columns.push(ColumnMeta {
+            name: name.into(),
+            column_type: ColumnType::Numeric,
+            role: AttributeRole::Measure,
+        });
+        self
+    }
+
+    /// Finalizes the schema.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`Schema::new`].
+    pub fn build(self) -> Result<Schema, DatasetError> {
+        Schema::new(self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_ordered_schema() {
+        let s = Schema::builder()
+            .categorical_dimension("region")
+            .numeric_dimension("age")
+            .measure("sales")
+            .build()
+            .unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dimension_names(), vec!["region", "age"]);
+        assert_eq!(s.measure_names(), vec!["sales"]);
+        assert_eq!(s.index_of("age"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = Schema::builder()
+            .categorical_dimension("x")
+            .measure("x")
+            .build();
+        assert!(matches!(r, Err(DatasetError::Invalid(_))));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(Schema::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn categorical_measure_rejected() {
+        let r = Schema::new(vec![ColumnMeta {
+            name: "m".into(),
+            column_type: ColumnType::Categorical,
+            role: AttributeRole::Measure,
+        }]);
+        assert!(matches!(r, Err(DatasetError::ColumnTypeMismatch { .. })));
+    }
+
+    #[test]
+    fn column_lookup_by_name() {
+        let s = Schema::builder().measure("m1").build().unwrap();
+        assert_eq!(s.column("m1").unwrap().role, AttributeRole::Measure);
+        assert!(s.column("nope").is_none());
+    }
+}

@@ -1,0 +1,227 @@
+//! Row selections.
+//!
+//! A [`RowSet`] is a sorted, deduplicated vector of row ids — the result of
+//! evaluating a predicate against a table. Set algebra on row sets backs the
+//! `AND` / `OR` / `NOT` connectives of the predicate AST via linear merges.
+
+use crate::DatasetError;
+
+/// A sorted, deduplicated set of row ids.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RowSet {
+    ids: Vec<u32>,
+}
+
+impl RowSet {
+    /// An empty selection.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Selects every row of a table with `n` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32::MAX` (the engine addresses rows with
+    /// 32-bit ids).
+    #[must_use]
+    pub fn all(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "row count exceeds u32 addressing");
+        Self {
+            ids: (0..n as u32).collect(),
+        }
+    }
+
+    /// Builds a row set from arbitrary ids, sorting and deduplicating.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; the `Result` reserves room for stricter validation
+    /// and keeps call sites uniform with the rest of the engine.
+    pub fn from_ids(mut ids: Vec<u32>) -> Result<Self, DatasetError> {
+        ids.sort_unstable();
+        ids.dedup();
+        Ok(Self { ids })
+    }
+
+    /// Builds a row set from ids already known to be sorted and unique.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Invalid`] if the ids are not strictly
+    /// increasing.
+    pub fn from_sorted_ids(ids: Vec<u32>) -> Result<Self, DatasetError> {
+        if ids.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(DatasetError::Invalid(
+                "ids must be strictly increasing".into(),
+            ));
+        }
+        Ok(Self { ids })
+    }
+
+    /// The selected row ids, sorted ascending.
+    #[must_use]
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Number of selected rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the selection is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Whether `row` is selected (binary search).
+    #[must_use]
+    pub fn contains(&self, row: u32) -> bool {
+        self.ids.binary_search(&row).is_ok()
+    }
+
+    /// Set intersection (linear merge).
+    #[must_use]
+    pub fn intersect(&self, other: &RowSet) -> RowSet {
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        RowSet { ids: out }
+    }
+
+    /// Set union (linear merge).
+    #[must_use]
+    pub fn union(&self, other: &RowSet) -> RowSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.ids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.ids[i..]);
+        out.extend_from_slice(&other.ids[j..]);
+        RowSet { ids: out }
+    }
+
+    /// Complement with respect to a table of `universe` rows.
+    #[must_use]
+    pub fn complement(&self, universe: usize) -> RowSet {
+        let mut out = Vec::with_capacity(universe.saturating_sub(self.len()));
+        let mut next = self.ids.iter().peekable();
+        for row in 0..universe as u32 {
+            if next.peek() == Some(&&row) {
+                next.next();
+            } else {
+                out.push(row);
+            }
+        }
+        RowSet { ids: out }
+    }
+
+    /// Fraction of a `universe`-row table this selection covers.
+    #[must_use]
+    pub fn selectivity(&self, universe: usize) -> f64 {
+        if universe == 0 {
+            return 0.0;
+        }
+        self.len() as f64 / universe as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(ids: &[u32]) -> RowSet {
+        RowSet::from_ids(ids.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn from_ids_sorts_and_dedups() {
+        assert_eq!(rs(&[3, 1, 3, 2]).ids(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn from_sorted_ids_validates() {
+        assert!(RowSet::from_sorted_ids(vec![1, 2, 3]).is_ok());
+        assert!(RowSet::from_sorted_ids(vec![1, 1]).is_err());
+        assert!(RowSet::from_sorted_ids(vec![2, 1]).is_err());
+    }
+
+    #[test]
+    fn all_and_contains() {
+        let s = RowSet::all(4);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+    }
+
+    #[test]
+    fn intersect_union_basics() {
+        let a = rs(&[1, 3, 5, 7]);
+        let b = rs(&[3, 4, 5]);
+        assert_eq!(a.intersect(&b).ids(), &[3, 5]);
+        assert_eq!(a.union(&b).ids(), &[1, 3, 4, 5, 7]);
+    }
+
+    #[test]
+    fn intersect_with_empty_is_empty() {
+        let a = rs(&[1, 2]);
+        assert!(a.intersect(&RowSet::empty()).is_empty());
+        assert_eq!(a.union(&RowSet::empty()), a);
+    }
+
+    #[test]
+    fn complement_covers_universe() {
+        let a = rs(&[0, 2]);
+        assert_eq!(a.complement(5).ids(), &[1, 3, 4]);
+        let everything = RowSet::all(5);
+        assert!(everything.complement(5).is_empty());
+        assert_eq!(RowSet::empty().complement(3).ids(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn selectivity() {
+        assert_eq!(rs(&[0, 1]).selectivity(4), 0.5);
+        assert_eq!(RowSet::empty().selectivity(0), 0.0);
+    }
+
+    #[test]
+    fn union_is_commutative_and_intersect_distributes() {
+        let a = rs(&[1, 4, 6]);
+        let b = rs(&[2, 4]);
+        let c = rs(&[4, 6, 9]);
+        assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(
+            a.intersect(&b.union(&c)),
+            a.intersect(&b).union(&a.intersect(&c))
+        );
+    }
+}

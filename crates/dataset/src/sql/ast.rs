@@ -1,0 +1,139 @@
+//! SQL abstract syntax tree.
+
+use crate::aggregate::AggregateFunction;
+
+/// A literal value in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlValue {
+    /// String literal.
+    Text(String),
+    /// Numeric literal.
+    Number(f64),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparison {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+}
+
+/// A boolean predicate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// `column <op> literal`
+    Compare {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: Comparison,
+        /// Right-hand literal.
+        value: SqlValue,
+    },
+    /// `column IN (v1, v2, …)`
+    InList {
+        /// Column name.
+        column: String,
+        /// Accepted values.
+        values: Vec<SqlValue>,
+    },
+    /// `column BETWEEN low AND high` (inclusive per SQL semantics).
+    Between {
+        /// Column name.
+        column: String,
+        /// Inclusive lower bound.
+        low: f64,
+        /// Inclusive upper bound.
+        high: f64,
+    },
+    /// `a AND b`
+    And(Box<SqlExpr>, Box<SqlExpr>),
+    /// `a OR b`
+    Or(Box<SqlExpr>, Box<SqlExpr>),
+    /// `NOT a`
+    Not(Box<SqlExpr>),
+}
+
+/// An aggregate call in the projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// The aggregate function.
+    pub func: AggregateFunction,
+    /// The measure column, or `None` for `COUNT(*)`.
+    pub column: Option<String>,
+}
+
+impl std::fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.column {
+            Some(c) => write!(f, "{}({c})", self.func),
+            None => write!(f, "{}(*)", self.func),
+        }
+    }
+}
+
+/// One projected output column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `*`
+    All,
+    /// A plain column reference.
+    Column(String),
+    /// An aggregate call.
+    Aggregate(Aggregate),
+}
+
+/// Sort direction of an `ORDER BY`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending (the SQL default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    /// The projection list, in order.
+    pub projections: Vec<Projection>,
+    /// The `FROM` name (informational — execution receives a table).
+    pub from: String,
+    /// Optional `WHERE` predicate.
+    pub where_clause: Option<SqlExpr>,
+    /// Optional single `GROUP BY` column.
+    pub group_by: Option<String>,
+    /// Optional `ORDER BY (output column, direction)`.
+    pub order_by: Option<(String, SortOrder)>,
+    /// Optional `LIMIT`.
+    pub limit: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_display() {
+        let a = Aggregate {
+            func: AggregateFunction::Avg,
+            column: Some("m0".into()),
+        };
+        assert_eq!(a.to_string(), "AVG(m0)");
+        let c = Aggregate {
+            func: AggregateFunction::Count,
+            column: None,
+        };
+        assert_eq!(c.to_string(), "COUNT(*)");
+    }
+}

@@ -1,0 +1,640 @@
+//! SQL execution over the columnar engine.
+
+use crate::aggregate::{group_by_aggregate, AggregateFunction};
+use crate::binning::BinSpec;
+use crate::predicate::Predicate;
+use crate::sql::ast::{Comparison, Projection, SelectStatement, SortOrder, SqlExpr, SqlValue};
+use crate::sql::parser::parse_select;
+use crate::table::Table;
+use crate::DatasetError;
+
+/// One output cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResultValue {
+    /// A categorical / label value.
+    Text(String),
+    /// A numeric value.
+    Number(f64),
+}
+
+impl std::fmt::Display for ResultValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResultValue::Text(s) => f.write_str(s),
+            ResultValue::Number(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A query result: named columns and rows of values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names, in projection order.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<ResultValue>>,
+}
+
+impl ResultSet {
+    /// Renders the result as an aligned text table.
+    #[must_use]
+    pub fn to_text_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(ToString::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_owned()
+        };
+        out.push_str(&fmt_row(&self.columns, &widths));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+        for row in &rendered {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parses and executes a SQL string against `table`.
+///
+/// # Errors
+///
+/// [`DatasetError::Sql`] for syntax or semantic errors; engine errors for
+/// unknown columns / type mismatches.
+pub fn execute(sql: &str, table: &Table) -> Result<ResultSet, DatasetError> {
+    execute_statement(&parse_select(sql)?, table)
+}
+
+/// Executes a parsed statement against `table`.
+///
+/// # Errors
+///
+/// Same contract as [`execute`].
+pub fn execute_statement(
+    stmt: &SelectStatement,
+    table: &Table,
+) -> Result<ResultSet, DatasetError> {
+    let rows = match &stmt.where_clause {
+        Some(expr) => compile_predicate(expr)?.evaluate(table)?,
+        None => table.all_rows(),
+    };
+
+    let mut result = match &stmt.group_by {
+        Some(group_col) => execute_grouped(stmt, table, &rows, group_col)?,
+        None => execute_flat(stmt, table, &rows)?,
+    };
+    if let Some((column, order)) = &stmt.order_by {
+        let idx = result
+            .columns
+            .iter()
+            .position(|c| c == column)
+            .ok_or_else(|| {
+                DatasetError::Sql(format!(
+                    "ORDER BY {column}: not an output column (have {:?})",
+                    result.columns
+                ))
+            })?;
+        result.rows.sort_by(|a, b| {
+            let ord = compare_values(&a[idx], &b[idx]);
+            match order {
+                SortOrder::Asc => ord,
+                SortOrder::Desc => ord.reverse(),
+            }
+        });
+    }
+    if let Some(limit) = stmt.limit {
+        result.rows.truncate(limit);
+    }
+    Ok(result)
+}
+
+/// Total order over result values: numbers before text, numbers by value
+/// (NaN last), text lexicographic.
+fn compare_values(a: &ResultValue, b: &ResultValue) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (ResultValue::Number(x), ResultValue::Number(y)) => {
+            x.partial_cmp(y).unwrap_or(Ordering::Equal)
+        }
+        (ResultValue::Text(x), ResultValue::Text(y)) => x.cmp(y),
+        (ResultValue::Number(_), ResultValue::Text(_)) => Ordering::Less,
+        (ResultValue::Text(_), ResultValue::Number(_)) => Ordering::Greater,
+    }
+}
+
+fn execute_grouped(
+    stmt: &SelectStatement,
+    table: &Table,
+    rows: &crate::selection::RowSet,
+    group_col: &str,
+) -> Result<ResultSet, DatasetError> {
+    let col = table.column_by_name(group_col)?;
+    let spec = BinSpec::categorical_of(col).map_err(|_| {
+        DatasetError::Sql(format!(
+            "GROUP BY {group_col}: only categorical columns are groupable (bin numeric \
+             dimensions through the view API)"
+        ))
+    })?;
+
+    let mut columns = Vec::with_capacity(stmt.projections.len());
+    // Per-projection output: either the group labels or an aggregate vector.
+    let mut outputs: Vec<Vec<ResultValue>> = Vec::with_capacity(stmt.projections.len());
+    for projection in &stmt.projections {
+        match projection {
+            Projection::All => {
+                return Err(DatasetError::Sql(
+                    "SELECT * is not valid with GROUP BY; project the group column and aggregates"
+                        .into(),
+                ))
+            }
+            Projection::Column(name) if name == group_col => {
+                columns.push(name.clone());
+                outputs.push(
+                    (0..spec.bin_count())
+                        .map(|b| ResultValue::Text(spec.label(b)))
+                        .collect(),
+                );
+            }
+            Projection::Column(name) => {
+                return Err(DatasetError::Sql(format!(
+                    "column {name} must appear in GROUP BY or inside an aggregate"
+                )))
+            }
+            Projection::Aggregate(agg) => {
+                // COUNT(*) counts rows; any other aggregate needs a measure.
+                let measure = match (&agg.column, agg.func) {
+                    (Some(m), _) => m.clone(),
+                    (None, AggregateFunction::Count) => {
+                        // COUNT(*): count via any numeric column-independent
+                        // path — use the group-by counts of the group itself.
+                        let r = group_by_aggregate(
+                            table,
+                            rows,
+                            group_col,
+                            &spec,
+                            first_measure(table)?,
+                            AggregateFunction::Count,
+                        )?;
+                        columns.push(agg.to_string());
+                        outputs.push(
+                            r.aggregates
+                                .iter()
+                                .map(|v| ResultValue::Number(*v))
+                                .collect(),
+                        );
+                        continue;
+                    }
+                    (None, f) => {
+                        return Err(DatasetError::Sql(format!("{f}(*) is not defined")))
+                    }
+                };
+                let r =
+                    group_by_aggregate(table, rows, group_col, &spec, &measure, agg.func)?;
+                columns.push(agg.to_string());
+                outputs.push(
+                    r.aggregates
+                        .iter()
+                        .map(|v| ResultValue::Number(*v))
+                        .collect(),
+                );
+            }
+        }
+    }
+
+    let bin_count = spec.bin_count();
+    let rows_out = (0..bin_count)
+        .map(|b| outputs.iter().map(|col| col[b].clone()).collect())
+        .collect();
+    Ok(ResultSet {
+        columns,
+        rows: rows_out,
+    })
+}
+
+fn execute_flat(
+    stmt: &SelectStatement,
+    table: &Table,
+    rows: &crate::selection::RowSet,
+) -> Result<ResultSet, DatasetError> {
+    let has_aggregate = stmt
+        .projections
+        .iter()
+        .any(|p| matches!(p, Projection::Aggregate(_)));
+    if has_aggregate {
+        // SQL semantics: aggregates without GROUP BY collapse to one row;
+        // plain columns are then invalid.
+        let mut columns = Vec::new();
+        let mut row = Vec::new();
+        for projection in &stmt.projections {
+            let Projection::Aggregate(agg) = projection else {
+                return Err(DatasetError::Sql(
+                    "cannot mix plain columns with aggregates without GROUP BY".into(),
+                ));
+            };
+            columns.push(agg.to_string());
+            row.push(ResultValue::Number(flat_aggregate(table, rows, agg)?));
+        }
+        return Ok(ResultSet {
+            columns,
+            rows: vec![row],
+        });
+    }
+
+    // Plain projection: list the selected rows.
+    let names: Vec<String> = if stmt.projections == vec![Projection::All] {
+        table
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect()
+    } else {
+        stmt.projections
+            .iter()
+            .map(|p| match p {
+                Projection::Column(c) => Ok(c.clone()),
+                Projection::All => Err(DatasetError::Sql(
+                    "'*' cannot be combined with other projections".into(),
+                )),
+                Projection::Aggregate(_) => unreachable!("handled above"),
+            })
+            .collect::<Result<_, _>>()?
+    };
+    // Validate columns up front.
+    for n in &names {
+        table.column_by_name(n)?;
+    }
+    let rows_out = rows
+        .ids()
+        .iter()
+        .map(|&r| {
+            names
+                .iter()
+                .map(|n| {
+                    let col = table.column_by_name(n).expect("validated above");
+                    if col.is_categorical() {
+                        ResultValue::Text(col.category_at(r as usize).to_owned())
+                    } else {
+                        ResultValue::Number(col.values().expect("numeric")[r as usize])
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Ok(ResultSet {
+        columns: names,
+        rows: rows_out,
+    })
+}
+
+fn flat_aggregate(
+    table: &Table,
+    rows: &crate::selection::RowSet,
+    agg: &crate::sql::ast::Aggregate,
+) -> Result<f64, DatasetError> {
+    let values = match (&agg.column, agg.func) {
+        (None, AggregateFunction::Count) => return Ok(rows.len() as f64),
+        (None, f) => return Err(DatasetError::Sql(format!("{f}(*) is not defined"))),
+        (Some(m), _) => table.numeric_values(m)?,
+    };
+    let selected = rows.ids().iter().map(|&r| values[r as usize]);
+    Ok(match agg.func {
+        AggregateFunction::Count => rows.len() as f64,
+        AggregateFunction::Sum => selected.sum(),
+        AggregateFunction::Avg => {
+            if rows.is_empty() {
+                0.0
+            } else {
+                selected.sum::<f64>() / rows.len() as f64
+            }
+        }
+        // Empty selections yield 0, consistent with the group-by path.
+        AggregateFunction::Min => {
+            if rows.is_empty() {
+                0.0
+            } else {
+                selected.fold(f64::INFINITY, f64::min)
+            }
+        }
+        AggregateFunction::Max => {
+            if rows.is_empty() {
+                0.0
+            } else {
+                selected.fold(f64::NEG_INFINITY, f64::max)
+            }
+        }
+    })
+}
+
+fn first_measure(table: &Table) -> Result<&str, DatasetError> {
+    table
+        .measure_names()
+        .first()
+        .copied()
+        .ok_or_else(|| DatasetError::Sql("COUNT(*) needs at least one measure column".into()))
+}
+
+/// Compiles a SQL predicate expression into the engine's [`Predicate`].
+///
+/// # Errors
+///
+/// [`DatasetError::Sql`] for semantically invalid comparisons (e.g. ordered
+/// comparison against a string literal).
+pub(crate) fn compile_predicate(expr: &SqlExpr) -> Result<Predicate, DatasetError> {
+    Ok(match expr {
+        SqlExpr::Compare { column, op, value } => match (op, value) {
+            (Comparison::Eq, SqlValue::Text(v)) => Predicate::eq(column.clone(), v.clone()),
+            (Comparison::NotEq, SqlValue::Text(v)) => {
+                Predicate::Not(Box::new(Predicate::eq(column.clone(), v.clone())))
+            }
+            (Comparison::Eq, SqlValue::Number(n)) => {
+                Predicate::range(column.clone(), *n, next_up(*n))
+            }
+            (Comparison::NotEq, SqlValue::Number(n)) => Predicate::Not(Box::new(
+                Predicate::range(column.clone(), *n, next_up(*n)),
+            )),
+            (Comparison::Lt, SqlValue::Number(n)) => {
+                Predicate::range(column.clone(), f64::NEG_INFINITY, *n)
+            }
+            (Comparison::LtEq, SqlValue::Number(n)) => {
+                Predicate::range(column.clone(), f64::NEG_INFINITY, next_up(*n))
+            }
+            (Comparison::Gt, SqlValue::Number(n)) => {
+                Predicate::range(column.clone(), next_up(*n), f64::INFINITY)
+            }
+            (Comparison::GtEq, SqlValue::Number(n)) => {
+                Predicate::range(column.clone(), *n, f64::INFINITY)
+            }
+            (_, SqlValue::Text(v)) => {
+                return Err(DatasetError::Sql(format!(
+                    "ordered comparison against string literal '{v}' is not supported"
+                )))
+            }
+        },
+        SqlExpr::InList { column, values } => {
+            let mut texts = Vec::new();
+            let mut numbers = Vec::new();
+            for v in values {
+                match v {
+                    SqlValue::Text(s) => texts.push(s.clone()),
+                    SqlValue::Number(n) => numbers.push(*n),
+                }
+            }
+            if !texts.is_empty() && !numbers.is_empty() {
+                return Err(DatasetError::Sql(
+                    "IN list mixes string and numeric literals".into(),
+                ));
+            }
+            if !texts.is_empty() {
+                Predicate::is_in(column.clone(), texts)
+            } else {
+                Predicate::Or(
+                    numbers
+                        .into_iter()
+                        .map(|n| Predicate::range(column.clone(), n, next_up(n)))
+                        .collect(),
+                )
+            }
+        }
+        SqlExpr::Between { column, low, high } => {
+            // SQL BETWEEN is inclusive on both ends.
+            Predicate::range(column.clone(), *low, next_up(*high))
+        }
+        SqlExpr::And(a, b) => {
+            Predicate::And(vec![compile_predicate(a)?, compile_predicate(b)?])
+        }
+        SqlExpr::Or(a, b) => Predicate::Or(vec![compile_predicate(a)?, compile_predicate(b)?]),
+        SqlExpr::Not(inner) => Predicate::Not(Box::new(compile_predicate(inner)?)),
+    })
+}
+
+/// Smallest f64 strictly greater than `x` (used to express inclusive upper
+/// bounds with the engine's half-open ranges).
+fn next_up(x: f64) -> f64 {
+    if x == f64::INFINITY {
+        x
+    } else {
+        let bits = x.to_bits();
+        let next = if x >= 0.0 { bits + 1 } else { bits - 1 };
+        f64::from_bits(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TableBuilder;
+    use crate::row;
+    use crate::schema::Schema;
+
+    fn table() -> Table {
+        let schema = Schema::builder()
+            .categorical_dimension("city")
+            .numeric_dimension("age")
+            .measure("m_sales")
+            .build()
+            .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for (city, age, sales) in [
+            ("NY", 25.0, 100.0),
+            ("NY", 35.0, 200.0),
+            ("LA", 45.0, 50.0),
+            ("LA", 55.0, 150.0),
+            ("SF", 65.0, 300.0),
+        ] {
+            b.push_row(row![city, age, sales]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let r = execute(
+            "SELECT city, AVG(m_sales), COUNT(*) FROM t GROUP BY city",
+            &table(),
+        )
+        .unwrap();
+        assert_eq!(r.columns, vec!["city", "AVG(m_sales)", "COUNT(*)"]);
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(
+            r.rows[0],
+            vec![
+                ResultValue::Text("NY".into()),
+                ResultValue::Number(150.0),
+                ResultValue::Number(2.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn where_filters_before_grouping() {
+        let r = execute(
+            "SELECT city, SUM(m_sales) FROM t WHERE age >= 40 GROUP BY city",
+            &table(),
+        )
+        .unwrap();
+        // NY rows filtered out: its bin is empty → 0.
+        assert_eq!(r.rows[0][1], ResultValue::Number(0.0));
+        assert_eq!(r.rows[1][1], ResultValue::Number(200.0)); // LA: 50+150
+        assert_eq!(r.rows[2][1], ResultValue::Number(300.0)); // SF
+    }
+
+    #[test]
+    fn flat_aggregates_collapse_to_one_row() {
+        let r = execute(
+            "SELECT COUNT(*), AVG(m_sales), MIN(m_sales), MAX(m_sales) FROM t WHERE city = 'LA'",
+            &table(),
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(
+            r.rows[0],
+            vec![
+                ResultValue::Number(2.0),
+                ResultValue::Number(100.0),
+                ResultValue::Number(50.0),
+                ResultValue::Number(150.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn row_listing_with_projection_and_limit() {
+        let r = execute(
+            "SELECT city, age FROM t WHERE age > 30 LIMIT 2",
+            &table(),
+        )
+        .unwrap();
+        assert_eq!(r.columns, vec!["city", "age"]);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], ResultValue::Text("NY".into()));
+    }
+
+    #[test]
+    fn select_star_lists_all_columns() {
+        let r = execute("SELECT * FROM t LIMIT 1", &table()).unwrap();
+        assert_eq!(r.columns, vec!["city", "age", "m_sales"]);
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let r = execute(
+            "SELECT COUNT(*) FROM t WHERE age BETWEEN 35 AND 55",
+            &table(),
+        )
+        .unwrap();
+        assert_eq!(r.rows[0][0], ResultValue::Number(3.0));
+    }
+
+    #[test]
+    fn in_list_and_or() {
+        let r = execute(
+            "SELECT COUNT(*) FROM t WHERE city IN ('NY', 'SF') OR age = 45",
+            &table(),
+        )
+        .unwrap();
+        assert_eq!(r.rows[0][0], ResultValue::Number(4.0));
+    }
+
+    #[test]
+    fn numeric_equality_and_inequality() {
+        let t = table();
+        let eq = execute("SELECT COUNT(*) FROM t WHERE age = 45", &t).unwrap();
+        assert_eq!(eq.rows[0][0], ResultValue::Number(1.0));
+        let neq = execute("SELECT COUNT(*) FROM t WHERE age != 45", &t).unwrap();
+        assert_eq!(neq.rows[0][0], ResultValue::Number(4.0));
+        let sneq = execute("SELECT COUNT(*) FROM t WHERE city <> 'NY'", &t).unwrap();
+        assert_eq!(sneq.rows[0][0], ResultValue::Number(3.0));
+    }
+
+    #[test]
+    fn order_by_sorts_and_limits() {
+        let r = execute(
+            "SELECT city, SUM(m_sales) FROM t GROUP BY city ORDER BY SUM(m_sales) DESC LIMIT 2",
+            &table(),
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], ResultValue::Text("NY".into())); // 300
+        assert_eq!(r.rows[1][0], ResultValue::Text("SF".into())); // 300? no: SF 300, NY 300
+        let asc = execute("SELECT age FROM t ORDER BY age", &table()).unwrap();
+        let ages: Vec<String> = asc.rows.iter().map(|r| r[0].to_string()).collect();
+        let mut sorted = ages.clone();
+        sorted.sort_by(|a, b| a.parse::<f64>().unwrap().partial_cmp(&b.parse::<f64>().unwrap()).unwrap());
+        assert_eq!(ages, sorted);
+        assert!(execute("SELECT city FROM t ORDER BY nope", &table()).is_err());
+    }
+
+    #[test]
+    fn semantic_errors() {
+        let t = table();
+        assert!(execute("SELECT * FROM t GROUP BY city", &t).is_err());
+        assert!(execute("SELECT age FROM t GROUP BY city", &t).is_err());
+        assert!(execute("SELECT city, age FROM t GROUP BY age", &t).is_err(), "numeric group");
+        assert!(execute("SELECT city, COUNT(*) FROM t", &t).is_err(), "mixed flat");
+        assert!(execute("SELECT COUNT(*) FROM t WHERE city > 'A'", &t).is_err());
+        assert!(execute("SELECT COUNT(*) FROM t WHERE city IN ('NY', 3)", &t).is_err());
+        assert!(execute("SELECT nope FROM t", &t).is_err());
+    }
+
+    #[test]
+    fn empty_selection_flat_aggregates() {
+        let r = execute(
+            "SELECT COUNT(*), AVG(m_sales), MIN(m_sales), MAX(m_sales) FROM t WHERE age > 1000",
+            &table(),
+        )
+        .unwrap();
+        assert_eq!(
+            r.rows[0],
+            vec![
+                ResultValue::Number(0.0),
+                ResultValue::Number(0.0),
+                ResultValue::Number(0.0),
+                ResultValue::Number(0.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn text_table_rendering() {
+        let r = execute("SELECT city, AVG(m_sales) FROM t GROUP BY city", &table()).unwrap();
+        let text = r.to_text_table();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("city"));
+        assert!(lines[1].starts_with("----"));
+        assert_eq!(lines.len(), 2 + 3);
+    }
+
+    #[test]
+    fn parse_where_round_trip() {
+        let p = crate::sql::parse_where("city = 'NY' AND age >= 30").unwrap();
+        let rows = p.evaluate(&table()).unwrap();
+        assert_eq!(rows.ids(), &[1]);
+        assert!(crate::sql::parse_where("city = 'NY' extra").is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! A small SQL layer over the columnar engine.
+//!
+//! The paper describes both views and the exploration subset in SQL terms:
+//! "a view vᵢ essentially represents an SQL query with a group-by clause
+//! over a database D", and "DQ can be specified by any data specification
+//! method such as an SQL/NoSQL query over DR". This module makes those
+//! sentences literal:
+//!
+//! ```
+//! use viewseeker_dataset::generate::{generate_diab, DiabConfig};
+//! use viewseeker_dataset::sql::execute;
+//!
+//! let table = generate_diab(&DiabConfig::small(1_000, 1)).unwrap();
+//! let result = execute(
+//!     "SELECT a0, AVG(m0) FROM diab WHERE a1 = 'a1_v0' GROUP BY a0",
+//!     &table,
+//! )
+//! .unwrap();
+//! assert_eq!(result.columns, vec!["a0", "AVG(m0)"]);
+//! ```
+//!
+//! Supported surface (deliberately the fragment view recommendation needs):
+//!
+//! ```sql
+//! SELECT <projection, ...> FROM <name>
+//!   [WHERE <predicate>] [GROUP BY <column>]
+//!   [ORDER BY <output column> [ASC|DESC]] [LIMIT <n>]
+//! ```
+//!
+//! * projections: `*`, column names, `COUNT(*)`, and `f(measure)` for the
+//!   five aggregate functions;
+//! * predicates: `=`, `!=`/`<>`, `<`, `<=`, `>`, `>=`, `IN (…)`,
+//!   `BETWEEN a AND b`, combined with `AND`, `OR`, `NOT`, parentheses;
+//! * string literals in single quotes; numbers as literals;
+//! * `GROUP BY` over one categorical dimension.
+//!
+//! The `FROM` name is informational (a table is passed in explicitly).
+
+mod ast;
+mod exec;
+mod lexer;
+mod parser;
+
+pub use ast::{Aggregate, Comparison, Projection, SelectStatement, SortOrder, SqlExpr, SqlValue};
+pub use exec::{execute, execute_statement, ResultSet, ResultValue};
+pub use lexer::{tokenize, Token};
+pub use parser::parse_select;
+
+use crate::predicate::Predicate;
+use crate::DatasetError;
+
+/// Parses just a WHERE-style predicate expression (no `SELECT` framing) into
+/// the engine's [`Predicate`] AST — the convenient path for specifying `DQ`.
+///
+/// ```
+/// use viewseeker_dataset::sql::parse_where;
+///
+/// let p = parse_where("a0 = 'x' AND m0 BETWEEN 10 AND 20").unwrap();
+/// // p is a regular engine predicate, usable in a SelectQuery.
+/// # let _ = p;
+/// ```
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Sql`] for syntax errors.
+pub fn parse_where(input: &str) -> Result<Predicate, DatasetError> {
+    let tokens = tokenize(input)?;
+    let mut parser = parser::Parser::new(tokens);
+    let expr = parser.parse_expr()?;
+    parser.expect_end()?;
+    exec::compile_predicate(&expr)
+}

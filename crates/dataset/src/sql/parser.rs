@@ -1,0 +1,447 @@
+//! Recursive-descent SQL parser.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! select     := SELECT projections FROM ident [WHERE expr]
+//!               [GROUP BY ident] [ORDER BY column [ASC|DESC]] [LIMIT number]
+//! projections:= projection (',' projection)*
+//! projection := '*' | aggregate | ident
+//! aggregate  := (COUNT|SUM|AVG|MIN|MAX) '(' ('*' | ident) ')'
+//! expr       := and_expr (OR and_expr)*
+//! and_expr   := unary (AND unary)*
+//! unary      := NOT unary | '(' expr ')' | comparison
+//! comparison := ident ( op literal
+//!                     | IN '(' literal (',' literal)* ')'
+//!                     | [NOT] BETWEEN number AND number )
+//! ```
+
+use crate::aggregate::AggregateFunction;
+use crate::sql::ast::{
+    Aggregate, Comparison, Projection, SelectStatement, SortOrder, SqlExpr, SqlValue,
+};
+use crate::sql::lexer::Token;
+use crate::DatasetError;
+
+/// Parses a full `SELECT` statement.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Sql`] with a position-free human message.
+pub fn parse_select(input: &str) -> Result<SelectStatement, DatasetError> {
+    let tokens = crate::sql::lexer::tokenize(input)?;
+    let mut p = Parser::new(tokens);
+    let stmt = p.parse_statement()?;
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+/// Token-stream parser (shared with [`crate::sql::parse_where`]).
+pub(crate) struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub(crate) fn new(tokens: Vec<Token>) -> Self {
+        Self { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes the next token if it's the given case-insensitive keyword.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), DatasetError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(DatasetError::Sql(format!(
+                "expected {kw}, found {}",
+                self.describe_next()
+            )))
+        }
+    }
+
+    fn expect_token(&mut self, want: &Token, what: &str) -> Result<(), DatasetError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DatasetError::Sql(format!(
+                "expected {what}, found {}",
+                self.describe_next()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, DatasetError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(DatasetError::Sql(format!(
+                "expected {what}, found {}",
+                describe(other.as_ref())
+            ))),
+        }
+    }
+
+    fn describe_next(&self) -> String {
+        describe(self.peek())
+    }
+
+    pub(crate) fn expect_end(&mut self) -> Result<(), DatasetError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(DatasetError::Sql(format!(
+                "unexpected trailing input starting at {}",
+                self.describe_next()
+            )))
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<SelectStatement, DatasetError> {
+        self.expect_keyword("SELECT")?;
+        let mut projections = vec![self.parse_projection()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            projections.push(self.parse_projection()?);
+        }
+        self.expect_keyword("FROM")?;
+        let from = self.expect_ident("table name")?;
+
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let group_by = if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            Some(self.expect_ident("group-by column")?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            // Accept a column name or an aggregate spelling like AVG(m).
+            let mut name = self.expect_ident("order-by column")?;
+            if self.peek() == Some(&Token::LParen) {
+                self.pos += 1;
+                let arg = if self.peek() == Some(&Token::Star) {
+                    self.pos += 1;
+                    "*".to_owned()
+                } else {
+                    self.expect_ident("aggregate argument")?
+                };
+                self.expect_token(&Token::RParen, ")")?;
+                name = format!("{}({arg})", name.to_ascii_uppercase());
+            }
+            let order = if self.eat_keyword("DESC") {
+                SortOrder::Desc
+            } else {
+                let _ = self.eat_keyword("ASC");
+                SortOrder::Asc
+            };
+            Some((name, order))
+        } else {
+            None
+        };
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Number(n)) if n >= 0.0 && n.fract() == 0.0 => Some(n as usize),
+                other => {
+                    return Err(DatasetError::Sql(format!(
+                        "expected a non-negative integer LIMIT, found {}",
+                        describe(other.as_ref())
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStatement {
+            projections,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_projection(&mut self) -> Result<Projection, DatasetError> {
+        if self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            return Ok(Projection::All);
+        }
+        let name = self.expect_ident("a projection")?;
+        let func = aggregate_function(&name);
+        if let (Some(func), Some(Token::LParen)) = (func, self.peek()) {
+            self.pos += 1;
+            let column = if self.peek() == Some(&Token::Star) {
+                self.pos += 1;
+                None
+            } else {
+                Some(self.expect_ident("aggregate argument")?)
+            };
+            self.expect_token(&Token::RParen, ")")?;
+            if column.is_none() && func != AggregateFunction::Count {
+                return Err(DatasetError::Sql(format!("{func}(*) is not defined")));
+            }
+            return Ok(Projection::Aggregate(Aggregate { func, column }));
+        }
+        Ok(Projection::Column(name))
+    }
+
+    pub(crate) fn parse_expr(&mut self) -> Result<SqlExpr, DatasetError> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = SqlExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<SqlExpr, DatasetError> {
+        let mut left = self.parse_unary()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_unary()?;
+            left = SqlExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<SqlExpr, DatasetError> {
+        if self.eat_keyword("NOT") {
+            return Ok(SqlExpr::Not(Box::new(self.parse_unary()?)));
+        }
+        if self.peek() == Some(&Token::LParen) {
+            self.pos += 1;
+            let inner = self.parse_expr()?;
+            self.expect_token(&Token::RParen, ")")?;
+            return Ok(inner);
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<SqlExpr, DatasetError> {
+        let column = self.expect_ident("a column name")?;
+        if self.eat_keyword("IN") {
+            self.expect_token(&Token::LParen, "(")?;
+            let mut values = vec![self.parse_literal()?];
+            while self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+                values.push(self.parse_literal()?);
+            }
+            self.expect_token(&Token::RParen, ")")?;
+            return Ok(SqlExpr::InList { column, values });
+        }
+        let negate = self.eat_keyword("NOT");
+        if self.eat_keyword("BETWEEN") {
+            let low = self.parse_number()?;
+            self.expect_keyword("AND")?;
+            let high = self.parse_number()?;
+            let between = SqlExpr::Between { column, low, high };
+            return Ok(if negate {
+                SqlExpr::Not(Box::new(between))
+            } else {
+                between
+            });
+        }
+        if negate {
+            return Err(DatasetError::Sql(
+                "expected BETWEEN after NOT in a comparison".into(),
+            ));
+        }
+        let op = match self.next() {
+            Some(Token::Eq) => Comparison::Eq,
+            Some(Token::NotEq) => Comparison::NotEq,
+            Some(Token::Lt) => Comparison::Lt,
+            Some(Token::LtEq) => Comparison::LtEq,
+            Some(Token::Gt) => Comparison::Gt,
+            Some(Token::GtEq) => Comparison::GtEq,
+            other => {
+                return Err(DatasetError::Sql(format!(
+                    "expected a comparison operator, found {}",
+                    describe(other.as_ref())
+                )))
+            }
+        };
+        let value = self.parse_literal()?;
+        Ok(SqlExpr::Compare { column, op, value })
+    }
+
+    fn parse_literal(&mut self) -> Result<SqlValue, DatasetError> {
+        match self.next() {
+            Some(Token::String(s)) => Ok(SqlValue::Text(s)),
+            Some(Token::Number(n)) => Ok(SqlValue::Number(n)),
+            other => Err(DatasetError::Sql(format!(
+                "expected a literal, found {}",
+                describe(other.as_ref())
+            ))),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, DatasetError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            other => Err(DatasetError::Sql(format!(
+                "expected a number, found {}",
+                describe(other.as_ref())
+            ))),
+        }
+    }
+}
+
+fn describe(token: Option<&Token>) -> String {
+    match token {
+        Some(t) => format!("{t}"),
+        None => "end of input".into(),
+    }
+}
+
+fn aggregate_function(name: &str) -> Option<AggregateFunction> {
+    match name.to_ascii_uppercase().as_str() {
+        "COUNT" => Some(AggregateFunction::Count),
+        "SUM" => Some(AggregateFunction::Sum),
+        "AVG" => Some(AggregateFunction::Avg),
+        "MIN" => Some(AggregateFunction::Min),
+        "MAX" => Some(AggregateFunction::Max),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_canonical_view_query() {
+        let s = parse_select("SELECT a0, AVG(m0) FROM diab WHERE a1 = 'x' GROUP BY a0").unwrap();
+        assert_eq!(s.projections.len(), 2);
+        assert_eq!(s.projections[0], Projection::Column("a0".into()));
+        assert_eq!(
+            s.projections[1],
+            Projection::Aggregate(Aggregate {
+                func: AggregateFunction::Avg,
+                column: Some("m0".into())
+            })
+        );
+        assert_eq!(s.from, "diab");
+        assert_eq!(s.group_by.as_deref(), Some("a0"));
+        assert!(s.limit.is_none());
+        assert!(matches!(s.where_clause, Some(SqlExpr::Compare { .. })));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let s = parse_select("select * from t where x > 1 limit 5").unwrap();
+        assert_eq!(s.projections, vec![Projection::All]);
+        assert_eq!(s.limit, Some(5));
+    }
+
+    #[test]
+    fn count_star_and_aggregate_star_rules() {
+        let s = parse_select("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(
+            s.projections[0],
+            Projection::Aggregate(Aggregate {
+                func: AggregateFunction::Count,
+                column: None
+            })
+        );
+        assert!(parse_select("SELECT AVG(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn boolean_precedence_and_parens() {
+        // a OR b AND c parses as a OR (b AND c).
+        let s = parse_select("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        match s.where_clause.unwrap() {
+            SqlExpr::Or(_, right) => assert!(matches!(*right, SqlExpr::And(_, _))),
+            other => panic!("expected OR at the top, got {other:?}"),
+        }
+        let s2 = parse_select("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap();
+        assert!(matches!(s2.where_clause.unwrap(), SqlExpr::And(_, _)));
+    }
+
+    #[test]
+    fn in_between_and_not() {
+        let s = parse_select(
+            "SELECT * FROM t WHERE color IN ('red', 'blue') AND age BETWEEN 20 AND 65 AND NOT x = 1",
+        )
+        .unwrap();
+        let mut found_in = false;
+        let mut found_between = false;
+        let mut found_not = false;
+        fn walk(e: &SqlExpr, f: &mut impl FnMut(&SqlExpr)) {
+            f(e);
+            match e {
+                SqlExpr::And(a, b) | SqlExpr::Or(a, b) => {
+                    walk(a, f);
+                    walk(b, f);
+                }
+                SqlExpr::Not(a) => walk(a, f),
+                _ => {}
+            }
+        }
+        walk(&s.where_clause.unwrap(), &mut |e| match e {
+            SqlExpr::InList { .. } => found_in = true,
+            SqlExpr::Between { .. } => found_between = true,
+            SqlExpr::Not(_) => found_not = true,
+            _ => {}
+        });
+        assert!(found_in && found_between && found_not);
+    }
+
+    #[test]
+    fn not_between() {
+        let s = parse_select("SELECT * FROM t WHERE age NOT BETWEEN 20 AND 30").unwrap();
+        assert!(matches!(s.where_clause.unwrap(), SqlExpr::Not(_)));
+        assert!(parse_select("SELECT * FROM t WHERE age NOT = 5").is_err());
+    }
+
+    #[test]
+    fn order_by_variants() {
+        let s = parse_select("SELECT city, AVG(m) FROM t GROUP BY city ORDER BY AVG(m) DESC LIMIT 3")
+            .unwrap();
+        assert_eq!(s.order_by, Some(("AVG(m)".into(), SortOrder::Desc)));
+        assert_eq!(s.limit, Some(3));
+        let asc = parse_select("SELECT * FROM t ORDER BY age").unwrap();
+        assert_eq!(asc.order_by, Some(("age".into(), SortOrder::Asc)));
+        let explicit = parse_select("SELECT * FROM t ORDER BY age ASC").unwrap();
+        assert_eq!(explicit.order_by, Some(("age".into(), SortOrder::Asc)));
+        assert!(parse_select("SELECT * FROM t ORDER age").is_err());
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(parse_select("FROM t").is_err());
+        assert!(parse_select("SELECT FROM t").is_err());
+        assert!(parse_select("SELECT * FROM").is_err());
+        assert!(parse_select("SELECT * FROM t WHERE").is_err());
+        assert!(parse_select("SELECT * FROM t GROUP a").is_err());
+        assert!(parse_select("SELECT * FROM t LIMIT 2.5").is_err());
+        assert!(parse_select("SELECT * FROM t extra").is_err());
+        assert!(parse_select("SELECT * FROM t WHERE a = ").is_err());
+        assert!(parse_select("SELECT * FROM t WHERE = 3").is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Tables: a schema plus equally-long columns.
+
+use crate::column::Column;
+use crate::schema::{AttributeRole, ColumnType, Schema};
+use crate::selection::RowSet;
+use crate::DatasetError;
+
+/// An immutable in-memory table.
+///
+/// Construction validates that every column matches its schema entry in both
+/// type and length, so all downstream query code can index without checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Assembles a table from a schema and matching columns.
+    ///
+    /// # Errors
+    ///
+    /// * [`DatasetError::Invalid`] if the column count differs from the
+    ///   schema;
+    /// * [`DatasetError::ColumnTypeMismatch`] if a column's physical type
+    ///   differs from its schema entry;
+    /// * [`DatasetError::LengthMismatch`] if columns differ in length.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Self, DatasetError> {
+        if schema.len() != columns.len() {
+            return Err(DatasetError::Invalid(format!(
+                "schema has {} columns but {} were provided",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        for (meta, col) in schema.columns().iter().zip(&columns) {
+            let type_ok = match meta.column_type {
+                ColumnType::Categorical => col.is_categorical(),
+                ColumnType::Numeric => !col.is_categorical(),
+            };
+            if !type_ok {
+                return Err(DatasetError::ColumnTypeMismatch {
+                    column: meta.name.clone(),
+                    expected: match meta.column_type {
+                        ColumnType::Categorical => "categorical",
+                        ColumnType::Numeric => "numeric",
+                    },
+                });
+            }
+            if col.len() != rows {
+                return Err(DatasetError::LengthMismatch {
+                    column: meta.name.clone(),
+                    len: col.len(),
+                    expected: rows,
+                });
+            }
+        }
+        Ok(Self {
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    /// The table's schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Column by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn column(&self, index: usize) -> &Column {
+        &self.columns[index]
+    }
+
+    /// Column by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::UnknownColumn`] if no column has that name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column, DatasetError> {
+        self.schema
+            .index_of(name)
+            .map(|i| &self.columns[i])
+            .ok_or_else(|| DatasetError::UnknownColumn(name.to_owned()))
+    }
+
+    /// A numeric column's values by name.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::UnknownColumn`] or [`DatasetError::ColumnTypeMismatch`].
+    pub fn numeric_values(&self, name: &str) -> Result<&[f64], DatasetError> {
+        self.column_by_name(name)?
+            .values()
+            .ok_or_else(|| DatasetError::ColumnTypeMismatch {
+                column: name.to_owned(),
+                expected: "numeric",
+            })
+    }
+
+    /// A row set selecting every row of the table.
+    #[must_use]
+    pub fn all_rows(&self) -> RowSet {
+        RowSet::all(self.rows)
+    }
+
+    /// Materializes the listed rows into a new table sharing this schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::IndexOutOfRange`] if any row id is out of
+    /// range.
+    pub fn gather(&self, rows: &RowSet) -> Result<Table, DatasetError> {
+        if let Some(&max) = rows.ids().iter().max() {
+            if max as usize >= self.rows {
+                return Err(DatasetError::IndexOutOfRange {
+                    index: max as usize,
+                    len: self.rows,
+                });
+            }
+        }
+        let columns = self.columns.iter().map(|c| c.gather(rows.ids())).collect();
+        Table::new(self.schema.clone(), columns)
+    }
+
+    /// Names of dimension attributes (delegates to the schema).
+    #[must_use]
+    pub fn dimension_names(&self) -> Vec<&str> {
+        self.schema.dimension_names()
+    }
+
+    /// Names of measure attributes (delegates to the schema).
+    #[must_use]
+    pub fn measure_names(&self) -> Vec<&str> {
+        self.schema.measure_names()
+    }
+
+    /// Whether the named attribute is a dimension.
+    #[must_use]
+    pub fn is_dimension(&self, name: &str) -> bool {
+        self.schema
+            .column(name)
+            .is_some_and(|c| c.role == AttributeRole::Dimension)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn small_table() -> Table {
+        let schema = Schema::builder()
+            .categorical_dimension("color")
+            .measure("price")
+            .build()
+            .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::categorical_from_values(&["red", "blue", "red"]),
+                Column::numeric(vec![1.0, 2.0, 3.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = small_table();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.dimension_names(), vec!["color"]);
+        assert_eq!(t.measure_names(), vec!["price"]);
+        assert!(t.is_dimension("color"));
+        assert!(!t.is_dimension("price"));
+        assert!(!t.is_dimension("missing"));
+        assert_eq!(t.numeric_values("price").unwrap(), &[1.0, 2.0, 3.0]);
+        assert!(t.numeric_values("color").is_err());
+        assert!(t.column_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn mismatched_column_count_rejected() {
+        let schema = Schema::builder().measure("m").build().unwrap();
+        assert!(Table::new(schema, vec![]).is_err());
+    }
+
+    #[test]
+    fn mismatched_column_type_rejected() {
+        let schema = Schema::builder().categorical_dimension("d").build().unwrap();
+        let r = Table::new(schema, vec![Column::numeric(vec![1.0])]);
+        assert!(matches!(r, Err(DatasetError::ColumnTypeMismatch { .. })));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let schema = Schema::builder().measure("a").measure("b").build().unwrap();
+        let r = Table::new(
+            schema,
+            vec![Column::numeric(vec![1.0]), Column::numeric(vec![1.0, 2.0])],
+        );
+        assert!(matches!(r, Err(DatasetError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let t = small_table();
+        let sub = t.gather(&RowSet::from_ids(vec![0, 2]).unwrap()).unwrap();
+        assert_eq!(sub.row_count(), 2);
+        assert_eq!(sub.numeric_values("price").unwrap(), &[1.0, 3.0]);
+        assert_eq!(sub.column(0).category_at(1), "red");
+    }
+
+    #[test]
+    fn gather_out_of_range_rejected() {
+        let t = small_table();
+        assert!(t.gather(&RowSet::from_ids(vec![5]).unwrap()).is_err());
+    }
+}

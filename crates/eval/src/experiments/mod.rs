@@ -1,0 +1,23 @@
+//! The paper's three experiments plus two ablations.
+//!
+//! * [`effort`] — Experiment 1 (Figures 3 & 4): labels needed to reach 100%
+//!   precision@k, swept over k and the three ideal-function groups.
+//! * [`baselines`] — Experiment 2 (Figure 5): maximum achievable precision
+//!   of ViewSeeker vs the 8 fixed single-feature baselines.
+//! * [`optimization`] — §5.2 (Figures 6 & 7): labels and runtime to UD = 0,
+//!   optimization on vs off.
+//! * [`ablation`] — query-strategy and α-sweep ablations (design choices
+//!   DESIGN.md calls out).
+
+pub mod ablation;
+pub mod baselines;
+pub mod effort;
+pub mod optimization;
+
+pub use ablation::{
+    alpha_sweep, batch_size_sweep, noise_sweep, strategy_ablation, AlphaPoint, BatchPoint,
+    NoisePoint, StrategyPoint,
+};
+pub use baselines::{baseline_experiment, BaselineComparison};
+pub use effort::{user_effort_experiment, EffortPoint};
+pub use optimization::{optimization_experiment, OptimizationPoint};

@@ -1,0 +1,166 @@
+//! The DIAB and SYN testbeds (Table 1).
+//!
+//! | Parameter | DIAB | SYN |
+//! |---|---|---|
+//! | Records | 100,000 | 1,000,000 |
+//! | Cardinality ratio of `DQ` | 0.5% | 0.5% |
+//! | Dimension attributes | 7 (variable cardinality) | 5 |
+//! | Measure attributes | 8 | 5 |
+//! | Aggregate functions | 5 | 5 |
+//! | Bin configurations | natural | 3 and 4 bins |
+//! | Distinct views | 280 | 250 |
+//!
+//! [`TestbedScale`] lets the same testbed run at paper-scale (benchmarks) or
+//! laptop-scale (tests, CI).
+
+use viewseeker_dataset::generate::{
+    generate_diab, generate_syn, hypercube_query, DiabConfig, HypercubeConfig, SynConfig,
+};
+use viewseeker_dataset::{SelectQuery, Table};
+use viewseeker_core::CoreError;
+
+/// How large to build a testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestbedScale {
+    /// The record counts of Table 1 (100k / 1M rows).
+    Paper,
+    /// A reduced row count with identical attribute shape.
+    Small(usize),
+}
+
+impl TestbedScale {
+    fn rows(self, paper_rows: usize) -> usize {
+        match self {
+            TestbedScale::Paper => paper_rows,
+            TestbedScale::Small(rows) => rows,
+        }
+    }
+}
+
+/// A dataset + query pair ready for a ViewSeeker session.
+#[derive(Debug)]
+pub struct Testbed {
+    /// `"DIAB"` or `"SYN"`.
+    pub name: &'static str,
+    /// The full database `DR`.
+    pub table: Table,
+    /// The hypercube query defining `DQ`.
+    pub query: SelectQuery,
+    /// The achieved selectivity of the query (target 0.5%).
+    pub selectivity: f64,
+    /// The bin configurations for numeric dimensions.
+    pub bin_configs: Vec<usize>,
+}
+
+/// Builds the DIAB testbed: a 7-dimension, 8-measure categorical table with
+/// a hypercube query selecting ≈0.5% of the rows.
+///
+/// # Errors
+///
+/// Propagates generator and query-construction errors.
+pub fn diab_testbed(scale: TestbedScale, seed: u64) -> Result<Testbed, CoreError> {
+    let table = generate_diab(&DiabConfig {
+        rows: scale.rows(100_000),
+        seed,
+        ..DiabConfig::default()
+    })?;
+    let (query, selectivity) = pick_query(&table, seed)?;
+    Ok(Testbed {
+        name: "DIAB",
+        table,
+        query,
+        selectivity,
+        // DIAB's dimensions are categorical; bin configs are unused but kept
+        // for config uniformity.
+        bin_configs: vec![3, 4],
+    })
+}
+
+/// Builds the SYN testbed: a 5-dimension, 5-measure uniform numeric table
+/// with 3- and 4-bin view configurations.
+///
+/// # Errors
+///
+/// Propagates generator and query-construction errors.
+pub fn syn_testbed(scale: TestbedScale, seed: u64) -> Result<Testbed, CoreError> {
+    let table = generate_syn(&SynConfig {
+        rows: scale.rows(1_000_000),
+        seed,
+        ..SynConfig::default()
+    })?;
+    let (query, selectivity) = pick_query(&table, seed)?;
+    Ok(Testbed {
+        name: "SYN",
+        table,
+        query,
+        selectivity,
+        bin_configs: vec![3, 4],
+    })
+}
+
+/// Builds the hypercube query, relaxing the 0.5% target on small tables so
+/// `DQ` keeps enough rows for meaningful aggregates (at least ~200 rows or
+/// 2% of the table, whichever is larger).
+fn pick_query(table: &Table, seed: u64) -> Result<(SelectQuery, f64), CoreError> {
+    let rows = table.row_count() as f64;
+    let floor = (200.0 / rows).max(0.005);
+    let target = floor.min(1.0);
+    let (query, selectivity) = hypercube_query(
+        table,
+        &HypercubeConfig {
+            target_selectivity: target,
+            seed,
+            ..HypercubeConfig::default()
+        },
+    )?;
+    Ok((query, selectivity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viewseeker_core::ViewSpace;
+
+    #[test]
+    fn diab_shape_matches_table_1() {
+        let tb = diab_testbed(TestbedScale::Small(5_000), 1).unwrap();
+        assert_eq!(tb.table.dimension_names().len(), 7);
+        assert_eq!(tb.table.measure_names().len(), 8);
+        let space = ViewSpace::enumerate(&tb.table, &tb.bin_configs).unwrap();
+        assert_eq!(space.len(), 280);
+    }
+
+    #[test]
+    fn syn_shape_matches_table_1() {
+        let tb = syn_testbed(TestbedScale::Small(5_000), 1).unwrap();
+        assert_eq!(tb.table.dimension_names().len(), 5);
+        assert_eq!(tb.table.measure_names().len(), 5);
+        let space = ViewSpace::enumerate(&tb.table, &tb.bin_configs).unwrap();
+        assert_eq!(space.len(), 250);
+    }
+
+    #[test]
+    fn query_is_restrictive_but_nonempty() {
+        for tb in [
+            diab_testbed(TestbedScale::Small(20_000), 3).unwrap(),
+            syn_testbed(TestbedScale::Small(20_000), 3).unwrap(),
+        ] {
+            let dq = tb.query.execute(&tb.table).unwrap();
+            assert!(!dq.is_empty(), "{}: DQ must be non-empty", tb.name);
+            assert!(
+                dq.len() < tb.table.row_count(),
+                "{}: DQ must be a strict subset",
+                tb.name
+            );
+            assert!(tb.selectivity > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = diab_testbed(TestbedScale::Small(2_000), 9).unwrap();
+        let b = diab_testbed(TestbedScale::Small(2_000), 9).unwrap();
+        assert_eq!(a.table, b.table);
+        assert_eq!(a.selectivity, b.selectivity);
+    }
+}

@@ -1,0 +1,121 @@
+//! Least-confidence uncertainty sampling (Lewis & Gale, SIGIR'94).
+//!
+//! "The intuition underlying uncertainty sampling is that patterns with high
+//! uncertainty are hard to classify, and thus if the labels of those
+//! patterns are obtained, they can boost the accuracy of the classification
+//! models" (paper §3.2). For a binary probabilistic classifier the least
+//! confidence measure is `u(x) = 1 − p(ŷ|x)` (Eq. 6), maximized where the
+//! predicted probability is closest to 0.5.
+
+use crate::active::{binarize, QueryStrategy};
+use crate::logreg::{LogisticConfig, LogisticRegression};
+use crate::LearnError;
+
+/// Uncertainty sampling backed by a logistic-regression uncertainty
+/// estimator retrained on every call.
+#[derive(Debug, Clone)]
+pub struct UncertaintySampling {
+    config: LogisticConfig,
+    /// Feedback at or above this value counts as a positive label.
+    positive_threshold: f64,
+}
+
+impl UncertaintySampling {
+    /// Creates the strategy with the given classifier configuration.
+    #[must_use]
+    pub fn new(config: LogisticConfig) -> Self {
+        Self {
+            config,
+            positive_threshold: 0.5,
+        }
+    }
+
+    /// Overrides the positive-label threshold (default 0.5).
+    #[must_use]
+    pub fn with_positive_threshold(mut self, threshold: f64) -> Self {
+        self.positive_threshold = threshold;
+        self
+    }
+}
+
+impl Default for UncertaintySampling {
+    fn default() -> Self {
+        Self::new(LogisticConfig::default())
+    }
+}
+
+impl QueryStrategy for UncertaintySampling {
+    fn scores(
+        &mut self,
+        labeled_x: &[Vec<f64>],
+        labeled_y: &[f64],
+        candidates: &[Vec<f64>],
+    ) -> Result<Vec<f64>, LearnError> {
+        let mut model = LogisticRegression::new(self.config);
+        model.fit(labeled_x, &binarize(labeled_y, self.positive_threshold))?;
+        candidates
+            .iter()
+            .map(|c| {
+                let p = model.predict_proba(c)?;
+                // Least confidence for the binary case: 1 − max(p, 1−p);
+                // maximal (0.5) when p = 0.5.
+                Ok(1.0 - p.max(1.0 - p))
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "uncertainty"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefers_the_decision_boundary() {
+        let labeled_x = vec![vec![0.0], vec![0.1], vec![0.9], vec![1.0]];
+        let labeled_y = vec![0.0, 0.0, 1.0, 1.0];
+        let candidates = vec![vec![0.05], vec![0.5], vec![0.95]];
+        let mut s = UncertaintySampling::default();
+        let top = s.select_top(&labeled_x, &labeled_y, &candidates, 1).unwrap();
+        assert_eq!(top, vec![1], "the boundary point should be most uncertain");
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        let labeled_x = vec![vec![0.0], vec![1.0]];
+        let labeled_y = vec![0.0, 1.0];
+        let candidates: Vec<Vec<f64>> = (0..11).map(|i| vec![i as f64 / 10.0]).collect();
+        let mut s = UncertaintySampling::default();
+        let scores = s.scores(&labeled_x, &labeled_y, &candidates).unwrap();
+        assert!(scores.iter().all(|u| (0.0..=0.5 + 1e-12).contains(u)));
+    }
+
+    #[test]
+    fn no_labels_is_an_error() {
+        let mut s = UncertaintySampling::default();
+        assert!(s.scores(&[], &[], &[vec![0.0]]).is_err());
+    }
+
+    #[test]
+    fn custom_threshold_changes_binarization() {
+        // With threshold 0.8 the label 0.7 is negative.
+        let labeled_x = vec![vec![0.0], vec![1.0]];
+        let labeled_y = vec![0.7, 0.9];
+        let mut low = UncertaintySampling::default();
+        let mut high = UncertaintySampling::default().with_positive_threshold(0.8);
+        let c = vec![vec![0.0]];
+        // Low threshold: both positive → p near 1 at x=0 → low uncertainty
+        // relative to the split case. Just assert both run and differ.
+        let sl = low.scores(&labeled_x, &labeled_y, &c).unwrap();
+        let sh = high.scores(&labeled_x, &labeled_y, &c).unwrap();
+        assert_ne!(sl, sh);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(UncertaintySampling::default().name(), "uncertainty");
+    }
+}

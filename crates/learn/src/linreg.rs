@@ -1,0 +1,283 @@
+//! Ridge-regularized linear regression — the **view utility estimator**.
+//!
+//! The paper chooses linear regression "because the task for predicting the
+//! utility score of a view can naturally be seen as a regression task"
+//! (§3.2), and because the ideal utility function is itself a linear
+//! combination of utility components (Eq. 4) — so the hypothesis class
+//! matches the target class exactly.
+//!
+//! A small ridge term keeps the normal equations positive definite when few
+//! labels exist (early iterations train on 2–3 examples in an 8-dimensional
+//! feature space).
+
+use crate::matrix::{dot, Matrix};
+use crate::LearnError;
+
+/// Configuration for [`RidgeRegression`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RidgeConfig {
+    /// L2 penalty λ on the feature weights (the intercept is not penalized).
+    pub lambda: f64,
+    /// Whether to fit an intercept term.
+    pub fit_intercept: bool,
+}
+
+impl Default for RidgeConfig {
+    fn default() -> Self {
+        Self {
+            lambda: 1e-4,
+            fit_intercept: true,
+        }
+    }
+}
+
+/// A fitted (or not-yet-fitted) ridge regression model.
+///
+/// ```
+/// use viewseeker_learn::{RidgeConfig, RidgeRegression};
+///
+/// // y = 2x exactly.
+/// let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+/// let y = vec![2.0, 4.0, 6.0];
+/// let mut model = RidgeRegression::new(RidgeConfig::default());
+/// model.fit(&x, &y).unwrap();
+/// assert!((model.predict(&[4.0]).unwrap() - 8.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RidgeRegression {
+    config: RidgeConfig,
+    /// Learned feature weights; `None` until fitted.
+    weights: Option<Vec<f64>>,
+    intercept: f64,
+}
+
+impl RidgeRegression {
+    /// Creates an unfitted model.
+    #[must_use]
+    pub fn new(config: RidgeConfig) -> Self {
+        Self {
+            config,
+            weights: None,
+            intercept: 0.0,
+        }
+    }
+
+    /// Fits the model on `x` (one row per sample) against targets `y` by
+    /// solving the ridge normal equations with a Cholesky factorization.
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::DimensionMismatch`] if `x.len() != y.len()` or rows
+    ///   have inconsistent lengths;
+    /// * [`LearnError::InsufficientData`] for an empty training set;
+    /// * [`LearnError::Numerical`] if the system is singular despite the
+    ///   ridge.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), LearnError> {
+        if x.is_empty() {
+            return Err(LearnError::InsufficientData { got: 0, need: 1 });
+        }
+        if x.len() != y.len() {
+            return Err(LearnError::DimensionMismatch(format!(
+                "{} samples vs {} targets",
+                x.len(),
+                y.len()
+            )));
+        }
+        let d = x[0].len();
+        if x.iter().any(|row| row.len() != d) {
+            return Err(LearnError::DimensionMismatch(
+                "inconsistent feature dimensions".into(),
+            ));
+        }
+
+        let cols = if self.config.fit_intercept { d + 1 } else { d };
+        let mut data = Vec::with_capacity(x.len() * cols);
+        for row in x {
+            data.extend_from_slice(row);
+            if self.config.fit_intercept {
+                data.push(1.0);
+            }
+        }
+        let design = Matrix::from_rows(x.len(), cols, data)?;
+        let mut gram = design.gram_regularized(self.config.lambda.max(0.0));
+        if self.config.fit_intercept {
+            // Remove the ridge from the intercept column, but keep a tiny
+            // jitter so the factorization cannot hit an exact zero pivot.
+            gram[(d, d)] += 1e-12 - self.config.lambda.max(0.0);
+        }
+        let rhs = design.transpose_mul_vec(y)?;
+        let solution = gram.cholesky_solve(&rhs)?;
+
+        if self.config.fit_intercept {
+            self.intercept = solution[d];
+            self.weights = Some(solution[..d].to_vec());
+        } else {
+            self.intercept = 0.0;
+            self.weights = Some(solution);
+        }
+        Ok(())
+    }
+
+    /// Predicts the target for one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::NotFitted`] before `fit`;
+    /// * [`LearnError::DimensionMismatch`] on a wrong-length input.
+    pub fn predict(&self, features: &[f64]) -> Result<f64, LearnError> {
+        let w = self.weights.as_ref().ok_or(LearnError::NotFitted)?;
+        if features.len() != w.len() {
+            return Err(LearnError::DimensionMismatch(format!(
+                "expected {} features, got {}",
+                w.len(),
+                features.len()
+            )));
+        }
+        Ok(dot(w, features) + self.intercept)
+    }
+
+    /// Predicts targets for many feature vectors.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RidgeRegression::predict`].
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>, LearnError> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// The learned weights, if fitted.
+    #[must_use]
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// The learned intercept (0 until fitted or when disabled).
+    #[must_use]
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Whether the model has been fitted.
+    #[must_use]
+    pub fn is_fitted(&self) -> bool {
+        self.weights.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit(x: &[Vec<f64>], y: &[f64], cfg: RidgeConfig) -> RidgeRegression {
+        let mut m = RidgeRegression::new(cfg);
+        m.fit(x, y).unwrap();
+        m
+    }
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        // y = 2 x0 - 3 x1 + 5
+        let x: Vec<Vec<f64>> = vec![
+            vec![0., 0.],
+            vec![1., 0.],
+            vec![0., 1.],
+            vec![2., 3.],
+            vec![4., 1.],
+        ];
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 5.0).collect();
+        let m = fit(
+            &x,
+            &y,
+            RidgeConfig {
+                lambda: 1e-10,
+                fit_intercept: true,
+            },
+        );
+        let w = m.weights().unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-6);
+        assert!((w[1] + 3.0).abs() < 1e-6);
+        assert!((m.intercept() - 5.0).abs() < 1e-6);
+        assert!((m.predict(&[10.0, -1.0]).unwrap() - 28.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn without_intercept() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![2.0, 4.0, 6.0];
+        let m = fit(
+            &x,
+            &y,
+            RidgeConfig {
+                lambda: 1e-10,
+                fit_intercept: false,
+            },
+        );
+        assert!((m.weights().unwrap()[0] - 2.0).abs() < 1e-6);
+        assert_eq!(m.intercept(), 0.0);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![2.0, 4.0, 6.0];
+        let small = fit(
+            &x,
+            &y,
+            RidgeConfig {
+                lambda: 1e-8,
+                fit_intercept: false,
+            },
+        );
+        let big = fit(
+            &x,
+            &y,
+            RidgeConfig {
+                lambda: 100.0,
+                fit_intercept: false,
+            },
+        );
+        assert!(big.weights().unwrap()[0].abs() < small.weights().unwrap()[0].abs());
+    }
+
+    #[test]
+    fn handles_underdetermined_system_via_ridge() {
+        // 2 samples, 5 features: only solvable thanks to regularization.
+        let x = vec![vec![1., 0., 2., 1., 0.], vec![0., 1., 1., 0., 3.]];
+        let y = vec![1.0, 0.0];
+        let m = fit(&x, &y, RidgeConfig::default());
+        assert!(m.is_fitted());
+        let preds = m.predict_batch(&x).unwrap();
+        assert!(preds.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn duplicate_features_do_not_blow_up() {
+        // Perfectly collinear columns — singular without the ridge.
+        let x = vec![vec![1., 1.], vec![2., 2.], vec![3., 3.]];
+        let y = vec![1., 2., 3.];
+        let m = fit(&x, &y, RidgeConfig::default());
+        assert!((m.predict(&[2.0, 2.0]).unwrap() - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut m = RidgeRegression::new(RidgeConfig::default());
+        assert!(matches!(m.predict(&[1.0]), Err(LearnError::NotFitted)));
+        assert!(matches!(
+            m.fit(&[], &[]),
+            Err(LearnError::InsufficientData { .. })
+        ));
+        assert!(m.fit(&[vec![1.0]], &[1.0, 2.0]).is_err());
+        assert!(m.fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]).is_err());
+        m.fit(&[vec![1.0, 2.0]], &[1.0]).unwrap();
+        assert!(m.predict(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn single_sample_fit_predicts_its_label() {
+        let mut m = RidgeRegression::new(RidgeConfig::default());
+        m.fit(&[vec![0.5, 0.25]], &[0.7]).unwrap();
+        // With one sample the intercept should absorb most of the target.
+        assert!((m.predict(&[0.5, 0.25]).unwrap() - 0.7).abs() < 1e-3);
+    }
+}

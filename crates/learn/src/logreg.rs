@@ -1,0 +1,283 @@
+//! L2-regularized logistic regression — the **uncertainty estimator**.
+//!
+//! "Since estimating the uncertainty of a given view requires a probabilistic
+//! based machine learning model, the view utility estimator (i.e.,
+//! non-probabilistic linear regression model) cannot be used to obtain the
+//! uncertainty score. To overcome this challenge, we employed a separate
+//! Logistic Regression model trained on the same set of labeled views"
+//! (paper §3.2).
+//!
+//! Training is full-batch gradient descent with a fixed learning rate,
+//! L2 penalty, and convergence detection on the gradient norm — simple,
+//! deterministic, and comfortably fast at active-learning training-set
+//! sizes (tens of samples).
+
+use crate::matrix::dot;
+use crate::LearnError;
+
+/// Configuration for [`LogisticRegression`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogisticConfig {
+    /// L2 penalty on the weights (not the intercept).
+    pub lambda: f64,
+    /// Gradient-descent learning rate.
+    pub learning_rate: f64,
+    /// Maximum gradient-descent iterations.
+    pub max_iterations: usize,
+    /// Stop when the gradient's L∞ norm falls below this.
+    pub tolerance: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        Self {
+            lambda: 1e-3,
+            learning_rate: 0.5,
+            max_iterations: 2_000,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[must_use]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// A binary logistic-regression classifier with probability output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    config: LogisticConfig,
+    weights: Option<Vec<f64>>,
+    intercept: f64,
+}
+
+impl LogisticRegression {
+    /// Creates an unfitted model.
+    #[must_use]
+    pub fn new(config: LogisticConfig) -> Self {
+        Self {
+            config,
+            weights: None,
+            intercept: 0.0,
+        }
+    }
+
+    /// Fits on samples `x` with binary labels `y` (each 0.0 or 1.0; values
+    /// in between are accepted and treated as soft labels — the gradient of
+    /// cross-entropy is linear in the label, so soft targets are
+    /// well-defined).
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::InsufficientData`] for an empty training set;
+    /// * [`LearnError::DimensionMismatch`] for ragged rows or a length
+    ///   mismatch with `y`.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), LearnError> {
+        if x.is_empty() {
+            return Err(LearnError::InsufficientData { got: 0, need: 1 });
+        }
+        if x.len() != y.len() {
+            return Err(LearnError::DimensionMismatch(format!(
+                "{} samples vs {} labels",
+                x.len(),
+                y.len()
+            )));
+        }
+        let d = x[0].len();
+        if x.iter().any(|r| r.len() != d) {
+            return Err(LearnError::DimensionMismatch(
+                "inconsistent feature dimensions".into(),
+            ));
+        }
+
+        let n = x.len() as f64;
+        // Keep the ridge term's update contractive: gradient descent on the
+        // L2 penalty alone multiplies w by (1 − lr·λ) each step, which
+        // diverges when lr·λ > 2. Damp the step size accordingly so any λ is
+        // stable without the caller tuning the learning rate.
+        let lr = self.config.learning_rate / (1.0 + self.config.learning_rate * self.config.lambda);
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        for _ in 0..self.config.max_iterations {
+            let mut grad_w = vec![0.0; d];
+            let mut grad_b = 0.0;
+            for (row, &yi) in x.iter().zip(y) {
+                let err = sigmoid(dot(&w, row) + b) - yi;
+                for (g, v) in grad_w.iter_mut().zip(row) {
+                    *g += err * v;
+                }
+                grad_b += err;
+            }
+            let mut max_grad = grad_b.abs() / n;
+            for (g, wi) in grad_w.iter_mut().zip(&w) {
+                *g = *g / n + self.config.lambda * wi;
+                max_grad = max_grad.max(g.abs());
+            }
+            grad_b /= n;
+            for (wi, g) in w.iter_mut().zip(&grad_w) {
+                *wi -= lr * g;
+            }
+            b -= lr * grad_b;
+            if max_grad < self.config.tolerance {
+                break;
+            }
+        }
+        self.weights = Some(w);
+        self.intercept = b;
+        Ok(())
+    }
+
+    /// Predicted probability of the positive class for one sample.
+    ///
+    /// # Errors
+    ///
+    /// [`LearnError::NotFitted`] before fitting;
+    /// [`LearnError::DimensionMismatch`] on a wrong-length input.
+    pub fn predict_proba(&self, features: &[f64]) -> Result<f64, LearnError> {
+        let w = self.weights.as_ref().ok_or(LearnError::NotFitted)?;
+        if features.len() != w.len() {
+            return Err(LearnError::DimensionMismatch(format!(
+                "expected {} features, got {}",
+                w.len(),
+                features.len()
+            )));
+        }
+        Ok(sigmoid(dot(w, features) + self.intercept))
+    }
+
+    /// Predicted probabilities for many samples.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LogisticRegression::predict_proba`].
+    pub fn predict_proba_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>, LearnError> {
+        rows.iter().map(|r| self.predict_proba(r)).collect()
+    }
+
+    /// Hard 0/1 prediction at threshold 0.5.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LogisticRegression::predict_proba`].
+    pub fn predict(&self, features: &[f64]) -> Result<f64, LearnError> {
+        Ok(if self.predict_proba(features)? >= 0.5 {
+            1.0
+        } else {
+            0.0
+        })
+    }
+
+    /// Whether the model has been fitted.
+    #[must_use]
+    pub fn is_fitted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// The learned weights, if fitted.
+    #[must_use]
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!(sigmoid(-800.0) >= 0.0); // no underflow panic
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn separates_linearly_separable_data() {
+        let x: Vec<Vec<f64>> = vec![
+            vec![0.0, 0.1],
+            vec![0.2, 0.0],
+            vec![0.1, 0.2],
+            vec![0.9, 1.0],
+            vec![1.0, 0.8],
+            vec![0.8, 0.9],
+        ];
+        let y = vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let mut m = LogisticRegression::new(LogisticConfig::default());
+        m.fit(&x, &y).unwrap();
+        for (row, yi) in x.iter().zip(&y) {
+            assert_eq!(m.predict(row).unwrap(), *yi);
+        }
+        assert!(m.predict_proba(&[1.0, 1.0]).unwrap() > 0.9);
+        assert!(m.predict_proba(&[0.0, 0.0]).unwrap() < 0.1);
+    }
+
+    #[test]
+    fn midpoint_is_uncertain() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0.0, 1.0];
+        let mut m = LogisticRegression::new(LogisticConfig::default());
+        m.fit(&x, &y).unwrap();
+        let p = m.predict_proba(&[0.5]).unwrap();
+        assert!((p - 0.5).abs() < 0.05, "midpoint p = {p}");
+    }
+
+    #[test]
+    fn soft_labels_are_accepted() {
+        let x = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let y = vec![0.1, 0.5, 0.9];
+        let mut m = LogisticRegression::new(LogisticConfig::default());
+        m.fit(&x, &y).unwrap();
+        let p0 = m.predict_proba(&[0.0]).unwrap();
+        let p1 = m.predict_proba(&[1.0]).unwrap();
+        assert!(p0 < 0.5 && p1 > 0.5);
+    }
+
+    #[test]
+    fn all_one_class_predicts_that_class() {
+        let x = vec![vec![0.3], vec![0.7]];
+        let y = vec![1.0, 1.0];
+        let mut m = LogisticRegression::new(LogisticConfig::default());
+        m.fit(&x, &y).unwrap();
+        assert!(m.predict_proba(&[0.5]).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn regularization_bounds_weights() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0.0, 1.0];
+        let mut strong = LogisticRegression::new(LogisticConfig {
+            lambda: 10.0,
+            ..LogisticConfig::default()
+        });
+        strong.fit(&x, &y).unwrap();
+        let mut weak = LogisticRegression::new(LogisticConfig {
+            lambda: 1e-6,
+            ..LogisticConfig::default()
+        });
+        weak.fit(&x, &y).unwrap();
+        assert!(strong.weights().unwrap()[0].abs() < weak.weights().unwrap()[0].abs());
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut m = LogisticRegression::new(LogisticConfig::default());
+        assert!(matches!(
+            m.predict_proba(&[1.0]),
+            Err(LearnError::NotFitted)
+        ));
+        assert!(m.fit(&[], &[]).is_err());
+        assert!(m.fit(&[vec![1.0]], &[1.0, 0.0]).is_err());
+        assert!(m.fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 0.0]).is_err());
+        m.fit(&[vec![1.0, 0.0]], &[1.0]).unwrap();
+        assert!(m.predict_proba(&[1.0]).is_err());
+    }
+}

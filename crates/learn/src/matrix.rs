@@ -1,0 +1,308 @@
+//! Small dense matrices.
+//!
+//! The estimators in this crate work in tiny feature spaces (8 utility
+//! features + intercept), so a straightforward row-major `Vec<f64>` matrix
+//! with an explicit Cholesky solve is both simpler and faster than pulling
+//! in a linear-algebra dependency.
+
+use crate::LearnError;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::DimensionMismatch`] if `data.len() != rows*cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LearnError> {
+        if data.len() != rows * cols {
+            return Err(LearnError::DimensionMismatch(format!(
+                "{rows}x{cols} needs {} values, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// A row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `Aᵀ A + λI` — the regularized Gram matrix of the design matrix, the
+    /// left side of the ridge normal equations.
+    #[must_use]
+    pub fn gram_regularized(&self, lambda: f64) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..n {
+                let vi = row[i];
+                if vi == 0.0 {
+                    continue;
+                }
+                for j in i..n {
+                    g[(i, j)] += vi * row[j];
+                }
+            }
+        }
+        // mirror the upper triangle and add the ridge.
+        for i in 0..n {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+            g[(i, i)] += lambda;
+        }
+        g
+    }
+
+    /// `Aᵀ y` — the right side of the normal equations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::DimensionMismatch`] if `y.len() != rows`.
+    pub fn transpose_mul_vec(&self, y: &[f64]) -> Result<Vec<f64>, LearnError> {
+        if y.len() != self.rows {
+            return Err(LearnError::DimensionMismatch(format!(
+                "vector has {} entries, matrix has {} rows",
+                y.len(),
+                self.rows
+            )));
+        }
+        let mut out = vec![0.0; self.cols];
+        for (r, &yr) in y.iter().enumerate() {
+            if yr == 0.0 {
+                continue;
+            }
+            for (c, v) in self.row(r).iter().enumerate() {
+                out[c] += v * yr;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `A x` for a column vector `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, LearnError> {
+        if x.len() != self.cols {
+            return Err(LearnError::DimensionMismatch(format!(
+                "vector has {} entries, matrix has {} cols",
+                x.len(),
+                self.cols
+            )));
+        }
+        Ok((0..self.rows)
+            .map(|r| dot(self.row(r), x))
+            .collect())
+    }
+
+    /// Solves `self · x = b` for a symmetric positive-definite `self` via
+    /// Cholesky factorization (`self = L Lᵀ`, forward then back substitution).
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::DimensionMismatch`] for a non-square matrix or a
+    ///   wrong-length `b`;
+    /// * [`LearnError::Numerical`] if the matrix is not positive definite.
+    pub fn cholesky_solve(&self, b: &[f64]) -> Result<Vec<f64>, LearnError> {
+        let n = self.rows;
+        if self.cols != n {
+            return Err(LearnError::DimensionMismatch(
+                "cholesky requires a square matrix".into(),
+            ));
+        }
+        if b.len() != n {
+            return Err(LearnError::DimensionMismatch(format!(
+                "rhs has {} entries, expected {n}",
+                b.len()
+            )));
+        }
+        // Factorize into lower-triangular L.
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LearnError::Numerical(format!(
+                            "matrix not positive definite at pivot {i} (value {sum})"
+                        )));
+                    }
+                    l[i * n + j] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        // Forward substitution: L z = b.
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= l[i * n + k] * z[k];
+            }
+            z[i] = sum / l[i * n + i];
+        }
+        // Back substitution: Lᵀ x = z.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = z[i];
+            for k in i + 1..n {
+                sum -= l[k * n + i] * x[k];
+            }
+            x[i] = sum / l[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_rows(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.row(1), &[4., 5., 6.]);
+        assert!(Matrix::from_rows(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn identity_mul() {
+        let i = Matrix::identity(3);
+        assert_eq!(i.mul_vec(&[1., 2., 3.]).unwrap(), vec![1., 2., 3.]);
+    }
+
+    #[test]
+    fn gram_is_ata_plus_lambda() {
+        let a = Matrix::from_rows(3, 2, vec![1., 0., 1., 1., 0., 2.]).unwrap();
+        let g = a.gram_regularized(0.5);
+        // AᵀA = [[2, 1], [1, 5]]
+        assert_eq!(g[(0, 0)], 2.5);
+        assert_eq!(g[(0, 1)], 1.0);
+        assert_eq!(g[(1, 0)], 1.0);
+        assert_eq!(g[(1, 1)], 5.5);
+    }
+
+    #[test]
+    fn transpose_mul_vec_works() {
+        let a = Matrix::from_rows(3, 2, vec![1., 0., 1., 1., 0., 2.]).unwrap();
+        let v = a.transpose_mul_vec(&[1., 2., 3.]).unwrap();
+        assert_eq!(v, vec![3., 8.]);
+        assert!(a.transpose_mul_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn cholesky_solves_known_system() {
+        // [[4, 2], [2, 3]] x = [10, 8] → x = [1.75, 1.5]
+        let m = Matrix::from_rows(2, 2, vec![4., 2., 2., 3.]).unwrap();
+        let x = m.cholesky_solve(&[10., 8.]).unwrap();
+        assert!((x[0] - 1.75).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let m = Matrix::from_rows(2, 2, vec![1., 2., 2., 1.]).unwrap();
+        assert!(matches!(
+            m.cholesky_solve(&[1., 1.]),
+            Err(LearnError::Numerical(_))
+        ));
+    }
+
+    #[test]
+    fn cholesky_rejects_bad_shapes() {
+        let m = Matrix::zeros(2, 3);
+        assert!(m.cholesky_solve(&[1., 1.]).is_err());
+        let sq = Matrix::identity(2);
+        assert!(sq.cholesky_solve(&[1., 2., 3.]).is_err());
+    }
+
+    #[test]
+    fn solve_round_trip_random_spd() {
+        // Build SPD as AᵀA + I and verify solve(g, g·x) ≈ x.
+        let a = Matrix::from_rows(4, 3, vec![1., 2., 0., 3., 1., 1., 0., 1., 4., 2., 2., 2.])
+            .unwrap();
+        let g = a.gram_regularized(1.0);
+        let x_true = vec![0.3, -1.2, 2.5];
+        let b = g.mul_vec(&x_true).unwrap();
+        let x = g.cholesky_solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Feature scaling.
+//!
+//! The view feature matrix is min-max scaled per column so that (a) the
+//! learned weights of the utility estimator are comparable across utility
+//! components, and (b) the simulated user's "fraction of the maximum"
+//! feedback is well-defined. The scaler is fitted once on the full view
+//! space and then applied to any subset.
+
+use crate::LearnError;
+
+/// A per-column min-max scaler mapping each feature into `[0, 1]`.
+///
+/// ```
+/// use viewseeker_learn::MinMaxScaler;
+///
+/// let scaler = MinMaxScaler::fit(&[vec![0.0, 100.0], vec![10.0, 300.0]]).unwrap();
+/// assert_eq!(scaler.transform(&[5.0, 200.0]).unwrap(), vec![0.5, 0.5]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler on `rows` (one sample per row).
+    ///
+    /// Constant columns get a zero range and are mapped to 0 (inert in a
+    /// linear model).
+    ///
+    /// # Errors
+    ///
+    /// * [`LearnError::InsufficientData`] for an empty input;
+    /// * [`LearnError::DimensionMismatch`] for ragged rows.
+    pub fn fit(rows: &[Vec<f64>]) -> Result<Self, LearnError> {
+        let first = rows.first().ok_or(LearnError::InsufficientData { got: 0, need: 1 })?;
+        let d = first.len();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for row in rows {
+            if row.len() != d {
+                return Err(LearnError::DimensionMismatch(
+                    "ragged rows in scaler input".into(),
+                ));
+            }
+            for (j, &v) in row.iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        let ranges = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(lo, hi)| (hi - lo).max(0.0))
+            .collect();
+        Ok(Self { mins, ranges })
+    }
+
+    /// Scales one row into `[0, 1]` per column (values outside the fitted
+    /// range are clamped).
+    ///
+    /// # Errors
+    ///
+    /// [`LearnError::DimensionMismatch`] on a wrong-length row.
+    pub fn transform(&self, row: &[f64]) -> Result<Vec<f64>, LearnError> {
+        if row.len() != self.mins.len() {
+            return Err(LearnError::DimensionMismatch(format!(
+                "expected {} features, got {}",
+                self.mins.len(),
+                row.len()
+            )));
+        }
+        Ok(row
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| {
+                if self.ranges[j] <= 0.0 {
+                    0.0
+                } else {
+                    ((v - self.mins[j]) / self.ranges[j]).clamp(0.0, 1.0)
+                }
+            })
+            .collect())
+    }
+
+    /// Scales many rows.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MinMaxScaler::transform`].
+    pub fn transform_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LearnError> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+
+    /// Number of features the scaler was fitted on.
+    #[must_use]
+    pub fn dimensions(&self) -> usize {
+        self.mins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_to_unit_interval() {
+        let rows = vec![vec![0.0, 100.0], vec![10.0, 300.0], vec![5.0, 200.0]];
+        let s = MinMaxScaler::fit(&rows).unwrap();
+        assert_eq!(s.transform(&[0.0, 100.0]).unwrap(), vec![0.0, 0.0]);
+        assert_eq!(s.transform(&[10.0, 300.0]).unwrap(), vec![1.0, 1.0]);
+        assert_eq!(s.transform(&[5.0, 200.0]).unwrap(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let s = MinMaxScaler::fit(&[vec![0.0], vec![1.0]]).unwrap();
+        assert_eq!(s.transform(&[-5.0]).unwrap(), vec![0.0]);
+        assert_eq!(s.transform(&[5.0]).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn constant_column_is_zeroed() {
+        let s = MinMaxScaler::fit(&[vec![3.0, 1.0], vec![3.0, 2.0]]).unwrap();
+        assert_eq!(s.transform(&[3.0, 1.5]).unwrap(), vec![0.0, 0.5]);
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(MinMaxScaler::fit(&[]).is_err());
+        assert!(MinMaxScaler::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let s = MinMaxScaler::fit(&[vec![0.0, 1.0]]).unwrap();
+        assert!(s.transform(&[1.0]).is_err());
+        assert_eq!(s.dimensions(), 2);
+    }
+
+    #[test]
+    fn transform_batch_matches_per_row() {
+        let rows = vec![vec![1.0], vec![3.0]];
+        let s = MinMaxScaler::fit(&rows).unwrap();
+        let batch = s.transform_batch(&rows).unwrap();
+        assert_eq!(batch, vec![vec![0.0], vec![1.0]]);
+    }
+}

@@ -1,0 +1,189 @@
+//! χ² goodness-of-fit test.
+//!
+//! The paper's p-value utility component (after Tang et al., "Extracting
+//! Top-K Insights from Multi-dimensional Data", SIGMOD'17) treats the
+//! *reference view* as the null hypothesis and asks how extreme the *target
+//! view* is under it: a smaller p-value means a more interesting view.
+//!
+//! [`chi_squared_gof`] computes the Pearson statistic of observed bin counts
+//! against expected counts derived from the null distribution, and converts
+//! it to a p-value through the regularized incomplete gamma function
+//! (`p = Q(df/2, X²/2)`).
+
+use crate::distribution::Distribution;
+use crate::special::regularized_gamma_q;
+use crate::StatsError;
+
+/// Result of a χ² goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquaredResult {
+    /// The Pearson χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (bins with non-zero expectation − 1).
+    pub degrees_of_freedom: usize,
+    /// The upper-tail p-value `P(χ²_df ≥ statistic)`.
+    pub p_value: f64,
+}
+
+/// χ² goodness-of-fit of observed counts against a null distribution.
+///
+/// `observed` are raw (unnormalized) counts per bin; `null` is the
+/// hypothesized distribution over the same bins. Bins whose expected count is
+/// zero are excluded from both the statistic and the degrees of freedom (the
+/// standard practical convention).
+///
+/// # Errors
+///
+/// * [`StatsError::LengthMismatch`] if lengths differ.
+/// * [`StatsError::InvalidDegreesOfFreedom`] if fewer than two bins carry
+///   expected mass (the test is undefined).
+/// * [`StatsError::InvalidDistribution`] if `observed` contains a negative or
+///   non-finite count or sums to zero.
+pub fn chi_squared_gof(observed: &[f64], null: &Distribution) -> Result<ChiSquaredResult, StatsError> {
+    if observed.len() != null.len() {
+        return Err(StatsError::LengthMismatch {
+            left: observed.len(),
+            right: null.len(),
+        });
+    }
+    if observed.iter().any(|o| !o.is_finite() || *o < 0.0) {
+        return Err(StatsError::InvalidDistribution(
+            "observed counts must be finite and non-negative".into(),
+        ));
+    }
+    let total: f64 = observed.iter().sum();
+    if total <= 0.0 {
+        return Err(StatsError::InvalidDistribution(
+            "observed counts sum to zero".into(),
+        ));
+    }
+
+    let mut statistic = 0.0;
+    let mut live_bins = 0usize;
+    for (o, pi) in observed.iter().zip(null.masses()) {
+        let expected = pi * total;
+        if expected > 0.0 {
+            live_bins += 1;
+            let diff = o - expected;
+            statistic += diff * diff / expected;
+        }
+    }
+    if live_bins < 2 {
+        return Err(StatsError::InvalidDegreesOfFreedom(live_bins));
+    }
+    let df = live_bins - 1;
+    Ok(ChiSquaredResult {
+        statistic,
+        degrees_of_freedom: df,
+        p_value: chi_squared_pvalue(statistic, df)?,
+    })
+}
+
+/// Upper-tail p-value of the χ² distribution with `df` degrees of freedom.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidDegreesOfFreedom`] if `df == 0`.
+pub fn chi_squared_pvalue(statistic: f64, df: usize) -> Result<f64, StatsError> {
+    if df == 0 {
+        return Err(StatsError::InvalidDegreesOfFreedom(0));
+    }
+    let statistic = statistic.max(0.0);
+    Ok(regularized_gamma_q(df as f64 / 2.0, statistic / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize) -> Distribution {
+        Distribution::uniform(n)
+    }
+
+    #[test]
+    fn perfect_fit_has_pvalue_one() {
+        let null = uniform(4);
+        let observed = [25.0, 25.0, 25.0, 25.0];
+        let r = chi_squared_gof(&observed, &null).unwrap();
+        assert!(r.statistic.abs() < 1e-12);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+        assert_eq!(r.degrees_of_freedom, 3);
+    }
+
+    #[test]
+    fn known_textbook_example() {
+        // Classic die example: 120 rolls, observed [20,22,17,18,19,24].
+        let null = uniform(6);
+        let observed = [20.0, 22.0, 17.0, 18.0, 19.0, 24.0];
+        let r = chi_squared_gof(&observed, &null).unwrap();
+        let expected_stat = [20.0f64, 22.0, 17.0, 18.0, 19.0, 24.0]
+            .iter()
+            .map(|o| (o - 20.0) * (o - 20.0) / 20.0)
+            .sum::<f64>();
+        assert!((r.statistic - expected_stat).abs() < 1e-12);
+        // statistic = 1.7, df = 5 → p ≈ 0.8889
+        assert!((r.p_value - 0.888_9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn extreme_deviation_gives_tiny_pvalue() {
+        let null = uniform(2);
+        let observed = [1000.0, 0.0];
+        let r = chi_squared_gof(&observed, &null).unwrap();
+        assert!(r.p_value < 1e-12);
+    }
+
+    #[test]
+    fn zero_expected_bins_are_dropped() {
+        let null = Distribution::from_masses(vec![0.5, 0.5, 0.0]).unwrap();
+        let observed = [10.0, 10.0, 0.0];
+        let r = chi_squared_gof(&observed, &null).unwrap();
+        assert_eq!(r.degrees_of_freedom, 1);
+        assert!(r.statistic.abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let null = uniform(3);
+        assert!(matches!(
+            chi_squared_gof(&[1.0, 2.0], &null),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_total_rejected() {
+        let null = uniform(2);
+        assert!(chi_squared_gof(&[0.0, 0.0], &null).is_err());
+    }
+
+    #[test]
+    fn negative_count_rejected() {
+        let null = uniform(2);
+        assert!(chi_squared_gof(&[-1.0, 3.0], &null).is_err());
+    }
+
+    #[test]
+    fn single_live_bin_rejected() {
+        let null = Distribution::from_masses(vec![1.0, 0.0]).unwrap();
+        assert!(matches!(
+            chi_squared_gof(&[5.0, 0.0], &null),
+            Err(StatsError::InvalidDegreesOfFreedom(1))
+        ));
+    }
+
+    #[test]
+    fn pvalue_monotone_in_statistic() {
+        let mut prev = 1.0;
+        for i in 0..50 {
+            let p = chi_squared_pvalue(i as f64 * 0.5, 4).unwrap();
+            assert!(p <= prev + 1e-12);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn zero_df_rejected() {
+        assert!(chi_squared_pvalue(1.0, 0).is_err());
+    }
+}

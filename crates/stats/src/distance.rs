@@ -1,0 +1,284 @@
+//! Deviation measures between two view distributions.
+//!
+//! The paper's deviation-based utility components (§3.1) compare the target
+//! view's distribution `P(vᵀ)` against the reference view's `P(vᴿ)` using a
+//! distance over probability distributions (Eq. 2). Five are implemented:
+//!
+//! * [`kl_divergence`] — Kullback–Leibler divergence ("sum of deviation in
+//!   individual bins", per the paper's characterization),
+//! * [`earth_movers_distance`] — 1-D EMD ("deviation across bins"),
+//! * [`l1_distance`], [`l2_distance`] — Minkowski distances,
+//! * [`max_deviation`] — the maximum deviation in any individual bin.
+
+use crate::distribution::Distribution;
+use crate::StatsError;
+
+/// A distance measure between two equal-length distributions.
+///
+/// All measures return `Ok(0.0)` for identical inputs and a finite
+/// non-negative value otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distance {
+    /// Kullback–Leibler divergence (ε-smoothed).
+    KullbackLeibler,
+    /// Earth Mover's Distance over ordered bins.
+    EarthMovers,
+    /// L1 (Manhattan) distance.
+    L1,
+    /// L2 (Euclidean) distance.
+    L2,
+    /// Maximum per-bin absolute deviation (L∞).
+    MaxDeviation,
+}
+
+impl Distance {
+    /// Evaluates this distance between `p` and `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::LengthMismatch`] if the distributions have
+    /// different bin counts.
+    pub fn eval(self, p: &Distribution, q: &Distribution) -> Result<f64, StatsError> {
+        match self {
+            Distance::KullbackLeibler => kl_divergence(p, q),
+            Distance::EarthMovers => earth_movers_distance(p, q),
+            Distance::L1 => l1_distance(p, q),
+            Distance::L2 => l2_distance(p, q),
+            Distance::MaxDeviation => max_deviation(p, q),
+        }
+    }
+
+    /// All distance measures, in the order the paper lists them.
+    #[must_use]
+    pub fn all() -> [Distance; 5] {
+        [
+            Distance::KullbackLeibler,
+            Distance::EarthMovers,
+            Distance::L1,
+            Distance::L2,
+            Distance::MaxDeviation,
+        ]
+    }
+}
+
+impl std::fmt::Display for Distance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Distance::KullbackLeibler => "KL",
+            Distance::EarthMovers => "EMD",
+            Distance::L1 => "L1",
+            Distance::L2 => "L2",
+            Distance::MaxDeviation => "MAX_DIFF",
+        };
+        f.write_str(name)
+    }
+}
+
+fn check_lengths(p: &Distribution, q: &Distribution) -> Result<(), StatsError> {
+    if p.len() != q.len() {
+        return Err(StatsError::LengthMismatch {
+            left: p.len(),
+            right: q.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` in nats.
+///
+/// Both inputs are ε-smoothed first so the divergence is always finite —
+/// aggregate views routinely contain empty bins.
+///
+/// ```
+/// use viewseeker_stats::{kl_divergence, Distribution};
+///
+/// let skewed = Distribution::from_aggregates(&[9.0, 1.0]).unwrap();
+/// let flat = Distribution::from_aggregates(&[5.0, 5.0]).unwrap();
+/// assert!(kl_divergence(&skewed, &flat).unwrap() > 0.0);
+/// assert!(kl_divergence(&flat, &flat).unwrap() < 1e-9);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] on differing bin counts.
+pub fn kl_divergence(p: &Distribution, q: &Distribution) -> Result<f64, StatsError> {
+    check_lengths(p, q)?;
+    let ps = p.smoothed();
+    let qs = q.smoothed();
+    let mut kl = 0.0;
+    for (pi, qi) in ps.masses().iter().zip(qs.masses()) {
+        kl += pi * (pi / qi).ln();
+    }
+    // Numerical round-off can produce a tiny negative value for p == q.
+    Ok(kl.max(0.0))
+}
+
+/// Earth Mover's Distance between two histograms over the *same ordered
+/// bins*.
+///
+/// For 1-D histograms with unit ground distance between adjacent bins, EMD
+/// has the closed form `Σᵢ |CDF_p(i) − CDF_q(i)|`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] on differing bin counts.
+pub fn earth_movers_distance(p: &Distribution, q: &Distribution) -> Result<f64, StatsError> {
+    check_lengths(p, q)?;
+    let mut carried = 0.0;
+    let mut emd = 0.0;
+    for (pi, qi) in p.masses().iter().zip(q.masses()) {
+        carried += pi - qi;
+        emd += carried.abs();
+    }
+    Ok(emd)
+}
+
+/// L1 (Manhattan) distance `Σ |pᵢ − qᵢ|`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] on differing bin counts.
+pub fn l1_distance(p: &Distribution, q: &Distribution) -> Result<f64, StatsError> {
+    check_lengths(p, q)?;
+    Ok(p.masses()
+        .iter()
+        .zip(q.masses())
+        .map(|(a, b)| (a - b).abs())
+        .sum())
+}
+
+/// L2 (Euclidean) distance `√Σ (pᵢ − qᵢ)²`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] on differing bin counts.
+pub fn l2_distance(p: &Distribution, q: &Distribution) -> Result<f64, StatsError> {
+    check_lengths(p, q)?;
+    Ok(p.masses()
+        .iter()
+        .zip(q.masses())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt())
+}
+
+/// Maximum absolute deviation in any individual bin (L∞ distance).
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] on differing bin counts.
+pub fn max_deviation(p: &Distribution, q: &Distribution) -> Result<f64, StatsError> {
+    check_lengths(p, q)?;
+    Ok(p.masses()
+        .iter()
+        .zip(q.masses())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(vals: &[f64]) -> Distribution {
+        Distribution::from_aggregates(vals).unwrap()
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let p = dist(&[1.0, 2.0, 3.0]);
+        for d in Distance::all() {
+            assert!(
+                d.eval(&p, &p).unwrap().abs() < 1e-9,
+                "{d} of identical distributions should be ~0"
+            );
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let p = dist(&[1.0, 2.0]);
+        let q = dist(&[1.0, 2.0, 3.0]);
+        for d in Distance::all() {
+            assert!(matches!(
+                d.eval(&p, &q),
+                Err(StatsError::LengthMismatch { left: 2, right: 3 })
+            ));
+        }
+    }
+
+    #[test]
+    fn l1_of_disjoint_point_masses_is_two() {
+        let p = dist(&[1.0, 0.0]);
+        let q = dist(&[0.0, 1.0]);
+        assert!((l1_distance(&p, &q).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l2_matches_hand_computation() {
+        let p = dist(&[1.0, 0.0]);
+        let q = dist(&[0.0, 1.0]);
+        assert!((l2_distance(&p, &q).unwrap() - (2.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_deviation_is_largest_gap() {
+        let p = dist(&[4.0, 4.0, 2.0]);
+        let q = dist(&[1.0, 4.0, 5.0]);
+        let expected = (0.4f64 - 0.1).abs();
+        assert!((max_deviation(&p, &q).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_moves_mass_across_bins() {
+        // All mass in bin 0 vs all in bin 2 of a 3-bin histogram: move 1 unit
+        // of mass a distance of 2 bins => EMD = 2.
+        let p = dist(&[1.0, 0.0, 0.0]);
+        let q = dist(&[0.0, 0.0, 1.0]);
+        assert!((earth_movers_distance(&p, &q).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_is_symmetric() {
+        let p = dist(&[3.0, 1.0, 2.0, 4.0]);
+        let q = dist(&[1.0, 1.0, 5.0, 1.0]);
+        let a = earth_movers_distance(&p, &q).unwrap();
+        let b = earth_movers_distance(&q, &p).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_is_asymmetric_in_general() {
+        let p = dist(&[9.0, 1.0]);
+        let q = dist(&[5.0, 5.0]);
+        let pq = kl_divergence(&p, &q).unwrap();
+        let qp = kl_divergence(&q, &p).unwrap();
+        assert!(pq > 0.0 && qp > 0.0);
+        assert!((pq - qp).abs() > 1e-6);
+    }
+
+    #[test]
+    fn kl_is_finite_with_empty_bins() {
+        let p = dist(&[1.0, 0.0]);
+        let q = dist(&[0.0, 1.0]);
+        let kl = kl_divergence(&p, &q).unwrap();
+        assert!(kl.is_finite() && kl > 0.0);
+    }
+
+    #[test]
+    fn kl_matches_closed_form_on_full_support() {
+        let p = dist(&[3.0, 1.0]);
+        let q = dist(&[1.0, 1.0]);
+        // KL = 0.75 ln(0.75/0.5) + 0.25 ln(0.25/0.5), smoothing is ~1e-9 so
+        // tolerance 1e-6 absorbs it.
+        let expected = 0.75 * (0.75f64 / 0.5).ln() + 0.25 * (0.25f64 / 0.5).ln();
+        assert!((kl_divergence(&p, &q).unwrap() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Distance::KullbackLeibler.to_string(), "KL");
+        assert_eq!(Distance::EarthMovers.to_string(), "EMD");
+        assert_eq!(Distance::MaxDeviation.to_string(), "MAX_DIFF");
+    }
+}

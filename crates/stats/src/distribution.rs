@@ -1,0 +1,285 @@
+//! Normalized probability distributions over histogram bins.
+//!
+//! The paper represents every target and reference view as a probability
+//! distribution obtained by dividing each bin's aggregate value by the sum of
+//! all bins (Eq. 5):
+//!
+//! ```text
+//! P(vᵢ) = ⟨g₁/G, g₂/G, …, g_b/G⟩,   G = Σ gᵢ
+//! ```
+//!
+//! [`Distribution::from_aggregates`] implements that normalization with two
+//! practical extensions needed for a robust system:
+//!
+//! * aggregates that can be negative (e.g. `MIN` over a signed measure) are
+//!   shifted so the minimum bin is zero before normalizing — deviation is a
+//!   comparison of *shapes*, which shifting preserves;
+//! * a view whose bins are all zero (empty groups) degrades to the uniform
+//!   distribution rather than a 0/0.
+
+use crate::StatsError;
+
+/// Mass added to every bin by [`Distribution::smoothed`]; chosen small enough
+/// not to disturb rankings yet large enough to keep `ln` finite in `f64`.
+pub const SMOOTHING_EPS: f64 = 1e-9;
+
+/// A normalized probability distribution over a fixed number of bins.
+///
+/// Invariants (upheld by every constructor and checked by the test suite):
+/// * at least one bin;
+/// * every mass is finite and non-negative;
+/// * masses sum to 1 within floating-point tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    masses: Vec<f64>,
+}
+
+impl Distribution {
+    /// Normalizes raw per-bin aggregate values into a probability
+    /// distribution (Eq. 5 of the paper).
+    ///
+    /// Negative aggregates are shifted up so the minimum becomes zero; a
+    /// zero-total histogram becomes uniform.
+    ///
+    /// ```
+    /// use viewseeker_stats::Distribution;
+    ///
+    /// let d = Distribution::from_aggregates(&[30.0, 10.0]).unwrap();
+    /// assert_eq!(d.masses(), &[0.75, 0.25]);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidDistribution`] if `aggregates` is empty
+    /// or contains a non-finite value.
+    pub fn from_aggregates(aggregates: &[f64]) -> Result<Self, StatsError> {
+        if aggregates.is_empty() {
+            return Err(StatsError::InvalidDistribution(
+                "cannot build a distribution from zero bins".into(),
+            ));
+        }
+        if let Some(bad) = aggregates.iter().find(|v| !v.is_finite()) {
+            return Err(StatsError::InvalidDistribution(format!(
+                "non-finite aggregate value {bad}"
+            )));
+        }
+        let min = aggregates.iter().copied().fold(f64::INFINITY, f64::min);
+        let shift = if min < 0.0 { -min } else { 0.0 };
+        let shifted: Vec<f64> = aggregates.iter().map(|v| v + shift).collect();
+        let total: f64 = shifted.iter().sum();
+        let masses = if total <= 0.0 {
+            vec![1.0 / aggregates.len() as f64; aggregates.len()]
+        } else {
+            shifted.iter().map(|v| v / total).collect()
+        };
+        Ok(Self { masses })
+    }
+
+    /// Builds a distribution directly from masses that are already
+    /// normalized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidDistribution`] unless the masses are
+    /// non-empty, non-negative, finite, and sum to 1 within `1e-6`.
+    pub fn from_masses(masses: Vec<f64>) -> Result<Self, StatsError> {
+        if masses.is_empty() {
+            return Err(StatsError::InvalidDistribution("no bins".into()));
+        }
+        if masses.iter().any(|m| !m.is_finite() || *m < 0.0) {
+            return Err(StatsError::InvalidDistribution(
+                "masses must be finite and non-negative".into(),
+            ));
+        }
+        let total: f64 = masses.iter().sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(StatsError::InvalidDistribution(format!(
+                "masses sum to {total}, expected 1"
+            )));
+        }
+        Ok(Self { masses })
+    }
+
+    /// The uniform distribution over `bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    #[must_use]
+    pub fn uniform(bins: usize) -> Self {
+        assert!(bins > 0, "uniform distribution needs at least one bin");
+        Self {
+            masses: vec![1.0 / bins as f64; bins],
+        }
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.masses.len()
+    }
+
+    /// Whether the distribution has zero bins (never true for a constructed
+    /// value; provided for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.masses.is_empty()
+    }
+
+    /// The per-bin probability masses.
+    #[must_use]
+    pub fn masses(&self) -> &[f64] {
+        &self.masses
+    }
+
+    /// Probability mass of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn mass(&self, i: usize) -> f64 {
+        self.masses[i]
+    }
+
+    /// Returns a copy with [`SMOOTHING_EPS`] added to every bin and the
+    /// result renormalized, guaranteeing full support (needed before KL
+    /// divergence).
+    #[must_use]
+    pub fn smoothed(&self) -> Self {
+        let total: f64 = self.masses.iter().map(|m| m + SMOOTHING_EPS).sum();
+        Self {
+            masses: self
+                .masses
+                .iter()
+                .map(|m| (m + SMOOTHING_EPS) / total)
+                .collect(),
+        }
+    }
+
+    /// Cumulative distribution function as a vector; the final entry is 1
+    /// within floating-point tolerance.
+    #[must_use]
+    pub fn cdf(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.masses
+            .iter()
+            .map(|m| {
+                acc += m;
+                acc
+            })
+            .collect()
+    }
+
+    /// Shannon entropy in nats.
+    #[must_use]
+    pub fn entropy(&self) -> f64 {
+        self.masses
+            .iter()
+            .filter(|m| **m > 0.0)
+            .map(|m| -m * m.ln())
+            .sum()
+    }
+
+    /// Index of the most probable bin (first one in case of ties).
+    #[must_use]
+    pub fn mode(&self) -> usize {
+        let mut best = 0;
+        for (i, m) in self.masses.iter().enumerate() {
+            if *m > self.masses[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_simple_counts() {
+        let d = Distribution::from_aggregates(&[1.0, 3.0]).unwrap();
+        assert_eq!(d.masses(), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn zero_total_becomes_uniform() {
+        let d = Distribution::from_aggregates(&[0.0, 0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(d.masses(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn negative_values_are_shifted_not_clamped() {
+        let d = Distribution::from_aggregates(&[-2.0, 0.0, 2.0]).unwrap();
+        // shifted to [0, 2, 4] -> total 6
+        assert!((d.mass(0) - 0.0).abs() < 1e-12);
+        assert!((d.mass(1) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((d.mass(2) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_negative_preserves_shape() {
+        let d = Distribution::from_aggregates(&[-4.0, -1.0]).unwrap();
+        // shifted to [0, 3]
+        assert!((d.mass(0) - 0.0).abs() < 1e-12);
+        assert!((d.mass(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(matches!(
+            Distribution::from_aggregates(&[]),
+            Err(StatsError::InvalidDistribution(_))
+        ));
+    }
+
+    #[test]
+    fn non_finite_is_rejected() {
+        assert!(Distribution::from_aggregates(&[1.0, f64::NAN]).is_err());
+        assert!(Distribution::from_aggregates(&[1.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn from_masses_validates_sum() {
+        assert!(Distribution::from_masses(vec![0.5, 0.4]).is_err());
+        assert!(Distribution::from_masses(vec![0.5, 0.5]).is_ok());
+        assert!(Distribution::from_masses(vec![]).is_err());
+        assert!(Distribution::from_masses(vec![1.5, -0.5]).is_err());
+    }
+
+    #[test]
+    fn smoothing_gives_full_support_and_sums_to_one() {
+        let d = Distribution::from_aggregates(&[0.0, 1.0]).unwrap();
+        let s = d.smoothed();
+        assert!(s.masses().iter().all(|m| *m > 0.0));
+        assert!((s.masses().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let d = Distribution::from_aggregates(&[2.0, 1.0, 1.0]).unwrap();
+        let cdf = d.cdf();
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_ln_n() {
+        let d = Distribution::uniform(8);
+        assert!((d.entropy() - (8.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_point_mass_is_zero() {
+        let d = Distribution::from_aggregates(&[0.0, 5.0, 0.0]).unwrap();
+        assert!(d.entropy().abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_picks_heaviest_bin() {
+        let d = Distribution::from_aggregates(&[1.0, 5.0, 3.0]).unwrap();
+        assert_eq!(d.mode(), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Statistical substrate for ViewSeeker.
+//!
+//! This crate provides the numerical machinery behind the paper's utility
+//! components:
+//!
+//! * [`distribution`] — turning aggregate histograms into normalized
+//!   probability distributions (Eq. 5 of the paper), with ε-smoothing where a
+//!   divergence requires full support.
+//! * [`distance`] — the deviation measures used as utility features:
+//!   Kullback–Leibler divergence, Earth Mover's Distance for 1-D histograms,
+//!   L1, L2 and maximum per-bin deviation.
+//! * [`special`] — special functions (log-gamma, regularized incomplete
+//!   gamma) needed by the χ² test.
+//! * [`chisq`] — χ² goodness-of-fit statistic and p-value, backing the
+//!   paper's p-value utility component (after Tang et al., SIGMOD'17).
+//! * [`summary`] — summary statistics and normalization helpers.
+//!
+//! Everything is implemented from scratch; there are no third-party numeric
+//! dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chisq;
+pub mod distance;
+pub mod distribution;
+pub mod special;
+pub mod summary;
+
+pub use chisq::{chi_squared_gof, chi_squared_pvalue, ChiSquaredResult};
+pub use distance::{
+    earth_movers_distance, kl_divergence, l1_distance, l2_distance, max_deviation, Distance,
+};
+pub use distribution::Distribution;
+pub use summary::{mean, min_max_normalize, population_variance, rank_descending, sum_squared_error};
+
+/// Errors produced by statistical routines in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// An operation required two distributions of identical bin count.
+    LengthMismatch {
+        /// Bin count of the left operand.
+        left: usize,
+        /// Bin count of the right operand.
+        right: usize,
+    },
+    /// A distribution could not be constructed (empty input or invalid mass).
+    InvalidDistribution(String),
+    /// A test statistic was requested with invalid degrees of freedom.
+    InvalidDegreesOfFreedom(usize),
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "distribution length mismatch: {left} vs {right}")
+            }
+            StatsError::InvalidDistribution(msg) => write!(f, "invalid distribution: {msg}"),
+            StatsError::InvalidDegreesOfFreedom(df) => {
+                write!(f, "invalid degrees of freedom: {df}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}

@@ -1,0 +1,230 @@
+//! Special functions needed by the statistical tests.
+//!
+//! Hand-rolled implementations (no external numerics crates) of:
+//!
+//! * [`ln_gamma`] — natural log of the gamma function via the Lanczos
+//!   approximation (g = 7, n = 9 coefficients), accurate to ~1e-13 over the
+//!   positive reals;
+//! * [`regularized_gamma_p`] / [`regularized_gamma_q`] — the regularized
+//!   lower/upper incomplete gamma functions `P(a, x)` and `Q(a, x)`, computed
+//!   by the classic series / continued-fraction split (Numerical Recipes
+//!   §6.2). These give the χ² CDF directly: `CDF_{χ²_k}(x) = P(k/2, x/2)`.
+
+/// Lanczos coefficients for g = 7.
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEFFS: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation with reflection for `x < 0.5`.
+///
+/// # Panics
+///
+/// Panics if `x` is not finite or `x <= 0` after reflection is impossible
+/// (i.e. `x` is a non-positive integer).
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x.is_finite(), "ln_gamma requires a finite argument");
+    if x < 0.5 {
+        // Reflection: Γ(x) Γ(1−x) = π / sin(πx)
+        let sin_pi_x = (std::f64::consts::PI * x).sin();
+        assert!(
+            sin_pi_x != 0.0,
+            "ln_gamma is undefined at non-positive integers"
+        );
+        return std::f64::consts::PI.ln() - sin_pi_x.abs().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS_COEFFS[0];
+    for (i, c) in LANCZOS_COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+const GAMMA_EPS: f64 = 1e-14;
+const GAMMA_MAX_ITER: usize = 500;
+
+/// Regularized lower incomplete gamma function `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// `P(a, 0) = 0`, `P(a, ∞) = 1`, monotone increasing in `x`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+#[must_use]
+pub fn regularized_gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "regularized_gamma_p requires a > 0");
+    assert!(x >= 0.0, "regularized_gamma_p requires x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_continued_fraction(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 − P(a, x)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+#[must_use]
+pub fn regularized_gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "regularized_gamma_q requires a > 0");
+    assert!(x >= 0.0, "regularized_gamma_q requires x >= 0");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_continued_fraction(a, x)
+    }
+}
+
+/// Series expansion of P(a, x), convergent for x < a + 1.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut term = sum;
+    for _ in 0..GAMMA_MAX_ITER {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * GAMMA_EPS {
+            break;
+        }
+    }
+    (sum * (-x + a * x.ln() - ln_gamma(a)).exp()).clamp(0.0, 1.0)
+}
+
+/// Continued-fraction (Lentz) evaluation of Q(a, x), convergent for
+/// x >= a + 1.
+fn gamma_q_continued_fraction(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=GAMMA_MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < GAMMA_EPS {
+            break;
+        }
+    }
+    ((-x + a * x.ln() - ln_gamma(a)).exp() * h).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)! for integer n.
+        let cases = [
+            (1.0, 1.0),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (4.0, 6.0),
+            (5.0, 24.0),
+            (6.0, 120.0),
+            (11.0, 3_628_800.0),
+        ];
+        for (x, fact) in cases {
+            let expected = f64::ln(fact);
+            assert!(
+                (ln_gamma(x) - expected).abs() < 1e-10,
+                "ln_gamma({x}) = {}, expected {expected}",
+                ln_gamma(x)
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_is_ln_sqrt_pi() {
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_reflection_region() {
+        // Γ(0.25) ≈ 3.625609908
+        assert!((ln_gamma(0.25) - 3.625_609_908_221_908_f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_p_boundaries() {
+        assert_eq!(regularized_gamma_p(2.5, 0.0), 0.0);
+        assert!((regularized_gamma_p(2.5, 1e6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_plus_q_is_one() {
+        for a in [0.5, 1.0, 2.0, 5.0, 17.5] {
+            for x in [0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 40.0] {
+                let s = regularized_gamma_p(a, x) + regularized_gamma_q(a, x);
+                assert!((s - 1.0).abs() < 1e-10, "P+Q at a={a}, x={x} was {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_p_is_monotone_in_x() {
+        let a = 3.0;
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let x = i as f64 * 0.2;
+            let p = regularized_gamma_p(a, x);
+            assert!(p >= prev - 1e-12);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn exponential_special_case() {
+        // P(1, x) = 1 - e^{-x} (the exponential CDF).
+        for x in [0.1, 0.7, 1.3, 4.2] {
+            let expected = 1.0 - f64::exp(-x);
+            assert!((regularized_gamma_p(1.0, x) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn chi_squared_one_df_median() {
+        // χ²₁ median ≈ 0.4549; CDF(median) = 0.5.
+        let p = regularized_gamma_p(0.5, 0.454_936_423_119_572_81 / 2.0);
+        assert!((p - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a > 0")]
+    fn nonpositive_shape_panics() {
+        let _ = regularized_gamma_p(0.0, 1.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Summary statistics and normalization helpers.
+//!
+//! These back two parts of the system:
+//!
+//! * the *accuracy* utility component (MuVE-style within-bin SSE) uses
+//!   [`sum_squared_error`];
+//! * the feature matrix is min-max normalized per column with
+//!   [`min_max_normalize`] so that learned weights are comparable across
+//!   utility components and so simulated feedback ("70% of the maximum") is
+//!   well-defined.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population variance (divides by `n`); `0.0` for an empty slice.
+#[must_use]
+pub fn population_variance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Sum of squared error of `values` around `center`.
+#[must_use]
+pub fn sum_squared_error(values: &[f64], center: f64) -> f64 {
+    values.iter().map(|v| (v - center) * (v - center)).sum()
+}
+
+/// Min-max normalizes `values` into `[0, 1]` in place.
+///
+/// A constant column (max == min) maps to all zeros — such a feature carries
+/// no ranking information, and zero keeps it inert in a linear model.
+pub fn min_max_normalize(values: &mut [f64]) {
+    let Some(&first) = values.first() else {
+        return;
+    };
+    let (mut lo, mut hi) = (first, first);
+    for &v in values.iter() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let range = hi - lo;
+    if range <= 0.0 {
+        values.fill(0.0);
+        return;
+    }
+    for v in values.iter_mut() {
+        *v = (*v - lo) / range;
+    }
+}
+
+/// Returns the indices of `values` sorted by descending value, ties broken by
+/// ascending index (a stable, deterministic ranking used throughout the view
+/// rankers).
+#[must_use]
+pub fn rank_descending(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(population_variance(&[]), 0.0);
+        assert_eq!(population_variance(&[2.0, 4.0]), 1.0);
+        assert_eq!(population_variance(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn sse_around_mean_is_n_times_variance() {
+        let vals = [1.0, 2.0, 3.0, 10.0];
+        let sse = sum_squared_error(&vals, mean(&vals));
+        assert!((sse - 4.0 * population_variance(&vals)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_normalize_maps_to_unit_interval() {
+        let mut v = [10.0, 20.0, 15.0];
+        min_max_normalize(&mut v);
+        assert_eq!(v, [0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn min_max_normalize_constant_column_is_zeroed() {
+        let mut v = [7.0, 7.0, 7.0];
+        min_max_normalize(&mut v);
+        assert_eq!(v, [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_normalize_empty_is_noop() {
+        let mut v: [f64; 0] = [];
+        min_max_normalize(&mut v);
+    }
+
+    #[test]
+    fn rank_descending_orders_and_breaks_ties_stably() {
+        let v = [0.3, 0.9, 0.3, 1.0];
+        assert_eq!(rank_descending(&v), vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn rank_descending_handles_nan_without_panicking() {
+        let v = [0.3, f64::NAN, 0.5];
+        let r = rank_descending(&v);
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the statistical substrate: metric axioms, bounds,
+//! and special-function identities over arbitrary inputs.
+
+use proptest::prelude::*;
+use viewseeker_stats::special::{ln_gamma, regularized_gamma_p, regularized_gamma_q};
+use viewseeker_stats::{
+    chi_squared_pvalue, earth_movers_distance, kl_divergence, l1_distance, l2_distance,
+    max_deviation, Distance, Distribution,
+};
+
+/// Raw aggregate vectors that produce valid distributions.
+fn arb_aggregates(bins: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..100.0, bins)
+}
+
+fn dist(vals: &[f64]) -> Distribution {
+    Distribution::from_aggregates(vals).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn distances_are_nonnegative_and_finite(
+        a in arb_aggregates(6),
+        b in arb_aggregates(6),
+    ) {
+        let (p, q) = (dist(&a), dist(&b));
+        for d in Distance::all() {
+            let v = d.eval(&p, &q).unwrap();
+            prop_assert!(v.is_finite() && v >= 0.0, "{d} = {v}");
+        }
+    }
+
+    #[test]
+    fn symmetric_distances_are_symmetric(
+        a in arb_aggregates(5),
+        b in arb_aggregates(5),
+    ) {
+        let (p, q) = (dist(&a), dist(&b));
+        for d in [Distance::EarthMovers, Distance::L1, Distance::L2, Distance::MaxDeviation] {
+            let pq = d.eval(&p, &q).unwrap();
+            let qp = d.eval(&q, &p).unwrap();
+            prop_assert!((pq - qp).abs() < 1e-12, "{d}: {pq} vs {qp}");
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds_for_metrics(
+        a in arb_aggregates(4),
+        b in arb_aggregates(4),
+        c in arb_aggregates(4),
+    ) {
+        let (p, q, r) = (dist(&a), dist(&b), dist(&c));
+        for d in [Distance::EarthMovers, Distance::L1, Distance::L2, Distance::MaxDeviation] {
+            let pq = d.eval(&p, &q).unwrap();
+            let qr = d.eval(&q, &r).unwrap();
+            let pr = d.eval(&p, &r).unwrap();
+            prop_assert!(pr <= pq + qr + 1e-9, "{d}: {pr} > {pq} + {qr}");
+        }
+    }
+
+    #[test]
+    fn distance_bounds(a in arb_aggregates(7), b in arb_aggregates(7)) {
+        let (p, q) = (dist(&a), dist(&b));
+        prop_assert!(l1_distance(&p, &q).unwrap() <= 2.0 + 1e-12);
+        prop_assert!(l2_distance(&p, &q).unwrap() <= 2.0f64.sqrt() + 1e-12);
+        prop_assert!(max_deviation(&p, &q).unwrap() <= 1.0 + 1e-12);
+        // EMD over n ordered unit-spaced bins is at most n − 1.
+        prop_assert!(earth_movers_distance(&p, &q).unwrap() <= 6.0 + 1e-12);
+    }
+
+    #[test]
+    fn kl_is_zero_iff_equal(a in arb_aggregates(5)) {
+        let p = dist(&a);
+        prop_assert!(kl_divergence(&p, &p).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn l2_never_exceeds_l1(a in arb_aggregates(6), b in arb_aggregates(6)) {
+        let (p, q) = (dist(&a), dist(&b));
+        let l1 = l1_distance(&p, &q).unwrap();
+        let l2 = l2_distance(&p, &q).unwrap();
+        prop_assert!(l2 <= l1 + 1e-12);
+        // And max deviation never exceeds L2.
+        prop_assert!(max_deviation(&p, &q).unwrap() <= l2 + 1e-12);
+    }
+
+    #[test]
+    fn distributions_always_normalize(a in arb_aggregates(8)) {
+        let p = dist(&a);
+        prop_assert!((p.masses().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let s = p.smoothed();
+        prop_assert!((s.masses().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(s.masses().iter().all(|m| *m > 0.0));
+    }
+
+    #[test]
+    fn shifting_negative_aggregates_preserves_ranking_of_bins(
+        a in proptest::collection::vec(-50.0f64..50.0, 5),
+    ) {
+        let p = dist(&a);
+        // The heaviest bin of the distribution is an argmax of the raw data.
+        let max_raw = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((a[p.mode()] - max_raw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chisq_pvalue_in_unit_interval(stat in 0.0f64..500.0, df in 1usize..30) {
+        let p = chi_squared_pvalue(stat, df).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn gamma_p_q_complementary(a in 0.1f64..30.0, x in 0.0f64..60.0) {
+        let p = regularized_gamma_p(a, x);
+        let q = regularized_gamma_q(a, x);
+        prop_assert!((p + q - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn ln_gamma_recurrence(x in 0.5f64..50.0) {
+        // Γ(x+1) = x·Γ(x)  ⇒  lnΓ(x+1) = ln x + lnΓ(x)
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+}

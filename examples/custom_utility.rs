@@ -1,0 +1,99 @@
+//! Fixed-utility recommenders vs the learned one, plus CSV persistence.
+//!
+//! Demonstrates (1) using the SeeDB-style single-feature rankers directly —
+//! what you'd do if you *knew* your utility function; (2) why a fixed choice
+//! breaks down for composite tastes, quantified with the paper's precision
+//! metric; (3) round-tripping a dataset through the CSV codec.
+//!
+//! ```text
+//! cargo run --release --example custom_utility
+//! ```
+
+use std::io::Cursor;
+
+use viewseeker::prelude::*;
+use viewseeker_core::baseline::SingleFeatureRanker;
+use viewseeker_core::{tie_aware_precision_at_k, utility_distance};
+use viewseeker_dataset::csv::{read_csv, write_csv};
+
+fn main() {
+    let testbed = diab_testbed(TestbedScale::Small(10_000), 123).expect("testbed");
+
+    // --- CSV round trip: persist the generated dataset and reload it. ---
+    let mut buf = Vec::new();
+    write_csv(&testbed.table, &mut buf).expect("write csv");
+    println!(
+        "dataset serializes to {:.1} MiB of CSV",
+        buf.len() as f64 / (1024.0 * 1024.0)
+    );
+    let reloaded = read_csv(testbed.table.schema(), Cursor::new(&buf)).expect("read csv");
+    assert_eq!(reloaded.row_count(), testbed.table.row_count());
+    println!("CSV round trip OK: {} rows\n", reloaded.row_count());
+
+    // --- A custom composite utility the user could define by hand. ---
+    let custom = CompositeUtility::new(&[
+        (UtilityFeature::MaxDiff, 0.5),
+        (UtilityFeature::Usability, 0.3),
+        (UtilityFeature::PValue, 0.2),
+    ])
+    .expect("custom composite");
+    println!("user's true (hidden) utility: {}\n", custom.name());
+
+    // Ground-truth features for the whole view space.
+    let mut seeker = ViewSeeker::new(
+        &testbed.table,
+        &testbed.query,
+        ViewSeekerConfig::default(),
+    )
+    .expect("session");
+    let truth = seeker.feature_matrix().clone();
+    let true_scores = custom.normalized_scores(&truth).expect("scores");
+
+    // --- Every fixed single-feature recommender, scored against it. ---
+    const K: usize = 10;
+    let ideal_top = custom.top_k(&truth, K).expect("ideal top-k");
+    println!("fixed SeeDB-style rankers against the hidden utility:");
+    println!("  {:<18} {:>12} {:>18}", "method", "precision@10", "utility distance");
+    for ranker in SingleFeatureRanker::all() {
+        let top = ranker.top_k(&truth, K);
+        let p = tie_aware_precision_at_k(&true_scores, &top, K);
+        let ud = utility_distance(&true_scores, &top, &ideal_top);
+        println!(
+            "  rank by {:<10} {:>11.1}% {:>18.4}",
+            ranker.feature().to_string(),
+            p * 100.0,
+            ud
+        );
+    }
+
+    // --- ViewSeeker, learning the same utility interactively. ---
+    let mut labels = 0;
+    let (mut precision, mut ud) = (0.0, f64::INFINITY);
+    while labels < 40 && ud > 0.0 {
+        let Some(v) = seeker.next_views(1).expect("next").pop() else {
+            break;
+        };
+        seeker
+            .submit_feedback(v, true_scores[v.index()])
+            .expect("feedback");
+        labels += 1;
+        let top = seeker.recommend(K).expect("rec");
+        precision = tie_aware_precision_at_k(&true_scores, &top, K);
+        ud = utility_distance(&true_scores, &top, &ideal_top);
+    }
+    println!(
+        "\n  ViewSeeker ({labels} labels) {:>10.1}% {:>18.4}",
+        precision * 100.0,
+        ud
+    );
+    println!("\nlearned weights vs true weights:");
+    let learned = seeker.learned_weights().expect("fitted");
+    for (i, f) in UtilityFeature::all().iter().enumerate() {
+        println!(
+            "  {:<10} learned {:+.3}   true {:+.3}",
+            f.to_string(),
+            learned[i],
+            custom.weights()[i]
+        );
+    }
+}

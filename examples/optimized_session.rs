@@ -1,0 +1,58 @@
+//! The §3.3 optimizations in action: α-sampling plus prioritized
+//! incremental refinement, with timings.
+//!
+//! Two sessions over the same data and the same simulated user: one computes
+//! exact utility features for all views up front (optimization disabled),
+//! the other starts from "rough" features over a 10% sample and refines the
+//! promising views between labeling prompts. Compare offline-initialization
+//! latency, labels used, and total time.
+//!
+//! ```text
+//! cargo run --release --example optimized_session
+//! ```
+
+use viewseeker::prelude::*;
+
+fn run(label: &str, config: ViewSeekerConfig, testbed: &Testbed) {
+    let ideal = ideal_functions()[3].utility.clone(); // 0.5 EMD + 0.5 KL
+    let outcome = run_session(
+        &testbed.table,
+        &testbed.query,
+        config,
+        &ideal,
+        &RunnerConfig {
+            k: 10,
+            max_labels: 80,
+            stop: StopCriterion::UtilityDistance(0.0),
+        },
+    )
+    .expect("session");
+    println!(
+        "{label:<24} init {:>8.2?}   labels {:>3}   user-perceived {:>8.2?}   converged: {}",
+        outcome.init_time, outcome.labels_used, outcome.system_time, outcome.converged
+    );
+}
+
+fn main() {
+    let testbed = diab_testbed(TestbedScale::Small(50_000), 7).expect("testbed");
+    println!(
+        "DIAB testbed: {} rows, DQ selectivity {:.2}%\n",
+        testbed.table.row_count(),
+        testbed.selectivity * 100.0
+    );
+    println!("hidden ideal utility: {}\n", ideal_functions()[3].utility.name());
+
+    let exact = ViewSeekerConfig::default();
+    // The paper's optimized setup: 10% rough pass, refinement inside a
+    // per-iteration time budget, prioritized by the current estimator.
+    let optimized = ViewSeekerConfig::optimized();
+
+    run("optimization OFF", exact, &testbed);
+    run("optimization ON (α=10%)", optimized, &testbed);
+
+    println!(
+        "\nThe optimized session trades a much cheaper offline phase for a few\n\
+         extra labels; incremental refinement runs inside user think-time, so\n\
+         the user never waits for it (paper: −43% runtime for +19% labels)."
+    );
+}

@@ -1,0 +1,74 @@
+//! Quickstart: the smallest complete ViewSeeker session.
+//!
+//! Builds a synthetic dataset, carves out a query subset, and runs the
+//! interactive loop with a scripted "user" until the recommendation
+//! stabilizes. Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use viewseeker::prelude::*;
+
+fn main() {
+    // 1. A dataset: 7 categorical dimensions (a0..a6), 8 numeric measures
+    //    (m0..m7), with planted dimension→measure correlations.
+    let table = generate_diab(&DiabConfig::small(10_000, 42)).expect("generate dataset");
+    println!(
+        "dataset: {} rows, dimensions {:?}, measures {:?}",
+        table.row_count(),
+        table.dimension_names(),
+        table.measure_names()
+    );
+
+    // 2. The exploration subset DQ: one cohort of records.
+    let query = SelectQuery::new(Predicate::eq("a0", "a0_v0"));
+    let dq = query.execute(&table).expect("execute query");
+    println!("query selects {} rows ({:.1}% of the data)\n", dq.len(),
+        100.0 * dq.len() as f64 / table.row_count() as f64);
+
+    // 3. Start a session. The offline phase enumerates all 280 candidate
+    //    views and computes their 8 utility features.
+    let mut seeker =
+        ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).expect("init session");
+    println!("view space: {} candidate views\n", seeker.view_space().len());
+
+    // 4. The interactive loop. A real application shows each view to a
+    //    human; here a scripted user loves high-deviation (EMD) views.
+    let taste = CompositeUtility::single(UtilityFeature::Emd);
+    let scores = taste
+        .normalized_scores(seeker.feature_matrix())
+        .expect("score views");
+    let mut labels = 0;
+    while let Some(view) = seeker.next_views(1).expect("select view").pop() {
+        let feedback = scores[view.index()];
+        seeker.submit_feedback(view, feedback).expect("record feedback");
+        labels += 1;
+        println!(
+            "label {labels:>2}: {:<38} feedback {:.2}  [{:?} phase]",
+            seeker.view_space().def(view).unwrap().to_string(),
+            feedback,
+            seeker.phase()
+        );
+        // Stop when the learned top-5 carries (almost) all the ideal top-5
+        // utility mass, or after 20 labels.
+        let recommended = seeker.recommend(5).expect("recommend");
+        let ideal_top = taste.top_k(seeker.feature_matrix(), 5).expect("ideal");
+        let ud = utility_distance(&scores, &recommended, &ideal_top);
+        if ud <= 1e-9 || labels >= 20 {
+            break;
+        }
+    }
+
+    // 5. The result: the user's personalized top-5 views, plus the learned
+    //    utility-function weights (the β of u* = Σ βᵢ·uᵢ).
+    println!("\ntop-5 recommended views after {labels} labels:");
+    for (rank, view) in seeker.recommend(5).expect("recommend").iter().enumerate() {
+        println!("  {}. {}", rank + 1, seeker.view_space().def(*view).unwrap());
+    }
+    let weights = seeker.learned_weights().expect("fitted estimator");
+    println!("\nlearned utility weights:");
+    for (feature, w) in UtilityFeature::all().iter().zip(weights) {
+        println!("  {feature:<10} {w:+.3}");
+    }
+}

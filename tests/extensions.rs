@@ -1,0 +1,158 @@
+//! Integration tests for the extension surface: scatter views, the generic
+//! feedback session, session persistence, and line-chart-style fine binning.
+
+use viewseeker::prelude::*;
+use viewseeker_core::scatter::scatter_feature_matrix;
+
+fn syn_table() -> Table {
+    generate_syn(&SynConfig::small(4_000, 91)).unwrap()
+}
+
+#[test]
+fn scatter_session_end_to_end() {
+    let table = syn_table();
+    let query = SelectQuery::new(Predicate::range("d0", 0.0, 30.0));
+    let dq = query.execute(&table).unwrap();
+    let space = ScatterSpace::enumerate(&table, 6).unwrap();
+    let matrix = scatter_feature_matrix(&table, &dq, &table.all_rows(), &space, 36.0).unwrap();
+
+    let ideal = CompositeUtility::new(&[
+        (UtilityFeature::L1, 0.5),
+        (UtilityFeature::PValue, 0.5),
+    ])
+    .unwrap();
+    let truth = ideal.normalized_scores(&matrix).unwrap();
+    let mut session = FeedbackSession::new(matrix, ViewSeekerConfig::default()).unwrap();
+    let mut converged = false;
+    for _ in 0..space.len() {
+        let Some(item) = session.next_items(1).unwrap().pop() else {
+            break;
+        };
+        session.submit_feedback(item, truth[item.index()]).unwrap();
+        let top = session.recommend(3).unwrap();
+        if tie_aware_precision_at_k(&truth, &top, 3) >= 1.0 {
+            converged = true;
+            break;
+        }
+    }
+    assert!(converged, "scatter session should recover the ideal top-3");
+}
+
+#[test]
+fn snapshot_round_trip_through_json_and_disk_format() {
+    let table = generate_diab(&DiabConfig::small(2_000, 92)).unwrap();
+    let query = SelectQuery::new(Predicate::eq("a2", "a2_v0"));
+    let mut seeker = ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
+    let ideal = CompositeUtility::single(UtilityFeature::MaxDiff);
+    let scores = ideal.normalized_scores(seeker.feature_matrix()).unwrap();
+    for _ in 0..6 {
+        let v = seeker.next_views(1).unwrap()[0];
+        seeker.submit_feedback(v, scores[v.index()]).unwrap();
+    }
+
+    let json = SessionSnapshot::from_seeker(&seeker).to_json().unwrap();
+    // The snapshot is self-describing JSON a UI could store anywhere.
+    assert!(json.contains("\"version\""));
+    assert!(json.contains("\"labels\""));
+
+    let restored = SessionSnapshot::from_json(&json)
+        .unwrap()
+        .restore_seeker(&table, &query, ViewSeekerConfig::default())
+        .unwrap();
+    assert_eq!(restored.recommend(10).unwrap(), seeker.recommend(10).unwrap());
+
+    // A resumed session continues seamlessly: next view differs from any
+    // already-labeled one.
+    let mut resumed = SessionSnapshot::from_json(&json)
+        .unwrap()
+        .restore_seeker(&table, &query, ViewSeekerConfig::default())
+        .unwrap();
+    let labeled: Vec<usize> = resumed.labels().iter().map(|l| l.view.index()).collect();
+    let next = resumed.next_views(1).unwrap()[0];
+    assert!(!labeled.contains(&next.index()));
+}
+
+#[test]
+fn snapshot_rejects_a_mismatched_view_space() {
+    let table = generate_diab(&DiabConfig::small(1_000, 93)).unwrap();
+    let query = SelectQuery::new(Predicate::eq("a0", "a0_v0"));
+    let seeker = ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
+    let snapshot = SessionSnapshot::from_seeker(&seeker);
+
+    // Restoring with a different (excluded-dimension) space must fail
+    // loudly rather than mis-associate labels.
+    let shrunk = ViewSeekerConfig {
+        excluded_dimensions: vec!["a0".into()],
+        ..ViewSeekerConfig::default()
+    };
+    assert!(snapshot.restore_seeker(&table, &query, shrunk).is_err());
+}
+
+#[test]
+fn fine_binning_acts_as_line_charts() {
+    let table = syn_table();
+    let query = SelectQuery::new(Predicate::range("d1", 0.0, 40.0));
+    let config = ViewSeekerConfig {
+        bin_configs: vec![24],
+        usability_optimal_bins: 24.0,
+        ..ViewSeekerConfig::default()
+    };
+    let seeker = ViewSeeker::new(&table, &query, config).unwrap();
+    // 5 numeric dims × 5 measures × 5 aggregates × 1 bin config.
+    assert_eq!(seeker.view_space().len(), 125);
+    assert!(seeker.view_space().defs().iter().all(|d| d.bins == Some(24)));
+}
+
+#[test]
+fn equal_frequency_binning_integrates_with_aggregation() {
+    use viewseeker_dataset::aggregate::{group_by_aggregate, AggregateFunction};
+
+    let table = syn_table();
+    let col = table.column_by_name("d0").unwrap();
+    let spec = BinSpec::equal_frequency_of(col, 5).unwrap();
+    let r = group_by_aggregate(
+        &table,
+        &table.all_rows(),
+        "d0",
+        &spec,
+        "m0",
+        AggregateFunction::Count,
+    )
+    .unwrap();
+    // Quantile bins over a uniform column are near-balanced.
+    let expected = table.row_count() as f64 / 5.0;
+    for c in &r.aggregates {
+        assert!(
+            (c - expected).abs() < expected * 0.1,
+            "unbalanced quantile bin: {c} vs {expected}"
+        );
+    }
+}
+
+#[test]
+fn feedback_session_update_matrix_keeps_rankings_consistent() {
+    use viewseeker_core::features::{FEATURE_COUNT, FeatureMatrix};
+
+    let raws: Vec<[f64; FEATURE_COUNT]> = (0..20)
+        .map(|i| {
+            let mut r = [0.0; FEATURE_COUNT];
+            r[2] = i as f64;
+            r
+        })
+        .collect();
+    let matrix = FeatureMatrix::new(raws.clone());
+    let mut s = FeedbackSession::new(matrix, ViewSeekerConfig::default()).unwrap();
+    let a = s.next_items(1).unwrap()[0];
+    s.submit_feedback(a, 0.9).unwrap();
+    let b = s.next_items(1).unwrap()[0];
+    s.submit_feedback(b, 0.1).unwrap();
+
+    // Replacing the matrix with identical contents must not change the
+    // recommendation; a wrong-size replacement must be rejected.
+    let before = s.recommend(5).unwrap();
+    s.update_matrix(FeatureMatrix::new(raws)).unwrap();
+    assert_eq!(s.recommend(5).unwrap(), before);
+    assert!(s
+        .update_matrix(FeatureMatrix::new(vec![[0.0; FEATURE_COUNT]]))
+        .is_err());
+}
