@@ -18,16 +18,12 @@ fn bench_distances(c: &mut Criterion) {
     for bins in [4usize, 16, 64] {
         let (p, q) = make_pair(bins);
         for d in Distance::all() {
-            group.bench_with_input(
-                BenchmarkId::new(d.to_string(), bins),
-                &bins,
-                |bench, _| {
-                    bench.iter(|| {
-                        d.eval(std::hint::black_box(&p), std::hint::black_box(&q))
-                            .unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(d.to_string(), bins), &bins, |bench, _| {
+                bench.iter(|| {
+                    d.eval(std::hint::black_box(&p), std::hint::black_box(&q))
+                        .unwrap()
+                })
+            });
         }
     }
     group.finish();

@@ -3,9 +3,7 @@
 //! at training-set sizes typical of an interactive session.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use viewseeker_learn::{
-    LogisticConfig, LogisticRegression, RidgeConfig, RidgeRegression,
-};
+use viewseeker_learn::{LogisticConfig, LogisticRegression, RidgeConfig, RidgeRegression};
 
 fn training_set(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let x: Vec<Vec<f64>> = (0..n)
@@ -15,7 +13,10 @@ fn training_set(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
                 .collect()
         })
         .collect();
-    let y: Vec<f64> = x.iter().map(|r| (0.4 * r[0] + 0.6 * r[1]).min(1.0)).collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|r| (0.4 * r[0] + 0.6 * r[1]).min(1.0))
+        .collect();
     (x, y)
 }
 
@@ -26,7 +27,8 @@ fn bench_estimators(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ridge", n), &n, |b, _| {
             b.iter(|| {
                 let mut m = RidgeRegression::new(RidgeConfig::default());
-                m.fit(std::hint::black_box(&x), std::hint::black_box(&y)).unwrap();
+                m.fit(std::hint::black_box(&x), std::hint::black_box(&y))
+                    .unwrap();
                 m
             })
         });

@@ -20,9 +20,7 @@ fn bench_offline_phase(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("materialize_280_views", threads),
             &threads,
-            |b, &threads| {
-                b.iter(|| materialize_all(&table, &dq, &dr, &space, threads).unwrap())
-            },
+            |b, &threads| b.iter(|| materialize_all(&table, &dq, &dr, &space, threads).unwrap()),
         );
     }
     // SeeDB-style shared computation: one scan per (dim, measure) group.

@@ -15,8 +15,7 @@ fn bench_groupby(c: &mut Criterion) {
         group.throughput(Throughput::Elements(rows as u64));
         group.bench_with_input(BenchmarkId::new("avg", rows), &rows, |b, _| {
             b.iter(|| {
-                group_by_aggregate(&table, &all, "a6", &spec, "m0", AggregateFunction::Avg)
-                    .unwrap()
+                group_by_aggregate(&table, &all, "a6", &spec, "m0", AggregateFunction::Avg).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("dispersion", rows), &rows, |b, _| {

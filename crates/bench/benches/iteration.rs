@@ -23,11 +23,11 @@ fn bench_iteration(c: &mut Criterion) {
         b.iter_batched(
             || {
                 // A warmed-up session with a few labels already collected.
-                let mut s =
-                    ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
+                let mut s = ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
                 for i in 0..6 {
                     let v = s.next_views(1).unwrap()[0];
-                    s.submit_feedback(v, if i % 2 == 0 { 0.9 } else { 0.1 }).unwrap();
+                    s.submit_feedback(v, if i % 2 == 0 { 0.9 } else { 0.1 })
+                        .unwrap();
                 }
                 s
             },

@@ -1,0 +1,77 @@
+//! Benchmarks the predicted-scores hot path: scoring every view in the
+//! space with the fitted utility estimator, serial vs. parallel. This runs
+//! on every interactive turn (refinement prioritization, recommendation,
+//! diverse re-ranking), so at large view-space sizes it dominates
+//! user-perceived latency.
+//!
+//! Interpreting results: the parallel path only pays off with multiple
+//! physical cores AND view spaces large enough to amortize thread spawns
+//! (scoring one view is an 8-element dot product). On a single-core host
+//! every `parallel_*` row degenerates to measuring spawn overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use viewseeker_core::estimator::{Label, ViewUtilityEstimator};
+use viewseeker_core::features::{FeatureMatrix, FEATURE_COUNT};
+use viewseeker_core::ViewId;
+
+fn synthetic_matrix(views: usize) -> FeatureMatrix {
+    let rows: Vec<[f64; FEATURE_COUNT]> = (0..views)
+        .map(|i| {
+            let x = (i as f64) / views as f64;
+            [
+                x,
+                x * x,
+                1.0 - x,
+                (x * 9.1).sin().abs(),
+                (x * 3.7).cos().abs(),
+                x / 2.0,
+                ((i * 31) % 97) as f64 / 97.0,
+                0.9 - x / 2.0,
+            ]
+        })
+        .collect();
+    FeatureMatrix::new(rows)
+}
+
+fn fitted_estimator(matrix: &FeatureMatrix) -> ViewUtilityEstimator {
+    let n = matrix.len();
+    let labels: Vec<Label> = [0, n / 4, n / 2, (3 * n) / 4, n - 1]
+        .iter()
+        .map(|&i| Label {
+            view: ViewId::from_index(i),
+            score: (i as f64 / n as f64).clamp(0.05, 0.95),
+        })
+        .collect();
+    let mut ve = ViewUtilityEstimator::new(1e-4);
+    ve.refit(matrix, &labels).expect("refit");
+    ve
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predicted_scores");
+    group.sample_size(20);
+    for views in [1_000usize, 10_000, 50_000] {
+        let matrix = synthetic_matrix(views);
+        let ve = fitted_estimator(&matrix);
+        group.throughput(Throughput::Elements(views as u64));
+        group.bench_with_input(BenchmarkId::new("serial", views), &views, |b, _| {
+            b.iter(|| ve.predict_all(std::hint::black_box(&matrix)).unwrap())
+        });
+        for threads in [2usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel_{threads}"), views),
+                &views,
+                |b, _| {
+                    b.iter(|| {
+                        ve.predict_all_parallel(std::hint::black_box(&matrix), threads)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

@@ -6,9 +6,9 @@
 
 use viewseeker_bench::{banner, BenchArgs};
 use viewseeker_core::{RefineBudget, ViewSeekerConfig};
+use viewseeker_eval::diab_testbed;
 use viewseeker_eval::experiments::alpha_sweep;
 use viewseeker_eval::report::{alpha_table, to_json};
-use viewseeker_eval::diab_testbed;
 
 fn main() {
     let args = BenchArgs::parse();

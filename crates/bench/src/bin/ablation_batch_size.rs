@@ -6,9 +6,9 @@
 //! rounds trade over all 11 Table 2 ideal functions.
 
 use viewseeker_bench::{banner, BenchArgs};
+use viewseeker_eval::diab_testbed;
 use viewseeker_eval::experiments::batch_size_sweep;
 use viewseeker_eval::report::{batch_table, to_json};
-use viewseeker_eval::diab_testbed;
 
 fn main() {
     let args = BenchArgs::parse();

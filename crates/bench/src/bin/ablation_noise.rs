@@ -7,9 +7,9 @@
 //! fraction of Table 2 ideal functions still recovered exactly.
 
 use viewseeker_bench::{banner, BenchArgs};
+use viewseeker_eval::diab_testbed;
 use viewseeker_eval::experiments::noise_sweep;
 use viewseeker_eval::report::{noise_table, to_json};
-use viewseeker_eval::diab_testbed;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -19,8 +19,7 @@ fn main() {
     );
     let testbed = diab_testbed(args.scale(10_000), args.seed).expect("DIAB testbed");
     let sigmas = [0.0, 0.05, 0.10, 0.20, 0.40];
-    let points = noise_sweep(&testbed, &args.seeker_config(), &sigmas, 10, 60)
-        .expect("experiment");
+    let points = noise_sweep(&testbed, &args.seeker_config(), &sigmas, 10, 60).expect("experiment");
     println!("{}", noise_table(&points));
     args.maybe_write_json(&to_json(&points).expect("serializable"));
 }

@@ -6,9 +6,9 @@
 //! needs to reach 100% precision@10, averaged over all 11 ideal functions.
 
 use viewseeker_bench::{banner, BenchArgs};
+use viewseeker_eval::diab_testbed;
 use viewseeker_eval::experiments::strategy_ablation;
 use viewseeker_eval::report::{strategy_table, to_json};
-use viewseeker_eval::diab_testbed;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -17,8 +17,7 @@ fn main() {
         "labels to 100% precision@10, averaged over all 11 Table 2 ideal functions",
     );
     let testbed = diab_testbed(args.scale(10_000), args.seed).expect("DIAB testbed");
-    let points = strategy_ablation(&testbed, &args.seeker_config(), 10, 200)
-        .expect("experiment");
+    let points = strategy_ablation(&testbed, &args.seeker_config(), 10, 200).expect("experiment");
     println!("{}", strategy_table(&points));
     args.maybe_write_json(&to_json(&points).expect("serializable"));
 }

@@ -25,8 +25,7 @@ fn main() {
         .expect("experiment");
     println!("{}", effort_table(&points));
 
-    let overall: f64 =
-        points.iter().map(|p| p.mean_labels).sum::<f64>() / points.len() as f64;
+    let overall: f64 = points.iter().map(|p| p.mean_labels).sum::<f64>() / points.len() as f64;
     println!("overall mean labels: {overall:.1} (paper: 7-16)");
     args.maybe_write_json(&to_json(&points).expect("serializable"));
 }

@@ -9,9 +9,9 @@
 //! fixed baseline (EMD).
 
 use viewseeker_bench::{banner, BenchArgs};
+use viewseeker_eval::diab_testbed;
 use viewseeker_eval::experiments::baseline_experiment;
 use viewseeker_eval::report::{baseline_table, to_json};
-use viewseeker_eval::diab_testbed;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -20,8 +20,8 @@ fn main() {
         "ideal u* = 0.3*EMD + 0.3*KL + 0.4*Accuracy (Table 2 #11), k = 10",
     );
     let testbed = diab_testbed(args.scale(20_000), args.seed).expect("DIAB testbed");
-    let cmp = baseline_experiment(&testbed, &args.seeker_config(), 11, 10, 200)
-        .expect("experiment");
+    let cmp =
+        baseline_experiment(&testbed, &args.seeker_config(), 11, 10, 200).expect("experiment");
     println!("{}", baseline_table(&cmp));
     println!(
         "ViewSeeker converged in {} labels; precision trace: {:?}",

@@ -6,9 +6,9 @@
 
 use viewseeker_bench::{banner, BenchArgs};
 use viewseeker_core::ViewSeekerConfig;
+use viewseeker_eval::diab_testbed;
 use viewseeker_eval::experiments::optimization_experiment;
 use viewseeker_eval::report::{optimization_labels_table, to_json};
-use viewseeker_eval::diab_testbed;
 
 fn main() {
     let args = BenchArgs::parse();

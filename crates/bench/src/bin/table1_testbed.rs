@@ -49,7 +49,11 @@ fn main() {
             diab.table.measure_names().len().to_string(),
             syn.table.measure_names().len().to_string(),
         ],
-        vec!["Number of aggregation functions".into(), "5".into(), "5".into()],
+        vec![
+            "Number of aggregation functions".into(),
+            "5".into(),
+            "5".into(),
+        ],
         vec![
             "Number of view utility features".into(),
             viewseeker_core::features::FEATURE_COUNT.to_string(),
@@ -83,13 +87,15 @@ fn main() {
     ];
     let table = markdown_table(&["parameter", "DIAB", "SYN"], &rows);
     println!("{table}");
-    args.maybe_write_json(&serde_json::json!({
-        "diab_rows": diab.table.row_count(),
-        "syn_rows": syn.table.row_count(),
-        "diab_views": diab_views.len(),
-        "syn_views": syn_views.len(),
-        "diab_selectivity": diab.selectivity,
-        "syn_selectivity": syn.selectivity,
-    })
-    .to_string());
+    args.maybe_write_json(
+        &serde_json::json!({
+            "diab_rows": diab.table.row_count(),
+            "syn_rows": syn.table.row_count(),
+            "diab_views": diab_views.len(),
+            "syn_views": syn_views.len(),
+            "diab_selectivity": diab.selectivity,
+            "syn_selectivity": syn.selectivity,
+        })
+        .to_string(),
+    );
 }

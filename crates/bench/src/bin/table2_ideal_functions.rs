@@ -23,7 +23,10 @@ fn main() {
             ]
         })
         .collect();
-    let table = markdown_table(&["#", "group", "involved utility features and weights"], &rows);
+    let table = markdown_table(
+        &["#", "group", "involved utility features and weights"],
+        &rows,
+    );
     println!("{table}");
     args.maybe_write_json(
         &serde_json::to_string_pretty(

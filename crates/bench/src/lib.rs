@@ -134,8 +134,18 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let a = BenchArgs::parse_from(
-            ["--paper", "--rows", "123", "--seed", "9", "--threads", "2", "--json", "/tmp/x.json"]
-                .map(String::from),
+            [
+                "--paper",
+                "--rows",
+                "123",
+                "--seed",
+                "9",
+                "--threads",
+                "2",
+                "--json",
+                "/tmp/x.json",
+            ]
+            .map(String::from),
         );
         assert!(a.paper);
         assert_eq!(a.rows, Some(123));

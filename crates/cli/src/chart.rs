@@ -44,7 +44,9 @@ pub fn render_view(title: &str, spec: &BinSpec, data: &ViewData) -> String {
 
 /// A proportional bar of `value` against `max`.
 fn bar(value: f64, max: f64) -> String {
-    let chars = ((value / max) * BAR_WIDTH as f64).round().clamp(0.0, BAR_WIDTH as f64);
+    let chars = ((value / max) * BAR_WIDTH as f64)
+        .round()
+        .clamp(0.0, BAR_WIDTH as f64);
     "█".repeat(chars as usize)
 }
 
@@ -64,12 +66,7 @@ const SHADES: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
 /// Renders a scatter view's two density grids side by side (DQ vs DR).
 /// `target` and `reference` are row-major `grid × grid` probability masses.
 #[must_use]
-pub fn render_density_grid(
-    title: &str,
-    grid: usize,
-    target: &[f64],
-    reference: &[f64],
-) -> String {
+pub fn render_density_grid(title: &str, grid: usize, target: &[f64], reference: &[f64]) -> String {
     let mut out = String::new();
     out.push_str(&format!("┌── {title}\n"));
     let max = target

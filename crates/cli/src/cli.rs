@@ -13,6 +13,8 @@ USAGE:
   viewseeker simulate --data FILE.csv --query QUERY --ideal EXPR [--k N] [--max-labels N]
   viewseeker scatter  --data FILE.csv --query QUERY --ideal EXPR [--grid N] [--k N]
   viewseeker query    --data FILE.csv --sql 'SELECT city, AVG(m_sales) FROM t GROUP BY city'
+  viewseeker serve    [--addr HOST:PORT] [--workers N] [--max-sessions N] [--ttl SECS]
+                      [--snapshot-dir DIR]
 
 QUERY mini-language (conjunction with '&'):
   a0=a0_v0            equality          color in red|blue   membership
@@ -114,6 +116,19 @@ pub enum Command {
         /// Label budget.
         max_labels: usize,
     },
+    /// Run the multi-session HTTP recommendation service.
+    Serve {
+        /// Bind address (`host:port`; port 0 picks a free port).
+        addr: String,
+        /// Worker pool size.
+        workers: usize,
+        /// Max live sessions before LRU eviction.
+        max_sessions: usize,
+        /// Idle seconds after which a session is evictable.
+        ttl_secs: u64,
+        /// Directory for eviction/snapshot persistence.
+        snapshot_dir: Option<String>,
+    },
     /// Execute an ad-hoc SQL query and print the result table.
     Query {
         /// CSV path.
@@ -178,6 +193,15 @@ impl Command {
                 k: flags.get_parsed("--k")?.unwrap_or(3),
                 max_labels: flags.get_parsed("--max-labels")?.unwrap_or(30),
             }),
+            "serve" => Ok(Command::Serve {
+                addr: flags
+                    .get("--addr")
+                    .unwrap_or_else(|| "127.0.0.1:7878".into()),
+                workers: flags.get_parsed("--workers")?.unwrap_or(4),
+                max_sessions: flags.get_parsed("--max-sessions")?.unwrap_or(32),
+                ttl_secs: flags.get_parsed("--ttl")?.unwrap_or(1_800),
+                snapshot_dir: flags.get("--snapshot-dir"),
+            }),
             "query" => Ok(Command::Query {
                 data: flags.require("--data")?,
                 sql: flags.require("--sql")?,
@@ -224,7 +248,8 @@ impl Flags {
     }
 
     fn require(&self, flag: &str) -> Result<String, String> {
-        self.get(flag).ok_or_else(|| format!("missing required {flag}"))
+        self.get(flag)
+            .ok_or_else(|| format!("missing required {flag}"))
     }
 
     fn get_parsed<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, String> {
@@ -273,7 +298,13 @@ mod tests {
     #[test]
     fn parses_generate() {
         let c = parse(&[
-            "generate", "--dataset", "diab", "--rows", "500", "--out", "x.csv",
+            "generate",
+            "--dataset",
+            "diab",
+            "--rows",
+            "500",
+            "--out",
+            "x.csv",
         ])
         .unwrap();
         assert_eq!(
@@ -292,7 +323,13 @@ mod tests {
         let c = parse(&["explore", "--data", "x.csv", "--query", "a0=v"]).unwrap();
         match c {
             Command::Explore {
-                k, alpha, exclude, bins, save, resume, ..
+                k,
+                alpha,
+                exclude,
+                bins,
+                save,
+                resume,
+                ..
             } => {
                 assert_eq!(k, 5);
                 assert_eq!(alpha, 1.0);
@@ -308,7 +345,12 @@ mod tests {
     fn parses_scatter_with_defaults() {
         let c = parse(&["scatter", "--data", "x.csv", "--ideal", "EMD"]).unwrap();
         match c {
-            Command::Scatter { grid, k, max_labels, .. } => {
+            Command::Scatter {
+                grid,
+                k,
+                max_labels,
+                ..
+            } => {
                 assert_eq!(grid, 8);
                 assert_eq!(k, 3);
                 assert_eq!(max_labels, 30);
@@ -319,7 +361,10 @@ mod tests {
 
     #[test]
     fn parses_save_and_resume() {
-        let c = parse(&["explore", "--data", "x.csv", "--save", "s.json", "--resume", "r.json"]).unwrap();
+        let c = parse(&[
+            "explore", "--data", "x.csv", "--save", "s.json", "--resume", "r.json",
+        ])
+        .unwrap();
         match c {
             Command::Explore { save, resume, .. } => {
                 assert_eq!(save.as_deref(), Some("s.json"));
@@ -332,7 +377,13 @@ mod tests {
     #[test]
     fn parses_exclude_and_bins_lists() {
         let c = parse(&[
-            "explore", "--data", "x.csv", "--exclude", "a0, a1", "--bins", "2,5",
+            "explore",
+            "--data",
+            "x.csv",
+            "--exclude",
+            "a0, a1",
+            "--bins",
+            "2,5",
         ])
         .unwrap();
         match c {
@@ -342,6 +393,46 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_serve_with_defaults() {
+        let c = parse(&["serve"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "127.0.0.1:7878".into(),
+                workers: 4,
+                max_sessions: 32,
+                ttl_secs: 1_800,
+                snapshot_dir: None,
+            }
+        );
+        let c = parse(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:80",
+            "--workers",
+            "2",
+            "--max-sessions",
+            "5",
+            "--ttl",
+            "60",
+            "--snapshot-dir",
+            "/tmp/vs",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "0.0.0.0:80".into(),
+                workers: 2,
+                max_sessions: 5,
+                ttl_secs: 60,
+                snapshot_dir: Some("/tmp/vs".into()),
+            }
+        );
+        assert!(parse(&["serve", "--workers", "two"]).is_err());
     }
 
     #[test]
@@ -356,7 +447,10 @@ mod tests {
         assert!(parse(&["bogus"]).is_err());
         assert!(parse(&["generate", "--dataset"]).is_err());
         assert!(parse(&["generate", "positional"]).is_err());
-        assert!(parse(&["generate", "--out", "x.csv"]).is_err(), "--dataset required");
+        assert!(
+            parse(&["generate", "--out", "x.csv"]).is_err(),
+            "--dataset required"
+        );
         assert!(parse(&["rank", "--data", "x", "--utility", "EMD", "--k", "NaNope"]).is_err());
         assert!(parse(&["views", "--data", "x", "--bins", "3,x"]).is_err());
     }

@@ -7,8 +7,7 @@ use viewseeker_core::persist::SessionSnapshot;
 use viewseeker_core::scatter::{materialize_scatter, scatter_feature_matrix, ScatterSpace};
 use viewseeker_core::viewgen::{bin_spec_for, materialize_view};
 use viewseeker_core::{
-    tie_aware_precision_at_k, FeedbackSession, UtilityFeature, ViewId, ViewSeeker,
-    ViewSeekerConfig,
+    tie_aware_precision_at_k, FeedbackSession, UtilityFeature, ViewId, ViewSeeker, ViewSeekerConfig,
 };
 use viewseeker_dataset::csv::{read_csv, write_csv};
 use viewseeker_dataset::generate::{generate_diab, generate_syn, DiabConfig, SynConfig};
@@ -58,6 +57,13 @@ pub fn run(cmd: Command) -> Result<(), String> {
             resume,
         } => explore(&data, &query, k, alpha, exclude, &bins, save, resume),
         Command::Query { data, sql } => sql_query(&data, &sql),
+        Command::Serve {
+            addr,
+            workers,
+            max_sessions,
+            ttl_secs,
+            snapshot_dir,
+        } => serve(&addr, workers, max_sessions, ttl_secs, snapshot_dir),
         Command::Scatter {
             data,
             query,
@@ -74,6 +80,40 @@ pub fn run(cmd: Command) -> Result<(), String> {
             max_labels,
             bins,
         } => simulate(&data, &query, &ideal, k, max_labels, &bins),
+    }
+}
+
+fn serve(
+    addr: &str,
+    workers: usize,
+    max_sessions: usize,
+    ttl_secs: u64,
+    snapshot_dir: Option<String>,
+) -> Result<(), String> {
+    let config = viewseeker_server::ServerConfig {
+        addr: addr.to_owned(),
+        workers,
+        max_sessions,
+        ttl: std::time::Duration::from_secs(ttl_secs),
+        snapshot_dir: snapshot_dir.map(std::path::PathBuf::from),
+    };
+    let handle =
+        viewseeker_server::serve_app(&config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "viewseeker-server listening on http://{} ({workers} workers, \
+         {max_sessions} max sessions, {ttl_secs}s TTL)",
+        handle.addr()
+    );
+    println!("  POST /sessions             {{\"dataset\": \"diab\", \"query\": \"a0 = 'a0_v0'\"}}");
+    println!("  GET  /sessions/:id/next?m=1");
+    println!("  POST /sessions/:id/feedback {{\"view\": 0, \"score\": 0.8}}");
+    println!("  GET  /sessions/:id/recommend?k=5[&lambda=0.5]");
+    println!("  GET  /healthz");
+    println!("Ctrl-C to stop.");
+    // Serve until killed: the accept loop and workers run on their own
+    // threads, so park this one forever.
+    loop {
+        std::thread::park();
     }
 }
 
@@ -177,7 +217,11 @@ fn views(data: &str, query: &str, bins: &[usize]) -> Result<(), String> {
     );
     println!("view space: {} candidate views\n", space.len());
     for id in space.ids() {
-        println!("  [{:>3}] {}", id.index(), space.def(id).map_err(|e| e.to_string())?);
+        println!(
+            "  [{:>3}] {}",
+            id.index(),
+            space.def(id).map_err(|e| e.to_string())?
+        );
     }
     Ok(())
 }
@@ -231,8 +275,8 @@ fn rank(
         let def = space.def(*best).map_err(|e| e.to_string())?;
         let dq = q.execute(&table).map_err(|e| e.to_string())?;
         let spec = bin_spec_for(&table, def).map_err(|e| e.to_string())?;
-        let vd = materialize_view(&table, &dq, &table.all_rows(), def)
-            .map_err(|e| e.to_string())?;
+        let vd =
+            materialize_view(&table, &dq, &table.all_rows(), def).map_err(|e| e.to_string())?;
         println!("{}", render_view(&def.to_string(), &spec, &vd));
     }
     Ok(())
@@ -259,9 +303,9 @@ pub fn parse_rating(line: &str) -> Result<RatingInput, String> {
         "q" | "quit" | "done" => Ok(RatingInput::Quit),
         "t" | "top" => Ok(RatingInput::ShowTop),
         other => {
-            let score: f64 = other
-                .parse()
-                .map_err(|_| "enter a rating in [0,1], 't' for top-k, or 'q' to finish".to_owned())?;
+            let score: f64 = other.parse().map_err(|_| {
+                "enter a rating in [0,1], 't' for top-k, or 'q' to finish".to_owned()
+            })?;
             if (0.0..=1.0).contains(&score) {
                 Ok(RatingInput::Score(score))
             } else {
@@ -292,8 +336,8 @@ fn explore(
     };
     let mut seeker = match resume {
         Some(path) => {
-            let json = std::fs::read_to_string(&path)
-                .map_err(|e| format!("reading {path}: {e}"))?;
+            let json =
+                std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
             let snapshot = SessionSnapshot::from_json(&json).map_err(|e| e.to_string())?;
             let restored = snapshot
                 .restore_seeker(&table, &q, config)
@@ -327,7 +371,12 @@ fn explore(
             print!("your rating> ");
             std::io::stdout().flush().map_err(|e| e.to_string())?;
             line.clear();
-            if stdin.lock().read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            if stdin
+                .lock()
+                .read_line(&mut line)
+                .map_err(|e| e.to_string())?
+                == 0
+            {
                 break 'session; // EOF
             }
             match parse_rating(&line) {
@@ -516,14 +565,15 @@ fn scatter(
         "scatter view space: {} measure pairs on a {grid}x{grid} grid",
         space.len()
     );
-    let matrix = scatter_feature_matrix(&table, &dq, &table.all_rows(), &space, (grid * grid) as f64)
-        .map_err(|e| e.to_string())?;
+    let matrix =
+        scatter_feature_matrix(&table, &dq, &table.all_rows(), &space, (grid * grid) as f64)
+            .map_err(|e| e.to_string())?;
     let truth = composite
         .normalized_scores(&matrix)
         .map_err(|e| e.to_string())?;
 
-    let mut session = FeedbackSession::new(matrix, ViewSeekerConfig::default())
-        .map_err(|e| e.to_string())?;
+    let mut session =
+        FeedbackSession::new(matrix, ViewSeekerConfig::default()).map_err(|e| e.to_string())?;
     let mut labels = 0;
     let mut precision = 0.0;
     while labels < max_labels && precision < 1.0 {
@@ -534,11 +584,8 @@ fn scatter(
             .submit_feedback(item, truth[item.index()])
             .map_err(|e| e.to_string())?;
         labels += 1;
-        precision = tie_aware_precision_at_k(
-            &truth,
-            &session.recommend(k).map_err(|e| e.to_string())?,
-            k,
-        );
+        precision =
+            tie_aware_precision_at_k(&truth, &session.recommend(k).map_err(|e| e.to_string())?, k);
     }
     println!(
         "after {labels} simulated ratings: precision@{k} = {:.0}%\n",
@@ -558,12 +605,17 @@ fn scatter(
     // Render the winner's density comparison.
     if let Some(best) = session.recommend(1).map_err(|e| e.to_string())?.first() {
         let def = space.def(*best).map_err(|e| e.to_string())?;
-        let vd = materialize_scatter(&table, &dq, &table.all_rows(), def)
-            .map_err(|e| e.to_string())?;
+        let vd =
+            materialize_scatter(&table, &dq, &table.all_rows(), def).map_err(|e| e.to_string())?;
         println!();
         print!(
             "{}",
-            render_density_grid(&def.to_string(), grid, vd.target.masses(), vd.reference.masses())
+            render_density_grid(
+                &def.to_string(),
+                grid,
+                vd.target.masses(),
+                vd.reference.masses()
+            )
         );
     }
     Ok(())

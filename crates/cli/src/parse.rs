@@ -234,6 +234,9 @@ mod tests {
         assert_eq!(single.component_count(), 1);
         assert!(parse_utility("0.5*EMD + ").is_err());
         assert!(parse_utility("x*EMD").is_err());
-        assert!(parse_utility("0.5*EMD + 0.5*EMD").is_err(), "repeat rejected");
+        assert!(
+            parse_utility("0.5*EMD + 0.5*EMD").is_err(),
+            "repeat rejected"
+        );
     }
 }

@@ -94,11 +94,17 @@ mod tests {
         let kl = SingleFeatureRanker::new(UtilityFeature::Kl);
         let emd = SingleFeatureRanker::new(UtilityFeature::Emd);
         assert_eq!(
-            kl.top_k(&m, 3).iter().map(|v| v.index()).collect::<Vec<_>>(),
+            kl.top_k(&m, 3)
+                .iter()
+                .map(|v| v.index())
+                .collect::<Vec<_>>(),
             vec![0, 1, 2]
         );
         assert_eq!(
-            emd.top_k(&m, 3).iter().map(|v| v.index()).collect::<Vec<_>>(),
+            emd.top_k(&m, 3)
+                .iter()
+                .map(|v| v.index())
+                .collect::<Vec<_>>(),
             vec![4, 3, 2]
         );
     }

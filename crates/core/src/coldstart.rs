@@ -93,10 +93,7 @@ mod tests {
         let mut cs = ColdStart::new();
         let labeled = HashSet::new();
         for expected in 0..FEATURE_COUNT {
-            assert_eq!(
-                cs.current_feature(),
-                Some(UtilityFeature::all()[expected])
-            );
+            assert_eq!(cs.current_feature(), Some(UtilityFeature::all()[expected]));
             let picks = cs.next_candidates(&m, &labeled, 1).unwrap();
             assert_eq!(picks[0].index(), expected, "feature {expected}'s top view");
         }

@@ -48,7 +48,9 @@ impl CompositeUtility {
     /// feature, or a non-finite weight.
     pub fn new(terms: &[(UtilityFeature, f64)]) -> Result<Self, CoreError> {
         if terms.is_empty() {
-            return Err(CoreError::Invalid("composite needs at least one term".into()));
+            return Err(CoreError::Invalid(
+                "composite needs at least one term".into(),
+            ));
         }
         let mut weights = [0.0; FEATURE_COUNT];
         let mut seen = [false; FEATURE_COUNT];
@@ -140,7 +142,9 @@ impl CompositeUtility {
         let mut scores = self.scores(matrix)?;
         let min = scores.iter().copied().fold(f64::INFINITY, f64::min);
         if !min.is_finite() {
-            return Err(CoreError::Invalid("cannot normalize empty score set".into()));
+            return Err(CoreError::Invalid(
+                "cannot normalize empty score set".into(),
+            ));
         }
         if min < 0.0 {
             for s in &mut scores {
@@ -165,7 +169,11 @@ impl CompositeUtility {
         let scores = self.scores(matrix)?;
         let order = viewseeker_stats::rank_descending(&scores);
         // Rank indices come from the matrix and are always in range.
-        Ok(order.into_iter().take(k).map(ViewId::new_unchecked).collect())
+        Ok(order
+            .into_iter()
+            .take(k)
+            .map(ViewId::new_unchecked)
+            .collect())
     }
 }
 
@@ -194,11 +202,8 @@ mod tests {
     #[test]
     fn composite_weights_combine() {
         let m = matrix();
-        let u = CompositeUtility::new(&[
-            (UtilityFeature::Kl, 0.5),
-            (UtilityFeature::Emd, 0.5),
-        ])
-        .unwrap();
+        let u = CompositeUtility::new(&[(UtilityFeature::Kl, 0.5), (UtilityFeature::Emd, 0.5)])
+            .unwrap();
         let s = u.scores(&m).unwrap();
         assert_eq!(s, vec![0.5, 0.5, 0.5, 0.0]);
         assert_eq!(u.component_count(), 2);
@@ -216,11 +221,8 @@ mod tests {
     #[test]
     fn negative_weights_still_normalize_into_unit_interval() {
         let m = matrix();
-        let u = CompositeUtility::new(&[
-            (UtilityFeature::Kl, 1.0),
-            (UtilityFeature::Emd, -1.0),
-        ])
-        .unwrap();
+        let u = CompositeUtility::new(&[(UtilityFeature::Kl, 1.0), (UtilityFeature::Emd, -1.0)])
+            .unwrap();
         let s = u.normalized_scores(&m).unwrap();
         assert!(s.iter().all(|v| (0.0..=1.0).contains(v)));
         assert!(s.iter().any(|v| (*v - 1.0).abs() < 1e-12));
@@ -231,17 +233,18 @@ mod tests {
         let m = matrix();
         let u = CompositeUtility::single(UtilityFeature::Kl);
         let top = u.top_k(&m, 2).unwrap();
-        assert_eq!(top.iter().map(|v| v.index()).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(
+            top.iter().map(|v| v.index()).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
     }
 
     #[test]
     fn validation() {
         assert!(CompositeUtility::new(&[]).is_err());
-        assert!(CompositeUtility::new(&[
-            (UtilityFeature::Kl, 0.5),
-            (UtilityFeature::Kl, 0.5)
-        ])
-        .is_err());
+        assert!(
+            CompositeUtility::new(&[(UtilityFeature::Kl, 0.5), (UtilityFeature::Kl, 0.5)]).is_err()
+        );
         assert!(CompositeUtility::new(&[(UtilityFeature::Kl, f64::NAN)]).is_err());
         let u = CompositeUtility::single(UtilityFeature::Emd);
         assert!(u.score(&[0.0; 3]).is_err());

@@ -69,7 +69,8 @@ pub struct ViewSeekerConfig {
     pub strategy: QueryStrategyKind,
     /// Seed for all stochastic choices (sampling, random fallback).
     pub seed: u64,
-    /// Number of worker threads for the offline feature pass (1 = serial).
+    /// Number of worker threads for parallelizable per-view work: the
+    /// offline feature pass and predicted-score evaluation (1 = serial).
     pub init_threads: usize,
 }
 

@@ -65,7 +65,9 @@ pub fn diverse_top_k(
     lambda: f64,
 ) -> Result<Vec<ViewId>, CoreError> {
     if !(0.0..=1.0).contains(&lambda) {
-        return Err(CoreError::Invalid(format!("lambda {lambda} outside [0, 1]")));
+        return Err(CoreError::Invalid(format!(
+            "lambda {lambda} outside [0, 1]"
+        )));
     }
     if scores.len() != matrix.len() {
         return Err(CoreError::Invalid(format!(
@@ -216,8 +218,7 @@ mod tests {
         let picks = diverse_top_k(&m, &scores, 100, 0.5).unwrap();
         assert_eq!(picks.len(), 9);
         // No duplicates.
-        let set: std::collections::HashSet<usize> =
-            picks.iter().map(|v| v.index()).collect();
+        let set: std::collections::HashSet<usize> = picks.iter().map(|v| v.index()).collect();
         assert_eq!(set.len(), 9);
     }
 

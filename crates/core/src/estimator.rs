@@ -12,9 +12,7 @@
 //! over 8 features this takes microseconds and keeps the implementation
 //! simple and deterministic.
 
-use viewseeker_learn::{
-    LogisticConfig, LogisticRegression, RidgeConfig, RidgeRegression,
-};
+use viewseeker_learn::{LogisticConfig, LogisticRegression, RidgeConfig, RidgeRegression};
 
 use crate::features::FeatureMatrix;
 use crate::view::ViewId;
@@ -54,7 +52,10 @@ impl ViewUtilityEstimator {
     /// Propagates learning errors ([`CoreError::Learn`]); labels must be
     /// non-empty.
     pub fn refit(&mut self, matrix: &FeatureMatrix, labels: &[Label]) -> Result<(), CoreError> {
-        let x: Vec<Vec<f64>> = labels.iter().map(|l| matrix.row(l.view.index()).to_vec()).collect();
+        let x: Vec<Vec<f64>> = labels
+            .iter()
+            .map(|l| matrix.row(l.view.index()).to_vec())
+            .collect();
         let y: Vec<f64> = labels.iter().map(|l| l.score).collect();
         self.model.fit(&x, &y)?;
         Ok(())
@@ -69,6 +70,49 @@ impl ViewUtilityEstimator {
         Ok(self.model.predict_batch(matrix.rows())?)
     }
 
+    /// Predicted utility of every view, scored on `threads` worker threads.
+    ///
+    /// The view space is split into contiguous chunks scored concurrently
+    /// with scoped threads — prediction is embarrassingly parallel across
+    /// views. Falls back to the serial path for one thread or when the
+    /// matrix is too small for the fan-out to pay for itself: scoring one
+    /// view is an 8-element dot product (~ns), so a thread spawn only
+    /// amortizes over thousands of views.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Learn`] if the estimator has not been fitted.
+    pub fn predict_all_parallel(
+        &self,
+        matrix: &FeatureMatrix,
+        threads: usize,
+    ) -> Result<Vec<f64>, CoreError> {
+        const MIN_VIEWS_PER_THREAD: usize = 4_096;
+        let rows = matrix.rows();
+        let threads = threads.min(rows.len() / MIN_VIEWS_PER_THREAD);
+        if threads <= 1 {
+            return self.predict_all(matrix);
+        }
+        let chunk = rows.len().div_ceil(threads);
+        let model = &self.model;
+        let chunk_results = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = rows
+                .chunks(chunk)
+                .map(|c| s.spawn(move |_| model.predict_batch(c)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("prediction worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("crossbeam scope failed");
+        let mut scores = Vec::with_capacity(rows.len());
+        for result in chunk_results {
+            scores.extend(result?);
+        }
+        Ok(scores)
+    }
+
     /// The ids of the top-`k` views by predicted utility.
     ///
     /// # Errors
@@ -77,7 +121,11 @@ impl ViewUtilityEstimator {
     pub fn top_k(&self, matrix: &FeatureMatrix, k: usize) -> Result<Vec<ViewId>, CoreError> {
         let scores = self.predict_all(matrix)?;
         let order = viewseeker_stats::rank_descending(&scores);
-        Ok(order.into_iter().take(k).map(ViewId::new_unchecked).collect())
+        Ok(order
+            .into_iter()
+            .take(k)
+            .map(ViewId::new_unchecked)
+            .collect())
     }
 
     /// The learned feature weights (the discovered β vector of Eq. 4), if
@@ -121,7 +169,10 @@ impl UncertaintyEstimator {
     ///
     /// Propagates learning errors.
     pub fn refit(&mut self, matrix: &FeatureMatrix, labels: &[Label]) -> Result<(), CoreError> {
-        let x: Vec<Vec<f64>> = labels.iter().map(|l| matrix.row(l.view.index()).to_vec()).collect();
+        let x: Vec<Vec<f64>> = labels
+            .iter()
+            .map(|l| matrix.row(l.view.index()).to_vec())
+            .collect();
         let y: Vec<f64> = labels
             .iter()
             .map(|l| {
@@ -195,7 +246,8 @@ mod tests {
         let m = matrix();
         let mut ve = ViewUtilityEstimator::new(1e-6);
         assert!(!ve.is_fitted());
-        ve.refit(&m, &labels(&[(0, 0.0), (2, 0.5), (4, 1.0)])).unwrap();
+        ve.refit(&m, &labels(&[(0, 0.0), (2, 0.5), (4, 1.0)]))
+            .unwrap();
         assert!(ve.is_fitted());
         let preds = ve.predict_all(&m).unwrap();
         assert!((preds[1] - 0.25).abs() < 0.05);
@@ -211,11 +263,49 @@ mod tests {
     fn utility_estimator_weights_expose_beta() {
         let m = matrix();
         let mut ve = ViewUtilityEstimator::new(1e-6);
-        ve.refit(&m, &labels(&[(0, 0.0), (1, 0.25), (2, 0.5), (3, 0.75), (4, 1.0)]))
-            .unwrap();
+        ve.refit(
+            &m,
+            &labels(&[(0, 0.0), (1, 0.25), (2, 0.5), (3, 0.75), (4, 1.0)]),
+        )
+        .unwrap();
         let w = ve.weights().unwrap();
         assert_eq!(w.len(), FEATURE_COUNT);
         assert!(w[0] > 0.8, "the signal feature should dominate: {w:?}");
+    }
+
+    #[test]
+    fn parallel_prediction_matches_serial_bitwise() {
+        // Large enough to clear the per-thread minimum and exercise chunking.
+        let rows: Vec<[f64; FEATURE_COUNT]> = (0..10_000)
+            .map(|i| {
+                let x = (i as f64) / 10_000.0;
+                [
+                    x,
+                    x * x,
+                    1.0 - x,
+                    (x * 7.3).sin().abs(),
+                    0.5,
+                    x / 2.0,
+                    0.1,
+                    0.9 - x / 2.0,
+                ]
+            })
+            .collect();
+        let m = FeatureMatrix::new(rows);
+        let mut ve = ViewUtilityEstimator::new(1e-4);
+        ve.refit(&m, &labels(&[(0, 0.1), (2_500, 0.4), (9_999, 0.9)]))
+            .unwrap();
+        let serial = ve.predict_all(&m).unwrap();
+        for threads in [1, 2, 3, 7] {
+            let parallel = ve.predict_all_parallel(&m, threads).unwrap();
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.to_bits(), p.to_bits(), "threads={threads}");
+            }
+        }
+        // Unfitted estimators error on the parallel path too.
+        let fresh = ViewUtilityEstimator::new(1e-4);
+        assert!(fresh.predict_all_parallel(&m, 4).is_err());
     }
 
     #[test]
@@ -236,7 +326,10 @@ mod tests {
         let u = ue.uncertainties(&m).unwrap();
         let mid = ue.uncertainty(&m, ViewId::new_unchecked(2)).unwrap();
         assert_eq!(u[2], mid);
-        assert!(mid >= u[0] && mid >= u[4], "middle view most uncertain: {u:?}");
+        assert!(
+            mid >= u[0] && mid >= u[4],
+            "middle view most uncertain: {u:?}"
+        );
         assert!(u.iter().all(|v| (0.0..=0.5 + 1e-12).contains(v)));
     }
 
@@ -245,13 +338,9 @@ mod tests {
         let m = matrix();
         let mut strict = UncertaintyEstimator::new(1e-4, 0.9);
         // With a 0.9 threshold the 0.7 label is negative → all negatives.
-        strict
-            .refit(&m, &labels(&[(0, 0.1), (4, 0.7)]))
-            .unwrap();
+        strict.refit(&m, &labels(&[(0, 0.1), (4, 0.7)])).unwrap();
         let mut lenient = UncertaintyEstimator::new(1e-4, 0.5);
-        lenient
-            .refit(&m, &labels(&[(0, 0.1), (4, 0.7)]))
-            .unwrap();
+        lenient.refit(&m, &labels(&[(0, 0.1), (4, 0.7)])).unwrap();
         let us = strict.uncertainties(&m).unwrap();
         let ul = lenient.uncertainties(&m).unwrap();
         assert_ne!(us, ul);

@@ -22,8 +22,8 @@
 
 use serde::{Deserialize, Serialize};
 use viewseeker_stats::{
-    chi_squared_gof, earth_movers_distance, kl_divergence, l1_distance, l2_distance,
-    max_deviation, min_max_normalize,
+    chi_squared_gof, earth_movers_distance, kl_divergence, l1_distance, l2_distance, max_deviation,
+    min_max_normalize,
 };
 
 use crate::viewgen::ViewData;
@@ -144,7 +144,16 @@ pub fn compute_features(
         }
     };
 
-    Ok([kl, emd, l1, l2, max_diff, usability, accuracy, p_value_feature])
+    Ok([
+        kl,
+        emd,
+        l1,
+        l2,
+        max_diff,
+        usability,
+        accuracy,
+        p_value_feature,
+    ])
 }
 
 /// The feature matrix of a view space: one raw 8-feature row per view, plus
@@ -172,10 +181,7 @@ impl FeatureMatrix {
     /// # Errors
     ///
     /// Propagates [`compute_features`] errors.
-    pub fn from_views(
-        views: &[ViewData],
-        usability_optimal_bins: f64,
-    ) -> Result<Self, CoreError> {
+    pub fn from_views(views: &[ViewData], usability_optimal_bins: f64) -> Result<Self, CoreError> {
         let raw = views
             .iter()
             .map(|v| compute_features(v, usability_optimal_bins))
@@ -235,7 +241,11 @@ impl FeatureMatrix {
     /// # Errors
     ///
     /// Returns [`CoreError::UnknownView`] for an out-of-range index.
-    pub fn update_raw(&mut self, i: usize, features: [f64; FEATURE_COUNT]) -> Result<(), CoreError> {
+    pub fn update_raw(
+        &mut self,
+        i: usize,
+        features: [f64; FEATURE_COUNT],
+    ) -> Result<(), CoreError> {
         let slot = self.raw.get_mut(i).ok_or(CoreError::UnknownView(i))?;
         *slot = features;
         Ok(())
@@ -363,7 +373,8 @@ mod tests {
             [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
         ]);
         assert_eq!(m.row(1)[0], 1.0);
-        m.update_raw(0, [2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        m.update_raw(0, [2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+            .unwrap();
         // Normalization is stale until renormalize().
         assert_eq!(m.row(1)[0], 1.0);
         m.renormalize();

@@ -89,7 +89,10 @@ mod tests {
     #[test]
     fn precision_basics() {
         assert_eq!(precision_at_k(&ids(&[0, 1, 2]), &ids(&[0, 1, 2])), 1.0);
-        assert_eq!(precision_at_k(&ids(&[0, 1, 9]), &ids(&[0, 1, 2])), 2.0 / 3.0);
+        assert_eq!(
+            precision_at_k(&ids(&[0, 1, 9]), &ids(&[0, 1, 2])),
+            2.0 / 3.0
+        );
         assert_eq!(precision_at_k(&ids(&[7, 8, 9]), &ids(&[0, 1, 2])), 0.0);
         assert_eq!(precision_at_k(&ids(&[0]), &ids(&[])), 0.0);
     }
@@ -101,7 +104,10 @@ mod tests {
 
     #[test]
     fn precision_counts_duplicates_once() {
-        assert_eq!(precision_at_k(&ids(&[0, 0, 0]), &ids(&[0, 1, 2])), 1.0 / 3.0);
+        assert_eq!(
+            precision_at_k(&ids(&[0, 0, 0]), &ids(&[0, 1, 2])),
+            1.0 / 3.0
+        );
     }
 
     #[test]
@@ -109,10 +115,7 @@ mod tests {
         // Scores: views 2 and 3 tie at the k=3 boundary.
         let scores = vec![0.9, 0.8, 0.5, 0.5, 0.1];
         // Recommending 3 instead of 2 is a full hit.
-        assert_eq!(
-            tie_aware_precision_at_k(&scores, &ids(&[0, 1, 3]), 3),
-            1.0
-        );
+        assert_eq!(tie_aware_precision_at_k(&scores, &ids(&[0, 1, 3]), 3), 1.0);
         // Recommending view 4 (below the boundary) is a miss.
         assert_eq!(
             tie_aware_precision_at_k(&scores, &ids(&[0, 1, 4]), 3),

@@ -132,7 +132,8 @@ mod tests {
     #[test]
     fn skips_already_refined_views() {
         let mut r = IncrementalRefiner::new(3);
-        r.refine_batch(&[0], RefineBudget::Views(1), |_| Ok(())).unwrap();
+        r.refine_batch(&[0], RefineBudget::Views(1), |_| Ok(()))
+            .unwrap();
         let mut order = Vec::new();
         r.refine_batch(&[0, 1, 2], RefineBudget::Views(10), |i| {
             order.push(i);
@@ -146,7 +147,8 @@ mod tests {
     #[test]
     fn complete_refiner_is_a_noop() {
         let mut r = IncrementalRefiner::new(1);
-        r.refine_batch(&[0], RefineBudget::Views(5), |_| Ok(())).unwrap();
+        r.refine_batch(&[0], RefineBudget::Views(5), |_| Ok(()))
+            .unwrap();
         let done = r
             .refine_batch(&[0], RefineBudget::Views(5), |_| {
                 panic!("should not recompute")

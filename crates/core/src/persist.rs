@@ -7,13 +7,20 @@
 //! That keeps snapshots tiny, forward-compatible across model-internals
 //! changes, and impossible to de-synchronize from their training data.
 
+use std::borrow::Borrow;
+
 use serde::{Deserialize, Serialize};
+use viewseeker_dataset::Table;
 
 use crate::config::ViewSeekerConfig;
 use crate::features::FeatureMatrix;
+use crate::seeker::Seeker;
 use crate::session::FeedbackSession;
 use crate::view::ViewId;
-use crate::{CoreError, ViewSeeker};
+use crate::CoreError;
+
+#[cfg(doc)]
+use crate::ViewSeeker;
 
 /// Current snapshot format version.
 pub const SNAPSHOT_VERSION: u32 = 1;
@@ -33,9 +40,10 @@ pub struct SessionSnapshot {
 }
 
 impl SessionSnapshot {
-    /// Captures a [`ViewSeeker`] session.
+    /// Captures a [`ViewSeeker`] / [`crate::OwnedSeeker`] session (any
+    /// table-holder shape).
     #[must_use]
-    pub fn from_seeker(seeker: &ViewSeeker<'_>) -> Self {
+    pub fn from_seeker<H: Borrow<Table>>(seeker: &Seeker<H>) -> Self {
         Self {
             version: SNAPSHOT_VERSION,
             view_count: seeker.view_space().len(),
@@ -90,18 +98,32 @@ impl SessionSnapshot {
         Ok(snapshot)
     }
 
+    /// Rejects snapshots from a different format version. Restores made
+    /// from deserialized values (not [`SessionSnapshot::from_json`]) must
+    /// still enforce this, so both restore paths call it.
+    fn check_version(&self) -> Result<(), CoreError> {
+        if self.version != SNAPSHOT_VERSION {
+            return Err(CoreError::Invalid(format!(
+                "unsupported snapshot version {} (expected {SNAPSHOT_VERSION})",
+                self.version
+            )));
+        }
+        Ok(())
+    }
+
     /// Restores into a fresh [`FeedbackSession`] over `matrix` by replaying
     /// every label.
     ///
     /// # Errors
     ///
-    /// [`CoreError::Invalid`] if the matrix size disagrees with the
-    /// snapshot; label-replay errors otherwise.
+    /// [`CoreError::Invalid`] for an unsupported version or if the matrix
+    /// size disagrees with the snapshot; label-replay errors otherwise.
     pub fn restore_session(
         &self,
         matrix: FeatureMatrix,
         config: ViewSeekerConfig,
     ) -> Result<FeedbackSession, CoreError> {
+        self.check_version()?;
         if matrix.len() != self.view_count {
             return Err(CoreError::Invalid(format!(
                 "snapshot was over {} views, matrix has {}",
@@ -116,19 +138,22 @@ impl SessionSnapshot {
         Ok(session)
     }
 
-    /// Restores into a fresh [`ViewSeeker`] over the same table and query
-    /// by replaying every label.
+    /// Restores into a fresh [`Seeker`] over the same table and query by
+    /// replaying every label. The holder shape follows the `table` argument:
+    /// pass `&table` for a borrowing [`ViewSeeker`], an `Arc<Table>` for an
+    /// owned [`crate::OwnedSeeker`].
     ///
     /// # Errors
     ///
     /// Same contract as [`SessionSnapshot::restore_session`].
-    pub fn restore_seeker<'a>(
+    pub fn restore_seeker<H: Borrow<Table>>(
         &self,
-        table: &'a viewseeker_dataset::Table,
+        table: H,
         query: &viewseeker_dataset::SelectQuery,
         config: ViewSeekerConfig,
-    ) -> Result<ViewSeeker<'a>, CoreError> {
-        let mut seeker = ViewSeeker::new(table, query, config)?;
+    ) -> Result<Seeker<H>, CoreError> {
+        self.check_version()?;
+        let mut seeker = Seeker::new(table, query, config)?;
         if seeker.view_space().len() != self.view_count {
             return Err(CoreError::Invalid(format!(
                 "snapshot was over {} views, view space has {}",
@@ -148,6 +173,7 @@ mod tests {
     use super::*;
     use crate::composite::CompositeUtility;
     use crate::features::UtilityFeature;
+    use crate::ViewSeeker;
     use viewseeker_dataset::generate::{generate_diab, DiabConfig};
     use viewseeker_dataset::{Predicate, SelectQuery};
 
@@ -161,8 +187,7 @@ mod tests {
     #[test]
     fn seeker_round_trip_reproduces_state() {
         let (table, query) = testbed();
-        let mut original =
-            ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
+        let mut original = ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
         let ideal = CompositeUtility::single(UtilityFeature::Emd);
         let scores = ideal.normalized_scores(original.feature_matrix()).unwrap();
         for _ in 0..8 {
@@ -177,7 +202,10 @@ mod tests {
             .unwrap();
 
         assert_eq!(restored.label_count(), original.label_count());
-        assert_eq!(restored.recommend(10).unwrap(), original.recommend(10).unwrap());
+        assert_eq!(
+            restored.recommend(10).unwrap(),
+            original.recommend(10).unwrap()
+        );
         assert_eq!(restored.learned_weights(), original.learned_weights());
         assert_eq!(restored.phase(), original.phase());
     }

@@ -28,6 +28,7 @@
 //! whenever it wants the current top-k; the session never terminates itself
 //! (stopping is the user's decision, line 11).
 
+use std::borrow::Borrow;
 use std::time::{Duration, Instant};
 
 use viewseeker_dataset::sample::bernoulli_sample;
@@ -53,9 +54,15 @@ pub enum SeekerPhase {
 }
 
 /// An interactive view-recommendation session over one table and query.
+///
+/// Generic over *how* the table is held: `H` is anything that borrows a
+/// [`Table`]. Library and test code typically borrows
+/// ([`ViewSeeker`], i.e. `Seeker<&Table>`); long-lived services that must own
+/// their sessions use [`OwnedSeeker`] (`Seeker<Arc<Table>>`), which has no
+/// borrow lifetime and can live in a registry across requests.
 #[derive(Debug)]
-pub struct ViewSeeker<'a> {
-    table: &'a Table,
+pub struct Seeker<H: Borrow<Table>> {
+    table: H,
     dq: RowSet,
     dr: RowSet,
     config: ViewSeekerConfig,
@@ -68,7 +75,15 @@ pub struct ViewSeeker<'a> {
     refinement_time: Duration,
 }
 
-impl<'a> ViewSeeker<'a> {
+/// A session borrowing its table — the original `ViewSeeker` shape; call
+/// sites like `ViewSeeker::new(&table, &query, config)` are unchanged.
+pub type ViewSeeker<'a> = Seeker<&'a Table>;
+
+/// A session owning its table behind an [`std::sync::Arc`], for registries
+/// and services that outlive any one stack frame.
+pub type OwnedSeeker = Seeker<std::sync::Arc<Table>>;
+
+impl<H: Borrow<Table>> Seeker<H> {
     /// Runs the offline initialization phase: executes the query to obtain
     /// `DQ`, enumerates the view space, materializes every view (with the
     /// shared-scan optimization), and computes the feature matrix — on an
@@ -78,16 +93,16 @@ impl<'a> ViewSeeker<'a> {
     ///
     /// Configuration validation errors, query errors, and materialization
     /// errors.
-    pub fn new(
-        table: &'a Table,
-        query: &SelectQuery,
-        config: ViewSeekerConfig,
-    ) -> Result<Self, CoreError> {
+    pub fn new(table: H, query: &SelectQuery, config: ViewSeekerConfig) -> Result<Self, CoreError> {
         config.validate()?;
-        let dq = query.execute(table)?;
-        let dr = table.all_rows();
-        let space =
-            ViewSpace::enumerate_excluding(table, &config.bin_configs, &config.excluded_dimensions)?;
+        let table_ref: &Table = table.borrow();
+        let dq = query.execute(table_ref)?;
+        let dr = table_ref.all_rows();
+        let space = ViewSpace::enumerate_excluding(
+            table_ref,
+            &config.bin_configs,
+            &config.excluded_dimensions,
+        )?;
 
         let (init_dq, init_dr) = if config.alpha < 1.0 {
             (
@@ -99,7 +114,7 @@ impl<'a> ViewSeeker<'a> {
         };
 
         let views =
-            materialize_all_shared(table, &init_dq, &init_dr, &space, config.init_threads)?;
+            materialize_all_shared(table_ref, &init_dq, &init_dr, &space, config.init_threads)?;
         let matrix = FeatureMatrix::from_views(&views, config.usability_optimal_bins)?;
         let refiner = (config.alpha < 1.0).then(|| IncrementalRefiner::new(space.len()));
         let session = FeedbackSession::new(matrix.clone(), config.clone())?;
@@ -211,11 +226,17 @@ impl<'a> ViewSeeker<'a> {
 
     /// The view utility estimator's predicted score for every view.
     ///
+    /// Scoring is parallelized across views on `config.init_threads` worker
+    /// threads — this is the hot path of every interactive turn (refinement
+    /// prioritization, recommendation, and diverse re-ranking all consume
+    /// it), and it is embarrassingly parallel.
+    ///
     /// # Errors
     ///
     /// [`CoreError::Learn`] until at least one label has been submitted.
     pub fn predicted_scores(&self) -> Result<Vec<f64>, CoreError> {
-        self.session.predicted_scores()
+        self.session
+            .predicted_scores_parallel(self.config.init_threads)
     }
 
     /// A diversified top-`k` recommendation (DiVE-style MMR, see
@@ -256,7 +277,7 @@ impl<'a> ViewSeeker<'a> {
             (0..self.space.len()).collect()
         };
 
-        let table = self.table;
+        let table = self.table.borrow();
         let dq = &self.dq;
         let dr = &self.dr;
         let space = &self.space;
@@ -304,6 +325,16 @@ mod tests {
     ) -> usize {
         let ideal_scores = ideal.normalized_scores(seeker.feature_matrix()).unwrap();
         let ideal_top = ideal.top_k(seeker.feature_matrix(), k).unwrap();
+        drive_toward(seeker, &ideal_scores, &ideal_top, k, max_labels)
+    }
+
+    fn drive_toward(
+        seeker: &mut ViewSeeker<'_>,
+        ideal_scores: &[f64],
+        ideal_top: &[ViewId],
+        k: usize,
+        max_labels: usize,
+    ) -> usize {
         for used in 1..=max_labels {
             let picks = seeker.next_views(1).unwrap();
             let Some(v) = picks.first().copied() else {
@@ -311,7 +342,7 @@ mod tests {
             };
             seeker.submit_feedback(v, ideal_scores[v.index()]).unwrap();
             let rec = seeker.recommend(k).unwrap();
-            if precision_at_k(&rec, &ideal_top) >= 1.0 {
+            if precision_at_k(&rec, ideal_top) >= 1.0 {
                 return used;
             }
         }
@@ -350,11 +381,8 @@ mod tests {
     fn learns_a_composite_ideal() {
         let (table, query) = testbed();
         let mut s = ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
-        let ideal = CompositeUtility::new(&[
-            (UtilityFeature::Emd, 0.5),
-            (UtilityFeature::Kl, 0.5),
-        ])
-        .unwrap();
+        let ideal = CompositeUtility::new(&[(UtilityFeature::Emd, 0.5), (UtilityFeature::Kl, 0.5)])
+            .unwrap();
         let used = drive(&mut s, &ideal, 10, 120);
         assert!(used < 120, "composite ideal did not converge");
     }
@@ -406,7 +434,8 @@ mod tests {
         assert_eq!(s.view_space().len(), 5); // 1 dim × 1 measure × 5 aggs
         for i in 0..5 {
             let v = s.next_views(1).unwrap()[0];
-            s.submit_feedback(v, if i % 2 == 0 { 0.9 } else { 0.1 }).unwrap();
+            s.submit_feedback(v, if i % 2 == 0 { 0.9 } else { 0.1 })
+                .unwrap();
         }
         assert!(s.next_views(1).unwrap().is_empty());
     }
@@ -442,9 +471,16 @@ mod tests {
         };
         let mut s = ViewSeeker::new(&table, &query, cfg).unwrap();
         let ideal = CompositeUtility::single(UtilityFeature::L2);
-        // Note: ideal is evaluated on the *final* (refined) features, so
-        // convergence implies refinement worked end-to-end.
-        let used = drive(&mut s, &ideal, 5, 150);
+        // The simulated user scores views on the *exact* features (a real
+        // user reacts to the true rendered charts, not the seeker's rough
+        // approximation), so convergence requires refinement to pull the
+        // session's features toward the exact ones. Computing the ideal on
+        // `s.feature_matrix()` here would target the alpha-sampled rough
+        // ranking, which refinement then moves away from.
+        let exact = ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
+        let ideal_scores = ideal.normalized_scores(exact.feature_matrix()).unwrap();
+        let ideal_top = ideal.top_k(exact.feature_matrix(), 5).unwrap();
+        let used = drive_toward(&mut s, &ideal_scores, &ideal_top, 5, 150);
         assert!(used < 150, "optimized session did not converge");
     }
 

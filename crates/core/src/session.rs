@@ -111,9 +111,9 @@ impl FeedbackSession {
             return Ok(Vec::new());
         }
         if self.phase() == SeekerPhase::ColdStart {
-            while let Some(picks) =
-                self.cold_start
-                    .next_candidates(&self.matrix, &self.labeled, m)
+            while let Some(picks) = self
+                .cold_start
+                .next_candidates(&self.matrix, &self.labeled, m)
             {
                 if !picks.is_empty() {
                     return Ok(picks);
@@ -214,6 +214,17 @@ impl FeedbackSession {
         self.utility.predict_all(&self.matrix)
     }
 
+    /// [`FeedbackSession::predicted_scores`] scored on `threads` worker
+    /// threads (see
+    /// [`crate::estimator::ViewUtilityEstimator::predict_all_parallel`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Learn`] until at least one label exists.
+    pub fn predicted_scores_parallel(&self, threads: usize) -> Result<Vec<f64>, CoreError> {
+        self.utility.predict_all_parallel(&self.matrix, threads)
+    }
+
     /// A diversified top-`k` via maximal marginal relevance
     /// (see [`crate::diversity`]): `lambda = 1` is the plain ranking, lower
     /// values trade predicted utility for feature-space coverage.
@@ -293,15 +304,14 @@ mod tests {
     #[test]
     fn generic_session_learns_a_composite() {
         let m = matrix();
-        let ideal = CompositeUtility::new(&[
-            (UtilityFeature::Kl, 0.6),
-            (UtilityFeature::Emd, 0.4),
-        ])
-        .unwrap();
+        let ideal = CompositeUtility::new(&[(UtilityFeature::Kl, 0.6), (UtilityFeature::Emd, 0.4)])
+            .unwrap();
         let truth = ideal.normalized_scores(&m).unwrap();
         let mut s = FeedbackSession::new(m, ViewSeekerConfig::default()).unwrap();
         for _ in 0..25 {
-            let Some(item) = s.next_items(1).unwrap().pop() else { break };
+            let Some(item) = s.next_items(1).unwrap().pop() else {
+                break;
+            };
             s.submit_feedback(item, truth[item.index()]).unwrap();
             let top = s.recommend(5).unwrap();
             if tie_aware_precision_at_k(&truth, &top, 5) >= 1.0 {
@@ -319,11 +329,9 @@ mod tests {
 
     #[test]
     fn rejects_empty_matrix_and_bad_labels() {
-        assert!(FeedbackSession::new(
-            FeatureMatrix::new(vec![]),
-            ViewSeekerConfig::default()
-        )
-        .is_err());
+        assert!(
+            FeedbackSession::new(FeatureMatrix::new(vec![]), ViewSeekerConfig::default()).is_err()
+        );
         let mut s = FeedbackSession::new(matrix(), ViewSeekerConfig::default()).unwrap();
         let item = s.next_items(1).unwrap()[0];
         assert!(s.submit_feedback(item, 2.0).is_err());
@@ -332,9 +340,7 @@ mod tests {
             s.submit_feedback(item, 0.5),
             Err(CoreError::AlreadyLabeled(_))
         ));
-        assert!(s
-            .submit_feedback(ViewId::from_index(999), 0.5)
-            .is_err());
+        assert!(s.submit_feedback(ViewId::from_index(999), 0.5).is_err());
     }
 
     #[test]

@@ -83,7 +83,11 @@ impl ViewDef {
 
 impl std::fmt::Display for ViewDef {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}({}) BY {}", self.aggregate, self.measure, self.dimension)?;
+        write!(
+            f,
+            "{}({}) BY {}",
+            self.aggregate, self.measure, self.dimension
+        )?;
         if let Some(b) = self.bins {
             write!(f, " [{b} bins]")?;
         }
@@ -256,10 +260,7 @@ mod tests {
             assert_eq!(vs.id(id.index()).unwrap(), id);
             assert!(vs.def(id).is_ok());
         }
-        assert!(matches!(
-            vs.id(vs.len()),
-            Err(CoreError::UnknownView(_))
-        ));
+        assert!(matches!(vs.id(vs.len()), Err(CoreError::UnknownView(_))));
         assert!(vs.def(ViewId(99_999)).is_err());
     }
 

@@ -62,9 +62,22 @@ pub fn materialize_view(
     def: &ViewDef,
 ) -> Result<ViewData, CoreError> {
     let spec = bin_spec_for(table, def)?;
-    let target_agg = group_by_aggregate(table, dq, &def.dimension, &spec, &def.measure, def.aggregate)?;
-    let reference_agg =
-        group_by_aggregate(table, dr, &def.dimension, &spec, &def.measure, def.aggregate)?;
+    let target_agg = group_by_aggregate(
+        table,
+        dq,
+        &def.dimension,
+        &spec,
+        &def.measure,
+        def.aggregate,
+    )?;
+    let reference_agg = group_by_aggregate(
+        table,
+        dr,
+        &def.dimension,
+        &spec,
+        &def.measure,
+        def.aggregate,
+    )?;
     let dispersion = within_bin_dispersion(table, dq, &def.dimension, &spec, &def.measure)?;
     Ok(ViewData {
         target: Distribution::from_aggregates(&target_agg.aggregates)?,
@@ -190,22 +203,24 @@ pub fn materialize_all_shared(
     } else {
         let threads = threads.min(keys.len());
         let chunk = keys.len().div_ceil(threads);
-        let results: Vec<Result<Vec<GroupData>, CoreError>> =
-            crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = keys
-                    .chunks(chunk)
-                    .map(|slice| {
-                        s.spawn(move |_| {
-                            slice.iter().map(compute_group).collect::<Result<Vec<_>, _>>()
-                        })
+        let results: Vec<Result<Vec<GroupData>, CoreError>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = keys
+                .chunks(chunk)
+                .map(|slice| {
+                    s.spawn(move |_| {
+                        slice
+                            .iter()
+                            .map(compute_group)
+                            .collect::<Result<Vec<_>, _>>()
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shared materialization worker panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope failed");
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shared materialization worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed");
         let mut out = Vec::with_capacity(keys.len());
         for r in results {
             out.extend(r?);

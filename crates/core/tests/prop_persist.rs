@@ -1,0 +1,112 @@
+//! Property tests for session snapshots: restore must reject incompatible
+//! snapshots, and a snapshot → restore round trip must reproduce the learned
+//! model *bit-identically* (restore replays labels through the same
+//! deterministic fitting path, so there is no tolerance to hide behind).
+
+use proptest::prelude::*;
+use viewseeker_core::features::{FeatureMatrix, FEATURE_COUNT};
+use viewseeker_core::persist::SNAPSHOT_VERSION;
+use viewseeker_core::{CoreError, FeedbackSession, SessionSnapshot, ViewSeekerConfig};
+
+/// A feature matrix of `n` views plus a non-empty set of candidate labels
+/// (indices may repeat; the test deduplicates before replay).
+fn arb_case() -> impl Strategy<Value = (Vec<[f64; FEATURE_COUNT]>, Vec<(usize, f64)>)> {
+    (8usize..40).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, FEATURE_COUNT), n),
+            proptest::collection::vec((0..n, 0.0f64..1.0), 1..8),
+        )
+            .prop_map(|(rows, labels)| {
+                let rows: Vec<[f64; FEATURE_COUNT]> = rows
+                    .into_iter()
+                    .map(|r| {
+                        let mut row = [0.0; FEATURE_COUNT];
+                        row.copy_from_slice(&r);
+                        row
+                    })
+                    .collect();
+                (rows, labels)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn learned_weights_round_trip_bit_identically((rows, labels) in arb_case()) {
+        let matrix = FeatureMatrix::new(rows);
+        let config = ViewSeekerConfig::default();
+        let mut session = FeedbackSession::new(matrix.clone(), config.clone()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for (index, score) in labels {
+            if seen.insert(index) {
+                session.submit_feedback(
+                    viewseeker_core::ViewId::from_index(index),
+                    score,
+                ).unwrap();
+            }
+        }
+
+        let json = SessionSnapshot::from_session(&session).to_json().unwrap();
+        let snapshot = SessionSnapshot::from_json(&json).unwrap();
+        let restored = snapshot.restore_session(matrix, config).unwrap();
+
+        let original = session.learned_weights().expect("fitted after ≥1 label");
+        let recovered = restored.learned_weights().expect("fitted after restore");
+        prop_assert_eq!(original.len(), recovered.len());
+        for (a, b) in original.iter().zip(recovered) {
+            // Bitwise, not approximate: the JSON layer must preserve every
+            // f64 exactly and the refit must be deterministic.
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "weight {} != {}", a, b);
+        }
+        // The informational weights stored in the snapshot match too.
+        let stored = snapshot.learned_weights.as_deref().unwrap();
+        for (a, b) in original.iter().zip(stored) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(restored.label_count(), session.label_count());
+    }
+}
+
+fn small_matrix(n: usize) -> FeatureMatrix {
+    FeatureMatrix::new(
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / n as f64;
+                [x, 1.0 - x, 0.5, x * x, 0.1, 0.9, x / 2.0, 0.3]
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn restore_rejects_version_mismatch() {
+    let bad = SessionSnapshot {
+        version: SNAPSHOT_VERSION + 1,
+        view_count: 4,
+        labels: vec![(0, 0.5)],
+        learned_weights: None,
+    };
+    let json = bad.to_json().unwrap();
+    match SessionSnapshot::from_json(&json) {
+        Err(CoreError::Invalid(msg)) => assert!(msg.contains("version"), "{msg}"),
+        other => panic!("expected version rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn restore_rejects_view_count_mismatch() {
+    let snapshot = SessionSnapshot {
+        version: SNAPSHOT_VERSION,
+        view_count: 11,
+        labels: vec![(0, 0.5)],
+        learned_weights: None,
+    };
+    match snapshot.restore_session(small_matrix(7), ViewSeekerConfig::default()) {
+        Err(CoreError::Invalid(msg)) => {
+            assert!(msg.contains("11") && msg.contains('7'), "{msg}");
+        }
+        other => panic!("expected view-count rejection, got {other:?}"),
+    }
+}

@@ -204,7 +204,6 @@ pub fn within_bin_dispersion(
     Ok(sse / total as f64)
 }
 
-
 /// All five aggregates of one (dimension, measure) pair computed in a single
 /// pass, plus the within-bin dispersion — the SeeDB-style *shared
 /// computation* optimization: views differing only in their aggregate
@@ -423,9 +422,8 @@ mod tests {
         )
         .unwrap();
         let spec = BinSpec::equal_width_of(t.column_by_name("x").unwrap(), 2).unwrap();
-        let r =
-            group_by_aggregate(&t, &t.all_rows(), "x", &spec, "m", AggregateFunction::Count)
-                .unwrap();
+        let r = group_by_aggregate(&t, &t.all_rows(), "x", &spec, "m", AggregateFunction::Count)
+            .unwrap();
         assert_eq!(r.aggregates, vec![2.0, 2.0]);
     }
 

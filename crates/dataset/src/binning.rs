@@ -145,7 +145,10 @@ impl BinSpec {
                 let width = (max - min) / *count as f64;
                 let lo = min + width * i as f64;
                 let hi = if i + 1 == *count { *max } else { lo + width };
-                format!("[{lo:.3}, {hi:.3}{}", if i + 1 == *count { "]" } else { ")" })
+                format!(
+                    "[{lo:.3}, {hi:.3}{}",
+                    if i + 1 == *count { "]" } else { ")" }
+                )
             }
             BinSpec::EqualFrequency { edges } => {
                 assert!(i <= edges.len(), "bin index out of range");
@@ -212,12 +215,13 @@ impl BinSpec {
                     expected: "categorical",
                 })
             }
-            (BinSpec::EqualWidth { .. } | BinSpec::EqualFrequency { .. }, Column::Categorical { .. }) => {
-                Err(DatasetError::ColumnTypeMismatch {
-                    column: String::new(),
-                    expected: "numeric",
-                })
-            }
+            (
+                BinSpec::EqualWidth { .. } | BinSpec::EqualFrequency { .. },
+                Column::Categorical { .. },
+            ) => Err(DatasetError::ColumnTypeMismatch {
+                column: String::new(),
+                expected: "numeric",
+            }),
         }
     }
 }

@@ -155,9 +155,7 @@ impl TableBuilder {
             .iter()
             .enumerate()
             .map(|(i, meta)| match meta.column_type {
-                ColumnType::Categorical => {
-                    Column::categorical_from_values(&self.text_columns[i])
-                }
+                ColumnType::Categorical => Column::categorical_from_values(&self.text_columns[i]),
                 ColumnType::Numeric => Column::numeric(self.numeric_columns[i].clone()),
             })
             .collect();

@@ -317,7 +317,10 @@ mod tests {
 
     #[test]
     fn empty_lines_are_skipped() {
-        let schema = Schema::builder().categorical_dimension("a").build().unwrap();
+        let schema = Schema::builder()
+            .categorical_dimension("a")
+            .build()
+            .unwrap();
         let csv = "a\n\nx\n\n";
         let t = read_csv(&schema, Cursor::new(csv)).unwrap();
         assert_eq!(t.row_count(), 1);
@@ -325,7 +328,10 @@ mod tests {
 
     #[test]
     fn quoted_newline_inside_field() {
-        let schema = Schema::builder().categorical_dimension("a").build().unwrap();
+        let schema = Schema::builder()
+            .categorical_dimension("a")
+            .build()
+            .unwrap();
         let csv = "a\n\"line1\nline2\"\n";
         let t = read_csv(&schema, Cursor::new(csv)).unwrap();
         assert_eq!(t.column(0).category_at(0), "line1\nline2");

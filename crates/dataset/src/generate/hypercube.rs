@@ -226,10 +226,7 @@ mod tests {
         let (q1, s1) = hypercube_query(&t, &cfg).unwrap();
         let (q2, s2) = hypercube_query(&t, &cfg).unwrap();
         assert_eq!(s1, s2);
-        assert_eq!(
-            q1.execute(&t).unwrap().ids(),
-            q2.execute(&t).unwrap().ids()
-        );
+        assert_eq!(q1.execute(&t).unwrap().ids(), q2.execute(&t).unwrap().ids());
     }
 
     #[test]

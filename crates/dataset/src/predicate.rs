@@ -123,14 +123,12 @@ impl Predicate {
             }
             Predicate::In { column, values } => eval_membership(table, column, values),
             Predicate::Range { column, low, high } => {
-                let values =
-                    table
-                        .column_by_name(column)?
-                        .values()
-                        .ok_or(DatasetError::ColumnTypeMismatch {
-                            column: column.clone(),
-                            expected: "numeric (Range predicate)",
-                        })?;
+                let values = table.column_by_name(column)?.values().ok_or(
+                    DatasetError::ColumnTypeMismatch {
+                        column: column.clone(),
+                        expected: "numeric (Range predicate)",
+                    },
+                )?;
                 let ids = values
                     .iter()
                     .enumerate()
@@ -156,9 +154,7 @@ impl Predicate {
                 }
                 Ok(acc)
             }
-            Predicate::Not(inner) => {
-                Ok(inner.evaluate(table)?.complement(table.row_count()))
-            }
+            Predicate::Not(inner) => Ok(inner.evaluate(table)?.complement(table.row_count())),
         }
     }
 }

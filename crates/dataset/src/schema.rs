@@ -76,7 +76,9 @@ impl Schema {
     /// Starts a fluent builder.
     #[must_use]
     pub fn builder() -> SchemaBuilder {
-        SchemaBuilder { columns: Vec::new() }
+        SchemaBuilder {
+            columns: Vec::new(),
+        }
     }
 
     /// All column metadata, in declaration order.

@@ -94,10 +94,7 @@ pub fn execute(sql: &str, table: &Table) -> Result<ResultSet, DatasetError> {
 /// # Errors
 ///
 /// Same contract as [`execute`].
-pub fn execute_statement(
-    stmt: &SelectStatement,
-    table: &Table,
-) -> Result<ResultSet, DatasetError> {
+pub fn execute_statement(stmt: &SelectStatement, table: &Table) -> Result<ResultSet, DatasetError> {
     let rows = match &stmt.where_clause {
         Some(expr) => compile_predicate(expr)?.evaluate(table)?,
         None => table.all_rows(),
@@ -208,12 +205,9 @@ fn execute_grouped(
                         );
                         continue;
                     }
-                    (None, f) => {
-                        return Err(DatasetError::Sql(format!("{f}(*) is not defined")))
-                    }
+                    (None, f) => return Err(DatasetError::Sql(format!("{f}(*) is not defined"))),
                 };
-                let r =
-                    group_by_aggregate(table, rows, group_col, &spec, &measure, agg.func)?;
+                let r = group_by_aggregate(table, rows, group_col, &spec, &measure, agg.func)?;
                 columns.push(agg.to_string());
                 outputs.push(
                     r.aggregates
@@ -374,9 +368,9 @@ pub(crate) fn compile_predicate(expr: &SqlExpr) -> Result<Predicate, DatasetErro
             (Comparison::Eq, SqlValue::Number(n)) => {
                 Predicate::range(column.clone(), *n, next_up(*n))
             }
-            (Comparison::NotEq, SqlValue::Number(n)) => Predicate::Not(Box::new(
-                Predicate::range(column.clone(), *n, next_up(*n)),
-            )),
+            (Comparison::NotEq, SqlValue::Number(n)) => {
+                Predicate::Not(Box::new(Predicate::range(column.clone(), *n, next_up(*n))))
+            }
             (Comparison::Lt, SqlValue::Number(n)) => {
                 Predicate::range(column.clone(), f64::NEG_INFINITY, *n)
             }
@@ -424,9 +418,7 @@ pub(crate) fn compile_predicate(expr: &SqlExpr) -> Result<Predicate, DatasetErro
             // SQL BETWEEN is inclusive on both ends.
             Predicate::range(column.clone(), *low, next_up(*high))
         }
-        SqlExpr::And(a, b) => {
-            Predicate::And(vec![compile_predicate(a)?, compile_predicate(b)?])
-        }
+        SqlExpr::And(a, b) => Predicate::And(vec![compile_predicate(a)?, compile_predicate(b)?]),
         SqlExpr::Or(a, b) => Predicate::Or(vec![compile_predicate(a)?, compile_predicate(b)?]),
         SqlExpr::Not(inner) => Predicate::Not(Box::new(compile_predicate(inner)?)),
     })
@@ -524,11 +516,7 @@ mod tests {
 
     #[test]
     fn row_listing_with_projection_and_limit() {
-        let r = execute(
-            "SELECT city, age FROM t WHERE age > 30 LIMIT 2",
-            &table(),
-        )
-        .unwrap();
+        let r = execute("SELECT city, age FROM t WHERE age > 30 LIMIT 2", &table()).unwrap();
         assert_eq!(r.columns, vec!["city", "age"]);
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.rows[0][0], ResultValue::Text("NY".into()));
@@ -585,7 +573,12 @@ mod tests {
         let asc = execute("SELECT age FROM t ORDER BY age", &table()).unwrap();
         let ages: Vec<String> = asc.rows.iter().map(|r| r[0].to_string()).collect();
         let mut sorted = ages.clone();
-        sorted.sort_by(|a, b| a.parse::<f64>().unwrap().partial_cmp(&b.parse::<f64>().unwrap()).unwrap());
+        sorted.sort_by(|a, b| {
+            a.parse::<f64>()
+                .unwrap()
+                .partial_cmp(&b.parse::<f64>().unwrap())
+                .unwrap()
+        });
         assert_eq!(ages, sorted);
         assert!(execute("SELECT city FROM t ORDER BY nope", &table()).is_err());
     }
@@ -595,8 +588,14 @@ mod tests {
         let t = table();
         assert!(execute("SELECT * FROM t GROUP BY city", &t).is_err());
         assert!(execute("SELECT age FROM t GROUP BY city", &t).is_err());
-        assert!(execute("SELECT city, age FROM t GROUP BY age", &t).is_err(), "numeric group");
-        assert!(execute("SELECT city, COUNT(*) FROM t", &t).is_err(), "mixed flat");
+        assert!(
+            execute("SELECT city, age FROM t GROUP BY age", &t).is_err(),
+            "numeric group"
+        );
+        assert!(
+            execute("SELECT city, COUNT(*) FROM t", &t).is_err(),
+            "mixed flat"
+        );
         assert!(execute("SELECT COUNT(*) FROM t WHERE city > 'A'", &t).is_err());
         assert!(execute("SELECT COUNT(*) FROM t WHERE city IN ('NY', 3)", &t).is_err());
         assert!(execute("SELECT nope FROM t", &t).is_err());

@@ -136,9 +136,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, DatasetError> {
                         }
                         Some(c) => s.push(c),
                         None => {
-                            return Err(DatasetError::Sql(
-                                "unterminated string literal".into(),
-                            ))
+                            return Err(DatasetError::Sql("unterminated string literal".into()))
                         }
                     }
                 }
@@ -149,12 +147,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, DatasetError> {
                 s.push(c);
                 chars.next();
                 while let Some(&d) = chars.peek() {
-                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || d == '-' || d == '+'
+                    if d.is_ascii_digit()
+                        || d == '.'
+                        || d == 'e'
+                        || d == 'E'
+                        || d == '-'
+                        || d == '+'
                     {
                         // Only allow sign directly after an exponent marker.
-                        if (d == '-' || d == '+')
-                            && !matches!(s.chars().last(), Some('e' | 'E'))
-                        {
+                        if (d == '-' || d == '+') && !matches!(s.chars().last(), Some('e' | 'E')) {
                             break;
                         }
                         s.push(d);
@@ -239,10 +240,7 @@ mod tests {
     #[test]
     fn bang_without_eq_is_an_error() {
         assert!(tokenize("a ! b").is_err());
-        assert!(matches!(
-            tokenize("a @ b"),
-            Err(DatasetError::Sql(_))
-        ));
+        assert!(matches!(tokenize("a @ b"), Err(DatasetError::Sql(_))));
     }
 
     #[test]

@@ -421,8 +421,9 @@ mod tests {
 
     #[test]
     fn order_by_variants() {
-        let s = parse_select("SELECT city, AVG(m) FROM t GROUP BY city ORDER BY AVG(m) DESC LIMIT 3")
-            .unwrap();
+        let s =
+            parse_select("SELECT city, AVG(m) FROM t GROUP BY city ORDER BY AVG(m) DESC LIMIT 3")
+                .unwrap();
         assert_eq!(s.order_by, Some(("AVG(m)".into(), SortOrder::Desc)));
         assert_eq!(s.limit, Some(3));
         let asc = parse_select("SELECT * FROM t ORDER BY age").unwrap();

@@ -201,7 +201,10 @@ mod tests {
 
     #[test]
     fn mismatched_column_type_rejected() {
-        let schema = Schema::builder().categorical_dimension("d").build().unwrap();
+        let schema = Schema::builder()
+            .categorical_dimension("d")
+            .build()
+            .unwrap();
         let r = Table::new(schema, vec![Column::numeric(vec![1.0])]);
         assert!(matches!(r, Err(DatasetError::ColumnTypeMismatch { .. })));
     }

@@ -15,11 +15,11 @@ use serde::Serialize;
 use viewseeker_core::{CoreError, QueryStrategyKind, RefineBudget, ViewSeekerConfig};
 
 use crate::idealfn::ideal_functions;
-use crate::simuser::SimulatedUser;
 use crate::runner::{
     exact_feature_matrix, run_session_with_truth, run_session_with_user, RunnerConfig,
     StopCriterion,
 };
+use crate::simuser::SimulatedUser;
 use crate::testbed::Testbed;
 
 /// One strategy's averaged outcome.
@@ -323,8 +323,7 @@ mod tests {
     #[test]
     fn strategy_ablation_covers_all_three() {
         let tb = diab_testbed(TestbedScale::Small(1_500), 51).unwrap();
-        let points =
-            strategy_ablation(&tb, &ViewSeekerConfig::default(), 10, 60).unwrap();
+        let points = strategy_ablation(&tb, &ViewSeekerConfig::default(), 10, 60).unwrap();
         assert_eq!(points.len(), 3);
         let names: Vec<&str> = points.iter().map(|p| p.strategy.as_str()).collect();
         assert_eq!(names, vec!["uncertainty", "random", "qbc"]);
@@ -350,8 +349,7 @@ mod tests {
     #[test]
     fn batch_sweep_produces_one_point_per_m() {
         let tb = diab_testbed(TestbedScale::Small(1_500), 53).unwrap();
-        let points =
-            batch_size_sweep(&tb, &ViewSeekerConfig::default(), &[1, 3], 10, 60).unwrap();
+        let points = batch_size_sweep(&tb, &ViewSeekerConfig::default(), &[1, 3], 10, 60).unwrap();
         assert_eq!(points.len(), 2);
         assert!(points[1].mean_iterations <= points[1].mean_labels);
         for p in &points {

@@ -134,8 +134,7 @@ mod tests {
     #[test]
     fn viewseeker_beats_every_fixed_baseline_on_function_11() {
         let tb = diab_testbed(TestbedScale::Small(3_000), 5).unwrap();
-        let cmp =
-            baseline_experiment(&tb, &ViewSeekerConfig::default(), 11, 10, 150).unwrap();
+        let cmp = baseline_experiment(&tb, &ViewSeekerConfig::default(), 11, 10, 150).unwrap();
         assert_eq!(cmp.baselines.len(), 8);
         assert!(
             cmp.viewseeker_precision >= cmp.best_baseline(),
@@ -151,11 +150,7 @@ mod tests {
         // For ideal #2 (pure EMD) the EMD baseline must reach precision 1.
         let tb = diab_testbed(TestbedScale::Small(2_000), 6).unwrap();
         let cmp = baseline_experiment(&tb, &ViewSeekerConfig::default(), 2, 5, 80).unwrap();
-        let emd = cmp
-            .baselines
-            .iter()
-            .find(|b| b.feature == "EMD")
-            .unwrap();
+        let emd = cmp.baselines.iter().find(|b| b.feature == "EMD").unwrap();
         assert_eq!(emd.precision, 1.0);
         assert_eq!(cmp.improvement_factor(), cmp.viewseeker_precision);
     }

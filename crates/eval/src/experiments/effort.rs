@@ -113,8 +113,7 @@ mod tests {
     #[test]
     fn single_component_ideals_converge_on_small_testbed() {
         let tb = diab_testbed(TestbedScale::Small(2_000), 17).unwrap();
-        let points =
-            user_effort_experiment(&tb, &ViewSeekerConfig::default(), &[5], 150).unwrap();
+        let points = user_effort_experiment(&tb, &ViewSeekerConfig::default(), &[5], 150).unwrap();
         let single = points
             .iter()
             .find(|p| p.group == IdealGroup::Single)

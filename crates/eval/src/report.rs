@@ -207,7 +207,12 @@ pub fn batch_table(points: &[BatchPoint]) -> String {
         })
         .collect();
     markdown_table(
-        &["M (views/iteration)", "mean labels", "mean prompt rounds", "converged"],
+        &[
+            "M (views/iteration)",
+            "mean labels",
+            "mean prompt rounds",
+            "converged",
+        ],
         &rows,
     )
 }
@@ -227,7 +232,12 @@ pub fn noise_table(points: &[NoisePoint]) -> String {
         })
         .collect();
     markdown_table(
-        &["label noise σ", "mean labels", "final precision", "converged"],
+        &[
+            "label noise σ",
+            "mean labels",
+            "final precision",
+            "converged",
+        ],
         &rows,
     )
 }

@@ -12,12 +12,12 @@
 use std::time::{Duration, Instant};
 
 use serde::Serialize;
+use viewseeker_core::viewgen::materialize_all_shared;
+use viewseeker_core::ViewSpace;
 use viewseeker_core::{
     tie_aware_precision_at_k, utility_distance, CompositeUtility, CoreError, FeatureMatrix,
     ViewSeeker, ViewSeekerConfig,
 };
-use viewseeker_core::viewgen::materialize_all_shared;
-use viewseeker_core::ViewSpace;
 use viewseeker_dataset::{SelectQuery, Table};
 
 use crate::simuser::SimulatedUser;
@@ -103,11 +103,8 @@ pub fn exact_feature_matrix(
 ) -> Result<FeatureMatrix, CoreError> {
     let dq = query.execute(table)?;
     let dr = table.all_rows();
-    let space = ViewSpace::enumerate_excluding(
-        table,
-        &config.bin_configs,
-        &config.excluded_dimensions,
-    )?;
+    let space =
+        ViewSpace::enumerate_excluding(table, &config.bin_configs, &config.excluded_dimensions)?;
     let views = materialize_all_shared(table, &dq, &dr, &space, config.init_threads)?;
     FeatureMatrix::from_views(&views, config.usability_optimal_bins)
 }

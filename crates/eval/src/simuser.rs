@@ -128,8 +128,7 @@ mod tests {
     #[test]
     fn labels_are_normalized_ideal_scores() {
         let m = truth();
-        let user =
-            SimulatedUser::new(&CompositeUtility::single(UtilityFeature::Kl), &m).unwrap();
+        let user = SimulatedUser::new(&CompositeUtility::single(UtilityFeature::Kl), &m).unwrap();
         assert_eq!(user.label(ViewId::from_index(4)).unwrap(), 1.0);
         assert_eq!(user.label(ViewId::from_index(0)).unwrap(), 0.0);
         assert_eq!(user.label(ViewId::from_index(2)).unwrap(), 0.5);
@@ -138,8 +137,7 @@ mod tests {
     #[test]
     fn ideal_top_k_is_descending() {
         let m = truth();
-        let user =
-            SimulatedUser::new(&CompositeUtility::single(UtilityFeature::Kl), &m).unwrap();
+        let user = SimulatedUser::new(&CompositeUtility::single(UtilityFeature::Kl), &m).unwrap();
         let top3: Vec<usize> = user.ideal_top_k(3).iter().map(|v| v.index()).collect();
         assert_eq!(top3, vec![4, 3, 2]);
     }
@@ -147,20 +145,15 @@ mod tests {
     #[test]
     fn unknown_view_errors() {
         let m = truth();
-        let user =
-            SimulatedUser::new(&CompositeUtility::single(UtilityFeature::Kl), &m).unwrap();
+        let user = SimulatedUser::new(&CompositeUtility::single(UtilityFeature::Kl), &m).unwrap();
         assert!(user.label(ViewId::from_index(99)).is_err());
     }
 
     #[test]
     fn scores_live_in_unit_interval() {
         let m = truth();
-        let user =
-            SimulatedUser::new(&CompositeUtility::single(UtilityFeature::Kl), &m).unwrap();
-        assert!(user
-            .true_scores()
-            .iter()
-            .all(|s| (0.0..=1.0).contains(s)));
+        let user = SimulatedUser::new(&CompositeUtility::single(UtilityFeature::Kl), &m).unwrap();
+        assert!(user.true_scores().iter().all(|s| (0.0..=1.0).contains(s)));
     }
 
     #[test]

@@ -13,11 +13,11 @@
 //! [`TestbedScale`] lets the same testbed run at paper-scale (benchmarks) or
 //! laptop-scale (tests, CI).
 
+use viewseeker_core::CoreError;
 use viewseeker_dataset::generate::{
     generate_diab, generate_syn, hypercube_query, DiabConfig, HypercubeConfig, SynConfig,
 };
 use viewseeker_dataset::{SelectQuery, Table};
-use viewseeker_core::CoreError;
 
 /// How large to build a testbed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -113,6 +113,9 @@ mod tests {
 
     #[test]
     fn binarize_thresholds() {
-        assert_eq!(binarize(&[0.0, 0.5, 0.49, 1.0], 0.5), vec![0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(
+            binarize(&[0.0, 0.5, 0.49, 1.0], 0.5),
+            vec![0.0, 1.0, 0.0, 1.0]
+        );
     }
 }

@@ -75,8 +75,7 @@ impl QueryStrategy for QueryByCommittee {
                     members.iter().map(|m| m.predict_proba(c)).collect();
                 let probs = probs?;
                 let mean = probs.iter().sum::<f64>() / probs.len() as f64;
-                Ok(probs.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>()
-                    / probs.len() as f64)
+                Ok(probs.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / probs.len() as f64)
             })
             .collect()
     }

@@ -79,7 +79,9 @@ mod tests {
         let labeled_y = vec![0.0, 0.0, 1.0, 1.0];
         let candidates = vec![vec![0.05], vec![0.5], vec![0.95]];
         let mut s = UncertaintySampling::default();
-        let top = s.select_top(&labeled_x, &labeled_y, &candidates, 1).unwrap();
+        let top = s
+            .select_top(&labeled_x, &labeled_y, &candidates, 1)
+            .unwrap();
         assert_eq!(top, vec![1], "the boundary point should be most uncertain");
     }
 

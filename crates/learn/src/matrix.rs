@@ -140,9 +140,7 @@ impl Matrix {
                 self.cols
             )));
         }
-        Ok((0..self.rows)
-            .map(|r| dot(self.row(r), x))
-            .collect())
+        Ok((0..self.rows).map(|r| dot(self.row(r), x)).collect())
     }
 
     /// Solves `self · x = b` for a symmetric positive-definite `self` via
@@ -295,8 +293,8 @@ mod tests {
     #[test]
     fn solve_round_trip_random_spd() {
         // Build SPD as AᵀA + I and verify solve(g, g·x) ≈ x.
-        let a = Matrix::from_rows(4, 3, vec![1., 2., 0., 3., 1., 1., 0., 1., 4., 2., 2., 2.])
-            .unwrap();
+        let a =
+            Matrix::from_rows(4, 3, vec![1., 2., 0., 3., 1., 1., 0., 1., 4., 2., 2., 2.]).unwrap();
         let g = a.gram_regularized(1.0);
         let x_true = vec![0.3, -1.2, 2.5];
         let b = g.mul_vec(&x_true).unwrap();

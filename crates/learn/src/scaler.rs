@@ -33,7 +33,9 @@ impl MinMaxScaler {
     /// * [`LearnError::InsufficientData`] for an empty input;
     /// * [`LearnError::DimensionMismatch`] for ragged rows.
     pub fn fit(rows: &[Vec<f64>]) -> Result<Self, LearnError> {
-        let first = rows.first().ok_or(LearnError::InsufficientData { got: 0, need: 1 })?;
+        let first = rows
+            .first()
+            .ok_or(LearnError::InsufficientData { got: 0, need: 1 })?;
         let d = first.len();
         let mut mins = vec![f64::INFINITY; d];
         let mut maxs = vec![f64::NEG_INFINITY; d];

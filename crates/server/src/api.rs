@@ -1,0 +1,397 @@
+//! Endpoint implementations: JSON request/response types plus the handlers
+//! the router dispatches to. Handlers return plain data; HTTP concerns
+//! (status codes, serialization) live in [`crate::router`].
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use viewseeker_core::{SeekerPhase, ViewId};
+
+use crate::error::ServerError;
+use crate::metrics::{EndpointReport, Metrics};
+use crate::registry::{PersistedSession, SessionEntry, SessionRegistry, SessionSpec};
+
+/// Shared state behind every handler.
+pub struct AppState {
+    /// The session table.
+    pub registry: SessionRegistry,
+    /// Request counters and latency percentiles.
+    pub metrics: Metrics,
+    /// Server start time, for the uptime report.
+    pub started: Instant,
+}
+
+impl AppState {
+    /// Bundles a registry with fresh metrics.
+    #[must_use]
+    pub fn new(registry: SessionRegistry) -> Self {
+        Self {
+            registry,
+            metrics: Metrics::new(),
+            started: Instant::now(),
+        }
+    }
+}
+
+fn phase_name(phase: SeekerPhase) -> &'static str {
+    match phase {
+        SeekerPhase::ColdStart => "cold_start",
+        SeekerPhase::Active => "active",
+    }
+}
+
+/// One view in a response: definition, SQL rendering, optional score.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ViewInfo {
+    /// Index into the session's view space.
+    pub id: usize,
+    /// Group-by dimension.
+    pub dimension: String,
+    /// Aggregated measure.
+    pub measure: String,
+    /// Aggregate function name.
+    pub aggregate: String,
+    /// Bin count for numeric dimensions.
+    pub bins: Option<usize>,
+    /// The SQL query this view stands for (over the target subset).
+    pub sql: String,
+    /// Predicted utility, when the estimator is fitted.
+    pub score: Option<f64>,
+}
+
+fn view_info(
+    entry: &SessionEntry,
+    seeker: &viewseeker_core::OwnedSeeker,
+    id: ViewId,
+    score: Option<f64>,
+) -> Result<ViewInfo, ServerError> {
+    let def = seeker.view_space().def(id)?;
+    let where_clause = entry.spec.query.clone().filter(|q| q.trim() != "*");
+    Ok(ViewInfo {
+        id: id.index(),
+        dimension: def.dimension.clone(),
+        measure: def.measure.clone(),
+        aggregate: def.aggregate.to_string(),
+        bins: def.bins,
+        sql: def.to_sql(&entry.spec.dataset, where_clause.as_deref()),
+        score,
+    })
+}
+
+/// Response of `POST /sessions`, `POST /sessions/:id/restore`, and
+/// `GET /sessions/:id`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SessionInfo {
+    /// The session's handle for all later calls.
+    pub id: String,
+    /// Size of the enumerated view space.
+    pub views: usize,
+    /// Labels submitted so far.
+    pub labels: usize,
+    /// `"cold_start"` or `"active"`.
+    pub phase: String,
+    /// Views whose features are still rough (α-sampling not yet refined).
+    pub pending_refinements: usize,
+}
+
+fn session_info(entry: &SessionEntry) -> SessionInfo {
+    let seeker = entry.seeker.lock().expect("session lock");
+    SessionInfo {
+        id: entry.id.clone(),
+        views: seeker.view_space().len(),
+        labels: seeker.label_count(),
+        phase: phase_name(seeker.phase()).to_owned(),
+        pending_refinements: seeker.pending_refinements(),
+    }
+}
+
+/// Creates a session from a [`SessionSpec`] body.
+///
+/// # Errors
+///
+/// Bad spec, bad query, or seeker initialization failure.
+pub fn create_session(state: &AppState, body: &str) -> Result<SessionInfo, ServerError> {
+    let spec: SessionSpec = serde_json::from_str(body)
+        .map_err(|e| ServerError::BadRequest(format!("bad session spec: {e}")))?;
+    let entry = state.registry.create(spec)?;
+    Ok(session_info(&entry))
+}
+
+/// Lists every live session.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SessionListing {
+    /// Session id.
+    pub id: String,
+    /// Labels submitted so far.
+    pub labels: usize,
+    /// `"cold_start"` or `"active"`.
+    pub phase: String,
+    /// Seconds since the session was last used.
+    pub idle_secs: u64,
+}
+
+/// `GET /sessions`.
+#[must_use]
+pub fn list_sessions(state: &AppState) -> Vec<SessionListing> {
+    state
+        .registry
+        .describe()
+        .into_iter()
+        .map(|(id, labels, phase, idle)| SessionListing {
+            id,
+            labels,
+            phase: phase.to_owned(),
+            idle_secs: idle.as_secs(),
+        })
+        .collect()
+}
+
+/// `GET /sessions/:id`.
+///
+/// # Errors
+///
+/// Unknown session.
+pub fn get_session(state: &AppState, id: &str) -> Result<SessionInfo, ServerError> {
+    let entry = state.registry.get(id)?;
+    Ok(session_info(&entry))
+}
+
+/// `GET /sessions/:id/next?m=` — the next views to label (Algorithm 1,
+/// line 6).
+///
+/// # Errors
+///
+/// Unknown session or estimator errors.
+pub fn next_views(state: &AppState, id: &str, m: usize) -> Result<Vec<ViewInfo>, ServerError> {
+    let entry = state.registry.get(id)?;
+    let mut seeker = entry.seeker.lock().expect("session lock");
+    let ids = seeker.next_views(m)?;
+    ids.into_iter()
+        .map(|v| view_info(&entry, &seeker, v, None))
+        .collect()
+}
+
+/// Body of `POST /sessions/:id/feedback`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackBody {
+    /// View index being labeled.
+    pub view: usize,
+    /// The user's 0–1 utility judgement.
+    pub score: f64,
+}
+
+/// `POST /sessions/:id/feedback` — label one view and refit.
+///
+/// # Errors
+///
+/// Unknown session/view, repeated label, score outside `[0, 1]`.
+pub fn feedback(state: &AppState, id: &str, body: &str) -> Result<SessionInfo, ServerError> {
+    let parsed: FeedbackBody = serde_json::from_str(body)
+        .map_err(|e| ServerError::BadRequest(format!("bad feedback body: {e}")))?;
+    let entry = state.registry.get(id)?;
+    {
+        let mut seeker = entry.seeker.lock().expect("session lock");
+        seeker.submit_feedback(ViewId::from_index(parsed.view), parsed.score)?;
+    }
+    Ok(session_info(&entry))
+}
+
+/// `GET /sessions/:id/recommend?k=&lambda=` — the current top-k (diverse
+/// when `lambda` is given).
+///
+/// # Errors
+///
+/// Unknown session, or no labels submitted yet (409).
+pub fn recommend(
+    state: &AppState,
+    id: &str,
+    k: usize,
+    lambda: Option<f64>,
+) -> Result<Vec<ViewInfo>, ServerError> {
+    let entry = state.registry.get(id)?;
+    let seeker = entry.seeker.lock().expect("session lock");
+    let ids = match lambda {
+        Some(l) => seeker.recommend_diverse(k, l)?,
+        None => seeker.recommend(k)?,
+    };
+    let scores = seeker.predicted_scores()?;
+    ids.into_iter()
+        .map(|v| view_info(&entry, &seeker, v, Some(scores[v.index()])))
+        .collect()
+}
+
+/// `POST /sessions/:id/snapshot` — snapshot the session (and persist it to
+/// the snapshot directory when one is configured). The session stays live.
+///
+/// # Errors
+///
+/// Unknown session or persistence failure.
+pub fn snapshot(state: &AppState, id: &str) -> Result<PersistedSession, ServerError> {
+    let entry = state.registry.get(id)?;
+    state.registry.persist(&entry)?;
+    let seeker = entry.seeker.lock().expect("session lock");
+    Ok(PersistedSession {
+        id: entry.id.clone(),
+        spec: entry.spec.clone(),
+        snapshot: viewseeker_core::SessionSnapshot::from_seeker(&seeker),
+    })
+}
+
+/// `POST /sessions/restore` (body = a [`PersistedSession`]) or
+/// `POST /sessions/:id/restore` (reload the evicted session from disk).
+///
+/// # Errors
+///
+/// Missing snapshot, id collision with a live session, replay failure.
+pub fn restore(state: &AppState, id: Option<&str>, body: &str) -> Result<SessionInfo, ServerError> {
+    let entry = match id {
+        Some(id) => state.registry.restore_from_disk(id)?,
+        None => {
+            let persisted: PersistedSession = serde_json::from_str(body)
+                .map_err(|e| ServerError::BadRequest(format!("bad snapshot body: {e}")))?;
+            state.registry.restore(&persisted)?
+        }
+    };
+    Ok(session_info(&entry))
+}
+
+/// `DELETE /sessions/:id`.
+///
+/// # Errors
+///
+/// Unknown session.
+pub fn delete_session(state: &AppState, id: &str) -> Result<(), ServerError> {
+    state.registry.remove(id)
+}
+
+/// `GET /healthz` response.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Health {
+    /// Always `"ok"` when the server can answer at all.
+    pub status: String,
+    /// Seconds since startup.
+    pub uptime_secs: u64,
+    /// Live session count (after the TTL sweep).
+    pub sessions: usize,
+    /// Sessions evicted by this probe's TTL sweep.
+    pub evicted: Vec<String>,
+    /// Per-endpoint request counts and latency percentiles.
+    pub endpoints: Vec<EndpointReport>,
+}
+
+/// `GET /healthz` — liveness plus metrics; opportunistically sweeps
+/// TTL-expired sessions.
+///
+/// # Errors
+///
+/// Eviction persistence failure.
+pub fn healthz(state: &AppState) -> Result<Health, ServerError> {
+    let evicted = state.registry.sweep_expired()?;
+    Ok(Health {
+        status: "ok".to_owned(),
+        uptime_secs: state.started.elapsed().as_secs(),
+        sessions: state.registry.len(),
+        evicted,
+        endpoints: state.metrics.report(),
+    })
+}
+
+/// Convenience constructor used by the CLI and tests.
+#[must_use]
+pub fn shared_state(registry: SessionRegistry) -> Arc<AppState> {
+    Arc::new(AppState::new(registry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn state() -> AppState {
+        AppState::new(SessionRegistry::new(4, Duration::from_secs(600), None))
+    }
+
+    fn make_session(state: &AppState) -> String {
+        create_session(
+            state,
+            r#"{"dataset": "diab", "rows": 800, "seed": 5, "query": "a0 = 'a0_v0'"}"#,
+        )
+        .unwrap()
+        .id
+    }
+
+    #[test]
+    fn full_loop_over_the_api_layer() {
+        let state = state();
+        let id = make_session(&state);
+        assert_eq!(get_session(&state, &id).unwrap().labels, 0);
+
+        // recommend before any feedback is a 409, not a 500
+        let err = recommend(&state, &id, 5, None).unwrap_err();
+        assert_eq!(err.status(), 409);
+
+        for score in [0.9, 0.1, 0.7, 0.4] {
+            let next = next_views(&state, &id, 1).unwrap();
+            assert_eq!(next.len(), 1);
+            assert!(next[0].sql.contains("GROUP BY"));
+            let body = format!("{{\"view\": {}, \"score\": {score}}}", next[0].id);
+            feedback(&state, &id, &body).unwrap();
+        }
+        let info = get_session(&state, &id).unwrap();
+        assert_eq!(info.labels, 4);
+
+        let top = recommend(&state, &id, 5, None).unwrap();
+        assert_eq!(top.len(), 5);
+        assert!(top[0].score.unwrap() >= top[4].score.unwrap());
+        let diverse = recommend(&state, &id, 5, Some(0.5)).unwrap();
+        assert_eq!(diverse.len(), 5);
+
+        let persisted = snapshot(&state, &id).unwrap();
+        assert_eq!(persisted.snapshot.labels.len(), 4);
+        delete_session(&state, &id).unwrap();
+        let restored = restore(&state, None, &serde_json::to_string(&persisted).unwrap()).unwrap();
+        assert_eq!(restored.id, id);
+        assert_eq!(restored.labels, 4);
+    }
+
+    #[test]
+    fn bad_bodies_are_400s() {
+        let state = state();
+        assert_eq!(create_session(&state, "{").unwrap_err().status(), 400);
+        assert_eq!(
+            create_session(&state, r#"{"dataset": "nope"}"#)
+                .unwrap_err()
+                .status(),
+            400
+        );
+        let id = make_session(&state);
+        assert_eq!(feedback(&state, &id, "nope").unwrap_err().status(), 400);
+        assert_eq!(
+            feedback(&state, &id, r#"{"view": 0, "score": 7.5}"#)
+                .unwrap_err()
+                .status(),
+            400
+        );
+        assert_eq!(
+            feedback(&state, "ghost", r#"{"view": 0, "score": 0.5}"#)
+                .unwrap_err()
+                .status(),
+            404
+        );
+    }
+
+    #[test]
+    fn healthz_reports_metrics_and_sessions() {
+        let state = state();
+        let _id = make_session(&state);
+        state
+            .metrics
+            .record("GET /healthz", Duration::from_micros(50));
+        let health = healthz(&state).unwrap();
+        assert_eq!(health.status, "ok");
+        assert_eq!(health.sessions, 1);
+        assert_eq!(health.endpoints.len(), 1);
+        assert_eq!(health.endpoints[0].count, 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type shared by every layer of the server, with its HTTP mapping.
+
+use viewseeker_core::CoreError;
+
+/// A request-handling failure, tagged with the HTTP status it maps to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// Malformed request: bad JSON, bad query parameter, bad HTTP framing.
+    BadRequest(String),
+    /// The session (or route) does not exist.
+    NotFound(String),
+    /// The request is well-formed but the session cannot satisfy it right
+    /// now (no labels yet, view already labeled, registry full).
+    Conflict(String),
+    /// Filesystem trouble (snapshot persistence).
+    Io(String),
+    /// Anything else from the core engine.
+    Internal(String),
+}
+
+impl ServerError {
+    /// The HTTP status code this error renders as.
+    #[must_use]
+    pub fn status(&self) -> u16 {
+        match self {
+            ServerError::BadRequest(_) => 400,
+            ServerError::NotFound(_) => 404,
+            ServerError::Conflict(_) => 409,
+            ServerError::Io(_) | ServerError::Internal(_) => 500,
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        match self {
+            ServerError::BadRequest(m)
+            | ServerError::NotFound(m)
+            | ServerError::Conflict(m)
+            | ServerError::Io(m)
+            | ServerError::Internal(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status(), self.message())
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<CoreError> for ServerError {
+    fn from(e: CoreError) -> Self {
+        match &e {
+            // Caller named a view outside the space or sent a bad score.
+            CoreError::UnknownView(_) | CoreError::InvalidLabel(_) => {
+                ServerError::BadRequest(e.to_string())
+            }
+            // Valid request, wrong session state.
+            CoreError::AlreadyLabeled(_) => ServerError::Conflict(e.to_string()),
+            // Estimator not fitted yet (recommend before any feedback).
+            CoreError::Learn(_) => ServerError::Conflict(e.to_string()),
+            CoreError::Invalid(_) => ServerError::BadRequest(e.to_string()),
+            CoreError::Dataset(_) | CoreError::Stats(_) => ServerError::Internal(e.to_string()),
+        }
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_errors_map_to_sensible_statuses() {
+        assert_eq!(ServerError::from(CoreError::UnknownView(3)).status(), 400);
+        assert_eq!(
+            ServerError::from(CoreError::InvalidLabel(2.0)).status(),
+            400
+        );
+        assert_eq!(
+            ServerError::from(CoreError::AlreadyLabeled(1)).status(),
+            409
+        );
+        assert_eq!(
+            ServerError::from(CoreError::Invalid("x".into())).status(),
+            400
+        );
+        assert_eq!(ServerError::NotFound("s9".into()).status(), 404);
+    }
+}

@@ -1,0 +1,416 @@
+//! A deliberately small HTTP/1.1 server on `std::net`: blocking accept loop
+//! feeding a fixed-size worker pool through a crossbeam MPMC channel.
+//!
+//! Scope: exactly what the ViewSeeker API needs. One request per connection
+//! (every response carries `Connection: close`), `Content-Length` framing
+//! only (no chunked bodies), JSON in and out. No TLS, no routing here —
+//! [`crate::router`] owns dispatch.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel;
+
+use crate::error::ServerError;
+
+/// Largest accepted request body, a backstop against hostile clients.
+const MAX_BODY_BYTES: usize = 4 << 20;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Percent-decoded path, without the query string.
+    pub path: String,
+    /// Percent-decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Raw request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of query parameter `key`, if present.
+    #[must_use]
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses a query parameter, defaulting when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::BadRequest`] when present but unparseable.
+    pub fn parsed_param<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ServerError> {
+        match self.query_param(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ServerError::BadRequest(format!("bad query parameter {key}={raw:?}"))),
+        }
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::BadRequest`] on invalid UTF-8.
+    pub fn body_text(&self) -> Result<&str, ServerError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| ServerError::BadRequest("body is not UTF-8".into()))
+    }
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes (always JSON in this service).
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    #[must_use]
+    pub fn json(body: String) -> Self {
+        Self { status: 200, body }
+    }
+
+    /// A JSON response with an explicit status.
+    #[must_use]
+    pub fn with_status(status: u16, body: String) -> Self {
+        Self { status, body }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Decodes `%XX` escapes and `+`-as-space in a URL component.
+fn percent_decode(raw: &str) -> String {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|s| u8::from_str_radix(s, 16).ok())
+                });
+                if let Some(b) = hex {
+                    out.push(b);
+                    i += 3;
+                } else {
+                    out.push(b'%');
+                    i += 1;
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// Returns `Ok(None)` when the peer closed the connection before sending a
+/// request line (a health-checker poke, or the shutdown self-connection).
+pub(crate) fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, ServerError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Err(ServerError::BadRequest("malformed request line".into()));
+    };
+    let method = method.to_ascii_uppercase();
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path);
+    let query = raw_query
+        .map(|q| {
+            q.split('&')
+                .filter(|pair| !pair.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((k, v)) => (percent_decode(k), percent_decode(v)),
+                    None => (percent_decode(pair), String::new()),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    // Headers: only Content-Length matters to this service.
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ServerError::BadRequest("bad Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ServerError::BadRequest(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+    }))
+}
+
+/// Serializes `response` onto `stream`.
+pub(crate) fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Request dispatch, implemented by [`crate::router::Router`].
+pub trait Handler: Send + Sync + 'static {
+    /// Produces the response for one request.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+/// A running server: accept thread + worker pool, stoppable.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains in-flight work, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds `addr` and serves `handler` on `workers` pool threads until
+/// [`ServerHandle::shutdown`].
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve<H: Handler>(
+    addr: impl ToSocketAddrs,
+    workers: usize,
+    handler: Arc<H>,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = channel::unbounded::<TcpStream>();
+
+    let worker_count = workers.max(1);
+    let mut pool = Vec::with_capacity(worker_count);
+    for i in 0..worker_count {
+        let rx = rx.clone();
+        let handler = Arc::clone(&handler);
+        pool.push(
+            std::thread::Builder::new()
+                .name(format!("vs-worker-{i}"))
+                .spawn(move || {
+                    // recv() errors once every sender is gone — clean exit.
+                    while let Ok(mut stream) = rx.recv() {
+                        handle_connection(&mut stream, handler.as_ref());
+                    }
+                })
+                .expect("spawn worker"),
+        );
+    }
+    drop(rx);
+
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_thread = std::thread::Builder::new()
+        .name("vs-accept".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    // Send fails only when every worker exited; stop then.
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }
+            // Dropping tx disconnects the channel and retires the workers.
+        })
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle {
+        addr: local,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        workers: pool,
+    })
+}
+
+fn handle_connection(stream: &mut TcpStream, handler: &dyn Handler) {
+    let response = match read_request(stream) {
+        Ok(Some(request)) => handler.handle(&request),
+        Ok(None) => return, // peer closed without a request
+        Err(e) => Response::with_status(e.status(), format!("{{\"error\": {:?}}}", e.message())),
+    };
+    let _ = write_response(stream, &response);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a0%20%3D%20'v'"), "a0 = 'v'");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("bad%2"), "bad%2");
+    }
+
+    struct Echo;
+    impl Handler for Echo {
+        fn handle(&self, request: &Request) -> Response {
+            Response::json(format!(
+                "{{\"method\": {:?}, \"path\": {:?}, \"m\": {:?}, \"body_len\": {}}}",
+                request.method,
+                request.path,
+                request.query_param("m").unwrap_or(""),
+                request.body.len(),
+            ))
+        }
+    }
+
+    fn raw_roundtrip(addr: SocketAddr, request: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_parses_and_shuts_down() {
+        let handle = serve("127.0.0.1:0", 2, Arc::new(Echo)).unwrap();
+        let addr = handle.addr();
+
+        let reply = raw_roundtrip(
+            addr,
+            "GET /sessions/s1/next?m=3 HTTP/1.1\r\nHost: x\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("\"m\": \"3\""), "{reply}");
+
+        let reply = raw_roundtrip(
+            addr,
+            "POST /sessions HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"\"}",
+        );
+        assert!(reply.contains("\"body_len\": 4"), "{reply}");
+
+        let reply = raw_roundtrip(addr, "garbage\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn concurrent_requests_across_the_pool() {
+        let handle = serve("127.0.0.1:0", 4, Arc::new(Echo)).unwrap();
+        let addr = handle.addr();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    raw_roundtrip(addr, &format!("GET /ping/{i} HTTP/1.1\r\n\r\n"))
+                })
+            })
+            .collect();
+        for (i, t) in threads.into_iter().enumerate() {
+            let reply = t.join().unwrap();
+            assert!(reply.contains(&format!("/ping/{i}")), "{reply}");
+        }
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,97 @@
+//! `viewseeker-server`: a multi-session recommendation service over the
+//! interactive loop.
+//!
+//! The paper frames ViewSeeker as an *interactive tool*: a user session
+//! alternates "show me candidate views" with 0–1 feedback until the learned
+//! utility stabilizes. This crate lifts that loop behind a small HTTP/1.1 +
+//! JSON service so many users (or experiment harnesses) can run concurrent
+//! sessions against one process:
+//!
+//! * [`http`] — a dependency-light HTTP server: `std::net::TcpListener`
+//!   accept loop feeding a fixed worker pool through a crossbeam channel.
+//! * [`router`] — method/path dispatch with per-endpoint latency metrics.
+//! * [`registry`] — the concurrent session table: `RwLock` map of
+//!   per-session `Mutex<OwnedSeeker>` entries, with a max-session cap and
+//!   TTL/LRU eviction that snapshots evictees to disk (restorable, since
+//!   estimators are a pure function of the replayed labels).
+//! * [`api`] — the endpoint bodies and JSON types.
+//! * [`metrics`] — request counts and latency percentiles for `/healthz`.
+//! * [`error`] — one error type with its HTTP status mapping.
+//!
+//! # In-process quickstart
+//!
+//! ```
+//! use std::time::Duration;
+//! use viewseeker_server::{serve_app, ServerConfig};
+//!
+//! let config = ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     workers: 2,
+//!     max_sessions: 8,
+//!     ttl: Duration::from_secs(600),
+//!     snapshot_dir: None,
+//! };
+//! let handle = serve_app(&config).unwrap();
+//! let addr = handle.addr(); // POST http://{addr}/sessions etc.
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod error;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod router;
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use api::AppState;
+pub use error::ServerError;
+pub use http::{Request, Response, ServerHandle};
+pub use registry::{PersistedSession, SessionRegistry, SessionSpec};
+pub use router::Router;
+
+/// Startup knobs for [`serve_app`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `"127.0.0.1:7878"` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Max live sessions before LRU eviction.
+    pub max_sessions: usize,
+    /// Idle time after which a session becomes evictable.
+    pub ttl: Duration,
+    /// Where evicted/snapshotted sessions are written (`None` = don't
+    /// persist).
+    pub snapshot_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            workers: 4,
+            max_sessions: 32,
+            ttl: Duration::from_secs(1_800),
+            snapshot_dir: None,
+        }
+    }
+}
+
+/// Builds the registry + router and starts serving.
+///
+/// # Errors
+///
+/// Propagates the TCP bind failure.
+pub fn serve_app(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let registry =
+        SessionRegistry::new(config.max_sessions, config.ttl, config.snapshot_dir.clone());
+    let router = Router::new(api::shared_state(registry));
+    http::serve(config.addr.as_str(), config.workers, Arc::new(router))
+}

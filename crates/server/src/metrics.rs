@@ -1,0 +1,161 @@
+//! Per-endpoint request counters and latency percentiles for `/healthz`.
+//!
+//! Latencies are kept in a bounded ring per endpoint (the most recent
+//! [`RESERVOIR`] observations), which bounds memory while keeping the
+//! percentiles representative of *current* behaviour — exactly what a
+//! health probe wants from a long-lived service.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use serde::Serialize;
+
+/// Observations retained per endpoint for percentile estimation.
+const RESERVOIR: usize = 2_048;
+
+#[derive(Debug, Default)]
+struct EndpointStats {
+    count: u64,
+    /// Ring buffer of recent latencies in microseconds.
+    recent_us: Vec<u64>,
+    /// Next write position once `recent_us` is full.
+    cursor: usize,
+}
+
+impl EndpointStats {
+    fn record(&mut self, us: u64) {
+        self.count += 1;
+        if self.recent_us.len() < RESERVOIR {
+            self.recent_us.push(us);
+        } else {
+            self.recent_us[self.cursor] = us;
+            self.cursor = (self.cursor + 1) % RESERVOIR;
+        }
+    }
+}
+
+/// A point-in-time summary of one endpoint, as reported by `/healthz`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EndpointReport {
+    /// Normalized route label, e.g. `"GET /sessions/:id/next"`.
+    pub route: String,
+    /// Total requests handled since startup.
+    pub count: u64,
+    /// Median latency over the recent window, microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile latency, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Maximum latency in the recent window, microseconds.
+    pub max_us: u64,
+}
+
+/// Thread-safe request metrics keyed by normalized route.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    endpoints: Mutex<HashMap<&'static str, EndpointStats>>,
+}
+
+impl Metrics {
+    /// Creates an empty metrics table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request against `route`.
+    pub fn record(&self, route: &'static str, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.endpoints
+            .lock()
+            .expect("metrics lock")
+            .entry(route)
+            .or_default()
+            .record(us);
+    }
+
+    /// Summarizes every endpoint seen so far, sorted by route label.
+    #[must_use]
+    pub fn report(&self) -> Vec<EndpointReport> {
+        let endpoints = self.endpoints.lock().expect("metrics lock");
+        let mut out: Vec<EndpointReport> = endpoints
+            .iter()
+            .map(|(route, stats)| {
+                let mut sorted = stats.recent_us.clone();
+                sorted.sort_unstable();
+                EndpointReport {
+                    route: (*route).to_owned(),
+                    count: stats.count,
+                    p50_us: percentile(&sorted, 50),
+                    p90_us: percentile(&sorted, 90),
+                    p99_us: percentile(&sorted, 99),
+                    max_us: sorted.last().copied().unwrap_or(0),
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.route.cmp(&b.route));
+        out
+    }
+}
+
+impl Serialize for Metrics {
+    fn to_value(&self) -> serde::Value {
+        self.report().to_value()
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted slice.
+fn percentile(sorted_us: &[u64], pct: u64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = (pct * sorted_us.len() as u64).div_ceil(100);
+    let index = (rank.max(1) - 1) as usize;
+    sorted_us[index.min(sorted_us.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_follow_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 90), 90);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&[7], 99), 7);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+
+    #[test]
+    fn records_and_reports_per_route() {
+        let m = Metrics::new();
+        for i in 0..10 {
+            m.record("GET /healthz", Duration::from_micros(100 + i));
+        }
+        m.record("POST /sessions", Duration::from_millis(5));
+        let report = m.report();
+        assert_eq!(report.len(), 2);
+        let health = report.iter().find(|r| r.route == "GET /healthz").unwrap();
+        assert_eq!(health.count, 10);
+        assert!(health.p50_us >= 100 && health.max_us <= 109);
+        let create = report.iter().find(|r| r.route == "POST /sessions").unwrap();
+        assert_eq!(create.count, 1);
+        assert_eq!(create.p50_us, 5_000);
+    }
+
+    #[test]
+    fn reservoir_is_bounded() {
+        let m = Metrics::new();
+        for i in 0..(RESERVOIR as u64 + 500) {
+            m.record("r", Duration::from_micros(i));
+        }
+        let r = &m.report()[0];
+        assert_eq!(r.count, RESERVOIR as u64 + 500);
+        // Old observations were overwritten, so the window max is recent.
+        assert_eq!(r.max_us, RESERVOIR as u64 + 499);
+    }
+}

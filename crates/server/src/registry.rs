@@ -1,0 +1,523 @@
+//! The session registry: named, concurrent, capacity-bounded interactive
+//! sessions.
+//!
+//! Concurrency model: the registry map lives under an `RwLock` (reads for
+//! lookup, writes for create/evict/remove), and every session is
+//! single-writer behind its own `Mutex<OwnedSeeker>` — two requests to the
+//! *same* session serialize, requests to *different* sessions proceed in
+//! parallel, and no request holds the registry lock while the (potentially
+//! slow) seeker work runs.
+//!
+//! Capacity: at most `max_sessions` live sessions. A session idle past
+//! `ttl` is evictable; when the cap is hit the least-recently-used session
+//! is evicted even if fresh. Eviction is not data loss: the session is
+//! snapshotted (labels + spec) to `snapshot_dir` first, and
+//! [`SessionRegistry::restore_from_disk`] rebuilds it bit-identically —
+//! the estimators are a pure function of the replayed labels.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use viewseeker_core::persist::SessionSnapshot;
+use viewseeker_core::{OwnedSeeker, Seeker, ViewSeekerConfig};
+use viewseeker_dataset::generate::{generate_diab, generate_syn, DiabConfig, SynConfig};
+use viewseeker_dataset::{Predicate, SelectQuery, Table};
+
+use crate::error::ServerError;
+
+/// Everything needed to (re)build a session's world deterministically: the
+/// named generated dataset and the view-space configuration. Doubles as the
+/// `POST /sessions` request body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Named dataset: `"diab"` or `"syn"`.
+    pub dataset: String,
+    /// Row count (default: 3000).
+    pub rows: Option<usize>,
+    /// Generator seed (default: 11).
+    pub seed: Option<u64>,
+    /// Target query: `"*"` or a SQL WHERE expression
+    /// (e.g. `"a0 = 'a0_v0'"`). Default: `"*"`.
+    pub query: Option<String>,
+    /// α partial-data ratio in `(0, 1]` (default: 1.0 = exact features).
+    pub alpha: Option<f64>,
+    /// Dimensions excluded from the view space.
+    pub exclude: Option<Vec<String>>,
+    /// Bin configurations for numeric dimensions.
+    pub bins: Option<Vec<usize>>,
+}
+
+impl SessionSpec {
+    /// A minimal spec for `dataset` with every knob defaulted.
+    #[must_use]
+    pub fn named(dataset: &str) -> Self {
+        Self {
+            dataset: dataset.to_owned(),
+            rows: None,
+            seed: None,
+            query: None,
+            alpha: None,
+            exclude: None,
+            bins: None,
+        }
+    }
+
+    /// Generates the spec's table.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::BadRequest`] for an unknown dataset name or generator
+    /// rejection.
+    pub fn build_table(&self) -> Result<Table, ServerError> {
+        let rows = self.rows.unwrap_or(3_000);
+        let seed = self.seed.unwrap_or(11);
+        let table = match self.dataset.as_str() {
+            "diab" => generate_diab(&DiabConfig::small(rows, seed)),
+            "syn" => generate_syn(&SynConfig::small(rows, seed)),
+            other => {
+                return Err(ServerError::BadRequest(format!(
+                    "unknown dataset {other:?} (expected \"diab\" or \"syn\")"
+                )))
+            }
+        };
+        table.map_err(|e| ServerError::BadRequest(format!("dataset generation: {e}")))
+    }
+
+    /// Parses the spec's query string.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::BadRequest`] for unparseable SQL.
+    pub fn build_query(&self) -> Result<SelectQuery, ServerError> {
+        let raw = self.query.as_deref().unwrap_or("*").trim();
+        if raw.is_empty() || raw == "*" {
+            return Ok(SelectQuery::new(Predicate::True));
+        }
+        let predicate = viewseeker_dataset::sql::parse_where(raw)
+            .map_err(|e| ServerError::BadRequest(format!("bad query {raw:?}: {e}")))?;
+        Ok(SelectQuery::new(predicate))
+    }
+
+    /// Translates the spec's knobs onto a default [`ViewSeekerConfig`].
+    #[must_use]
+    pub fn build_config(&self) -> ViewSeekerConfig {
+        let mut config = ViewSeekerConfig::default();
+        if let Some(alpha) = self.alpha {
+            config.alpha = alpha;
+        }
+        if let Some(exclude) = &self.exclude {
+            config.excluded_dimensions = exclude.clone();
+        }
+        if let Some(bins) = &self.bins {
+            config.bin_configs = bins.clone();
+        }
+        config
+    }
+
+    /// Builds the full session: table, query, and seeker.
+    ///
+    /// # Errors
+    ///
+    /// Spec validation plus seeker initialization errors.
+    pub fn build_seeker(&self) -> Result<OwnedSeeker, ServerError> {
+        let table = Arc::new(self.build_table()?);
+        let query = self.build_query()?;
+        Ok(Seeker::new(table, &query, self.build_config())?)
+    }
+}
+
+/// What eviction writes to disk: the spec to rebuild the world plus the
+/// snapshot to replay onto it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PersistedSession {
+    /// The session's id at eviction time (restore keeps it).
+    pub id: String,
+    /// How to rebuild the table / query / config.
+    pub spec: SessionSpec,
+    /// The labels to replay.
+    pub snapshot: SessionSnapshot,
+}
+
+/// One live session.
+pub struct SessionEntry {
+    /// The registry-assigned id.
+    pub id: String,
+    /// The spec the session was created from.
+    pub spec: SessionSpec,
+    /// The interactive session itself; lock to use.
+    pub seeker: Mutex<OwnedSeeker>,
+    last_used: Mutex<Instant>,
+}
+
+impl SessionEntry {
+    fn touch(&self) {
+        *self.last_used.lock().expect("last_used lock") = Instant::now();
+    }
+
+    fn idle(&self) -> Duration {
+        self.last_used.lock().expect("last_used lock").elapsed()
+    }
+}
+
+/// The concurrent, capacity-bounded session table.
+pub struct SessionRegistry {
+    sessions: RwLock<HashMap<String, Arc<SessionEntry>>>,
+    next_id: AtomicU64,
+    max_sessions: usize,
+    ttl: Duration,
+    snapshot_dir: Option<PathBuf>,
+}
+
+impl SessionRegistry {
+    /// Creates a registry holding at most `max_sessions` sessions, evicting
+    /// after `ttl` idle time, persisting evictees under `snapshot_dir`
+    /// (`None` = evictees are dropped after an in-memory snapshot attempt).
+    #[must_use]
+    pub fn new(max_sessions: usize, ttl: Duration, snapshot_dir: Option<PathBuf>) -> Self {
+        Self {
+            sessions: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            max_sessions: max_sessions.max(1),
+            ttl,
+            snapshot_dir,
+        }
+    }
+
+    /// Number of live sessions.
+    ///
+    /// # Panics
+    ///
+    /// On a poisoned registry lock.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.read().expect("registry lock").len()
+    }
+
+    /// Whether no session is live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(id, label_count, phase, idle)` for every live session, for the
+    /// listing endpoint.
+    #[must_use]
+    pub fn describe(&self) -> Vec<(String, usize, &'static str, Duration)> {
+        let sessions = self.sessions.read().expect("registry lock");
+        let mut out: Vec<_> = sessions
+            .values()
+            .map(|e| {
+                let seeker = e.seeker.lock().expect("session lock");
+                let phase = match seeker.phase() {
+                    viewseeker_core::SeekerPhase::ColdStart => "cold_start",
+                    viewseeker_core::SeekerPhase::Active => "active",
+                };
+                (e.id.clone(), seeker.label_count(), phase, e.idle())
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Creates a session from `spec`, evicting if the cap requires it.
+    ///
+    /// # Errors
+    ///
+    /// Spec/seeker construction errors; eviction persistence errors.
+    pub fn create(&self, spec: SessionSpec) -> Result<Arc<SessionEntry>, ServerError> {
+        let seeker = spec.build_seeker()?;
+        let id = format!("s{}", self.next_id.fetch_add(1, Ordering::SeqCst));
+        self.insert(id, spec, seeker)
+    }
+
+    /// Creates a session by replaying `persisted` labels over a freshly
+    /// rebuilt world. The persisted id is kept so clients can resume with
+    /// the handle they already hold.
+    ///
+    /// # Errors
+    ///
+    /// Spec errors, snapshot/view-space mismatches, label replay errors.
+    pub fn restore(&self, persisted: &PersistedSession) -> Result<Arc<SessionEntry>, ServerError> {
+        if self
+            .sessions
+            .read()
+            .expect("registry lock")
+            .contains_key(&persisted.id)
+        {
+            return Err(ServerError::Conflict(format!(
+                "session {:?} is already live",
+                persisted.id
+            )));
+        }
+        let table = Arc::new(persisted.spec.build_table()?);
+        let query = persisted.spec.build_query()?;
+        let seeker =
+            persisted
+                .snapshot
+                .restore_seeker(table, &query, persisted.spec.build_config())?;
+        self.insert(persisted.id.clone(), persisted.spec.clone(), seeker)
+    }
+
+    /// Reloads a previously evicted session from `snapshot_dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::NotFound`] when no snapshot file exists for `id`;
+    /// restore errors otherwise.
+    pub fn restore_from_disk(&self, id: &str) -> Result<Arc<SessionEntry>, ServerError> {
+        let path = self
+            .snapshot_path(id)
+            .ok_or_else(|| ServerError::NotFound("no snapshot directory configured".into()))?;
+        let json = std::fs::read_to_string(&path).map_err(|_| {
+            ServerError::NotFound(format!("no snapshot on disk for session {id:?}"))
+        })?;
+        let persisted: PersistedSession = serde_json::from_str(&json)
+            .map_err(|e| ServerError::Internal(format!("corrupt snapshot {path:?}: {e}")))?;
+        self.restore(&persisted)
+    }
+
+    fn insert(
+        &self,
+        id: String,
+        spec: SessionSpec,
+        seeker: OwnedSeeker,
+    ) -> Result<Arc<SessionEntry>, ServerError> {
+        let entry = Arc::new(SessionEntry {
+            id: id.clone(),
+            spec,
+            seeker: Mutex::new(seeker),
+            last_used: Mutex::new(Instant::now()),
+        });
+        let evicted = {
+            let mut sessions = self.sessions.write().expect("registry lock");
+            let mut evicted = Vec::new();
+            while sessions.len() >= self.max_sessions {
+                // Expired sessions first; otherwise the LRU one.
+                let victim = sessions
+                    .values()
+                    .max_by_key(|e| e.idle())
+                    .map(|e| e.id.clone())
+                    .expect("non-empty map at cap");
+                evicted.extend(sessions.remove(&victim));
+            }
+            sessions.insert(id, Arc::clone(&entry));
+            evicted
+        };
+        // Persist outside the registry lock: snapshotting locks the evicted
+        // session and may touch the filesystem.
+        for victim in evicted {
+            self.persist(&victim)?;
+        }
+        Ok(entry)
+    }
+
+    /// Looks a session up and refreshes its LRU clock.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::NotFound`] for an unknown id (the error message points
+    /// at `restore` when a disk snapshot exists).
+    pub fn get(&self, id: &str) -> Result<Arc<SessionEntry>, ServerError> {
+        let entry = self
+            .sessions
+            .read()
+            .expect("registry lock")
+            .get(id)
+            .cloned();
+        match entry {
+            Some(entry) => {
+                entry.touch();
+                Ok(entry)
+            }
+            None => {
+                let hint = if self.snapshot_path(id).is_some_and(|p| p.exists()) {
+                    " (evicted; POST /sessions/{id}/restore to reload it)"
+                } else {
+                    ""
+                };
+                Err(ServerError::NotFound(format!(
+                    "unknown session {id:?}{hint}"
+                )))
+            }
+        }
+    }
+
+    /// Removes a session without persisting it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::NotFound`] for an unknown id.
+    pub fn remove(&self, id: &str) -> Result<(), ServerError> {
+        self.sessions
+            .write()
+            .expect("registry lock")
+            .remove(id)
+            .map(|_| ())
+            .ok_or_else(|| ServerError::NotFound(format!("unknown session {id:?}")))
+    }
+
+    /// Evicts every session idle longer than the TTL, persisting each.
+    /// Returns the evicted ids. Called opportunistically by `/healthz`.
+    ///
+    /// # Errors
+    ///
+    /// Persistence errors (the sessions are already out of the map).
+    pub fn sweep_expired(&self) -> Result<Vec<String>, ServerError> {
+        let expired: Vec<Arc<SessionEntry>> = {
+            let mut sessions = self.sessions.write().expect("registry lock");
+            let victims: Vec<String> = sessions
+                .values()
+                .filter(|e| e.idle() > self.ttl)
+                .map(|e| e.id.clone())
+                .collect();
+            victims
+                .iter()
+                .filter_map(|id| sessions.remove(id))
+                .collect()
+        };
+        let mut ids = Vec::with_capacity(expired.len());
+        for entry in &expired {
+            self.persist(entry)?;
+            ids.push(entry.id.clone());
+        }
+        ids.sort();
+        Ok(ids)
+    }
+
+    /// Snapshots `entry` to the snapshot directory (no-op without one).
+    ///
+    /// # Errors
+    ///
+    /// Serialization or filesystem errors.
+    pub fn persist(&self, entry: &SessionEntry) -> Result<(), ServerError> {
+        let Some(path) = self.snapshot_path(&entry.id) else {
+            return Ok(());
+        };
+        let seeker = entry.seeker.lock().expect("session lock");
+        let persisted = PersistedSession {
+            id: entry.id.clone(),
+            spec: entry.spec.clone(),
+            snapshot: SessionSnapshot::from_seeker(&seeker),
+        };
+        drop(seeker);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_string_pretty(&persisted)
+            .map_err(|e| ServerError::Internal(format!("snapshot serialization: {e}")))?;
+        std::fs::write(&path, json)?;
+        Ok(())
+    }
+
+    fn snapshot_path(&self, id: &str) -> Option<PathBuf> {
+        // Ids are registry-generated (`s<n>`), but sanitize anyway since
+        // restore takes the id from the URL.
+        let safe: String = id
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+            .collect();
+        self.snapshot_dir
+            .as_ref()
+            .map(|d| d.join(format!("{safe}.json")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SessionSpec {
+        SessionSpec {
+            rows: Some(800),
+            seed: Some(5),
+            query: Some("a0 = 'a0_v0'".into()),
+            ..SessionSpec::named("diab")
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vs-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_get_remove() {
+        let registry = SessionRegistry::new(4, Duration::from_secs(60), None);
+        let entry = registry.create(spec()).unwrap();
+        assert_eq!(registry.len(), 1);
+        let again = registry.get(&entry.id).unwrap();
+        assert_eq!(again.id, entry.id);
+        assert!(registry.get("nope").is_err());
+        registry.remove(&entry.id).unwrap();
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn eviction_snapshots_and_restore_reproduces_weights() {
+        let dir = tmp_dir("evict");
+        let registry = SessionRegistry::new(1, Duration::from_secs(600), Some(dir.clone()));
+
+        let first = registry.create(spec()).unwrap();
+        let first_id = first.id.clone();
+        let weights_before = {
+            let mut seeker = first.seeker.lock().unwrap();
+            for score in [0.9, 0.1, 0.6] {
+                let v = seeker.next_views(1).unwrap()[0];
+                seeker.submit_feedback(v, score).unwrap();
+            }
+            seeker.learned_weights().unwrap().to_vec()
+        };
+        drop(first);
+
+        // Cap is 1: creating a second session evicts the first to disk.
+        let second = registry.create(spec()).unwrap();
+        assert_ne!(second.id, first_id);
+        assert_eq!(registry.len(), 1);
+        assert!(registry.get(&first_id).is_err());
+
+        let restored = registry.restore_from_disk(&first_id).unwrap();
+        assert_eq!(restored.id, first_id);
+        let seeker = restored.seeker.lock().unwrap();
+        assert_eq!(seeker.label_count(), 3);
+        let weights_after = seeker.learned_weights().unwrap();
+        assert_eq!(weights_before.len(), weights_after.len());
+        for (a, b) in weights_before.iter().zip(weights_after) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} != {b}");
+        }
+        drop(seeker);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ttl_sweep_evicts_idle_sessions() {
+        let dir = tmp_dir("ttl");
+        let registry = SessionRegistry::new(8, Duration::ZERO, Some(dir.clone()));
+        let entry = registry.create(spec()).unwrap();
+        let id = entry.id.clone();
+        drop(entry);
+        std::thread::sleep(Duration::from_millis(5));
+        let evicted = registry.sweep_expired().unwrap();
+        assert_eq!(evicted, vec![id.clone()]);
+        assert!(registry.is_empty());
+        // And it left a loadable snapshot behind.
+        registry.restore_from_disk(&id).unwrap();
+        assert_eq!(registry.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let registry = SessionRegistry::new(2, Duration::from_secs(60), None);
+        assert!(registry.create(SessionSpec::named("nope")).is_err());
+        let bad_query = SessionSpec {
+            query: Some("NOT ( VALID".into()),
+            ..spec()
+        };
+        assert!(registry.create(bad_query).is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Method + path dispatch with per-endpoint timing.
+//!
+//! Routes (session-scoped paths normalize the id segment to `:id` for
+//! metrics, so a thousand sessions share one counter per endpoint):
+//!
+//! ```text
+//! GET    /healthz
+//! POST   /sessions                       body: SessionSpec
+//! GET    /sessions
+//! POST   /sessions/restore               body: PersistedSession
+//! GET    /sessions/:id
+//! DELETE /sessions/:id
+//! GET    /sessions/:id/next?m=1
+//! POST   /sessions/:id/feedback          body: {"view": n, "score": x}
+//! GET    /sessions/:id/recommend?k=5[&lambda=0.5]
+//! POST   /sessions/:id/snapshot
+//! POST   /sessions/:id/restore
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use crate::api::{self, AppState};
+use crate::error::ServerError;
+use crate::http::{Handler, Request, Response};
+
+/// The service's request dispatcher.
+pub struct Router {
+    state: Arc<AppState>,
+}
+
+impl Router {
+    /// Wraps shared state for serving.
+    #[must_use]
+    pub fn new(state: Arc<AppState>) -> Self {
+        Self { state }
+    }
+
+    /// The shared state (tests reach through this).
+    #[must_use]
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    fn dispatch(&self, request: &Request) -> (&'static str, Result<Response, ServerError>) {
+        let state = self.state.as_ref();
+        let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        let method = request.method.as_str();
+
+        match (method, segments.as_slice()) {
+            ("GET", ["healthz"]) => ("GET /healthz", api::healthz(state).map(ok)),
+            ("POST", ["sessions"]) => (
+                "POST /sessions",
+                request
+                    .body_text()
+                    .and_then(|b| api::create_session(state, b))
+                    .map(created),
+            ),
+            ("GET", ["sessions"]) => ("GET /sessions", Ok(ok(api::list_sessions(state)))),
+            ("POST", ["sessions", "restore"]) => (
+                "POST /sessions/restore",
+                request
+                    .body_text()
+                    .and_then(|b| api::restore(state, None, b))
+                    .map(created),
+            ),
+            ("GET", ["sessions", id]) => ("GET /sessions/:id", api::get_session(state, id).map(ok)),
+            ("DELETE", ["sessions", id]) => (
+                "DELETE /sessions/:id",
+                api::delete_session(state, id)
+                    .map(|()| Response::json("{\"deleted\": true}".to_owned())),
+            ),
+            ("GET", ["sessions", id, "next"]) => (
+                "GET /sessions/:id/next",
+                request
+                    .parsed_param("m", 1usize)
+                    .and_then(|m| api::next_views(state, id, m))
+                    .map(ok),
+            ),
+            ("POST", ["sessions", id, "feedback"]) => (
+                "POST /sessions/:id/feedback",
+                request
+                    .body_text()
+                    .and_then(|b| api::feedback(state, id, b))
+                    .map(ok),
+            ),
+            ("GET", ["sessions", id, "recommend"]) => (
+                "GET /sessions/:id/recommend",
+                (|| {
+                    let k = request.parsed_param("k", 5usize)?;
+                    let lambda = match request.query_param("lambda") {
+                        None => None,
+                        Some(_) => Some(request.parsed_param("lambda", 0.5f64)?),
+                    };
+                    api::recommend(state, id, k, lambda)
+                })()
+                .map(ok),
+            ),
+            ("POST", ["sessions", id, "snapshot"]) => (
+                "POST /sessions/:id/snapshot",
+                api::snapshot(state, id).map(ok),
+            ),
+            ("POST", ["sessions", id, "restore"]) => (
+                "POST /sessions/:id/restore",
+                api::restore(state, Some(id), "").map(created),
+            ),
+            _ => (
+                "unmatched",
+                Err(ServerError::NotFound(format!(
+                    "no route for {method} {}",
+                    request.path
+                ))),
+            ),
+        }
+    }
+}
+
+fn render<T: Serialize>(status: u16, payload: &T) -> Response {
+    match serde_json::to_string(payload) {
+        Ok(body) => Response::with_status(status, body),
+        Err(e) => Response::with_status(
+            500,
+            format!("{{\"error\": {:?}}}", format!("serialization: {e}")),
+        ),
+    }
+}
+
+fn ok<T: Serialize>(payload: T) -> Response {
+    render(200, &payload)
+}
+
+fn created<T: Serialize>(payload: T) -> Response {
+    render(201, &payload)
+}
+
+impl Handler for Router {
+    fn handle(&self, request: &Request) -> Response {
+        let start = Instant::now();
+        let (route, result) = self.dispatch(request);
+        let response = result.unwrap_or_else(|e| {
+            Response::with_status(e.status(), format!("{{\"error\": {:?}}}", e.message()))
+        });
+        self.state.metrics.record(route, start.elapsed());
+        response
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::SessionRegistry;
+    use std::time::Duration;
+
+    fn router() -> Router {
+        Router::new(api::shared_state(SessionRegistry::new(
+            4,
+            Duration::from_secs(600),
+            None,
+        )))
+    }
+
+    fn req(method: &str, path_and_query: &str, body: &str) -> Request {
+        let (path, query) = match path_and_query.split_once('?') {
+            Some((p, q)) => (
+                p.to_owned(),
+                q.split('&')
+                    .map(|pair| {
+                        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                        (k.to_owned(), v.to_owned())
+                    })
+                    .collect(),
+            ),
+            None => (path_and_query.to_owned(), Vec::new()),
+        };
+        Request {
+            method: method.to_owned(),
+            path,
+            query,
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn routes_full_loop_and_records_metrics() {
+        let r = router();
+        let reply = r.handle(&req(
+            "POST",
+            "/sessions",
+            r#"{"dataset": "diab", "rows": 800, "seed": 5, "query": "a0 = 'a0_v0'"}"#,
+        ));
+        assert_eq!(reply.status, 201, "{}", reply.body);
+        assert!(reply.body.contains("\"id\":\"s1\""), "{}", reply.body);
+
+        let reply = r.handle(&req("GET", "/sessions/s1/next?m=2", ""));
+        assert_eq!(reply.status, 200, "{}", reply.body);
+
+        let reply = r.handle(&req(
+            "POST",
+            "/sessions/s1/feedback",
+            r#"{"view": 0, "score": 0.8}"#,
+        ));
+        assert_eq!(reply.status, 200, "{}", reply.body);
+
+        let reply = r.handle(&req("GET", "/sessions/s1/recommend?k=3", ""));
+        assert_eq!(reply.status, 200, "{}", reply.body);
+
+        let reply = r.handle(&req("GET", "/healthz", ""));
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("POST /sessions"), "{}", reply.body);
+        assert!(reply.body.contains("p99_us"), "{}", reply.body);
+
+        let reply = r.handle(&req("GET", "/nope", ""));
+        assert_eq!(reply.status, 404);
+        let reply = r.handle(&req("PATCH", "/sessions", ""));
+        assert_eq!(reply.status, 404);
+    }
+
+    #[test]
+    fn query_parameter_errors_are_400s() {
+        let r = router();
+        r.handle(&req(
+            "POST",
+            "/sessions",
+            r#"{"dataset": "diab", "rows": 800, "seed": 5}"#,
+        ));
+        let reply = r.handle(&req("GET", "/sessions/s1/next?m=many", ""));
+        assert_eq!(reply.status, 400, "{}", reply.body);
+        let reply = r.handle(&req("GET", "/sessions/s1/recommend?k=0x5", ""));
+        assert_eq!(reply.status, 400, "{}", reply.body);
+    }
+}

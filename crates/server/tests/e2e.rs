@@ -1,0 +1,218 @@
+//! End-to-end test over real HTTP: one server, many concurrent client
+//! threads, each driving the full interactive loop (create → next-views →
+//! feedback ×n → recommend → snapshot → restore) through actual TCP
+//! sockets. Verifies session isolation, eviction-snapshot fidelity, and the
+//! `/healthz` metrics contract.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use viewseeker_server::{serve_app, ServerConfig};
+
+/// Minimal HTTP/1.1 client: one connection per request, returns
+/// `(status, body)`.
+fn call(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("receive");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {raw:?}"));
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+/// Pulls `"key":<value>` out of a flat JSON object without a parser
+/// (values this test reads are numbers and simple strings).
+fn json_field<'a>(body: &'a str, key: &str) -> &'a str {
+    let needle = format!("\"{key}\":");
+    let start = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {key:?} in {body}"))
+        + needle.len();
+    let rest = &body[start..];
+    let end = rest
+        .char_indices()
+        .find(|(i, c)| (*c == ',' || *c == '}' || *c == ']') && !rest[..*i].ends_with('\\'))
+        .map_or(rest.len(), |(i, _)| i);
+    rest[..end].trim_matches('"')
+}
+
+fn spec(seed: u64) -> String {
+    format!(
+        "{{\"dataset\": \"diab\", \"rows\": 800, \"seed\": {seed}, \"query\": \"a0 = 'a0_v0'\"}}"
+    )
+}
+
+/// One client's full interactive loop; returns `(session_id, top1_view)`.
+fn drive_session(addr: SocketAddr, seed: u64, labels: &[f64]) -> (String, String) {
+    let (status, body) = call(addr, "POST", "/sessions", &spec(seed));
+    assert_eq!(status, 201, "{body}");
+    let id = json_field(&body, "id").to_owned();
+
+    for score in labels {
+        let (status, body) = call(addr, "GET", &format!("/sessions/{id}/next?m=1"), "");
+        assert_eq!(status, 200, "{body}");
+        let view = json_field(&body, "id").to_owned();
+        let (status, body) = call(
+            addr,
+            "POST",
+            &format!("/sessions/{id}/feedback"),
+            &format!("{{\"view\": {view}, \"score\": {score}}}"),
+        );
+        assert_eq!(status, 200, "{body}");
+    }
+
+    let (status, body) = call(addr, "GET", &format!("/sessions/{id}/recommend?k=3"), "");
+    assert_eq!(status, 200, "{body}");
+    let top1 = json_field(&body, "id").to_owned();
+    (id, top1)
+}
+
+#[test]
+fn concurrent_sessions_full_loop_over_http() {
+    let dir = std::env::temp_dir().join(format!("vs-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = serve_app(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        max_sessions: 32,
+        ttl: Duration::from_secs(600),
+        snapshot_dir: Some(dir.clone()),
+    })
+    .expect("bind");
+    let addr = handle.addr();
+
+    // --- 8 concurrent clients, each with its own session and distinct
+    // feedback; all drive the loop at the same time over real sockets. ---
+    let outcomes: Vec<(u64, String, String)> = std::thread::scope(|s| {
+        let threads: Vec<_> = (0..8u64)
+            .map(|client| {
+                s.spawn(move || {
+                    // Distinct label sequences per client.
+                    let labels: Vec<f64> = (0..4)
+                        .map(|i| ((client + 1) as f64 * (i + 1) as f64 * 0.031) % 1.0)
+                        .collect();
+                    let (id, top1) = drive_session(addr, client % 3, &labels);
+                    (client, id, top1)
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| t.join().expect("client"))
+            .collect()
+    });
+
+    // Sessions are isolated: every client got a distinct id...
+    let mut ids: Vec<&str> = outcomes.iter().map(|(_, id, _)| id.as_str()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 8, "expected 8 distinct sessions: {outcomes:?}");
+    // ...and each holds exactly its own 4 labels.
+    for (_, id, _) in &outcomes {
+        let (status, body) = call(addr, "GET", &format!("/sessions/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(json_field(&body, "labels"), "4", "{body}");
+    }
+
+    // --- snapshot → delete → restore round trip over HTTP ---
+    let (_, id, top1) = &outcomes[0];
+    let (status, snapshot_body) = call(addr, "POST", &format!("/sessions/{id}/snapshot"), "");
+    assert_eq!(status, 200, "{snapshot_body}");
+    let (status, _) = call(addr, "DELETE", &format!("/sessions/{id}"), "");
+    assert_eq!(status, 200);
+    let (status, body) = call(addr, "POST", "/sessions/restore", &snapshot_body);
+    assert_eq!(status, 201, "{body}");
+    assert_eq!(json_field(&body, "id"), id, "{body}");
+    assert_eq!(json_field(&body, "labels"), "4", "{body}");
+    // The restored session ranks views exactly as the original did.
+    let (status, body) = call(addr, "GET", &format!("/sessions/{id}/recommend?k=3"), "");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(&json_field(&body, "id").to_owned(), top1, "{body}");
+
+    // --- healthz: per-endpoint counts and latency percentiles ---
+    let (status, body) = call(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    for route in [
+        "POST /sessions",
+        "GET /sessions/:id/next",
+        "POST /sessions/:id/feedback",
+        "GET /sessions/:id/recommend",
+    ] {
+        assert!(body.contains(route), "missing {route} in {body}");
+    }
+    for field in ["\"count\":", "\"p50_us\":", "\"p90_us\":", "\"p99_us\":"] {
+        assert!(body.contains(field), "missing {field} in {body}");
+    }
+    // 8 clients × 4 labels = 32 feedback calls were counted.
+    let feedback_section = body
+        .split("POST /sessions/:id/feedback")
+        .nth(1)
+        .expect("feedback section");
+    assert_eq!(json_field(feedback_section, "count"), "32", "{body}");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eviction_over_http_is_restorable_with_identical_weights() {
+    let dir = std::env::temp_dir().join(format!("vs-e2e-evict-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = serve_app(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        max_sessions: 1, // every create evicts the previous session
+        ttl: Duration::from_secs(600),
+        snapshot_dir: Some(dir.clone()),
+    })
+    .expect("bind");
+    let addr = handle.addr();
+
+    let (first, _) = drive_session(addr, 1, &[0.9, 0.2, 0.6]);
+    // Capture the live session's weights via its snapshot endpoint.
+    let (status, before) = call(addr, "POST", &format!("/sessions/{first}/snapshot"), "");
+    assert_eq!(status, 200, "{before}");
+    let weights_before = before
+        .split("\"learned_weights\":")
+        .nth(1)
+        .expect("weights")
+        .to_owned();
+
+    // A second create evicts the first session (cap = 1)...
+    let (second, _) = drive_session(addr, 2, &[0.5]);
+    assert_ne!(first, second);
+    let (status, body) = call(addr, "GET", &format!("/sessions/{first}"), "");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("restore"), "{body}");
+
+    // ...which evicts the *second* when the first is restored from disk;
+    // the restored weights are bit-identical (JSON renders f64 exactly).
+    let (status, body) = call(addr, "POST", &format!("/sessions/{first}/restore"), "");
+    assert_eq!(status, 201, "{body}");
+    assert_eq!(json_field(&body, "labels"), "3", "{body}");
+    let (status, after) = call(addr, "POST", &format!("/sessions/{first}/snapshot"), "");
+    assert_eq!(status, 200, "{after}");
+    let weights_after = after
+        .split("\"learned_weights\":")
+        .nth(1)
+        .expect("weights")
+        .to_owned();
+    assert_eq!(weights_before, weights_after);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

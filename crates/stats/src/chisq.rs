@@ -39,7 +39,10 @@ pub struct ChiSquaredResult {
 ///   expected mass (the test is undefined).
 /// * [`StatsError::InvalidDistribution`] if `observed` contains a negative or
 ///   non-finite count or sums to zero.
-pub fn chi_squared_gof(observed: &[f64], null: &Distribution) -> Result<ChiSquaredResult, StatsError> {
+pub fn chi_squared_gof(
+    observed: &[f64],
+    null: &Distribution,
+) -> Result<ChiSquaredResult, StatsError> {
     if observed.len() != null.len() {
         return Err(StatsError::LengthMismatch {
             left: observed.len(),

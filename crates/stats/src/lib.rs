@@ -32,7 +32,9 @@ pub use distance::{
     earth_movers_distance, kl_divergence, l1_distance, l2_distance, max_deviation, Distance,
 };
 pub use distribution::Distribution;
-pub use summary::{mean, min_max_normalize, population_variance, rank_descending, sum_squared_error};
+pub use summary::{
+    mean, min_max_normalize, population_variance, rank_descending, sum_squared_error,
+};
 
 /// Errors produced by statistical routines in this crate.
 #[derive(Debug, Clone, PartialEq, Eq)]

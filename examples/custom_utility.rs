@@ -40,12 +40,8 @@ fn main() {
     println!("user's true (hidden) utility: {}\n", custom.name());
 
     // Ground-truth features for the whole view space.
-    let mut seeker = ViewSeeker::new(
-        &testbed.table,
-        &testbed.query,
-        ViewSeekerConfig::default(),
-    )
-    .expect("session");
+    let mut seeker = ViewSeeker::new(&testbed.table, &testbed.query, ViewSeekerConfig::default())
+        .expect("session");
     let truth = seeker.feature_matrix().clone();
     let true_scores = custom.normalized_scores(&truth).expect("scores");
 
@@ -53,7 +49,10 @@ fn main() {
     const K: usize = 10;
     let ideal_top = custom.top_k(&truth, K).expect("ideal top-k");
     println!("fixed SeeDB-style rankers against the hidden utility:");
-    println!("  {:<18} {:>12} {:>18}", "method", "precision@10", "utility distance");
+    println!(
+        "  {:<18} {:>12} {:>18}",
+        "method", "precision@10", "utility distance"
+    );
     for ranker in SingleFeatureRanker::all() {
         let top = ranker.top_k(&truth, K);
         let p = tie_aware_precision_at_k(&true_scores, &top, K);

@@ -48,12 +48,8 @@ fn main() {
 
     // Show the final recommendation with a fresh session driven the same
     // way, so we can print the actual views.
-    let mut seeker = ViewSeeker::new(
-        &testbed.table,
-        &testbed.query,
-        ViewSeekerConfig::default(),
-    )
-    .expect("session");
+    let mut seeker = ViewSeeker::new(&testbed.table, &testbed.query, ViewSeekerConfig::default())
+        .expect("session");
     let truth = seeker.feature_matrix().clone();
     let user = SimulatedUser::new(&clinician.utility, &truth).expect("user");
     for _ in 0..outcome.labels_used {

@@ -26,7 +26,11 @@ fn telemetry_table(rows: usize, seed: u64) -> Table {
 
     for _ in 0..rows {
         let h: f64 = rng.gen_range(0.0..24.0);
-        let c = if rng.gen_bool(0.2) { "canary" } else { "stable" };
+        let c = if rng.gen_bool(0.2) {
+            "canary"
+        } else {
+            "stable"
+        };
         // The canary cohort leaks errors during the nightly batch window.
         let base_err = 0.5 + 0.2 * (h / 24.0 * std::f64::consts::TAU).sin();
         let err = if c == "canary" && (2.0..6.0).contains(&h) {
@@ -97,11 +101,8 @@ fn main() {
     );
 
     // The engineer's taste: significant deviations (p-value + EMD).
-    let taste = CompositeUtility::new(&[
-        (UtilityFeature::PValue, 0.5),
-        (UtilityFeature::Emd, 0.5),
-    ])
-    .expect("taste");
+    let taste = CompositeUtility::new(&[(UtilityFeature::PValue, 0.5), (UtilityFeature::Emd, 0.5)])
+        .expect("taste");
     let truth = taste
         .normalized_scores(seeker.feature_matrix())
         .expect("scores");
@@ -110,7 +111,9 @@ fn main() {
         let Some(v) = seeker.next_views(1).expect("next").pop() else {
             break;
         };
-        seeker.submit_feedback(v, truth[v.index()]).expect("feedback");
+        seeker
+            .submit_feedback(v, truth[v.index()])
+            .expect("feedback");
         labels += 1;
     }
 
@@ -122,13 +125,9 @@ fn main() {
 
     // Draw the winner as a pair of 24-point sparklines.
     let best = seeker.view_space().def(top[0]).expect("def").clone();
-    let data = viewseeker_core::viewgen::materialize_view(
-        &table,
-        seeker.dq(),
-        &table.all_rows(),
-        &best,
-    )
-    .expect("materialize");
+    let data =
+        viewseeker_core::viewgen::materialize_view(&table, seeker.dq(), &table.all_rows(), &best)
+            .expect("materialize");
     println!("\n{best} — hourly profile (each char = 1 hour, 00:00 → 23:00):");
     println!("  canary {}", sparkline(data.target.masses()));
     println!("  all    {}", sparkline(data.reference.masses()));

@@ -84,8 +84,17 @@ fn bar_chart(labels: &[String], target: &[f64], reference: &[f64]) {
         .fold(f64::MIN_POSITIVE, f64::max);
     for (i, label) in labels.iter().enumerate() {
         let bar = |v: f64| "#".repeat(((v / max) * 40.0).round() as usize);
-        println!("  {label:<10} team   {:<42} {:.3}", bar(target[i]), target[i]);
-        println!("  {:<10} league {:<42} {:.3}", "", bar(reference[i]), reference[i]);
+        println!(
+            "  {label:<10} team   {:<42} {:.3}",
+            bar(target[i]),
+            target[i]
+        );
+        println!(
+            "  {:<10} league {:<42} {:.3}",
+            "",
+            bar(reference[i]),
+            reference[i]
+        );
     }
 }
 
@@ -111,11 +120,9 @@ fn main() {
     // is, in effect, "large deviations from the league, in views whose bars
     // faithfully summarize the underlying rows" — a deviation + accuracy
     // composite ViewSeeker is built to discover.
-    let hidden_taste = CompositeUtility::new(&[
-        (UtilityFeature::Emd, 0.5),
-        (UtilityFeature::Accuracy, 0.5),
-    ])
-    .expect("composite");
+    let hidden_taste =
+        CompositeUtility::new(&[(UtilityFeature::Emd, 0.5), (UtilityFeature::Accuracy, 0.5)])
+            .expect("composite");
     let ratings = hidden_taste
         .normalized_scores(seeker.feature_matrix())
         .expect("scores");
@@ -135,16 +142,19 @@ fn main() {
     let top = seeker.recommend(3).expect("recommend");
     println!("ViewSeeker's top recommendations:");
     for (rank, view) in top.iter().enumerate() {
-        println!("  {}. {}", rank + 1, seeker.view_space().def(*view).unwrap());
+        println!(
+            "  {}. {}",
+            rank + 1,
+            seeker.view_space().def(*view).unwrap()
+        );
     }
 
     // Render the #1 view as the Figure 1 style comparison.
     let best = seeker.view_space().def(top[0]).expect("view def").clone();
     let dq = seeker.dq().clone();
     let spec = viewseeker_core::viewgen::bin_spec_for(&table, &best).expect("bins");
-    let data =
-        viewseeker_core::viewgen::materialize_view(&table, &dq, &table.all_rows(), &best)
-            .expect("materialize");
+    let data = viewseeker_core::viewgen::materialize_view(&table, &dq, &table.all_rows(), &best)
+        .expect("materialize");
     println!("\n{best} — selected team (target) vs league (reference):\n");
     let labels_txt: Vec<String> = (0..spec.bin_count()).map(|b| spec.label(b)).collect();
     bar_chart(&labels_txt, data.target.masses(), data.reference.masses());

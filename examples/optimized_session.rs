@@ -40,7 +40,10 @@ fn main() {
         testbed.table.row_count(),
         testbed.selectivity * 100.0
     );
-    println!("hidden ideal utility: {}\n", ideal_functions()[3].utility.name());
+    println!(
+        "hidden ideal utility: {}\n",
+        ideal_functions()[3].utility.name()
+    );
 
     let exact = ViewSeekerConfig::default();
     // The paper's optimized setup: 10% rough pass, refinement inside a

@@ -24,14 +24,20 @@ fn main() {
     // 2. The exploration subset DQ: one cohort of records.
     let query = SelectQuery::new(Predicate::eq("a0", "a0_v0"));
     let dq = query.execute(&table).expect("execute query");
-    println!("query selects {} rows ({:.1}% of the data)\n", dq.len(),
-        100.0 * dq.len() as f64 / table.row_count() as f64);
+    println!(
+        "query selects {} rows ({:.1}% of the data)\n",
+        dq.len(),
+        100.0 * dq.len() as f64 / table.row_count() as f64
+    );
 
     // 3. Start a session. The offline phase enumerates all 280 candidate
     //    views and computes their 8 utility features.
     let mut seeker =
         ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).expect("init session");
-    println!("view space: {} candidate views\n", seeker.view_space().len());
+    println!(
+        "view space: {} candidate views\n",
+        seeker.view_space().len()
+    );
 
     // 4. The interactive loop. A real application shows each view to a
     //    human; here a scripted user loves high-deviation (EMD) views.
@@ -42,7 +48,9 @@ fn main() {
     let mut labels = 0;
     while let Some(view) = seeker.next_views(1).expect("select view").pop() {
         let feedback = scores[view.index()];
-        seeker.submit_feedback(view, feedback).expect("record feedback");
+        seeker
+            .submit_feedback(view, feedback)
+            .expect("record feedback");
         labels += 1;
         println!(
             "label {labels:>2}: {:<38} feedback {:.2}  [{:?} phase]",
@@ -64,7 +72,11 @@ fn main() {
     //    utility-function weights (the β of u* = Σ βᵢ·uᵢ).
     println!("\ntop-5 recommended views after {labels} labels:");
     for (rank, view) in seeker.recommend(5).expect("recommend").iter().enumerate() {
-        println!("  {}. {}", rank + 1, seeker.view_space().def(*view).unwrap());
+        println!(
+            "  {}. {}",
+            rank + 1,
+            seeker.view_space().def(*view).unwrap()
+        );
     }
     let weights = seeker.learned_weights().expect("fitted estimator");
     println!("\nlearned utility weights:");

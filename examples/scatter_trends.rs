@@ -78,16 +78,14 @@ fn main() {
     // Scatter view space: every pair of the 4 measures on an 8×8 grid.
     let space = ScatterSpace::enumerate(&table, 8).expect("scatter space");
     println!("scatter view space: {} measure pairs", space.len());
-    let matrix = scatter_feature_matrix(&table, &dq, &table.all_rows(), &space, 64.0)
-        .expect("features");
+    let matrix =
+        scatter_feature_matrix(&table, &dq, &table.all_rows(), &space, 64.0).expect("features");
 
     // The simulated analyst likes views whose DQ density departs from the
     // global density AND whose trend line fits tightly (EMD + Accuracy).
-    let taste = CompositeUtility::new(&[
-        (UtilityFeature::Emd, 0.5),
-        (UtilityFeature::Accuracy, 0.5),
-    ])
-    .expect("taste");
+    let taste =
+        CompositeUtility::new(&[(UtilityFeature::Emd, 0.5), (UtilityFeature::Accuracy, 0.5)])
+            .expect("taste");
     let truth = taste.normalized_scores(&matrix).expect("scores");
 
     let mut session = FeedbackSession::new(matrix, ViewSeekerConfig::default()).expect("session");

@@ -61,10 +61,9 @@ pub use viewseeker_stats as stats;
 pub mod prelude {
     pub use viewseeker_core::scatter::{ScatterSpace, ScatterViewDef};
     pub use viewseeker_core::{
-        precision_at_k, tie_aware_precision_at_k, utility_distance, CompositeUtility,
-        CoreError, FeatureMatrix, FeedbackSession, QueryStrategyKind, RefineBudget,
-        SeekerPhase, SessionSnapshot, UtilityFeature, ViewDef, ViewId, ViewSeeker,
-        ViewSeekerConfig, ViewSpace,
+        precision_at_k, tie_aware_precision_at_k, utility_distance, CompositeUtility, CoreError,
+        FeatureMatrix, FeedbackSession, QueryStrategyKind, RefineBudget, SeekerPhase,
+        SessionSnapshot, UtilityFeature, ViewDef, ViewId, ViewSeeker, ViewSeekerConfig, ViewSpace,
     };
     pub use viewseeker_dataset::generate::{
         generate_diab, generate_syn, hypercube_query, DiabConfig, HypercubeConfig, SynConfig,

@@ -77,7 +77,11 @@ fn syn_testbed_sessions_work() {
         },
     )
     .expect("session");
-    assert!(outcome.converged, "SYN session used {}", outcome.labels_used);
+    assert!(
+        outcome.converged,
+        "SYN session used {}",
+        outcome.labels_used
+    );
 }
 
 #[test]

@@ -16,11 +16,8 @@ fn scatter_session_end_to_end() {
     let space = ScatterSpace::enumerate(&table, 6).unwrap();
     let matrix = scatter_feature_matrix(&table, &dq, &table.all_rows(), &space, 36.0).unwrap();
 
-    let ideal = CompositeUtility::new(&[
-        (UtilityFeature::L1, 0.5),
-        (UtilityFeature::PValue, 0.5),
-    ])
-    .unwrap();
+    let ideal =
+        CompositeUtility::new(&[(UtilityFeature::L1, 0.5), (UtilityFeature::PValue, 0.5)]).unwrap();
     let truth = ideal.normalized_scores(&matrix).unwrap();
     let mut session = FeedbackSession::new(matrix, ViewSeekerConfig::default()).unwrap();
     let mut converged = false;
@@ -59,7 +56,10 @@ fn snapshot_round_trip_through_json_and_disk_format() {
         .unwrap()
         .restore_seeker(&table, &query, ViewSeekerConfig::default())
         .unwrap();
-    assert_eq!(restored.recommend(10).unwrap(), seeker.recommend(10).unwrap());
+    assert_eq!(
+        restored.recommend(10).unwrap(),
+        seeker.recommend(10).unwrap()
+    );
 
     // A resumed session continues seamlessly: next view differs from any
     // already-labeled one.
@@ -100,7 +100,11 @@ fn fine_binning_acts_as_line_charts() {
     let seeker = ViewSeeker::new(&table, &query, config).unwrap();
     // 5 numeric dims × 5 measures × 5 aggregates × 1 bin config.
     assert_eq!(seeker.view_space().len(), 125);
-    assert!(seeker.view_space().defs().iter().all(|d| d.bins == Some(24)));
+    assert!(seeker
+        .view_space()
+        .defs()
+        .iter()
+        .all(|d| d.bins == Some(24)));
 }
 
 #[test]
@@ -131,7 +135,7 @@ fn equal_frequency_binning_integrates_with_aggregation() {
 
 #[test]
 fn feedback_session_update_matrix_keeps_rankings_consistent() {
-    use viewseeker_core::features::{FEATURE_COUNT, FeatureMatrix};
+    use viewseeker_core::features::{FeatureMatrix, FEATURE_COUNT};
 
     let raws: Vec<[f64; FEATURE_COUNT]> = (0..20)
         .map(|i| {

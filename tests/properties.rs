@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use viewseeker::prelude::*;
-use viewseeker_core::viewgen::materialize_view;
 use viewseeker_core::features::compute_features;
+use viewseeker_core::viewgen::materialize_view;
 use viewseeker_core::ViewDef;
 use viewseeker_dataset::aggregate::{group_by_aggregate, AggregateFunction};
 use viewseeker_dataset::BinSpec;

@@ -1,0 +1,12 @@
+//! Vendored, dependency-free subset of the `crossbeam` crate API.
+//!
+//! Implemented over std: [`thread::scope`] wraps `std::thread::scope`
+//! (available since Rust 1.63) behind crossbeam's `Result`-returning,
+//! `|scope|`-passing signature, and [`channel`] provides a multi-producer
+//! **multi-consumer** queue (std's `mpsc` is single-consumer) built from a
+//! `Mutex<VecDeque>` + `Condvar` — exactly what a fixed worker pool needs.
+
+pub mod channel;
+pub mod thread;
+
+pub use thread::scope;

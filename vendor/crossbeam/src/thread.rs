@@ -1,0 +1,100 @@
+//! Scoped threads with the crossbeam calling convention.
+
+use std::any::Any;
+
+/// Handle passed to [`scope`]'s closure and to every spawned closure.
+///
+/// A thin shim over `std::thread::Scope`; it is `Copy` so spawned closures
+/// can themselves spawn.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+/// Join handle of a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result, or the panic payload.
+    ///
+    /// # Errors
+    ///
+    /// The boxed panic payload if the thread panicked.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope handle (so it
+    /// can spawn siblings), matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Runs `f` with a scope in which borrowing, scoped threads can be spawned;
+/// all are joined before `scope` returns.
+///
+/// # Errors
+///
+/// Crossbeam reports unjoined-child panics through `Err`; the std scope
+/// underneath instead propagates such panics directly, so this shim's error
+/// arm is never taken — callers' `.expect()` guards remain correct.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(3)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum()
+        })
+        .expect("scope failed");
+        assert_eq!(total, 36);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_handle() {
+        let n = scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

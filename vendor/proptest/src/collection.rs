@@ -1,0 +1,82 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// Accepted length specifications for [`vec`]: an exact `usize` or a
+/// half-open `Range<usize>`.
+#[derive(Debug, Clone)]
+pub enum SizeBounds {
+    /// Exactly this many elements.
+    Fixed(usize),
+    /// A length drawn uniformly from the range.
+    Range(std::ops::Range<usize>),
+}
+
+impl From<usize> for SizeBounds {
+    fn from(n: usize) -> Self {
+        SizeBounds::Fixed(n)
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeBounds {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        SizeBounds::Range(r)
+    }
+}
+
+impl SizeBounds {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        match self {
+            SizeBounds::Fixed(n) => *n,
+            SizeBounds::Range(r) if r.start >= r.end => r.start,
+            SizeBounds::Range(r) => rng.gen_range(r.clone()),
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeBounds,
+}
+
+/// Generates vectors whose elements come from `element` and whose length is
+/// governed by `size` (a `usize` or `Range<usize>`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeBounds>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::deterministic_rng;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = deterministic_rng("collection::lengths");
+        let fixed = vec(0.0f64..1.0, 7usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 7);
+        let ranged = vec(0u32..5, 1..4usize);
+        for _ in 0..100 {
+            let v = ranged.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 5));
+        }
+        let empty_range = vec(0u32..5, 0..0usize);
+        assert!(empty_range.generate(&mut rng).is_empty());
+    }
+}

@@ -1,0 +1,5 @@
+//! The customary `use proptest::prelude::*;` import surface.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::Config as ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, proptest};

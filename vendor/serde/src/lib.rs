@@ -1,0 +1,348 @@
+//! Vendored, dependency-light subset of the `serde` data model.
+//!
+//! The build environment is fully offline, so the workspace vendors a small
+//! serde-compatible facade: `#[derive(Serialize, Deserialize)]` (provided by
+//! the sibling `serde_derive` proc-macro crate) plus blanket impls for the
+//! std types the repo serializes. Instead of serde's visitor architecture,
+//! everything funnels through an owned JSON-like [`Value`] tree — `serde_json`
+//! (also vendored) renders and parses that tree. The public surface matches
+//! what this workspace uses; it is not a general serde replacement.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::{obj_get, write_json_number, write_json_string, Number, Value};
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// An "expected X while deserializing Y" error.
+    #[must_use]
+    pub fn expected(what: &str, context: &str) -> Self {
+        Error(format!("expected {what} while deserializing {context}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] when the tree's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(Number::PosInt(n)) => <$t>::try_from(*n)
+                        .map_err(|_| Error::expected("smaller integer", stringify!($t))),
+                    _ => Err(Error::expected("unsigned integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 {
+                    Value::Number(Number::NegInt(n))
+                } else {
+                    Value::Number(Number::PosInt(n as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(Number::PosInt(n)) => <$t>::try_from(*n)
+                        .map_err(|_| Error::expected("smaller integer", stringify!($t))),
+                    Value::Number(Number::NegInt(n)) => <$t>::try_from(*n)
+                        .map_err(|_| Error::expected("smaller integer", stringify!($t))),
+                    _ => Err(Error::expected("signed integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(Number::Float(x)) => Ok(*x),
+            Value::Number(Number::PosInt(n)) => Ok(*n as f64),
+            Value::Number(Number::NegInt(n)) => Ok(*n as f64),
+            _ => Err(Error::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("boolean", "bool")),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        // Matches real serde's representation: a struct of secs + nanos.
+        Value::Object(vec![
+            ("secs".to_string(), self.as_secs().to_value()),
+            ("nanos".to_string(), self.subsec_nanos().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => {
+                let secs = u64::from_value(obj_get(fields, "secs"))?;
+                let nanos = u32::from_value(obj_get(fields, "nanos"))?;
+                Ok(std::time::Duration::new(secs, nanos))
+            }
+            _ => Err(Error::expected("object", "Duration")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::expected("array", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_value(item)?;
+                }
+                Ok(out)
+            }
+            _ => Err(Error::expected("fixed-size array", "array")),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == [$($idx),+].len() => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(Error::expected("tuple array", "tuple")),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+impl<K: Serialize + std::fmt::Display, V: Serialize> Serialize
+    for std::collections::BTreeMap<K, V>
+{
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1usize, 2.5f64), (3, 4.5)];
+        assert_eq!(Vec::<(usize, f64)>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<Vec<f64>> = Some(vec![1.0, 2.0]);
+        assert_eq!(Option::<Vec<f64>>::from_value(&o.to_value()).unwrap(), o);
+        let none: Option<Vec<f64>> = None;
+        assert_eq!(
+            Option::<Vec<f64>>::from_value(&none.to_value()).unwrap(),
+            none
+        );
+        let arr = [1.0f64, 2.0, 3.0];
+        assert_eq!(<[f64; 3]>::from_value(&arr.to_value()).unwrap(), arr);
+    }
+
+    #[test]
+    fn shape_mismatches_error() {
+        assert!(u32::from_value(&Value::String("x".into())).is_err());
+        assert!(Vec::<f64>::from_value(&Value::Bool(true)).is_err());
+        assert!(<[f64; 3]>::from_value(&vec![1.0f64].to_value()).is_err());
+        assert!(u8::from_value(&300u32.to_value()).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! The owned value tree all (de)serialization funnels through.
+
+/// A JSON-shaped dynamic value.
+///
+/// Objects are stored as insertion-ordered `(key, value)` pairs so that
+/// rendered output is stable and snapshots diff cleanly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integer fidelity is preserved separately from floats).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An insertion-ordered map.
+    Object(Vec<(String, Value)>),
+}
+
+/// Numeric payload of [`Value::Number`].
+///
+/// Keeping integers and floats distinct preserves `u64`/`i64` exactly and
+/// lets floats round-trip bit-identically through their shortest decimal
+/// representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A float.
+    Float(f64),
+}
+
+/// Looks up `key` in an object's field list, yielding `Null` for a missing
+/// key (the derive layer maps `Null` to `None` for `Option` fields).
+#[must_use]
+pub fn obj_get<'a>(fields: &'a [(String, Value)], key: &str) -> &'a Value {
+    static NULL: Value = Value::Null;
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map_or(&NULL, |(_, v)| v)
+}
+
+impl Value {
+    /// The object's field list, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array's items, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Float(x)) => Some(*x),
+            Value::Number(Number::PosInt(n)) => Some(*n as f64),
+            Value::Number(Number::NegInt(n)) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects: `value.get("key")`.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Writes `s` as a JSON string literal with all required escapes.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes a number in JSON syntax.
+///
+/// Floats use Rust's shortest round-trip decimal rendering, with a `.0`
+/// appended when integral so the token parses back as a float; non-finite
+/// floats render as `null` (JSON has no representation for them).
+pub fn write_json_number(out: &mut String, n: &Number) {
+    match n {
+        Number::PosInt(v) => {
+            let _ = std::fmt::Write::write_fmt(out, format_args!("{v}"));
+        }
+        Number::NegInt(v) => {
+            let _ = std::fmt::Write::write_fmt(out, format_args!("{v}"));
+        }
+        Number::Float(x) => {
+            if !x.is_finite() {
+                out.push_str("null");
+            } else {
+                let start = out.len();
+                let _ = std::fmt::Write::write_fmt(out, format_args!("{x}"));
+                if !out[start..].contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    /// Compact JSON rendering.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        write_compact(&mut out, self);
+        f.write_str(&out)
+    }
+}
+
+fn write_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_json_number(out, n),
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(out, k);
+                out.push(':');
+                write_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! facade.
+//!
+//! The offline build environment has neither `syn` nor `quote`, so this
+//! crate parses the derive input by walking `proc_macro::TokenStream`
+//! directly and emits impls as formatted source strings. Supported shapes —
+//! everything this workspace derives on:
+//!
+//! * structs with named fields
+//! * tuple structs (newtype and general)
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde's default representation)
+//!
+//! Generic types and `#[serde(...)]` attributes are intentionally
+//! unsupported and produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+/// The shape of a struct's or enum variant's payload.
+enum Fields {
+    /// `{ a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `(T, U)` — arity only.
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (the vendored value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` (the vendored value-tree flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes leading `#[...]` attributes (incl. doc comments).
+fn skip_attributes(toks: &mut Tokens) {
+    while let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        toks.next();
+        // `#![...]` inner attributes don't occur here; the next tree is the
+        // bracket group of an outer attribute.
+        match toks.next() {
+            Some(TokenTree::Group(_)) => {}
+            _ => break,
+        }
+    }
+}
+
+/// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn skip_visibility(toks: &mut Tokens) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(
+            toks.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            toks.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    skip_attributes(&mut toks);
+    skip_visibility(&mut toks);
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for item kind `{other}`")),
+    }
+}
+
+/// Parses `name: Type, ...` field lists; types may contain nested groups and
+/// angle-bracketed generics (commas inside `<...>` are not separators).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut toks);
+        skip_visibility(&mut toks);
+        let Some(tree) = toks.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            return Err(format!("expected field name, got {tree:?}"));
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, got {other:?}")),
+        }
+        fields.push(field.to_string());
+        skip_type_until_comma(&mut toks);
+    }
+    Ok(fields)
+}
+
+/// Consumes type tokens up to (and including) the next top-level comma,
+/// tracking `<`/`>` depth so generic arguments don't end the field early.
+fn skip_type_until_comma(toks: &mut Tokens) {
+    let mut angle_depth: u32 = 0;
+    for tree in toks.by_ref() {
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts tuple-struct / tuple-variant fields (top-level comma segments).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_tokens = false;
+    let mut angle_depth: u32 = 0;
+    for tree in stream {
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut toks);
+        let Some(tree) = toks.next() else { break };
+        let TokenTree::Ident(vname) = tree else {
+            return Err(format!("expected variant name, got {tree:?}"));
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream())?;
+                toks.next();
+                Fields::Named(named)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                Fields::Tuple(n)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant {
+            name: vname.to_string(),
+            fields,
+        });
+        // Consume the separating comma (and reject `= discriminant`, which
+        // the workspace never uses on serialized enums).
+        match toks.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => return Err(format!("unexpected token in enum body: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn tagged(tag: &str, inner: &str) -> String {
+    format!(
+        "::serde::Value::Object(::std::vec![(::std::string::String::from(\"{tag}\"), {inner})])"
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let mut pairs = String::new();
+                    for f in fs {
+                        let _ = write!(
+                            pairs,
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f})),"
+                        );
+                    }
+                    format!("::serde::Value::Object(::std::vec![{pairs}])")
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(","))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        );
+                    }
+                    Fields::Tuple(1) => {
+                        let inner = "::serde::Serialize::to_value(f0)";
+                        let _ = write!(arms, "{name}::{vn}(f0) => {},", tagged(vn, inner));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let inner =
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(","));
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}({}) => {},",
+                            binds.join(","),
+                            tagged(vn, &inner)
+                        );
+                    }
+                    Fields::Named(fs) => {
+                        let mut pairs = String::new();
+                        for f in fs {
+                            let _ = write!(
+                                pairs,
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f})),"
+                            );
+                        }
+                        let inner = format!("::serde::Value::Object(::std::vec![{pairs}])");
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} {{ {} }} => {},",
+                            fs.join(","),
+                            tagged(vn, &inner)
+                        );
+                    }
+                }
+            }
+            (name, format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let mut inits = String::new();
+                    for f in fs {
+                        let _ = write!(
+                            inits,
+                            "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::obj_get(fields, \"{f}\"))?,"
+                        );
+                    }
+                    format!(
+                        "match v {{\
+                             ::serde::Value::Object(fields) => \
+                                 ::std::result::Result::Ok({name} {{ {inits} }}),\
+                             _ => ::std::result::Result::Err(\
+                                 ::serde::Error::expected(\"object\", \"{name}\")),\
+                         }}"
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match v {{\
+                             ::serde::Value::Array(items) if items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}({})),\
+                             _ => ::std::result::Result::Err(\
+                                 ::serde::Error::expected(\"array of {n}\", \"{name}\")),\
+                         }}",
+                        items.join(",")
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .collect();
+            let payload: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .collect();
+
+            let mut arms = String::new();
+            if !unit.is_empty() {
+                let mut string_arms = String::new();
+                for v in &unit {
+                    let vn = &v.name;
+                    let _ = write!(
+                        string_arms,
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                    );
+                }
+                let _ = write!(
+                    arms,
+                    "::serde::Value::String(s) => match s.as_str() {{\
+                         {string_arms}\
+                         _ => ::std::result::Result::Err(\
+                             ::serde::Error::expected(\"variant of {name}\", \"{name}\")),\
+                     }},"
+                );
+            }
+            if !payload.is_empty() {
+                let mut tag_arms = String::new();
+                for v in &payload {
+                    let vn = &v.name;
+                    let arm_body = match &v.fields {
+                        Fields::Tuple(1) => format!(
+                            "::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(inner)?))"
+                        ),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "match inner {{\
+                                     ::serde::Value::Array(items) if items.len() == {n} => \
+                                         ::std::result::Result::Ok({name}::{vn}({})),\
+                                     _ => ::std::result::Result::Err(::serde::Error::expected(\
+                                         \"array of {n}\", \"{name}::{vn}\")),\
+                                 }}",
+                                items.join(",")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let mut inits = String::new();
+                            for f in fs {
+                                let _ = write!(
+                                    inits,
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::obj_get(inner_fields, \"{f}\"))?,"
+                                );
+                            }
+                            format!(
+                                "match inner {{\
+                                     ::serde::Value::Object(inner_fields) => \
+                                         ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),\
+                                     _ => ::std::result::Result::Err(::serde::Error::expected(\
+                                         \"object\", \"{name}::{vn}\")),\
+                                 }}"
+                            )
+                        }
+                        Fields::Unit => unreachable!("unit variants filtered out"),
+                    };
+                    let _ = write!(tag_arms, "\"{vn}\" => {arm_body},");
+                }
+                let _ = write!(
+                    arms,
+                    "::serde::Value::Object(fields) if fields.len() == 1 => {{\
+                         let (tag, inner) = &fields[0];\
+                         match tag.as_str() {{\
+                             {tag_arms}\
+                             _ => ::std::result::Result::Err(\
+                                 ::serde::Error::expected(\"variant of {name}\", \"{name}\")),\
+                         }}\
+                     }},"
+                );
+            }
+            let body = format!(
+                "match v {{\
+                     {arms}\
+                     _ => ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"{name} representation\", \"{name}\")),\
+                 }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+             fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{ {body} }}\
+         }}"
+    )
+}

@@ -1,0 +1,163 @@
+//! Vendored, dependency-light subset of `serde_json`.
+//!
+//! Renders and parses the vendored `serde` [`Value`] tree as JSON text.
+//! Floats are emitted in Rust's shortest round-trip decimal form (with a
+//! `.0` suffix when integral), so `f64` values — session weights included —
+//! survive serialize → parse **bit-identically**.
+
+pub use serde::{Number, Value};
+
+mod parse;
+mod render;
+
+pub use parse::parse_value;
+pub use render::{render_compact, render_pretty};
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes any [`serde::Serialize`] to compact JSON.
+///
+/// # Errors
+///
+/// Kept fallible for API compatibility; the value-tree renderer itself
+/// cannot fail.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(render_compact(&value.to_value()))
+}
+
+/// Serializes any [`serde::Serialize`] to human-readable, indented JSON.
+///
+/// # Errors
+///
+/// Kept fallible for API compatibility; the value-tree renderer itself
+/// cannot fail.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(render_pretty(&value.to_value()))
+}
+
+/// Converts any [`serde::Serialize`] into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Parses JSON text into any [`serde::Deserialize`].
+///
+/// # Errors
+///
+/// [`Error`] for malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// [`Error`] on shape mismatch.
+pub fn from_value<T: serde::Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_value(v).map_err(Error::from)
+}
+
+/// Builds a [`Value`] literal.
+///
+/// Subset of the real macro: object keys must be string literals and values
+/// are Rust expressions (including nested `json!` calls); bare `[...]`
+/// array literals and `null` are also accepted at the top level.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( (::std::string::String::from($key), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_round_trip() {
+        let v: Vec<(usize, f64)> = vec![(0, 0.25), (3, 1.0)];
+        let compact = to_string(&v).unwrap();
+        assert_eq!(compact, "[[0,0.25],[3,1.0]]");
+        let back: Vec<(usize, f64)> = from_str(&compact).unwrap();
+        assert_eq!(back, v);
+        let back_pretty: Vec<(usize, f64)> = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(back_pretty, v);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_identically() {
+        let values = [
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -2.5e-300,
+            123_456_789.123_456_78,
+            -0.0,
+            1e300,
+        ];
+        for x in values {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {s}");
+        }
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let count = 3usize;
+        let v = json!({ "rows": count, "ratio": 0.5, "name": "syn" });
+        let text = v.to_string();
+        assert_eq!(text, r#"{"rows":3,"ratio":0.5,"name":"syn"}"#);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "a\"b\\c\nd\te\u{1}f — ünïcode".to_string();
+        let back: String = from_str(&to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<f64>("not json").is_err());
+        assert!(from_str::<f64>("[1,").is_err());
+        assert!(from_str::<f64>("{\"a\":}").is_err());
+        assert!(from_str::<Vec<f64>>("[1.0] trailing").is_err());
+    }
+
+    #[test]
+    fn integers_preserve_fidelity() {
+        let big = u64::MAX;
+        let back: u64 = from_str(&to_string(&big).unwrap()).unwrap();
+        assert_eq!(back, big);
+        let neg = i64::MIN;
+        let back: i64 = from_str(&to_string(&neg).unwrap()).unwrap();
+        assert_eq!(back, neg);
+    }
+}

@@ -1,0 +1,79 @@
+//! JSON text rendering over the shared value tree.
+
+use serde::{write_json_number, write_json_string, Value};
+
+/// Renders compact (single-line) JSON.
+#[must_use]
+pub fn render_compact(v: &Value) -> String {
+    v.to_string()
+}
+
+/// Renders indented, human-readable JSON (2-space indent, like the real
+/// `serde_json::to_string_pretty`).
+#[must_use]
+pub fn render_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_pretty(&mut out, v, 0);
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, level: usize) {
+    match v {
+        Value::Null | Value::Bool(_) | Value::Number(_) | Value::String(_) => {
+            write_leaf(out, v);
+        }
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                indent(out, level + 1);
+                write_pretty(out, item, level + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(out, level);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                indent(out, level + 1);
+                write_json_string(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, level + 1);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(out, level);
+            out.push('}');
+        }
+    }
+}
+
+fn write_leaf(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_json_number(out, n),
+        Value::String(s) => write_json_string(out, s),
+        _ => unreachable!("write_leaf only receives scalars"),
+    }
+}
