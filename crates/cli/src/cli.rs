@@ -1,5 +1,7 @@
 //! Command-line parsing for the `viewseeker` binary.
 
+use viewseeker_server::{LogFormat, LogLevel};
+
 /// Usage text shown on parse errors and `--help`.
 pub const USAGE: &str = "\
 viewseeker — interactive view recommendation (ViewSeeker reproduction)
@@ -14,7 +16,8 @@ USAGE:
   viewseeker scatter  --data FILE.csv --query QUERY --ideal EXPR [--grid N] [--k N]
   viewseeker query    --data FILE.csv --sql 'SELECT city, AVG(m_sales) FROM t GROUP BY city'
   viewseeker serve    [--addr HOST:PORT] [--workers N] [--max-sessions N] [--ttl SECS]
-                      [--snapshot-dir DIR]
+                      [--snapshot-dir DIR] [--log-format text|json]
+                      [--log-level debug|info|warn|error|off]
 
 QUERY mini-language (conjunction with '&'):
   a0=a0_v0            equality          color in red|blue   membership
@@ -128,6 +131,10 @@ pub enum Command {
         ttl_secs: u64,
         /// Directory for eviction/snapshot persistence.
         snapshot_dir: Option<String>,
+        /// Access/event log line shape (`text` or `json`).
+        log_format: LogFormat,
+        /// Minimum log severity written to stderr.
+        log_level: LogLevel,
     },
     /// Execute an ad-hoc SQL query and print the result table.
     Query {
@@ -201,6 +208,8 @@ impl Command {
                 max_sessions: flags.get_parsed("--max-sessions")?.unwrap_or(32),
                 ttl_secs: flags.get_parsed("--ttl")?.unwrap_or(1_800),
                 snapshot_dir: flags.get("--snapshot-dir"),
+                log_format: flags.get_parsed("--log-format")?.unwrap_or_default(),
+                log_level: flags.get_parsed("--log-level")?.unwrap_or_default(),
             }),
             "query" => Ok(Command::Query {
                 data: flags.require("--data")?,
@@ -406,6 +415,8 @@ mod tests {
                 max_sessions: 32,
                 ttl_secs: 1_800,
                 snapshot_dir: None,
+                log_format: LogFormat::Text,
+                log_level: LogLevel::Info,
             }
         );
         let c = parse(&[
@@ -420,6 +431,10 @@ mod tests {
             "60",
             "--snapshot-dir",
             "/tmp/vs",
+            "--log-format",
+            "json",
+            "--log-level",
+            "warn",
         ])
         .unwrap();
         assert_eq!(
@@ -430,9 +445,13 @@ mod tests {
                 max_sessions: 5,
                 ttl_secs: 60,
                 snapshot_dir: Some("/tmp/vs".into()),
+                log_format: LogFormat::Json,
+                log_level: LogLevel::Warn,
             }
         );
         assert!(parse(&["serve", "--workers", "two"]).is_err());
+        assert!(parse(&["serve", "--log-format", "xml"]).is_err());
+        assert!(parse(&["serve", "--log-level", "verbose"]).is_err());
     }
 
     #[test]

@@ -63,7 +63,17 @@ pub fn run(cmd: Command) -> Result<(), String> {
             max_sessions,
             ttl_secs,
             snapshot_dir,
-        } => serve(&addr, workers, max_sessions, ttl_secs, snapshot_dir),
+            log_format,
+            log_level,
+        } => serve(
+            &addr,
+            workers,
+            max_sessions,
+            ttl_secs,
+            snapshot_dir,
+            log_format,
+            log_level,
+        ),
         Command::Scatter {
             data,
             query,
@@ -83,12 +93,15 @@ pub fn run(cmd: Command) -> Result<(), String> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve(
     addr: &str,
     workers: usize,
     max_sessions: usize,
     ttl_secs: u64,
     snapshot_dir: Option<String>,
+    log_format: viewseeker_server::LogFormat,
+    log_level: viewseeker_server::LogLevel,
 ) -> Result<(), String> {
     let config = viewseeker_server::ServerConfig {
         addr: addr.to_owned(),
@@ -96,6 +109,8 @@ fn serve(
         max_sessions,
         ttl: std::time::Duration::from_secs(ttl_secs),
         snapshot_dir: snapshot_dir.map(std::path::PathBuf::from),
+        log_format,
+        log_level,
     };
     let handle =
         viewseeker_server::serve_app(&config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -109,6 +124,7 @@ fn serve(
     println!("  POST /sessions/:id/feedback {{\"view\": 0, \"score\": 0.8}}");
     println!("  GET  /sessions/:id/recommend?k=5[&lambda=0.5]");
     println!("  GET  /healthz");
+    println!("  GET  /metrics              (Prometheus text format)");
     println!("Ctrl-C to stop.");
     // Serve until killed: the accept loop and workers run on their own
     // threads, so park this one forever.

@@ -69,6 +69,7 @@ pub mod persist;
 pub mod scatter;
 pub mod seeker;
 pub mod session;
+pub mod trace;
 pub mod view;
 pub mod viewgen;
 
@@ -80,6 +81,10 @@ pub use metrics::{precision_at_k, tie_aware_precision_at_k, utility_distance};
 pub use persist::SessionSnapshot;
 pub use seeker::{OwnedSeeker, Seeker, SeekerPhase, ViewSeeker};
 pub use session::FeedbackSession;
+pub use trace::{
+    noop_tracer, IterationTrace, NoopTracer, PhaseTotal, Recorder, RefinementBudgetReport,
+    TracePhase, Tracer,
+};
 pub use view::{ViewDef, ViewId, ViewSpace};
 
 use viewseeker_dataset::DatasetError;

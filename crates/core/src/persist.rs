@@ -152,8 +152,25 @@ impl SessionSnapshot {
         query: &viewseeker_dataset::SelectQuery,
         config: ViewSeekerConfig,
     ) -> Result<Seeker<H>, CoreError> {
+        self.restore_seeker_traced(table, query, config, crate::trace::noop_tracer())
+    }
+
+    /// [`SessionSnapshot::restore_seeker`] with an explicit tracer: the
+    /// rebuild's offline phases and the label replay's estimator refits are
+    /// timed into it, so a restored session is as observable as a fresh one.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SessionSnapshot::restore_seeker`].
+    pub fn restore_seeker_traced<H: Borrow<Table>>(
+        &self,
+        table: H,
+        query: &viewseeker_dataset::SelectQuery,
+        config: ViewSeekerConfig,
+        tracer: std::sync::Arc<dyn crate::trace::Tracer>,
+    ) -> Result<Seeker<H>, CoreError> {
         self.check_version()?;
-        let mut seeker = Seeker::new(table, query, config)?;
+        let mut seeker = Seeker::new_traced(table, query, config, tracer)?;
         if seeker.view_space().len() != self.view_count {
             return Err(CoreError::Invalid(format!(
                 "snapshot was over {} views, view space has {}",

@@ -29,16 +29,20 @@
 //! (stopping is the user's decision, line 11).
 
 use std::borrow::Borrow;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use viewseeker_dataset::sample::bernoulli_sample;
 use viewseeker_dataset::{RowSet, SelectQuery, Table};
 
-use crate::config::ViewSeekerConfig;
+use crate::config::{RefineBudget, ViewSeekerConfig};
 use crate::estimator::Label;
 use crate::features::{compute_features, FeatureMatrix};
 use crate::optimize::IncrementalRefiner;
 use crate::session::FeedbackSession;
+use crate::trace::{
+    duration_us, noop_tracer, IterationTrace, RefinementBudgetReport, TracePhase, Tracer,
+};
 use crate::view::{ViewId, ViewSpace};
 use crate::viewgen::{materialize_all_shared, materialize_view};
 use crate::CoreError;
@@ -73,6 +77,20 @@ pub struct Seeker<H: Borrow<Table>> {
     session: FeedbackSession,
     refiner: Option<IncrementalRefiner>,
     refinement_time: Duration,
+    tracer: Arc<dyn Tracer>,
+    iterations: u64,
+}
+
+/// The per-phase timing of one [`Seeker::run_refinement`] pass, fed into the
+/// iteration trace by [`Seeker::next_views`].
+#[derive(Debug, Default)]
+struct RefinementReport {
+    pruning_us: u64,
+    refinement_us: u64,
+    fit_us: u64,
+    refined: usize,
+    pending_after: usize,
+    budget: Option<RefinementBudgetReport>,
 }
 
 /// A session borrowing its table — the original `ViewSeeker` shape; call
@@ -94,10 +112,30 @@ impl<H: Borrow<Table>> Seeker<H> {
     /// Configuration validation errors, query errors, and materialization
     /// errors.
     pub fn new(table: H, query: &SelectQuery, config: ViewSeekerConfig) -> Result<Self, CoreError> {
+        Self::new_traced(table, query, config, noop_tracer())
+    }
+
+    /// [`Seeker::new`] with an explicit [`Tracer`]: the offline phases
+    /// (view-space generation + materialization, feature extraction) are
+    /// timed into it, and every later interactive turn reports there too.
+    /// Pass a shared [`crate::trace::Recorder`] handle to observe the
+    /// session; `Seeker::new` uses the free [`noop_tracer`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Seeker::new`].
+    pub fn new_traced(
+        table: H,
+        query: &SelectQuery,
+        config: ViewSeekerConfig,
+        tracer: Arc<dyn Tracer>,
+    ) -> Result<Self, CoreError> {
         config.validate()?;
         let table_ref: &Table = table.borrow();
         let dq = query.execute(table_ref)?;
         let dr = table_ref.all_rows();
+
+        let gen_started = Instant::now();
         let space = ViewSpace::enumerate_excluding(
             table_ref,
             &config.bin_configs,
@@ -115,7 +153,12 @@ impl<H: Borrow<Table>> Seeker<H> {
 
         let views =
             materialize_all_shared(table_ref, &init_dq, &init_dr, &space, config.init_threads)?;
+        tracer.record_span(TracePhase::ViewSpaceGen, gen_started.elapsed());
+
+        let feat_started = Instant::now();
         let matrix = FeatureMatrix::from_views(&views, config.usability_optimal_bins)?;
+        tracer.record_span(TracePhase::FeatureExtraction, feat_started.elapsed());
+
         let refiner = (config.alpha < 1.0).then(|| IncrementalRefiner::new(space.len()));
         let session = FeedbackSession::new(matrix.clone(), config.clone())?;
 
@@ -129,7 +172,22 @@ impl<H: Borrow<Table>> Seeker<H> {
             session,
             refiner,
             refinement_time: Duration::ZERO,
+            tracer,
+            iterations: 0,
         })
+    }
+
+    /// Replaces the session's tracer (the default is the no-op one). Spans
+    /// already recorded stay with the previous tracer.
+    pub fn set_tracer(&mut self, tracer: Arc<dyn Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// Interactive iterations completed so far (one per
+    /// [`Seeker::next_views`] call).
+    #[must_use]
+    pub fn iteration_count(&self) -> u64 {
+        self.iterations
     }
 
     /// The current phase of the session.
@@ -198,8 +256,25 @@ impl<H: Borrow<Table>> Seeker<H> {
     ///
     /// Propagates estimator errors.
     pub fn next_views(&mut self, m: usize) -> Result<Vec<ViewId>, CoreError> {
-        self.run_refinement()?;
-        self.session.next_items(m)
+        let started = Instant::now();
+        let report = self.run_refinement()?;
+        let sampling_started = Instant::now();
+        let picks = self.session.next_items(m)?;
+        let sampling_us = duration_us(sampling_started.elapsed());
+
+        self.iterations += 1;
+        self.tracer.record_iteration(IterationTrace {
+            iteration: self.iterations,
+            pruning_us: report.pruning_us,
+            refinement_us: report.refinement_us,
+            estimator_fit_us: report.fit_us,
+            sampling_us,
+            total_us: duration_us(started.elapsed()),
+            views_refined: report.refined,
+            pending_after: report.pending_after,
+            budget: report.budget,
+        });
+        Ok(picks)
     }
 
     /// Records the user's feedback on a view and refines both estimators
@@ -211,7 +286,11 @@ impl<H: Borrow<Table>> Seeker<H> {
     /// * [`CoreError::UnknownView`] / [`CoreError::AlreadyLabeled`];
     /// * estimator-fitting errors.
     pub fn submit_feedback(&mut self, view: ViewId, score: f64) -> Result<(), CoreError> {
-        self.session.submit_feedback(view, score)
+        let started = Instant::now();
+        let result = self.session.submit_feedback(view, score);
+        self.tracer
+            .record_span(TracePhase::EstimatorFit, started.elapsed());
+        result
     }
 
     /// The current top-`k` recommendation by the view utility estimator
@@ -221,7 +300,11 @@ impl<H: Borrow<Table>> Seeker<H> {
     ///
     /// [`CoreError::Learn`] until at least one label has been submitted.
     pub fn recommend(&self, k: usize) -> Result<Vec<ViewId>, CoreError> {
-        self.session.recommend(k)
+        let started = Instant::now();
+        let result = self.session.recommend(k);
+        self.tracer
+            .record_span(TracePhase::Recommend, started.elapsed());
+        result
     }
 
     /// The view utility estimator's predicted score for every view.
@@ -247,7 +330,11 @@ impl<H: Borrow<Table>> Seeker<H> {
     ///
     /// Same contract as [`FeedbackSession::recommend_diverse`].
     pub fn recommend_diverse(&self, k: usize, lambda: f64) -> Result<Vec<ViewId>, CoreError> {
-        self.session.recommend_diverse(k, lambda)
+        let started = Instant::now();
+        let result = self.session.recommend_diverse(k, lambda);
+        self.tracer
+            .record_span(TracePhase::Recommend, started.elapsed());
+        result
     }
 
     /// The learned feature weights (the discovered β of Eq. 4), once fitted.
@@ -259,24 +346,29 @@ impl<H: Borrow<Table>> Seeker<H> {
     /// Runs one incremental-refinement budget (paper §3.3): recomputes the
     /// full-data features of the highest-priority still-rough views, then
     /// renormalizes the matrix and pushes it into the session (which refits
-    /// the estimators).
-    fn run_refinement(&mut self) -> Result<(), CoreError> {
+    /// the estimators). Returns the phase timings of the pass for the
+    /// iteration trace.
+    fn run_refinement(&mut self) -> Result<RefinementReport, CoreError> {
         let Some(refiner) = &mut self.refiner else {
-            return Ok(());
+            return Ok(RefinementReport::default());
         };
         if refiner.is_complete() {
-            return Ok(());
+            return Ok(RefinementReport::default());
         }
         let started = Instant::now();
         // Priority: the current utility estimator's ranking, else view order
-        // before any labels exist.
+        // before any labels exist. This ranking *is* the §3.3 pruning:
+        // low-priority views sit at the back of the queue and may never be
+        // refined before the user stops.
         let priority: Vec<usize> = if self.session.label_count() > 0 {
             let scores = self.session.predicted_scores()?;
             viewseeker_stats::rank_descending(&scores)
         } else {
             (0..self.space.len()).collect()
         };
+        let pruning_us = duration_us(started.elapsed());
 
+        let batch_started = Instant::now();
         let table = self.table.borrow();
         let dq = &self.dq;
         let dr = &self.dr;
@@ -288,13 +380,36 @@ impl<H: Borrow<Table>> Seeker<H> {
             let data = materialize_view(table, dq, dr, def)?;
             matrix.update_raw(i, compute_features(&data, opt_bins)?)
         })?;
+        let batch_elapsed = batch_started.elapsed();
+        self.tracer
+            .record_span(TracePhase::Pruning, Duration::from_micros(pruning_us));
+        self.tracer
+            .record_span(TracePhase::Refinement, batch_elapsed);
+        let refinement_us = duration_us(batch_elapsed);
 
+        let fit_started = Instant::now();
         if refined > 0 {
             self.matrix.renormalize();
             self.session.update_matrix(self.matrix.clone())?;
         }
+        let fit_us = duration_us(fit_started.elapsed());
+
         self.refinement_time += started.elapsed();
-        Ok(())
+        let budget = Some(match self.config.refine_budget {
+            RefineBudget::Views(budget) => RefinementBudgetReport::Views { budget, refined },
+            RefineBudget::Time(budget) => RefinementBudgetReport::Time {
+                budget_us: duration_us(budget),
+                actual_us: refinement_us,
+            },
+        });
+        Ok(RefinementReport {
+            pruning_us,
+            refinement_us,
+            fit_us,
+            refined,
+            pending_after: refiner.pending(),
+            budget,
+        })
     }
 }
 
@@ -500,6 +615,132 @@ mod tests {
             trace
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn iteration_traces_account_for_next_views_wall_time() {
+        use crate::trace::Recorder;
+
+        let (table, query) = testbed();
+        let cfg = ViewSeekerConfig {
+            alpha: 0.2,
+            refine_budget: RefineBudget::Views(40),
+            ..ViewSeekerConfig::default()
+        };
+        let recorder = Recorder::shared();
+        let mut s = ViewSeeker::new_traced(
+            &table,
+            &query,
+            cfg,
+            Arc::clone(&recorder) as Arc<dyn Tracer>,
+        )
+        .unwrap();
+
+        // Offline phases were timed during construction.
+        assert_eq!(recorder.phase_total(TracePhase::ViewSpaceGen).count, 1);
+        assert_eq!(recorder.phase_total(TracePhase::FeatureExtraction).count, 1);
+
+        let mut wall = Vec::new();
+        for i in 0..4 {
+            let started = Instant::now();
+            let v = s.next_views(1).unwrap()[0];
+            wall.push(started.elapsed());
+            s.submit_feedback(v, if i % 2 == 0 { 0.9 } else { 0.1 })
+                .unwrap();
+        }
+        let _ = s.recommend(5).unwrap();
+
+        assert_eq!(s.iteration_count(), 4);
+        assert_eq!(recorder.iteration_count(), 4);
+        let traces = recorder.iterations();
+        assert_eq!(traces.len(), 4);
+        for (trace, wall) in traces.iter().zip(&wall) {
+            // The per-phase durations sum to within 10% of the measured
+            // wall time of next_views (acceptance criterion). The phases
+            // cover everything but a handful of Instant::now calls, so
+            // with a 40-view refinement batch dominating each iteration
+            // the slack is generous.
+            let wall_us = wall.as_micros() as u64;
+            assert!(
+                trace.phase_sum_us() * 10 >= trace.total_us * 9,
+                "phase sum {} vs traced total {}",
+                trace.phase_sum_us(),
+                trace.total_us
+            );
+            assert!(
+                trace.total_us <= wall_us,
+                "traced total {} exceeds measured wall {}",
+                trace.total_us,
+                wall_us
+            );
+            assert!(
+                trace.phase_sum_us() * 10 >= wall_us * 9,
+                "phase sum {} vs wall {}",
+                trace.phase_sum_us(),
+                wall_us
+            );
+            // Refinement reported against its configured budget.
+            assert_eq!(
+                trace.budget,
+                Some(crate::trace::RefinementBudgetReport::Views {
+                    budget: 40,
+                    refined: trace.views_refined,
+                })
+            );
+            assert_eq!(trace.views_refined, 40);
+        }
+        assert!(recorder.phase_total(TracePhase::Refinement).total_us > 0);
+        assert!(recorder.phase_total(TracePhase::EstimatorFit).count >= 4);
+        assert_eq!(recorder.phase_total(TracePhase::Recommend).count, 1);
+    }
+
+    #[test]
+    fn time_budget_is_reported_against_actual() {
+        let (table, query) = testbed();
+        let cfg = ViewSeekerConfig {
+            alpha: 0.2,
+            refine_budget: RefineBudget::Time(Duration::from_millis(5)),
+            ..ViewSeekerConfig::default()
+        };
+        let recorder = crate::trace::Recorder::shared();
+        let mut s = ViewSeeker::new_traced(
+            &table,
+            &query,
+            cfg,
+            Arc::clone(&recorder) as Arc<dyn Tracer>,
+        )
+        .unwrap();
+        let _ = s.next_views(1).unwrap();
+        let trace = recorder.last_iteration().unwrap();
+        match trace.budget {
+            Some(crate::trace::RefinementBudgetReport::Time {
+                budget_us,
+                actual_us,
+            }) => {
+                assert_eq!(budget_us, 5_000);
+                assert!(actual_us > 0);
+            }
+            other => panic!("expected a time budget report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_init_sessions_trace_without_refinement_phases() {
+        let (table, query) = testbed();
+        let recorder = crate::trace::Recorder::shared();
+        let mut s = ViewSeeker::new_traced(
+            &table,
+            &query,
+            ViewSeekerConfig::default(),
+            Arc::clone(&recorder) as Arc<dyn Tracer>,
+        )
+        .unwrap();
+        let _ = s.next_views(1).unwrap();
+        let trace = recorder.last_iteration().unwrap();
+        assert_eq!(trace.budget, None);
+        assert_eq!(trace.views_refined, 0);
+        assert_eq!(trace.refinement_us, 0);
+        assert_eq!(trace.pending_after, 0);
     }
 
     #[test]

@@ -9,26 +9,40 @@ use serde::{Deserialize, Serialize};
 use viewseeker_core::{SeekerPhase, ViewId};
 
 use crate::error::ServerError;
-use crate::metrics::{EndpointReport, Metrics};
+use crate::log::Logger;
+use crate::metrics::{Counters, EndpointReport, Metrics};
 use crate::registry::{PersistedSession, SessionEntry, SessionRegistry, SessionSpec};
 
 /// Shared state behind every handler.
 pub struct AppState {
     /// The session table.
     pub registry: SessionRegistry,
-    /// Request counters and latency percentiles.
+    /// Request histograms and lifecycle counters.
     pub metrics: Metrics,
+    /// The structured event/access logger.
+    pub logger: Arc<Logger>,
     /// Server start time, for the uptime report.
     pub started: Instant,
 }
 
 impl AppState {
-    /// Bundles a registry with fresh metrics.
+    /// Bundles a registry with fresh metrics and a disabled logger (the
+    /// embedded/test default; [`crate::serve_app`] wires a real one).
     #[must_use]
     pub fn new(registry: SessionRegistry) -> Self {
+        Self::with_logger(registry, Logger::disabled())
+    }
+
+    /// Bundles a registry with fresh metrics and the given logger, wiring
+    /// the registry's lifecycle events into both.
+    #[must_use]
+    pub fn with_logger(mut registry: SessionRegistry, logger: Arc<Logger>) -> Self {
+        let metrics = Metrics::new();
+        registry.attach_observability(Arc::clone(metrics.counters()), Arc::clone(&logger));
         Self {
             registry,
-            metrics: Metrics::new(),
+            metrics,
+            logger,
             started: Instant::now(),
         }
     }
@@ -79,6 +93,17 @@ fn view_info(
     })
 }
 
+/// Cumulative time spent in one trace phase of a session.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PhaseTotalInfo {
+    /// Phase name (`"refinement"`, `"estimator_fit"`, ...).
+    pub phase: String,
+    /// Spans recorded for this phase.
+    pub count: u64,
+    /// Total microseconds across those spans.
+    pub total_us: u64,
+}
+
 /// Response of `POST /sessions`, `POST /sessions/:id/restore`, and
 /// `GET /sessions/:id`.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -93,6 +118,14 @@ pub struct SessionInfo {
     pub phase: String,
     /// Views whose features are still rough (α-sampling not yet refined).
     pub pending_refinements: usize,
+    /// Interactive iterations completed (`next_views` calls).
+    pub iterations: u64,
+    /// Total wall-clock spent in incremental refinement, microseconds —
+    /// the convergence cost the paper hides in user think-time (§3.3).
+    pub refinement_time_us: u64,
+    /// Cumulative per-phase span totals from the session's tracer, in
+    /// phase execution order.
+    pub phase_totals: Vec<PhaseTotalInfo>,
 }
 
 fn session_info(entry: &SessionEntry) -> SessionInfo {
@@ -103,6 +136,18 @@ fn session_info(entry: &SessionEntry) -> SessionInfo {
         labels: seeker.label_count(),
         phase: phase_name(seeker.phase()).to_owned(),
         pending_refinements: seeker.pending_refinements(),
+        iterations: seeker.iteration_count(),
+        refinement_time_us: u64::try_from(seeker.refinement_time().as_micros()).unwrap_or(u64::MAX),
+        phase_totals: entry
+            .recorder
+            .phase_totals()
+            .into_iter()
+            .map(|(phase, total)| PhaseTotalInfo {
+                phase: phase.name().to_owned(),
+                count: total.count,
+                total_us: total.total_us,
+            })
+            .collect(),
     }
 }
 
@@ -194,6 +239,7 @@ pub fn feedback(state: &AppState, id: &str, body: &str) -> Result<SessionInfo, S
         let mut seeker = entry.seeker.lock().expect("session lock");
         seeker.submit_feedback(ViewId::from_index(parsed.view), parsed.score)?;
     }
+    Counters::bump(&state.metrics.counters().feedback_labels);
     Ok(session_info(&entry))
 }
 
@@ -276,7 +322,8 @@ pub struct Health {
     pub sessions: usize,
     /// Sessions evicted by this probe's TTL sweep.
     pub evicted: Vec<String>,
-    /// Per-endpoint request counts and latency percentiles.
+    /// Per-endpoint request counts and latency percentiles (quantiles from
+    /// the bucketed histograms behind `GET /metrics`).
     pub endpoints: Vec<EndpointReport>,
 }
 
@@ -297,10 +344,28 @@ pub fn healthz(state: &AppState) -> Result<Health, ServerError> {
     })
 }
 
+/// `GET /metrics` — the whole process state in Prometheus text exposition
+/// format (version 0.0.4).
+#[must_use]
+pub fn metrics_text(state: &AppState) -> String {
+    crate::prometheus::render(
+        state.started.elapsed().as_secs_f64(),
+        state.registry.len(),
+        state.metrics.counters(),
+        &state.metrics.histograms(),
+    )
+}
+
 /// Convenience constructor used by the CLI and tests.
 #[must_use]
 pub fn shared_state(registry: SessionRegistry) -> Arc<AppState> {
     Arc::new(AppState::new(registry))
+}
+
+/// [`shared_state`] with an explicit logger, for [`crate::serve_app`].
+#[must_use]
+pub fn shared_state_with_logger(registry: SessionRegistry, logger: Arc<Logger>) -> Arc<AppState> {
+    Arc::new(AppState::with_logger(registry, logger))
 }
 
 #[cfg(test)]
@@ -379,6 +444,45 @@ mod tests {
                 .status(),
             404
         );
+    }
+
+    #[test]
+    fn session_info_exposes_convergence_cost_and_counters_move() {
+        let state = state();
+        let id = make_session(&state);
+        assert_eq!(
+            Counters::read(&state.metrics.counters().sessions_created),
+            1
+        );
+
+        for score in [0.9, 0.1, 0.8] {
+            let next = next_views(&state, &id, 1).unwrap();
+            let body = format!("{{\"view\": {}, \"score\": {score}}}", next[0].id);
+            feedback(&state, &id, &body).unwrap();
+        }
+        let info = get_session(&state, &id).unwrap();
+        assert_eq!(info.iterations, 3);
+        assert_eq!(info.labels, 3);
+        // Default spec has alpha = 1.0: no refinement work to account.
+        assert_eq!(info.refinement_time_us, 0);
+        let fit = info
+            .phase_totals
+            .iter()
+            .find(|p| p.phase == "estimator_fit")
+            .unwrap();
+        assert!(fit.count >= 3, "{fit:?}");
+        assert_eq!(Counters::read(&state.metrics.counters().feedback_labels), 3);
+
+        let text = metrics_text(&state);
+        assert!(
+            text.contains("viewseeker_feedback_labels_total 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_sessions_created_total 1"),
+            "{text}"
+        );
+        assert!(text.contains("viewseeker_active_sessions 1"), "{text}");
     }
 
     #[test]

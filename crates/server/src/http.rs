@@ -8,7 +8,7 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -76,21 +76,38 @@ impl Request {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Body bytes (always JSON in this service).
+    /// Body bytes (JSON everywhere except `GET /metrics`).
     pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
 }
 
 impl Response {
     /// A `200 OK` JSON response.
     #[must_use]
     pub fn json(body: String) -> Self {
-        Self { status: 200, body }
+        Self::with_status(200, body)
     }
 
     /// A JSON response with an explicit status.
     #[must_use]
     pub fn with_status(status: u16, body: String) -> Self {
-        Self { status, body }
+        Self {
+            status,
+            body,
+            content_type: "application/json",
+        }
+    }
+
+    /// A `200 OK` plain-text response in the Prometheus exposition
+    /// content type.
+    #[must_use]
+    pub fn prometheus(body: String) -> Self {
+        Self {
+            status: 200,
+            body,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+        }
     }
 }
 
@@ -211,9 +228,10 @@ pub(crate) fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, Se
 /// Serializes `response` onto `stream`.
 pub(crate) fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         response.status,
         status_text(response.status),
+        response.content_type,
         response.body.len(),
     );
     stream.write_all(head.as_bytes())?;
@@ -279,6 +297,24 @@ pub fn serve<H: Handler>(
     workers: usize,
     handler: Arc<H>,
 ) -> std::io::Result<ServerHandle> {
+    serve_observed(addr, workers, handler, Arc::new(AtomicU64::new(0)))
+}
+
+/// [`serve`] with a shared queue-depth gauge: the accept loop increments it
+/// for every connection handed to the channel and a worker decrements it on
+/// pickup, so the gauge reads the number of accepted-but-unserved
+/// connections. (The vendored channel has no `len()`; this external counter
+/// is the observable substitute.)
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve_observed<H: Handler>(
+    addr: impl ToSocketAddrs,
+    workers: usize,
+    handler: Arc<H>,
+    queue_depth: Arc<AtomicU64>,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -289,12 +325,14 @@ pub fn serve<H: Handler>(
     for i in 0..worker_count {
         let rx = rx.clone();
         let handler = Arc::clone(&handler);
+        let depth = Arc::clone(&queue_depth);
         pool.push(
             std::thread::Builder::new()
                 .name(format!("vs-worker-{i}"))
                 .spawn(move || {
                     // recv() errors once every sender is gone — clean exit.
                     while let Ok(mut stream) = rx.recv() {
+                        depth.fetch_sub(1, Ordering::Relaxed);
                         handle_connection(&mut stream, handler.as_ref());
                     }
                 })
@@ -312,8 +350,10 @@ pub fn serve<H: Handler>(
                     break;
                 }
                 if let Ok(stream) = stream {
+                    queue_depth.fetch_add(1, Ordering::Relaxed);
                     // Send fails only when every worker exited; stop then.
                     if tx.send(stream).is_err() {
+                        queue_depth.fetch_sub(1, Ordering::Relaxed);
                         break;
                     }
                 }

@@ -15,14 +15,17 @@
 //!   TTL/LRU eviction that snapshots evictees to disk (restorable, since
 //!   estimators are a pure function of the replayed labels).
 //! * [`api`] — the endpoint bodies and JSON types.
-//! * [`metrics`] — request counts and latency percentiles for `/healthz`.
+//! * [`metrics`] — request histograms + lifecycle counters for `/healthz`.
+//! * [`hist`] — the log-linear bucketed latency histogram behind both.
+//! * [`prometheus`] — text exposition (format 0.0.4) for `GET /metrics`.
+//! * [`log`] — structured JSON/text access and lifecycle event logs.
 //! * [`error`] — one error type with its HTTP status mapping.
 //!
 //! # In-process quickstart
 //!
 //! ```
 //! use std::time::Duration;
-//! use viewseeker_server::{serve_app, ServerConfig};
+//! use viewseeker_server::{serve_app, LogFormat, LogLevel, ServerConfig};
 //!
 //! let config = ServerConfig {
 //!     addr: "127.0.0.1:0".into(),
@@ -30,6 +33,8 @@
 //!     max_sessions: 8,
 //!     ttl: Duration::from_secs(600),
 //!     snapshot_dir: None,
+//!     log_format: LogFormat::Text,
+//!     log_level: LogLevel::Off,
 //! };
 //! let handle = serve_app(&config).unwrap();
 //! let addr = handle.addr(); // POST http://{addr}/sessions etc.
@@ -41,8 +46,11 @@
 
 pub mod api;
 pub mod error;
+pub mod hist;
 pub mod http;
+pub mod log;
 pub mod metrics;
+pub mod prometheus;
 pub mod registry;
 pub mod router;
 
@@ -53,6 +61,7 @@ use std::time::Duration;
 pub use api::AppState;
 pub use error::ServerError;
 pub use http::{Request, Response, ServerHandle};
+pub use log::{LogFormat, LogLevel, Logger};
 pub use registry::{PersistedSession, SessionRegistry, SessionSpec};
 pub use router::Router;
 
@@ -70,6 +79,10 @@ pub struct ServerConfig {
     /// Where evicted/snapshotted sessions are written (`None` = don't
     /// persist).
     pub snapshot_dir: Option<PathBuf>,
+    /// Shape of access/event log lines (`--log-format json|text`).
+    pub log_format: LogFormat,
+    /// Minimum severity written to stderr (`--log-level`).
+    pub log_level: LogLevel,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +93,8 @@ impl Default for ServerConfig {
             max_sessions: 32,
             ttl: Duration::from_secs(1_800),
             snapshot_dir: None,
+            log_format: LogFormat::Text,
+            log_level: LogLevel::Info,
         }
     }
 }
@@ -92,6 +107,14 @@ impl Default for ServerConfig {
 pub fn serve_app(config: &ServerConfig) -> std::io::Result<ServerHandle> {
     let registry =
         SessionRegistry::new(config.max_sessions, config.ttl, config.snapshot_dir.clone());
-    let router = Router::new(api::shared_state(registry));
-    http::serve(config.addr.as_str(), config.workers, Arc::new(router))
+    let logger = Logger::stderr(config.log_format, config.log_level);
+    let state = api::shared_state_with_logger(registry, logger);
+    let queue_depth = state.metrics.counters().queue_depth_handle();
+    let router = Router::new(state);
+    http::serve_observed(
+        config.addr.as_str(),
+        config.workers,
+        Arc::new(router),
+        queue_depth,
+    )
 }

@@ -1,0 +1,291 @@
+//! Structured access/event logging: one line per request and per registry
+//! lifecycle event, in machine-parseable JSON or human-oriented text,
+//! behind `viewseeker serve --log-format json|text --log-level <level>`.
+//!
+//! Kept deliberately small: a level filter, a format switch, and a
+//! `Mutex<Write>` sink (whole lines under one lock, so concurrent workers
+//! never interleave mid-line). Fields are [`serde::Value`]s, so JSON mode
+//! gets correct escaping for free and text mode renders the same values
+//! compactly.
+
+use std::io::Write;
+use std::str::FromStr;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde::{Number, Value};
+
+/// Output shape of each log line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogFormat {
+    /// `key=value` pairs, for humans watching the terminal (the default).
+    #[default]
+    Text,
+    /// One JSON object per line, for collectors.
+    Json,
+}
+
+impl FromStr for LogFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" => Ok(LogFormat::Text),
+            "json" => Ok(LogFormat::Json),
+            other => Err(format!("unknown log format {other:?} (text|json)")),
+        }
+    }
+}
+
+/// Minimum severity that gets written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum LogLevel {
+    /// Everything, including per-request access lines' debug detail.
+    Debug,
+    /// Normal operation (the default): requests and lifecycle events.
+    #[default]
+    Info,
+    /// Unexpected-but-handled conditions (failed restores, 5xx responses).
+    Warn,
+    /// Failures that lost work.
+    Error,
+    /// Nothing at all.
+    Off,
+}
+
+impl LogLevel {
+    fn name(self) -> &'static str {
+        match self {
+            LogLevel::Debug => "debug",
+            LogLevel::Info => "info",
+            LogLevel::Warn => "warn",
+            LogLevel::Error => "error",
+            LogLevel::Off => "off",
+        }
+    }
+}
+
+impl FromStr for LogLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "debug" => Ok(LogLevel::Debug),
+            "info" => Ok(LogLevel::Info),
+            "warn" => Ok(LogLevel::Warn),
+            "error" => Ok(LogLevel::Error),
+            "off" => Ok(LogLevel::Off),
+            other => Err(format!(
+                "unknown log level {other:?} (debug|info|warn|error|off)"
+            )),
+        }
+    }
+}
+
+/// A line-oriented structured logger shared by the router and registry.
+pub struct Logger {
+    format: LogFormat,
+    level: LogLevel,
+    sink: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Logger")
+            .field("format", &self.format)
+            .field("level", &self.level)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Logger {
+    /// A logger writing to the given sink.
+    #[must_use]
+    pub fn to_writer(format: LogFormat, level: LogLevel, sink: Box<dyn Write + Send>) -> Self {
+        Self {
+            format,
+            level,
+            sink: Mutex::new(sink),
+        }
+    }
+
+    /// The production logger: stderr, behind an `Arc` for sharing across
+    /// the router and registry.
+    #[must_use]
+    pub fn stderr(format: LogFormat, level: LogLevel) -> Arc<Self> {
+        Arc::new(Self::to_writer(format, level, Box::new(std::io::stderr())))
+    }
+
+    /// A logger that drops everything — the default for embedded/test use.
+    #[must_use]
+    pub fn disabled() -> Arc<Self> {
+        Arc::new(Self::to_writer(
+            LogFormat::Text,
+            LogLevel::Off,
+            Box::new(std::io::sink()),
+        ))
+    }
+
+    /// Whether a line at `level` would be written (lets callers skip
+    /// building expensive fields).
+    #[must_use]
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        self.level != LogLevel::Off && level >= self.level
+    }
+
+    /// Writes one structured line. `fields` are appended after the
+    /// timestamp, level, and event name, in order.
+    pub fn log(&self, level: LogLevel, event: &str, fields: &[(&'static str, Value)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let ts = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0.0, |d| d.as_secs_f64());
+        let line = match self.format {
+            LogFormat::Json => {
+                let mut object = vec![
+                    ("ts".to_owned(), Value::Number(Number::Float(ts))),
+                    ("level".to_owned(), Value::String(level.name().to_owned())),
+                    ("event".to_owned(), Value::String(event.to_owned())),
+                ];
+                object.extend(fields.iter().map(|(k, v)| ((*k).to_owned(), v.clone())));
+                serde_json::render_compact(&Value::Object(object))
+            }
+            LogFormat::Text => {
+                let mut line = format!("ts={ts:.3} level={} event={event}", level.name());
+                for (key, value) in fields {
+                    line.push(' ');
+                    line.push_str(key);
+                    line.push('=');
+                    match value {
+                        // Bare strings read better than quoted JSON in text
+                        // mode unless they contain spaces.
+                        Value::String(s) if !s.contains(' ') => line.push_str(s),
+                        other => line.push_str(&serde_json::render_compact(other)),
+                    }
+                }
+                line
+            }
+        };
+        let mut sink = self.sink.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = writeln!(sink, "{line}");
+    }
+
+    /// [`Logger::log`] at [`LogLevel::Debug`].
+    pub fn debug(&self, event: &str, fields: &[(&'static str, Value)]) {
+        self.log(LogLevel::Debug, event, fields);
+    }
+
+    /// [`Logger::log`] at [`LogLevel::Info`].
+    pub fn info(&self, event: &str, fields: &[(&'static str, Value)]) {
+        self.log(LogLevel::Info, event, fields);
+    }
+
+    /// [`Logger::log`] at [`LogLevel::Warn`].
+    pub fn warn(&self, event: &str, fields: &[(&'static str, Value)]) {
+        self.log(LogLevel::Warn, event, fields);
+    }
+
+    /// [`Logger::log`] at [`LogLevel::Error`].
+    pub fn error(&self, event: &str, fields: &[(&'static str, Value)]) {
+        self.log(LogLevel::Error, event, fields);
+    }
+}
+
+/// Shorthand for a string field value.
+#[must_use]
+pub fn s(value: &str) -> Value {
+    Value::String(value.to_owned())
+}
+
+/// Shorthand for an unsigned-integer field value.
+#[must_use]
+pub fn n(value: u64) -> Value {
+    Value::Number(Number::PosInt(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sink the test can read back.
+    #[derive(Clone, Default)]
+    struct Buffer(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Buffer {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Buffer {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn json_lines_parse_back() {
+        let buffer = Buffer::default();
+        let logger = Logger::to_writer(LogFormat::Json, LogLevel::Info, Box::new(buffer.clone()));
+        logger.info(
+            "request",
+            &[
+                ("route", s("GET /sessions/:id")),
+                ("status", n(200)),
+                ("note", s("has \"quotes\" and spaces")),
+            ],
+        );
+        logger.debug("dropped", &[]); // below the level
+        let out = buffer.contents();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1);
+        let parsed: Value = serde_json::parse_value(lines[0]).unwrap();
+        assert_eq!(parsed.get("event"), Some(&s("request")));
+        assert_eq!(parsed.get("status"), Some(&n(200)));
+        assert_eq!(parsed.get("note"), Some(&s("has \"quotes\" and spaces")));
+        assert!(matches!(parsed.get("ts"), Some(Value::Number(_))));
+    }
+
+    #[test]
+    fn text_lines_are_single_and_readable() {
+        let buffer = Buffer::default();
+        let logger = Logger::to_writer(LogFormat::Text, LogLevel::Debug, Box::new(buffer.clone()));
+        logger.warn("session_evicted", &[("session", s("s7")), ("labels", n(3))]);
+        let out = buffer.contents();
+        assert_eq!(out.lines().count(), 1);
+        assert!(out.contains("level=warn"), "{out}");
+        assert!(out.contains("event=session_evicted"), "{out}");
+        assert!(out.contains("session=s7"), "{out}");
+        assert!(out.contains("labels=3"), "{out}");
+    }
+
+    #[test]
+    fn levels_filter_and_off_drops_everything() {
+        let buffer = Buffer::default();
+        let logger = Logger::to_writer(LogFormat::Text, LogLevel::Warn, Box::new(buffer.clone()));
+        assert!(!logger.enabled(LogLevel::Info));
+        assert!(logger.enabled(LogLevel::Error));
+        logger.info("nope", &[]);
+        logger.error("yes", &[]);
+        assert_eq!(buffer.contents().lines().count(), 1);
+
+        let disabled = Logger::disabled();
+        assert!(!disabled.enabled(LogLevel::Error));
+    }
+
+    #[test]
+    fn format_and_level_parse_from_flags() {
+        assert_eq!("json".parse::<LogFormat>().unwrap(), LogFormat::Json);
+        assert_eq!("TEXT".parse::<LogFormat>().unwrap(), LogFormat::Text);
+        assert!("xml".parse::<LogFormat>().is_err());
+        assert_eq!("debug".parse::<LogLevel>().unwrap(), LogLevel::Debug);
+        assert_eq!("OFF".parse::<LogLevel>().unwrap(), LogLevel::Off);
+        assert!("verbose".parse::<LogLevel>().is_err());
+    }
+}

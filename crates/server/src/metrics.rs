@@ -1,61 +1,101 @@
-//! Per-endpoint request counters and latency percentiles for `/healthz`.
+//! Process-wide observability state: per-route latency histograms plus the
+//! lifecycle counters and gauges scraped by `GET /metrics` and summarized
+//! by `/healthz`.
 //!
-//! Latencies are kept in a bounded ring per endpoint (the most recent
-//! [`RESERVOIR`] observations), which bounds memory while keeping the
-//! percentiles representative of *current* behaviour — exactly what a
-//! health probe wants from a long-lived service.
+//! Latencies go into fixed-layout log-linear histograms
+//! ([`crate::hist::Histogram`]) — bounded memory per route, mergeable
+//! across scrapes, and quantiles within 12.5% of exact — replacing the old
+//! 2,048-sample ring whose percentiles degraded under bursty traffic and
+//! whose samples could not be aggregated without a sort.
+//!
+//! Every lock acquisition recovers from poisoning: a panicking handler
+//! thread must not take `/healthz` and `/metrics` down with it (the worst
+//! case is one lost observation from the panicking thread).
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use serde::Serialize;
 
-/// Observations retained per endpoint for percentile estimation.
-const RESERVOIR: usize = 2_048;
+use crate::hist::Histogram;
 
+/// Monotonic lifecycle counters and gauges, shared between the registry
+/// (which increments them), the HTTP layer (queue depth), and the exporters
+/// (which read them). All relaxed atomics — these are statistics, not
+/// synchronization.
 #[derive(Debug, Default)]
-struct EndpointStats {
-    count: u64,
-    /// Ring buffer of recent latencies in microseconds.
-    recent_us: Vec<u64>,
-    /// Next write position once `recent_us` is full.
-    cursor: usize,
+pub struct Counters {
+    /// Sessions created via `POST /sessions`.
+    pub sessions_created: AtomicU64,
+    /// Sessions evicted (LRU capacity or TTL sweep).
+    pub sessions_evicted: AtomicU64,
+    /// Snapshots successfully written to disk.
+    pub snapshots_ok: AtomicU64,
+    /// Snapshot attempts that failed.
+    pub snapshots_failed: AtomicU64,
+    /// Sessions successfully restored (from a request body or disk).
+    pub restores_ok: AtomicU64,
+    /// Restore attempts that failed.
+    pub restores_failed: AtomicU64,
+    /// Feedback labels ingested across all sessions.
+    pub feedback_labels: AtomicU64,
+    /// Gauge: connections accepted but not yet picked up by a worker.
+    queue_depth: Arc<AtomicU64>,
 }
 
-impl EndpointStats {
-    fn record(&mut self, us: u64) {
-        self.count += 1;
-        if self.recent_us.len() < RESERVOIR {
-            self.recent_us.push(us);
-        } else {
-            self.recent_us[self.cursor] = us;
-            self.cursor = (self.cursor + 1) % RESERVOIR;
-        }
+impl Counters {
+    /// Relaxed-increments `counter` by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed read of `counter`.
+    #[must_use]
+    pub fn read(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// The shared worker-queue-depth gauge, for handing to the HTTP accept
+    /// loop (which increments it per queued connection; workers decrement).
+    #[must_use]
+    pub fn queue_depth_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.queue_depth)
+    }
+
+    /// Current worker-queue depth.
+    #[must_use]
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
     }
 }
 
 /// A point-in-time summary of one endpoint, as reported by `/healthz`.
+/// Percentiles come from the route's bucketed histogram (within one bucket
+/// width — ≤ 12.5% — of exact); `count` and `max_us` are exact.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct EndpointReport {
     /// Normalized route label, e.g. `"GET /sessions/:id/next"`.
     pub route: String,
     /// Total requests handled since startup.
     pub count: u64,
-    /// Median latency over the recent window, microseconds.
+    /// Median latency, microseconds.
     pub p50_us: u64,
     /// 90th-percentile latency, microseconds.
     pub p90_us: u64,
     /// 99th-percentile latency, microseconds.
     pub p99_us: u64,
-    /// Maximum latency in the recent window, microseconds.
+    /// Maximum latency since startup, microseconds.
     pub max_us: u64,
 }
 
-/// Thread-safe request metrics keyed by normalized route.
+/// Thread-safe request metrics keyed by normalized route, plus the shared
+/// process counters.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    endpoints: Mutex<HashMap<&'static str, EndpointStats>>,
+    endpoints: Mutex<HashMap<&'static str, Histogram>>,
+    counters: Arc<Counters>,
 }
 
 impl Metrics {
@@ -65,37 +105,54 @@ impl Metrics {
         Self::default()
     }
 
+    /// The shared lifecycle counters.
+    #[must_use]
+    pub fn counters(&self) -> &Arc<Counters> {
+        &self.counters
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<&'static str, Histogram>> {
+        // Recover from poison: a handler panic must not break /healthz.
+        self.endpoints
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Records one request against `route`.
     pub fn record(&self, route: &'static str, latency: Duration) {
         let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        self.endpoints
-            .lock()
-            .expect("metrics lock")
-            .entry(route)
-            .or_default()
-            .record(us);
+        self.lock().entry(route).or_default().record(us);
     }
 
     /// Summarizes every endpoint seen so far, sorted by route label.
     #[must_use]
     pub fn report(&self) -> Vec<EndpointReport> {
-        let endpoints = self.endpoints.lock().expect("metrics lock");
+        let endpoints = self.lock();
         let mut out: Vec<EndpointReport> = endpoints
             .iter()
-            .map(|(route, stats)| {
-                let mut sorted = stats.recent_us.clone();
-                sorted.sort_unstable();
-                EndpointReport {
-                    route: (*route).to_owned(),
-                    count: stats.count,
-                    p50_us: percentile(&sorted, 50),
-                    p90_us: percentile(&sorted, 90),
-                    p99_us: percentile(&sorted, 99),
-                    max_us: sorted.last().copied().unwrap_or(0),
-                }
+            .map(|(route, hist)| EndpointReport {
+                route: (*route).to_owned(),
+                count: hist.count(),
+                p50_us: hist.quantile(0.50),
+                p90_us: hist.quantile(0.90),
+                p99_us: hist.quantile(0.99),
+                max_us: hist.max_us(),
             })
             .collect();
         out.sort_by(|a, b| a.route.cmp(&b.route));
+        out
+    }
+
+    /// A snapshot of every route's histogram, sorted by route label, for
+    /// the Prometheus exporter.
+    #[must_use]
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        let endpoints = self.lock();
+        let mut out: Vec<(String, Histogram)> = endpoints
+            .iter()
+            .map(|(route, hist)| ((*route).to_owned(), hist.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
         out
     }
 }
@@ -106,29 +163,9 @@ impl Serialize for Metrics {
     }
 }
 
-/// Nearest-rank percentile over an already-sorted slice.
-fn percentile(sorted_us: &[u64], pct: u64) -> u64 {
-    if sorted_us.is_empty() {
-        return 0;
-    }
-    let rank = (pct * sorted_us.len() as u64).div_ceil(100);
-    let index = (rank.max(1) - 1) as usize;
-    sorted_us[index.min(sorted_us.len() - 1)]
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn percentiles_follow_nearest_rank() {
-        let v: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&v, 50), 50);
-        assert_eq!(percentile(&v, 90), 90);
-        assert_eq!(percentile(&v, 99), 99);
-        assert_eq!(percentile(&[7], 99), 7);
-        assert_eq!(percentile(&[], 50), 0);
-    }
 
     #[test]
     fn records_and_reports_per_route() {
@@ -141,21 +178,55 @@ mod tests {
         assert_eq!(report.len(), 2);
         let health = report.iter().find(|r| r.route == "GET /healthz").unwrap();
         assert_eq!(health.count, 10);
-        assert!(health.p50_us >= 100 && health.max_us <= 109);
+        // Bucketed quantiles: within one bucket width above the exact
+        // values, which all land in [96, 112) at this magnitude.
+        assert!(health.p50_us >= 100 && health.p50_us <= 112, "{health:?}");
+        assert_eq!(health.max_us, 109);
         let create = report.iter().find(|r| r.route == "POST /sessions").unwrap();
         assert_eq!(create.count, 1);
-        assert_eq!(create.p50_us, 5_000);
+        assert!(create.p50_us >= 5_000 && create.p50_us < 5_000 + 5_000 / 8);
     }
 
     #[test]
-    fn reservoir_is_bounded() {
+    fn memory_is_bounded_regardless_of_observations() {
         let m = Metrics::new();
-        for i in 0..(RESERVOIR as u64 + 500) {
+        for i in 0..10_000u64 {
             m.record("r", Duration::from_micros(i));
         }
-        let r = &m.report()[0];
-        assert_eq!(r.count, RESERVOIR as u64 + 500);
-        // Old observations were overwritten, so the window max is recent.
-        assert_eq!(r.max_us, RESERVOIR as u64 + 499);
+        let report = m.report();
+        assert_eq!(report[0].count, 10_000);
+        assert_eq!(report[0].max_us, 9_999);
+        let hists = m.histograms();
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].1.count(), 10_000);
+    }
+
+    #[test]
+    fn survives_a_poisoned_lock() {
+        let m = Arc::new(Metrics::new());
+        m.record("r", Duration::from_micros(5));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.endpoints.lock().unwrap();
+            panic!("poison the metrics lock");
+        })
+        .join();
+        // The satellite fix: record/report recover instead of panicking.
+        m.record("r", Duration::from_micros(7));
+        let report = m.report();
+        assert_eq!(report[0].count, 2);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let c = Counters::default();
+        Counters::bump(&c.sessions_created);
+        Counters::bump(&c.sessions_created);
+        Counters::bump(&c.feedback_labels);
+        assert_eq!(Counters::read(&c.sessions_created), 2);
+        assert_eq!(Counters::read(&c.feedback_labels), 1);
+        let depth = c.queue_depth_handle();
+        depth.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(c.queue_depth(), 3);
     }
 }

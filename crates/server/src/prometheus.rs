@@ -1,0 +1,279 @@
+//! Prometheus text exposition (format version 0.0.4) for `GET /metrics`.
+//!
+//! Durations are exported in seconds, as the Prometheus convention
+//! requires; the underlying histograms store microseconds, so bucket
+//! bounds convert as `(inclusive_µs) × 1e-6`. Only buckets that have
+//! observations are emitted (plus the mandatory `+Inf` bucket) — with the
+//! fixed log-linear layout, omitted buckets are unambiguously zero, and
+//! the cumulative-count contract still holds.
+
+use crate::hist::Histogram;
+use crate::metrics::Counters;
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders integer microseconds as an exact decimal-seconds string
+/// (`5 → "0.000005"`, `1_500_000 → "1.5"`), sidestepping the float
+/// imprecision of `us as f64 * 1e-6`.
+fn seconds(us: u64) -> String {
+    let whole = us / 1_000_000;
+    let frac = us % 1_000_000;
+    if frac == 0 {
+        return format!("{whole}");
+    }
+    let mut out = format!("{whole}.{frac:06}");
+    while out.ends_with('0') {
+        out.pop();
+    }
+    out
+}
+
+/// Renders the whole scrape payload.
+#[must_use]
+pub fn render(
+    uptime_secs: f64,
+    active_sessions: usize,
+    counters: &Counters,
+    histograms: &[(String, Histogram)],
+) -> String {
+    let mut out = String::with_capacity(4096);
+
+    out.push_str("# HELP viewseeker_uptime_seconds Seconds since the server started.\n");
+    out.push_str("# TYPE viewseeker_uptime_seconds gauge\n");
+    out.push_str(&format!("viewseeker_uptime_seconds {uptime_secs}\n"));
+
+    out.push_str("# HELP viewseeker_active_sessions Live sessions in the registry.\n");
+    out.push_str("# TYPE viewseeker_active_sessions gauge\n");
+    out.push_str(&format!("viewseeker_active_sessions {active_sessions}\n"));
+
+    out.push_str("# HELP viewseeker_worker_queue_depth Accepted connections awaiting a worker.\n");
+    out.push_str("# TYPE viewseeker_worker_queue_depth gauge\n");
+    out.push_str(&format!(
+        "viewseeker_worker_queue_depth {}\n",
+        counters.queue_depth()
+    ));
+
+    out.push_str("# HELP viewseeker_sessions_created_total Sessions created.\n");
+    out.push_str("# TYPE viewseeker_sessions_created_total counter\n");
+    out.push_str(&format!(
+        "viewseeker_sessions_created_total {}\n",
+        Counters::read(&counters.sessions_created)
+    ));
+
+    out.push_str("# HELP viewseeker_sessions_evicted_total Sessions evicted (LRU or TTL).\n");
+    out.push_str("# TYPE viewseeker_sessions_evicted_total counter\n");
+    out.push_str(&format!(
+        "viewseeker_sessions_evicted_total {}\n",
+        Counters::read(&counters.sessions_evicted)
+    ));
+
+    out.push_str("# HELP viewseeker_snapshots_total Session snapshots written, by outcome.\n");
+    out.push_str("# TYPE viewseeker_snapshots_total counter\n");
+    out.push_str(&format!(
+        "viewseeker_snapshots_total{{outcome=\"ok\"}} {}\n",
+        Counters::read(&counters.snapshots_ok)
+    ));
+    out.push_str(&format!(
+        "viewseeker_snapshots_total{{outcome=\"error\"}} {}\n",
+        Counters::read(&counters.snapshots_failed)
+    ));
+
+    out.push_str("# HELP viewseeker_restores_total Session restores, by outcome.\n");
+    out.push_str("# TYPE viewseeker_restores_total counter\n");
+    out.push_str(&format!(
+        "viewseeker_restores_total{{outcome=\"ok\"}} {}\n",
+        Counters::read(&counters.restores_ok)
+    ));
+    out.push_str(&format!(
+        "viewseeker_restores_total{{outcome=\"error\"}} {}\n",
+        Counters::read(&counters.restores_failed)
+    ));
+
+    out.push_str("# HELP viewseeker_feedback_labels_total Feedback labels ingested.\n");
+    out.push_str("# TYPE viewseeker_feedback_labels_total counter\n");
+    out.push_str(&format!(
+        "viewseeker_feedback_labels_total {}\n",
+        Counters::read(&counters.feedback_labels)
+    ));
+
+    out.push_str("# HELP viewseeker_requests_total Requests handled, by route.\n");
+    out.push_str("# TYPE viewseeker_requests_total counter\n");
+    for (route, hist) in histograms {
+        out.push_str(&format!(
+            "viewseeker_requests_total{{route=\"{}\"}} {}\n",
+            escape_label(route),
+            hist.count()
+        ));
+    }
+
+    out.push_str("# HELP viewseeker_request_duration_seconds Request latency, by route.\n");
+    out.push_str("# TYPE viewseeker_request_duration_seconds histogram\n");
+    for (route, hist) in histograms {
+        let route = escape_label(route);
+        let mut cumulative = 0u64;
+        for (bound_us, count) in hist.nonzero_buckets() {
+            cumulative += count;
+            out.push_str(&format!(
+                "viewseeker_request_duration_seconds_bucket{{route=\"{route}\",le=\"{}\"}} {cumulative}\n",
+                seconds(bound_us)
+            ));
+        }
+        out.push_str(&format!(
+            "viewseeker_request_duration_seconds_bucket{{route=\"{route}\",le=\"+Inf\"}} {}\n",
+            hist.count()
+        ));
+        out.push_str(&format!(
+            "viewseeker_request_duration_seconds_sum{{route=\"{route}\"}} {}\n",
+            seconds(hist.sum_us())
+        ));
+        out.push_str(&format!(
+            "viewseeker_request_duration_seconds_count{{route=\"{route}\"}} {}\n",
+            hist.count()
+        ));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape() -> String {
+        let counters = Counters::default();
+        Counters::bump(&counters.sessions_created);
+        Counters::bump(&counters.feedback_labels);
+        Counters::bump(&counters.feedback_labels);
+        let mut hist = Histogram::new();
+        hist.record(5);
+        hist.record(150);
+        hist.record(150);
+        render(
+            12.5,
+            3,
+            &counters,
+            &[("GET /sessions/:id".to_owned(), hist)],
+        )
+    }
+
+    /// Golden test for the exposition format: every line is either a
+    /// comment or `name[{labels}] value`, and the series the scrape
+    /// promises are all present with the right values.
+    #[test]
+    fn text_format_is_well_formed() {
+        let text = scrape();
+        for line in text.lines() {
+            assert!(!line.is_empty(), "blank line in scrape");
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "{line}"
+                );
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect(line);
+            assert!(
+                series.starts_with("viewseeker_"),
+                "unprefixed series: {line}"
+            );
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "bad value: {line}"
+            );
+            // No scientific notation: Prometheus accepts it, but fixed
+            // decimals keep the golden expectations simple and diffable.
+            assert!(!value.contains('e') && !value.contains('E'), "{line}");
+        }
+    }
+
+    #[test]
+    fn golden_series_and_values() {
+        let text = scrape();
+        assert!(text.contains("viewseeker_uptime_seconds 12.5\n"), "{text}");
+        assert!(text.contains("viewseeker_active_sessions 3\n"), "{text}");
+        assert!(text.contains("viewseeker_worker_queue_depth 0\n"), "{text}");
+        assert!(
+            text.contains("viewseeker_sessions_created_total 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_feedback_labels_total 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_snapshots_total{outcome=\"ok\"} 0\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_requests_total{route=\"GET /sessions/:id\"} 3\n"),
+            "{text}"
+        );
+        // 5 µs lands in the unit bucket [5,6) → le 0.000005; the two
+        // 150 µs observations share [144,160) → le 0.000159.
+        assert!(
+            text.contains(
+                "viewseeker_request_duration_seconds_bucket{route=\"GET /sessions/:id\",le=\"0.000005\"} 1\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "viewseeker_request_duration_seconds_bucket{route=\"GET /sessions/:id\",le=\"0.000159\"} 3\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "viewseeker_request_duration_seconds_bucket{route=\"GET /sessions/:id\",le=\"+Inf\"} 3\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "viewseeker_request_duration_seconds_sum{route=\"GET /sessions/:id\"} 0.000305\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "viewseeker_request_duration_seconds_count{route=\"GET /sessions/:id\"} 3\n"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let escaped = escape_label("a\"b\\c\nd");
+        assert_eq!(escaped, "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn cumulative_bucket_counts_are_monotonic() {
+        let mut hist = Histogram::new();
+        for v in [1u64, 9, 70, 900, 12_000, 150_000] {
+            hist.record(v);
+        }
+        let counters = Counters::default();
+        let text = render(1.0, 0, &counters, &[("r".to_owned(), hist)]);
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines() {
+            if line.starts_with("viewseeker_request_duration_seconds_bucket") {
+                let value: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+                assert!(value >= last, "{line}");
+                last = value;
+                bucket_lines += 1;
+            }
+        }
+        assert_eq!(bucket_lines, 7); // 6 distinct buckets + +Inf
+        assert_eq!(last, 6);
+    }
+}

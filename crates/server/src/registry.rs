@@ -23,11 +23,14 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use viewseeker_core::persist::SessionSnapshot;
+use viewseeker_core::trace::{Recorder, Tracer};
 use viewseeker_core::{OwnedSeeker, Seeker, ViewSeekerConfig};
 use viewseeker_dataset::generate::{generate_diab, generate_syn, DiabConfig, SynConfig};
 use viewseeker_dataset::{Predicate, SelectQuery, Table};
 
 use crate::error::ServerError;
+use crate::log::{n, s, Logger};
+use crate::metrics::Counters;
 
 /// Everything needed to (re)build a session's world deterministically: the
 /// named generated dataset and the view-space configuration. Doubles as the
@@ -124,9 +127,24 @@ impl SessionSpec {
     ///
     /// Spec validation plus seeker initialization errors.
     pub fn build_seeker(&self) -> Result<OwnedSeeker, ServerError> {
+        self.build_seeker_traced(viewseeker_core::noop_tracer())
+    }
+
+    /// [`SessionSpec::build_seeker`] reporting into `tracer`, so the
+    /// session's phase timings are observable per-session.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SessionSpec::build_seeker`].
+    pub fn build_seeker_traced(&self, tracer: Arc<dyn Tracer>) -> Result<OwnedSeeker, ServerError> {
         let table = Arc::new(self.build_table()?);
         let query = self.build_query()?;
-        Ok(Seeker::new(table, &query, self.build_config())?)
+        Ok(Seeker::new_traced(
+            table,
+            &query,
+            self.build_config(),
+            tracer,
+        )?)
     }
 }
 
@@ -150,6 +168,9 @@ pub struct SessionEntry {
     pub spec: SessionSpec,
     /// The interactive session itself; lock to use.
     pub seeker: Mutex<OwnedSeeker>,
+    /// The session's trace recorder (the seeker reports into it; readable
+    /// without the seeker lock).
+    pub recorder: Arc<Recorder>,
     last_used: Mutex<Instant>,
 }
 
@@ -170,6 +191,8 @@ pub struct SessionRegistry {
     max_sessions: usize,
     ttl: Duration,
     snapshot_dir: Option<PathBuf>,
+    counters: Arc<Counters>,
+    logger: Arc<Logger>,
 }
 
 impl SessionRegistry {
@@ -184,7 +207,18 @@ impl SessionRegistry {
             max_sessions: max_sessions.max(1),
             ttl,
             snapshot_dir,
+            counters: Arc::new(Counters::default()),
+            logger: Logger::disabled(),
         }
+    }
+
+    /// Connects the registry to the process-wide counters and the event
+    /// logger. Called once by [`crate::api::AppState`] before serving; the
+    /// defaults (private counters, disabled logger) keep standalone
+    /// registries in tests silent.
+    pub fn attach_observability(&mut self, counters: Arc<Counters>, logger: Arc<Logger>) {
+        self.counters = counters;
+        self.logger = logger;
     }
 
     /// Number of live sessions.
@@ -229,9 +263,26 @@ impl SessionRegistry {
     ///
     /// Spec/seeker construction errors; eviction persistence errors.
     pub fn create(&self, spec: SessionSpec) -> Result<Arc<SessionEntry>, ServerError> {
-        let seeker = spec.build_seeker()?;
+        let recorder = Recorder::shared();
+        let seeker = spec.build_seeker_traced(Arc::clone(&recorder) as Arc<dyn Tracer>)?;
         let id = format!("s{}", self.next_id.fetch_add(1, Ordering::SeqCst));
-        self.insert(id, spec, seeker)
+        let entry = self.insert(id, spec, seeker, recorder)?;
+        Counters::bump(&self.counters.sessions_created);
+        self.logger.info(
+            "session_created",
+            &[
+                ("session", s(&entry.id)),
+                ("dataset", s(&entry.spec.dataset)),
+                (
+                    "views",
+                    n(entry
+                        .seeker
+                        .lock()
+                        .map_or(0, |sk| sk.view_space().len() as u64)),
+                ),
+            ],
+        );
+        Ok(entry)
     }
 
     /// Creates a session by replaying `persisted` labels over a freshly
@@ -242,6 +293,33 @@ impl SessionRegistry {
     ///
     /// Spec errors, snapshot/view-space mismatches, label replay errors.
     pub fn restore(&self, persisted: &PersistedSession) -> Result<Arc<SessionEntry>, ServerError> {
+        let result = self.restore_inner(persisted);
+        match &result {
+            Ok(entry) => {
+                Counters::bump(&self.counters.restores_ok);
+                self.logger.info(
+                    "session_restored",
+                    &[
+                        ("session", s(&entry.id)),
+                        ("labels", n(persisted.snapshot.labels.len() as u64)),
+                    ],
+                );
+            }
+            Err(e) => {
+                Counters::bump(&self.counters.restores_failed);
+                self.logger.warn(
+                    "session_restore_failed",
+                    &[("session", s(&persisted.id)), ("error", s(e.message()))],
+                );
+            }
+        }
+        result
+    }
+
+    fn restore_inner(
+        &self,
+        persisted: &PersistedSession,
+    ) -> Result<Arc<SessionEntry>, ServerError> {
         if self
             .sessions
             .read()
@@ -255,11 +333,19 @@ impl SessionRegistry {
         }
         let table = Arc::new(persisted.spec.build_table()?);
         let query = persisted.spec.build_query()?;
-        let seeker =
-            persisted
-                .snapshot
-                .restore_seeker(table, &query, persisted.spec.build_config())?;
-        self.insert(persisted.id.clone(), persisted.spec.clone(), seeker)
+        let recorder = Recorder::shared();
+        let seeker = persisted.snapshot.restore_seeker_traced(
+            table,
+            &query,
+            persisted.spec.build_config(),
+            Arc::clone(&recorder) as Arc<dyn Tracer>,
+        )?;
+        self.insert(
+            persisted.id.clone(),
+            persisted.spec.clone(),
+            seeker,
+            recorder,
+        )
     }
 
     /// Reloads a previously evicted session from `snapshot_dir`.
@@ -285,11 +371,13 @@ impl SessionRegistry {
         id: String,
         spec: SessionSpec,
         seeker: OwnedSeeker,
+        recorder: Arc<Recorder>,
     ) -> Result<Arc<SessionEntry>, ServerError> {
         let entry = Arc::new(SessionEntry {
             id: id.clone(),
             spec,
             seeker: Mutex::new(seeker),
+            recorder,
             last_used: Mutex::new(Instant::now()),
         });
         let evicted = {
@@ -310,6 +398,11 @@ impl SessionRegistry {
         // Persist outside the registry lock: snapshotting locks the evicted
         // session and may touch the filesystem.
         for victim in evicted {
+            Counters::bump(&self.counters.sessions_evicted);
+            self.logger.info(
+                "session_evicted",
+                &[("session", s(&victim.id)), ("reason", s("capacity"))],
+            );
             self.persist(&victim)?;
         }
         Ok(entry)
@@ -346,6 +439,18 @@ impl SessionRegistry {
         }
     }
 
+    /// Looks a session up *without* refreshing its LRU clock — for
+    /// observers (access logging, trace reads) that must not keep an
+    /// otherwise-idle session alive.
+    #[must_use]
+    pub fn peek(&self, id: &str) -> Option<Arc<SessionEntry>> {
+        self.sessions
+            .read()
+            .expect("registry lock")
+            .get(id)
+            .cloned()
+    }
+
     /// Removes a session without persisting it.
     ///
     /// # Errors
@@ -356,7 +461,7 @@ impl SessionRegistry {
             .write()
             .expect("registry lock")
             .remove(id)
-            .map(|_| ())
+            .map(|_| self.logger.info("session_removed", &[("session", s(id))]))
             .ok_or_else(|| ServerError::NotFound(format!("unknown session {id:?}")))
     }
 
@@ -381,6 +486,11 @@ impl SessionRegistry {
         };
         let mut ids = Vec::with_capacity(expired.len());
         for entry in &expired {
+            Counters::bump(&self.counters.sessions_evicted);
+            self.logger.info(
+                "session_evicted",
+                &[("session", s(&entry.id)), ("reason", s("ttl"))],
+            );
             self.persist(entry)?;
             ids.push(entry.id.clone());
         }
@@ -394,8 +504,30 @@ impl SessionRegistry {
     ///
     /// Serialization or filesystem errors.
     pub fn persist(&self, entry: &SessionEntry) -> Result<(), ServerError> {
+        let result = self.persist_inner(entry);
+        match &result {
+            Ok(true) => {
+                Counters::bump(&self.counters.snapshots_ok);
+                self.logger
+                    .info("session_snapshot", &[("session", s(&entry.id))]);
+            }
+            Ok(false) => {} // no snapshot directory configured: a no-op
+            Err(e) => {
+                Counters::bump(&self.counters.snapshots_failed);
+                self.logger.error(
+                    "session_snapshot_failed",
+                    &[("session", s(&entry.id)), ("error", s(e.message()))],
+                );
+            }
+        }
+        result.map(|_| ())
+    }
+
+    /// Returns whether a snapshot was actually written (`false` when no
+    /// snapshot directory is configured).
+    fn persist_inner(&self, entry: &SessionEntry) -> Result<bool, ServerError> {
         let Some(path) = self.snapshot_path(&entry.id) else {
-            return Ok(());
+            return Ok(false);
         };
         let seeker = entry.seeker.lock().expect("session lock");
         let persisted = PersistedSession {
@@ -410,7 +542,7 @@ impl SessionRegistry {
         let json = serde_json::to_string_pretty(&persisted)
             .map_err(|e| ServerError::Internal(format!("snapshot serialization: {e}")))?;
         std::fs::write(&path, json)?;
-        Ok(())
+        Ok(true)
     }
 
     fn snapshot_path(&self, id: &str) -> Option<PathBuf> {

@@ -18,13 +18,14 @@
 //! ```
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 use crate::api::{self, AppState};
 use crate::error::ServerError;
 use crate::http::{Handler, Request, Response};
+use crate::log::{n, s, LogLevel};
 
 /// The service's request dispatcher.
 pub struct Router {
@@ -51,6 +52,10 @@ impl Router {
 
         match (method, segments.as_slice()) {
             ("GET", ["healthz"]) => ("GET /healthz", api::healthz(state).map(ok)),
+            ("GET", ["metrics"]) => (
+                "GET /metrics",
+                Ok(Response::prometheus(api::metrics_text(state))),
+            ),
             ("POST", ["sessions"]) => (
                 "POST /sessions",
                 request
@@ -135,6 +140,51 @@ fn created<T: Serialize>(payload: T) -> Response {
     render(201, &payload)
 }
 
+impl Router {
+    /// The structured access line: one per request, with the session id and
+    /// the session's cumulative trace-phase totals when the route is
+    /// session-scoped (read via a non-LRU-touching peek, so logging never
+    /// keeps an idle session alive).
+    fn log_request(&self, request: &Request, route: &str, status: u16, elapsed: Duration) {
+        let logger = &self.state.logger;
+        let level = if status >= 500 {
+            LogLevel::Warn
+        } else {
+            LogLevel::Info
+        };
+        if !logger.enabled(level) {
+            return;
+        }
+        let mut fields = vec![
+            ("method", s(&request.method)),
+            ("path", s(&request.path)),
+            ("route", s(route)),
+            ("status", n(status.into())),
+            (
+                "duration_us",
+                n(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)),
+            ),
+        ];
+        let segments: Vec<&str> = request.path.split('/').filter(|p| !p.is_empty()).collect();
+        if let ["sessions", id, ..] = segments.as_slice() {
+            if *id != "restore" {
+                fields.push(("session", s(id)));
+                if let Some(entry) = self.state.registry.peek(id) {
+                    let totals: Vec<(String, Value)> = entry
+                        .recorder
+                        .phase_totals()
+                        .into_iter()
+                        .filter(|(_, total)| total.count > 0)
+                        .map(|(phase, total)| (phase.name().to_owned(), n(total.total_us)))
+                        .collect();
+                    fields.push(("phase_totals_us", Value::Object(totals)));
+                }
+            }
+        }
+        logger.log(level, "request", &fields);
+    }
+}
+
 impl Handler for Router {
     fn handle(&self, request: &Request) -> Response {
         let start = Instant::now();
@@ -142,7 +192,9 @@ impl Handler for Router {
         let response = result.unwrap_or_else(|e| {
             Response::with_status(e.status(), format!("{{\"error\": {:?}}}", e.message()))
         });
-        self.state.metrics.record(route, start.elapsed());
+        let elapsed = start.elapsed();
+        self.state.metrics.record(route, elapsed);
+        self.log_request(request, route, response.status, elapsed);
         response
     }
 }
@@ -215,6 +267,115 @@ mod tests {
         assert_eq!(reply.status, 404);
         let reply = r.handle(&req("PATCH", "/sessions", ""));
         assert_eq!(reply.status, 404);
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let r = router();
+        r.handle(&req(
+            "POST",
+            "/sessions",
+            r#"{"dataset": "diab", "rows": 800, "seed": 5, "query": "a0 = 'a0_v0'"}"#,
+        ));
+        let reply = r.handle(&req("GET", "/metrics", ""));
+        assert_eq!(reply.status, 200);
+        assert_eq!(
+            reply.content_type,
+            "text/plain; version=0.0.4; charset=utf-8"
+        );
+        assert!(
+            reply
+                .body
+                .contains("# TYPE viewseeker_requests_total counter"),
+            "{}",
+            reply.body
+        );
+        assert!(
+            reply
+                .body
+                .contains("viewseeker_requests_total{route=\"POST /sessions\"} 1"),
+            "{}",
+            reply.body
+        );
+        // The scrape itself was recorded by the next scrape.
+        let again = r.handle(&req("GET", "/metrics", ""));
+        assert!(
+            again
+                .body
+                .contains("viewseeker_requests_total{route=\"GET /metrics\"} 1"),
+            "{}",
+            again.body
+        );
+    }
+
+    #[test]
+    fn access_log_emits_one_parseable_json_line_per_request() {
+        use crate::log::{LogFormat, Logger};
+        use crate::registry::SessionRegistry;
+        use std::io::Write;
+        use std::sync::Mutex;
+
+        #[derive(Clone, Default)]
+        struct Buffer(Arc<Mutex<Vec<u8>>>);
+        impl Write for Buffer {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buffer = Buffer::default();
+        let logger = Arc::new(Logger::to_writer(
+            LogFormat::Json,
+            LogLevel::Info,
+            Box::new(buffer.clone()),
+        ));
+        let registry = SessionRegistry::new(4, Duration::from_secs(600), None);
+        let r = Router::new(Arc::new(AppState::with_logger(registry, logger)));
+
+        r.handle(&req(
+            "POST",
+            "/sessions",
+            r#"{"dataset": "diab", "rows": 800, "seed": 5, "query": "a0 = 'a0_v0'"}"#,
+        ));
+        r.handle(&req(
+            "POST",
+            "/sessions/s1/feedback",
+            r#"{"view": 0, "score": 0.8}"#,
+        ));
+        r.handle(&req("GET", "/sessions/s1", ""));
+
+        let raw = String::from_utf8(buffer.0.lock().unwrap().clone()).unwrap();
+        let request_lines: Vec<Value> = raw
+            .lines()
+            .map(|line| serde_json::parse_value(line).expect(line))
+            .filter(|v| v.get("event") == Some(&Value::String("request".into())))
+            .collect();
+        assert_eq!(request_lines.len(), 3, "{raw}");
+        let feedback_line = &request_lines[1];
+        assert_eq!(
+            feedback_line.get("route"),
+            Some(&Value::String("POST /sessions/:id/feedback".into()))
+        );
+        assert_eq!(
+            feedback_line.get("session"),
+            Some(&Value::String("s1".into()))
+        );
+        assert_eq!(feedback_line.get("status"), Some(&n(200)));
+        assert!(matches!(
+            feedback_line.get("duration_us"),
+            Some(Value::Number(_))
+        ));
+        // Session-scoped lines carry the cumulative trace-phase totals.
+        assert!(
+            matches!(feedback_line.get("phase_totals_us"), Some(Value::Object(_))),
+            "{feedback_line:?}"
+        );
+        // Lifecycle events from the registry landed in the same stream.
+        assert!(raw.contains("\"event\":\"session_created\""), "{raw}");
     }
 
     #[test]

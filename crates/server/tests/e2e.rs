@@ -8,7 +8,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-use viewseeker_server::{serve_app, ServerConfig};
+use viewseeker_server::{serve_app, LogFormat, LogLevel, ServerConfig};
 
 /// Minimal HTTP/1.1 client: one connection per request, returns
 /// `(status, body)`.
@@ -90,6 +90,8 @@ fn concurrent_sessions_full_loop_over_http() {
         max_sessions: 32,
         ttl: Duration::from_secs(600),
         snapshot_dir: Some(dir.clone()),
+        log_format: LogFormat::Text,
+        log_level: LogLevel::Off,
     })
     .expect("bind");
     let addr = handle.addr();
@@ -168,6 +170,101 @@ fn concurrent_sessions_full_loop_over_http() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Reads a single-sample series value from a Prometheus scrape.
+fn scrape_value(scrape: &str, series: &str) -> f64 {
+    scrape
+        .lines()
+        .find_map(|line| line.strip_prefix(series)?.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no series {series:?} in scrape:\n{scrape}"))
+}
+
+#[test]
+fn metrics_counters_move_across_the_session_lifecycle() {
+    let dir = std::env::temp_dir().join(format!("vs-e2e-metrics-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = serve_app(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        max_sessions: 1, // the second create evicts the first
+        ttl: Duration::from_secs(600),
+        snapshot_dir: Some(dir.clone()),
+        log_format: LogFormat::Text,
+        log_level: LogLevel::Off,
+    })
+    .expect("bind");
+    let addr = handle.addr();
+
+    let (status, before) = call(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200, "{before}");
+    assert_eq!(
+        scrape_value(&before, "viewseeker_sessions_created_total "),
+        0.0
+    );
+    assert_eq!(
+        scrape_value(&before, "viewseeker_feedback_labels_total "),
+        0.0
+    );
+
+    // create → feedback ×3 → recommend, then a second create that evicts
+    // (and therefore snapshots) the first session, then restore it.
+    let (first, _) = drive_session(addr, 7, &[0.9, 0.2, 0.6]);
+    let (_second, _) = drive_session(addr, 8, &[0.5]);
+    let (status, body) = call(addr, "POST", &format!("/sessions/{first}/restore"), "");
+    assert_eq!(status, 201, "{body}");
+
+    let (status, after) = call(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200, "{after}");
+    assert_eq!(
+        scrape_value(&after, "viewseeker_sessions_created_total "),
+        2.0
+    );
+    assert_eq!(
+        scrape_value(&after, "viewseeker_feedback_labels_total "),
+        4.0
+    );
+    // Both creations' victims: first evicted by the second create, second
+    // evicted by the restore (cap = 1).
+    assert_eq!(
+        scrape_value(&after, "viewseeker_sessions_evicted_total "),
+        2.0
+    );
+    assert!(scrape_value(&after, "viewseeker_snapshots_total{outcome=\"ok\"} ") >= 2.0);
+    assert_eq!(
+        scrape_value(&after, "viewseeker_restores_total{outcome=\"ok\"} "),
+        1.0
+    );
+    assert_eq!(scrape_value(&after, "viewseeker_active_sessions "), 1.0);
+    assert_eq!(
+        scrape_value(
+            &after,
+            "viewseeker_requests_total{route=\"POST /sessions\"} "
+        ),
+        2.0
+    );
+
+    // The latency histogram carries the full exposition triple for a route
+    // this test exercised, with a cumulative +Inf bucket matching _count.
+    let feedback_count = scrape_value(
+        &after,
+        "viewseeker_request_duration_seconds_count{route=\"POST /sessions/:id/feedback\"} ",
+    );
+    assert_eq!(feedback_count, 4.0);
+    let inf_bucket = scrape_value(
+        &after,
+        "viewseeker_request_duration_seconds_bucket{route=\"POST /sessions/:id/feedback\",le=\"+Inf\"} ",
+    );
+    assert_eq!(inf_bucket, feedback_count);
+    assert!(
+        scrape_value(
+            &after,
+            "viewseeker_request_duration_seconds_sum{route=\"POST /sessions/:id/feedback\"} ",
+        ) > 0.0
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn eviction_over_http_is_restorable_with_identical_weights() {
     let dir = std::env::temp_dir().join(format!("vs-e2e-evict-{}", std::process::id()));
@@ -178,6 +275,8 @@ fn eviction_over_http_is_restorable_with_identical_weights() {
         max_sessions: 1, // every create evicts the previous session
         ttl: Duration::from_secs(600),
         snapshot_dir: Some(dir.clone()),
+        log_format: LogFormat::Text,
+        log_level: LogLevel::Off,
     })
     .expect("bind");
     let addr = handle.addr();

@@ -12,7 +12,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-use viewseeker_server::{serve_app, ServerConfig};
+use viewseeker_server::{serve_app, LogFormat, LogLevel, ServerConfig};
 
 /// One request over a fresh connection; returns `(status, body)`.
 fn call(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
@@ -53,6 +53,9 @@ fn main() {
         max_sessions: 8,
         ttl: Duration::from_secs(600),
         snapshot_dir: None,
+        // Structured access logs on stderr; try LogFormat::Json here.
+        log_format: LogFormat::Text,
+        log_level: LogLevel::Off,
     })
     .expect("bind");
     let addr = handle.addr();
@@ -124,6 +127,21 @@ fn main() {
     let (status, body) = call(addr, "GET", "/healthz", "");
     assert_eq!(status, 200, "{body}");
     println!("\nhealthz: {body}");
+
+    // 7. The same state, Prometheus-scrapeable (counters, gauges, and
+    //    per-route latency histograms).
+    let (status, scrape) = call(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200, "{scrape}");
+    let interesting: Vec<&str> = scrape
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter(|l| {
+            l.starts_with("viewseeker_active_sessions")
+                || l.starts_with("viewseeker_feedback_labels_total")
+                || l.contains("route=\"POST /sessions/:id/feedback\"")
+        })
+        .collect();
+    println!("\nmetrics excerpt:\n{}", interesting.join("\n"));
 
     handle.shutdown();
     println!("\nserver stopped cleanly");
