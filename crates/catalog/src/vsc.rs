@@ -1,0 +1,646 @@
+//! The VSC1 on-disk columnar format.
+//!
+//! One dataset is one directory:
+//!
+//! ```text
+//! <name>/
+//!   manifest.json     version tag, schema, row count, per-block digests
+//!   col_000.blk       one binary block per column
+//!   col_001.blk
+//!   ...
+//! ```
+//!
+//! Each block is a self-describing little-endian encoding of one column:
+//!
+//! ```text
+//! "VSB1"  (4 bytes)   block magic
+//! kind    (1 byte)    0 = numeric, 1 = categorical
+//! rows    (u64)       row count, must match the manifest
+//! numeric payload:    rows × f64 (stored as raw bit patterns, so NaN and
+//!                     signed zero round-trip bit-identically)
+//! categorical payload: dict_len (u32), then per dictionary entry
+//!                     byte_len (u32) + UTF-8 bytes, then rows × u32 codes
+//! ```
+//!
+//! The manifest records each block's byte length and FNV-1a 64 digest;
+//! [`load`] verifies both (plus the magic, kind, row count, and exact
+//! payload length) before any bytes reach a [`Table`], so truncated or
+//! bit-flipped files are rejected instead of decoded. The manifest is
+//! written last — a crash mid-save leaves a directory without a manifest,
+//! which the catalog treats as absent.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use viewseeker_dataset::schema::{AttributeRole, ColumnMeta, ColumnType};
+use viewseeker_dataset::{Column, Schema, Table};
+
+use crate::CatalogError;
+
+/// The format tag the manifest must carry.
+pub const FORMAT: &str = "VSC1";
+
+/// Manifest file name inside a dataset directory.
+pub const MANIFEST: &str = "manifest.json";
+
+const BLOCK_MAGIC: &[u8; 4] = b"VSB1";
+const KIND_NUMERIC: u8 = 0;
+const KIND_CATEGORICAL: u8 = 1;
+
+/// Per-column entry of the manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestColumn {
+    /// Column name (schema order is manifest order).
+    pub name: String,
+    /// `"categorical"` or `"numeric"`.
+    pub kind: String,
+    /// `"dimension"` or `"measure"`.
+    pub role: String,
+    /// Block file name, relative to the dataset directory.
+    pub block: String,
+    /// Exact byte length of the block file.
+    pub bytes: u64,
+    /// FNV-1a 64 digest of the block file, lowercase hex.
+    pub checksum: String,
+}
+
+/// The versioned dataset manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Format tag; must equal [`FORMAT`].
+    pub format: String,
+    /// Row count shared by every column.
+    pub rows: u64,
+    /// Content digest of the whole table ([`table_checksum`]), hex.
+    pub table_checksum: String,
+    /// One entry per column, in schema order.
+    pub columns: Vec<ManifestColumn>,
+}
+
+impl Manifest {
+    /// Total bytes across all column blocks.
+    #[must_use]
+    pub fn block_bytes(&self) -> u64 {
+        self.columns.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Rebuilds the schema the manifest describes.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::Corrupt`] for unknown kind/role tags; schema
+    /// validation errors (duplicate names, categorical measures).
+    pub fn schema(&self) -> Result<Schema, CatalogError> {
+        let metas = self
+            .columns
+            .iter()
+            .map(|c| {
+                let column_type = match c.kind.as_str() {
+                    "categorical" => ColumnType::Categorical,
+                    "numeric" => ColumnType::Numeric,
+                    other => {
+                        return Err(CatalogError::Corrupt(format!(
+                            "unknown column kind {other:?} in manifest"
+                        )))
+                    }
+                };
+                let role = match c.role.as_str() {
+                    "dimension" => AttributeRole::Dimension,
+                    "measure" => AttributeRole::Measure,
+                    other => {
+                        return Err(CatalogError::Corrupt(format!(
+                            "unknown column role {other:?} in manifest"
+                        )))
+                    }
+                };
+                Ok(ColumnMeta {
+                    name: c.name.clone(),
+                    column_type,
+                    role,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Schema::new(metas).map_err(|e| CatalogError::Corrupt(format!("manifest schema: {e}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a 64
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64 digest.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// A fresh digest state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current digest value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a 64 of one byte slice.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+fn hex(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+// ---------------------------------------------------------------------------
+// Block encoding
+// ---------------------------------------------------------------------------
+
+fn encode_block(column: &Column) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13 + column.len() * 8);
+    out.extend_from_slice(BLOCK_MAGIC);
+    match column {
+        Column::Numeric(values) => {
+            out.push(KIND_NUMERIC);
+            out.extend_from_slice(&(values.len() as u64).to_le_bytes());
+            for v in values {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        Column::Categorical { codes, dictionary } => {
+            out.push(KIND_CATEGORICAL);
+            out.extend_from_slice(&(codes.len() as u64).to_le_bytes());
+            out.extend_from_slice(&(dictionary.len() as u32).to_le_bytes());
+            for entry in dictionary {
+                out.extend_from_slice(&(entry.len() as u32).to_le_bytes());
+                out.extend_from_slice(entry.as_bytes());
+            }
+            for code in codes {
+                out.extend_from_slice(&code.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// A cursor over a block payload that fails loudly on short reads.
+struct BlockReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    block: &'a str,
+}
+
+impl<'a> BlockReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CatalogError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(CatalogError::Corrupt(format!(
+                "block {} is truncated (needed {} bytes at offset {}, have {})",
+                self.block,
+                n,
+                self.pos,
+                self.bytes.len()
+            ))),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, CatalogError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CatalogError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CatalogError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn finished(&self) -> Result<(), CatalogError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(CatalogError::Corrupt(format!(
+                "block {} has {} trailing bytes",
+                self.block,
+                self.bytes.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn decode_block(name: &str, bytes: &[u8], expect: &ManifestColumn) -> Result<Column, CatalogError> {
+    let mut r = BlockReader {
+        bytes,
+        pos: 0,
+        block: name,
+    };
+    if r.take(4)? != BLOCK_MAGIC {
+        return Err(CatalogError::Corrupt(format!("block {name} has bad magic")));
+    }
+    let kind = r.u8()?;
+    let rows = usize::try_from(r.u64()?)
+        .map_err(|_| CatalogError::Corrupt(format!("block {name} row count overflows")))?;
+    let column = match (kind, expect.kind.as_str()) {
+        (KIND_NUMERIC, "numeric") => {
+            let mut values = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                values.push(f64::from_bits(r.u64()?));
+            }
+            Column::Numeric(values)
+        }
+        (KIND_CATEGORICAL, "categorical") => {
+            let dict_len = r.u32()? as usize;
+            let mut dictionary = Vec::with_capacity(dict_len);
+            for _ in 0..dict_len {
+                let len = r.u32()? as usize;
+                let raw = r.take(len)?;
+                dictionary.push(
+                    std::str::from_utf8(raw)
+                        .map_err(|_| {
+                            CatalogError::Corrupt(format!(
+                                "block {name} has a non-UTF-8 dictionary entry"
+                            ))
+                        })?
+                        .to_owned(),
+                );
+            }
+            let mut codes = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                codes.push(r.u32()?);
+            }
+            Column::categorical_from_codes(codes, dictionary)
+                .map_err(|e| CatalogError::Corrupt(format!("block {name}: {e}")))?
+        }
+        _ => {
+            return Err(CatalogError::Corrupt(format!(
+                "block {name} kind {kind} does not match manifest kind {:?}",
+                expect.kind
+            )))
+        }
+    };
+    r.finished()?;
+    Ok(column)
+}
+
+// ---------------------------------------------------------------------------
+// Table digests and sizing
+// ---------------------------------------------------------------------------
+
+/// Content digest of a table: FNV-1a 64 over the schema (names, types,
+/// roles) and every column's VSC1 block encoding. Two tables digest equal
+/// iff they are bit-identical (including NaN payloads and signed zeros).
+#[must_use]
+pub fn table_checksum(table: &Table) -> u64 {
+    let mut h = Fnv64::new();
+    for meta in table.schema().columns() {
+        h.update(&(meta.name.len() as u32).to_le_bytes());
+        h.update(meta.name.as_bytes());
+        h.update(&[
+            match meta.column_type {
+                ColumnType::Categorical => 1,
+                ColumnType::Numeric => 0,
+            },
+            match meta.role {
+                AttributeRole::Dimension => 0,
+                AttributeRole::Measure => 1,
+            },
+        ]);
+    }
+    for i in 0..table.schema().len() {
+        h.update(&encode_block(table.column(i)));
+    }
+    h.finish()
+}
+
+/// Estimated resident bytes of a table's column data: 8 bytes per numeric
+/// cell, 4 per categorical code, plus dictionary string bytes (with a small
+/// per-entry overhead). Deterministic, so the cache's byte budget behaves
+/// reproducibly across runs.
+#[must_use]
+pub fn table_resident_bytes(table: &Table) -> u64 {
+    let mut total = 0u64;
+    for i in 0..table.schema().len() {
+        total += match table.column(i) {
+            Column::Numeric(values) => values.len() as u64 * 8,
+            Column::Categorical { codes, dictionary } => {
+                codes.len() as u64 * 4 + dictionary.iter().map(|s| s.len() as u64 + 24).sum::<u64>()
+            }
+        };
+    }
+    total
+}
+
+// ---------------------------------------------------------------------------
+// Save / load
+// ---------------------------------------------------------------------------
+
+fn block_file(index: usize) -> String {
+    format!("col_{index:03}.blk")
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join(MANIFEST)
+}
+
+/// Whether `dir` holds a committed VSC1 dataset (a manifest exists).
+#[must_use]
+pub fn exists(dir: &Path) -> bool {
+    manifest_path(dir).is_file()
+}
+
+/// Writes `table` into `dir` as a VSC1 dataset, creating the directory.
+/// Blocks are written first and the manifest last, so a directory with a
+/// manifest is always complete. Returns the manifest that was written.
+///
+/// # Errors
+///
+/// [`CatalogError::Io`] on filesystem failure.
+pub fn save(dir: &Path, table: &Table) -> Result<Manifest, CatalogError> {
+    std::fs::create_dir_all(dir)?;
+    let mut columns = Vec::with_capacity(table.schema().len());
+    for (i, meta) in table.schema().columns().iter().enumerate() {
+        let bytes = encode_block(table.column(i));
+        let block = block_file(i);
+        let mut file = std::fs::File::create(dir.join(&block))?;
+        file.write_all(&bytes)?;
+        file.flush()?;
+        columns.push(ManifestColumn {
+            name: meta.name.clone(),
+            kind: match meta.column_type {
+                ColumnType::Categorical => "categorical".to_owned(),
+                ColumnType::Numeric => "numeric".to_owned(),
+            },
+            role: match meta.role {
+                AttributeRole::Dimension => "dimension".to_owned(),
+                AttributeRole::Measure => "measure".to_owned(),
+            },
+            block,
+            bytes: bytes.len() as u64,
+            checksum: hex(fnv64(&bytes)),
+        });
+    }
+    let manifest = Manifest {
+        format: FORMAT.to_owned(),
+        rows: table.row_count() as u64,
+        table_checksum: hex(table_checksum(table)),
+        columns,
+    };
+    let json = serde_json::to_string_pretty(&manifest)
+        .map_err(|e| CatalogError::Corrupt(format!("manifest serialization: {e}")))?;
+    std::fs::write(manifest_path(dir), json)?;
+    Ok(manifest)
+}
+
+/// Reads and validates the manifest of the dataset in `dir` without
+/// touching any column block — enough for listings (schema, row count,
+/// on-disk bytes).
+///
+/// # Errors
+///
+/// [`CatalogError::Io`] when the manifest is missing or unreadable;
+/// [`CatalogError::Corrupt`] for unparseable JSON or a format tag other
+/// than [`FORMAT`].
+pub fn peek(dir: &Path) -> Result<Manifest, CatalogError> {
+    let path = manifest_path(dir);
+    let json = std::fs::read_to_string(&path)?;
+    let manifest: Manifest = serde_json::from_str(&json)
+        .map_err(|e| CatalogError::Corrupt(format!("manifest {path:?}: {e}")))?;
+    if manifest.format != FORMAT {
+        return Err(CatalogError::Corrupt(format!(
+            "unsupported format {:?} (this build reads {FORMAT:?})",
+            manifest.format
+        )));
+    }
+    Ok(manifest)
+}
+
+/// Loads the dataset in `dir`, verifying every block's length and digest
+/// against the manifest before decoding.
+///
+/// # Errors
+///
+/// [`CatalogError::Io`] for missing files, [`CatalogError::Corrupt`] for
+/// any validation failure (digest mismatch, truncation, trailing bytes,
+/// row-count mismatch, schema mismatch).
+pub fn load(dir: &Path) -> Result<Table, CatalogError> {
+    let manifest = peek(dir)?;
+    let schema = manifest.schema()?;
+    let mut columns = Vec::with_capacity(manifest.columns.len());
+    for entry in &manifest.columns {
+        let path = dir.join(&entry.block);
+        let bytes = std::fs::read(&path)?;
+        if bytes.len() as u64 != entry.bytes {
+            return Err(CatalogError::Corrupt(format!(
+                "block {} is {} bytes, manifest says {}",
+                entry.block,
+                bytes.len(),
+                entry.bytes
+            )));
+        }
+        let digest = hex(fnv64(&bytes));
+        if digest != entry.checksum {
+            return Err(CatalogError::Corrupt(format!(
+                "block {} digest {digest} does not match manifest {}",
+                entry.block, entry.checksum
+            )));
+        }
+        let column = decode_block(&entry.block, &bytes, entry)?;
+        if column.len() as u64 != manifest.rows {
+            return Err(CatalogError::Corrupt(format!(
+                "block {} has {} rows, manifest says {}",
+                entry.block,
+                column.len(),
+                manifest.rows
+            )));
+        }
+        columns.push(column);
+    }
+    let table = Table::new(schema, columns)
+        .map_err(|e| CatalogError::Corrupt(format!("table assembly: {e}")))?;
+    let digest = hex(table_checksum(&table));
+    if digest != manifest.table_checksum {
+        return Err(CatalogError::Corrupt(format!(
+            "table digest {digest} does not match manifest {}",
+            manifest.table_checksum
+        )));
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_table() -> Table {
+        let schema = Schema::builder()
+            .categorical_dimension("city")
+            .numeric_dimension("n_age")
+            .measure("m_sales")
+            .build()
+            .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::categorical_from_values(&["NY", "LA", "NY", "SF"]),
+                Column::numeric(vec![21.0, 34.5, -0.0, f64::NAN]),
+                Column::numeric(vec![1.5, -2.0, 1e300, f64::INFINITY]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vsc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn bits(column: &Column) -> Vec<u64> {
+        column
+            .values()
+            .map(|vs| vs.iter().map(|v| v.to_bits()).collect())
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn save_load_round_trips_bit_identically() {
+        let dir = tmp("roundtrip");
+        let table = demo_table();
+        let manifest = save(&dir, &table).unwrap();
+        assert_eq!(manifest.rows, 4);
+        assert_eq!(manifest.columns.len(), 3);
+        assert!(exists(&dir));
+
+        let back = load(&dir).unwrap();
+        assert_eq!(back.schema(), table.schema());
+        assert_eq!(back.column(0), table.column(0));
+        // NaN and -0.0 survive exactly (PartialEq would miss NaN).
+        assert_eq!(bits(back.column(1)), bits(table.column(1)));
+        assert_eq!(bits(back.column(2)), bits(table.column(2)));
+        assert_eq!(table_checksum(&back), table_checksum(&table));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peek_reads_without_blocks() {
+        let dir = tmp("peek");
+        save(&dir, &demo_table()).unwrap();
+        // Remove a block: peek still works, load fails.
+        std::fs::remove_file(dir.join("col_001.blk")).unwrap();
+        let manifest = peek(&dir).unwrap();
+        assert_eq!(manifest.rows, 4);
+        assert!(manifest.block_bytes() > 0);
+        assert!(matches!(load(&dir), Err(CatalogError::Io(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_is_rejected() {
+        let dir = tmp("flip");
+        save(&dir, &demo_table()).unwrap();
+        let path = dir.join("col_002.blk");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(load(&dir), Err(CatalogError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let dir = tmp("trunc");
+        save(&dir, &demo_table()).unwrap();
+        let path = dir.join("col_000.blk");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(load(&dir), Err(CatalogError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_manifest_is_rejected() {
+        let dir = tmp("manifest");
+        save(&dir, &demo_table()).unwrap();
+        std::fs::write(dir.join(MANIFEST), "{not json").unwrap();
+        assert!(matches!(peek(&dir), Err(CatalogError::Corrupt(_))));
+        let good = serde_json::to_string(&Manifest {
+            format: "VSC9".into(),
+            rows: 0,
+            table_checksum: hex(0),
+            columns: vec![],
+        })
+        .unwrap();
+        std::fs::write(dir.join(MANIFEST), good).unwrap();
+        assert!(matches!(peek(&dir), Err(CatalogError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_distinguishes_content_and_schema() {
+        let table = demo_table();
+        let schema = table.schema().clone();
+        let other = Table::new(
+            schema,
+            vec![
+                Column::categorical_from_values(&["NY", "LA", "NY", "LA"]),
+                Column::numeric(vec![21.0, 34.5, -0.0, f64::NAN]),
+                Column::numeric(vec![1.5, -2.0, 1e300, f64::INFINITY]),
+            ],
+        )
+        .unwrap();
+        assert_ne!(table_checksum(&table), table_checksum(&other));
+        // Same columns under different roles digest differently.
+        let alt_schema = Schema::builder()
+            .categorical_dimension("city")
+            .measure("n_age")
+            .measure("m_sales")
+            .build()
+            .unwrap();
+        let relabeled = Table::new(
+            alt_schema,
+            (0..3).map(|i| table.column(i).clone()).collect(),
+        )
+        .unwrap();
+        assert_ne!(table_checksum(&table), table_checksum(&relabeled));
+    }
+
+    #[test]
+    fn resident_bytes_scale_with_rows() {
+        let small = demo_table();
+        let bytes = table_resident_bytes(&small);
+        // 4 codes ×4 + 3 dict entries (2 bytes + 24 overhead each)
+        // + 2 numeric columns × 4 rows × 8.
+        assert_eq!(bytes, 16 + 3 * 26 + 64);
+    }
+}

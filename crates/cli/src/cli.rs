@@ -16,8 +16,13 @@ USAGE:
   viewseeker scatter  --data FILE.csv --query QUERY --ideal EXPR [--grid N] [--k N]
   viewseeker query    --data FILE.csv --sql 'SELECT city, AVG(m_sales) FROM t GROUP BY city'
   viewseeker serve    [--addr HOST:PORT] [--workers N] [--max-sessions N] [--ttl SECS]
-                      [--snapshot-dir DIR] [--log-format text|json]
+                      [--snapshot-dir DIR] [--data-dir DIR]
+                      [--catalog-mem-budget BYTES[k|m|g]]
+                      [--log-format text|json]
                       [--log-level debug|info|warn|error|off]
+  viewseeker dataset import  --data-dir DIR --csv FILE.csv [--name NAME]
+  viewseeker dataset list    --data-dir DIR
+  viewseeker dataset inspect --data-dir DIR --name NAME
 
 QUERY mini-language (conjunction with '&'):
   a0=a0_v0            equality          color in red|blue   membership
@@ -131,11 +136,17 @@ pub enum Command {
         ttl_secs: u64,
         /// Directory for eviction/snapshot persistence.
         snapshot_dir: Option<String>,
+        /// Dataset catalog directory (imported CSVs persist here).
+        data_dir: Option<String>,
+        /// Byte budget for the catalog's in-memory table cache.
+        catalog_mem_budget: u64,
         /// Access/event log line shape (`text` or `json`).
         log_format: LogFormat,
         /// Minimum log severity written to stderr.
         log_level: LogLevel,
     },
+    /// Manage the on-disk dataset catalog (VSC1 columnar store).
+    Dataset(DatasetCmd),
     /// Execute an ad-hoc SQL query and print the result table.
     Query {
         /// CSV path.
@@ -145,6 +156,58 @@ pub enum Command {
     },
     /// Print usage.
     Help,
+}
+
+/// Actions under `viewseeker dataset`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetCmd {
+    /// Convert a CSV file to VSC1 inside the catalog directory.
+    Import {
+        /// Catalog directory.
+        data_dir: String,
+        /// CSV file to ingest.
+        csv: String,
+        /// Dataset name (defaults to the CSV file stem).
+        name: Option<String>,
+    },
+    /// List every dataset the catalog knows.
+    List {
+        /// Catalog directory.
+        data_dir: String,
+    },
+    /// Print one dataset's schema, row count, and per-column cardinality.
+    Inspect {
+        /// Catalog directory.
+        data_dir: String,
+        /// Dataset name.
+        name: String,
+    },
+}
+
+/// Parses a byte count with an optional (case-insensitive) `k`/`m`/`g`
+/// suffix: `"1024"`, `"256m"`, `"2G"`.
+///
+/// # Errors
+///
+/// Returns a message for empty input, unknown suffixes, bad digits, or
+/// counts that overflow `u64`.
+pub fn parse_byte_size(value: &str) -> Result<u64, String> {
+    let value = value.trim();
+    let (digits, shift) = match value.char_indices().last() {
+        Some((i, 'k' | 'K')) => (&value[..i], 10),
+        Some((i, 'm' | 'M')) => (&value[..i], 20),
+        Some((i, 'g' | 'G')) => (&value[..i], 30),
+        Some(_) => (value, 0),
+        None => return Err("empty byte size".into()),
+    };
+    let n: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("cannot parse byte size {value:?}"))?;
+    if n.leading_zeros() < shift {
+        return Err(format!("byte size {value:?} overflows u64"));
+    }
+    Ok(n << shift)
 }
 
 impl Command {
@@ -160,6 +223,10 @@ impl Command {
         };
         if sub == "--help" || sub == "-h" || sub == "help" {
             return Ok(Command::Help);
+        }
+        // `dataset` nests an action word before its flags.
+        if sub == "dataset" {
+            return Self::parse_dataset(rest);
         }
         let flags = Flags::collect(rest)?;
         match sub.as_str() {
@@ -208,6 +275,10 @@ impl Command {
                 max_sessions: flags.get_parsed("--max-sessions")?.unwrap_or(32),
                 ttl_secs: flags.get_parsed("--ttl")?.unwrap_or(1_800),
                 snapshot_dir: flags.get("--snapshot-dir"),
+                data_dir: flags.get("--data-dir"),
+                catalog_mem_budget: flags
+                    .get("--catalog-mem-budget")
+                    .map_or(Ok(512 << 20), |v| parse_byte_size(&v))?,
                 log_format: flags.get_parsed("--log-format")?.unwrap_or_default(),
                 log_level: flags.get_parsed("--log-level")?.unwrap_or_default(),
             }),
@@ -225,6 +296,29 @@ impl Command {
             }),
             other => Err(format!("unknown subcommand {other:?}")),
         }
+    }
+
+    fn parse_dataset(rest: &[String]) -> Result<Self, String> {
+        let Some((action, rest)) = rest.split_first() else {
+            return Err("dataset needs an action: import, list, or inspect".into());
+        };
+        let flags = Flags::collect(rest)?;
+        let cmd = match action.as_str() {
+            "import" => DatasetCmd::Import {
+                data_dir: flags.require("--data-dir")?,
+                csv: flags.require("--csv")?,
+                name: flags.get("--name"),
+            },
+            "list" => DatasetCmd::List {
+                data_dir: flags.require("--data-dir")?,
+            },
+            "inspect" => DatasetCmd::Inspect {
+                data_dir: flags.require("--data-dir")?,
+                name: flags.require("--name")?,
+            },
+            other => return Err(format!("unknown dataset action {other:?}")),
+        };
+        Ok(Command::Dataset(cmd))
     }
 }
 
@@ -415,6 +509,8 @@ mod tests {
                 max_sessions: 32,
                 ttl_secs: 1_800,
                 snapshot_dir: None,
+                data_dir: None,
+                catalog_mem_budget: 512 << 20,
                 log_format: LogFormat::Text,
                 log_level: LogLevel::Info,
             }
@@ -431,6 +527,10 @@ mod tests {
             "60",
             "--snapshot-dir",
             "/tmp/vs",
+            "--data-dir",
+            "/tmp/vs-data",
+            "--catalog-mem-budget",
+            "256m",
             "--log-format",
             "json",
             "--log-level",
@@ -445,6 +545,8 @@ mod tests {
                 max_sessions: 5,
                 ttl_secs: 60,
                 snapshot_dir: Some("/tmp/vs".into()),
+                data_dir: Some("/tmp/vs-data".into()),
+                catalog_mem_budget: 256 << 20,
                 log_format: LogFormat::Json,
                 log_level: LogLevel::Warn,
             }
@@ -452,6 +554,66 @@ mod tests {
         assert!(parse(&["serve", "--workers", "two"]).is_err());
         assert!(parse(&["serve", "--log-format", "xml"]).is_err());
         assert!(parse(&["serve", "--log-level", "verbose"]).is_err());
+        assert!(parse(&["serve", "--catalog-mem-budget", "lots"]).is_err());
+    }
+
+    #[test]
+    fn parses_dataset_actions() {
+        let c = parse(&[
+            "dataset",
+            "import",
+            "--data-dir",
+            "/tmp/cat",
+            "--csv",
+            "x.csv",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Dataset(DatasetCmd::Import {
+                data_dir: "/tmp/cat".into(),
+                csv: "x.csv".into(),
+                name: None,
+            })
+        );
+        let c = parse(&["dataset", "list", "--data-dir", "/tmp/cat"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Dataset(DatasetCmd::List {
+                data_dir: "/tmp/cat".into()
+            })
+        );
+        let c = parse(&[
+            "dataset",
+            "inspect",
+            "--data-dir",
+            "/tmp/cat",
+            "--name",
+            "sales",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Dataset(DatasetCmd::Inspect {
+                data_dir: "/tmp/cat".into(),
+                name: "sales".into(),
+            })
+        );
+        assert!(parse(&["dataset"]).is_err());
+        assert!(parse(&["dataset", "drop", "--data-dir", "/tmp/cat"]).is_err());
+        assert!(parse(&["dataset", "inspect", "--data-dir", "/tmp/cat"]).is_err());
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_suffixes() {
+        assert_eq!(parse_byte_size("1024").unwrap(), 1024);
+        assert_eq!(parse_byte_size("4k").unwrap(), 4 << 10);
+        assert_eq!(parse_byte_size("256M").unwrap(), 256 << 20);
+        assert_eq!(parse_byte_size("2g").unwrap(), 2u64 << 30);
+        assert!(parse_byte_size("").is_err());
+        assert!(parse_byte_size("12q").is_err());
+        assert!(parse_byte_size("999999999999999999999g").is_err());
+        assert!(parse_byte_size(&format!("{}g", u64::MAX)).is_err());
     }
 
     #[test]

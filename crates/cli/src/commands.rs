@@ -17,7 +17,7 @@ use viewseeker_eval::runner::{exact_feature_matrix, run_session, RunnerConfig, S
 use viewseeker_eval::SimulatedUser;
 
 use crate::chart::{render_density_grid, render_ranking, render_view};
-use crate::cli::{Command, USAGE};
+use crate::cli::{Command, DatasetCmd, USAGE};
 use crate::parse::{parse_query, parse_utility};
 
 /// Executes a parsed command.
@@ -63,6 +63,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
             max_sessions,
             ttl_secs,
             snapshot_dir,
+            data_dir,
+            catalog_mem_budget,
             log_format,
             log_level,
         } => serve(
@@ -71,9 +73,12 @@ pub fn run(cmd: Command) -> Result<(), String> {
             max_sessions,
             ttl_secs,
             snapshot_dir,
+            data_dir,
+            catalog_mem_budget,
             log_format,
             log_level,
         ),
+        Command::Dataset(cmd) => dataset(cmd),
         Command::Scatter {
             data,
             query,
@@ -100,6 +105,8 @@ fn serve(
     max_sessions: usize,
     ttl_secs: u64,
     snapshot_dir: Option<String>,
+    data_dir: Option<String>,
+    catalog_mem_budget: u64,
     log_format: viewseeker_server::LogFormat,
     log_level: viewseeker_server::LogLevel,
 ) -> Result<(), String> {
@@ -109,6 +116,8 @@ fn serve(
         max_sessions,
         ttl: std::time::Duration::from_secs(ttl_secs),
         snapshot_dir: snapshot_dir.map(std::path::PathBuf::from),
+        data_dir: data_dir.map(std::path::PathBuf::from),
+        catalog_mem_budget,
         log_format,
         log_level,
     };
@@ -123,6 +132,8 @@ fn serve(
     println!("  GET  /sessions/:id/next?m=1");
     println!("  POST /sessions/:id/feedback {{\"view\": 0, \"score\": 0.8}}");
     println!("  GET  /sessions/:id/recommend?k=5[&lambda=0.5]");
+    println!("  POST /datasets/:name        (body: raw CSV)");
+    println!("  GET  /datasets");
     println!("  GET  /healthz");
     println!("  GET  /metrics              (Prometheus text format)");
     println!("Ctrl-C to stop.");
@@ -130,6 +141,82 @@ fn serve(
     // threads, so park this one forever.
     loop {
         std::thread::park();
+    }
+}
+
+/// `viewseeker dataset import|list|inspect` over a catalog directory. No
+/// server involved: the catalog is opened in-process with a small cache
+/// budget, so these work against the same directory a server later mounts
+/// with `--data-dir`.
+fn dataset(cmd: DatasetCmd) -> Result<(), String> {
+    use viewseeker_catalog::Catalog;
+    const CLI_CACHE_BUDGET: u64 = 64 << 20;
+    match cmd {
+        DatasetCmd::Import {
+            data_dir,
+            csv,
+            name,
+        } => {
+            let catalog = Catalog::open(&data_dir, CLI_CACHE_BUDGET).map_err(|e| e.to_string())?;
+            let name = match name {
+                Some(n) => n,
+                None => std::path::Path::new(&csv)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("cannot derive a dataset name from {csv:?}"))?,
+            };
+            let bytes = std::fs::read(&csv).map_err(|e| format!("reading {csv}: {e}"))?;
+            let entry = catalog
+                .import_csv_bytes(&name, &bytes)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "imported {} ({} rows, {} columns, checksum {})",
+                entry.name,
+                entry.table.row_count(),
+                entry.table.schema().len(),
+                entry.checksum
+            );
+            Ok(())
+        }
+        DatasetCmd::List { data_dir } => {
+            let catalog = Catalog::open(&data_dir, CLI_CACHE_BUDGET).map_err(|e| e.to_string())?;
+            let datasets = catalog.list();
+            if datasets.is_empty() {
+                println!("(no datasets in {data_dir})");
+                return Ok(());
+            }
+            println!("{:<24} {:>10} {:>12}  COLUMNS", "NAME", "ROWS", "BYTES");
+            for d in datasets {
+                println!(
+                    "{:<24} {:>10} {:>12}  {}",
+                    d.name,
+                    d.rows,
+                    d.bytes,
+                    d.columns.len()
+                );
+            }
+            Ok(())
+        }
+        DatasetCmd::Inspect { data_dir, name } => {
+            let catalog = Catalog::open(&data_dir, CLI_CACHE_BUDGET).map_err(|e| e.to_string())?;
+            let detail = catalog.describe(&name).map_err(|e| e.to_string())?;
+            println!(
+                "{}: {} rows, {} bytes resident, checksum {}",
+                detail.name, detail.rows, detail.resident_bytes, detail.checksum
+            );
+            println!(
+                "{:<24} {:<12} {:<10} {:>12}",
+                "COLUMN", "TYPE", "ROLE", "CARDINALITY"
+            );
+            for c in detail.columns {
+                println!(
+                    "{:<24} {:<12} {:<10} {:>12}",
+                    c.name, c.kind, c.role, c.cardinality
+                );
+            }
+            Ok(())
+        }
     }
 }
 

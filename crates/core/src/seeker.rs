@@ -202,6 +202,14 @@ impl<H: Borrow<Table>> Seeker<H> {
         &self.space
     }
 
+    /// The table handle the seeker was built over. For `OwnedSeeker` this is
+    /// the `Arc<Table>`, so callers can check that sessions share one
+    /// allocation (`Arc::ptr_eq`) rather than each owning a copy.
+    #[must_use]
+    pub fn table_handle(&self) -> &H {
+        &self.table
+    }
+
     /// The current feature matrix (rough values may still be present while
     /// refinement is incomplete).
     #[must_use]

@@ -93,8 +93,9 @@ pub fn read_csv<R: BufRead>(schema: &Schema, input: R) -> Result<Table, DatasetE
 }
 
 /// Infers a schema from a CSV header using a naming convention: columns whose
-/// names start with `m_` become measures, everything else a categorical
-/// dimension (numeric dimensions must be declared explicitly).
+/// names start with `m_` become numeric measures, columns starting with `n_`
+/// become numeric dimensions (grouped via equal-width binning), and everything
+/// else a categorical dimension.
 ///
 /// # Errors
 ///
@@ -108,8 +109,9 @@ pub fn infer_schema<R: BufRead>(input: R) -> Result<Schema, DatasetError> {
         .into_iter()
         .map(|name| {
             let is_measure = name.starts_with("m_");
+            let is_numeric_dim = name.starts_with("n_");
             ColumnMeta {
-                column_type: if is_measure {
+                column_type: if is_measure || is_numeric_dim {
                     ColumnType::Numeric
                 } else {
                     ColumnType::Categorical
@@ -266,10 +268,15 @@ mod tests {
 
     #[test]
     fn infer_schema_by_convention() {
-        let csv = "region,m_profit\nwest,1.0\n";
+        let csv = "region,n_age,m_profit\nwest,41,1.0\n";
         let s = infer_schema(Cursor::new(csv)).unwrap();
-        assert_eq!(s.dimension_names(), vec!["region"]);
+        assert_eq!(s.dimension_names(), vec!["region", "n_age"]);
         assert_eq!(s.measure_names(), vec!["m_profit"]);
+        assert_eq!(
+            s.column("region").unwrap().column_type,
+            ColumnType::Categorical
+        );
+        assert_eq!(s.column("n_age").unwrap().column_type, ColumnType::Numeric);
     }
 
     #[test]

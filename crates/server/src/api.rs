@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
+use viewseeker_catalog::{Catalog, DatasetDetail, DatasetSummary};
 use viewseeker_core::{SeekerPhase, ViewId};
 
 use crate::error::ServerError;
@@ -17,6 +18,9 @@ use crate::registry::{PersistedSession, SessionEntry, SessionRegistry, SessionSp
 pub struct AppState {
     /// The session table.
     pub registry: SessionRegistry,
+    /// The dataset catalog shared by every session (same instance the
+    /// registry resolves specs against).
+    pub catalog: Arc<Catalog>,
     /// Request histograms and lifecycle counters.
     pub metrics: Metrics,
     /// The structured event/access logger.
@@ -39,8 +43,10 @@ impl AppState {
     pub fn with_logger(mut registry: SessionRegistry, logger: Arc<Logger>) -> Self {
         let metrics = Metrics::new();
         registry.attach_observability(Arc::clone(metrics.counters()), Arc::clone(&logger));
+        let catalog = Arc::clone(registry.catalog());
         Self {
             registry,
+            catalog,
             metrics,
             logger,
             started: Instant::now(),
@@ -281,6 +287,8 @@ pub fn snapshot(state: &AppState, id: &str) -> Result<PersistedSession, ServerEr
         id: entry.id.clone(),
         spec: entry.spec.clone(),
         snapshot: viewseeker_core::SessionSnapshot::from_seeker(&seeker),
+        dataset_name: Some(entry.dataset_name.clone()),
+        dataset_checksum: Some(entry.dataset_checksum.clone()),
     })
 }
 
@@ -309,6 +317,69 @@ pub fn restore(state: &AppState, id: Option<&str>, body: &str) -> Result<Session
 /// Unknown session.
 pub fn delete_session(state: &AppState, id: &str) -> Result<(), ServerError> {
     state.registry.remove(id)
+}
+
+/// `POST /datasets/:name` — register the raw CSV body as a named dataset
+/// in the catalog (persisted to the data directory when one is
+/// configured). The whole body is the file; no multipart framing.
+///
+/// # Errors
+///
+/// Invalid/reserved name, duplicate name, unparseable CSV, empty table,
+/// or storage failure.
+pub fn upload_dataset(
+    state: &AppState,
+    name: &str,
+    body: &[u8],
+) -> Result<DatasetSummary, ServerError> {
+    let entry = state.catalog.import_csv_bytes(name, body)?;
+    state.logger.info(
+        "dataset_imported",
+        &[
+            ("dataset", crate::log::s(&entry.name)),
+            ("checksum", crate::log::s(&entry.checksum)),
+        ],
+    );
+    summary_of(state, &entry.name)
+}
+
+fn summary_of(state: &AppState, name: &str) -> Result<DatasetSummary, ServerError> {
+    state
+        .catalog
+        .list()
+        .into_iter()
+        .find(|d| d.name == name)
+        .ok_or_else(|| ServerError::Internal(format!("dataset {name} vanished after import")))
+}
+
+/// `GET /datasets` — every dataset the catalog knows, sorted by name.
+#[must_use]
+pub fn list_datasets(state: &AppState) -> Vec<DatasetSummary> {
+    state.catalog.list()
+}
+
+/// `GET /datasets/:name` — schema, row count, resident bytes, and
+/// per-column cardinality (loads the table if it is not cached).
+///
+/// # Errors
+///
+/// Unknown dataset or storage failure.
+pub fn get_dataset(state: &AppState, name: &str) -> Result<DatasetDetail, ServerError> {
+    Ok(state.catalog.describe(name)?)
+}
+
+/// `DELETE /datasets/:name` — drop the dataset from cache and disk.
+/// Refuses (409) while any session still holds the table.
+///
+/// # Errors
+///
+/// Unknown dataset, live references, or storage failure.
+pub fn delete_dataset(state: &AppState, name: &str) -> Result<(), ServerError> {
+    state.catalog.delete(name)?;
+    state
+        .logger
+        .info("dataset_deleted", &[("dataset", crate::log::s(name))]);
+    Ok(())
 }
 
 /// `GET /healthz` response.
@@ -353,6 +424,7 @@ pub fn metrics_text(state: &AppState) -> String {
         state.registry.len(),
         state.metrics.counters(),
         &state.metrics.histograms(),
+        &state.catalog.stats(),
     )
 }
 

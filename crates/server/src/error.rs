@@ -74,6 +74,23 @@ impl From<std::io::Error> for ServerError {
     }
 }
 
+impl From<viewseeker_catalog::CatalogError> for ServerError {
+    fn from(e: viewseeker_catalog::CatalogError) -> Self {
+        use viewseeker_catalog::CatalogError as C;
+        match &e {
+            C::NotFound(_) => ServerError::NotFound(e.to_string()),
+            // Duplicate name or live references: well-formed request, wrong
+            // catalog state.
+            C::Exists(_) | C::InUse { .. } => ServerError::Conflict(e.to_string()),
+            C::InvalidName(_) | C::Reserved(_) | C::Dataset(_) => {
+                ServerError::BadRequest(e.to_string())
+            }
+            // Server-side storage trouble, not the client's fault.
+            C::Io(_) | C::Corrupt(_) => ServerError::Internal(e.to_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

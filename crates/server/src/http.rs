@@ -17,7 +17,8 @@ use crossbeam::channel;
 use crate::error::ServerError;
 
 /// Largest accepted request body, a backstop against hostile clients.
-const MAX_BODY_BYTES: usize = 4 << 20;
+/// Sized for CSV dataset uploads (`POST /datasets/:name`), not just JSON.
+const MAX_BODY_BYTES: usize = 16 << 20;
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -33,6 +33,8 @@
 //!     max_sessions: 8,
 //!     ttl: Duration::from_secs(600),
 //!     snapshot_dir: None,
+//!     data_dir: None,
+//!     catalog_mem_budget: 64 << 20,
 //!     log_format: LogFormat::Text,
 //!     log_level: LogLevel::Off,
 //! };
@@ -79,6 +81,14 @@ pub struct ServerConfig {
     /// Where evicted/snapshotted sessions are written (`None` = don't
     /// persist).
     pub snapshot_dir: Option<PathBuf>,
+    /// Dataset catalog directory (`--data-dir`): imported CSVs are stored
+    /// here in the VSC1 columnar format and survive restarts. `None` keeps
+    /// the catalog memory-only.
+    pub data_dir: Option<PathBuf>,
+    /// Byte budget for the catalog's in-memory table cache
+    /// (`--catalog-mem-budget`); disk-backed tables beyond it are LRU
+    /// evicted and reloaded on demand.
+    pub catalog_mem_budget: u64,
     /// Shape of access/event log lines (`--log-format json|text`).
     pub log_format: LogFormat,
     /// Minimum severity written to stderr (`--log-level`).
@@ -93,20 +103,31 @@ impl Default for ServerConfig {
             max_sessions: 32,
             ttl: Duration::from_secs(1_800),
             snapshot_dir: None,
+            data_dir: None,
+            catalog_mem_budget: 512 << 20,
             log_format: LogFormat::Text,
             log_level: LogLevel::Info,
         }
     }
 }
 
-/// Builds the registry + router and starts serving.
+/// Builds the catalog + registry + router and starts serving.
 ///
 /// # Errors
 ///
-/// Propagates the TCP bind failure.
+/// Propagates catalog-directory and TCP bind failures.
 pub fn serve_app(config: &ServerConfig) -> std::io::Result<ServerHandle> {
-    let registry =
-        SessionRegistry::new(config.max_sessions, config.ttl, config.snapshot_dir.clone());
+    let catalog = match &config.data_dir {
+        Some(dir) => viewseeker_catalog::Catalog::open(dir, config.catalog_mem_budget)
+            .map_err(|e| std::io::Error::other(format!("opening catalog: {e}")))?,
+        None => viewseeker_catalog::Catalog::in_memory(config.catalog_mem_budget),
+    };
+    let registry = SessionRegistry::with_catalog(
+        config.max_sessions,
+        config.ttl,
+        config.snapshot_dir.clone(),
+        Arc::new(catalog),
+    );
     let logger = Logger::stderr(config.log_format, config.log_level);
     let state = api::shared_state_with_logger(registry, logger);
     let queue_depth = state.metrics.counters().queue_depth_handle();

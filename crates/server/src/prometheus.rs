@@ -7,6 +7,8 @@
 //! fixed log-linear layout, omitted buckets are unambiguously zero, and
 //! the cumulative-count contract still holds.
 
+use viewseeker_catalog::CatalogStats;
+
 use crate::hist::Histogram;
 use crate::metrics::Counters;
 
@@ -42,6 +44,7 @@ pub fn render(
     active_sessions: usize,
     counters: &Counters,
     histograms: &[(String, Histogram)],
+    catalog: &CatalogStats,
 ) -> String {
     let mut out = String::with_capacity(4096);
 
@@ -103,6 +106,50 @@ pub fn render(
         Counters::read(&counters.feedback_labels)
     ));
 
+    out.push_str("# HELP viewseeker_catalog_hits_total Dataset resolutions served from memory.\n");
+    out.push_str("# TYPE viewseeker_catalog_hits_total counter\n");
+    out.push_str(&format!("viewseeker_catalog_hits_total {}\n", catalog.hits));
+
+    out.push_str(
+        "# HELP viewseeker_catalog_misses_total Dataset resolutions that loaded from disk.\n",
+    );
+    out.push_str("# TYPE viewseeker_catalog_misses_total counter\n");
+    out.push_str(&format!(
+        "viewseeker_catalog_misses_total {}\n",
+        catalog.misses
+    ));
+
+    out.push_str(
+        "# HELP viewseeker_catalog_evictions_total Tables evicted from the catalog cache.\n",
+    );
+    out.push_str("# TYPE viewseeker_catalog_evictions_total counter\n");
+    out.push_str(&format!(
+        "viewseeker_catalog_evictions_total {}\n",
+        catalog.evictions
+    ));
+
+    out.push_str(
+        "# HELP viewseeker_catalog_resident_bytes Estimated bytes of tables held in memory.\n",
+    );
+    out.push_str("# TYPE viewseeker_catalog_resident_bytes gauge\n");
+    out.push_str(&format!(
+        "viewseeker_catalog_resident_bytes {}\n",
+        catalog.resident_bytes
+    ));
+
+    out.push_str(
+        "# HELP viewseeker_catalog_datasets Datasets known to the catalog, by residency.\n",
+    );
+    out.push_str("# TYPE viewseeker_catalog_datasets gauge\n");
+    out.push_str(&format!(
+        "viewseeker_catalog_datasets{{state=\"cached\"}} {}\n",
+        catalog.cached_datasets
+    ));
+    out.push_str(&format!(
+        "viewseeker_catalog_datasets{{state=\"known\"}} {}\n",
+        catalog.known_datasets
+    ));
+
     out.push_str("# HELP viewseeker_requests_total Requests handled, by route.\n");
     out.push_str("# TYPE viewseeker_requests_total counter\n");
     for (route, hist) in histograms {
@@ -155,11 +202,20 @@ mod tests {
         hist.record(5);
         hist.record(150);
         hist.record(150);
+        let catalog = CatalogStats {
+            hits: 7,
+            misses: 2,
+            evictions: 1,
+            resident_bytes: 4096,
+            cached_datasets: 2,
+            known_datasets: 3,
+        };
         render(
             12.5,
             3,
             &counters,
             &[("GET /sessions/:id".to_owned(), hist)],
+            &catalog,
         )
     }
 
@@ -209,6 +265,27 @@ mod tests {
         );
         assert!(
             text.contains("viewseeker_snapshots_total{outcome=\"ok\"} 0\n"),
+            "{text}"
+        );
+        assert!(text.contains("viewseeker_catalog_hits_total 7\n"), "{text}");
+        assert!(
+            text.contains("viewseeker_catalog_misses_total 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_catalog_evictions_total 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_catalog_resident_bytes 4096\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_catalog_datasets{state=\"cached\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_catalog_datasets{state=\"known\"} 3\n"),
             "{text}"
         );
         assert!(
@@ -262,7 +339,13 @@ mod tests {
             hist.record(v);
         }
         let counters = Counters::default();
-        let text = render(1.0, 0, &counters, &[("r".to_owned(), hist)]);
+        let text = render(
+            1.0,
+            0,
+            &counters,
+            &[("r".to_owned(), hist)],
+            &CatalogStats::default(),
+        );
         let mut last = 0u64;
         let mut bucket_lines = 0;
         for line in text.lines() {

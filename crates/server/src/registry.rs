@@ -22,11 +22,11 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
+use viewseeker_catalog::{Catalog, CatalogError, DatasetEntry};
 use viewseeker_core::persist::SessionSnapshot;
 use viewseeker_core::trace::{Recorder, Tracer};
 use viewseeker_core::{OwnedSeeker, Seeker, ViewSeekerConfig};
-use viewseeker_dataset::generate::{generate_diab, generate_syn, DiabConfig, SynConfig};
-use viewseeker_dataset::{Predicate, SelectQuery, Table};
+use viewseeker_dataset::{Predicate, SelectQuery};
 
 use crate::error::ServerError;
 use crate::log::{n, s, Logger};
@@ -69,25 +69,41 @@ impl SessionSpec {
         }
     }
 
-    /// Generates the spec's table.
+    /// Resolves the spec's dataset through `catalog`: `"diab"`/`"syn"` are
+    /// materialized from the generators (once — later specs with the same
+    /// parameters share the cached table), anything else is looked up as a
+    /// catalog dataset name (uploaded CSV or pre-imported VSC1). Identical
+    /// specs resolve to pointer-equal `Arc<Table>`s.
     ///
     /// # Errors
     ///
-    /// [`ServerError::BadRequest`] for an unknown dataset name or generator
-    /// rejection.
-    pub fn build_table(&self) -> Result<Table, ServerError> {
-        let rows = self.rows.unwrap_or(3_000);
-        let seed = self.seed.unwrap_or(11);
-        let table = match self.dataset.as_str() {
-            "diab" => generate_diab(&DiabConfig::small(rows, seed)),
-            "syn" => generate_syn(&SynConfig::small(rows, seed)),
-            other => {
-                return Err(ServerError::BadRequest(format!(
-                    "unknown dataset {other:?} (expected \"diab\" or \"syn\")"
-                )))
+    /// [`ServerError::BadRequest`] for an unknown dataset name, generator
+    /// rejection, or `rows`/`seed` given with a stored (non-generated)
+    /// dataset.
+    pub fn resolve_dataset(&self, catalog: &Catalog) -> Result<DatasetEntry, ServerError> {
+        match self.dataset.as_str() {
+            kind @ ("diab" | "syn") => {
+                let rows = self.rows.unwrap_or(3_000);
+                let seed = self.seed.unwrap_or(11);
+                catalog
+                    .materialize_generated(kind, rows, seed)
+                    .map_err(|e| ServerError::BadRequest(format!("dataset generation: {e}")))
             }
-        };
-        table.map_err(|e| ServerError::BadRequest(format!("dataset generation: {e}")))
+            name => {
+                if self.rows.is_some() || self.seed.is_some() {
+                    return Err(ServerError::BadRequest(format!(
+                        "rows/seed only apply to generated datasets, not {name:?}"
+                    )));
+                }
+                catalog.get(name).map_err(|e| match e {
+                    CatalogError::NotFound(_) => ServerError::BadRequest(format!(
+                        "unknown dataset {name:?} (expected \"diab\", \"syn\", or an \
+                         uploaded dataset name)"
+                    )),
+                    other => other.into(),
+                })
+            }
+        }
     }
 
     /// Parses the spec's query string.
@@ -121,26 +137,21 @@ impl SessionSpec {
         config
     }
 
-    /// Builds the full session: table, query, and seeker.
+    /// Builds the full session over a table already resolved from the
+    /// catalog: the seeker shares the catalog's `Arc<Table>` rather than
+    /// owning a private copy.
     ///
     /// # Errors
     ///
     /// Spec validation plus seeker initialization errors.
-    pub fn build_seeker(&self) -> Result<OwnedSeeker, ServerError> {
-        self.build_seeker_traced(viewseeker_core::noop_tracer())
-    }
-
-    /// [`SessionSpec::build_seeker`] reporting into `tracer`, so the
-    /// session's phase timings are observable per-session.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`SessionSpec::build_seeker`].
-    pub fn build_seeker_traced(&self, tracer: Arc<dyn Tracer>) -> Result<OwnedSeeker, ServerError> {
-        let table = Arc::new(self.build_table()?);
+    pub fn build_seeker_on(
+        &self,
+        dataset: &DatasetEntry,
+        tracer: Arc<dyn Tracer>,
+    ) -> Result<OwnedSeeker, ServerError> {
         let query = self.build_query()?;
         Ok(Seeker::new_traced(
-            table,
+            Arc::clone(&dataset.table),
             &query,
             self.build_config(),
             tracer,
@@ -158,6 +169,15 @@ pub struct PersistedSession {
     pub spec: SessionSpec,
     /// The labels to replay.
     pub snapshot: SessionSnapshot,
+    /// Catalog name the session's table resolved to (e.g.
+    /// `gen-diab-r3000-s11` or an uploaded dataset name). `None` in
+    /// snapshots written before the catalog existed.
+    pub dataset_name: Option<String>,
+    /// Content digest of that table at snapshot time, lowercase hex.
+    /// Restore re-resolves the spec and refuses to replay labels onto a
+    /// table whose digest no longer matches (the learned weights would
+    /// silently describe different views).
+    pub dataset_checksum: Option<String>,
 }
 
 /// One live session.
@@ -166,6 +186,10 @@ pub struct SessionEntry {
     pub id: String,
     /// The spec the session was created from.
     pub spec: SessionSpec,
+    /// The catalog name the spec's dataset resolved to.
+    pub dataset_name: String,
+    /// Content digest of the session's table, lowercase hex.
+    pub dataset_checksum: String,
     /// The interactive session itself; lock to use.
     pub seeker: Mutex<OwnedSeeker>,
     /// The session's trace recorder (the seeker reports into it; readable
@@ -191,25 +215,59 @@ pub struct SessionRegistry {
     max_sessions: usize,
     ttl: Duration,
     snapshot_dir: Option<PathBuf>,
+    catalog: Arc<Catalog>,
     counters: Arc<Counters>,
     logger: Arc<Logger>,
 }
+
+/// Cache budget of the private in-memory catalog behind
+/// [`SessionRegistry::new`] (generated tables are pinned anyway; the budget
+/// only bounds evictable disk-backed tables, of which an in-memory catalog
+/// has none).
+const DEFAULT_CATALOG_BUDGET: u64 = 512 << 20;
 
 impl SessionRegistry {
     /// Creates a registry holding at most `max_sessions` sessions, evicting
     /// after `ttl` idle time, persisting evictees under `snapshot_dir`
     /// (`None` = evictees are dropped after an in-memory snapshot attempt).
+    /// Datasets resolve through a private in-memory catalog; use
+    /// [`SessionRegistry::with_catalog`] to share one (and get persistence).
     #[must_use]
     pub fn new(max_sessions: usize, ttl: Duration, snapshot_dir: Option<PathBuf>) -> Self {
+        Self::with_catalog(
+            max_sessions,
+            ttl,
+            snapshot_dir,
+            Arc::new(Catalog::in_memory(DEFAULT_CATALOG_BUDGET)),
+        )
+    }
+
+    /// [`SessionRegistry::new`] resolving datasets through `catalog` — the
+    /// handle the HTTP dataset endpoints share, so a session spec naming an
+    /// uploaded dataset finds it.
+    #[must_use]
+    pub fn with_catalog(
+        max_sessions: usize,
+        ttl: Duration,
+        snapshot_dir: Option<PathBuf>,
+        catalog: Arc<Catalog>,
+    ) -> Self {
         Self {
             sessions: RwLock::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             max_sessions: max_sessions.max(1),
             ttl,
             snapshot_dir,
+            catalog,
             counters: Arc::new(Counters::default()),
             logger: Logger::disabled(),
         }
+    }
+
+    /// The catalog sessions resolve their datasets through.
+    #[must_use]
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
     }
 
     /// Connects the registry to the process-wide counters and the event
@@ -263,16 +321,17 @@ impl SessionRegistry {
     ///
     /// Spec/seeker construction errors; eviction persistence errors.
     pub fn create(&self, spec: SessionSpec) -> Result<Arc<SessionEntry>, ServerError> {
+        let dataset = spec.resolve_dataset(&self.catalog)?;
         let recorder = Recorder::shared();
-        let seeker = spec.build_seeker_traced(Arc::clone(&recorder) as Arc<dyn Tracer>)?;
+        let seeker = spec.build_seeker_on(&dataset, Arc::clone(&recorder) as Arc<dyn Tracer>)?;
         let id = format!("s{}", self.next_id.fetch_add(1, Ordering::SeqCst));
-        let entry = self.insert(id, spec, seeker, recorder)?;
+        let entry = self.insert(id, spec, &dataset, seeker, recorder)?;
         Counters::bump(&self.counters.sessions_created);
         self.logger.info(
             "session_created",
             &[
                 ("session", s(&entry.id)),
-                ("dataset", s(&entry.spec.dataset)),
+                ("dataset", s(&entry.dataset_name)),
                 (
                     "views",
                     n(entry
@@ -331,11 +390,20 @@ impl SessionRegistry {
                 persisted.id
             )));
         }
-        let table = Arc::new(persisted.spec.build_table()?);
+        let dataset = persisted.spec.resolve_dataset(&self.catalog)?;
+        if let Some(expected) = &persisted.dataset_checksum {
+            if *expected != dataset.checksum {
+                return Err(ServerError::Conflict(format!(
+                    "snapshot {} was taken against dataset digest {expected}, but {:?} \
+                     now has digest {} — refusing to replay labels onto different data",
+                    persisted.id, dataset.name, dataset.checksum
+                )));
+            }
+        }
         let query = persisted.spec.build_query()?;
         let recorder = Recorder::shared();
         let seeker = persisted.snapshot.restore_seeker_traced(
-            table,
+            Arc::clone(&dataset.table),
             &query,
             persisted.spec.build_config(),
             Arc::clone(&recorder) as Arc<dyn Tracer>,
@@ -343,6 +411,7 @@ impl SessionRegistry {
         self.insert(
             persisted.id.clone(),
             persisted.spec.clone(),
+            &dataset,
             seeker,
             recorder,
         )
@@ -370,12 +439,15 @@ impl SessionRegistry {
         &self,
         id: String,
         spec: SessionSpec,
+        dataset: &DatasetEntry,
         seeker: OwnedSeeker,
         recorder: Arc<Recorder>,
     ) -> Result<Arc<SessionEntry>, ServerError> {
         let entry = Arc::new(SessionEntry {
             id: id.clone(),
             spec,
+            dataset_name: dataset.name.clone(),
+            dataset_checksum: dataset.checksum.clone(),
             seeker: Mutex::new(seeker),
             recorder,
             last_used: Mutex::new(Instant::now()),
@@ -534,6 +606,8 @@ impl SessionRegistry {
             id: entry.id.clone(),
             spec: entry.spec.clone(),
             snapshot: SessionSnapshot::from_seeker(&seeker),
+            dataset_name: Some(entry.dataset_name.clone()),
+            dataset_checksum: Some(entry.dataset_checksum.clone()),
         };
         drop(seeker);
         if let Some(parent) = path.parent() {
@@ -651,5 +725,116 @@ mod tests {
             ..spec()
         };
         assert!(registry.create(bad_query).is_err());
+        // rows/seed are generator knobs; naming a stored dataset with them
+        // set is a contradiction, not something to silently ignore.
+        let rows_on_stored = SessionSpec {
+            rows: Some(100),
+            ..SessionSpec::named("uploaded")
+        };
+        assert!(registry.create(rows_on_stored).is_err());
+    }
+
+    #[test]
+    fn concurrent_sessions_with_one_spec_share_one_table_arc() {
+        let registry = Arc::new(SessionRegistry::new(8, Duration::from_secs(60), None));
+        let entries: Vec<_> = (0..4)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || registry.create(spec()).unwrap())
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+        let first = entries[0].seeker.lock().unwrap().table_handle().clone();
+        for entry in &entries[1..] {
+            let seeker = entry.seeker.lock().unwrap();
+            assert!(
+                Arc::ptr_eq(&first, seeker.table_handle()),
+                "sessions regenerated private tables instead of sharing the catalog's"
+            );
+        }
+        // One materialization; the other three creates were cache hits.
+        let stats = registry.catalog().stats();
+        assert_eq!(stats.known_datasets, 1);
+        assert!(stats.hits >= 3, "{stats:?}");
+    }
+
+    #[test]
+    fn sessions_resolve_uploaded_catalog_datasets() {
+        let registry = SessionRegistry::new(4, Duration::from_secs(60), None);
+        let csv = b"city,n_age,m_sales\nNY,30,1.0\nLA,40,2.0\nNY,50,3.0\nSF,35,4.0\n";
+        registry.catalog().import_csv_bytes("sales", csv).unwrap();
+        let entry = registry.create(SessionSpec::named("sales")).unwrap();
+        assert_eq!(entry.dataset_name, "sales");
+        let seeker = entry.seeker.lock().unwrap();
+        assert!(!seeker.view_space().is_empty());
+        let shared = Arc::ptr_eq(
+            seeker.table_handle(),
+            &registry.catalog().get("sales").unwrap().table,
+        );
+        assert!(shared);
+    }
+
+    #[test]
+    fn restore_refuses_a_checksum_mismatch() {
+        let registry = SessionRegistry::new(4, Duration::from_secs(60), None);
+        let entry = registry.create(spec()).unwrap();
+        let snapshot = {
+            let seeker = entry.seeker.lock().unwrap();
+            SessionSnapshot::from_seeker(&seeker)
+        };
+        let persisted = PersistedSession {
+            id: "ghost".into(),
+            spec: spec(),
+            snapshot,
+            dataset_name: Some(entry.dataset_name.clone()),
+            dataset_checksum: Some("00000000deadbeef".into()),
+        };
+        let err = registry.restore(&persisted).err().expect("must refuse");
+        assert!(matches!(err, ServerError::Conflict(_)), "{err:?}");
+        // With the true digest (or a pre-catalog snapshot without one) the
+        // same restore succeeds.
+        let ok = PersistedSession {
+            id: "ghost".into(),
+            dataset_checksum: Some(entry.dataset_checksum.clone()),
+            ..persisted.clone()
+        };
+        registry.restore(&ok).unwrap();
+        registry.remove("ghost").unwrap();
+        let legacy = PersistedSession {
+            id: "ghost".into(),
+            dataset_name: None,
+            dataset_checksum: None,
+            ..persisted
+        };
+        registry.restore(&legacy).unwrap();
+    }
+
+    #[test]
+    fn legacy_snapshot_json_without_dataset_fields_still_parses() {
+        // Snapshots written before the catalog have no dataset_name /
+        // dataset_checksum keys; they must deserialize to None, not fail.
+        let registry = SessionRegistry::new(4, Duration::from_secs(60), None);
+        let entry = registry.create(spec()).unwrap();
+        let snapshot = {
+            let seeker = entry.seeker.lock().unwrap();
+            SessionSnapshot::from_seeker(&seeker)
+        };
+        let mut value = serde_json::to_value(&PersistedSession {
+            id: "old".into(),
+            spec: spec(),
+            snapshot,
+            dataset_name: None,
+            dataset_checksum: None,
+        });
+        if let serde_json::Value::Object(fields) = &mut value {
+            fields.retain(|(k, _)| k != "dataset_name" && k != "dataset_checksum");
+        }
+        let json = serde_json::render_compact(&value);
+        let parsed: PersistedSession = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.dataset_name, None);
+        assert_eq!(parsed.dataset_checksum, None);
+        registry.restore(&parsed).unwrap();
     }
 }

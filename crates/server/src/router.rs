@@ -15,6 +15,10 @@
 //! GET    /sessions/:id/recommend?k=5[&lambda=0.5]
 //! POST   /sessions/:id/snapshot
 //! POST   /sessions/:id/restore
+//! POST   /datasets/:name                 body: raw CSV
+//! GET    /datasets
+//! GET    /datasets/:name
+//! DELETE /datasets/:name
 //! ```
 
 use std::sync::Arc;
@@ -110,6 +114,19 @@ impl Router {
             ("POST", ["sessions", id, "restore"]) => (
                 "POST /sessions/:id/restore",
                 api::restore(state, Some(id), "").map(created),
+            ),
+            ("POST", ["datasets", name]) => (
+                "POST /datasets/:name",
+                api::upload_dataset(state, name, &request.body).map(created),
+            ),
+            ("GET", ["datasets"]) => ("GET /datasets", Ok(ok(api::list_datasets(state)))),
+            ("GET", ["datasets", name]) => {
+                ("GET /datasets/:name", api::get_dataset(state, name).map(ok))
+            }
+            ("DELETE", ["datasets", name]) => (
+                "DELETE /datasets/:name",
+                api::delete_dataset(state, name)
+                    .map(|()| Response::json("{\"deleted\": true}".to_owned())),
             ),
             _ => (
                 "unmatched",

@@ -90,6 +90,8 @@ fn concurrent_sessions_full_loop_over_http() {
         max_sessions: 32,
         ttl: Duration::from_secs(600),
         snapshot_dir: Some(dir.clone()),
+        data_dir: None,
+        catalog_mem_budget: 64 << 20,
         log_format: LogFormat::Text,
         log_level: LogLevel::Off,
     })
@@ -188,6 +190,8 @@ fn metrics_counters_move_across_the_session_lifecycle() {
         max_sessions: 1, // the second create evicts the first
         ttl: Duration::from_secs(600),
         snapshot_dir: Some(dir.clone()),
+        data_dir: None,
+        catalog_mem_budget: 64 << 20,
         log_format: LogFormat::Text,
         log_level: LogLevel::Off,
     })
@@ -275,6 +279,8 @@ fn eviction_over_http_is_restorable_with_identical_weights() {
         max_sessions: 1, // every create evicts the previous session
         ttl: Duration::from_secs(600),
         snapshot_dir: Some(dir.clone()),
+        data_dir: None,
+        catalog_mem_budget: 64 << 20,
         log_format: LogFormat::Text,
         log_level: LogLevel::Off,
     })

@@ -53,6 +53,8 @@ fn main() {
         max_sessions: 8,
         ttl: Duration::from_secs(600),
         snapshot_dir: None,
+        data_dir: None,
+        catalog_mem_budget: 64 << 20,
         // Structured access logs on stderr; try LogFormat::Json here.
         log_format: LogFormat::Text,
         log_level: LogLevel::Off,

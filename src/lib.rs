@@ -15,6 +15,9 @@
 //!
 //! * [`dataset`] — in-memory columnar engine: tables, predicates, group-by
 //!   aggregation, binning, sampling, CSV, synthetic-dataset generators;
+//! * [`catalog`] — persistent dataset store: the VSC1 on-disk columnar
+//!   format, CSV ingestion, and a shared in-memory table cache so many
+//!   sessions resolve one `Arc<Table>`;
 //! * [`stats`] — distributions, histogram distances (KL/EMD/L1/L2/L∞), χ²;
 //! * [`learn`] — hand-rolled ridge regression, logistic regression, and
 //!   active-learning query strategies;
@@ -51,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use viewseeker_catalog as catalog;
 pub use viewseeker_core as core;
 pub use viewseeker_dataset as dataset;
 pub use viewseeker_eval as eval;
