@@ -1,10 +1,14 @@
 //! Microbenchmarks of the group-by aggregation executor — the cost of
-//! materializing one view, which the α-sampling optimization amortizes.
+//! materializing one view, which the α-sampling optimization amortizes —
+//! and of whole-view-space materialization under the three executors
+//! (naive per-view, shared-scan, fused single-scan).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use viewseeker_core::viewgen::{materialize_all, materialize_all_fused, materialize_all_shared};
+use viewseeker_core::ViewSpace;
 use viewseeker_dataset::aggregate::{group_by_aggregate, within_bin_dispersion};
 use viewseeker_dataset::generate::{generate_diab, DiabConfig};
-use viewseeker_dataset::{AggregateFunction, BinSpec};
+use viewseeker_dataset::{AggregateFunction, BinSpec, Predicate, SelectQuery};
 
 fn bench_groupby(c: &mut Criterion) {
     let mut group = c.benchmark_group("groupby");
@@ -25,5 +29,42 @@ fn bench_groupby(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_groupby);
+/// Full view-space materialization (the offline phase) under each executor,
+/// at the paper's default bin configs, on the DIAB generator. This is the
+/// headline comparison: fused does one pass over the data for *all* views,
+/// shared does one pass per distinct `(dimension, bins)` group, naive does
+/// three passes per view.
+fn bench_materialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("materialize_all");
+    group.sample_size(10);
+    for rows in [10_000usize, 100_000] {
+        let table = generate_diab(&DiabConfig::small(rows, 1)).unwrap();
+        let query = SelectQuery::new(Predicate::eq("a0", "a0_v0"));
+        let dq = query.execute(&table).unwrap();
+        let dr = table.all_rows();
+        let space = ViewSpace::enumerate(&table, &[3, 4]).unwrap();
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::new("naive", rows), &rows, |b, _| {
+            b.iter(|| materialize_all(&table, &dq, &dr, &space, 4).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("shared", rows), &rows, |b, _| {
+            b.iter(|| materialize_all_shared(&table, &dq, &dr, &space, 4).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("fused", rows), &rows, |b, _| {
+            b.iter(|| materialize_all_fused(&table, &dq, &dr, &space, 4).unwrap())
+        });
+        // Thread-scaling sweep for the fused executor only (the grid is
+        // fixed by the data, so these all produce bit-identical output).
+        for threads in [1usize, 2, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("fused_t{threads}"), rows),
+                &rows,
+                |b, _| b.iter(|| materialize_all_fused(&table, &dq, &dr, &space, threads).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_groupby, bench_materialize);
 criterion_main!(benches);

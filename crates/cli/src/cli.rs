@@ -1,5 +1,6 @@
 //! Command-line parsing for the `viewseeker` binary.
 
+use viewseeker_core::MaterializeStrategy;
 use viewseeker_server::{LogFormat, LogLevel};
 
 /// Usage text shown on parse errors and `--help`.
@@ -12,7 +13,9 @@ USAGE:
   viewseeker rank     --data FILE.csv --query QUERY --utility EXPR [--k N] [--diverse LAMBDA]
   viewseeker explore  --data FILE.csv --query QUERY [--k N] [--alpha F] [--exclude col1,col2]
                       [--save SESSION.json] [--resume SESSION.json]
+                      [--executor naive|shared|fused]
   viewseeker simulate --data FILE.csv --query QUERY --ideal EXPR [--k N] [--max-labels N]
+                      [--executor naive|shared|fused]
   viewseeker scatter  --data FILE.csv --query QUERY --ideal EXPR [--grid N] [--k N]
   viewseeker query    --data FILE.csv --sql 'SELECT city, AVG(m_sales) FROM t GROUP BY city'
   viewseeker serve    [--addr HOST:PORT] [--workers N] [--max-sessions N] [--ttl SECS]
@@ -20,6 +23,7 @@ USAGE:
                       [--catalog-mem-budget BYTES[k|m|g]]
                       [--log-format text|json]
                       [--log-level debug|info|warn|error|off]
+                      [--executor naive|shared|fused]
   viewseeker dataset import  --data-dir DIR --csv FILE.csv [--name NAME]
   viewseeker dataset list    --data-dir DIR
   viewseeker dataset inspect --data-dir DIR --name NAME
@@ -92,6 +96,8 @@ pub enum Command {
         save: Option<String>,
         /// Resume from a previously saved snapshot.
         resume: Option<String>,
+        /// Materialization executor (default: fused).
+        executor: MaterializeStrategy,
     },
     /// A simulated session against a hidden ideal utility.
     Simulate {
@@ -107,6 +113,8 @@ pub enum Command {
         max_labels: usize,
         /// Bin configurations.
         bins: Vec<usize>,
+        /// Materialization executor (default: fused).
+        executor: MaterializeStrategy,
     },
     /// A simulated session over scatter-plot views (the future-work
     /// extension).
@@ -144,6 +152,8 @@ pub enum Command {
         log_format: LogFormat,
         /// Minimum log severity written to stderr.
         log_level: LogLevel,
+        /// Default materialization executor for sessions.
+        executor: MaterializeStrategy,
     },
     /// Manage the on-disk dataset catalog (VSC1 columnar store).
     Dataset(DatasetCmd),
@@ -258,6 +268,7 @@ impl Command {
                 bins: flags.bin_configs()?,
                 save: flags.get("--save"),
                 resume: flags.get("--resume"),
+                executor: flags.get_parsed("--executor")?.unwrap_or_default(),
             }),
             "scatter" => Ok(Command::Scatter {
                 data: flags.require("--data")?,
@@ -281,6 +292,7 @@ impl Command {
                     .map_or(Ok(512 << 20), |v| parse_byte_size(&v))?,
                 log_format: flags.get_parsed("--log-format")?.unwrap_or_default(),
                 log_level: flags.get_parsed("--log-level")?.unwrap_or_default(),
+                executor: flags.get_parsed("--executor")?.unwrap_or_default(),
             }),
             "query" => Ok(Command::Query {
                 data: flags.require("--data")?,
@@ -293,6 +305,7 @@ impl Command {
                 k: flags.get_parsed("--k")?.unwrap_or(10),
                 max_labels: flags.get_parsed("--max-labels")?.unwrap_or(50),
                 bins: flags.bin_configs()?,
+                executor: flags.get_parsed("--executor")?.unwrap_or_default(),
             }),
             other => Err(format!("unknown subcommand {other:?}")),
         }
@@ -432,6 +445,7 @@ mod tests {
                 bins,
                 save,
                 resume,
+                executor,
                 ..
             } => {
                 assert_eq!(k, 5);
@@ -439,6 +453,7 @@ mod tests {
                 assert!(exclude.is_empty());
                 assert_eq!(bins, vec![3, 4]);
                 assert!(save.is_none() && resume.is_none());
+                assert_eq!(executor, MaterializeStrategy::Fused);
             }
             other => panic!("{other:?}"),
         }
@@ -513,6 +528,7 @@ mod tests {
                 catalog_mem_budget: 512 << 20,
                 log_format: LogFormat::Text,
                 log_level: LogLevel::Info,
+                executor: MaterializeStrategy::Fused,
             }
         );
         let c = parse(&[
@@ -535,6 +551,8 @@ mod tests {
             "json",
             "--log-level",
             "warn",
+            "--executor",
+            "naive",
         ])
         .unwrap();
         assert_eq!(
@@ -549,12 +567,15 @@ mod tests {
                 catalog_mem_budget: 256 << 20,
                 log_format: LogFormat::Json,
                 log_level: LogLevel::Warn,
+                executor: MaterializeStrategy::Naive,
             }
         );
         assert!(parse(&["serve", "--workers", "two"]).is_err());
         assert!(parse(&["serve", "--log-format", "xml"]).is_err());
         assert!(parse(&["serve", "--log-level", "verbose"]).is_err());
         assert!(parse(&["serve", "--catalog-mem-budget", "lots"]).is_err());
+        assert!(parse(&["serve", "--executor", "turbo"]).is_err());
+        assert!(parse(&["explore", "--data", "x.csv", "--executor", "turbo"]).is_err());
     }
 
     #[test]

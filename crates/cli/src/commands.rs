@@ -55,7 +55,10 @@ pub fn run(cmd: Command) -> Result<(), String> {
             bins,
             save,
             resume,
-        } => explore(&data, &query, k, alpha, exclude, &bins, save, resume),
+            executor,
+        } => explore(
+            &data, &query, k, alpha, exclude, &bins, save, resume, executor,
+        ),
         Command::Query { data, sql } => sql_query(&data, &sql),
         Command::Serve {
             addr,
@@ -67,6 +70,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             catalog_mem_budget,
             log_format,
             log_level,
+            executor,
         } => serve(
             &addr,
             workers,
@@ -77,6 +81,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             catalog_mem_budget,
             log_format,
             log_level,
+            executor,
         ),
         Command::Dataset(cmd) => dataset(cmd),
         Command::Scatter {
@@ -94,7 +99,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
             k,
             max_labels,
             bins,
-        } => simulate(&data, &query, &ideal, k, max_labels, &bins),
+            executor,
+        } => simulate(&data, &query, &ideal, k, max_labels, &bins, executor),
     }
 }
 
@@ -109,6 +115,7 @@ fn serve(
     catalog_mem_budget: u64,
     log_format: viewseeker_server::LogFormat,
     log_level: viewseeker_server::LogLevel,
+    executor: viewseeker_core::MaterializeStrategy,
 ) -> Result<(), String> {
     let config = viewseeker_server::ServerConfig {
         addr: addr.to_owned(),
@@ -120,6 +127,7 @@ fn serve(
         catalog_mem_budget,
         log_format,
         log_level,
+        default_executor: executor,
     };
     let handle =
         viewseeker_server::serve_app(&config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -428,6 +436,7 @@ fn explore(
     bins: &[usize],
     save: Option<String>,
     resume: Option<String>,
+    executor: viewseeker_core::MaterializeStrategy,
 ) -> Result<(), String> {
     let table = load_table(data)?;
     let q = SelectQuery::new(parse_query(query)?);
@@ -435,6 +444,7 @@ fn explore(
         bin_configs: bins.to_vec(),
         alpha,
         excluded_dimensions: exclude,
+        materialize: executor,
         ..ViewSeekerConfig::default()
     };
     let mut seeker = match resume {
@@ -570,12 +580,14 @@ fn simulate(
     k: usize,
     max_labels: usize,
     bins: &[usize],
+    executor: viewseeker_core::MaterializeStrategy,
 ) -> Result<(), String> {
     let table = load_table(data)?;
     let q = SelectQuery::new(parse_query(query)?);
     let composite = parse_utility(ideal)?;
     let config = ViewSeekerConfig {
         bin_configs: bins.to_vec(),
+        materialize: executor,
         ..ViewSeekerConfig::default()
     };
     println!(

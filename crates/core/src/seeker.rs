@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 use viewseeker_dataset::sample::bernoulli_sample;
 use viewseeker_dataset::{RowSet, SelectQuery, Table};
 
-use crate::config::{RefineBudget, ViewSeekerConfig};
+use crate::config::{MaterializeStrategy, RefineBudget, ViewSeekerConfig};
 use crate::estimator::Label;
 use crate::features::{compute_features, FeatureMatrix};
 use crate::optimize::IncrementalRefiner;
@@ -44,7 +44,10 @@ use crate::trace::{
     duration_us, noop_tracer, IterationTrace, RefinementBudgetReport, TracePhase, Tracer,
 };
 use crate::view::{ViewId, ViewSpace};
-use crate::viewgen::{materialize_all_shared, materialize_view};
+use crate::viewgen::{
+    materialize_all, materialize_all_fused_with_stats, materialize_all_shared, materialize_view,
+    scan_group_count,
+};
 use crate::CoreError;
 
 /// Which stage of the interactive phase the session is in.
@@ -79,6 +82,27 @@ pub struct Seeker<H: Borrow<Table>> {
     refinement_time: Duration,
     tracer: Arc<dyn Tracer>,
     iterations: u64,
+    materialization: MaterializationReport,
+}
+
+/// What the offline materialization scan cost, for observability: which
+/// executor ran, how many scans and rows it spent, and how long it took.
+/// Read it back with [`Seeker::materialization`]; services feed it into
+/// their metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaterializationReport {
+    /// The executor that materialized the view space.
+    pub strategy: MaterializeStrategy,
+    /// Worker threads the scan was allowed to use.
+    pub threads: usize,
+    /// Sequential row-range passes the executor performed (the fused
+    /// executor reports 1–2 for the whole space; the unfused paths report
+    /// their per-view/per-group scan counts).
+    pub scans: u64,
+    /// Total rows visited across those passes.
+    pub rows_scanned: u64,
+    /// Wall-clock of the materialization call, microseconds.
+    pub duration_us: u64,
 }
 
 /// The per-phase timing of one [`Seeker::run_refinement`] pass, fed into the
@@ -104,8 +128,9 @@ pub type OwnedSeeker = Seeker<std::sync::Arc<Table>>;
 impl<H: Borrow<Table>> Seeker<H> {
     /// Runs the offline initialization phase: executes the query to obtain
     /// `DQ`, enumerates the view space, materializes every view (with the
-    /// shared-scan optimization), and computes the feature matrix — on an
-    /// α% sample when the optimization is enabled (`config.alpha < 1`).
+    /// configured [`MaterializeStrategy`]; the fused single-scan executor by
+    /// default), and computes the feature matrix — on an α% sample when the
+    /// optimization is enabled (`config.alpha < 1`).
     ///
     /// # Errors
     ///
@@ -151,8 +176,39 @@ impl<H: Borrow<Table>> Seeker<H> {
             (dq.clone(), dr.clone())
         };
 
-        let views =
-            materialize_all_shared(table_ref, &init_dq, &init_dr, &space, config.init_threads)?;
+        let threads = config.effective_threads();
+        let mat_started = Instant::now();
+        let (views, scans, rows_scanned) = match config.materialize {
+            MaterializeStrategy::Naive => {
+                let views = materialize_all(table_ref, &init_dq, &init_dr, &space, threads)?;
+                // Per view: one target scan, one reference scan, one
+                // dispersion pass over the target.
+                let v = space.len() as u64;
+                let rows = v * (2 * init_dq.len() as u64 + init_dr.len() as u64);
+                (views, 3 * v, rows)
+            }
+            MaterializeStrategy::Shared => {
+                let views = materialize_all_shared(table_ref, &init_dq, &init_dr, &space, threads)?;
+                let groups = scan_group_count(&space) as u64;
+                let rows = groups * (init_dq.len() as u64 + init_dr.len() as u64);
+                (views, 2 * groups, rows)
+            }
+            MaterializeStrategy::Fused => {
+                let (views, stats) = materialize_all_fused_with_stats(
+                    table_ref, &init_dq, &init_dr, &space, threads,
+                )?;
+                (views, stats.scans, stats.rows_scanned)
+            }
+        };
+        let mat_elapsed = mat_started.elapsed();
+        let materialization = MaterializationReport {
+            strategy: config.materialize,
+            threads,
+            scans,
+            rows_scanned,
+            duration_us: duration_us(mat_elapsed),
+        };
+        tracer.record_span(TracePhase::Materialization, mat_elapsed);
         tracer.record_span(TracePhase::ViewSpaceGen, gen_started.elapsed());
 
         let feat_started = Instant::now();
@@ -174,7 +230,14 @@ impl<H: Borrow<Table>> Seeker<H> {
             refinement_time: Duration::ZERO,
             tracer,
             iterations: 0,
+            materialization,
         })
+    }
+
+    /// The offline materialization's executor, scan counts, and timing.
+    #[must_use]
+    pub fn materialization(&self) -> &MaterializationReport {
+        &self.materialization
     }
 
     /// Replaces the session's tracer (the default is the no-op one). Spans
@@ -327,7 +390,7 @@ impl<H: Borrow<Table>> Seeker<H> {
     /// [`CoreError::Learn`] until at least one label has been submitted.
     pub fn predicted_scores(&self) -> Result<Vec<f64>, CoreError> {
         self.session
-            .predicted_scores_parallel(self.config.init_threads)
+            .predicted_scores_parallel(self.config.effective_threads())
     }
 
     /// A diversified top-`k` recommendation (DiVE-style MMR, see
@@ -623,6 +686,71 @@ mod tests {
             trace
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fused_sessions_are_identical_across_thread_counts() {
+        // The determinism regression guard for the fused executor: a full
+        // simulated-user session — labels chosen by the seeker, scores from
+        // an ideal utility, recommendations read every turn — must produce
+        // the identical sequence at threads=1 and threads=8. α-sampling is
+        // on so the DQ ⊄ DR tail path is exercised too.
+        let (table, query) = testbed();
+        let run = |threads: usize| {
+            let cfg = ViewSeekerConfig {
+                alpha: 0.4,
+                refine_budget: RefineBudget::Views(25),
+                init_threads: threads,
+                materialize: MaterializeStrategy::Fused,
+                ..ViewSeekerConfig::default()
+            };
+            let mut s = ViewSeeker::new(&table, &query, cfg).unwrap();
+            let ideal = CompositeUtility::single(UtilityFeature::Emd);
+            let scores = ideal.normalized_scores(s.feature_matrix()).unwrap();
+            let mut trace = Vec::new();
+            for _ in 0..12 {
+                let v = s.next_views(1).unwrap()[0];
+                trace.push(v.index());
+                s.submit_feedback(v, scores[v.index()]).unwrap();
+                let rec: Vec<usize> = s.recommend(3).unwrap().iter().map(|v| v.index()).collect();
+                trace.extend(rec);
+            }
+            trace
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn materialization_report_reflects_the_executor() {
+        let (table, query) = testbed();
+        let fused = ViewSeeker::new(&table, &query, ViewSeekerConfig::default()).unwrap();
+        let report = *fused.materialization();
+        assert_eq!(report.strategy, MaterializeStrategy::Fused);
+        assert_eq!(report.scans, 1, "DQ ⊆ DR without sampling: one pass");
+        assert_eq!(report.rows_scanned, 3_000);
+
+        let shared = ViewSeeker::new(
+            &table,
+            &query,
+            ViewSeekerConfig {
+                materialize: MaterializeStrategy::Shared,
+                ..ViewSeekerConfig::default()
+            },
+        )
+        .unwrap();
+        let naive = ViewSeeker::new(
+            &table,
+            &query,
+            ViewSeekerConfig {
+                materialize: MaterializeStrategy::Naive,
+                ..ViewSeekerConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(shared.materialization().scans > report.scans);
+        assert!(naive.materialization().scans > shared.materialization().scans);
+        assert!(naive.materialization().rows_scanned > shared.materialization().rows_scanned);
+        assert!(shared.materialization().rows_scanned > report.rows_scanned);
     }
 
     #[test]

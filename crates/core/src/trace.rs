@@ -33,6 +33,10 @@ pub enum TracePhase {
     /// Offline: view-space enumeration plus materializing every candidate
     /// view's target/reference distributions (shared-scan, α-sampled).
     ViewSpaceGen,
+    /// Offline: the materialization scan itself — a sub-span of
+    /// [`TracePhase::ViewSpaceGen`], isolated so the executor choice
+    /// (naive / shared / fused) is directly comparable in the phase totals.
+    Materialization,
     /// Offline: computing the 8-component utility-feature matrix.
     FeatureExtraction,
     /// Interactive: ranking still-rough views by the current utility
@@ -54,8 +58,9 @@ pub enum TracePhase {
 
 impl TracePhase {
     /// Every phase, in execution order.
-    pub const ALL: [TracePhase; 7] = [
+    pub const ALL: [TracePhase; 8] = [
         TracePhase::ViewSpaceGen,
+        TracePhase::Materialization,
         TracePhase::FeatureExtraction,
         TracePhase::Pruning,
         TracePhase::Refinement,
@@ -69,6 +74,7 @@ impl TracePhase {
     pub fn name(self) -> &'static str {
         match self {
             TracePhase::ViewSpaceGen => "view_space_gen",
+            TracePhase::Materialization => "materialization",
             TracePhase::FeatureExtraction => "feature_extraction",
             TracePhase::Pruning => "pruning",
             TracePhase::Refinement => "refinement",
@@ -81,12 +87,13 @@ impl TracePhase {
     fn index(self) -> usize {
         match self {
             TracePhase::ViewSpaceGen => 0,
-            TracePhase::FeatureExtraction => 1,
-            TracePhase::Pruning => 2,
-            TracePhase::Refinement => 3,
-            TracePhase::EstimatorFit => 4,
-            TracePhase::UncertaintySampling => 5,
-            TracePhase::Recommend => 6,
+            TracePhase::Materialization => 1,
+            TracePhase::FeatureExtraction => 2,
+            TracePhase::Pruning => 3,
+            TracePhase::Refinement => 4,
+            TracePhase::EstimatorFit => 5,
+            TracePhase::UncertaintySampling => 6,
+            TracePhase::Recommend => 7,
         }
     }
 }

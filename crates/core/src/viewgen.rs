@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use viewseeker_dataset::aggregate::{group_by_aggregate, group_by_all, within_bin_dispersion};
+use viewseeker_dataset::executor::{fused_group_by_all, FusedScanStats, GroupRequest};
 use viewseeker_dataset::{BinSpec, RowSet, Table};
 use viewseeker_stats::Distribution;
 
@@ -41,12 +42,84 @@ pub struct ViewData {
 ///
 /// Propagates dataset errors (unknown columns, type mismatches).
 pub fn bin_spec_for(table: &Table, def: &ViewDef) -> Result<BinSpec, CoreError> {
-    let col = table.column_by_name(&def.dimension)?;
-    let spec = match def.bins {
+    bin_spec_for_dimension(table, &def.dimension, def.bins)
+}
+
+/// [`bin_spec_for`] without the full [`ViewDef`]: the spec depends only on
+/// the dimension and the bin count.
+fn bin_spec_for_dimension(
+    table: &Table,
+    dimension: &str,
+    bins: Option<usize>,
+) -> Result<BinSpec, CoreError> {
+    let col = table.column_by_name(dimension)?;
+    let spec = match bins {
         None => BinSpec::categorical_of(col)?,
         Some(b) => BinSpec::equal_width_of(col, b)?,
     };
     Ok(spec)
+}
+
+/// A `(dimension, bins, measure)` scan-sharing group.
+type GroupKey = (String, Option<usize>, String);
+
+/// The shared/fused execution plan of a view space: its unique scan groups
+/// in first-seen order, each view's group, and one [`BinSpec`] per distinct
+/// `(dimension, bins)` pair — specs do not depend on the measure, so each
+/// is derived exactly once.
+struct GroupPlan {
+    /// Unique `(dimension, bins, measure)` groups, first-seen order.
+    keys: Vec<GroupKey>,
+    /// Group index of every view in the space, in view order.
+    view_groups: Vec<usize>,
+    /// Deduplicated bin specs.
+    specs: Vec<BinSpec>,
+    /// Spec index of every group in `keys`.
+    group_specs: Vec<usize>,
+}
+
+impl GroupPlan {
+    fn build(table: &Table, space: &ViewSpace) -> Result<GroupPlan, CoreError> {
+        let mut keys: Vec<GroupKey> = Vec::new();
+        let mut key_index: HashMap<GroupKey, usize> = HashMap::new();
+        let mut view_groups = Vec::with_capacity(space.len());
+        for def in space.defs() {
+            let key = (def.dimension.clone(), def.bins, def.measure.clone());
+            let idx = *key_index.entry(key.clone()).or_insert_with(|| {
+                keys.push(key);
+                keys.len() - 1
+            });
+            view_groups.push(idx);
+        }
+
+        let mut spec_keys: Vec<(String, Option<usize>)> = Vec::new();
+        let mut spec_index: HashMap<(String, Option<usize>), usize> = HashMap::new();
+        let mut group_specs = Vec::with_capacity(keys.len());
+        for (dimension, bins, _measure) in &keys {
+            let sk = (dimension.clone(), *bins);
+            let idx = *spec_index.entry(sk.clone()).or_insert_with(|| {
+                spec_keys.push(sk);
+                spec_keys.len() - 1
+            });
+            group_specs.push(idx);
+        }
+        let specs = spec_keys
+            .iter()
+            .map(|(dimension, bins)| bin_spec_for_dimension(table, dimension, *bins))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(GroupPlan {
+            keys,
+            view_groups,
+            specs,
+            group_specs,
+        })
+    }
+
+    /// The spec of group `g`.
+    fn spec_of(&self, g: usize) -> &BinSpec {
+        &self.specs[self.group_specs[g]]
+    }
 }
 
 /// Materializes one view over the given target (`dq`) and reference (`dr`)
@@ -159,20 +232,7 @@ pub fn materialize_all_shared(
     space: &ViewSpace,
     threads: usize,
 ) -> Result<Vec<ViewData>, CoreError> {
-    type GroupKey = (String, Option<usize>, String);
-
-    // Unique (dimension, bins, measure) groups in first-seen order.
-    let mut keys: Vec<GroupKey> = Vec::new();
-    let mut key_index: HashMap<GroupKey, usize> = HashMap::new();
-    let mut view_groups = Vec::with_capacity(space.len());
-    for def in space.defs() {
-        let key = (def.dimension.clone(), def.bins, def.measure.clone());
-        let idx = *key_index.entry(key.clone()).or_insert_with(|| {
-            keys.push(key);
-            keys.len() - 1
-        });
-        view_groups.push(idx);
-    }
+    let plan = GroupPlan::build(table, space)?;
 
     struct GroupData {
         target: viewseeker_dataset::aggregate::GroupByAllResult,
@@ -180,31 +240,30 @@ pub fn materialize_all_shared(
         bins: usize,
     }
 
-    let compute_group = |key: &GroupKey| -> Result<GroupData, CoreError> {
-        let (dimension, bins, measure) = key;
-        let spec = bin_spec_for(
-            table,
-            &ViewDef {
-                dimension: dimension.clone(),
-                measure: measure.clone(),
-                aggregate: viewseeker_dataset::AggregateFunction::Count,
-                bins: *bins,
-            },
-        )?;
+    // (group key, its pre-derived spec) work items, chunkable across threads.
+    let work: Vec<(&GroupKey, &BinSpec)> = plan
+        .keys
+        .iter()
+        .enumerate()
+        .map(|(g, key)| (key, plan.spec_of(g)))
+        .collect();
+
+    let compute_group = |&(key, spec): &(&GroupKey, &BinSpec)| -> Result<GroupData, CoreError> {
+        let (dimension, _bins, measure) = key;
         Ok(GroupData {
-            target: group_by_all(table, dq, dimension, &spec, measure)?,
-            reference: group_by_all(table, dr, dimension, &spec, measure)?,
+            target: group_by_all(table, dq, dimension, spec, measure)?,
+            reference: group_by_all(table, dr, dimension, spec, measure)?,
             bins: spec.bin_count(),
         })
     };
 
-    let groups: Vec<GroupData> = if threads <= 1 || keys.len() < 2 {
-        keys.iter().map(compute_group).collect::<Result<_, _>>()?
+    let groups: Vec<GroupData> = if threads <= 1 || work.len() < 2 {
+        work.iter().map(compute_group).collect::<Result<_, _>>()?
     } else {
-        let threads = threads.min(keys.len());
-        let chunk = keys.len().div_ceil(threads);
+        let threads = threads.min(work.len());
+        let chunk = work.len().div_ceil(threads);
         let results: Vec<Result<Vec<GroupData>, CoreError>> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = keys
+            let handles: Vec<_> = work
                 .chunks(chunk)
                 .map(|slice| {
                     s.spawn(move |_| {
@@ -221,7 +280,7 @@ pub fn materialize_all_shared(
                 .collect()
         })
         .expect("crossbeam scope failed");
-        let mut out = Vec::with_capacity(keys.len());
+        let mut out = Vec::with_capacity(work.len());
         for r in results {
             out.extend(r?);
         }
@@ -231,7 +290,7 @@ pub fn materialize_all_shared(
     space
         .defs()
         .iter()
-        .zip(&view_groups)
+        .zip(&plan.view_groups)
         .map(|(def, &g)| {
             let group = &groups[g];
             Ok(ViewData {
@@ -245,6 +304,89 @@ pub fn materialize_all_shared(
             })
         })
         .collect()
+}
+
+/// Number of distinct `(dimension, bins, measure)` scan groups in `space` —
+/// the scan-sharing denominator of [`materialize_all_shared`] and the fused
+/// executor (each group costs the shared path two scans and the fused path
+/// one accumulator block).
+#[must_use]
+pub fn scan_group_count(space: &ViewSpace) -> usize {
+    let mut keys = std::collections::HashSet::new();
+    for def in space.defs() {
+        keys.insert((def.dimension.as_str(), def.bins, def.measure.as_str()));
+    }
+    keys.len()
+}
+
+/// Materializes every view of `space` with the fused executor: every scan
+/// group of the space is answered by **one** partition-parallel pass over
+/// the reference rows (see [`viewseeker_dataset::executor`]), instead of
+/// two scans per group. Bin specs and bin assignments are derived once per
+/// distinct `(dimension, bins)` pair.
+///
+/// The result is bit-identical for any `threads` value. Against
+/// [`materialize_all`] / [`materialize_all_shared`] it is exact on
+/// exactly-representable measure values and agrees to ULP-level rounding
+/// otherwise (the partition merge reassociates floating-point sums).
+///
+/// # Errors
+///
+/// Propagates the first materialization error encountered.
+pub fn materialize_all_fused(
+    table: &Table,
+    dq: &RowSet,
+    dr: &RowSet,
+    space: &ViewSpace,
+    threads: usize,
+) -> Result<Vec<ViewData>, CoreError> {
+    Ok(materialize_all_fused_with_stats(table, dq, dr, space, threads)?.0)
+}
+
+/// [`materialize_all_fused`] plus the executor's scan statistics, for
+/// tracing and metrics.
+///
+/// # Errors
+///
+/// Propagates the first materialization error encountered.
+pub fn materialize_all_fused_with_stats(
+    table: &Table,
+    dq: &RowSet,
+    dr: &RowSet,
+    space: &ViewSpace,
+    threads: usize,
+) -> Result<(Vec<ViewData>, FusedScanStats), CoreError> {
+    let plan = GroupPlan::build(table, space)?;
+    let requests: Vec<GroupRequest> = plan
+        .keys
+        .iter()
+        .enumerate()
+        .map(|(g, (dimension, _bins, measure))| GroupRequest {
+            dimension: dimension.clone(),
+            spec: plan.spec_of(g).clone(),
+            measure: measure.clone(),
+        })
+        .collect();
+    let (groups, stats) = fused_group_by_all(table, dq, dr, &requests, threads)?;
+
+    let views = space
+        .defs()
+        .iter()
+        .zip(&plan.view_groups)
+        .map(|(def, &g)| {
+            let group = &groups[g];
+            Ok(ViewData {
+                target: Distribution::from_aggregates(group.target.aggregates(def.aggregate))?,
+                reference: Distribution::from_aggregates(
+                    group.reference.aggregates(def.aggregate),
+                )?,
+                target_rows: group.target.total_rows(),
+                dispersion: group.target.dispersion,
+                bins: requests[g].spec.bin_count(),
+            })
+        })
+        .collect::<Result<Vec<_>, CoreError>>()?;
+    Ok((views, stats))
 }
 
 #[cfg(test)]
@@ -345,6 +487,79 @@ mod tests {
         let naive = materialize_all(&t, &dq, &t.all_rows(), &space, 1).unwrap();
         let shared = materialize_all_shared(&t, &dq, &t.all_rows(), &space, 2).unwrap();
         assert_eq!(naive, shared);
+    }
+
+    /// `a` equals `b` up to the fused executor's float contract: counts and
+    /// shapes exactly, sum-derived floats within ULP-level relative error
+    /// (the hits + complement derivation of the reference aggregates
+    /// reassociates float addition; see `dataset::executor`).
+    fn assert_views_close(a: &[ViewData], b: &[ViewData], what: &str) {
+        fn close(x: f64, y: f64) -> bool {
+            x == y || (x - y).abs() <= 1e-9 * x.abs().max(y.abs())
+        }
+        assert_eq!(a.len(), b.len(), "{what}: view count");
+        for (i, (va, vb)) in a.iter().zip(b).enumerate() {
+            assert_eq!(va.target_rows, vb.target_rows, "{what}: view {i} rows");
+            assert_eq!(va.bins, vb.bins, "{what}: view {i} bins");
+            assert!(
+                close(va.dispersion, vb.dispersion),
+                "{what}: view {i} dispersion {} vs {}",
+                va.dispersion,
+                vb.dispersion
+            );
+            for (d, e) in [(&va.target, &vb.target), (&va.reference, &vb.reference)] {
+                for (x, y) in d.masses().iter().zip(e.masses()) {
+                    assert!(close(*x, *y), "{what}: view {i} mass {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_materialization_matches_naive() {
+        let t = generate_diab(&DiabConfig::small(1_000, 8)).unwrap();
+        let dq = SelectQuery::new(Predicate::eq("a1", "a1_v1"))
+            .execute(&t)
+            .unwrap();
+        let space = ViewSpace::enumerate(&t, &[3, 4]).unwrap();
+        let naive = materialize_all(&t, &dq, &t.all_rows(), &space, 1).unwrap();
+        for threads in [1, 4] {
+            let fused = materialize_all_fused(&t, &dq, &t.all_rows(), &space, threads).unwrap();
+            assert_views_close(&naive, &fused, &format!("threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn fused_is_thread_invariant_on_large_float_data() {
+        let t = generate_syn(&SynConfig::small(6_000, 21)).unwrap();
+        let dq = SelectQuery::new(Predicate::range("d0", 0.0, 50.0))
+            .execute(&t)
+            .unwrap();
+        let space = ViewSpace::enumerate(&t, &[3, 4]).unwrap();
+        let one = materialize_all_fused(&t, &dq, &t.all_rows(), &space, 1).unwrap();
+        for threads in [2, 8] {
+            let many = materialize_all_fused(&t, &dq, &t.all_rows(), &space, threads).unwrap();
+            assert_eq!(one, many, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fused_stats_count_one_scan_for_the_whole_space() {
+        let t = generate_diab(&DiabConfig::small(2_000, 5)).unwrap();
+        let dq = SelectQuery::new(Predicate::eq("a0", "a0_v0"))
+            .execute(&t)
+            .unwrap();
+        let space = ViewSpace::enumerate(&t, &[3, 4]).unwrap();
+        let (views, stats) =
+            materialize_all_fused_with_stats(&t, &dq, &t.all_rows(), &space, 2).unwrap();
+        assert_eq!(views.len(), space.len());
+        assert_eq!(stats.scans, 1, "DQ ⊆ DR: single fused pass");
+        assert_eq!(stats.rows_scanned, 2_000);
+        assert!(stats.groups < space.len(), "5 aggregates share one group");
+        assert!(
+            stats.bin_assignments < stats.groups,
+            "measures share one assignment per (dimension, bins)"
+        );
     }
 
     #[test]

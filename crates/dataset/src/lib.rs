@@ -13,6 +13,9 @@
 //! * [`binning`] / [`aggregate`] — group-by aggregation over a dimension with
 //!   one of the paper's five aggregate functions (COUNT, SUM, AVG, MIN, MAX),
 //!   producing the per-bin vectors that become view distributions;
+//! * [`executor`] — the fused executor: every `(dimension, measure)` group
+//!   of a whole view space answered in one partition-parallel scan, with a
+//!   deterministic merge that is bit-identical across thread counts;
 //! * [`sample`] — seeded uniform sampling (the α-sampling optimization);
 //! * [`csv`] — a minimal CSV codec so generated datasets can be persisted;
 //! * [`generate`] — the SYN and DIAB-like dataset generators plus the
@@ -26,6 +29,7 @@ pub mod binning;
 pub mod builder;
 pub mod column;
 pub mod csv;
+pub mod executor;
 pub mod generate;
 pub mod predicate;
 pub mod query;
@@ -38,6 +42,7 @@ pub mod table;
 pub use aggregate::{AggregateFunction, GroupByResult};
 pub use binning::BinSpec;
 pub use column::Column;
+pub use executor::{fused_group_by_all, FusedGroupResult, FusedScanStats, GroupRequest};
 pub use predicate::Predicate;
 pub use query::SelectQuery;
 pub use schema::{AttributeRole, ColumnMeta, Schema};

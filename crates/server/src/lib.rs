@@ -37,6 +37,7 @@
 //!     catalog_mem_budget: 64 << 20,
 //!     log_format: LogFormat::Text,
 //!     log_level: LogLevel::Off,
+//!     default_executor: Default::default(),
 //! };
 //! let handle = serve_app(&config).unwrap();
 //! let addr = handle.addr(); // POST http://{addr}/sessions etc.
@@ -93,6 +94,9 @@ pub struct ServerConfig {
     pub log_format: LogFormat,
     /// Minimum severity written to stderr (`--log-level`).
     pub log_level: LogLevel,
+    /// Materialization executor for sessions whose spec does not name one
+    /// (`--executor naive|shared|fused`; default: fused).
+    pub default_executor: viewseeker_core::MaterializeStrategy,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +111,7 @@ impl Default for ServerConfig {
             catalog_mem_budget: 512 << 20,
             log_format: LogFormat::Text,
             log_level: LogLevel::Info,
+            default_executor: viewseeker_core::MaterializeStrategy::default(),
         }
     }
 }
@@ -122,12 +127,13 @@ pub fn serve_app(config: &ServerConfig) -> std::io::Result<ServerHandle> {
             .map_err(|e| std::io::Error::other(format!("opening catalog: {e}")))?,
         None => viewseeker_catalog::Catalog::in_memory(config.catalog_mem_budget),
     };
-    let registry = SessionRegistry::with_catalog(
+    let mut registry = SessionRegistry::with_catalog(
         config.max_sessions,
         config.ttl,
         config.snapshot_dir.clone(),
         Arc::new(catalog),
     );
+    registry.set_default_executor(config.default_executor);
     let logger = Logger::stderr(config.log_format, config.log_level);
     let state = api::shared_state_with_logger(registry, logger);
     let queue_depth = state.metrics.counters().queue_depth_handle();

@@ -41,6 +41,15 @@ pub struct Counters {
     pub restores_failed: AtomicU64,
     /// Feedback labels ingested across all sessions.
     pub feedback_labels: AtomicU64,
+    /// Logical scans issued by offline view materialization, summed over
+    /// every session built (created or restored). The fused executor makes
+    /// this grow by 1–2 per session; naive grows it by ~3·|views|.
+    pub materialize_scans: AtomicU64,
+    /// Rows read by offline view materialization, summed over sessions.
+    pub materialize_rows: AtomicU64,
+    /// Wall-clock microseconds spent in offline view materialization,
+    /// summed over sessions.
+    pub materialize_us: AtomicU64,
     /// Gauge: connections accepted but not yet picked up by a worker.
     queue_depth: Arc<AtomicU64>,
 }
@@ -49,6 +58,12 @@ impl Counters {
     /// Relaxed-increments `counter` by one.
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed-increments `counter` by `n` (for quantities like scan and
+    /// row totals that grow by more than one per event).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Relaxed read of `counter`.
@@ -223,8 +238,11 @@ mod tests {
         Counters::bump(&c.sessions_created);
         Counters::bump(&c.sessions_created);
         Counters::bump(&c.feedback_labels);
+        Counters::add(&c.materialize_rows, 3_000);
+        Counters::add(&c.materialize_rows, 800);
         assert_eq!(Counters::read(&c.sessions_created), 2);
         assert_eq!(Counters::read(&c.feedback_labels), 1);
+        assert_eq!(Counters::read(&c.materialize_rows), 3_800);
         let depth = c.queue_depth_handle();
         depth.fetch_add(3, Ordering::Relaxed);
         assert_eq!(c.queue_depth(), 3);

@@ -106,6 +106,36 @@ pub fn render(
         Counters::read(&counters.feedback_labels)
     ));
 
+    out.push_str(
+        "# HELP viewseeker_materialize_scans_total Logical scans issued by offline view \
+         materialization across session builds.\n",
+    );
+    out.push_str("# TYPE viewseeker_materialize_scans_total counter\n");
+    out.push_str(&format!(
+        "viewseeker_materialize_scans_total {}\n",
+        Counters::read(&counters.materialize_scans)
+    ));
+
+    out.push_str(
+        "# HELP viewseeker_materialize_rows_total Rows read by offline view materialization \
+         across session builds.\n",
+    );
+    out.push_str("# TYPE viewseeker_materialize_rows_total counter\n");
+    out.push_str(&format!(
+        "viewseeker_materialize_rows_total {}\n",
+        Counters::read(&counters.materialize_rows)
+    ));
+
+    out.push_str(
+        "# HELP viewseeker_materialize_seconds_total Wall-clock seconds spent in offline view \
+         materialization across session builds.\n",
+    );
+    out.push_str("# TYPE viewseeker_materialize_seconds_total counter\n");
+    out.push_str(&format!(
+        "viewseeker_materialize_seconds_total {}\n",
+        seconds(Counters::read(&counters.materialize_us))
+    ));
+
     out.push_str("# HELP viewseeker_catalog_hits_total Dataset resolutions served from memory.\n");
     out.push_str("# TYPE viewseeker_catalog_hits_total counter\n");
     out.push_str(&format!("viewseeker_catalog_hits_total {}\n", catalog.hits));
@@ -198,6 +228,9 @@ mod tests {
         Counters::bump(&counters.sessions_created);
         Counters::bump(&counters.feedback_labels);
         Counters::bump(&counters.feedback_labels);
+        Counters::add(&counters.materialize_scans, 2);
+        Counters::add(&counters.materialize_rows, 6_000);
+        Counters::add(&counters.materialize_us, 2_500);
         let mut hist = Histogram::new();
         hist.record(5);
         hist.record(150);
@@ -265,6 +298,18 @@ mod tests {
         );
         assert!(
             text.contains("viewseeker_snapshots_total{outcome=\"ok\"} 0\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_materialize_scans_total 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_materialize_rows_total 6000\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_materialize_seconds_total 0.0025\n"),
             "{text}"
         );
         assert!(text.contains("viewseeker_catalog_hits_total 7\n"), "{text}");

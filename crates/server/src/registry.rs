@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 use viewseeker_catalog::{Catalog, CatalogError, DatasetEntry};
 use viewseeker_core::persist::SessionSnapshot;
 use viewseeker_core::trace::{Recorder, Tracer};
-use viewseeker_core::{OwnedSeeker, Seeker, ViewSeekerConfig};
+use viewseeker_core::{MaterializeStrategy, OwnedSeeker, Seeker, ViewSeekerConfig};
 use viewseeker_dataset::{Predicate, SelectQuery};
 
 use crate::error::ServerError;
@@ -52,6 +52,10 @@ pub struct SessionSpec {
     pub exclude: Option<Vec<String>>,
     /// Bin configurations for numeric dimensions.
     pub bins: Option<Vec<usize>>,
+    /// Materialization executor: `"naive"`, `"shared"`, or `"fused"`
+    /// (default: fused). The slower executors are kept reachable so a
+    /// deployment can cross-check the fused path against its oracles.
+    pub executor: Option<String>,
 }
 
 impl SessionSpec {
@@ -66,6 +70,7 @@ impl SessionSpec {
             alpha: None,
             exclude: None,
             bins: None,
+            executor: None,
         }
     }
 
@@ -122,8 +127,11 @@ impl SessionSpec {
     }
 
     /// Translates the spec's knobs onto a default [`ViewSeekerConfig`].
-    #[must_use]
-    pub fn build_config(&self) -> ViewSeekerConfig {
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::BadRequest`] for an unknown executor name.
+    pub fn build_config(&self) -> Result<ViewSeekerConfig, ServerError> {
         let mut config = ViewSeekerConfig::default();
         if let Some(alpha) = self.alpha {
             config.alpha = alpha;
@@ -134,7 +142,12 @@ impl SessionSpec {
         if let Some(bins) = &self.bins {
             config.bin_configs = bins.clone();
         }
-        config
+        if let Some(executor) = &self.executor {
+            config.materialize = executor
+                .parse()
+                .map_err(|e: String| ServerError::BadRequest(format!("bad executor: {e}")))?;
+        }
+        Ok(config)
     }
 
     /// Builds the full session over a table already resolved from the
@@ -153,7 +166,7 @@ impl SessionSpec {
         Ok(Seeker::new_traced(
             Arc::clone(&dataset.table),
             &query,
-            self.build_config(),
+            self.build_config()?,
             tracer,
         )?)
     }
@@ -218,6 +231,7 @@ pub struct SessionRegistry {
     catalog: Arc<Catalog>,
     counters: Arc<Counters>,
     logger: Arc<Logger>,
+    default_executor: MaterializeStrategy,
 }
 
 /// Cache budget of the private in-memory catalog behind
@@ -261,7 +275,16 @@ impl SessionRegistry {
             catalog,
             counters: Arc::new(Counters::default()),
             logger: Logger::disabled(),
+            default_executor: MaterializeStrategy::default(),
         }
+    }
+
+    /// Sets the executor used by sessions whose spec does not name one
+    /// (`viewseeker serve --executor`). The chosen executor is written back
+    /// into the session's spec, so snapshots replay with the executor the
+    /// session was actually built with.
+    pub fn set_default_executor(&mut self, executor: MaterializeStrategy) {
+        self.default_executor = executor;
     }
 
     /// The catalog sessions resolve their datasets through.
@@ -320,25 +343,34 @@ impl SessionRegistry {
     /// # Errors
     ///
     /// Spec/seeker construction errors; eviction persistence errors.
-    pub fn create(&self, spec: SessionSpec) -> Result<Arc<SessionEntry>, ServerError> {
+    pub fn create(&self, mut spec: SessionSpec) -> Result<Arc<SessionEntry>, ServerError> {
+        // Pin the executor into the spec so the snapshot records which one
+        // actually built the session, even if the server default changes.
+        if spec.executor.is_none() {
+            spec.executor = Some(self.default_executor.name().to_owned());
+        }
         let dataset = spec.resolve_dataset(&self.catalog)?;
         let recorder = Recorder::shared();
         let seeker = spec.build_seeker_on(&dataset, Arc::clone(&recorder) as Arc<dyn Tracer>)?;
         let id = format!("s{}", self.next_id.fetch_add(1, Ordering::SeqCst));
         let entry = self.insert(id, spec, &dataset, seeker, recorder)?;
         Counters::bump(&self.counters.sessions_created);
+        let (views, executor, scans) = entry.seeker.lock().map_or((0, "?", 0), |sk| {
+            let report = sk.materialization();
+            (
+                sk.view_space().len() as u64,
+                report.strategy.name(),
+                report.scans,
+            )
+        });
         self.logger.info(
             "session_created",
             &[
                 ("session", s(&entry.id)),
                 ("dataset", s(&entry.dataset_name)),
-                (
-                    "views",
-                    n(entry
-                        .seeker
-                        .lock()
-                        .map_or(0, |sk| sk.view_space().len() as u64)),
-                ),
+                ("views", n(views)),
+                ("executor", s(executor)),
+                ("materialize_scans", n(scans)),
             ],
         );
         Ok(entry)
@@ -405,7 +437,7 @@ impl SessionRegistry {
         let seeker = persisted.snapshot.restore_seeker_traced(
             Arc::clone(&dataset.table),
             &query,
-            persisted.spec.build_config(),
+            persisted.spec.build_config()?,
             Arc::clone(&recorder) as Arc<dyn Tracer>,
         )?;
         self.insert(
@@ -443,6 +475,12 @@ impl SessionRegistry {
         seeker: OwnedSeeker,
         recorder: Arc<Recorder>,
     ) -> Result<Arc<SessionEntry>, ServerError> {
+        // Account the offline materialization this build just paid for,
+        // whichever path (create or restore) triggered it.
+        let report = *seeker.materialization();
+        Counters::add(&self.counters.materialize_scans, report.scans);
+        Counters::add(&self.counters.materialize_rows, report.rows_scanned);
+        Counters::add(&self.counters.materialize_us, report.duration_us);
         let entry = Arc::new(SessionEntry {
             id: id.clone(),
             spec,
@@ -732,6 +770,79 @@ mod tests {
             ..SessionSpec::named("uploaded")
         };
         assert!(registry.create(rows_on_stored).is_err());
+    }
+
+    #[test]
+    fn executor_knob_selects_the_materialization_strategy() {
+        let registry = SessionRegistry::new(8, Duration::from_secs(60), None);
+        // Default: fused.
+        let entry = registry.create(spec()).unwrap();
+        assert_eq!(
+            entry.seeker.lock().unwrap().materialization().strategy,
+            MaterializeStrategy::Fused
+        );
+        // Explicit oracle selection sticks.
+        let naive = registry
+            .create(SessionSpec {
+                executor: Some("naive".into()),
+                ..spec()
+            })
+            .unwrap();
+        assert_eq!(
+            naive.seeker.lock().unwrap().materialization().strategy,
+            MaterializeStrategy::Naive
+        );
+        // Unknown names are a client error, not a silent default.
+        let err = registry
+            .create(SessionSpec {
+                executor: Some("turbo".into()),
+                ..spec()
+            })
+            .err()
+            .expect("must reject");
+        assert!(matches!(err, ServerError::BadRequest(_)), "{err:?}");
+        // Session builds fed the process-wide materialization counters.
+        assert!(Counters::read(&registry.counters.materialize_scans) >= 1);
+        assert!(Counters::read(&registry.counters.materialize_rows) >= 800);
+    }
+
+    #[test]
+    fn registry_default_executor_applies_when_the_spec_names_none() {
+        let mut registry = SessionRegistry::new(8, Duration::from_secs(60), None);
+        registry.set_default_executor(MaterializeStrategy::Shared);
+        let entry = registry.create(spec()).unwrap();
+        assert_eq!(
+            entry.seeker.lock().unwrap().materialization().strategy,
+            MaterializeStrategy::Shared
+        );
+        // The chosen executor is pinned into the stored spec, so a snapshot
+        // replays with the executor that actually built the session.
+        assert_eq!(entry.spec.executor.as_deref(), Some("shared"));
+        // An explicit spec still wins over the server default.
+        let fused = registry
+            .create(SessionSpec {
+                executor: Some("fused".into()),
+                ..spec()
+            })
+            .unwrap();
+        assert_eq!(
+            fused.seeker.lock().unwrap().materialization().strategy,
+            MaterializeStrategy::Fused
+        );
+    }
+
+    #[test]
+    fn spec_json_without_executor_still_parses() {
+        // Clients (and snapshots) from before the executor knob send no
+        // "executor" key; it must deserialize to None, not fail.
+        let json = r#"{"dataset":"diab","rows":500,"seed":3,"query":"*",
+                       "alpha":null,"exclude":null,"bins":null}"#;
+        let parsed: SessionSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(parsed.executor, None);
+        assert_eq!(
+            parsed.build_config().unwrap().materialize,
+            viewseeker_core::MaterializeStrategy::Fused
+        );
     }
 
     #[test]

@@ -94,6 +94,7 @@ fn concurrent_sessions_full_loop_over_http() {
         catalog_mem_budget: 64 << 20,
         log_format: LogFormat::Text,
         log_level: LogLevel::Off,
+        default_executor: Default::default(),
     })
     .expect("bind");
     let addr = handle.addr();
@@ -194,6 +195,7 @@ fn metrics_counters_move_across_the_session_lifecycle() {
         catalog_mem_budget: 64 << 20,
         log_format: LogFormat::Text,
         log_level: LogLevel::Off,
+        default_executor: Default::default(),
     })
     .expect("bind");
     let addr = handle.addr();
@@ -283,6 +285,7 @@ fn eviction_over_http_is_restorable_with_identical_weights() {
         catalog_mem_budget: 64 << 20,
         log_format: LogFormat::Text,
         log_level: LogLevel::Off,
+        default_executor: Default::default(),
     })
     .expect("bind");
     let addr = handle.addr();

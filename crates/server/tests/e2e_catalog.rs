@@ -85,6 +85,7 @@ fn server(data_dir: &std::path::Path) -> viewseeker_server::ServerHandle {
         catalog_mem_budget: 64 << 20,
         log_format: LogFormat::Text,
         log_level: LogLevel::Off,
+        default_executor: Default::default(),
     })
     .expect("bind")
 }

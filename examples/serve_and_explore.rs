@@ -58,6 +58,7 @@ fn main() {
         // Structured access logs on stderr; try LogFormat::Json here.
         log_format: LogFormat::Text,
         log_level: LogLevel::Off,
+        default_executor: Default::default(),
     })
     .expect("bind");
     let addr = handle.addr();
