@@ -3,6 +3,7 @@
 //! Sweeps α from 1% to 100%, measuring the offline-initialization time the
 //! sampling saves against the extra labels the rough features cost — the
 //! trade the paper's §3.3 optimization navigates at α = 10%.
+#![forbid(unsafe_code)]
 
 use viewseeker_bench::{banner, BenchArgs};
 use viewseeker_core::{RefineBudget, ViewSeekerConfig};

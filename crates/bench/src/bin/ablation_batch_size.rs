@@ -4,6 +4,7 @@
 //! rounds but selects all of them from one model state, so each label is
 //! individually less informative. This bench quantifies the labels-vs-
 //! rounds trade over all 11 Table 2 ideal functions.
+#![forbid(unsafe_code)]
 
 use viewseeker_bench::{banner, BenchArgs};
 use viewseeker_eval::diab_testbed;

@@ -5,6 +5,7 @@
 //! with Gaussian noise of standard deviation σ and measures how the
 //! interactive learner degrades — labels spent, final precision, and the
 //! fraction of Table 2 ideal functions still recovered exactly.
+#![forbid(unsafe_code)]
 
 use viewseeker_bench::{banner, BenchArgs};
 use viewseeker_eval::diab_testbed;

@@ -4,6 +4,7 @@
 //! and cites QBC (Seung et al.) as an alternative; random sampling is the
 //! no-active-learning control. This bench measures the labels each strategy
 //! needs to reach 100% precision@10, averaged over all 11 ideal functions.
+#![forbid(unsafe_code)]
 
 use viewseeker_bench::{banner, BenchArgs};
 use viewseeker_eval::diab_testbed;

@@ -5,6 +5,7 @@
 //! user must provide before ViewSeeker's top-k reaches 100% precision.
 //!
 //! Paper's headline: 7–16 labels on average across the sweep.
+#![forbid(unsafe_code)]
 
 use viewseeker_bench::{banner, BenchArgs};
 use viewseeker_eval::experiments::effort::{user_effort_experiment, PAPER_KS};

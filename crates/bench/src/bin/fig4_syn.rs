@@ -2,6 +2,7 @@
 //!
 //! Same protocol as Figure 3 on the synthetic 5-dimension / 5-measure /
 //! 2-bin-configuration numeric dataset.
+#![forbid(unsafe_code)]
 
 use viewseeker_bench::{banner, BenchArgs};
 use viewseeker_eval::experiments::effort::{user_effort_experiment, PAPER_KS};

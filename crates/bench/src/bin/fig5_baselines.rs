@@ -7,6 +7,7 @@
 //!
 //! Paper's headline: ViewSeeker achieves ≈3× the precision of the best
 //! fixed baseline (EMD).
+#![forbid(unsafe_code)]
 
 use viewseeker_bench::{banner, BenchArgs};
 use viewseeker_eval::diab_testbed;

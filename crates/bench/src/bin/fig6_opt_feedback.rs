@@ -3,6 +3,7 @@
 //! the α-sampling + incremental-refinement optimizations.
 //!
 //! Paper's headline: the optimized model needs ≈19% more labels.
+#![forbid(unsafe_code)]
 
 use viewseeker_bench::{banner, BenchArgs};
 use viewseeker_core::ViewSeekerConfig;

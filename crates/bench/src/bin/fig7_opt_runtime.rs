@@ -6,6 +6,7 @@
 //! cost the optimization removes is the offline full-data feature pass,
 //! which the optimized model replaces with an α = 10% pass plus
 //! demand-driven refinement of only the promising views.
+#![forbid(unsafe_code)]
 
 use viewseeker_bench::{banner, BenchArgs};
 use viewseeker_core::ViewSeekerConfig;

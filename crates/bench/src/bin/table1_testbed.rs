@@ -3,6 +3,7 @@
 //! Builds both testbeds and prints every parameter row of the paper's
 //! Table 1 with the values this reproduction actually uses, so the table can
 //! be diffed against the paper directly.
+#![forbid(unsafe_code)]
 
 use viewseeker_bench::{banner, BenchArgs};
 use viewseeker_core::{ViewSeekerConfig, ViewSpace};

@@ -2,6 +2,7 @@
 //!
 //! Prints the 11 ideal utility functions the evaluation sweeps, exactly as
 //! constructed by `viewseeker_eval::idealfn`, for diffing against the paper.
+#![forbid(unsafe_code)]
 
 use viewseeker_bench::{banner, BenchArgs};
 use viewseeker_eval::ideal_functions;

@@ -79,6 +79,9 @@ impl LruCache {
         );
         let mut evicted = Vec::new();
         while self.bytes > self.budget {
+            // vslint::allow(hash-iter): eviction choice is deterministic —
+            // `last_used` ticks are unique and strictly increasing, so
+            // min_by_key never ties despite the hash iteration order.
             let victim = self
                 .entries
                 .iter()

@@ -216,11 +216,13 @@ struct BlockReader<'a> {
 
 impl<'a> BlockReader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], CatalogError> {
-        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
-        match end {
-            Some(end) => {
-                let slice = &self.bytes[self.pos..end];
-                self.pos = end;
+        let slice = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.bytes.get(self.pos..end));
+        match slice {
+            Some(slice) => {
+                self.pos += n;
                 Ok(slice)
             }
             None => Err(CatalogError::Corrupt(format!(
@@ -234,14 +236,17 @@ impl<'a> BlockReader<'a> {
     }
 
     fn u8(&mut self) -> Result<u8, CatalogError> {
+        // vslint::allow(no-panic): take(1) just returned exactly one byte
         Ok(self.take(1)?[0])
     }
 
     fn u32(&mut self) -> Result<u32, CatalogError> {
+        // vslint::allow(no-panic): take(4) just returned exactly four bytes
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
 
     fn u64(&mut self) -> Result<u64, CatalogError> {
+        // vslint::allow(no-panic): take(8) just returned exactly eight bytes
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 

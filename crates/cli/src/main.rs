@@ -12,6 +12,7 @@
 //! iteration renders the selected view as an ASCII target-vs-reference bar
 //! chart, reads a 0–1 rating from stdin, and refreshes the personalized
 //! top-k.
+#![forbid(unsafe_code)]
 
 mod chart;
 mod cli;

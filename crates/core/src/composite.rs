@@ -12,6 +12,7 @@
 //! ideal functions of Table 2 with it.
 
 use serde::{Deserialize, Serialize};
+use viewseeker_dataset::strict_sum;
 
 use crate::features::{FeatureMatrix, UtilityFeature, FEATURE_COUNT};
 use crate::view::ViewId;
@@ -110,12 +111,12 @@ impl CompositeUtility {
                 normalized_features.len()
             )));
         }
-        Ok(self
-            .weights
-            .iter()
-            .zip(normalized_features)
-            .map(|(w, f)| w * f)
-            .sum())
+        Ok(strict_sum(
+            self.weights
+                .iter()
+                .zip(normalized_features)
+                .map(|(w, f)| w * f),
+        ))
     }
 
     /// Raw scores of every view in the matrix.

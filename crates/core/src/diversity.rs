@@ -14,6 +14,8 @@
 //! with `sim` the feature-space similarity. `λ = 1` degenerates to the plain
 //! utility ranking; lower λ trades predicted utility for coverage.
 
+use viewseeker_dataset::strict_sum;
+
 use crate::features::{FeatureMatrix, FEATURE_COUNT};
 use crate::view::ViewId;
 use crate::CoreError;
@@ -23,12 +25,7 @@ use crate::CoreError;
 #[must_use]
 pub fn feature_similarity(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    let dist: f64 = a
-        .iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt();
+    let dist: f64 = strict_sum(a.iter().zip(b).map(|(x, y)| (x - y) * (x - y))).sqrt();
     1.0 - dist / (a.len() as f64).sqrt()
 }
 

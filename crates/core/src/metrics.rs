@@ -9,6 +9,8 @@
 //!   set is utility-equivalent to the ideal set, even if the identities of
 //!   tied boundary views differ.
 
+use viewseeker_dataset::strict_sum;
+
 use crate::view::ViewId;
 
 /// `|Vᵖ ∩ V*| / k` where both slices hold top-k view ids.
@@ -69,7 +71,7 @@ pub fn utility_distance(ideal_scores: &[f64], recommended: &[ViewId], ideal: &[V
     if ideal.is_empty() {
         return 0.0;
     }
-    let sum = |ids: &[ViewId]| -> f64 { ids.iter().map(|v| ideal_scores[v.index()]).sum() };
+    let sum = |ids: &[ViewId]| -> f64 { strict_sum(ids.iter().map(|v| ideal_scores[v.index()])) };
     let ud = (sum(ideal) - sum(recommended)) / ideal.len() as f64;
     if ud.abs() < 1e-12 {
         0.0

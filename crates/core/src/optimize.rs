@@ -16,7 +16,7 @@
 //! either a deterministic view count (tests, reproducible experiments) or a
 //! wall-clock allowance (the paper's `tl`).
 
-use std::time::Instant;
+use crate::trace::Stopwatch;
 
 use crate::config::RefineBudget;
 use crate::CoreError;
@@ -84,7 +84,7 @@ impl IncrementalRefiner {
         if self.remaining == 0 {
             return Ok(0);
         }
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let mut done = 0usize;
         for &i in priority {
             match budget {

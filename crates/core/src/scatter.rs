@@ -18,7 +18,7 @@
 //! Interactive recommendation over scatter views runs through
 //! [`crate::session::FeedbackSession`].
 
-use viewseeker_dataset::{RowSet, Table};
+use viewseeker_dataset::{strict_sum, RowSet, Table};
 use viewseeker_stats::Distribution;
 
 use crate::features::FeatureMatrix;
@@ -235,15 +235,11 @@ fn trend_residual_variance(xs: &[f64], ys: &[f64], rows: &RowSet) -> f64 {
         let a = (nf * sxy - sx * sy) / denom;
         (a, (sy - a * sx) / nf)
     };
-    let sse: f64 = rows
-        .ids()
-        .iter()
-        .map(|&row| {
-            let (x, y) = (xs[row as usize], ys[row as usize]);
-            let r = y - (a * x + b);
-            r * r
-        })
-        .sum();
+    let sse: f64 = strict_sum(rows.ids().iter().map(|&row| {
+        let (x, y) = (xs[row as usize], ys[row as usize]);
+        let r = y - (a * x + b);
+        r * r
+    }));
     sse / nf
 }
 

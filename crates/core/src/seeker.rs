@@ -30,7 +30,7 @@
 
 use std::borrow::Borrow;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use viewseeker_dataset::sample::bernoulli_sample;
 use viewseeker_dataset::{RowSet, SelectQuery, Table};
@@ -41,7 +41,7 @@ use crate::features::{compute_features, FeatureMatrix};
 use crate::optimize::IncrementalRefiner;
 use crate::session::FeedbackSession;
 use crate::trace::{
-    duration_us, noop_tracer, IterationTrace, RefinementBudgetReport, TracePhase, Tracer,
+    duration_us, noop_tracer, IterationTrace, RefinementBudgetReport, Stopwatch, TracePhase, Tracer,
 };
 use crate::view::{ViewId, ViewSpace};
 use crate::viewgen::{
@@ -160,7 +160,7 @@ impl<H: Borrow<Table>> Seeker<H> {
         let dq = query.execute(table_ref)?;
         let dr = table_ref.all_rows();
 
-        let gen_started = Instant::now();
+        let gen_started = Stopwatch::start();
         let space = ViewSpace::enumerate_excluding(
             table_ref,
             &config.bin_configs,
@@ -177,7 +177,7 @@ impl<H: Borrow<Table>> Seeker<H> {
         };
 
         let threads = config.effective_threads();
-        let mat_started = Instant::now();
+        let mat_started = Stopwatch::start();
         let (views, scans, rows_scanned) = match config.materialize {
             MaterializeStrategy::Naive => {
                 let views = materialize_all(table_ref, &init_dq, &init_dr, &space, threads)?;
@@ -211,7 +211,7 @@ impl<H: Borrow<Table>> Seeker<H> {
         tracer.record_span(TracePhase::Materialization, mat_elapsed);
         tracer.record_span(TracePhase::ViewSpaceGen, gen_started.elapsed());
 
-        let feat_started = Instant::now();
+        let feat_started = Stopwatch::start();
         let matrix = FeatureMatrix::from_views(&views, config.usability_optimal_bins)?;
         tracer.record_span(TracePhase::FeatureExtraction, feat_started.elapsed());
 
@@ -327,9 +327,9 @@ impl<H: Borrow<Table>> Seeker<H> {
     ///
     /// Propagates estimator errors.
     pub fn next_views(&mut self, m: usize) -> Result<Vec<ViewId>, CoreError> {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let report = self.run_refinement()?;
-        let sampling_started = Instant::now();
+        let sampling_started = Stopwatch::start();
         let picks = self.session.next_items(m)?;
         let sampling_us = duration_us(sampling_started.elapsed());
 
@@ -357,7 +357,7 @@ impl<H: Borrow<Table>> Seeker<H> {
     /// * [`CoreError::UnknownView`] / [`CoreError::AlreadyLabeled`];
     /// * estimator-fitting errors.
     pub fn submit_feedback(&mut self, view: ViewId, score: f64) -> Result<(), CoreError> {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let result = self.session.submit_feedback(view, score);
         self.tracer
             .record_span(TracePhase::EstimatorFit, started.elapsed());
@@ -371,7 +371,7 @@ impl<H: Borrow<Table>> Seeker<H> {
     ///
     /// [`CoreError::Learn`] until at least one label has been submitted.
     pub fn recommend(&self, k: usize) -> Result<Vec<ViewId>, CoreError> {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let result = self.session.recommend(k);
         self.tracer
             .record_span(TracePhase::Recommend, started.elapsed());
@@ -401,7 +401,7 @@ impl<H: Borrow<Table>> Seeker<H> {
     ///
     /// Same contract as [`FeedbackSession::recommend_diverse`].
     pub fn recommend_diverse(&self, k: usize, lambda: f64) -> Result<Vec<ViewId>, CoreError> {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let result = self.session.recommend_diverse(k, lambda);
         self.tracer
             .record_span(TracePhase::Recommend, started.elapsed());
@@ -426,7 +426,7 @@ impl<H: Borrow<Table>> Seeker<H> {
         if refiner.is_complete() {
             return Ok(RefinementReport::default());
         }
-        let started = Instant::now();
+        let started = Stopwatch::start();
         // Priority: the current utility estimator's ranking, else view order
         // before any labels exist. This ranking *is* the §3.3 pruning:
         // low-priority views sit at the back of the queue and may never be
@@ -439,7 +439,7 @@ impl<H: Borrow<Table>> Seeker<H> {
         };
         let pruning_us = duration_us(started.elapsed());
 
-        let batch_started = Instant::now();
+        let batch_started = Stopwatch::start();
         let table = self.table.borrow();
         let dq = &self.dq;
         let dr = &self.dr;
@@ -458,7 +458,7 @@ impl<H: Borrow<Table>> Seeker<H> {
             .record_span(TracePhase::Refinement, batch_elapsed);
         let refinement_us = duration_us(batch_elapsed);
 
-        let fit_started = Instant::now();
+        let fit_started = Stopwatch::start();
         if refined > 0 {
             self.matrix.renormalize();
             self.session.update_matrix(self.matrix.clone())?;
@@ -778,7 +778,7 @@ mod tests {
 
         let mut wall = Vec::new();
         for i in 0..4 {
-            let started = Instant::now();
+            let started = Stopwatch::start();
             let v = s.next_views(1).unwrap()[0];
             wall.push(started.elapsed());
             s.submit_feedback(v, if i % 2 == 0 { 0.9 } else { 0.1 })

@@ -340,6 +340,41 @@ pub fn duration_us(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
+/// A started wall-clock timer — the single sanctioned `Instant::now` site
+/// in the determinism-critical crates (vslint rule `wall-clock`).
+///
+/// Timing reads feed only observability — trace spans, iteration reports,
+/// refinement time budgets — never the recommendation math itself, so
+/// confining the clock to this one type keeps the audit surface to one
+/// file: everything else says *what* it is timing, not *how* time is
+/// read.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed whole microseconds, saturating.
+    #[must_use]
+    pub fn elapsed_us(&self) -> u64 {
+        duration_us(self.elapsed())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -312,11 +312,11 @@ pub fn materialize_all_shared(
 /// one accumulator block).
 #[must_use]
 pub fn scan_group_count(space: &ViewSpace) -> usize {
-    let mut keys = std::collections::HashSet::new();
+    let mut distinct = std::collections::HashSet::new();
     for def in space.defs() {
-        keys.insert((def.dimension.as_str(), def.bins, def.measure.as_str()));
+        distinct.insert((def.dimension.as_str(), def.bins, def.measure.as_str()));
     }
-    keys.len()
+    distinct.len()
 }
 
 /// Materializes every view of `space` with the fused executor: every scan

@@ -79,7 +79,7 @@ impl GroupByResult {
     /// Total number of rows that contributed.
     #[must_use]
     pub fn total_rows(&self) -> u64 {
-        self.counts.iter().sum()
+        self.counts.iter().sum::<u64>()
     }
 }
 
@@ -189,7 +189,7 @@ pub fn within_bin_dispersion(
         sq_sums[b] += v * v;
     }
 
-    let total: u64 = counts.iter().sum();
+    let total: u64 = counts.iter().sum::<u64>();
     if total == 0 {
         return Ok(0.0);
     }
@@ -243,7 +243,7 @@ impl GroupByAllResult {
     /// Total rows that contributed.
     #[must_use]
     pub fn total_rows(&self) -> u64 {
-        self.counts.iter().sum()
+        self.counts.iter().sum::<u64>()
     }
 }
 
@@ -295,7 +295,7 @@ pub fn group_by_all(
         }
     }
 
-    let total: u64 = counts.iter().sum();
+    let total: u64 = counts.iter().sum::<u64>();
     let mut sse = 0.0;
     let mut count_values = vec![0.0; n_bins];
     let mut avgs = vec![0.0; n_bins];

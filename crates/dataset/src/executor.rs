@@ -46,6 +46,20 @@ use crate::selection::RowSet;
 use crate::table::Table;
 use crate::DatasetError;
 
+/// Strict-order float sum: a sequential left-to-right fold with a fixed
+/// association order.
+///
+/// Float addition is not associative, so `Iterator::sum::<f64>()` is only
+/// deterministic as long as nothing — a rewritten combinator chain, a
+/// future parallel adapter — reassociates the reduction. Every float
+/// reduction in the determinism-critical crates goes through this helper
+/// (vslint rule `float-sum`), which pins the association order the same
+/// way the fused scan pins its partition merge order: left fold, source
+/// order, every time.
+pub fn strict_sum<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    values.into_iter().fold(0.0, |acc, v| acc + v)
+}
+
 /// Upper bound on the partition grid: the row range is cut into at most this
 /// many partitions regardless of size, so the per-partition accumulator
 /// blocks stay O(1) in the table size.

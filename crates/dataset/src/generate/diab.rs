@@ -21,6 +21,7 @@ use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution as RandDistribution, Normal};
 
 use crate::column::Column;
+use crate::executor::strict_sum;
 use crate::schema::Schema;
 use crate::table::Table;
 use crate::DatasetError;
@@ -110,7 +111,7 @@ pub fn generate_diab(config: &DiabConfig) -> Result<Table, DatasetError> {
     for (d, &card) in config.dimension_cardinalities.iter().enumerate() {
         // weights ∝ 1/(rank+1): mild skew, every value still well-populated.
         let weights: Vec<f64> = (0..card).map(|r| 1.0 / (r as f64 + 1.0)).collect();
-        let total: f64 = weights.iter().sum();
+        let total: f64 = strict_sum(weights.iter().copied());
         let codes: Vec<u32> = (0..config.rows)
             .map(|_| {
                 let mut u = rng.gen::<f64>() * total;

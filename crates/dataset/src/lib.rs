@@ -42,7 +42,9 @@ pub mod table;
 pub use aggregate::{AggregateFunction, GroupByResult};
 pub use binning::BinSpec;
 pub use column::Column;
-pub use executor::{fused_group_by_all, FusedGroupResult, FusedScanStats, GroupRequest};
+pub use executor::{
+    fused_group_by_all, strict_sum, FusedGroupResult, FusedScanStats, GroupRequest,
+};
 pub use predicate::Predicate;
 pub use query::SelectQuery;
 pub use schema::{AttributeRole, ColumnMeta, Schema};

@@ -2,6 +2,7 @@
 
 use crate::aggregate::{group_by_aggregate, AggregateFunction};
 use crate::binning::BinSpec;
+use crate::executor::strict_sum;
 use crate::predicate::Predicate;
 use crate::sql::ast::{Comparison, Projection, SelectStatement, SortOrder, SqlExpr, SqlValue};
 use crate::sql::parser::parse_select;
@@ -318,12 +319,12 @@ fn flat_aggregate(
     let selected = rows.ids().iter().map(|&r| values[r as usize]);
     Ok(match agg.func {
         AggregateFunction::Count => rows.len() as f64,
-        AggregateFunction::Sum => selected.sum(),
+        AggregateFunction::Sum => strict_sum(selected),
         AggregateFunction::Avg => {
             if rows.is_empty() {
                 0.0
             } else {
-                selected.sum::<f64>() / rows.len() as f64
+                strict_sum(selected) / rows.len() as f64
             }
         }
         // Empty selections yield 0, consistent with the group-by path.

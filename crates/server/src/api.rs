@@ -49,6 +49,8 @@ impl AppState {
             catalog,
             metrics,
             logger,
+            // vslint::allow(wall-clock): process start time, reported only
+            // as the /metrics uptime gauge.
             started: Instant::now(),
         }
     }
@@ -134,9 +136,9 @@ pub struct SessionInfo {
     pub phase_totals: Vec<PhaseTotalInfo>,
 }
 
-fn session_info(entry: &SessionEntry) -> SessionInfo {
-    let seeker = entry.seeker.lock().expect("session lock");
-    SessionInfo {
+fn session_info(entry: &SessionEntry) -> Result<SessionInfo, ServerError> {
+    let seeker = entry.seeker_lock()?;
+    Ok(SessionInfo {
         id: entry.id.clone(),
         views: seeker.view_space().len(),
         labels: seeker.label_count(),
@@ -154,7 +156,7 @@ fn session_info(entry: &SessionEntry) -> SessionInfo {
                 total_us: total.total_us,
             })
             .collect(),
-    }
+    })
 }
 
 /// Creates a session from a [`SessionSpec`] body.
@@ -166,7 +168,7 @@ pub fn create_session(state: &AppState, body: &str) -> Result<SessionInfo, Serve
     let spec: SessionSpec = serde_json::from_str(body)
         .map_err(|e| ServerError::BadRequest(format!("bad session spec: {e}")))?;
     let entry = state.registry.create(spec)?;
-    Ok(session_info(&entry))
+    session_info(&entry)
 }
 
 /// Lists every live session.
@@ -205,7 +207,7 @@ pub fn list_sessions(state: &AppState) -> Vec<SessionListing> {
 /// Unknown session.
 pub fn get_session(state: &AppState, id: &str) -> Result<SessionInfo, ServerError> {
     let entry = state.registry.get(id)?;
-    Ok(session_info(&entry))
+    session_info(&entry)
 }
 
 /// `GET /sessions/:id/next?m=` — the next views to label (Algorithm 1,
@@ -216,7 +218,7 @@ pub fn get_session(state: &AppState, id: &str) -> Result<SessionInfo, ServerErro
 /// Unknown session or estimator errors.
 pub fn next_views(state: &AppState, id: &str, m: usize) -> Result<Vec<ViewInfo>, ServerError> {
     let entry = state.registry.get(id)?;
-    let mut seeker = entry.seeker.lock().expect("session lock");
+    let mut seeker = entry.seeker_lock()?;
     let ids = seeker.next_views(m)?;
     ids.into_iter()
         .map(|v| view_info(&entry, &seeker, v, None))
@@ -242,11 +244,11 @@ pub fn feedback(state: &AppState, id: &str, body: &str) -> Result<SessionInfo, S
         .map_err(|e| ServerError::BadRequest(format!("bad feedback body: {e}")))?;
     let entry = state.registry.get(id)?;
     {
-        let mut seeker = entry.seeker.lock().expect("session lock");
+        let mut seeker = entry.seeker_lock()?;
         seeker.submit_feedback(ViewId::from_index(parsed.view), parsed.score)?;
     }
     Counters::bump(&state.metrics.counters().feedback_labels);
-    Ok(session_info(&entry))
+    session_info(&entry)
 }
 
 /// `GET /sessions/:id/recommend?k=&lambda=` — the current top-k (diverse
@@ -262,14 +264,23 @@ pub fn recommend(
     lambda: Option<f64>,
 ) -> Result<Vec<ViewInfo>, ServerError> {
     let entry = state.registry.get(id)?;
-    let seeker = entry.seeker.lock().expect("session lock");
+    let seeker = entry.seeker_lock()?;
     let ids = match lambda {
         Some(l) => seeker.recommend_diverse(k, l)?,
         None => seeker.recommend(k)?,
     };
     let scores = seeker.predicted_scores()?;
     ids.into_iter()
-        .map(|v| view_info(&entry, &seeker, v, Some(scores[v.index()])))
+        .map(|v| {
+            let score = scores.get(v.index()).copied().ok_or_else(|| {
+                ServerError::Internal(format!(
+                    "recommended view {} has no predicted score (matrix has {})",
+                    v.index(),
+                    scores.len()
+                ))
+            })?;
+            view_info(&entry, &seeker, v, Some(score))
+        })
         .collect()
 }
 
@@ -282,7 +293,7 @@ pub fn recommend(
 pub fn snapshot(state: &AppState, id: &str) -> Result<PersistedSession, ServerError> {
     let entry = state.registry.get(id)?;
     state.registry.persist(&entry)?;
-    let seeker = entry.seeker.lock().expect("session lock");
+    let seeker = entry.seeker_lock()?;
     Ok(PersistedSession {
         id: entry.id.clone(),
         spec: entry.spec.clone(),
@@ -307,7 +318,7 @@ pub fn restore(state: &AppState, id: Option<&str>, body: &str) -> Result<Session
             state.registry.restore(&persisted)?
         }
     };
-    Ok(session_info(&entry))
+    session_info(&entry)
 }
 
 /// `DELETE /sessions/:id`.

@@ -85,7 +85,9 @@ impl Histogram {
 
     /// Records one observation.
     pub fn record(&mut self, us: u64) {
-        self.counts[bucket_index(us)] += 1;
+        if let Some(slot) = self.counts.get_mut(bucket_index(us)) {
+            *slot += 1;
+        }
         self.count += 1;
         self.sum_us = self.sum_us.saturating_add(us);
         self.max_us = self.max_us.max(us);

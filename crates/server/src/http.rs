@@ -130,8 +130,8 @@ fn percent_decode(raw: &str) -> String {
     let bytes = raw.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&byte) = bytes.get(i) {
+        match byte {
             b'%' => {
                 let hex = bytes.get(i + 1..i + 3).and_then(|h| {
                     std::str::from_utf8(h)
@@ -336,8 +336,7 @@ pub fn serve_observed<H: Handler>(
                         depth.fetch_sub(1, Ordering::Relaxed);
                         handle_connection(&mut stream, handler.as_ref());
                     }
-                })
-                .expect("spawn worker"),
+                })?,
         );
     }
     drop(rx);
@@ -360,8 +359,7 @@ pub fn serve_observed<H: Handler>(
                 }
             }
             // Dropping tx disconnects the channel and retires the workers.
-        })
-        .expect("spawn accept thread");
+        })?;
 
     Ok(ServerHandle {
         addr: local,

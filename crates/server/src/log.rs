@@ -139,6 +139,10 @@ impl Logger {
         if !self.enabled(level) {
             return;
         }
+        // vslint::allow(wall-clock): log lines carry a real wall-clock
+        // timestamp by design; it is presentation metadata, never an
+        // input to recommendation or ordering decisions.
+        #[allow(clippy::disallowed_methods)]
         let ts = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map_or(0.0, |d| d.as_secs_f64());

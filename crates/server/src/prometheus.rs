@@ -1,5 +1,14 @@
 //! Prometheus text exposition (format version 0.0.4) for `GET /metrics`.
 //!
+//! Every series the server can ever emit is declared once in the
+//! `SERIES` table — name, TYPE, and HELP. [`render`] goes through an
+//! `Exposition` writer that looks each family up in the table before
+//! emitting its header, and `debug_assert!`s that a name is defined
+//! exactly once and opened at most once per scrape. The `vslint`
+//! metric-registry rule enforces the same contract statically: a series
+//! in the table must be emitted somewhere and documented in DESIGN.md
+//! and README.md, and no `viewseeker_*` literal may bypass the table.
+//!
 //! Durations are exported in seconds, as the Prometheus convention
 //! requires; the underlying histograms store microseconds, so bucket
 //! bounds convert as `(inclusive_µs) × 1e-6`. Only buckets that have
@@ -7,10 +16,179 @@
 //! fixed log-linear layout, omitted buckets are unambiguously zero, and
 //! the cumulative-count contract still holds.
 
+use std::fmt::Write as _;
+
 use viewseeker_catalog::CatalogStats;
 
 use crate::hist::Histogram;
 use crate::metrics::Counters;
+
+/// One exported series family: its name, exposition TYPE, and HELP text.
+struct SeriesDef {
+    name: &'static str,
+    kind: &'static str,
+    help: &'static str,
+}
+
+/// The single source of truth for the scrape surface. Checked at runtime
+/// by [`Exposition`] debug assertions and statically by the vslint
+/// metric-registry rule.
+static SERIES: &[SeriesDef] = &[
+    SeriesDef {
+        name: "viewseeker_uptime_seconds",
+        kind: "gauge",
+        help: "Seconds since the server started.",
+    },
+    SeriesDef {
+        name: "viewseeker_active_sessions",
+        kind: "gauge",
+        help: "Live sessions in the registry.",
+    },
+    SeriesDef {
+        name: "viewseeker_worker_queue_depth",
+        kind: "gauge",
+        help: "Accepted connections awaiting a worker.",
+    },
+    SeriesDef {
+        name: "viewseeker_sessions_created_total",
+        kind: "counter",
+        help: "Sessions created.",
+    },
+    SeriesDef {
+        name: "viewseeker_sessions_evicted_total",
+        kind: "counter",
+        help: "Sessions evicted (LRU or TTL).",
+    },
+    SeriesDef {
+        name: "viewseeker_snapshots_total",
+        kind: "counter",
+        help: "Session snapshots written, by outcome.",
+    },
+    SeriesDef {
+        name: "viewseeker_restores_total",
+        kind: "counter",
+        help: "Session restores, by outcome.",
+    },
+    SeriesDef {
+        name: "viewseeker_feedback_labels_total",
+        kind: "counter",
+        help: "Feedback labels ingested.",
+    },
+    SeriesDef {
+        name: "viewseeker_materialize_scans_total",
+        kind: "counter",
+        help: "Logical scans issued by offline view materialization across session builds.",
+    },
+    SeriesDef {
+        name: "viewseeker_materialize_rows_total",
+        kind: "counter",
+        help: "Rows read by offline view materialization across session builds.",
+    },
+    SeriesDef {
+        name: "viewseeker_materialize_seconds_total",
+        kind: "counter",
+        help: "Wall-clock seconds spent in offline view materialization across session builds.",
+    },
+    SeriesDef {
+        name: "viewseeker_catalog_hits_total",
+        kind: "counter",
+        help: "Dataset resolutions served from memory.",
+    },
+    SeriesDef {
+        name: "viewseeker_catalog_misses_total",
+        kind: "counter",
+        help: "Dataset resolutions that loaded from disk.",
+    },
+    SeriesDef {
+        name: "viewseeker_catalog_evictions_total",
+        kind: "counter",
+        help: "Tables evicted from the catalog cache.",
+    },
+    SeriesDef {
+        name: "viewseeker_catalog_resident_bytes",
+        kind: "gauge",
+        help: "Estimated bytes of tables held in memory.",
+    },
+    SeriesDef {
+        name: "viewseeker_catalog_datasets",
+        kind: "gauge",
+        help: "Datasets known to the catalog, by residency.",
+    },
+    SeriesDef {
+        name: "viewseeker_requests_total",
+        kind: "counter",
+        help: "Requests handled, by route.",
+    },
+    SeriesDef {
+        name: "viewseeker_request_duration_seconds",
+        kind: "histogram",
+        help: "Request latency, by route.",
+    },
+];
+
+/// Incremental exposition writer. [`Exposition::series`] opens a family
+/// (validating it against [`SERIES`] and emitting its HELP/TYPE header);
+/// [`Exposition::sample`] appends one sample line to the open family.
+///
+/// In debug builds (and therefore in every test run) the writer fails a
+/// `debug_assert!` on: a family missing from the table, a name defined
+/// more than once in the table, a family opened twice in one scrape, or
+/// a sample emitted before any header.
+struct Exposition {
+    out: String,
+    open: Option<&'static str>,
+    emitted: Vec<&'static str>,
+}
+
+impl Exposition {
+    fn new() -> Self {
+        Self {
+            out: String::with_capacity(4096),
+            open: None,
+            emitted: Vec::with_capacity(SERIES.len()),
+        }
+    }
+
+    /// Opens the family `name`: emits its `# HELP` / `# TYPE` header and
+    /// makes it the target of subsequent [`Self::sample`] calls.
+    fn series(&mut self, name: &'static str) {
+        let mut defs = SERIES.iter().filter(|d| d.name == name);
+        let def = defs.next();
+        debug_assert!(def.is_some(), "series `{name}` is not defined in SERIES");
+        debug_assert!(
+            defs.next().is_none(),
+            "series `{name}` defined more than once in SERIES"
+        );
+        debug_assert!(
+            !self.emitted.contains(&name),
+            "series `{name}` opened twice in one scrape"
+        );
+        self.emitted.push(name);
+        self.open = Some(name);
+        if let Some(def) = def {
+            let _ = writeln!(self.out, "# HELP {} {}", def.name, def.help);
+            let _ = writeln!(self.out, "# TYPE {} {}", def.name, def.kind);
+        }
+    }
+
+    /// Appends `"<family><suffix><labels> <value>"` for the open family.
+    /// `suffix` is `""` for plain samples or `"_bucket"` / `"_sum"` /
+    /// `"_count"` for histogram sub-series; `labels` is either `""` or a
+    /// pre-rendered `{key="value",..}` block.
+    fn sample(&mut self, suffix: &str, labels: &str, value: impl std::fmt::Display) {
+        debug_assert!(
+            self.open.is_some(),
+            "sample emitted before any series() header"
+        );
+        if let Some(name) = self.open {
+            let _ = writeln!(self.out, "{name}{suffix}{labels} {value}");
+        }
+    }
+
+    fn finish(self) -> String {
+        self.out
+    }
+}
 
 /// Escapes a label value per the exposition format (backslash, quote,
 /// newline).
@@ -46,177 +224,98 @@ pub fn render(
     histograms: &[(String, Histogram)],
     catalog: &CatalogStats,
 ) -> String {
-    let mut out = String::with_capacity(4096);
+    let mut exp = Exposition::new();
 
-    out.push_str("# HELP viewseeker_uptime_seconds Seconds since the server started.\n");
-    out.push_str("# TYPE viewseeker_uptime_seconds gauge\n");
-    out.push_str(&format!("viewseeker_uptime_seconds {uptime_secs}\n"));
+    exp.series("viewseeker_uptime_seconds");
+    exp.sample("", "", uptime_secs);
 
-    out.push_str("# HELP viewseeker_active_sessions Live sessions in the registry.\n");
-    out.push_str("# TYPE viewseeker_active_sessions gauge\n");
-    out.push_str(&format!("viewseeker_active_sessions {active_sessions}\n"));
+    exp.series("viewseeker_active_sessions");
+    exp.sample("", "", active_sessions);
 
-    out.push_str("# HELP viewseeker_worker_queue_depth Accepted connections awaiting a worker.\n");
-    out.push_str("# TYPE viewseeker_worker_queue_depth gauge\n");
-    out.push_str(&format!(
-        "viewseeker_worker_queue_depth {}\n",
-        counters.queue_depth()
-    ));
+    exp.series("viewseeker_worker_queue_depth");
+    exp.sample("", "", counters.queue_depth());
 
-    out.push_str("# HELP viewseeker_sessions_created_total Sessions created.\n");
-    out.push_str("# TYPE viewseeker_sessions_created_total counter\n");
-    out.push_str(&format!(
-        "viewseeker_sessions_created_total {}\n",
-        Counters::read(&counters.sessions_created)
-    ));
+    exp.series("viewseeker_sessions_created_total");
+    exp.sample("", "", Counters::read(&counters.sessions_created));
 
-    out.push_str("# HELP viewseeker_sessions_evicted_total Sessions evicted (LRU or TTL).\n");
-    out.push_str("# TYPE viewseeker_sessions_evicted_total counter\n");
-    out.push_str(&format!(
-        "viewseeker_sessions_evicted_total {}\n",
-        Counters::read(&counters.sessions_evicted)
-    ));
+    exp.series("viewseeker_sessions_evicted_total");
+    exp.sample("", "", Counters::read(&counters.sessions_evicted));
 
-    out.push_str("# HELP viewseeker_snapshots_total Session snapshots written, by outcome.\n");
-    out.push_str("# TYPE viewseeker_snapshots_total counter\n");
-    out.push_str(&format!(
-        "viewseeker_snapshots_total{{outcome=\"ok\"}} {}\n",
-        Counters::read(&counters.snapshots_ok)
-    ));
-    out.push_str(&format!(
-        "viewseeker_snapshots_total{{outcome=\"error\"}} {}\n",
-        Counters::read(&counters.snapshots_failed)
-    ));
-
-    out.push_str("# HELP viewseeker_restores_total Session restores, by outcome.\n");
-    out.push_str("# TYPE viewseeker_restores_total counter\n");
-    out.push_str(&format!(
-        "viewseeker_restores_total{{outcome=\"ok\"}} {}\n",
-        Counters::read(&counters.restores_ok)
-    ));
-    out.push_str(&format!(
-        "viewseeker_restores_total{{outcome=\"error\"}} {}\n",
-        Counters::read(&counters.restores_failed)
-    ));
-
-    out.push_str("# HELP viewseeker_feedback_labels_total Feedback labels ingested.\n");
-    out.push_str("# TYPE viewseeker_feedback_labels_total counter\n");
-    out.push_str(&format!(
-        "viewseeker_feedback_labels_total {}\n",
-        Counters::read(&counters.feedback_labels)
-    ));
-
-    out.push_str(
-        "# HELP viewseeker_materialize_scans_total Logical scans issued by offline view \
-         materialization across session builds.\n",
+    exp.series("viewseeker_snapshots_total");
+    exp.sample(
+        "",
+        "{outcome=\"ok\"}",
+        Counters::read(&counters.snapshots_ok),
     );
-    out.push_str("# TYPE viewseeker_materialize_scans_total counter\n");
-    out.push_str(&format!(
-        "viewseeker_materialize_scans_total {}\n",
-        Counters::read(&counters.materialize_scans)
-    ));
-
-    out.push_str(
-        "# HELP viewseeker_materialize_rows_total Rows read by offline view materialization \
-         across session builds.\n",
+    exp.sample(
+        "",
+        "{outcome=\"error\"}",
+        Counters::read(&counters.snapshots_failed),
     );
-    out.push_str("# TYPE viewseeker_materialize_rows_total counter\n");
-    out.push_str(&format!(
-        "viewseeker_materialize_rows_total {}\n",
-        Counters::read(&counters.materialize_rows)
-    ));
 
-    out.push_str(
-        "# HELP viewseeker_materialize_seconds_total Wall-clock seconds spent in offline view \
-         materialization across session builds.\n",
+    exp.series("viewseeker_restores_total");
+    exp.sample(
+        "",
+        "{outcome=\"ok\"}",
+        Counters::read(&counters.restores_ok),
     );
-    out.push_str("# TYPE viewseeker_materialize_seconds_total counter\n");
-    out.push_str(&format!(
-        "viewseeker_materialize_seconds_total {}\n",
-        seconds(Counters::read(&counters.materialize_us))
-    ));
-
-    out.push_str("# HELP viewseeker_catalog_hits_total Dataset resolutions served from memory.\n");
-    out.push_str("# TYPE viewseeker_catalog_hits_total counter\n");
-    out.push_str(&format!("viewseeker_catalog_hits_total {}\n", catalog.hits));
-
-    out.push_str(
-        "# HELP viewseeker_catalog_misses_total Dataset resolutions that loaded from disk.\n",
+    exp.sample(
+        "",
+        "{outcome=\"error\"}",
+        Counters::read(&counters.restores_failed),
     );
-    out.push_str("# TYPE viewseeker_catalog_misses_total counter\n");
-    out.push_str(&format!(
-        "viewseeker_catalog_misses_total {}\n",
-        catalog.misses
-    ));
 
-    out.push_str(
-        "# HELP viewseeker_catalog_evictions_total Tables evicted from the catalog cache.\n",
-    );
-    out.push_str("# TYPE viewseeker_catalog_evictions_total counter\n");
-    out.push_str(&format!(
-        "viewseeker_catalog_evictions_total {}\n",
-        catalog.evictions
-    ));
+    exp.series("viewseeker_feedback_labels_total");
+    exp.sample("", "", Counters::read(&counters.feedback_labels));
 
-    out.push_str(
-        "# HELP viewseeker_catalog_resident_bytes Estimated bytes of tables held in memory.\n",
-    );
-    out.push_str("# TYPE viewseeker_catalog_resident_bytes gauge\n");
-    out.push_str(&format!(
-        "viewseeker_catalog_resident_bytes {}\n",
-        catalog.resident_bytes
-    ));
+    exp.series("viewseeker_materialize_scans_total");
+    exp.sample("", "", Counters::read(&counters.materialize_scans));
 
-    out.push_str(
-        "# HELP viewseeker_catalog_datasets Datasets known to the catalog, by residency.\n",
-    );
-    out.push_str("# TYPE viewseeker_catalog_datasets gauge\n");
-    out.push_str(&format!(
-        "viewseeker_catalog_datasets{{state=\"cached\"}} {}\n",
-        catalog.cached_datasets
-    ));
-    out.push_str(&format!(
-        "viewseeker_catalog_datasets{{state=\"known\"}} {}\n",
-        catalog.known_datasets
-    ));
+    exp.series("viewseeker_materialize_rows_total");
+    exp.sample("", "", Counters::read(&counters.materialize_rows));
 
-    out.push_str("# HELP viewseeker_requests_total Requests handled, by route.\n");
-    out.push_str("# TYPE viewseeker_requests_total counter\n");
+    exp.series("viewseeker_materialize_seconds_total");
+    exp.sample("", "", seconds(Counters::read(&counters.materialize_us)));
+
+    exp.series("viewseeker_catalog_hits_total");
+    exp.sample("", "", catalog.hits);
+
+    exp.series("viewseeker_catalog_misses_total");
+    exp.sample("", "", catalog.misses);
+
+    exp.series("viewseeker_catalog_evictions_total");
+    exp.sample("", "", catalog.evictions);
+
+    exp.series("viewseeker_catalog_resident_bytes");
+    exp.sample("", "", catalog.resident_bytes);
+
+    exp.series("viewseeker_catalog_datasets");
+    exp.sample("", "{state=\"cached\"}", catalog.cached_datasets);
+    exp.sample("", "{state=\"known\"}", catalog.known_datasets);
+
+    exp.series("viewseeker_requests_total");
     for (route, hist) in histograms {
-        out.push_str(&format!(
-            "viewseeker_requests_total{{route=\"{}\"}} {}\n",
-            escape_label(route),
-            hist.count()
-        ));
+        let labels = format!("{{route=\"{}\"}}", escape_label(route));
+        exp.sample("", &labels, hist.count());
     }
 
-    out.push_str("# HELP viewseeker_request_duration_seconds Request latency, by route.\n");
-    out.push_str("# TYPE viewseeker_request_duration_seconds histogram\n");
+    exp.series("viewseeker_request_duration_seconds");
     for (route, hist) in histograms {
         let route = escape_label(route);
         let mut cumulative = 0u64;
         for (bound_us, count) in hist.nonzero_buckets() {
             cumulative += count;
-            out.push_str(&format!(
-                "viewseeker_request_duration_seconds_bucket{{route=\"{route}\",le=\"{}\"}} {cumulative}\n",
-                seconds(bound_us)
-            ));
+            let labels = format!("{{route=\"{route}\",le=\"{}\"}}", seconds(bound_us));
+            exp.sample("_bucket", &labels, cumulative);
         }
-        out.push_str(&format!(
-            "viewseeker_request_duration_seconds_bucket{{route=\"{route}\",le=\"+Inf\"}} {}\n",
-            hist.count()
-        ));
-        out.push_str(&format!(
-            "viewseeker_request_duration_seconds_sum{{route=\"{route}\"}} {}\n",
-            seconds(hist.sum_us())
-        ));
-        out.push_str(&format!(
-            "viewseeker_request_duration_seconds_count{{route=\"{route}\"}} {}\n",
-            hist.count()
-        ));
+        let labels = format!("{{route=\"{route}\",le=\"+Inf\"}}");
+        exp.sample("_bucket", &labels, hist.count());
+        let labels = format!("{{route=\"{route}\"}}");
+        exp.sample("_sum", &labels, seconds(hist.sum_us()));
+        exp.sample("_count", &labels, hist.count());
     }
 
-    out
+    exp.finish()
 }
 
 #[cfg(test)]
@@ -369,6 +468,44 @@ mod tests {
             ),
             "{text}"
         );
+    }
+
+    /// Every family the table promises appears in a scrape with a header,
+    /// so the table can never accumulate dead entries unnoticed.
+    #[test]
+    fn every_table_entry_is_scraped() {
+        let text = scrape();
+        for def in SERIES {
+            assert!(
+                text.contains(&format!("# TYPE {} {}\n", def.name, def.kind)),
+                "series `{}` defined but absent from the scrape",
+                def.name
+            );
+        }
+    }
+
+    #[test]
+    fn series_table_has_unique_names() {
+        let mut names: Vec<&str> = SERIES.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        let total = names.len();
+        names.dedup();
+        assert_eq!(total, names.len(), "duplicate name in SERIES");
+    }
+
+    #[test]
+    #[should_panic(expected = "opened twice")]
+    fn duplicate_family_emission_fails_debug_assert() {
+        let mut exp = Exposition::new();
+        exp.series("viewseeker_uptime_seconds");
+        exp.series("viewseeker_uptime_seconds");
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined in SERIES")]
+    fn unregistered_family_fails_debug_assert() {
+        let mut exp = Exposition::new();
+        exp.series("viewseeker_rogue_total");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -212,12 +212,36 @@ pub struct SessionEntry {
 }
 
 impl SessionEntry {
+    /// The LRU clock. A poisoned clock lock is recovered: the guarded
+    /// value is a plain `Instant`, structurally valid no matter where a
+    /// panicking thread died.
+    fn last_used(&self) -> MutexGuard<'_, Instant> {
+        self.last_used
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn touch(&self) {
-        *self.last_used.lock().expect("last_used lock") = Instant::now();
+        // vslint::allow(wall-clock): the LRU recency clock decides only
+        // *eviction* order, never recommendation output.
+        *self.last_used() = Instant::now();
     }
 
     fn idle(&self) -> Duration {
-        self.last_used.lock().expect("last_used lock").elapsed()
+        self.last_used().elapsed()
+    }
+
+    /// Locks the seeker, surfacing a poisoned lock as a typed 500 instead
+    /// of a panic: unlike the registry map or the LRU clock, a seeker may
+    /// genuinely be mid-mutation when its holder panics, so the state is
+    /// not trusted.
+    pub fn seeker_lock(&self) -> Result<MutexGuard<'_, OwnedSeeker>, ServerError> {
+        self.seeker.lock().map_err(|_| {
+            ServerError::Internal(format!(
+                "session {:?} is unusable: a request holding its lock panicked",
+                self.id
+            ))
+        })
     }
 }
 
@@ -302,14 +326,27 @@ impl SessionRegistry {
         self.logger = logger;
     }
 
+    /// Read-locks the session map. A poisoned lock is recovered:
+    /// `HashMap` insert/remove either happened or didn't — a panicking
+    /// holder can't leave the map half-mutated — so the data is valid
+    /// and refusing service would only turn one failed request into a
+    /// permanently dead registry.
+    fn sessions_read(&self) -> RwLockReadGuard<'_, HashMap<String, Arc<SessionEntry>>> {
+        self.sessions.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write-locks the session map; same poison policy as
+    /// [`SessionRegistry::sessions_read`].
+    fn sessions_write(&self) -> RwLockWriteGuard<'_, HashMap<String, Arc<SessionEntry>>> {
+        self.sessions
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Number of live sessions.
-    ///
-    /// # Panics
-    ///
-    /// On a poisoned registry lock.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.sessions.read().expect("registry lock").len()
+        self.sessions_read().len()
     }
 
     /// Whether no session is live.
@@ -322,16 +359,22 @@ impl SessionRegistry {
     /// listing endpoint.
     #[must_use]
     pub fn describe(&self) -> Vec<(String, usize, &'static str, Duration)> {
-        let sessions = self.sessions.read().expect("registry lock");
-        let mut out: Vec<_> = sessions
-            .values()
-            .map(|e| {
-                let seeker = e.seeker.lock().expect("session lock");
-                let phase = match seeker.phase() {
-                    viewseeker_core::SeekerPhase::ColdStart => "cold_start",
-                    viewseeker_core::SeekerPhase::Active => "active",
-                };
-                (e.id.clone(), seeker.label_count(), phase, e.idle())
+        // Clone the entries out so no session lock is taken while the
+        // registry lock is held (vslint rule lock-order).
+        let entries: Vec<Arc<SessionEntry>> = self.sessions_read().values().cloned().collect();
+        let mut out: Vec<_> = entries
+            .iter()
+            .map(|e| match e.seeker.lock() {
+                Ok(seeker) => {
+                    let phase = match seeker.phase() {
+                        viewseeker_core::SeekerPhase::ColdStart => "cold_start",
+                        viewseeker_core::SeekerPhase::Active => "active",
+                    };
+                    (e.id.clone(), seeker.label_count(), phase, e.idle())
+                }
+                // A poisoned session still appears in the listing — hiding
+                // it would make the id unkillable via the API.
+                Err(_) => (e.id.clone(), 0, "poisoned", e.idle()),
             })
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
@@ -411,12 +454,7 @@ impl SessionRegistry {
         &self,
         persisted: &PersistedSession,
     ) -> Result<Arc<SessionEntry>, ServerError> {
-        if self
-            .sessions
-            .read()
-            .expect("registry lock")
-            .contains_key(&persisted.id)
-        {
+        if self.sessions_read().contains_key(&persisted.id) {
             return Err(ServerError::Conflict(format!(
                 "session {:?} is already live",
                 persisted.id
@@ -488,18 +526,26 @@ impl SessionRegistry {
             dataset_checksum: dataset.checksum.clone(),
             seeker: Mutex::new(seeker),
             recorder,
+            // vslint::allow(wall-clock): initializes the LRU recency clock,
+            // which decides only eviction order.
             last_used: Mutex::new(Instant::now()),
         });
         let evicted = {
-            let mut sessions = self.sessions.write().expect("registry lock");
+            let mut sessions = self.sessions_write();
             let mut evicted = Vec::new();
             while sessions.len() >= self.max_sessions {
-                // Expired sessions first; otherwise the LRU one.
+                // The most-idle session loses; idle-time ties (coarse
+                // clocks) break on the smaller id so the victim never
+                // depends on hash iteration order.
+                // vslint::allow(hash-iter): victim choice is a pure max
+                // over (idle, id) — a total order, so iteration order
+                // cannot change the winner.
                 let victim = sessions
                     .values()
-                    .max_by_key(|e| e.idle())
-                    .map(|e| e.id.clone())
-                    .expect("non-empty map at cap");
+                    .map(|e| (e.idle(), e.id.clone()))
+                    .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+                    .map(|(_, id)| id);
+                let Some(victim) = victim else { break };
                 evicted.extend(sessions.remove(&victim));
             }
             sessions.insert(id, Arc::clone(&entry));
@@ -525,12 +571,7 @@ impl SessionRegistry {
     /// [`ServerError::NotFound`] for an unknown id (the error message points
     /// at `restore` when a disk snapshot exists).
     pub fn get(&self, id: &str) -> Result<Arc<SessionEntry>, ServerError> {
-        let entry = self
-            .sessions
-            .read()
-            .expect("registry lock")
-            .get(id)
-            .cloned();
+        let entry = self.sessions_read().get(id).cloned();
         match entry {
             Some(entry) => {
                 entry.touch();
@@ -554,11 +595,7 @@ impl SessionRegistry {
     /// otherwise-idle session alive.
     #[must_use]
     pub fn peek(&self, id: &str) -> Option<Arc<SessionEntry>> {
-        self.sessions
-            .read()
-            .expect("registry lock")
-            .get(id)
-            .cloned()
+        self.sessions_read().get(id).cloned()
     }
 
     /// Removes a session without persisting it.
@@ -567,9 +604,7 @@ impl SessionRegistry {
     ///
     /// [`ServerError::NotFound`] for an unknown id.
     pub fn remove(&self, id: &str) -> Result<(), ServerError> {
-        self.sessions
-            .write()
-            .expect("registry lock")
+        self.sessions_write()
             .remove(id)
             .map(|_| self.logger.info("session_removed", &[("session", s(id))]))
             .ok_or_else(|| ServerError::NotFound(format!("unknown session {id:?}")))
@@ -583,7 +618,7 @@ impl SessionRegistry {
     /// Persistence errors (the sessions are already out of the map).
     pub fn sweep_expired(&self) -> Result<Vec<String>, ServerError> {
         let expired: Vec<Arc<SessionEntry>> = {
-            let mut sessions = self.sessions.write().expect("registry lock");
+            let mut sessions = self.sessions_write();
             let victims: Vec<String> = sessions
                 .values()
                 .filter(|e| e.idle() > self.ttl)
@@ -639,7 +674,7 @@ impl SessionRegistry {
         let Some(path) = self.snapshot_path(&entry.id) else {
             return Ok(false);
         };
-        let seeker = entry.seeker.lock().expect("session lock");
+        let seeker = entry.seeker_lock()?;
         let persisted = PersistedSession {
             id: entry.id.clone(),
             spec: entry.spec.clone(),

@@ -22,7 +22,9 @@
 //! ```
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use viewseeker_core::trace::Stopwatch;
 
 use serde::{Serialize, Value};
 
@@ -204,7 +206,7 @@ impl Router {
 
 impl Handler for Router {
     fn handle(&self, request: &Request) -> Response {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let (route, result) = self.dispatch(request);
         let response = result.unwrap_or_else(|e| {
             Response::with_status(e.status(), format!("{{\"error\": {:?}}}", e.message()))

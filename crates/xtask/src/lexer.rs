@@ -1,0 +1,499 @@
+//! A minimal token-level Rust lexer.
+//!
+//! This is not a parser: vslint's rules are all expressible over the token
+//! stream (plus brace depth), which a few hundred lines of hand-rolled
+//! lexing covers exactly — strings, raw strings, char-vs-lifetime
+//! disambiguation, nested block comments — without any dependency. The
+//! lexer must never panic on malformed input: worst case it produces odd
+//! `Punct` tokens and a rule misses, which the workspace self-test would
+//! surface as a missing diagnostic, not a crash.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#async`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (`42`, `0x1f`, `1.5e-9`, `8u64`).
+    Number,
+    /// String literal — `text` holds the *contents*, quotes stripped
+    /// (covers `"…"`, `r"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character (`.`, `!`, `[`, `::` is two tokens).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text (for [`TokenKind::Str`], the unquoted contents).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// Whether this token is the identifier `word`.
+    #[must_use]
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// Whether this token is the punctuation character `ch`.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+}
+
+/// One comment (line or block) with its 1-based starting line. `trailing`
+/// is true when code tokens precede it on the same line — suppression
+/// comments bind to that line; standalone comments bind to the next code
+/// line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` framing.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Whether code tokens precede the comment on its line.
+    pub trailing: bool,
+}
+
+/// The full lex of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in order (comments excluded).
+    pub tokens: Vec<Token>,
+    /// Comments in order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source` into tokens and comments.
+#[must_use]
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut last_token_line = 0usize;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: source[start..i].to_owned(),
+                    line,
+                    trailing: last_token_line == line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    text: source[start..end].to_owned(),
+                    line: start_line,
+                    trailing: last_token_line == start_line,
+                });
+            }
+            b'"' => {
+                let (text, consumed, newlines) = lex_string(&source[i..]);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                });
+                last_token_line = line;
+                line += newlines;
+                i += consumed;
+            }
+            b'r' | b'b' if starts_string_prefix(bytes, i) => {
+                let (kind, text, consumed, newlines) = lex_prefixed_literal(&source[i..]);
+                out.tokens.push(Token { kind, text, line });
+                last_token_line = line;
+                line += newlines;
+                i += consumed;
+            }
+            b'\'' => {
+                let (token, consumed, newlines) = lex_quote(&source[i..], line);
+                out.tokens.push(token);
+                last_token_line = line;
+                line += newlines;
+                i += consumed;
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[start..i].to_owned(),
+                    line,
+                });
+                last_token_line = line;
+            }
+            b if b.is_ascii_digit() => {
+                let (text, consumed) = lex_number(&source[i..]);
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text,
+                    line,
+                });
+                last_token_line = line;
+                i += consumed;
+            }
+            _ => {
+                // Any other byte (including UTF-8 continuation bytes inside
+                // punctuation-adjacent unicode) becomes a 1-char Punct.
+                let ch_len = utf8_len(b);
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: source[i..(i + ch_len).min(source.len())].to_owned(),
+                    line,
+                });
+                last_token_line = line;
+                i += ch_len;
+            }
+        }
+    }
+    out
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Whether position `i` (an `r` or `b`) starts a raw/byte string or raw
+/// identifier prefix rather than a plain identifier.
+fn starts_string_prefix(bytes: &[u8], i: usize) -> bool {
+    // Only if the previous byte can't extend an identifier into this one.
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => match bytes.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(bytes.get(i + 2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Lexes a `"…"` string starting at the quote. Returns (contents, bytes
+/// consumed, newlines crossed).
+fn lex_string(s: &str) -> (String, usize, usize) {
+    let bytes = s.as_bytes();
+    let mut i = 1usize;
+    let mut newlines = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'"' => {
+                return (s[1..i].to_owned(), i + 1, newlines);
+            }
+            _ => i += 1,
+        }
+    }
+    (s[1..].to_owned(), bytes.len(), newlines)
+}
+
+/// Lexes an `r`/`b`-prefixed literal (`r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+/// `b'x'`) or a raw identifier (`r#ident`). Returns (kind, text, consumed,
+/// newlines).
+fn lex_prefixed_literal(s: &str) -> (TokenKind, String, usize, usize) {
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    if bytes[i] == b'b' {
+        i += 1;
+        if bytes.get(i) == Some(&b'\'') {
+            let (token, consumed, newlines) = lex_quote(&s[i..], 0);
+            return (TokenKind::Char, token.text, i + consumed, newlines);
+        }
+    }
+    if bytes.get(i) == Some(&b'r') {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        // `r#ident` raw identifier: lex the ident part.
+        let start = i;
+        let mut j = i;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        return (TokenKind::Ident, s[start..j].to_owned(), j, 0);
+    }
+    i += 1; // opening quote
+    let body_start = i;
+    let closer: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat_n(b'#', hashes))
+        .collect();
+    let mut newlines = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            newlines += 1;
+        }
+        if bytes[i] == b'"' && bytes[i..].starts_with(&closer) {
+            let text = s[body_start..i].to_owned();
+            return (TokenKind::Str, text, i + closer.len(), newlines);
+        }
+        // Raw strings have no escapes; plain `b"…"` does.
+        if hashes == 0 && bytes[i] == b'\\' && s.as_bytes().first() == Some(&b'b') {
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    (
+        TokenKind::Str,
+        s[body_start..].to_owned(),
+        bytes.len(),
+        newlines,
+    )
+}
+
+/// Lexes a `'`-introduced token: lifetime or char literal.
+fn lex_quote(s: &str, line: usize) -> (Token, usize, usize) {
+    let bytes = s.as_bytes();
+    // Lifetime: 'ident not closed by another quote.
+    if bytes.len() > 1 && (bytes[1].is_ascii_alphabetic() || bytes[1] == b'_') {
+        let mut j = 2usize;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b'\'') {
+            return (
+                Token {
+                    kind: TokenKind::Lifetime,
+                    text: s[1..j].to_owned(),
+                    line,
+                },
+                j,
+                0,
+            );
+        }
+    }
+    // Char literal: consume through the closing quote, honoring escapes.
+    let mut i = 1usize;
+    let mut newlines = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'\'' => {
+                return (
+                    Token {
+                        kind: TokenKind::Char,
+                        text: s[1..i].to_owned(),
+                        line,
+                    },
+                    i + 1,
+                    newlines,
+                );
+            }
+            _ => i += 1,
+        }
+    }
+    (
+        Token {
+            kind: TokenKind::Char,
+            text: s[1..].to_owned(),
+            line,
+        },
+        bytes.len(),
+        newlines,
+    )
+}
+
+/// Lexes a numeric literal. Returns (text, bytes consumed).
+fn lex_number(s: &str) -> (String, usize) {
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            // Exponent sign: `1e-9` / `1E+9`.
+            if (b == b'e' || b == b'E')
+                && matches!(bytes.get(i + 1), Some(b'+') | Some(b'-'))
+                && bytes.get(i + 2).is_some_and(u8::is_ascii_digit)
+            {
+                i += 2;
+            }
+            i += 1;
+        } else if b == b'.' {
+            // Consume a fraction only when a digit follows: `1.5` yes,
+            // `1..n` (range) and `1.method()` no.
+            if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                i += 1;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    (s[..i].to_owned(), i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let toks = kinds("let x = a.unwrap();");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(toks[3], (TokenKind::Ident, "a".into()));
+        assert_eq!(toks[4], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[5], (TokenKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn strings_and_raw_strings() {
+        let toks = kinds(r####"("plain", r"raw", r#"ra"w"#, b"bytes")"####);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(strs, vec!["plain", "raw", "ra\"w", "bytes"]);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let toks = kinds(r#"x = "a\"b";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t == "a\\\"b"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "x"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "\\n"));
+    }
+
+    #[test]
+    fn comments_and_trailing_flags() {
+        let lexed =
+            lex("let a = 1; // trailing\n// standalone\nlet b = 2;\n/* block */ let c = 3;");
+        assert_eq!(lexed.comments.len(), 3);
+        assert!(lexed.comments[0].trailing);
+        assert_eq!(lexed.comments[0].text.trim(), "trailing");
+        assert!(!lexed.comments[1].trailing);
+        assert!(!lexed.comments[2].trailing);
+        assert_eq!(lexed.comments[2].text.trim(), "block");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still */ fn x() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn line_numbers_cross_multiline_strings() {
+        let lexed = lex("let a = \"one\ntwo\";\nlet b = 1;");
+        let b = lexed.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn number_does_not_swallow_ranges() {
+        let toks = kinds("for i in 0..10 {}");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "10"));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokenKind::Punct && t == ".")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn float_and_suffix_numbers() {
+        let toks = kinds("let x = 1.5e-9; let y = 8u64; let z = 0x1f;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "1.5e-9"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "8u64"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "0x1f"));
+    }
+}

@@ -1,0 +1,566 @@
+//! `viewseeker-xtask`: workspace automation, chiefly the **vslint**
+//! invariant linter.
+//!
+//! vslint proves, at the source level and on every CI run, the invariants
+//! the rest of the workspace's tests only sample: request handlers never
+//! panic, the interactive loop is deterministic, the Prometheus registry
+//! is consistent, no crate admits `unsafe`, and lock acquisition is
+//! disciplined. See DESIGN.md §10 for the rule catalog and suppression
+//! policy.
+//!
+//! The implementation is deliberately dependency-free: a hand-rolled
+//! token-level lexer ([`lexer`]) plus token-pattern rules. The linter
+//! must build instantly, before anything else in CI, and must never be
+//! broken by the code it checks.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+mod rules;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use lexer::{lex, Comment, Token, TokenKind};
+
+/// One lint finding at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line (0 for file-level findings such as missing docs).
+    pub line: usize,
+    /// Rule id, e.g. `no-panic`.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A lexed source file plus the derived facts every rule needs.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Code tokens.
+    pub tokens: Vec<Token>,
+    /// Comments (for suppression parsing).
+    pub comments: Vec<Comment>,
+    /// Per-token: true when the token sits inside `#[cfg(test)]` /
+    /// `#[test]` items. Rules skip masked tokens — test code may panic.
+    pub test_mask: Vec<bool>,
+    /// `(first_body_token, last_body_token)` for every `fn` body,
+    /// innermost-last for nested functions.
+    pub fn_bodies: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lexes `source` and computes the derived per-file facts.
+    #[must_use]
+    pub fn new(path: String, source: &str) -> Self {
+        let lexed = lex(source);
+        let test_mask = compute_test_mask(&lexed.tokens);
+        let fn_bodies = compute_fn_bodies(&lexed.tokens);
+        SourceFile {
+            path,
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            test_mask,
+            fn_bodies,
+        }
+    }
+
+    /// Whether token `i` is inside test-only code.
+    #[must_use]
+    pub fn is_test(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// The innermost `fn` body containing token `i`, as a token range.
+    #[must_use]
+    pub fn enclosing_fn(&self, i: usize) -> Option<(usize, usize)> {
+        self.fn_bodies
+            .iter()
+            .filter(|(s, e)| *s <= i && i <= *e)
+            .min_by_key(|(s, e)| e - s)
+            .copied()
+    }
+
+    /// Token accessor that tolerates out-of-range indices.
+    #[must_use]
+    pub fn tok(&self, i: usize) -> Option<&Token> {
+        self.tokens.get(i)
+    }
+
+    /// Whether `tokens[i..]` matches a sequence of identifiers/punctuation
+    /// given as `("ident", "text")`-style pairs where kind is `i` for
+    /// ident and `p` for punct.
+    #[must_use]
+    pub fn matches_seq(&self, i: usize, pattern: &[(char, &str)]) -> bool {
+        pattern.iter().enumerate().all(|(k, (kind, text))| {
+            self.tok(i + k).is_some_and(|t| match kind {
+                'i' => t.kind == TokenKind::Ident && t.text == *text,
+                'p' => t.kind == TokenKind::Punct && t.text == *text,
+                _ => false,
+            })
+        })
+    }
+}
+
+/// The whole workspace as seen by vslint: own-crate sources plus the two
+/// documentation files rule 3 cross-checks.
+pub struct Workspace {
+    /// Lexed source files, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// `(name, raw text)` for DESIGN.md / README.md when present.
+    pub docs: Vec<(String, String)>,
+}
+
+impl Workspace {
+    /// Loads the workspace rooted at `root`: every `.rs` file under
+    /// `src/` and `crates/*/src/`, plus DESIGN.md and README.md.
+    ///
+    /// `vendor/` shims, `tests/`, `benches/`, and fixture trees are
+    /// deliberately out of scope: vslint guards the production crates.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut sources: Vec<(String, String)> = Vec::new();
+        collect_rs(&root.join("src"), root, &mut sources)?;
+        let crates = root.join("crates");
+        if crates.is_dir() {
+            let mut members: Vec<_> = fs::read_dir(&crates)?
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .collect();
+            members.sort();
+            for member in members {
+                collect_rs(&member.join("src"), root, &mut sources)?;
+            }
+        }
+        let mut docs = Vec::new();
+        for name in ["DESIGN.md", "README.md"] {
+            if let Ok(text) = fs::read_to_string(root.join(name)) {
+                docs.push((name.to_owned(), text));
+            }
+        }
+        Ok(Workspace::from_sources(sources, docs))
+    }
+
+    /// Builds a workspace from in-memory sources — the fixture-test entry
+    /// point. `files` holds `(workspace-relative path, source)` pairs.
+    #[must_use]
+    pub fn from_sources(files: Vec<(String, String)>, docs: Vec<(String, String)>) -> Workspace {
+        let mut files: Vec<SourceFile> = files
+            .into_iter()
+            .map(|(path, src)| SourceFile::new(path, &src))
+            .collect();
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        Workspace { files, docs }
+    }
+
+    /// Runs every rule and the suppression pipeline; returns findings
+    /// sorted by `(file, line, rule)`.
+    #[must_use]
+    pub fn lint(&self) -> Vec<Diagnostic> {
+        let mut raw: Vec<Diagnostic> = Vec::new();
+        for file in &self.files {
+            rules::no_panic::check(file, &mut raw);
+            rules::hash_iter::check(file, &mut raw);
+            rules::wall_clock::check(file, &mut raw);
+            rules::float_sum::check(file, &mut raw);
+            rules::forbid_unsafe::check(file, &mut raw);
+            rules::lock_order::check(file, &mut raw);
+        }
+        rules::metric_registry::check(self, &mut raw);
+
+        let mut out: Vec<Diagnostic> = Vec::new();
+        for file in &self.files {
+            let mut allows = parse_allows(file);
+            for diag in raw.iter().filter(|d| d.file == file.path) {
+                let suppressed = allows
+                    .iter_mut()
+                    .find(|a| {
+                        a.ok && a.rule == diag.rule
+                            && (a.start_line..=a.end_line).contains(&diag.line)
+                    })
+                    .map(|a| a.used = true)
+                    .is_some();
+                if !suppressed {
+                    out.push(diag.clone());
+                }
+            }
+            for allow in &allows {
+                if !allow.ok {
+                    out.push(Diagnostic {
+                        file: file.path.clone(),
+                        line: allow.comment_line,
+                        rule: "bad-suppression",
+                        message: format!(
+                            "vslint::allow({}) requires a justification: \
+                             `// vslint::allow({}): <why this is sound>`",
+                            allow.rule, allow.rule
+                        ),
+                    });
+                } else if !allow.used {
+                    out.push(Diagnostic {
+                        file: file.path.clone(),
+                        line: allow.comment_line,
+                        rule: "unused-suppression",
+                        message: format!(
+                            "vslint::allow({}) suppresses nothing on lines {}-{}; remove it",
+                            allow.rule, allow.start_line, allow.end_line
+                        ),
+                    });
+                }
+            }
+        }
+        // File-level findings (docs, missing-crate-root) carry paths not in
+        // self.files' comment streams; pass them through unsuppressed.
+        for diag in raw {
+            if !self.files.iter().any(|f| f.path == diag.file) {
+                out.push(diag);
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` into `out` with
+/// root-relative forward-slash paths, sorted for determinism.
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}
+
+/// A parsed `vslint::allow(rule)` suppression.
+struct Allow {
+    /// Rule id being suppressed.
+    rule: String,
+    /// First line the suppression applies to: the comment's own line for
+    /// a trailing comment, the next code line otherwise.
+    start_line: usize,
+    /// Last line it applies to. A trailing comment covers exactly its own
+    /// line; a standalone comment covers the whole statement that follows
+    /// (through its terminating `;` or opening `{`), since diagnostics in
+    /// a rustfmt-wrapped chain land on interior lines.
+    end_line: usize,
+    /// Line the comment itself sits on (for bad/unused diagnostics).
+    comment_line: usize,
+    /// Whether a non-empty justification followed the rule id.
+    ok: bool,
+    /// Whether any diagnostic matched.
+    used: bool,
+}
+
+/// Extracts all suppression comments from a file.
+fn parse_allows(file: &SourceFile) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for comment in &file.comments {
+        // Doc comments (`///`, `//!`, `/** */`) describe the suppression
+        // syntax without invoking it; only plain comments suppress.
+        if comment.text.starts_with('/')
+            || comment.text.starts_with('!')
+            || comment.text.starts_with('*')
+        {
+            continue;
+        }
+        let Some(pos) = comment.text.find("vslint::allow(") else {
+            continue;
+        };
+        let rest = &comment.text[pos + "vslint::allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_owned();
+        let after = &rest[close + 1..];
+        let ok = after
+            .strip_prefix(':')
+            .is_some_and(|j| !j.trim().is_empty());
+        let (start_line, end_line) = if comment.trailing {
+            (comment.line, comment.line)
+        } else {
+            let first = file
+                .tokens
+                .iter()
+                .position(|t| t.line >= comment.line)
+                .unwrap_or(file.tokens.len());
+            let start = file.tokens.get(first).map_or(comment.line + 1, |t| t.line);
+            let end = file.tokens[first..]
+                .iter()
+                .find(|t| t.is_punct(';') || t.is_punct('{'))
+                .map_or(start, |t| t.line);
+            (start, end)
+        };
+        out.push(Allow {
+            rule,
+            start_line,
+            end_line,
+            comment_line: comment.line,
+            ok,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Marks every token belonging to a `#[cfg(test)]` or `#[test]` item
+/// (including the attribute itself and the item's full body).
+fn compute_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            if let Some((attr_end, is_test)) = scan_attr(tokens, i) {
+                if is_test {
+                    // Skip any further attributes on the same item.
+                    let mut j = attr_end + 1;
+                    while tokens.get(j).is_some_and(|t| t.is_punct('#'))
+                        && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+                    {
+                        match scan_attr(tokens, j) {
+                            Some((end, _)) => j = end + 1,
+                            None => break,
+                        }
+                    }
+                    let end = item_end(tokens, j);
+                    for m in mask.iter_mut().take(end + 1).skip(i) {
+                        *m = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+                i = attr_end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// From a `#` at `i` followed by `[`, returns `(index of the closing ']',
+/// whether the attribute is `#[test]` or contains `cfg(test)`)`.
+fn scan_attr(tokens: &[Token], i: usize) -> Option<(usize, bool)> {
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    let mut inner: Vec<usize> = Vec::new();
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else {
+            inner.push(j);
+        }
+        j += 1;
+    }
+    if j >= tokens.len() {
+        return None;
+    }
+    // `#[test]`: the attribute body is the single ident `test`.
+    let bare_test = inner.len() == 1 && tokens[inner[0]].is_ident("test");
+    // `#[cfg(test)]`: ident `cfg`, `(`, ident `test` — `cfg(not(test))`
+    // has `not` in the third slot and correctly does not match.
+    let cfg_test = inner.windows(3).any(|w| {
+        tokens[w[0]].is_ident("cfg") && tokens[w[1]].is_punct('(') && tokens[w[2]].is_ident("test")
+    });
+    Some((j, bare_test || cfg_test))
+}
+
+/// Returns the index of the token ending the item starting at `j`: the
+/// matching `}` of its first body brace, or the terminating `;`.
+fn item_end(tokens: &[Token], j: usize) -> usize {
+    let mut k = j;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        if t.is_punct(';') {
+            return k;
+        }
+        if t.is_punct('{') {
+            let mut depth = 1usize;
+            let mut m = k + 1;
+            while m < tokens.len() && depth > 0 {
+                if tokens[m].is_punct('{') {
+                    depth += 1;
+                } else if tokens[m].is_punct('}') {
+                    depth -= 1;
+                }
+                m += 1;
+            }
+            return m.saturating_sub(1);
+        }
+        k += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Finds every `fn` body as a token range `(open_brace + 1, close_brace)`.
+fn compute_fn_bodies(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            continue;
+        }
+        // Walk to the body `{`, stopping at `;` (trait method signature).
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut body = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if t.is_punct(';') && angle <= 0 {
+                break;
+            } else if t.is_punct('{') && angle <= 0 {
+                body = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = body else { continue };
+        let close = item_end(tokens, open);
+        out.push((open + 1, close));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules() {
+        let f = SourceFile::new(
+            "x.rs".into(),
+            "fn live() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { b.unwrap(); }\n}\n",
+        );
+        let unwraps: Vec<bool> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| f.is_test(i))
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+    }
+
+    #[test]
+    fn test_mask_covers_test_fns_with_extra_attrs() {
+        let f = SourceFile::new(
+            "x.rs".into(),
+            "#[test]\n#[allow(dead_code)]\nfn t() { b.unwrap(); }\nfn live() { a.unwrap(); }\n",
+        );
+        let unwraps: Vec<bool> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| f.is_test(i))
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let f = SourceFile::new(
+            "x.rs".into(),
+            "#[cfg(not(test))]\nfn live() { a.unwrap(); }\n",
+        );
+        let idx = f.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(!f.is_test(idx));
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let f = SourceFile::new(
+            "x.rs".into(),
+            "fn outer() {\n fn inner() { marker(); }\n other();\n}\n",
+        );
+        let marker = f.tokens.iter().position(|t| t.is_ident("marker")).unwrap();
+        let other = f.tokens.iter().position(|t| t.is_ident("other")).unwrap();
+        let inner = f.enclosing_fn(marker).unwrap();
+        let outer = f.enclosing_fn(other).unwrap();
+        assert!(inner.1 - inner.0 < outer.1 - outer.0);
+        assert!(outer.0 <= inner.0 && inner.1 <= outer.1);
+    }
+
+    #[test]
+    fn allows_parse_trailing_and_preceding() {
+        let f = SourceFile::new(
+            "x.rs".into(),
+            "let a = x.foo(); // vslint::allow(no-panic): invariant holds\n\
+             // vslint::allow(hash-iter): order-free aggregation\n\
+             let b = y.bar();\n\
+             // vslint::allow(wall-clock)\n\
+             let c = now();\n",
+        );
+        let allows = parse_allows(&f);
+        assert_eq!(allows.len(), 3);
+        assert_eq!(
+            (allows[0].rule.as_str(), allows[0].start_line, allows[0].ok),
+            ("no-panic", 1, true)
+        );
+        assert_eq!(
+            (allows[1].rule.as_str(), allows[1].start_line, allows[1].ok),
+            ("hash-iter", 3, true)
+        );
+        // Missing justification → not ok.
+        assert_eq!(
+            (allows[2].rule.as_str(), allows[2].start_line, allows[2].ok),
+            ("wall-clock", 5, false)
+        );
+    }
+
+    #[test]
+    fn standalone_allow_covers_the_whole_statement() {
+        let f = SourceFile::new(
+            "x.rs".into(),
+            "// vslint::allow(hash-iter): spans the wrapped chain\n\
+             let victim = self\n\
+                 .entries\n\
+                 .iter()\n\
+                 .min_by_key(|(_, e)| e.last_used);\n",
+        );
+        let allows = parse_allows(&f);
+        assert_eq!(allows.len(), 1);
+        assert_eq!((allows[0].start_line, allows[0].end_line), (2, 5));
+    }
+}

@@ -1,0 +1,90 @@
+//! `viewseeker-xtask` — workspace automation.
+//!
+//! ```text
+//! cargo run -p viewseeker-xtask -- lint [--root PATH]
+//! ```
+//!
+//! Runs the vslint invariant linter over the workspace and exits non-zero
+//! with `file:line: [rule] message` diagnostics when any rule fires. See
+//! DESIGN.md §10 for the rule catalog.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use viewseeker_xtask::Workspace;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("usage: viewseeker-xtask lint [--root PATH]");
+        return ExitCode::FAILURE;
+    };
+    match command.as_str() {
+        "lint" => {
+            let mut root: Option<PathBuf> = None;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--root" => root = args.next().map(PathBuf::from),
+                    other => {
+                        eprintln!("vslint: unknown argument `{other}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let root = root.unwrap_or_else(workspace_root);
+            lint(&root)
+        }
+        other => {
+            eprintln!("viewseeker-xtask: unknown command `{other}` (try `lint`)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint(root: &Path) -> ExitCode {
+    let ws = match Workspace::load(root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "vslint: failed to load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let diags = ws.lint();
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!(
+            "vslint: clean ({} files, {} docs)",
+            ws.files.len(),
+            ws.docs.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("vslint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks up from the current directory to the workspace root (the first
+/// ancestor whose Cargo.toml declares `[workspace]`), so the linter works
+/// from any subdirectory. Falls back to `.`.
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

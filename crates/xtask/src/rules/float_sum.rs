@@ -1,0 +1,92 @@
+//! Rule `float-sum`: in `crates/core` and `crates/dataset`, a bare
+//! `.sum()` (or a float-turbofished one) is forbidden — float addition is
+//! not associative, so any reduction whose order the compiler or a
+//! parallel executor may permute is a determinism hazard. Integer sums
+//! must say so with an integer turbofish (`.sum::<u64>()`); float
+//! reductions must go through the executor's strict-order fold helpers
+//! (`viewseeker_dataset::executor::strict_sum`) which pin a sequential
+//! left-to-right order.
+
+use crate::{Diagnostic, SourceFile};
+
+use super::is_method_call;
+
+const RULE: &str = "float-sum";
+const SCOPE: &[&str] = &["crates/core/", "crates/dataset/"];
+const INTEGER_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !SCOPE.iter().any(|p| file.path.starts_with(p)) {
+        return;
+    }
+    for i in 0..file.tokens.len() {
+        if file.is_test(i) {
+            continue;
+        }
+        let t = &file.tokens[i];
+        if t.text != "sum" || i == 0 || !file.tokens[i - 1].is_punct('.') {
+            continue;
+        }
+        // `.sum::<T>(` — integer T proves the reduction order-free.
+        if file.matches_seq(i + 1, &[('p', ":"), ('p', ":"), ('p', "<")]) {
+            let ty_ok = file
+                .tok(i + 4)
+                .is_some_and(|ty| INTEGER_TYPES.contains(&ty.text.as_str()));
+            if !ty_ok {
+                out.push(diag(file, i, "float-typed `.sum::<T>()`"));
+            }
+        } else if is_method_call(file, i) {
+            out.push(diag(file, i, "bare `.sum()`"));
+        }
+    }
+}
+
+fn diag(file: &SourceFile, i: usize, what: &str) -> Diagnostic {
+    Diagnostic {
+        file: file.path.clone(),
+        line: file.tokens[i].line,
+        rule: RULE,
+        message: format!(
+            "{what} is order-sensitive for floats; use executor::strict_sum \
+             or prove integer with `.sum::<u64>()`"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(path.into(), src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_bare_and_float_turbofish_sums() {
+        let diags = run(
+            "crates/core/src/metrics.rs",
+            "fn f() { let a: f64 = xs.iter().sum(); let b = ys.iter().sum::<f64>(); }",
+        );
+        assert_eq!(diags.len(), 2);
+    }
+
+    #[test]
+    fn integer_turbofish_and_out_of_scope_pass() {
+        assert!(run(
+            "crates/dataset/src/aggregate.rs",
+            "fn f() { let n = xs.iter().sum::<u64>(); let m = ys.iter().map(f).sum::<usize>(); }",
+        )
+        .is_empty());
+        assert!(run(
+            "crates/server/src/api.rs",
+            "fn f() { xs.iter().sum::<f64>(); }"
+        )
+        .is_empty());
+    }
+}

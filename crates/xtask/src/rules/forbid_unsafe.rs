@@ -1,0 +1,74 @@
+//! Rule `forbid-unsafe`: every crate root in the workspace — `src/lib.rs`,
+//! `src/main.rs`, and each `src/bin/*.rs` — must carry
+//! `#![forbid(unsafe_code)]`. `forbid` (unlike `deny`) cannot be
+//! overridden further down the module tree, so this single line per crate
+//! is a proof there is no unsafe block anywhere in it.
+
+use crate::{Diagnostic, SourceFile};
+
+const RULE: &str = "forbid-unsafe";
+
+/// Runs the rule over one file (no-op unless it is a crate root).
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !is_crate_root(&file.path) {
+        return;
+    }
+    let has_forbid = (0..file.tokens.len()).any(|i| {
+        file.matches_seq(
+            i,
+            &[
+                ('p', "#"),
+                ('p', "!"),
+                ('p', "["),
+                ('i', "forbid"),
+                ('p', "("),
+                ('i', "unsafe_code"),
+                ('p', ")"),
+                ('p', "]"),
+            ],
+        )
+    });
+    if !has_forbid {
+        out.push(Diagnostic {
+            file: file.path.clone(),
+            line: 1,
+            rule: RULE,
+            message: "crate root is missing #![forbid(unsafe_code)]".to_owned(),
+        });
+    }
+}
+
+/// Whether a workspace-relative path names a crate root.
+fn is_crate_root(path: &str) -> bool {
+    path.ends_with("src/lib.rs")
+        || path.ends_with("src/main.rs")
+        || (path.contains("/src/bin/") && path.ends_with(".rs"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(path.into(), src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn missing_forbid_is_flagged_on_roots_only() {
+        assert_eq!(run("crates/cli/src/main.rs", "fn main() {}").len(), 1);
+        assert_eq!(run("crates/bench/src/bin/tool.rs", "fn main() {}").len(), 1);
+        assert!(run("crates/core/src/seeker.rs", "fn f() {}").is_empty());
+    }
+
+    #[test]
+    fn present_forbid_passes() {
+        assert!(run(
+            "crates/core/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}",
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,265 @@
+//! Rule `hash-iter`: iterating a `HashMap`/`HashSet` in the
+//! determinism-critical crates is flagged unless the surrounding function
+//! visibly restores an order (a `sort*` call or a BTree collection) or the
+//! iteration feeds an order-free aggregation (`count`, `sum`, `any`, …).
+//! Hash iteration order varies across processes (SipHash keys) and across
+//! std versions, so anything ordered that it feeds — eviction choices,
+//! rendered output, recommendation lists — silently diverges between
+//! runs.
+//!
+//! This is a heuristic, not a proof: identifiers whose declared type or
+//! initializer mentions `HashMap`/`HashSet` are tracked file-wide (which
+//! covers struct fields accessed as `self.field`), and absolution scans
+//! the enclosing function. Genuinely order-free iterations the heuristic
+//! cannot see get a justified `vslint::allow(hash-iter)`.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokenKind;
+use crate::{Diagnostic, SourceFile};
+
+use super::in_determinism_scope;
+
+const RULE: &str = "hash-iter";
+
+/// Methods that iterate the collection in hash order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Function-level absolution: an explicit re-ordering downstream.
+const ORDERING_IDENTS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_by_cached_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+];
+
+/// Chain-level absolution: aggregations whose result is independent of
+/// visit order. `min`/`max` qualify (ties between equal values are still
+/// that value); `min_by_key`/`max_by_key` do NOT (ties pick an arbitrary
+/// element) and are deliberately absent.
+const ORDER_FREE_SINKS: &[&str] = &[
+    "count", "len", "sum", "any", "all", "min", "max", "contains", "is_empty", "fold",
+];
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !in_determinism_scope(&file.path) {
+        return;
+    }
+    let hash_idents = collect_hash_idents(file);
+    if hash_idents.is_empty() {
+        return;
+    }
+    for i in 0..file.tokens.len() {
+        if file.is_test(i) {
+            continue;
+        }
+        let t = &file.tokens[i];
+        if t.kind != TokenKind::Ident || !hash_idents.contains(t.text.as_str()) {
+            continue;
+        }
+        // `name.iter()` / `self.name.values()` …
+        let is_iter_call = file.tok(i + 1).is_some_and(|d| d.is_punct('.'))
+            && file
+                .tok(i + 2)
+                .is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
+            && file.tok(i + 3).is_some_and(|p| p.is_punct('('));
+        // `for k in &name {` / `for (k, v) in name {` — the collection is
+        // the loop iterable directly (IntoIterator on &HashMap).
+        let is_for_loop =
+            file.tok(i + 1).is_some_and(|b| b.is_punct('{')) && preceded_by_for_in(file, i);
+        if !is_iter_call && !is_for_loop {
+            continue;
+        }
+        if absolved(file, i) {
+            continue;
+        }
+        out.push(Diagnostic {
+            file: file.path.clone(),
+            line: t.line,
+            rule: RULE,
+            message: format!(
+                "iteration over HashMap/HashSet `{}` in hash order may feed ordered \
+                 output; sort the results, use a BTree collection, or justify with \
+                 vslint::allow",
+                t.text
+            ),
+        });
+    }
+}
+
+/// Whether the iteration at token `i` is absolved: the enclosing function
+/// re-orders somewhere, or the call chain ends in an order-free sink.
+fn absolved(file: &SourceFile, i: usize) -> bool {
+    if let Some((start, end)) = file.enclosing_fn(i) {
+        for j in start..=end {
+            let t = &file.tokens[j];
+            if t.kind == TokenKind::Ident && ORDERING_IDENTS.contains(&t.text.as_str()) {
+                return true;
+            }
+        }
+    }
+    // Scan the rest of the statement (crudely: until the next `;`) for an
+    // order-free sink in the same chain.
+    let mut j = i + 1;
+    while let Some(t) = file.tok(j) {
+        if t.is_punct(';') {
+            break;
+        }
+        if t.kind == TokenKind::Ident && ORDER_FREE_SINKS.contains(&t.text.as_str()) {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Whether token `i` (the collection name) sits in `for <pat> in [&mut] name`.
+fn preceded_by_for_in(file: &SourceFile, i: usize) -> bool {
+    // Walk back over `&`, `mut`, then require `in`, then a `for` within a
+    // few tokens of pattern.
+    let mut j = i;
+    while j > 0 && (file.tokens[j - 1].is_punct('&') || file.tokens[j - 1].is_ident("mut")) {
+        j -= 1;
+    }
+    if j == 0 || !file.tokens[j - 1].is_ident("in") {
+        return false;
+    }
+    // Scan back a bounded window for the `for` keyword.
+    let lo = j.saturating_sub(16);
+    (lo..j).rev().any(|k| file.tokens[k].is_ident("for"))
+}
+
+/// Collects identifiers declared or initialized as `HashMap`/`HashSet`
+/// anywhere in the file: `name: HashMap<..>` (bindings, params, struct
+/// fields) and `name = HashMap::new()` / `with_capacity`. Wrappers like
+/// `Arc<Mutex<HashMap<..>>>` still mention `HashMap` within the
+/// declaration window, so wrapped fields are tracked too — guard methods
+/// (`.lock()`) between the name and the iteration call don't matter
+/// because detection keys on the *name* adjacent to an iteration method.
+fn collect_hash_idents(file: &SourceFile) -> BTreeSet<&str> {
+    let mut out = BTreeSet::new();
+    for i in 0..file.tokens.len() {
+        let t = &file.tokens[i];
+        if t.kind != TokenKind::Ident || t.text == "HashMap" || t.text == "HashSet" {
+            continue;
+        }
+        // `name :` (not `::`) followed within a short window by
+        // HashMap/HashSet before the declaration ends.
+        let colon = file.tok(i + 1).is_some_and(|c| c.is_punct(':'))
+            && !file.tok(i + 2).is_some_and(|c| c.is_punct(':'));
+        // `name = HashMap::new(..)` — `=` but not `==` / `=>`.
+        let assign = file.tok(i + 1).is_some_and(|c| c.is_punct('='))
+            && !file
+                .tok(i + 2)
+                .is_some_and(|c| c.is_punct('=') || c.is_punct('>'));
+        if !colon && !assign {
+            continue;
+        }
+        let mut j = i + 2;
+        let limit = j + 24;
+        let mut angle = 0i32;
+        while let Some(t2) = file.tok(j) {
+            if j > limit {
+                break;
+            }
+            match t2.kind {
+                TokenKind::Ident if t2.text == "HashMap" || t2.text == "HashSet" => {
+                    out.insert(file.tokens[i].text.as_str());
+                    break;
+                }
+                TokenKind::Punct => {
+                    match t2.text.as_str() {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        // Declaration ends at these when not nested in
+                        // generics: next field/param/statement.
+                        "," | ";" | ")" | "{" | "}" if angle <= 0 => break,
+                        "=" if !assign && angle <= 0 => break,
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(path.into(), src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unsorted_iteration_of_declared_maps() {
+        let diags = run(
+            "crates/core/src/x.rs",
+            "struct S { m: HashMap<String, u32> }\n\
+             impl S { fn f(&self) -> Vec<u32> { self.m.values().copied().collect() } }",
+        );
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("`m`"));
+    }
+
+    #[test]
+    fn sort_in_function_absolves() {
+        assert!(run(
+            "crates/core/src/x.rs",
+            "fn f(m: &HashMap<String, u32>) -> Vec<u32> {\n\
+             let mut v: Vec<u32> = m.values().copied().collect(); v.sort(); v }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn order_free_sinks_absolve() {
+        assert!(run(
+            "crates/core/src/x.rs",
+            "fn f(m: &HashMap<String, u32>) -> u64 { m.values().map(|v| *v as u64).sum::<u64>() }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn for_loop_over_map_is_flagged() {
+        let diags = run(
+            "crates/core/src/x.rs",
+            "fn f(m: &HashMap<String, u32>, out: &mut Vec<u32>) {\n\
+             for (_k, v) in m { out.push(*v); } }",
+        );
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn non_hash_collections_pass() {
+        assert!(run(
+            "crates/core/src/x.rs",
+            "fn f(m: &BTreeMap<String, u32>) -> Vec<u32> { m.values().copied().collect() }",
+        )
+        .is_empty());
+    }
+}

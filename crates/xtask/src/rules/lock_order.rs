@@ -1,0 +1,220 @@
+//! Rule `lock-order`: in `crates/server` and `crates/catalog`, acquiring
+//! a second lock while an earlier guard is still live in the same
+//! function is flagged. Nested acquisition is how the registry/cache
+//! deadlocks are born; every such site must either drop the first guard
+//! first or carry a `vslint::allow(lock-order)` documenting the global
+//! acquisition order that makes it safe.
+//!
+//! Acquisitions are zero-argument `.lock()` / `.read()` / `.write()`
+//! calls (`io::Read::read(&mut buf)` takes an argument and is ignored).
+//! A `let`-bound guard is live until `drop(guard)` or the end of its
+//! enclosing block; an unbound (temporary) guard is live to the end of
+//! its statement.
+
+use crate::lexer::TokenKind;
+use crate::{Diagnostic, SourceFile};
+
+const RULE: &str = "lock-order";
+const SCOPE: &[&str] = &["crates/server/src/", "crates/catalog/src/"];
+const ACQUIRE: &[&str] = &["lock", "read", "write"];
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !SCOPE.iter().any(|p| file.path.starts_with(p)) {
+        return;
+    }
+    let sites = acquisition_sites(file);
+    for (idx, site) in sites.iter().enumerate() {
+        let live_end = liveness_end(file, site);
+        for later in &sites[idx + 1..] {
+            if later.token > live_end {
+                break;
+            }
+            if later.fn_range != site.fn_range {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: file.path.clone(),
+                line: file.tokens[later.token].line,
+                rule: RULE,
+                message: format!(
+                    ".{}() acquired while the guard from .{}() on line {} is live; \
+                     drop the first guard or document the lock order with vslint::allow",
+                    file.tokens[later.token].text,
+                    file.tokens[site.token].text,
+                    file.tokens[site.token].line,
+                ),
+            });
+        }
+    }
+}
+
+/// One `.lock()`-style acquisition.
+struct Site {
+    /// Token index of the method name.
+    token: usize,
+    /// Identifier the guard is `let`-bound to, if any.
+    bound: Option<String>,
+    /// Enclosing fn body range (sites in different fns never interact).
+    fn_range: (usize, usize),
+}
+
+fn acquisition_sites(file: &SourceFile) -> Vec<Site> {
+    let mut out = Vec::new();
+    for i in 0..file.tokens.len() {
+        if file.is_test(i) {
+            continue;
+        }
+        let t = &file.tokens[i];
+        let zero_arg_call = t.kind == TokenKind::Ident
+            && ACQUIRE.contains(&t.text.as_str())
+            && i > 0
+            && file.tokens[i - 1].is_punct('.')
+            && file.tok(i + 1).is_some_and(|p| p.is_punct('('))
+            && file.tok(i + 2).is_some_and(|p| p.is_punct(')'));
+        if !zero_arg_call {
+            continue;
+        }
+        let Some(fn_range) = file.enclosing_fn(i) else {
+            continue;
+        };
+        out.push(Site {
+            token: i,
+            bound: binding_ident(file, i),
+            fn_range,
+        });
+    }
+    out
+}
+
+/// Walks back to the start of the statement containing token `i` and
+/// returns the identifier of a `let <ident> [: ty] =` binding, if the
+/// statement is one.
+fn binding_ident(file: &SourceFile, i: usize) -> Option<String> {
+    let mut j = i;
+    while j > 0 {
+        let t = &file.tokens[j - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        j -= 1;
+    }
+    if !file.tokens.get(j)?.is_ident("let") {
+        return None;
+    }
+    let mut k = j + 1;
+    if file.tok(k).is_some_and(|t| t.is_ident("mut")) {
+        k += 1;
+    }
+    let name = file.tok(k)?;
+    if name.kind == TokenKind::Ident {
+        Some(name.text.clone())
+    } else {
+        None
+    }
+}
+
+/// Last token index at which the guard acquired at `site` is still live.
+fn liveness_end(file: &SourceFile, site: &Site) -> usize {
+    match &site.bound {
+        None => {
+            // Temporary guard: dies at the end of the statement.
+            let mut j = site.token;
+            while let Some(t) = file.tok(j) {
+                if t.is_punct(';') {
+                    return j;
+                }
+                j += 1;
+            }
+            file.tokens.len().saturating_sub(1)
+        }
+        Some(name) => {
+            // Bound guard: until `drop(name)` or the end of the enclosing
+            // block (brace depth falls below the acquisition's).
+            let mut depth = 0i32;
+            let mut j = site.token;
+            while let Some(t) = file.tok(j) {
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth < 0 {
+                        return j;
+                    }
+                } else if t.is_ident("drop")
+                    && file.tok(j + 1).is_some_and(|p| p.is_punct('('))
+                    && file.tok(j + 2).is_some_and(|n| n.is_ident(name))
+                {
+                    return j;
+                }
+                j += 1;
+            }
+            file.tokens.len().saturating_sub(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("crates/server/src/registry.rs".into(), src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn nested_acquisition_is_flagged() {
+        let diags = run("fn f(&self) { let guard = self.sessions.read(); \
+             for s in list { let g2 = s.seeker.lock(); use_it(g2); } }");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("line 1"));
+    }
+
+    #[test]
+    fn dropped_guard_clears_liveness() {
+        assert!(run(
+            "fn f(&self) { let guard = self.sessions.read(); let ids = collect(&guard); \
+             drop(guard); let g2 = self.other.lock(); use_it(g2, ids); }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn sequential_statement_temporaries_pass() {
+        assert!(run("fn f(&self) { self.a.lock().push(1); self.b.lock().push(2); }").is_empty());
+    }
+
+    #[test]
+    fn temporary_with_nested_acquisition_is_flagged() {
+        assert_eq!(
+            run("fn f(&self) { self.a.lock().merge(self.b.lock().snapshot()); }").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn separate_functions_do_not_interact() {
+        assert!(run("fn f(&self) { let g = self.a.lock(); use_it(g); } \
+             fn h(&self) { let g = self.b.lock(); use_it(g); }",)
+        .is_empty());
+    }
+
+    #[test]
+    fn io_read_write_with_args_are_ignored() {
+        assert!(
+            run("fn f(s: &mut TcpStream, buf: &mut [u8]) { s.read(buf); s.write(buf); }",)
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn block_scoped_guard_dies_at_block_end() {
+        assert!(run(
+            "fn f(&self) { { let g = self.a.lock(); use_it(g); } let h = self.b.lock(); use_it(h); }",
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+//! Rule `metric-registry`: every `viewseeker_*` Prometheus series must be
+//! (a) defined exactly once in the `SERIES` table in
+//! `crates/server/src/prometheus.rs`, (b) emitted at least once by
+//! non-test server code, and (c) documented — its literal name must
+//! appear in both DESIGN.md and README.md. Conversely, any `viewseeker_*`
+//! string emitted anywhere in the server crate must be in the table.
+//! Together with the exporter's duplicate-emission debug assertion this
+//! keeps the scrape surface, the code, and the docs from drifting apart.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokenKind;
+use crate::{Diagnostic, SourceFile, Workspace};
+
+const RULE: &str = "metric-registry";
+const PROMETHEUS: &str = "crates/server/src/prometheus.rs";
+const SERVER_PREFIX: &str = "crates/server/src/";
+
+/// Runs the rule over the whole workspace.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let Some(prom) = ws.files.iter().find(|f| f.path == PROMETHEUS) else {
+        return;
+    };
+    let Some((table_start, table_end)) = series_table_range(prom) else {
+        out.push(Diagnostic {
+            file: PROMETHEUS.to_owned(),
+            line: 1,
+            rule: RULE,
+            message: "no `SERIES` table found; all viewseeker_* series must be \
+                      defined in one `static SERIES` slice"
+                .to_owned(),
+        });
+        return;
+    };
+
+    // (a) Definitions: names inside the SERIES table, each exactly once.
+    let mut defined: BTreeMap<&str, usize> = BTreeMap::new();
+    for i in table_start..=table_end {
+        let t = &prom.tokens[i];
+        if t.kind == TokenKind::Str && is_series_name(&t.text) {
+            if let Some(first_line) = defined.get(t.text.as_str()) {
+                out.push(Diagnostic {
+                    file: prom.path.clone(),
+                    line: t.line,
+                    rule: RULE,
+                    message: format!(
+                        "series `{}` defined more than once in SERIES (first on line {})",
+                        t.text, first_line
+                    ),
+                });
+            } else {
+                defined.insert(t.text.as_str(), t.line);
+            }
+        }
+    }
+
+    // (b) Emissions: viewseeker_* literals in non-test server code outside
+    // the table.
+    let mut emitted: BTreeMap<&str, (String, usize)> = BTreeMap::new();
+    for file in ws
+        .files
+        .iter()
+        .filter(|f| f.path.starts_with(SERVER_PREFIX))
+    {
+        let in_prom = file.path == PROMETHEUS;
+        for (i, t) in file.tokens.iter().enumerate() {
+            if t.kind != TokenKind::Str || !is_series_name(&t.text) || file.is_test(i) {
+                continue;
+            }
+            if in_prom && (table_start..=table_end).contains(&i) {
+                continue;
+            }
+            if !defined.contains_key(t.text.as_str()) {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: t.line,
+                    rule: RULE,
+                    message: format!("series `{}` emitted but not defined in SERIES", t.text),
+                });
+            }
+            emitted
+                .entry(t.text.as_str())
+                .or_insert_with(|| (file.path.clone(), t.line));
+        }
+    }
+    for (name, def_line) in &defined {
+        if !emitted.contains_key(name) {
+            out.push(Diagnostic {
+                file: prom.path.clone(),
+                line: *def_line,
+                rule: RULE,
+                message: format!("series `{name}` defined but never emitted"),
+            });
+        }
+    }
+
+    // (c) Documentation: each defined name appears verbatim in both docs.
+    for doc_name in ["DESIGN.md", "README.md"] {
+        let Some((_, text)) = ws.docs.iter().find(|(n, _)| n == doc_name) else {
+            continue;
+        };
+        for (name, def_line) in &defined {
+            if !text.contains(name) {
+                out.push(Diagnostic {
+                    file: prom.path.clone(),
+                    line: *def_line,
+                    rule: RULE,
+                    message: format!("series `{name}` undocumented in {doc_name}"),
+                });
+            }
+        }
+    }
+}
+
+/// Token range (inclusive) of the bracketed initializer of the `SERIES`
+/// item: from its opening `[` to the matching `]`.
+fn series_table_range(file: &SourceFile) -> Option<(usize, usize)> {
+    let series = (0..file.tokens.len()).find(|&i| {
+        file.tokens[i].is_ident("SERIES")
+            && i > 0
+            && (file.tokens[i - 1].is_ident("static") || file.tokens[i - 1].is_ident("const"))
+    })?;
+    // Skip past the type annotation (`: &[SeriesDef]`) to the `=`, then
+    // take the initializer's opening `[`.
+    let mut open = series;
+    while open < file.tokens.len() && !file.tokens[open].is_punct('=') {
+        if file.tokens[open].is_punct(';') {
+            return None;
+        }
+        open += 1;
+    }
+    while open < file.tokens.len() && !file.tokens[open].is_punct('[') {
+        if file.tokens[open].is_punct(';') {
+            return None;
+        }
+        open += 1;
+    }
+    let mut depth = 0usize;
+    for j in open..file.tokens.len() {
+        if file.tokens[j].is_punct('[') {
+            depth += 1;
+        } else if file.tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((open, j));
+            }
+        }
+    }
+    None
+}
+
+/// Whether a string literal is a Prometheus series name of ours:
+/// `viewseeker_` followed by lowercase/digit/underscore only.
+fn is_series_name(s: &str) -> bool {
+    s.strip_prefix("viewseeker_").is_some_and(|rest| {
+        !rest.is_empty()
+            && rest
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(prom: &str, docs: &[(&str, &str)]) -> Workspace {
+        Workspace::from_sources(
+            vec![(PROMETHEUS.to_owned(), prom.to_owned())],
+            docs.iter()
+                .map(|(n, t)| ((*n).to_owned(), (*t).to_owned()))
+                .collect(),
+        )
+    }
+
+    fn run(prom: &str, docs: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check(&ws(prom, docs), &mut out);
+        out
+    }
+
+    const DOCS_OK: &[(&str, &str)] = &[
+        ("DESIGN.md", "viewseeker_up documented here"),
+        ("README.md", "scrape viewseeker_up"),
+    ];
+
+    #[test]
+    fn consistent_registry_passes() {
+        let prom = "static SERIES: &[SeriesDef] = &[series(\"viewseeker_up\", \"gauge\")];\n\
+                    fn render() { emit(\"viewseeker_up\"); }";
+        assert!(run(prom, DOCS_OK).is_empty());
+    }
+
+    #[test]
+    fn duplicate_definition_is_flagged() {
+        let prom = "static SERIES: &[SeriesDef] = &[s(\"viewseeker_up\"), s(\"viewseeker_up\")];\n\
+                    fn render() { emit(\"viewseeker_up\"); }";
+        let diags = run(prom, DOCS_OK);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("more than once"));
+    }
+
+    #[test]
+    fn unemitted_and_undefined_are_flagged() {
+        let prom = "static SERIES: &[SeriesDef] = &[s(\"viewseeker_up\")];\n\
+                    fn render() { emit(\"viewseeker_rogue_total\"); }";
+        let diags = run(
+            prom,
+            &[
+                ("DESIGN.md", "viewseeker_up"),
+                ("README.md", "viewseeker_up"),
+            ],
+        );
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.message.contains("never emitted")));
+        assert!(diags.iter().any(|d| d.message.contains("not defined")));
+    }
+
+    #[test]
+    fn undocumented_series_is_flagged_per_doc() {
+        let prom = "static SERIES: &[SeriesDef] = &[s(\"viewseeker_up\")];\n\
+                    fn render() { emit(\"viewseeker_up\"); }";
+        let diags = run(prom, &[("DESIGN.md", "nothing"), ("README.md", "nothing")]);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.message.contains("undocumented")));
+    }
+
+    #[test]
+    fn test_code_literals_do_not_count_as_emission() {
+        let prom = "static SERIES: &[SeriesDef] = &[s(\"viewseeker_up\")];\n\
+                    #[cfg(test)]\nmod t { fn g() { assert(\"viewseeker_up\"); } }";
+        let diags = run(prom, DOCS_OK);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("never emitted"));
+    }
+}

@@ -1,0 +1,43 @@
+//! The vslint rule catalog. Each rule module exposes
+//! `check(file, &mut Vec<Diagnostic>)` (or `check(workspace, ..)` for
+//! workspace-level rules) and pushes raw findings; suppression handling
+//! lives in [`crate::Workspace::lint`].
+
+pub mod float_sum;
+pub mod forbid_unsafe;
+pub mod hash_iter;
+pub mod lock_order;
+pub mod metric_registry;
+pub mod no_panic;
+pub mod wall_clock;
+
+use crate::lexer::TokenKind;
+use crate::SourceFile;
+
+/// Whether token `i` is a method-call name: `.name(` with exactly this
+/// ident between the dot and the open paren.
+pub(crate) fn is_method_call(file: &SourceFile, i: usize) -> bool {
+    i > 0
+        && file.tokens[i].kind == TokenKind::Ident
+        && file.tokens[i - 1].is_punct('.')
+        && file.tok(i + 1).is_some_and(|t| t.is_punct('('))
+}
+
+/// The determinism-critical crates: rule families 2 (hash-iter,
+/// wall-clock) apply here. `cli`/`bench`/`eval` are presentation and
+/// measurement layers where wall-clock reads and report-order freedom are
+/// the point.
+pub(crate) const DETERMINISM_SCOPE: &[&str] = &[
+    "src/",
+    "crates/core/",
+    "crates/dataset/",
+    "crates/server/",
+    "crates/catalog/",
+    "crates/stats/",
+    "crates/learn/",
+];
+
+/// Whether `path` falls in the determinism-critical scope.
+pub(crate) fn in_determinism_scope(path: &str) -> bool {
+    DETERMINISM_SCOPE.iter().any(|p| path.starts_with(p))
+}

@@ -1,0 +1,71 @@
+//! Rule `wall-clock`: `Instant::now` / `SystemTime::now` are forbidden in
+//! the determinism-critical crates outside the two sanctioned homes —
+//! `core::trace` (the `Stopwatch` abstraction) and `server::metrics`.
+//! Wall-clock reads sprinkled through the recommendation path make replay
+//! and bit-identical testing impossible; time must flow through one
+//! auditable seam.
+
+use crate::{Diagnostic, SourceFile};
+
+use super::in_determinism_scope;
+
+const RULE: &str = "wall-clock";
+const EXEMPT_FILES: &[&str] = &["crates/core/src/trace.rs", "crates/server/src/metrics.rs"];
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !in_determinism_scope(&file.path) || EXEMPT_FILES.contains(&file.path.as_str()) {
+        return;
+    }
+    for i in 0..file.tokens.len() {
+        if file.is_test(i) {
+            continue;
+        }
+        for clock in ["Instant", "SystemTime"] {
+            if file.matches_seq(i, &[('i', clock), ('p', ":"), ('p', ":"), ('i', "now")]) {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: file.tokens[i].line,
+                    rule: RULE,
+                    message: format!(
+                        "{clock}::now() outside core::trace/server::metrics; route timing \
+                         through trace::Stopwatch or justify with vslint::allow"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(path.into(), src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_both_clocks_in_scope() {
+        let diags = run(
+            "crates/core/src/seeker.rs",
+            "fn f() { let t = Instant::now(); let s = std::time::SystemTime::now(); }",
+        );
+        assert_eq!(diags.len(), 2);
+    }
+
+    #[test]
+    fn exempt_files_and_tests_pass() {
+        assert!(run("crates/core/src/trace.rs", "fn f() { Instant::now(); }").is_empty());
+        assert!(run("crates/server/src/metrics.rs", "fn f() { Instant::now(); }").is_empty());
+        assert!(run(
+            "crates/core/src/seeker.rs",
+            "#[cfg(test)]\nmod t { fn f() { Instant::now(); } }",
+        )
+        .is_empty());
+        assert!(run("crates/bench/src/lib.rs", "fn f() { Instant::now(); }").is_empty());
+    }
+}

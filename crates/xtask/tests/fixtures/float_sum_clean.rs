@@ -1,0 +1,3 @@
+pub fn total(xs: &[u64]) -> u64 {
+    xs.iter().sum::<u64>()
+}

@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+
+pub fn id(x: u32) -> u32 {
+    x
+}

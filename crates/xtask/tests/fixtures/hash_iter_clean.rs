@@ -1,0 +1,7 @@
+use std::collections::HashMap;
+
+pub fn names(map: HashMap<String, u32>) -> Vec<String> {
+    let mut out: Vec<String> = map.keys().cloned().collect();
+    out.sort();
+    out
+}

@@ -1,0 +1,6 @@
+use std::collections::HashMap;
+
+pub fn values(map: HashMap<String, u32>) -> Vec<u32> {
+    // vslint::allow(hash-iter): the caller re-sorts before display.
+    map.values().copied().collect()
+}

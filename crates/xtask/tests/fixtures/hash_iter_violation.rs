@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub fn names(map: HashMap<String, u32>) -> Vec<String> {
+    map.keys().cloned().collect()
+}

@@ -1,0 +1,9 @@
+use std::sync::Mutex;
+
+pub fn both(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let first = a.lock().unwrap_or_else(|e| e.into_inner());
+    let x = *first;
+    drop(first);
+    let second = b.lock().unwrap_or_else(|e| e.into_inner());
+    x + *second
+}

@@ -1,0 +1,13 @@
+use std::sync::Mutex;
+
+pub struct Pair {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+}
+
+pub fn both(p: &Pair) -> u32 {
+    let outer = p.outer.lock().unwrap_or_else(|e| e.into_inner());
+    // vslint::allow(lock-order): the global order is outer -> inner everywhere.
+    let inner = p.inner.lock().unwrap_or_else(|e| e.into_inner());
+    *outer + *inner
+}

@@ -1,0 +1,4 @@
+pub fn handler(input: Option<u32>, buf: &[u8]) -> Option<u32> {
+    let first = buf.first().copied()?;
+    Some(input? + u32::from(first))
+}

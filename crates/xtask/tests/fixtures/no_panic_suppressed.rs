@@ -1,0 +1,4 @@
+pub fn handler(buf: &[u8; 4]) -> u8 {
+    // vslint::allow(no-panic): the array type guarantees four bytes.
+    buf[0]
+}

@@ -1,0 +1,4 @@
+pub fn handler(input: Option<u32>, buf: &[u8]) -> u32 {
+    let first = buf[0];
+    input.unwrap() + u32::from(first)
+}

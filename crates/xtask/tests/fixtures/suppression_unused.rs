@@ -1,0 +1,4 @@
+pub fn id(x: u32) -> u32 {
+    // vslint::allow(float-sum): nothing here actually sums.
+    x
+}

@@ -1,0 +1,6 @@
+use std::time::SystemTime;
+
+pub fn stamp() -> SystemTime {
+    // vslint::allow(wall-clock): log timestamps are presentation only.
+    SystemTime::now()
+}

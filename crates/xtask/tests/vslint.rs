@@ -1,0 +1,329 @@
+#![forbid(unsafe_code)]
+//! Fixture-driven integration tests for vslint.
+//!
+//! Each rule gets three fixtures under `tests/fixtures/` (a directory
+//! cargo does not compile): a true positive, a clean rewrite, and a
+//! suppressed occurrence. The fixtures are linted through
+//! [`Workspace::from_sources`] at a virtual path inside the rule's
+//! scope, so these tests exercise the same pipeline as `cargo run -p
+//! viewseeker-xtask -- lint` — rule checks plus suppression matching —
+//! without touching the real tree. The final test lints the real tree:
+//! the shipped workspace must be violation-free.
+
+use viewseeker_xtask::{Diagnostic, Workspace};
+
+/// Lints one fixture placed at `path` inside a minimal workspace.
+fn lint_at(path: &str, source: &str) -> Vec<Diagnostic> {
+    let docs = vec![
+        ("DESIGN.md".to_owned(), String::new()),
+        ("README.md".to_owned(), String::new()),
+    ];
+    Workspace::from_sources(vec![(path.to_owned(), source.to_owned())], docs).lint()
+}
+
+fn rules(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+// ---------------------------------------------------------------- no-panic
+
+#[test]
+fn no_panic_fixture_is_flagged_with_lines() {
+    let diags = lint_at(
+        "crates/server/src/fixture.rs",
+        include_str!("fixtures/no_panic_violation.rs"),
+    );
+    assert_eq!(rules(&diags), vec!["no-panic", "no-panic"], "{diags:#?}");
+    assert_eq!(diags[0].line, 2, "indexing site");
+    assert_eq!(diags[1].line, 3, "unwrap site");
+}
+
+#[test]
+fn no_panic_clean_fixture_passes() {
+    let diags = lint_at(
+        "crates/server/src/fixture.rs",
+        include_str!("fixtures/no_panic_clean.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn no_panic_suppression_with_justification_is_honoured() {
+    let diags = lint_at(
+        "crates/server/src/fixture.rs",
+        include_str!("fixtures/no_panic_suppressed.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn no_panic_does_not_apply_outside_its_scope() {
+    let diags = lint_at(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/no_panic_violation.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+// --------------------------------------------------------------- hash-iter
+
+#[test]
+fn hash_iter_fixture_is_flagged() {
+    let diags = lint_at(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/hash_iter_violation.rs"),
+    );
+    assert_eq!(rules(&diags), vec!["hash-iter"], "{diags:#?}");
+    assert_eq!(diags[0].line, 4);
+}
+
+#[test]
+fn hash_iter_sorted_fixture_passes() {
+    let diags = lint_at(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/hash_iter_clean.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn hash_iter_suppression_is_honoured() {
+    let diags = lint_at(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/hash_iter_suppressed.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+// -------------------------------------------------------------- wall-clock
+
+#[test]
+fn wall_clock_fixture_is_flagged() {
+    let diags = lint_at(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/wall_clock_violation.rs"),
+    );
+    assert_eq!(rules(&diags), vec!["wall-clock"], "{diags:#?}");
+    assert_eq!(diags[0].line, 4);
+}
+
+#[test]
+fn wall_clock_clean_fixture_passes() {
+    let diags = lint_at(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/wall_clock_clean.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn wall_clock_suppression_is_honoured() {
+    let diags = lint_at(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/wall_clock_suppressed.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+// --------------------------------------------------------------- float-sum
+
+#[test]
+fn float_sum_fixture_is_flagged() {
+    let diags = lint_at(
+        "crates/dataset/src/fixture.rs",
+        include_str!("fixtures/float_sum_violation.rs"),
+    );
+    assert_eq!(rules(&diags), vec!["float-sum"], "{diags:#?}");
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn float_sum_integer_turbofish_passes() {
+    let diags = lint_at(
+        "crates/dataset/src/fixture.rs",
+        include_str!("fixtures/float_sum_clean.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn float_sum_suppression_is_honoured() {
+    let diags = lint_at(
+        "crates/dataset/src/fixture.rs",
+        include_str!("fixtures/float_sum_suppressed.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+// ----------------------------------------------------------- forbid-unsafe
+
+#[test]
+fn missing_forbid_unsafe_on_crate_root_is_flagged() {
+    let diags = lint_at(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/forbid_unsafe_violation.rs"),
+    );
+    assert_eq!(rules(&diags), vec!["forbid-unsafe"], "{diags:#?}");
+    assert_eq!(diags[0].line, 1);
+}
+
+#[test]
+fn forbid_unsafe_attribute_passes() {
+    let diags = lint_at(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/forbid_unsafe_clean.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn non_root_modules_do_not_need_the_attribute() {
+    let diags = lint_at(
+        "crates/demo/src/helper.rs",
+        include_str!("fixtures/forbid_unsafe_violation.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+// -------------------------------------------------------------- lock-order
+
+#[test]
+fn nested_lock_fixture_is_flagged() {
+    let diags = lint_at(
+        "crates/server/src/fixture.rs",
+        include_str!("fixtures/lock_order_violation.rs"),
+    );
+    assert_eq!(rules(&diags), vec!["lock-order"], "{diags:#?}");
+    assert_eq!(diags[0].line, 5);
+}
+
+#[test]
+fn drop_before_second_lock_passes() {
+    let diags = lint_at(
+        "crates/server/src/fixture.rs",
+        include_str!("fixtures/lock_order_clean.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn lock_order_suppression_is_honoured() {
+    let diags = lint_at(
+        "crates/server/src/fixture.rs",
+        include_str!("fixtures/lock_order_suppressed.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+// ------------------------------------------------------------ suppressions
+
+#[test]
+fn allow_without_justification_is_rejected_and_does_not_suppress() {
+    let diags = lint_at(
+        "crates/dataset/src/fixture.rs",
+        include_str!("fixtures/suppression_missing_justification.rs"),
+    );
+    let mut found = rules(&diags);
+    found.sort_unstable();
+    assert_eq!(found, vec!["bad-suppression", "float-sum"], "{diags:#?}");
+}
+
+#[test]
+fn allow_matching_nothing_is_flagged_unused() {
+    let diags = lint_at(
+        "crates/dataset/src/fixture.rs",
+        include_str!("fixtures/suppression_unused.rs"),
+    );
+    assert_eq!(rules(&diags), vec!["unused-suppression"], "{diags:#?}");
+}
+
+// -------------------------------------------------- metric-registry (rule 3)
+
+#[test]
+fn metric_registry_cross_checks_table_emissions_and_docs() {
+    let prom = r#"static SERIES: &[SeriesDef] = &[
+    SeriesDef { name: "viewseeker_up", kind: "gauge", help: "Up." },
+];
+pub fn render() -> String { emit("viewseeker_up") }
+"#;
+    let clean = Workspace::from_sources(
+        vec![(
+            "crates/server/src/prometheus.rs".to_owned(),
+            prom.to_owned(),
+        )],
+        vec![
+            (
+                "DESIGN.md".to_owned(),
+                "`viewseeker_up` is the gauge".to_owned(),
+            ),
+            ("README.md".to_owned(), "scrape viewseeker_up".to_owned()),
+        ],
+    )
+    .lint();
+    assert!(clean.is_empty(), "{clean:#?}");
+
+    let undocumented = Workspace::from_sources(
+        vec![(
+            "crates/server/src/prometheus.rs".to_owned(),
+            prom.to_owned(),
+        )],
+        vec![
+            ("DESIGN.md".to_owned(), String::new()),
+            ("README.md".to_owned(), String::new()),
+        ],
+    )
+    .lint();
+    assert_eq!(
+        rules(&undocumented),
+        vec!["metric-registry", "metric-registry"],
+        "{undocumented:#?}"
+    );
+    assert!(undocumented
+        .iter()
+        .all(|d| d.message.contains("undocumented")));
+}
+
+#[test]
+fn metric_registry_flags_rogue_emission_outside_the_table() {
+    let prom = r#"static SERIES: &[SeriesDef] = &[
+    SeriesDef { name: "viewseeker_up", kind: "gauge", help: "Up." },
+];
+pub fn render() -> String { emit("viewseeker_up") + emit("viewseeker_rogue_total") }
+"#;
+    let diags = Workspace::from_sources(
+        vec![(
+            "crates/server/src/prometheus.rs".to_owned(),
+            prom.to_owned(),
+        )],
+        vec![
+            ("DESIGN.md".to_owned(), "viewseeker_up".to_owned()),
+            ("README.md".to_owned(), "viewseeker_up".to_owned()),
+        ],
+    )
+    .lint();
+    assert_eq!(rules(&diags), vec!["metric-registry"], "{diags:#?}");
+    assert!(diags[0].message.contains("not defined"));
+}
+
+// ---------------------------------------------------------------- self-test
+
+/// The shipped tree must lint clean — this is the same invariant the
+/// blocking CI job enforces, checked from the test suite so a violation
+/// fails `cargo test` too.
+#[test]
+fn shipped_workspace_is_violation_free() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let ws = Workspace::load(&root).expect("load workspace sources");
+    let diags = ws.lint();
+    assert!(
+        diags.is_empty(),
+        "vslint violations in the shipped tree:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
