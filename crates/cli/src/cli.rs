@@ -1,7 +1,7 @@
 //! Command-line parsing for the `viewseeker` binary.
 
 use viewseeker_core::MaterializeStrategy;
-use viewseeker_server::{LogFormat, LogLevel};
+use viewseeker_server::{IoModel, LogFormat, LogLevel};
 
 /// Usage text shown on parse errors and `--help`.
 pub const USAGE: &str = "\
@@ -24,6 +24,9 @@ USAGE:
                       [--log-format text|json]
                       [--log-level debug|info|warn|error|off]
                       [--executor naive|shared|fused]
+                      [--io blocking|event] [--max-inflight N] [--queue-deadline-ms MS]
+  viewseeker loadgen  --addr HOST:PORT [--connections N] [--duration SECS]
+                      [--feedback-rounds N] [--out FILE.json] [--assert-clean true|false]
   viewseeker dataset import  --data-dir DIR --csv FILE.csv [--name NAME]
   viewseeker dataset list    --data-dir DIR
   viewseeker dataset inspect --data-dir DIR --name NAME
@@ -154,6 +157,28 @@ pub enum Command {
         log_level: LogLevel,
         /// Default materialization executor for sessions.
         executor: MaterializeStrategy,
+        /// Which I/O path serves requests (`blocking` or `event`).
+        io: IoModel,
+        /// Event path: max requests dispatched to workers at once.
+        max_inflight: usize,
+        /// Event path: admission-queue deadline before `503` shedding.
+        queue_deadline_ms: u64,
+    },
+    /// Closed-loop load generator replaying interactive sessions.
+    Loadgen {
+        /// Target server address (`host:port`).
+        addr: String,
+        /// Concurrent keep-alive connections.
+        connections: usize,
+        /// Run duration in seconds.
+        duration_secs: u64,
+        /// Feedback rounds per session (the `k` in create → (next →
+        /// feedback) × k → recommend → delete).
+        feedback_rounds: usize,
+        /// Write the JSON report here (`None` = stdout only).
+        out: Option<String>,
+        /// Exit nonzero on any protocol error.
+        assert_clean: bool,
     },
     /// Manage the on-disk dataset catalog (VSC1 columnar store).
     Dataset(DatasetCmd),
@@ -293,6 +318,17 @@ impl Command {
                 log_format: flags.get_parsed("--log-format")?.unwrap_or_default(),
                 log_level: flags.get_parsed("--log-level")?.unwrap_or_default(),
                 executor: flags.get_parsed("--executor")?.unwrap_or_default(),
+                io: flags.get_parsed("--io")?.unwrap_or_default(),
+                max_inflight: flags.get_parsed("--max-inflight")?.unwrap_or(256),
+                queue_deadline_ms: flags.get_parsed("--queue-deadline-ms")?.unwrap_or(500),
+            }),
+            "loadgen" => Ok(Command::Loadgen {
+                addr: flags.require("--addr")?,
+                connections: flags.get_parsed("--connections")?.unwrap_or(32),
+                duration_secs: flags.get_parsed("--duration")?.unwrap_or(10),
+                feedback_rounds: flags.get_parsed("--feedback-rounds")?.unwrap_or(3),
+                out: flags.get("--out"),
+                assert_clean: flags.get_parsed("--assert-clean")?.unwrap_or(true),
             }),
             "query" => Ok(Command::Query {
                 data: flags.require("--data")?,
@@ -529,6 +565,9 @@ mod tests {
                 log_format: LogFormat::Text,
                 log_level: LogLevel::Info,
                 executor: MaterializeStrategy::Fused,
+                io: IoModel::Event,
+                max_inflight: 256,
+                queue_deadline_ms: 500,
             }
         );
         let c = parse(&[
@@ -553,6 +592,12 @@ mod tests {
             "warn",
             "--executor",
             "naive",
+            "--io",
+            "blocking",
+            "--max-inflight",
+            "64",
+            "--queue-deadline-ms",
+            "250",
         ])
         .unwrap();
         assert_eq!(
@@ -568,6 +613,9 @@ mod tests {
                 log_format: LogFormat::Json,
                 log_level: LogLevel::Warn,
                 executor: MaterializeStrategy::Naive,
+                io: IoModel::Blocking,
+                max_inflight: 64,
+                queue_deadline_ms: 250,
             }
         );
         assert!(parse(&["serve", "--workers", "two"]).is_err());
@@ -575,7 +623,53 @@ mod tests {
         assert!(parse(&["serve", "--log-level", "verbose"]).is_err());
         assert!(parse(&["serve", "--catalog-mem-budget", "lots"]).is_err());
         assert!(parse(&["serve", "--executor", "turbo"]).is_err());
+        assert!(parse(&["serve", "--io", "fiber"]).is_err());
         assert!(parse(&["explore", "--data", "x.csv", "--executor", "turbo"]).is_err());
+    }
+
+    #[test]
+    fn parses_loadgen_with_defaults() {
+        let c = parse(&["loadgen", "--addr", "127.0.0.1:7878"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Loadgen {
+                addr: "127.0.0.1:7878".into(),
+                connections: 32,
+                duration_secs: 10,
+                feedback_rounds: 3,
+                out: None,
+                assert_clean: true,
+            }
+        );
+        let c = parse(&[
+            "loadgen",
+            "--addr",
+            "127.0.0.1:7878",
+            "--connections",
+            "5000",
+            "--duration",
+            "30",
+            "--feedback-rounds",
+            "2",
+            "--out",
+            "bench.json",
+            "--assert-clean",
+            "false",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Loadgen {
+                addr: "127.0.0.1:7878".into(),
+                connections: 5000,
+                duration_secs: 30,
+                feedback_rounds: 2,
+                out: Some("bench.json".into()),
+                assert_clean: false,
+            }
+        );
+        assert!(parse(&["loadgen"]).is_err(), "--addr is required");
+        assert!(parse(&["loadgen", "--addr", "x", "--connections", "many"]).is_err());
     }
 
     #[test]

@@ -71,8 +71,11 @@ pub fn run(cmd: Command) -> Result<(), String> {
             log_format,
             log_level,
             executor,
-        } => serve(
-            &addr,
+            io,
+            max_inflight,
+            queue_deadline_ms,
+        } => serve(ServeArgs {
+            addr,
             workers,
             max_sessions,
             ttl_secs,
@@ -82,6 +85,24 @@ pub fn run(cmd: Command) -> Result<(), String> {
             log_format,
             log_level,
             executor,
+            io,
+            max_inflight,
+            queue_deadline_ms,
+        }),
+        Command::Loadgen {
+            addr,
+            connections,
+            duration_secs,
+            feedback_rounds,
+            out,
+            assert_clean,
+        } => loadgen(
+            &addr,
+            connections,
+            duration_secs,
+            feedback_rounds,
+            out,
+            assert_clean,
         ),
         Command::Dataset(cmd) => dataset(cmd),
         Command::Scatter {
@@ -104,9 +125,10 @@ pub fn run(cmd: Command) -> Result<(), String> {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn serve(
-    addr: &str,
+/// Everything `viewseeker serve` needs, bundled so the flag list can grow
+/// without the argument count.
+struct ServeArgs {
+    addr: String,
     workers: usize,
     max_sessions: usize,
     ttl_secs: u64,
@@ -116,9 +138,29 @@ fn serve(
     log_format: viewseeker_server::LogFormat,
     log_level: viewseeker_server::LogLevel,
     executor: viewseeker_core::MaterializeStrategy,
-) -> Result<(), String> {
+    io: viewseeker_server::IoModel,
+    max_inflight: usize,
+    queue_deadline_ms: u64,
+}
+
+fn serve(args: ServeArgs) -> Result<(), String> {
+    let ServeArgs {
+        addr,
+        workers,
+        max_sessions,
+        ttl_secs,
+        snapshot_dir,
+        data_dir,
+        catalog_mem_budget,
+        log_format,
+        log_level,
+        executor,
+        io,
+        max_inflight,
+        queue_deadline_ms,
+    } = args;
     let config = viewseeker_server::ServerConfig {
-        addr: addr.to_owned(),
+        addr: addr.clone(),
         workers,
         max_sessions,
         ttl: std::time::Duration::from_secs(ttl_secs),
@@ -128,11 +170,14 @@ fn serve(
         log_format,
         log_level,
         default_executor: executor,
+        io,
+        max_inflight,
+        queue_deadline_ms,
     };
     let handle =
         viewseeker_server::serve_app(&config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!(
-        "viewseeker-server listening on http://{} ({workers} workers, \
+        "viewseeker-server listening on http://{} ({io:?} I/O, {workers} workers, \
          {max_sessions} max sessions, {ttl_secs}s TTL)",
         handle.addr()
     );
@@ -150,6 +195,37 @@ fn serve(
     loop {
         std::thread::park();
     }
+}
+
+/// `viewseeker loadgen`: closed-loop session replay against a running
+/// server; prints the JSON report and optionally writes it to `--out`.
+fn loadgen(
+    addr: &str,
+    connections: usize,
+    duration_secs: u64,
+    feedback_rounds: usize,
+    out: Option<String>,
+    assert_clean: bool,
+) -> Result<(), String> {
+    let config = viewseeker_loadgen::Config {
+        addr: addr.to_owned(),
+        connections,
+        duration: std::time::Duration::from_secs(duration_secs),
+        feedback_rounds,
+    };
+    let report = viewseeker_loadgen::run(&config).map_err(|e| format!("loadgen: {e}"))?;
+    let json = report.to_json();
+    println!("{json}");
+    if let Some(path) = out {
+        std::fs::write(&path, format!("{json}\n")).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if assert_clean && report.protocol_errors > 0 {
+        return Err(format!(
+            "{} protocol errors over {} requests",
+            report.protocol_errors, report.requests
+        ));
+    }
+    Ok(())
 }
 
 /// `viewseeker dataset import|list|inspect` over a catalog directory. No

@@ -1,0 +1,587 @@
+//! `viewseeker-loadgen`: a closed-loop load generator for the ViewSeeker
+//! HTTP service.
+//!
+//! Each of N concurrent keep-alive connections replays the interactive
+//! session mix end to end — create → (next → feedback) × k → recommend →
+//! delete — then immediately starts a fresh session, until the configured
+//! duration elapses. "Closed-loop" means a connection never has more than
+//! one request in flight: the next request is issued only after the
+//! previous response is fully parsed, so offered load adapts to server
+//! latency instead of queueing unboundedly inside the client.
+//!
+//! The client rides the same building blocks as the server's event path:
+//! [`viewseeker_net::sys::Poller`] for readiness, the incremental
+//! [`viewseeker_net::http1`] parser for framing, and the log-linear
+//! [`viewseeker_net::hist::Histogram`] for latency quantiles. A `503`
+//! answer (admission-control shedding) is counted and the request is
+//! retried on the same connection; it is not a protocol error. Protocol
+//! errors — truncated frames, unparseable responses, unexpected EOF
+//! mid-response — are what the differential/bench harness asserts to be
+//! zero.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+use viewseeker_net::hist::Histogram;
+use viewseeker_net::http1::{parse_response, ParsedResponse};
+use viewseeker_net::sys::{Interest, Poller};
+
+/// Scores the simulated user assigns across feedback rounds (cycled).
+const SCORES: &[&str] = &["0.9", "0.1", "0.7", "0.4", "0.8"];
+
+/// Session-create spec template; `{seed}` varies per connection+session so
+/// concurrent sessions exercise distinct seeker states.
+const DATASET: &str = "diab";
+const ROWS: usize = 200;
+const QUERY: &str = "a0 = 'a0_v0'";
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Target server address (`host:port`).
+    pub addr: String,
+    /// Concurrent keep-alive connections.
+    pub connections: usize,
+    /// How long to keep the loop running.
+    pub duration: Duration,
+    /// Feedback rounds per session (the `k` in the mix).
+    pub feedback_rounds: usize,
+}
+
+/// Aggregate results of one load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Connections that were actually established.
+    pub connections: usize,
+    /// Wall-clock run length in seconds.
+    pub duration_secs: f64,
+    /// Responses received (any status).
+    pub requests: u64,
+    /// Full sessions completed (create through delete).
+    pub sessions: u64,
+    /// Non-2xx, non-503 responses.
+    pub errors: u64,
+    /// Framing/transport failures: unparseable responses, EOF
+    /// mid-response, connect failures mid-run.
+    pub protocol_errors: u64,
+    /// `503 Service Unavailable` responses (admission-control sheds).
+    pub shed: u64,
+    /// Connections re-established after a server-initiated close.
+    pub reconnects: u64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed request latency, microseconds.
+    pub max_us: u64,
+}
+
+impl Report {
+    /// Renders the report as a single JSON object (the `loadgen` CLI
+    /// output and the `BENCH_net.json` payload).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"connections\": {}, \"duration_secs\": {:.3}, \"requests\": {}, \
+             \"sessions\": {}, \"errors\": {}, \"protocol_errors\": {}, \
+             \"shed\": {}, \"reconnects\": {}, \"throughput_rps\": {:.1}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+            self.connections,
+            self.duration_secs,
+            self.requests,
+            self.sessions,
+            self.errors,
+            self.protocol_errors,
+            self.shed,
+            self.reconnects,
+            self.throughput_rps,
+            self.p50_us,
+            self.p99_us,
+            self.max_us,
+        )
+    }
+}
+
+/// Where a connection is in the session script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Create,
+    Next(usize),
+    Feedback(usize),
+    Recommend,
+    Delete,
+}
+
+/// One closed-loop connection's state machine.
+struct Client {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    written: usize,
+    interest: Interest,
+    step: Step,
+    session: String,
+    view: String,
+    seed: u64,
+    sent_at: Instant,
+    /// A request is outstanding (response not yet parsed).
+    awaiting: bool,
+}
+
+/// Mutable counters shared across the run loop.
+#[derive(Default)]
+struct Counters {
+    requests: u64,
+    sessions: u64,
+    errors: u64,
+    protocol_errors: u64,
+    shed: u64,
+    reconnects: u64,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(Client {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            interest: Interest::READ,
+            step: Step::Create,
+            session: String::new(),
+            view: String::new(),
+            seed: 0,
+            sent_at: Instant::now(),
+            awaiting: false,
+        })
+    }
+
+    /// Queues the request for the current step.
+    fn issue(&mut self) {
+        let (method, path, body) = match self.step {
+            Step::Create => (
+                "POST",
+                "/sessions".to_owned(),
+                format!(
+                    "{{\"dataset\": \"{DATASET}\", \"rows\": {ROWS}, \
+                     \"seed\": {}, \"query\": \"{QUERY}\"}}",
+                    self.seed
+                ),
+            ),
+            Step::Next(_) => (
+                "GET",
+                format!("/sessions/{}/next?m=1", self.session),
+                String::new(),
+            ),
+            Step::Feedback(i) => (
+                "POST",
+                format!("/sessions/{}/feedback", self.session),
+                format!(
+                    "{{\"view\": {}, \"score\": {}}}",
+                    self.view,
+                    SCORES[i % SCORES.len()]
+                ),
+            ),
+            Step::Recommend => (
+                "GET",
+                format!("/sessions/{}/recommend?k=3", self.session),
+                String::new(),
+            ),
+            Step::Delete => (
+                "DELETE",
+                format!("/sessions/{}", self.session),
+                String::new(),
+            ),
+        };
+        self.write_buf.extend_from_slice(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        );
+        self.sent_at = Instant::now();
+        self.awaiting = true;
+    }
+
+    /// Advances the script after a successful response; returns `true`
+    /// when a full session just completed.
+    fn advance(&mut self, body: &[u8], rounds: usize) -> bool {
+        match self.step {
+            Step::Create => {
+                self.session = json_field(body, "id").unwrap_or_default();
+                self.step = if rounds == 0 {
+                    Step::Recommend
+                } else {
+                    Step::Next(0)
+                };
+            }
+            Step::Next(i) => {
+                self.view = json_field(body, "id").unwrap_or_default();
+                self.step = Step::Feedback(i);
+            }
+            Step::Feedback(i) => {
+                self.step = if i + 1 < rounds {
+                    Step::Next(i + 1)
+                } else {
+                    Step::Recommend
+                };
+            }
+            Step::Recommend => self.step = Step::Delete,
+            Step::Delete => {
+                self.seed = self.seed.wrapping_add(1_000_003);
+                self.step = Step::Create;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn wants_write(&self) -> bool {
+        self.written < self.write_buf.len()
+    }
+
+    /// Writes as much of the pending request as the socket accepts.
+    fn flush(&mut self) -> io::Result<()> {
+        while self.wants_write() {
+            let chunk = self.write_buf.get(self.written..).unwrap_or_default();
+            match (&self.stream).write(chunk) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if !self.wants_write() {
+            self.write_buf.clear();
+            self.written = 0;
+        }
+        Ok(())
+    }
+}
+
+/// Extracts the first `"key": value` from a JSON body, stripping quotes —
+/// enough to pull session and view ids out of known-shape responses
+/// without a JSON parser.
+fn json_field(body: &[u8], key: &str) -> Option<String> {
+    let text = std::str::from_utf8(body).ok()?;
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = text.get(start..)?.trim_start();
+    let end = rest
+        .char_indices()
+        .find(|(_, c)| matches!(c, ',' | '}' | ']'))
+        .map_or(rest.len(), |(i, _)| i);
+    Some(rest.get(..end)?.trim().trim_matches('"').to_owned())
+}
+
+/// Runs the closed loop and aggregates a [`Report`].
+///
+/// # Errors
+///
+/// Fails when the address does not resolve, when no connection can be
+/// established at all, or when the platform lacks epoll (`Unsupported`).
+pub fn run(config: &Config) -> io::Result<Report> {
+    if config.connections == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "loadgen needs at least one connection",
+        ));
+    }
+    let addr = config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolves to nothing")
+    })?;
+
+    let mut poller = Poller::new()?;
+    let mut counters = Counters::default();
+    let mut latency = Histogram::new();
+
+    // Ramp: establish every connection and queue its first create. The
+    // clock starts before the ramp so throughput reflects the whole run.
+    let started = Instant::now();
+    let deadline = started + config.duration;
+    let mut clients: Vec<Option<Client>> = Vec::with_capacity(config.connections);
+    for i in 0..config.connections {
+        match Client::connect(addr) {
+            Ok(mut client) => {
+                client.seed = i as u64;
+                client.issue();
+                client.interest = Interest::READ_WRITE;
+                poller.add(client.stream.as_raw_fd(), i as u64, client.interest)?;
+                clients.push(Some(client));
+            }
+            // The first connect failing means the server is not there at
+            // all; later failures (fd limits, backlog overflow) degrade
+            // the run instead of aborting it.
+            Err(e) if i == 0 => return Err(e),
+            Err(_) => {
+                counters.protocol_errors += 1;
+                clients.push(None);
+            }
+        }
+    }
+    let established = clients.iter().flatten().count();
+
+    let mut events = Vec::new();
+    let mut scratch = [0u8; 16 * 1024];
+    while Instant::now() < deadline {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let timeout_ms = i32::try_from(remaining.as_millis().min(100))
+            .unwrap_or(100)
+            .max(1);
+        events.clear();
+        poller.wait(timeout_ms, &mut events)?;
+        for &event in &events {
+            let index = usize::try_from(event.token).unwrap_or(usize::MAX);
+            let Some(slot) = clients.get_mut(index) else {
+                continue;
+            };
+            let Some(client) = slot.as_mut() else {
+                continue;
+            };
+            let mut failed = event.error;
+            if !failed && event.writable && client.flush().is_err() {
+                failed = true;
+            }
+            if !failed && event.readable {
+                failed = read_and_step(
+                    client,
+                    &mut scratch,
+                    config.feedback_rounds,
+                    &mut counters,
+                    &mut latency,
+                );
+            }
+            if failed {
+                counters.protocol_errors += u64::from(client.awaiting);
+                reconnect(&poller, slot, index, addr, &mut counters);
+            } else if let Some(client) = slot.as_mut() {
+                let wanted = if client.wants_write() {
+                    Interest::READ_WRITE
+                } else {
+                    Interest::READ
+                };
+                if wanted != client.interest {
+                    client.interest = wanted;
+                    let _ = poller.modify(client.stream.as_raw_fd(), event.token, wanted);
+                }
+            }
+        }
+    }
+
+    let elapsed = started.elapsed().as_secs_f64();
+    Ok(Report {
+        connections: established,
+        duration_secs: elapsed,
+        requests: counters.requests,
+        sessions: counters.sessions,
+        errors: counters.errors,
+        protocol_errors: counters.protocol_errors,
+        shed: counters.shed,
+        reconnects: counters.reconnects,
+        throughput_rps: if elapsed > 0.0 {
+            counters.requests as f64 / elapsed
+        } else {
+            0.0
+        },
+        p50_us: latency.quantile(0.50),
+        p99_us: latency.quantile(0.99),
+        max_us: latency.max_us(),
+    })
+}
+
+/// Drains readable bytes and processes any complete responses. Returns
+/// `true` when the connection is no longer usable.
+fn read_and_step(
+    client: &mut Client,
+    scratch: &mut [u8],
+    rounds: usize,
+    counters: &mut Counters,
+    latency: &mut Histogram,
+) -> bool {
+    loop {
+        match (&client.stream).read(scratch) {
+            Ok(0) => {
+                // EOF: either a clean server-side close between requests
+                // (reconnect) or a truncation mid-response (protocol
+                // error, counted by the caller via `awaiting`).
+                return true;
+            }
+            Ok(n) => client
+                .read_buf
+                .extend_from_slice(scratch.get(..n).unwrap_or_default()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return true,
+        }
+    }
+    loop {
+        match parse_response(&client.read_buf) {
+            Ok(None) => return false,
+            Ok(Some(parsed)) => {
+                client.read_buf.drain(..parsed.consumed);
+                if handle_response(client, &parsed, rounds, counters, latency) {
+                    return true;
+                }
+            }
+            Err(_) => {
+                counters.protocol_errors += 1;
+                client.awaiting = false;
+                return true;
+            }
+        }
+    }
+}
+
+/// Applies one parsed response to the state machine. Returns `true` when
+/// the server asked to close the connection.
+fn handle_response(
+    client: &mut Client,
+    parsed: &ParsedResponse,
+    rounds: usize,
+    counters: &mut Counters,
+    latency: &mut Histogram,
+) -> bool {
+    counters.requests += 1;
+    client.awaiting = false;
+    latency.record(u64::try_from(client.sent_at.elapsed().as_micros()).unwrap_or(u64::MAX));
+    if parsed.status == 503 {
+        // Shed by admission control: retry the same step on the same
+        // (still-alive) connection.
+        counters.shed += 1;
+    } else if parsed.status >= 300 {
+        counters.errors += 1;
+        // The session may be gone; restart the script from create.
+        client.seed = client.seed.wrapping_add(1_000_003);
+        client.step = Step::Create;
+    } else if client.advance(&parsed.body, rounds) {
+        counters.sessions += 1;
+    }
+    if parsed.keep_alive {
+        client.issue();
+        false
+    } else {
+        true
+    }
+}
+
+/// Replaces a dead connection in place; on connect failure the slot is
+/// abandoned for the rest of the run.
+fn reconnect(
+    poller: &Poller,
+    slot: &mut Option<Client>,
+    index: usize,
+    addr: SocketAddr,
+    counters: &mut Counters,
+) {
+    if let Some(old) = slot.take() {
+        let _ = poller.remove(old.stream.as_raw_fd());
+    }
+    match Client::connect(addr) {
+        Ok(mut client) => {
+            client.seed = (index as u64).wrapping_add(counters.reconnects.wrapping_mul(7919));
+            client.issue();
+            client.interest = Interest::READ_WRITE;
+            if poller
+                .add(client.stream.as_raw_fd(), index as u64, client.interest)
+                .is_ok()
+            {
+                counters.reconnects += 1;
+                *slot = Some(client);
+            }
+        }
+        Err(_) => counters.protocol_errors += 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_field_pulls_ids_out_of_known_shapes() {
+        assert_eq!(
+            json_field(br#"{"id": "s-12", "views": 40}"#, "id").as_deref(),
+            Some("s-12")
+        );
+        assert_eq!(
+            json_field(br#"{"id": 7, "rows": 200}"#, "id").as_deref(),
+            Some("7")
+        );
+        assert_eq!(json_field(b"not json", "id"), None);
+    }
+
+    #[test]
+    fn report_serializes_as_one_json_object() {
+        let report = Report {
+            connections: 8,
+            duration_secs: 2.0,
+            requests: 100,
+            sessions: 10,
+            errors: 0,
+            protocol_errors: 0,
+            shed: 3,
+            reconnects: 0,
+            throughput_rps: 50.0,
+            p50_us: 800,
+            p99_us: 2_000,
+            max_us: 3_000,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"protocol_errors\": 0"), "{json}");
+        assert!(json.contains("\"shed\": 3"), "{json}");
+    }
+
+    #[test]
+    fn script_advances_through_the_session_mix() {
+        let mut client = Client {
+            stream: TcpStream::connect(local_listener()).unwrap(),
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            interest: Interest::READ,
+            step: Step::Create,
+            session: String::new(),
+            view: String::new(),
+            seed: 0,
+            sent_at: Instant::now(),
+            awaiting: false,
+        };
+        assert!(!client.advance(br#"{"id": "s-1"}"#, 2));
+        assert_eq!(client.step, Step::Next(0));
+        assert_eq!(client.session, "s-1");
+        assert!(!client.advance(br#"{"id": 4}"#, 2));
+        assert_eq!(client.step, Step::Feedback(0));
+        assert_eq!(client.view, "4");
+        assert!(!client.advance(b"{}", 2));
+        assert_eq!(client.step, Step::Next(1));
+        assert!(!client.advance(br#"{"id": 9}"#, 2));
+        assert!(!client.advance(b"{}", 2));
+        assert_eq!(client.step, Step::Recommend);
+        assert!(!client.advance(b"{}", 2));
+        assert_eq!(client.step, Step::Delete);
+        assert!(client.advance(b"{}", 2), "delete completes the session");
+        assert_eq!(client.step, Step::Create);
+    }
+
+    fn local_listener() -> SocketAddr {
+        // A throwaway listener so the state-machine test can hold a real
+        // TcpStream without a server.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::mem::forget(listener);
+        addr
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-connection state: buffered reads, request sequencing, out-of-order
+//! completion reordering, buffered writes, keep-alive bookkeeping.
+//!
+//! The reactor owns the sockets and does the actual I/O; this module owns
+//! the pure buffer logic so it stays unit-testable without a socket.
+//! Pipelining makes ordering the one subtle part: requests are assigned
+//! per-connection sequence numbers as they parse, workers complete them in
+//! any order, and [`Conn::complete`]'s internal reorder buffer guarantees the
+//! encoded responses hit the write buffer in request order — HTTP/1.1's
+//! hard requirement.
+
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+
+use crate::http1::{encode_response, Response};
+
+/// State for one accepted connection.
+#[derive(Debug)]
+pub struct Conn {
+    /// The nonblocking socket.
+    pub stream: TcpStream,
+    /// Bytes read but not yet parsed into a request.
+    pub read_buf: Vec<u8>,
+    /// Encoded response bytes not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    /// Prefix of `write_buf` already written to the socket.
+    written: usize,
+    /// Sequence number the next parsed request will get.
+    pub next_seq: u64,
+    /// Sequence number the next flushed response must have.
+    flush_seq: u64,
+    /// Completed (response, keep_alive) pairs waiting on earlier seqs.
+    done: BTreeMap<u64, (Response, bool)>,
+    /// Requests parsed (dispatched or queued) but not yet flushed.
+    pub inflight: usize,
+    /// No further reads: flush what is buffered, then close.
+    pub closing: bool,
+}
+
+impl Conn {
+    /// Wraps a freshly-accepted socket.
+    #[must_use]
+    pub fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            next_seq: 0,
+            flush_seq: 0,
+            done: BTreeMap::new(),
+            inflight: 0,
+            closing: false,
+        }
+    }
+
+    /// Assigns the next request sequence number.
+    pub fn assign_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.inflight += 1;
+        seq
+    }
+
+    /// Records a completed response for `seq` and flushes every response
+    /// that is now in order. A `keep_alive == false` response marks the
+    /// connection closing: later pipelined responses are dropped (the
+    /// peer asked for the connection to end at that response).
+    pub fn complete(&mut self, seq: u64, response: Response, keep_alive: bool) {
+        self.done.insert(seq, (response, keep_alive));
+        self.flush_ready();
+    }
+
+    /// Moves in-order completions into the write buffer.
+    fn flush_ready(&mut self) {
+        while let Some((response, keep_alive)) = self.done.remove(&self.flush_seq) {
+            self.flush_seq += 1;
+            self.inflight = self.inflight.saturating_sub(1);
+            if self.closing {
+                continue; // a close response already ended the stream
+            }
+            encode_response(&response, keep_alive, &mut self.write_buf);
+            if !keep_alive {
+                self.closing = true;
+            }
+        }
+    }
+
+    /// The bytes still owed to the socket.
+    #[must_use]
+    pub fn pending(&self) -> &[u8] {
+        self.write_buf.get(self.written..).unwrap_or_default()
+    }
+
+    /// Writes at most `budget` pending bytes to the socket and advances
+    /// the buffer. `Ok(0)` means either nothing was pending or the peer
+    /// closed its read side; callers disambiguate via [`Conn::pending`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket write error (`WouldBlock` included).
+    pub fn write_some(&mut self, budget: usize) -> std::io::Result<usize> {
+        use std::io::Write;
+        let n = {
+            let pending = self.write_buf.get(self.written..).unwrap_or_default();
+            let slice = pending.get(..budget.min(pending.len())).unwrap_or(pending);
+            if slice.is_empty() {
+                return Ok(0);
+            }
+            (&self.stream).write(slice)?
+        };
+        self.advance(n);
+        Ok(n)
+    }
+
+    /// Marks `n` bytes of [`Conn::pending`] as written, reclaiming the
+    /// buffer once fully drained.
+    pub fn advance(&mut self, n: usize) {
+        self.written = self.written.saturating_add(n);
+        if self.written >= self.write_buf.len() {
+            self.write_buf.clear();
+            self.written = 0;
+        }
+    }
+
+    /// Whether the connection has produced everything it ever will and
+    /// drained it: safe to drop.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.closing && self.inflight == 0 && self.pending().is_empty()
+    }
+
+    /// Whether the socket should be watched for writability.
+    #[must_use]
+    pub fn wants_write(&self) -> bool {
+        !self.pending().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn test_conn() -> Conn {
+        // A real socket pair purely to satisfy the field; no I/O happens.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        Conn::new(stream)
+    }
+
+    fn body_of(raw: &[u8]) -> Vec<String> {
+        // Split concatenated responses on their bodies for order checks.
+        let text = String::from_utf8_lossy(raw);
+        text.split("\r\n\r\n")
+            .skip(1)
+            .map(|chunk| chunk.split("HTTP/1.1").next().unwrap_or("").to_owned())
+            .filter(|s| !s.is_empty())
+            .collect()
+    }
+
+    #[test]
+    fn out_of_order_completions_flush_in_request_order() {
+        let mut conn = test_conn();
+        let s0 = conn.assign_seq();
+        let s1 = conn.assign_seq();
+        let s2 = conn.assign_seq();
+        assert_eq!((s0, s1, s2), (0, 1, 2));
+        assert_eq!(conn.inflight, 3);
+
+        conn.complete(s2, Response::json("\"two\"".into()), true);
+        assert!(conn.pending().is_empty(), "seq 2 must wait for 0 and 1");
+        conn.complete(s0, Response::json("\"zero\"".into()), true);
+        assert_eq!(body_of(conn.pending()), ["\"zero\""]);
+        conn.complete(s1, Response::json("\"one\"".into()), true);
+        assert_eq!(body_of(conn.pending()), ["\"zero\"", "\"one\"", "\"two\""]);
+        assert_eq!(conn.inflight, 0);
+        assert!(!conn.finished(), "still bytes to write");
+        let n = conn.pending().len();
+        conn.advance(n);
+        assert!(!conn.finished(), "keep-alive connection stays open");
+    }
+
+    #[test]
+    fn close_response_drops_later_pipelined_output() {
+        let mut conn = test_conn();
+        let s0 = conn.assign_seq();
+        let s1 = conn.assign_seq();
+        conn.complete(s1, Response::json("\"after\"".into()), true);
+        conn.complete(s0, Response::json("\"last\"".into()), false);
+        assert_eq!(body_of(conn.pending()), ["\"last\""]);
+        assert!(conn.closing);
+        let n = conn.pending().len();
+        conn.advance(n);
+        assert!(conn.finished());
+    }
+
+    #[test]
+    fn partial_writes_advance_without_losing_bytes() {
+        let mut conn = test_conn();
+        let s0 = conn.assign_seq();
+        conn.complete(s0, Response::json("0123456789".into()), true);
+        let total = conn.pending().len();
+        conn.advance(4);
+        assert_eq!(conn.pending().len(), total - 4);
+        conn.advance(total - 4);
+        assert!(conn.pending().is_empty());
+        assert!(!conn.wants_write());
+    }
+}

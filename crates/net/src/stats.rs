@@ -1,0 +1,87 @@
+//! Shared counters behind the `viewseeker_net_*` Prometheus series.
+//!
+//! The reactor increments these; `viewseeker-server`'s exporter scrapes
+//! them. Everything is lock-free atomics except the loop-tick histogram,
+//! which sits behind a mutex the loop touches once per tick (and recovers
+//! from poisoning, matching the server's metrics policy: metrics must
+//! never take a request path down).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::hist::Histogram;
+
+/// Counters and gauges for one reactor instance.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Connections accepted, total (`viewseeker_net_accepted_total`).
+    pub accepted: AtomicU64,
+    /// Requests shed with `503` by admission control, total
+    /// (`viewseeker_net_shed_total`).
+    pub shed: AtomicU64,
+    /// Currently open connections (`viewseeker_net_active_connections`).
+    pub active: AtomicU64,
+    /// Reads that drained the socket without completing a request, total
+    /// (`viewseeker_net_read_stalls_total`).
+    pub read_stalls: AtomicU64,
+    /// Writes cut short by `EWOULDBLOCK` or the per-tick budget, total
+    /// (`viewseeker_net_write_stalls_total`).
+    pub write_stalls: AtomicU64,
+    /// Busy loop-tick durations (`viewseeker_net_loop_tick_seconds`).
+    ticks: Mutex<Histogram>,
+}
+
+impl NetStats {
+    /// Fresh, all-zero stats.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one busy loop tick of `us` microseconds.
+    pub fn record_tick(&self, us: u64) {
+        self.ticks
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record(us);
+    }
+
+    /// A snapshot of the loop-tick histogram.
+    #[must_use]
+    pub fn tick_histogram(&self) -> Histogram {
+        self.ticks
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Convenience relaxed read of a counter field.
+    #[must_use]
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_accumulate_and_snapshot() {
+        let stats = NetStats::new();
+        stats.record_tick(120);
+        stats.record_tick(880);
+        let h = stats.tick_histogram();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_us(), 1000);
+        assert_eq!(h.max_us(), 880);
+    }
+
+    #[test]
+    fn counters_start_at_zero() {
+        let stats = NetStats::new();
+        assert_eq!(NetStats::get(&stats.accepted), 0);
+        assert_eq!(NetStats::get(&stats.shed), 0);
+        assert_eq!(NetStats::get(&stats.active), 0);
+    }
+}

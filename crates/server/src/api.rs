@@ -25,6 +25,9 @@ pub struct AppState {
     pub metrics: Metrics,
     /// The structured event/access logger.
     pub logger: Arc<Logger>,
+    /// Reactor counters behind the `viewseeker_net_*` series. All-zero
+    /// under the blocking I/O path (no reactor runs there).
+    pub net: Arc<viewseeker_net::NetStats>,
     /// Server start time, for the uptime report.
     pub started: Instant,
 }
@@ -49,6 +52,7 @@ impl AppState {
             catalog,
             metrics,
             logger,
+            net: Arc::new(viewseeker_net::NetStats::new()),
             // vslint::allow(wall-clock): process start time, reported only
             // as the /metrics uptime gauge.
             started: Instant::now(),
@@ -436,6 +440,7 @@ pub fn metrics_text(state: &AppState) -> String {
         state.metrics.counters(),
         &state.metrics.histograms(),
         &state.catalog.stats(),
+        &state.net,
     )
 }
 

@@ -74,6 +74,16 @@ impl From<std::io::Error> for ServerError {
     }
 }
 
+impl From<viewseeker_net::http1::ParseError> for ServerError {
+    fn from(e: viewseeker_net::http1::ParseError) -> Self {
+        // Framing errors (431/413) never reach handler code — the I/O
+        // paths answer them directly. What arrives here comes from the
+        // request accessor helpers (`parsed_param`, `body_text`), which
+        // are all 400s.
+        ServerError::BadRequest(e.message())
+    }
+}
+
 impl From<viewseeker_catalog::CatalogError> for ServerError {
     fn from(e: viewseeker_catalog::CatalogError) -> Self {
         use viewseeker_catalog::CatalogError as C;

@@ -1,250 +1,33 @@
-//! A deliberately small HTTP/1.1 server on `std::net`: blocking accept loop
-//! feeding a fixed-size worker pool through a crossbeam MPMC channel.
+//! The blocking HTTP/1.1 path: accept loop feeding a fixed-size worker
+//! pool through a crossbeam MPMC channel, one thread per in-flight
+//! connection.
 //!
-//! Scope: exactly what the ViewSeeker API needs. One request per connection
-//! (every response carries `Connection: close`), `Content-Length` framing
-//! only (no chunked bodies), JSON in and out. No TLS, no routing here —
-//! [`crate::router`] owns dispatch.
+//! Parsing and encoding are shared with the event reactor via
+//! [`viewseeker_net::http1`] — partial reads, split CRLFs, pipelining,
+//! oversized-header (`431`) and oversized-body (`413`) rejection behave
+//! bit-identically on both paths, which is what makes this path usable as
+//! a differential oracle for `serve --io event`. Connections are reused
+//! per HTTP/1.1 keep-alive semantics (a worker stays pinned to its
+//! connection until it closes, so `workers` bounds concurrent
+//! *connections* here, not requests); `Connection: close` — including on
+//! error responses — is honored by closing after the response.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam::channel;
 
-use crate::error::ServerError;
+pub use viewseeker_net::http1::{Handler, Request, Response};
 
-/// Largest accepted request body, a backstop against hostile clients.
-/// Sized for CSV dataset uploads (`POST /datasets/:name`), not just JSON.
-const MAX_BODY_BYTES: usize = 16 << 20;
+use viewseeker_net::http1;
 
-/// A parsed HTTP request.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Request {
-    /// Uppercased method (`GET`, `POST`, `DELETE`, ...).
-    pub method: String,
-    /// Percent-decoded path, without the query string.
-    pub path: String,
-    /// Percent-decoded `key=value` pairs from the query string, in order.
-    pub query: Vec<(String, String)>,
-    /// Raw request body.
-    pub body: Vec<u8>,
-}
-
-impl Request {
-    /// The first value of query parameter `key`, if present.
-    #[must_use]
-    pub fn query_param(&self, key: &str) -> Option<&str> {
-        self.query
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-    }
-
-    /// Parses a query parameter, defaulting when absent.
-    ///
-    /// # Errors
-    ///
-    /// [`ServerError::BadRequest`] when present but unparseable.
-    pub fn parsed_param<T: std::str::FromStr>(
-        &self,
-        key: &str,
-        default: T,
-    ) -> Result<T, ServerError> {
-        match self.query_param(key) {
-            None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| ServerError::BadRequest(format!("bad query parameter {key}={raw:?}"))),
-        }
-    }
-
-    /// The body as UTF-8 text.
-    ///
-    /// # Errors
-    ///
-    /// [`ServerError::BadRequest`] on invalid UTF-8.
-    pub fn body_text(&self) -> Result<&str, ServerError> {
-        std::str::from_utf8(&self.body)
-            .map_err(|_| ServerError::BadRequest("body is not UTF-8".into()))
-    }
-}
-
-/// An HTTP response ready to serialize.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Response {
-    /// HTTP status code.
-    pub status: u16,
-    /// Body bytes (JSON everywhere except `GET /metrics`).
-    pub body: String,
-    /// `Content-Type` header value.
-    pub content_type: &'static str,
-}
-
-impl Response {
-    /// A `200 OK` JSON response.
-    #[must_use]
-    pub fn json(body: String) -> Self {
-        Self::with_status(200, body)
-    }
-
-    /// A JSON response with an explicit status.
-    #[must_use]
-    pub fn with_status(status: u16, body: String) -> Self {
-        Self {
-            status,
-            body,
-            content_type: "application/json",
-        }
-    }
-
-    /// A `200 OK` plain-text response in the Prometheus exposition
-    /// content type.
-    #[must_use]
-    pub fn prometheus(body: String) -> Self {
-        Self {
-            status: 200,
-            body,
-            content_type: "text/plain; version=0.0.4; charset=utf-8",
-        }
-    }
-}
-
-fn status_text(status: u16) -> &'static str {
-    match status {
-        200 => "OK",
-        201 => "Created",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        409 => "Conflict",
-        413 => "Payload Too Large",
-        _ => "Internal Server Error",
-    }
-}
-
-/// Decodes `%XX` escapes and `+`-as-space in a URL component.
-fn percent_decode(raw: &str) -> String {
-    let bytes = raw.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-    while let Some(&byte) = bytes.get(i) {
-        match byte {
-            b'%' => {
-                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
-                    std::str::from_utf8(h)
-                        .ok()
-                        .and_then(|s| u8::from_str_radix(s, 16).ok())
-                });
-                if let Some(b) = hex {
-                    out.push(b);
-                    i += 3;
-                } else {
-                    out.push(b'%');
-                    i += 1;
-                }
-            }
-            b'+' => {
-                out.push(b' ');
-                i += 1;
-            }
-            b => {
-                out.push(b);
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-/// Reads and parses one request from `stream`.
-///
-/// Returns `Ok(None)` when the peer closed the connection before sending a
-/// request line (a health-checker poke, or the shutdown self-connection).
-pub(crate) fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, ServerError> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(None);
-    }
-    let mut parts = line.split_whitespace();
-    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
-        return Err(ServerError::BadRequest("malformed request line".into()));
-    };
-    let method = method.to_ascii_uppercase();
-    let (raw_path, raw_query) = match target.split_once('?') {
-        Some((p, q)) => (p, Some(q)),
-        None => (target, None),
-    };
-    let path = percent_decode(raw_path);
-    let query = raw_query
-        .map(|q| {
-            q.split('&')
-                .filter(|pair| !pair.is_empty())
-                .map(|pair| match pair.split_once('=') {
-                    Some((k, v)) => (percent_decode(k), percent_decode(v)),
-                    None => (percent_decode(pair), String::new()),
-                })
-                .collect()
-        })
-        .unwrap_or_default();
-
-    // Headers: only Content-Length matters to this service.
-    let mut content_length = 0usize;
-    loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            break;
-        }
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = header.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| ServerError::BadRequest("bad Content-Length".into()))?;
-            }
-        }
-    }
-    if content_length > MAX_BODY_BYTES {
-        return Err(ServerError::BadRequest(format!(
-            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
-        )));
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    Ok(Some(Request {
-        method,
-        path,
-        query,
-        body,
-    }))
-}
-
-/// Serializes `response` onto `stream`.
-pub(crate) fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        response.status,
-        status_text(response.status),
-        response.content_type,
-        response.body.len(),
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
-    stream.flush()
-}
-
-/// Request dispatch, implemented by [`crate::router::Router`].
-pub trait Handler: Send + Sync + 'static {
-    /// Produces the response for one request.
-    fn handle(&self, request: &Request) -> Response;
-}
+/// How long an idle keep-alive connection may sit between requests before
+/// the worker reclaims itself.
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
 
 /// A running server: accept thread + worker pool, stoppable.
 pub struct ServerHandle {
@@ -369,26 +152,60 @@ pub fn serve_observed<H: Handler>(
     })
 }
 
+/// Writes `response` with the right `Connection:` header; `false` means
+/// the socket is done (peer gone or close requested).
+fn send_response(stream: &mut TcpStream, response: &Response, keep_alive: bool) -> bool {
+    use std::io::Write;
+    let mut out = Vec::with_capacity(256 + response.body.len());
+    http1::encode_response(response, keep_alive, &mut out);
+    stream.write_all(&out).is_ok() && stream.flush().is_ok() && keep_alive
+}
+
+/// Serves one connection until it closes: read → parse (incrementally,
+/// tolerating partial reads and pipelining) → handle → respond →
+/// keep-alive loop. Parse errors answer with their mapped status (`400`/
+/// `431`/`413`) and close; `Connection:` headers are honored on every
+/// response, errors included.
 fn handle_connection(stream: &mut TcpStream, handler: &dyn Handler) {
-    let response = match read_request(stream) {
-        Ok(Some(request)) => handler.handle(&request),
-        Ok(None) => return, // peer closed without a request
-        Err(e) => Response::with_status(e.status(), format!("{{\"error\": {:?}}}", e.message())),
-    };
-    let _ = write_response(stream, &response);
+    let _ = stream.set_read_timeout(Some(KEEP_ALIVE_IDLE));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        match http1::parse_request(&buf) {
+            Ok(Some(parsed)) => {
+                buf.drain(..parsed.consumed);
+                let response = handler.handle(&parsed.request);
+                if !send_response(stream, &response, parsed.keep_alive) {
+                    return;
+                }
+                continue; // drain pipelined requests before reading again
+            }
+            Ok(None) => {}
+            Err(e) => {
+                let _ = send_response(stream, &e.to_response(), false);
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            // Peer closed; anything short of a full request is abandoned.
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(chunk.get(..n).unwrap_or_default()),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return; // idle keep-alive expired
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn percent_decoding() {
-        assert_eq!(percent_decode("a0%20%3D%20'v'"), "a0 = 'v'");
-        assert_eq!(percent_decode("a+b"), "a b");
-        assert_eq!(percent_decode("plain"), "plain");
-        assert_eq!(percent_decode("bad%2"), "bad%2");
-    }
+    use std::io::{BufRead, BufReader, Write};
 
     struct Echo;
     impl Handler for Echo {
@@ -411,6 +228,29 @@ mod tests {
         out
     }
 
+    fn read_one_response(reader: &mut BufReader<TcpStream>) -> (u16, String, Vec<String>) {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let status: u16 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut h = String::new();
+            reader.read_line(&mut h).unwrap();
+            let h = h.trim_end().to_owned();
+            if h.is_empty() {
+                break;
+            }
+            if let Some(v) = h.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+            headers.push(h);
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        (status, String::from_utf8(body).unwrap(), headers)
+    }
+
     #[test]
     fn serves_parses_and_shuts_down() {
         let handle = serve("127.0.0.1:0", 2, Arc::new(Echo)).unwrap();
@@ -418,19 +258,89 @@ mod tests {
 
         let reply = raw_roundtrip(
             addr,
-            "GET /sessions/s1/next?m=3 HTTP/1.1\r\nHost: x\r\n\r\n",
+            "GET /sessions/s1/next?m=3 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
         );
         assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
         assert!(reply.contains("\"m\": \"3\""), "{reply}");
+        assert!(reply.contains("Connection: close"), "{reply}");
 
         let reply = raw_roundtrip(
             addr,
-            "POST /sessions HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"\"}",
+            "POST /sessions HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\n{\"\"}",
         );
         assert!(reply.contains("\"body_len\": 4"), "{reply}");
 
         let reply = raw_roundtrip(addr, "garbage\r\n\r\n");
         assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        assert!(
+            reply.contains("Connection: close"),
+            "errors honor Connection too: {reply}"
+        );
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_reuses_the_connection() {
+        let handle = serve("127.0.0.1:0", 2, Arc::new(Echo)).unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for i in 0..3 {
+            (&stream)
+                .write_all(format!("GET /r{i} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .unwrap();
+            let (status, body, headers) = read_one_response(&mut reader);
+            assert_eq!(status, 200);
+            assert!(body.contains(&format!("/r{i}")), "{body}");
+            assert!(
+                headers.iter().any(|h| h == "Connection: keep-alive"),
+                "{headers:?}"
+            );
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_are_all_answered() {
+        let handle = serve("127.0.0.1:0", 2, Arc::new(Echo)).unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        (&stream)
+            .write_all(b"GET /p1 HTTP/1.1\r\n\r\nGET /p2 HTTP/1.1\r\n\r\nGET /p3 HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for expected in ["/p1", "/p2", "/p3"] {
+            let (status, body, _) = read_one_response(&mut reader);
+            assert_eq!(status, 200);
+            assert!(body.contains(expected), "{body}");
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn split_reads_and_oversized_headers() {
+        let handle = serve("127.0.0.1:0", 2, Arc::new(Echo)).unwrap();
+
+        // Byte-at-a-time delivery of a whole request still parses.
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        for &b in b"GET /slowly HTTP/1.1\r\nConnection: close\r\n\r\n" {
+            (&stream).write_all(&[b]).unwrap();
+        }
+        let mut out = String::new();
+        (&stream).read_to_string(&mut out).unwrap();
+        assert!(out.contains("/slowly"), "{out}");
+
+        // An unbounded header block is rejected with 431, not buffered.
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut raw = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        raw.extend(std::iter::repeat_n(
+            b'a',
+            viewseeker_net::http1::MAX_HEADER_BYTES + 10,
+        ));
+        raw.extend_from_slice(b"\r\n\r\n");
+        stream.write_all(&raw).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 431"), "{out}");
 
         handle.shutdown();
     }
@@ -442,7 +352,10 @@ mod tests {
         let threads: Vec<_> = (0..8)
             .map(|i| {
                 std::thread::spawn(move || {
-                    raw_roundtrip(addr, &format!("GET /ping/{i} HTTP/1.1\r\n\r\n"))
+                    raw_roundtrip(
+                        addr,
+                        &format!("GET /ping/{i} HTTP/1.1\r\nConnection: close\r\n\r\n"),
+                    )
                 })
             })
             .collect();

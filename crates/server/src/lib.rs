@@ -7,8 +7,11 @@
 //! JSON service so many users (or experiment harnesses) can run concurrent
 //! sessions against one process:
 //!
-//! * [`http`] — a dependency-light HTTP server: `std::net::TcpListener`
-//!   accept loop feeding a fixed worker pool through a crossbeam channel.
+//! * [`http`] — the blocking HTTP path: `std::net::TcpListener` accept
+//!   loop feeding a fixed worker pool through a crossbeam channel, kept as
+//!   the differential oracle for the event path. The default I/O model is
+//!   the `viewseeker-net` epoll reactor (`serve --io event`); both paths
+//!   share one incremental HTTP/1.1 parser (`viewseeker_net::http1`).
 //! * [`router`] — method/path dispatch with per-endpoint latency metrics.
 //! * [`registry`] — the concurrent session table: `RwLock` map of
 //!   per-session `Mutex<OwnedSeeker>` entries, with a max-session cap and
@@ -38,6 +41,9 @@
 //!     log_format: LogFormat::Text,
 //!     log_level: LogLevel::Off,
 //!     default_executor: Default::default(),
+//!     io: Default::default(),
+//!     max_inflight: 256,
+//!     queue_deadline_ms: 500,
 //! };
 //! let handle = serve_app(&config).unwrap();
 //! let addr = handle.addr(); // POST http://{addr}/sessions etc.
@@ -97,6 +103,67 @@ pub struct ServerConfig {
     /// Materialization executor for sessions whose spec does not name one
     /// (`--executor naive|shared|fused`; default: fused).
     pub default_executor: viewseeker_core::MaterializeStrategy,
+    /// Which I/O path serves requests (`--io blocking|event`; default:
+    /// event). Blocking is kept as a differential oracle for one release.
+    pub io: IoModel,
+    /// Event path only: max requests dispatched to the worker pool at
+    /// once (`--max-inflight`); excess requests wait in the admission
+    /// queue.
+    pub max_inflight: usize,
+    /// Event path only: max milliseconds a request may wait in the
+    /// admission queue before being shed with `503 + Retry-After`
+    /// (`--queue-deadline-ms`).
+    pub queue_deadline_ms: u64,
+}
+
+/// The I/O model behind [`serve_app`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoModel {
+    /// Thread-per-connection blocking path ([`http`]).
+    Blocking,
+    /// Epoll reactor with admission control (`viewseeker-net`).
+    #[default]
+    Event,
+}
+
+impl std::str::FromStr for IoModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "blocking" => Ok(IoModel::Blocking),
+            "event" => Ok(IoModel::Event),
+            other => Err(format!("unknown io model {other:?} (blocking|event)")),
+        }
+    }
+}
+
+/// A running server on either I/O path; the common `addr`/`shutdown`
+/// surface the CLI and tests need.
+pub enum AppHandle {
+    /// The blocking oracle path.
+    Blocking(ServerHandle),
+    /// The event reactor.
+    Event(viewseeker_net::EventHandle),
+}
+
+impl AppHandle {
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> std::net::SocketAddr {
+        match self {
+            AppHandle::Blocking(h) => h.addr(),
+            AppHandle::Event(h) => h.addr(),
+        }
+    }
+
+    /// Stops serving, drains in-flight work, and joins every thread.
+    pub fn shutdown(self) {
+        match self {
+            AppHandle::Blocking(h) => h.shutdown(),
+            AppHandle::Event(h) => h.shutdown(),
+        }
+    }
 }
 
 impl Default for ServerConfig {
@@ -112,16 +179,21 @@ impl Default for ServerConfig {
             log_format: LogFormat::Text,
             log_level: LogLevel::Info,
             default_executor: viewseeker_core::MaterializeStrategy::default(),
+            io: IoModel::default(),
+            max_inflight: 256,
+            queue_deadline_ms: 500,
         }
     }
 }
 
-/// Builds the catalog + registry + router and starts serving.
+/// Builds the catalog + registry + router and starts serving on the
+/// configured I/O path.
 ///
 /// # Errors
 ///
-/// Propagates catalog-directory and TCP bind failures.
-pub fn serve_app(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+/// Propagates catalog-directory, TCP bind, and (event path) epoll setup
+/// failures.
+pub fn serve_app(config: &ServerConfig) -> std::io::Result<AppHandle> {
     let catalog = match &config.data_dir {
         Some(dir) => viewseeker_catalog::Catalog::open(dir, config.catalog_mem_budget)
             .map_err(|e| std::io::Error::other(format!("opening catalog: {e}")))?,
@@ -137,11 +209,31 @@ pub fn serve_app(config: &ServerConfig) -> std::io::Result<ServerHandle> {
     let logger = Logger::stderr(config.log_format, config.log_level);
     let state = api::shared_state_with_logger(registry, logger);
     let queue_depth = state.metrics.counters().queue_depth_handle();
+    let net = Arc::clone(&state.net);
     let router = Router::new(state);
-    http::serve_observed(
-        config.addr.as_str(),
-        config.workers,
-        Arc::new(router),
-        queue_depth,
-    )
+    match config.io {
+        IoModel::Blocking => http::serve_observed(
+            config.addr.as_str(),
+            config.workers,
+            Arc::new(router),
+            queue_depth,
+        )
+        .map(AppHandle::Blocking),
+        IoModel::Event => {
+            let event_config = viewseeker_net::EventConfig {
+                workers: config.workers,
+                max_inflight: config.max_inflight,
+                queue_deadline: Duration::from_millis(config.queue_deadline_ms),
+                ..viewseeker_net::EventConfig::default()
+            };
+            viewseeker_net::serve_event(
+                config.addr.as_str(),
+                event_config,
+                Arc::new(router),
+                net,
+                queue_depth,
+            )
+            .map(AppHandle::Event)
+        }
+    }
 }

@@ -19,6 +19,7 @@
 use std::fmt::Write as _;
 
 use viewseeker_catalog::CatalogStats;
+use viewseeker_net::NetStats;
 
 use crate::hist::Histogram;
 use crate::metrics::Counters;
@@ -47,7 +48,37 @@ static SERIES: &[SeriesDef] = &[
     SeriesDef {
         name: "viewseeker_worker_queue_depth",
         kind: "gauge",
-        help: "Accepted connections awaiting a worker.",
+        help: "Requests awaiting dispatch to a worker (event path: admission-queue length; blocking path: accepted connections not yet picked up).",
+    },
+    SeriesDef {
+        name: "viewseeker_net_accepted_total",
+        kind: "counter",
+        help: "Connections accepted by the event reactor.",
+    },
+    SeriesDef {
+        name: "viewseeker_net_shed_total",
+        kind: "counter",
+        help: "Requests shed with 503 by admission control.",
+    },
+    SeriesDef {
+        name: "viewseeker_net_active_connections",
+        kind: "gauge",
+        help: "Connections currently open on the event reactor.",
+    },
+    SeriesDef {
+        name: "viewseeker_net_read_stalls_total",
+        kind: "counter",
+        help: "Reads that drained the socket mid-request (request split across reads).",
+    },
+    SeriesDef {
+        name: "viewseeker_net_write_stalls_total",
+        kind: "counter",
+        help: "Writes cut short by socket backpressure or the per-tick budget.",
+    },
+    SeriesDef {
+        name: "viewseeker_net_loop_tick_seconds",
+        kind: "histogram",
+        help: "Busy reactor loop-tick duration.",
     },
     SeriesDef {
         name: "viewseeker_sessions_created_total",
@@ -223,6 +254,7 @@ pub fn render(
     counters: &Counters,
     histograms: &[(String, Histogram)],
     catalog: &CatalogStats,
+    net: &NetStats,
 ) -> String {
     let mut exp = Exposition::new();
 
@@ -234,6 +266,33 @@ pub fn render(
 
     exp.series("viewseeker_worker_queue_depth");
     exp.sample("", "", counters.queue_depth());
+
+    exp.series("viewseeker_net_accepted_total");
+    exp.sample("", "", NetStats::get(&net.accepted));
+
+    exp.series("viewseeker_net_shed_total");
+    exp.sample("", "", NetStats::get(&net.shed));
+
+    exp.series("viewseeker_net_active_connections");
+    exp.sample("", "", NetStats::get(&net.active));
+
+    exp.series("viewseeker_net_read_stalls_total");
+    exp.sample("", "", NetStats::get(&net.read_stalls));
+
+    exp.series("viewseeker_net_write_stalls_total");
+    exp.sample("", "", NetStats::get(&net.write_stalls));
+
+    exp.series("viewseeker_net_loop_tick_seconds");
+    let ticks = net.tick_histogram();
+    let mut cumulative = 0u64;
+    for (bound_us, count) in ticks.nonzero_buckets() {
+        cumulative += count;
+        let labels = format!("{{le=\"{}\"}}", seconds(bound_us));
+        exp.sample("_bucket", &labels, cumulative);
+    }
+    exp.sample("_bucket", "{le=\"+Inf\"}", ticks.count());
+    exp.sample("_sum", "", seconds(ticks.sum_us()));
+    exp.sample("_count", "", ticks.count());
 
     exp.series("viewseeker_sessions_created_total");
     exp.sample("", "", Counters::read(&counters.sessions_created));
@@ -342,12 +401,19 @@ mod tests {
             cached_datasets: 2,
             known_datasets: 3,
         };
+        let net = NetStats::new();
+        net.accepted.store(9, std::sync::atomic::Ordering::Relaxed);
+        net.shed.store(4, std::sync::atomic::Ordering::Relaxed);
+        net.active.store(2, std::sync::atomic::Ordering::Relaxed);
+        net.record_tick(50);
+        net.record_tick(50);
         render(
             12.5,
             3,
             &counters,
             &[("GET /sessions/:id".to_owned(), hist)],
             &catalog,
+            &net,
         )
     }
 
@@ -409,6 +475,33 @@ mod tests {
         );
         assert!(
             text.contains("viewseeker_materialize_seconds_total 0.0025\n"),
+            "{text}"
+        );
+        assert!(text.contains("viewseeker_net_accepted_total 9\n"), "{text}");
+        assert!(text.contains("viewseeker_net_shed_total 4\n"), "{text}");
+        assert!(
+            text.contains("viewseeker_net_active_connections 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_net_read_stalls_total 0\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_net_write_stalls_total 0\n"),
+            "{text}"
+        );
+        // Two 50 µs ticks share the [48,52) bucket → le 0.000051.
+        assert!(
+            text.contains("viewseeker_net_loop_tick_seconds_bucket{le=\"0.000051\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_net_loop_tick_seconds_bucket{le=\"+Inf\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_net_loop_tick_seconds_count 2\n"),
             "{text}"
         );
         assert!(text.contains("viewseeker_catalog_hits_total 7\n"), "{text}");
@@ -527,6 +620,7 @@ mod tests {
             &counters,
             &[("r".to_owned(), hist)],
             &CatalogStats::default(),
+            &NetStats::new(),
         );
         let mut last = 0u64;
         let mut bucket_lines = 0;

@@ -66,6 +66,7 @@ impl Router {
                 "POST /sessions",
                 request
                     .body_text()
+                    .map_err(ServerError::from)
                     .and_then(|b| api::create_session(state, b))
                     .map(created),
             ),
@@ -74,6 +75,7 @@ impl Router {
                 "POST /sessions/restore",
                 request
                     .body_text()
+                    .map_err(ServerError::from)
                     .and_then(|b| api::restore(state, None, b))
                     .map(created),
             ),
@@ -87,6 +89,7 @@ impl Router {
                 "GET /sessions/:id/next",
                 request
                     .parsed_param("m", 1usize)
+                    .map_err(ServerError::from)
                     .and_then(|m| api::next_views(state, id, m))
                     .map(ok),
             ),
@@ -94,6 +97,7 @@ impl Router {
                 "POST /sessions/:id/feedback",
                 request
                     .body_text()
+                    .map_err(ServerError::from)
                     .and_then(|b| api::feedback(state, id, b))
                     .map(ok),
             ),

@@ -15,7 +15,7 @@ use viewseeker_server::{serve_app, LogFormat, LogLevel, ServerConfig};
 fn call(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(request.as_bytes()).expect("send");
@@ -95,6 +95,7 @@ fn concurrent_sessions_full_loop_over_http() {
         log_format: LogFormat::Text,
         log_level: LogLevel::Off,
         default_executor: Default::default(),
+        ..Default::default()
     })
     .expect("bind");
     let addr = handle.addr();
@@ -196,6 +197,7 @@ fn metrics_counters_move_across_the_session_lifecycle() {
         log_format: LogFormat::Text,
         log_level: LogLevel::Off,
         default_executor: Default::default(),
+        ..Default::default()
     })
     .expect("bind");
     let addr = handle.addr();
@@ -286,6 +288,7 @@ fn eviction_over_http_is_restorable_with_identical_weights() {
         log_format: LogFormat::Text,
         log_level: LogLevel::Off,
         default_executor: Default::default(),
+        ..Default::default()
     })
     .expect("bind");
     let addr = handle.addr();

@@ -15,7 +15,7 @@ use viewseeker_server::{serve_app, LogFormat, LogLevel, ServerConfig};
 fn call(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(request.as_bytes()).expect("send");
@@ -74,7 +74,7 @@ fn sales_csv(rows: usize) -> String {
     csv
 }
 
-fn server(data_dir: &std::path::Path) -> viewseeker_server::ServerHandle {
+fn server(data_dir: &std::path::Path) -> viewseeker_server::AppHandle {
     serve_app(&ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers: 2,
@@ -86,6 +86,7 @@ fn server(data_dir: &std::path::Path) -> viewseeker_server::ServerHandle {
         log_format: LogFormat::Text,
         log_level: LogLevel::Off,
         default_executor: Default::default(),
+        ..Default::default()
     })
     .expect("bind")
 }

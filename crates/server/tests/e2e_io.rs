@@ -1,0 +1,202 @@
+//! Differential end-to-end test between the two I/O paths: the blocking
+//! pool (`--io blocking`, the oracle) and the epoll reactor
+//! (`--io event`). The same deterministic session script must produce
+//! bit-identical response bodies on both — recommendation payloads
+//! included — because sessions are seeded and the handler stack above the
+//! I/O layer is shared.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use viewseeker_server::{serve_app, AppHandle, IoModel, LogFormat, LogLevel, ServerConfig};
+
+fn server(io: IoModel) -> AppHandle {
+    serve_app(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        max_sessions: 8,
+        ttl: Duration::from_secs(600),
+        snapshot_dir: None,
+        data_dir: None,
+        catalog_mem_budget: 64 << 20,
+        log_format: LogFormat::Text,
+        log_level: LogLevel::Off,
+        default_executor: Default::default(),
+        io,
+        ..Default::default()
+    })
+    .expect("bind")
+}
+
+/// Content-Length-framed client call over a persistent connection.
+fn call(
+    stream: &TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, String) {
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    (&*stream).write_all(request.as_bytes()).expect("send");
+
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header");
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf8"))
+}
+
+fn json_field<'a>(body: &'a str, key: &str) -> &'a str {
+    let needle = format!("\"{key}\":");
+    let start = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {key:?} in {body}"))
+        + needle.len();
+    let rest = &body[start..];
+    let end = rest
+        .char_indices()
+        .find(|(i, c)| *c == ',' || *c == '}' || *c == ']' && !rest[..*i].ends_with('\\'))
+        .map_or(rest.len(), |(i, _)| i);
+    rest[..end].trim_matches('"')
+}
+
+/// Zeroes the wall-clock microsecond fields (`*_us`), the only
+/// legitimately nondeterministic bytes in a response body; everything
+/// else — ids, view sets, scores, recommendation order — must match
+/// exactly between the two I/O paths.
+fn zero_timings(body: &str) -> String {
+    let mut out = String::with_capacity(body.len());
+    let mut rest = body;
+    while let Some(pos) = rest.find("_us\":") {
+        let keep = pos + "_us\":".len();
+        out.push_str(&rest[..keep]);
+        out.push('0');
+        rest = &rest[keep..];
+        let digits = rest.chars().take_while(|c| c.is_ascii_digit()).count();
+        rest = &rest[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Runs the deterministic interactive loop against `addr` over ONE
+/// keep-alive connection and returns every response body, in order.
+fn drive(addr: SocketAddr) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut transcript = Vec::new();
+
+    let spec = "{\"dataset\": \"diab\", \"rows\": 600, \"seed\": 7, \"query\": \"a0 = 'a0_v0'\"}";
+    let (status, body) = call(&stream, &mut reader, "POST", "/sessions", spec);
+    assert_eq!(status, 201, "{body}");
+    let id = json_field(&body, "id").to_owned();
+    transcript.push(body);
+
+    for score in [0.9, 0.1, 0.7] {
+        let (status, body) = call(
+            &stream,
+            &mut reader,
+            "GET",
+            &format!("/sessions/{id}/next?m=1"),
+            "",
+        );
+        assert_eq!(status, 200, "{body}");
+        let view = json_field(&body, "id").to_owned();
+        transcript.push(body);
+        let (status, body) = call(
+            &stream,
+            &mut reader,
+            "POST",
+            &format!("/sessions/{id}/feedback"),
+            &format!("{{\"view\": {view}, \"score\": {score}}}"),
+        );
+        assert_eq!(status, 200, "{body}");
+        transcript.push(body);
+    }
+
+    let (status, body) = call(
+        &stream,
+        &mut reader,
+        "GET",
+        &format!("/sessions/{id}/recommend?k=3"),
+        "",
+    );
+    assert_eq!(status, 200, "{body}");
+    transcript.push(body);
+
+    let (status, body) = call(
+        &stream,
+        &mut reader,
+        "DELETE",
+        &format!("/sessions/{id}"),
+        "",
+    );
+    assert_eq!(status, 200, "{body}");
+    transcript.push(body);
+    transcript
+}
+
+#[test]
+fn blocking_and_event_paths_serve_bit_identical_bodies() {
+    let blocking = server(IoModel::Blocking);
+    let event = server(IoModel::Event);
+
+    let oracle = drive(blocking.addr());
+    let candidate = drive(event.addr());
+
+    assert_eq!(
+        oracle.len(),
+        candidate.len(),
+        "transcript lengths differ between I/O paths"
+    );
+    for (i, (a, b)) in oracle.iter().zip(&candidate).enumerate() {
+        assert_eq!(
+            zero_timings(a),
+            zero_timings(b),
+            "response {i} differs between blocking and event"
+        );
+    }
+
+    blocking.shutdown();
+    event.shutdown();
+}
+
+#[test]
+fn both_paths_honor_connection_close_on_errors() {
+    for io in [IoModel::Blocking, IoModel::Event] {
+        let handle = server(io);
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream
+            .write_all(b"GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("send");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read to EOF");
+        assert!(raw.starts_with("HTTP/1.1 404"), "{io:?}: {raw}");
+        assert!(
+            raw.contains("Connection: close"),
+            "{io:?} must echo close on errors: {raw}"
+        );
+        handle.shutdown();
+    }
+}

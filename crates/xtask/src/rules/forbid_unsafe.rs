@@ -3,32 +3,59 @@
 //! `#![forbid(unsafe_code)]`. `forbid` (unlike `deny`) cannot be
 //! overridden further down the module tree, so this single line per crate
 //! is a proof there is no unsafe block anywhere in it.
+//!
+//! One audited exception: `viewseeker-net` wraps raw epoll syscalls, and
+//! FFI is inherently `unsafe`. Its root must instead carry
+//! `#![deny(unsafe_code)]` (so a module has to opt back in explicitly),
+//! and the rule statically rejects an `unsafe` token anywhere in the
+//! workspace outside `crates/net/src/sys.rs` — confining the entire
+//! unsafe surface to that one reviewed file.
 
 use crate::{Diagnostic, SourceFile};
 
 const RULE: &str = "forbid-unsafe";
 
-/// Runs the rule over one file (no-op unless it is a crate root).
+/// The crate root allowed to hold unsafe code beneath it.
+const NET_ROOT: &str = "crates/net/src/lib.rs";
+/// The single module allowed to contain `unsafe` tokens.
+const UNSAFE_MODULE: &str = "crates/net/src/sys.rs";
+
+/// Runs the rule over one file.
 pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.path != UNSAFE_MODULE {
+        for token in &file.tokens {
+            if token.is_ident("unsafe") {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: token.line,
+                    rule: RULE,
+                    message: format!(
+                        "`unsafe` is only permitted in {UNSAFE_MODULE}; \
+                         raw syscalls are confined there"
+                    ),
+                });
+            }
+        }
+    }
     if !is_crate_root(&file.path) {
         return;
     }
-    let has_forbid = (0..file.tokens.len()).any(|i| {
-        file.matches_seq(
-            i,
-            &[
-                ('p', "#"),
-                ('p', "!"),
-                ('p', "["),
-                ('i', "forbid"),
-                ('p', "("),
-                ('i', "unsafe_code"),
-                ('p', ")"),
-                ('p', "]"),
-            ],
-        )
-    });
-    if !has_forbid {
+    if file.path == NET_ROOT {
+        // `forbid` would reject the audited sys module, so the net root
+        // must carry at least `deny` (forbid is accepted as stricter).
+        if !has_lint_attr(file, "deny") && !has_lint_attr(file, "forbid") {
+            out.push(Diagnostic {
+                file: file.path.clone(),
+                line: 1,
+                rule: RULE,
+                message: "crate root is missing #![deny(unsafe_code)] \
+                          (the audited FFI crate must still deny by default)"
+                    .to_owned(),
+            });
+        }
+        return;
+    }
+    if !has_lint_attr(file, "forbid") {
         out.push(Diagnostic {
             file: file.path.clone(),
             line: 1,
@@ -36,6 +63,25 @@ pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
             message: "crate root is missing #![forbid(unsafe_code)]".to_owned(),
         });
     }
+}
+
+/// Whether the file contains `#![<level>(unsafe_code)]`.
+fn has_lint_attr(file: &SourceFile, level: &str) -> bool {
+    (0..file.tokens.len()).any(|i| {
+        file.matches_seq(
+            i,
+            &[
+                ('p', "#"),
+                ('p', "!"),
+                ('p', "["),
+                ('i', level),
+                ('p', "("),
+                ('i', "unsafe_code"),
+                ('p', ")"),
+                ('p', "]"),
+            ],
+        )
+    })
 }
 
 /// Whether a workspace-relative path names a crate root.
@@ -68,6 +114,59 @@ mod tests {
         assert!(run(
             "crates/core/src/lib.rs",
             "//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn net_root_requires_deny_and_accepts_forbid() {
+        assert!(run(
+            "crates/net/src/lib.rs",
+            "#![deny(unsafe_code)]\npub mod sys;",
+        )
+        .is_empty());
+        assert!(run(
+            "crates/net/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}",
+        )
+        .is_empty());
+        let diags = run("crates/net/src/lib.rs", "pub mod sys;");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("deny(unsafe_code)"));
+    }
+
+    #[test]
+    fn deny_does_not_satisfy_other_crate_roots() {
+        let diags = run("crates/core/src/lib.rs", "#![deny(unsafe_code)]\n");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("forbid(unsafe_code)"));
+    }
+
+    #[test]
+    fn unsafe_tokens_outside_the_sys_module_are_flagged() {
+        let diags = run(
+            "crates/core/src/seeker.rs",
+            "fn f() {\n    unsafe { fast_path() }\n}",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[0].message.contains("crates/net/src/sys.rs"));
+    }
+
+    #[test]
+    fn unsafe_inside_the_sys_module_is_permitted() {
+        assert!(run(
+            "crates/net/src/sys.rs",
+            "pub fn f() { unsafe { syscall() } }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn the_word_unsafe_in_strings_and_idents_is_not_confused() {
+        assert!(run(
+            "crates/core/src/seeker.rs",
+            "fn f() { log(\"unsafe\"); let unsafe_code = 1; }",
         )
         .is_empty());
     }

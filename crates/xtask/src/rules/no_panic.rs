@@ -1,4 +1,5 @@
-//! Rule `no-panic`: request-path code in `crates/server` and cache-path
+//! Rule `no-panic`: request-path code in `crates/server`, reactor/parser
+//! code in `crates/net`, and cache-path
 //! code in `crates/catalog` must not contain a reachable panic — no
 //! `unwrap()`, `expect()`, `panic!`, `unreachable!`, `todo!`,
 //! `unimplemented!`, and no `x[i]` indexing (which panics out of
@@ -14,7 +15,11 @@ use crate::{Diagnostic, SourceFile};
 use super::is_method_call;
 
 const RULE: &str = "no-panic";
-const SCOPE: &[&str] = &["crates/server/src/", "crates/catalog/src/"];
+const SCOPE: &[&str] = &[
+    "crates/server/src/",
+    "crates/catalog/src/",
+    "crates/net/src/",
+];
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// Runs the rule over one file.

@@ -185,6 +185,29 @@ fn non_root_modules_do_not_need_the_attribute() {
     assert!(diags.is_empty(), "{diags:#?}");
 }
 
+#[test]
+fn net_crate_root_takes_deny_instead_of_forbid() {
+    let diags = lint_at(
+        "crates/net/src/lib.rs",
+        "#![deny(unsafe_code)]\npub mod sys;\n",
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+    let diags = lint_at("crates/net/src/lib.rs", "pub mod sys;\n");
+    assert_eq!(rules(&diags), vec!["forbid-unsafe"], "{diags:#?}");
+}
+
+#[test]
+fn unsafe_tokens_are_confined_to_the_net_sys_module() {
+    let diags = lint_at(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\nfn f() { unsafe { fast() } }\n",
+    );
+    assert_eq!(rules(&diags), vec!["forbid-unsafe"], "{diags:#?}");
+    assert_eq!(diags[0].line, 2);
+    let diags = lint_at("crates/net/src/sys.rs", "pub fn f() { unsafe { sys() } }\n");
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
 // -------------------------------------------------------------- lock-order
 
 #[test]

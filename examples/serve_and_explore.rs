@@ -17,8 +17,11 @@ use viewseeker_server::{serve_app, LogFormat, LogLevel, ServerConfig};
 /// One request over a fresh connection; returns `(status, body)`.
 fn call(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
+    // `Connection: close` because this helper reads to EOF — under the
+    // event I/O path (the default) HTTP/1.1 connections otherwise stay
+    // open for keep-alive and `read_to_string` would block forever.
     let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: example\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: example\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(request.as_bytes()).expect("send");
@@ -59,6 +62,9 @@ fn main() {
         log_format: LogFormat::Text,
         log_level: LogLevel::Off,
         default_executor: Default::default(),
+        // Event-driven reactor with default admission limits; pass
+        // IoModel::Blocking for the thread-per-connection oracle path.
+        ..Default::default()
     })
     .expect("bind");
     let addr = handle.addr();
