@@ -25,8 +25,10 @@ USAGE:
                       [--log-level debug|info|warn|error|off]
                       [--executor naive|shared|fused]
                       [--io blocking|event] [--max-inflight N] [--queue-deadline-ms MS]
+                      [--tracing true|false]
   viewseeker loadgen  --addr HOST:PORT [--connections N] [--duration SECS]
                       [--feedback-rounds N] [--out FILE.json] [--assert-clean true|false]
+  viewseeker trace    --addr HOST:PORT [--format summary|chrome|folded] [--n N] [--out FILE]
   viewseeker dataset import  --data-dir DIR --csv FILE.csv [--name NAME]
   viewseeker dataset list    --data-dir DIR
   viewseeker dataset inspect --data-dir DIR --name NAME
@@ -163,6 +165,8 @@ pub enum Command {
         max_inflight: usize,
         /// Event path: admission-queue deadline before `503` shedding.
         queue_deadline_ms: u64,
+        /// Per-request tracing (tail sampler + stage histograms).
+        tracing: bool,
     },
     /// Closed-loop load generator replaying interactive sessions.
     Loadgen {
@@ -179,6 +183,19 @@ pub enum Command {
         out: Option<String>,
         /// Exit nonzero on any protocol error.
         assert_clean: bool,
+    },
+    /// Fetch and summarize `GET /debug/traces` from a running server.
+    Trace {
+        /// Target server address (`host:port`).
+        addr: String,
+        /// Output shape: `summary` (human table), `chrome` (trace-event
+        /// JSON for Perfetto), or `folded` (flamegraph stacks).
+        format: String,
+        /// Keep only the N slowest retained traces (0 = all).
+        n: usize,
+        /// Write the raw export here instead of stdout (`summary` always
+        /// prints).
+        out: Option<String>,
     },
     /// Manage the on-disk dataset catalog (VSC1 columnar store).
     Dataset(DatasetCmd),
@@ -321,6 +338,7 @@ impl Command {
                 io: flags.get_parsed("--io")?.unwrap_or_default(),
                 max_inflight: flags.get_parsed("--max-inflight")?.unwrap_or(256),
                 queue_deadline_ms: flags.get_parsed("--queue-deadline-ms")?.unwrap_or(500),
+                tracing: flags.get_parsed("--tracing")?.unwrap_or(true),
             }),
             "loadgen" => Ok(Command::Loadgen {
                 addr: flags.require("--addr")?,
@@ -329,6 +347,12 @@ impl Command {
                 feedback_rounds: flags.get_parsed("--feedback-rounds")?.unwrap_or(3),
                 out: flags.get("--out"),
                 assert_clean: flags.get_parsed("--assert-clean")?.unwrap_or(true),
+            }),
+            "trace" => Ok(Command::Trace {
+                addr: flags.require("--addr")?,
+                format: flags.get("--format").unwrap_or_else(|| "summary".into()),
+                n: flags.get_parsed("--n")?.unwrap_or(0),
+                out: flags.get("--out"),
             }),
             "query" => Ok(Command::Query {
                 data: flags.require("--data")?,
@@ -568,6 +592,7 @@ mod tests {
                 io: IoModel::Event,
                 max_inflight: 256,
                 queue_deadline_ms: 500,
+                tracing: true,
             }
         );
         let c = parse(&[
@@ -598,6 +623,8 @@ mod tests {
             "64",
             "--queue-deadline-ms",
             "250",
+            "--tracing",
+            "false",
         ])
         .unwrap();
         assert_eq!(
@@ -616,9 +643,11 @@ mod tests {
                 io: IoModel::Blocking,
                 max_inflight: 64,
                 queue_deadline_ms: 250,
+                tracing: false,
             }
         );
         assert!(parse(&["serve", "--workers", "two"]).is_err());
+        assert!(parse(&["serve", "--tracing", "maybe"]).is_err());
         assert!(parse(&["serve", "--log-format", "xml"]).is_err());
         assert!(parse(&["serve", "--log-level", "verbose"]).is_err());
         assert!(parse(&["serve", "--catalog-mem-budget", "lots"]).is_err());
@@ -670,6 +699,43 @@ mod tests {
         );
         assert!(parse(&["loadgen"]).is_err(), "--addr is required");
         assert!(parse(&["loadgen", "--addr", "x", "--connections", "many"]).is_err());
+    }
+
+    #[test]
+    fn parses_trace_with_defaults() {
+        let c = parse(&["trace", "--addr", "127.0.0.1:7878"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Trace {
+                addr: "127.0.0.1:7878".into(),
+                format: "summary".into(),
+                n: 0,
+                out: None,
+            }
+        );
+        let c = parse(&[
+            "trace",
+            "--addr",
+            "127.0.0.1:7878",
+            "--format",
+            "chrome",
+            "--n",
+            "20",
+            "--out",
+            "traces.json",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Trace {
+                addr: "127.0.0.1:7878".into(),
+                format: "chrome".into(),
+                n: 20,
+                out: Some("traces.json".into()),
+            }
+        );
+        assert!(parse(&["trace"]).is_err(), "--addr is required");
+        assert!(parse(&["trace", "--addr", "x", "--n", "lots"]).is_err());
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             io,
             max_inflight,
             queue_deadline_ms,
+            tracing,
         } => serve(ServeArgs {
             addr,
             workers,
@@ -88,7 +89,14 @@ pub fn run(cmd: Command) -> Result<(), String> {
             io,
             max_inflight,
             queue_deadline_ms,
+            tracing,
         }),
+        Command::Trace {
+            addr,
+            format,
+            n,
+            out,
+        } => trace_cmd(&addr, &format, n, out),
         Command::Loadgen {
             addr,
             connections,
@@ -141,6 +149,7 @@ struct ServeArgs {
     io: viewseeker_server::IoModel,
     max_inflight: usize,
     queue_deadline_ms: u64,
+    tracing: bool,
 }
 
 fn serve(args: ServeArgs) -> Result<(), String> {
@@ -158,6 +167,7 @@ fn serve(args: ServeArgs) -> Result<(), String> {
         io,
         max_inflight,
         queue_deadline_ms,
+        tracing,
     } = args;
     let config = viewseeker_server::ServerConfig {
         addr: addr.clone(),
@@ -173,6 +183,7 @@ fn serve(args: ServeArgs) -> Result<(), String> {
         io,
         max_inflight,
         queue_deadline_ms,
+        tracing,
     };
     let handle =
         viewseeker_server::serve_app(&config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -189,6 +200,7 @@ fn serve(args: ServeArgs) -> Result<(), String> {
     println!("  GET  /datasets");
     println!("  GET  /healthz");
     println!("  GET  /metrics              (Prometheus text format)");
+    println!("  GET  /debug/traces         (tail-sampled slow-request traces)");
     println!("Ctrl-C to stop.");
     // Serve until killed: the accept loop and workers run on their own
     // threads, so park this one forever.
@@ -224,6 +236,124 @@ fn loadgen(
             "{} protocol errors over {} requests",
             report.protocol_errors, report.requests
         ));
+    }
+    Ok(())
+}
+
+/// One blocking HTTP/1.1 GET against `addr`; returns `(status, body)`.
+/// Rides the same incremental parser as the server and loadgen, so framing
+/// (keep-alive headers, content-length) is never hand-rolled here.
+fn http_get(addr: &str, path_and_query: &str) -> Result<(u16, String), String> {
+    use std::io::Read;
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    stream
+        .write_all(
+            format!("GET {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| format!("sending request: {e}"))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if let Some(parsed) = viewseeker_net::http1::parse_response(&buf)
+            .map_err(|e| format!("bad response from {addr}: {e}"))?
+        {
+            let body = String::from_utf8_lossy(&parsed.body).into_owned();
+            return Ok((parsed.status, body));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(format!("{addr} closed the connection mid-response")),
+            Ok(n) => buf.extend_from_slice(chunk.get(..n).unwrap_or_default()),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("reading response: {e}")),
+        }
+    }
+}
+
+/// `viewseeker trace`: fetches `GET /debug/traces` from a running server
+/// and either re-emits the raw export (`chrome`, `folded`) or renders a
+/// human summary table of the retained slow/errored/shed requests.
+fn trace_cmd(addr: &str, format: &str, n: usize, out: Option<String>) -> Result<(), String> {
+    let wire_format = if format == "summary" {
+        "chrome"
+    } else {
+        format
+    };
+    let (status, body) = http_get(addr, &format!("/debug/traces?format={wire_format}&n={n}"))?;
+    if status != 200 {
+        return Err(format!("{addr} answered {status}: {body}"));
+    }
+    if let Some(path) = &out {
+        std::fs::write(path, format!("{body}\n")).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {} bytes to {path}", body.len() + 1);
+    }
+    match format {
+        "summary" => print_trace_summary(&body),
+        _ => {
+            if out.is_none() {
+                println!("{body}");
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Renders the Chrome trace-event export as one line per request plus an
+/// indented stage breakdown, slowest first (the export order).
+fn print_trace_summary(chrome_json: &str) -> Result<(), String> {
+    let parsed = serde_json::parse_value(chrome_json)
+        .map_err(|e| format!("unparseable /debug/traces payload: {e}"))?;
+    let Some(serde_json::Value::Array(events)) = parsed.get("traceEvents").map(ToOwned::to_owned)
+    else {
+        return Err("payload has no traceEvents array".into());
+    };
+    let requests: Vec<&serde_json::Value> = events
+        .iter()
+        .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("request"))
+        .collect();
+    if requests.is_empty() {
+        println!("(no traces retained — the sampler keeps slow, errored, and shed requests)");
+        return Ok(());
+    }
+    println!("{} retained trace(s) from /debug/traces:\n", requests.len());
+    for request in requests {
+        let tid = request.get("tid").and_then(|t| t.as_u64()).unwrap_or(0);
+        let name = request.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+        let dur = request.get("dur").and_then(|v| v.as_u64()).unwrap_or(0);
+        let args = request.get("args");
+        let field = |key: &str| -> String {
+            args.and_then(|a| a.get(key))
+                .map(|v| match v.as_str() {
+                    Some(s) => s.to_owned(),
+                    None => serde_json::render_compact(v),
+                })
+                .unwrap_or_default()
+        };
+        println!(
+            "{name}  [{}]  status={} route={:?} total={dur}us{}",
+            field("request_id"),
+            field("status"),
+            field("route"),
+            if field("shed") == "true" { " SHED" } else { "" },
+        );
+        for stage in events.iter().filter(|e| {
+            e.get("cat").and_then(|c| c.as_str()) == Some("stage")
+                && e.get("tid").and_then(|t| t.as_u64()) == Some(tid)
+        }) {
+            let parent = stage
+                .get("args")
+                .and_then(|a| a.get("parent"))
+                .and_then(|p| p.as_str())
+                .unwrap_or("");
+            let indent = if parent.is_empty() { "  " } else { "      " };
+            println!(
+                "{indent}{:<16} {:>9}us",
+                stage.get("name").and_then(|v| v.as_str()).unwrap_or("?"),
+                stage.get("dur").and_then(|v| v.as_u64()).unwrap_or(0),
+            );
+        }
+        println!();
     }
     Ok(())
 }

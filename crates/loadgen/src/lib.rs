@@ -53,6 +53,21 @@ pub struct Config {
     pub feedback_rounds: usize,
 }
 
+/// Latency summary for one step of the session mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointStats {
+    /// Step name: `create`, `next`, `feedback`, `recommend`, or `delete`.
+    pub endpoint: &'static str,
+    /// Responses received for this step (any status).
+    pub count: u64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
+}
+
 /// Aggregate results of one load run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Report {
@@ -81,18 +96,35 @@ pub struct Report {
     pub p99_us: u64,
     /// Worst observed request latency, microseconds.
     pub max_us: u64,
+    /// Responses whose echoed `X-Request-Id` differs from the one sent
+    /// (expected 0 — every response path echoes the id).
+    pub id_mismatches: u64,
+    /// Per-step latency breakdown, in session-mix order.
+    pub endpoints: Vec<EndpointStats>,
 }
 
 impl Report {
     /// Renders the report as a single JSON object (the `loadgen` CLI
-    /// output and the `BENCH_net.json` payload).
+    /// output and the `BENCH_net.json`/`BENCH_trace.json` payload).
     #[must_use]
     pub fn to_json(&self) -> String {
+        let endpoints = self
+            .endpoints
+            .iter()
+            .map(|e| {
+                format!(
+                    "\"{}\": {{\"count\": {}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+                    e.endpoint, e.count, e.p50_us, e.p99_us, e.max_us
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         format!(
             "{{\"connections\": {}, \"duration_secs\": {:.3}, \"requests\": {}, \
              \"sessions\": {}, \"errors\": {}, \"protocol_errors\": {}, \
              \"shed\": {}, \"reconnects\": {}, \"throughput_rps\": {:.1}, \
-             \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+             \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}, \
+             \"id_mismatches\": {}, \"endpoints\": {{{endpoints}}}}}",
             self.connections,
             self.duration_secs,
             self.requests,
@@ -105,6 +137,7 @@ impl Report {
             self.p50_us,
             self.p99_us,
             self.max_us,
+            self.id_mismatches,
         )
     }
 }
@@ -117,6 +150,22 @@ enum Step {
     Feedback(usize),
     Recommend,
     Delete,
+}
+
+/// Step names in session-mix order, indexed by [`Step::index`].
+const STEP_NAMES: [&str; 5] = ["create", "next", "feedback", "recommend", "delete"];
+
+impl Step {
+    /// Index into [`STEP_NAMES`] and the per-step histogram array.
+    fn index(self) -> usize {
+        match self {
+            Step::Create => 0,
+            Step::Next(_) => 1,
+            Step::Feedback(_) => 2,
+            Step::Recommend => 3,
+            Step::Delete => 4,
+        }
+    }
 }
 
 /// One closed-loop connection's state machine.
@@ -133,6 +182,10 @@ struct Client {
     sent_at: Instant,
     /// A request is outstanding (response not yet parsed).
     awaiting: bool,
+    /// Requests issued on this connection, for minting unique ids.
+    issued: u64,
+    /// The `X-Request-Id` sent with the outstanding request.
+    request_id: String,
 }
 
 /// Mutable counters shared across the run loop.
@@ -144,6 +197,45 @@ struct Counters {
     protocol_errors: u64,
     shed: u64,
     reconnects: u64,
+    id_mismatches: u64,
+}
+
+/// Overall and per-step latency histograms.
+struct Latency {
+    total: Histogram,
+    steps: [Histogram; 5],
+}
+
+impl Latency {
+    fn new() -> Self {
+        Self {
+            total: Histogram::new(),
+            steps: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
+
+    fn record(&mut self, step: Step, us: u64) {
+        self.total.record(us);
+        if let Some(hist) = self.steps.get_mut(step.index()) {
+            hist.record(us);
+        }
+    }
+
+    /// Per-step summaries in session-mix order, skipping steps never hit.
+    fn endpoints(&self) -> Vec<EndpointStats> {
+        STEP_NAMES
+            .iter()
+            .zip(&self.steps)
+            .filter(|(_, hist)| hist.count() > 0)
+            .map(|(name, hist)| EndpointStats {
+                endpoint: name,
+                count: hist.count(),
+                p50_us: hist.quantile(0.50),
+                p99_us: hist.quantile(0.99),
+                max_us: hist.max_us(),
+            })
+            .collect()
+    }
 }
 
 impl Client {
@@ -163,6 +255,8 @@ impl Client {
             seed: 0,
             sent_at: Instant::now(),
             awaiting: false,
+            issued: 0,
+            request_id: String::new(),
         })
     }
 
@@ -203,9 +297,13 @@ impl Client {
                 String::new(),
             ),
         };
+        self.issued += 1;
+        self.request_id = format!("lg-{:x}-{:x}", self.seed, self.issued);
         self.write_buf.extend_from_slice(
             format!(
-                "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+                "{method} {path} HTTP/1.1\r\nHost: loadgen\r\n\
+                 X-Request-Id: {}\r\nContent-Length: {}\r\n\r\n{body}",
+                self.request_id,
                 body.len()
             )
             .as_bytes(),
@@ -305,7 +403,7 @@ pub fn run(config: &Config) -> io::Result<Report> {
 
     let mut poller = Poller::new()?;
     let mut counters = Counters::default();
-    let mut latency = Histogram::new();
+    let mut latency = Latency::new();
 
     // Ramp: establish every connection and queue its first create. The
     // clock starts before the ramp so throughput reflects the whole run.
@@ -395,9 +493,11 @@ pub fn run(config: &Config) -> io::Result<Report> {
         } else {
             0.0
         },
-        p50_us: latency.quantile(0.50),
-        p99_us: latency.quantile(0.99),
-        max_us: latency.max_us(),
+        p50_us: latency.total.quantile(0.50),
+        p99_us: latency.total.quantile(0.99),
+        max_us: latency.total.max_us(),
+        id_mismatches: counters.id_mismatches,
+        endpoints: latency.endpoints(),
     })
 }
 
@@ -408,7 +508,7 @@ fn read_and_step(
     scratch: &mut [u8],
     rounds: usize,
     counters: &mut Counters,
-    latency: &mut Histogram,
+    latency: &mut Latency,
 ) -> bool {
     loop {
         match (&client.stream).read(scratch) {
@@ -451,11 +551,17 @@ fn handle_response(
     parsed: &ParsedResponse,
     rounds: usize,
     counters: &mut Counters,
-    latency: &mut Histogram,
+    latency: &mut Latency,
 ) -> bool {
     counters.requests += 1;
     client.awaiting = false;
-    latency.record(u64::try_from(client.sent_at.elapsed().as_micros()).unwrap_or(u64::MAX));
+    latency.record(
+        client.step,
+        u64::try_from(client.sent_at.elapsed().as_micros()).unwrap_or(u64::MAX),
+    );
+    if parsed.request_id.as_deref() != Some(client.request_id.as_str()) {
+        counters.id_mismatches += 1;
+    }
     if parsed.status == 503 {
         // Shed by admission control: retry the same step on the same
         // (still-alive) connection.
@@ -537,11 +643,55 @@ mod tests {
             p50_us: 800,
             p99_us: 2_000,
             max_us: 3_000,
+            id_mismatches: 0,
+            endpoints: vec![
+                EndpointStats {
+                    endpoint: "create",
+                    count: 10,
+                    p50_us: 900,
+                    p99_us: 2_500,
+                    max_us: 3_000,
+                },
+                EndpointStats {
+                    endpoint: "next",
+                    count: 30,
+                    p50_us: 700,
+                    p99_us: 1_500,
+                    max_us: 1_800,
+                },
+            ],
         };
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"protocol_errors\": 0"), "{json}");
         assert!(json.contains("\"shed\": 3"), "{json}");
+        assert!(json.contains("\"id_mismatches\": 0"), "{json}");
+        assert!(
+            json.contains(
+                "\"next\": {\"count\": 30, \"p50_us\": 700, \"p99_us\": 1500, \"max_us\": 1800}"
+            ),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn per_step_latency_lands_in_the_right_bucket() {
+        let mut latency = Latency::new();
+        latency.record(Step::Create, 5_000);
+        latency.record(Step::Next(0), 800);
+        latency.record(Step::Next(1), 900);
+        latency.record(Step::Delete, 100);
+        let endpoints = latency.endpoints();
+        let names: Vec<&str> = endpoints.iter().map(|e| e.endpoint).collect();
+        assert_eq!(
+            names,
+            ["create", "next", "delete"],
+            "mix order, gaps skipped"
+        );
+        let next = endpoints.iter().find(|e| e.endpoint == "next").unwrap();
+        assert_eq!(next.count, 2);
+        assert_eq!(next.max_us, 900);
+        assert_eq!(latency.total.count(), 4);
     }
 
     #[test]
@@ -558,6 +708,8 @@ mod tests {
             seed: 0,
             sent_at: Instant::now(),
             awaiting: false,
+            issued: 0,
+            request_id: String::new(),
         };
         assert!(!client.advance(br#"{"id": "s-1"}"#, 2));
         assert_eq!(client.step, Step::Next(0));

@@ -86,6 +86,15 @@ impl Conn {
         }
     }
 
+    /// Sequence number the next in-order flush will take: every response
+    /// with `seq < flushed_seq()` has been encoded into the write buffer.
+    /// The trace layer finalizes a request's `write` span once this
+    /// passes its seq *and* the buffer drains.
+    #[must_use]
+    pub fn flushed_seq(&self) -> u64 {
+        self.flush_seq
+    }
+
     /// The bytes still owed to the socket.
     #[must_use]
     pub fn pending(&self) -> &[u8] {

@@ -33,11 +33,23 @@ pub struct Request {
     pub path: String,
     /// Percent-decoded `key=value` pairs from the query string, in order.
     pub query: Vec<(String, String)>,
+    /// `(name, value)` header pairs in arrival order, names lowercased
+    /// and values trimmed.
+    pub headers: Vec<(String, String)>,
     /// Raw request body.
     pub body: Vec<u8>,
 }
 
 impl Request {
+    /// The first value of header `name` (case-insensitive), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
     /// The first value of query parameter `key`, if present.
     #[must_use]
     pub fn query_param(&self, key: &str) -> Option<&str> {
@@ -87,6 +99,10 @@ pub struct Response {
     pub content_type: &'static str,
     /// Emits a `Retry-After: <secs>` header when set (shed responses).
     pub retry_after: Option<u32>,
+    /// Emits an `X-Request-Id: <id>` header when set, echoing the id the
+    /// request was traced under (honored or generated). Values come from
+    /// `crate::trace` and are sanitized there — never raw client bytes.
+    pub request_id: Option<String>,
 }
 
 impl Response {
@@ -104,6 +120,7 @@ impl Response {
             body,
             content_type: "application/json",
             retry_after: None,
+            request_id: None,
         }
     }
 
@@ -116,6 +133,19 @@ impl Response {
             body,
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             retry_after: None,
+            request_id: None,
+        }
+    }
+
+    /// A `200 OK` plain-text response (folded-stack trace export).
+    #[must_use]
+    pub fn text(body: String) -> Self {
+        Self {
+            status: 200,
+            body,
+            content_type: "text/plain; charset=utf-8",
+            retry_after: None,
+            request_id: None,
         }
     }
 
@@ -129,6 +159,7 @@ impl Response {
             body: "{\"error\": \"overloaded, retry later\"}".to_owned(),
             content_type: "application/json",
             retry_after: Some(retry_after_secs),
+            request_id: None,
         }
     }
 }
@@ -137,6 +168,15 @@ impl Response {
 pub trait Handler: Send + Sync + 'static {
     /// Produces the response for one request.
     fn handle(&self, request: &Request) -> Response;
+
+    /// Like [`Handler::handle`], with the request's live trace so the
+    /// handler can stamp its own stage spans (route, serialization, the
+    /// seeker's phase breakdown). The default ignores the trace, so
+    /// plain handlers keep working untraced.
+    fn handle_traced(&self, request: &Request, trace: &crate::trace::ActiveTrace) -> Response {
+        let _ = trace;
+        self.handle(request)
+    }
 }
 
 /// The reason phrase for a status code.
@@ -306,6 +346,7 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<Parsed>, ParseError> {
 
     let mut content_length = 0usize;
     let mut keep_alive = http11;
+    let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
             continue;
@@ -314,6 +355,7 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<Parsed>, ParseError> {
             continue;
         };
         let value = value.trim();
+        headers.push((name.trim().to_ascii_lowercase(), value.to_owned()));
         if name.eq_ignore_ascii_case("content-length") {
             content_length = value
                 .parse()
@@ -340,6 +382,7 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<Parsed>, ParseError> {
             method: method.to_ascii_uppercase(),
             path,
             query,
+            headers,
             body: body.to_vec(),
         },
         consumed,
@@ -361,6 +404,9 @@ pub fn encode_response(response: &Response, keep_alive: bool, out: &mut Vec<u8>)
     if let Some(secs) = response.retry_after {
         head.push_str(&format!("Retry-After: {secs}\r\n"));
     }
+    if let Some(id) = &response.request_id {
+        head.push_str(&format!("X-Request-Id: {id}\r\n"));
+    }
     head.push_str("\r\n");
     out.extend_from_slice(head.as_bytes());
     out.extend_from_slice(response.body.as_bytes());
@@ -380,6 +426,9 @@ pub struct ParsedResponse {
     pub keep_alive: bool,
     /// Parsed `Retry-After` header, seconds, when present.
     pub retry_after: Option<u32>,
+    /// Parsed `X-Request-Id` header, when present — lets clients (the
+    /// loadgen) correlate responses with the ids they sent.
+    pub request_id: Option<String>,
 }
 
 /// Tries to lift one complete response off the front of `buf`; the dual
@@ -417,6 +466,7 @@ pub fn parse_response(buf: &[u8]) -> Result<Option<ParsedResponse>, ParseError> 
     let mut content_length = 0usize;
     let mut keep_alive = version == "HTTP/1.1";
     let mut retry_after = None;
+    let mut request_id = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -435,6 +485,8 @@ pub fn parse_response(buf: &[u8]) -> Result<Option<ParsedResponse>, ParseError> 
             }
         } else if name.eq_ignore_ascii_case("retry-after") {
             retry_after = value.parse().ok();
+        } else if name.eq_ignore_ascii_case("x-request-id") {
+            request_id = Some(value.to_owned());
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -450,6 +502,7 @@ pub fn parse_response(buf: &[u8]) -> Result<Option<ParsedResponse>, ParseError> 
         consumed,
         keep_alive,
         retry_after,
+        request_id,
     }))
 }
 
@@ -506,6 +559,27 @@ mod tests {
         assert!(p.request.body.is_empty());
         assert!(p.keep_alive, "HTTP/1.1 defaults to keep-alive");
         assert_eq!(p.consumed, 55);
+    }
+
+    #[test]
+    fn headers_are_collected_and_case_insensitive() {
+        let p = full(b"GET / HTTP/1.1\r\nHost: x\r\nX-Request-Id:  abc-1 \r\n\r\n");
+        assert_eq!(p.request.header("host"), Some("x"));
+        assert_eq!(p.request.header("X-Request-ID"), Some("abc-1"));
+        assert_eq!(p.request.header("missing"), None);
+        assert_eq!(p.request.headers.len(), 2);
+    }
+
+    #[test]
+    fn encode_emits_x_request_id_when_set() {
+        let mut response = Response::json("{}".into());
+        response.request_id = Some("req-42".into());
+        let mut out = Vec::new();
+        encode_response(&response, true, &mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("X-Request-Id: req-42\r\n"), "{text}");
+        let p = parse_response(text.as_bytes()).unwrap().unwrap();
+        assert_eq!(p.status, 200);
     }
 
     #[test]

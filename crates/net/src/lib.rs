@@ -27,6 +27,10 @@
 //!   writes, keep-alive bookkeeping.
 //! * [`reactor`] — the event loop itself plus the worker dispatch pool
 //!   and the admission queue.
+//! * [`trace`] — per-request tracing: ids (honored or generated
+//!   `X-Request-Id`), span trees stamped across the pipeline stages, the
+//!   lock-light tail sampler behind `GET /debug/traces`, and the Chrome
+//!   trace-event / folded-stack exporters.
 //!
 //! This crate is deliberately protocol-only: it knows nothing about
 //! sessions, datasets, or JSON. `viewseeker-server` mounts its `Router`
@@ -49,7 +53,9 @@ pub mod reactor;
 pub mod stats;
 #[allow(unsafe_code)]
 pub mod sys;
+pub mod trace;
 
 pub use http1::{Handler, Request, Response};
 pub use reactor::{serve_event, EventConfig, EventHandle};
 pub use stats::NetStats;
+pub use trace::{ActiveTrace, NoopTraceSink, RequestTrace, TraceSampler, TraceSink};

@@ -48,6 +48,7 @@ use crate::conn::Conn;
 use crate::http1::{self, Handler, Request, Response};
 use crate::stats::NetStats;
 use crate::sys::{Interest, Poller};
+use crate::trace::{ActiveTrace, TraceSink};
 
 /// Token for the listening socket.
 const LISTENER: u64 = 0;
@@ -143,6 +144,10 @@ struct Job {
     seq: u64,
     keep_alive: bool,
     request: Request,
+    trace: ActiveTrace,
+    /// When the reactor handed the job to the worker channel (the
+    /// `dispatch` span runs from here to worker pickup).
+    dispatched: Instant,
 }
 
 /// A worker's finished response.
@@ -151,6 +156,9 @@ struct Completion {
     seq: u64,
     keep_alive: bool,
     response: Response,
+    trace: ActiveTrace,
+    /// When the handler returned (the `write` span starts here).
+    finished_at: Instant,
 }
 
 /// A parsed request waiting for a worker slot.
@@ -159,13 +167,24 @@ struct Queued {
     seq: u64,
     keep_alive: bool,
     request: Request,
+    trace: ActiveTrace,
     enqueued: Instant,
+}
+
+/// A request whose response is (or is about to be) in the write buffer;
+/// its trace finalizes once the buffer drains past its sequence number.
+struct PendingFinish {
+    seq: u64,
+    trace: ActiveTrace,
+    write_start: Instant,
 }
 
 /// Binds `addr` and serves `handler` on the event reactor until
 /// [`EventHandle::shutdown`]. `stats` is scraped by the caller (the
 /// server's `/metrics` endpoint); `queue_depth` mirrors the admission
-/// queue length (pending-dispatch count).
+/// queue length (pending-dispatch count); `sink` receives every
+/// finished [`crate::trace::RequestTrace`] — including sheds and parse
+/// rejections — once the response's last byte is flushed.
 ///
 /// # Errors
 ///
@@ -177,6 +196,7 @@ pub fn serve_event<H: Handler>(
     handler: Arc<H>,
     stats: Arc<NetStats>,
     queue_depth: Arc<AtomicU64>,
+    sink: Arc<dyn TraceSink>,
 ) -> io::Result<EventHandle> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
@@ -206,12 +226,19 @@ pub fn serve_event<H: Handler>(
                 .spawn(move || {
                     // recv() errors once the loop drops the sender — exit.
                     while let Ok(job) = job_rx.recv() {
-                        let response = handler.handle(&job.request);
+                        job.trace.record("dispatch", job.dispatched);
+                        let handler_start = Instant::now();
+                        let mut response = handler.handle_traced(&job.request, &job.trace);
+                        job.trace.record("handler", handler_start);
+                        job.trace.set_status(response.status);
+                        response.request_id = Some(job.trace.id());
                         let _ = done_tx.send(Completion {
                             token: job.token,
                             seq: job.seq,
                             keep_alive: job.keep_alive,
                             response,
+                            trace: job.trace,
+                            finished_at: Instant::now(),
                         });
                         // Nonblocking wake; a full pipe still wakes the loop.
                         let _ = (&waker).write(&[1]);
@@ -239,6 +266,7 @@ pub fn serve_event<H: Handler>(
                 queue_depth,
                 job_tx,
                 done_rx,
+                sink,
             };
             reactor.run(&loop_shutdown);
         })?;
@@ -257,6 +285,12 @@ pub fn serve_event<H: Handler>(
 struct Entry {
     conn: Conn,
     interest: Interest,
+    /// When the first unparsed byte of the in-progress request arrived;
+    /// the next parsed request's trace (and its `parse` span) starts
+    /// here. `None` while the read buffer holds no request prefix.
+    first_byte: Option<Instant>,
+    /// Traces awaiting last-byte-flushed finalization, in seq order.
+    finalizing: Vec<PendingFinish>,
 }
 
 struct Reactor {
@@ -274,6 +308,8 @@ struct Reactor {
     queue_depth: Arc<AtomicU64>,
     job_tx: channel::Sender<Job>,
     done_rx: channel::Receiver<Completion>,
+    /// Receives every finished request trace.
+    sink: Arc<dyn TraceSink>,
 }
 
 impl Reactor {
@@ -366,6 +402,8 @@ impl Reactor {
                         Entry {
                             conn: Conn::new(stream),
                             interest: Interest::READ,
+                            first_byte: None,
+                            finalizing: Vec::new(),
                         },
                     );
                     self.stats.accepted.fetch_add(1, Ordering::Relaxed);
@@ -420,6 +458,9 @@ impl Reactor {
                 Ok(n) => {
                     did_read = true;
                     budget = budget.saturating_sub(n);
+                    if entry.first_byte.is_none() {
+                        entry.first_byte = Some(Instant::now());
+                    }
                     entry
                         .conn
                         .read_buf
@@ -469,12 +510,27 @@ impl Reactor {
             match http1::parse_request(&entry.conn.read_buf) {
                 Ok(Some(parsed)) => {
                     entry.conn.read_buf.drain(..parsed.consumed);
+                    let started = entry.first_byte.take().unwrap_or_else(Instant::now);
+                    if !entry.conn.read_buf.is_empty() {
+                        // A pipelined successor's bytes are already here;
+                        // its parse clock starts now, not at this
+                        // request's first byte.
+                        entry.first_byte = Some(Instant::now());
+                    }
+                    let trace = ActiveTrace::start(
+                        parsed.request.header("x-request-id"),
+                        &parsed.request.method,
+                        &parsed.request.path,
+                        started,
+                    );
+                    trace.record("parse", started);
                     let seq = entry.conn.assign_seq();
                     self.admission.push_back(Queued {
                         token,
                         seq,
                         keep_alive: parsed.keep_alive,
                         request: parsed.request,
+                        trace,
                         enqueued: Instant::now(),
                     });
                     parsed_any = true;
@@ -482,10 +538,23 @@ impl Reactor {
                 Ok(None) => return parsed_any,
                 Err(e) => {
                     // The byte stream is unrecoverable: answer in order
-                    // (after any pipelined predecessors) and close.
+                    // (after any pipelined predecessors) and close. The
+                    // rejection is traced too — 400/431/413 responses
+                    // carry a request id and reach the sink's logs.
+                    let started = entry.first_byte.take().unwrap_or_else(Instant::now);
+                    let trace = ActiveTrace::start(None, "-", "-", started);
+                    trace.record("parse", started);
+                    trace.set_status(e.status());
+                    let mut response = e.to_response();
+                    response.request_id = Some(trace.id());
                     let seq = entry.conn.assign_seq();
-                    entry.conn.complete(seq, e.to_response(), false);
+                    entry.conn.complete(seq, response, false);
                     entry.conn.closing = true;
+                    entry.finalizing.push(PendingFinish {
+                        seq,
+                        trace,
+                        write_start: Instant::now(),
+                    });
                     return true;
                 }
             }
@@ -528,12 +597,39 @@ impl Reactor {
         if entry.conn.wants_write() && budget == 0 {
             self.stats.write_stalls.fetch_add(1, Ordering::Relaxed);
         }
-        if entry.conn.finished() {
+        self.finalize_flushed(token);
+        let finished = self.conns.get(&token).is_some_and(|e| e.conn.finished());
+        if finished {
             self.close(token);
         } else {
             self.update_interest(token);
         }
         wrote
+    }
+
+    /// Finalizes every trace whose response bytes have fully reached the
+    /// socket: the in-order flush cursor has passed its sequence number
+    /// and the write buffer is drained. The `write` span runs from
+    /// handler completion (or shed/reject decision) to this moment.
+    fn finalize_flushed(&mut self, token: u64) {
+        let sink = Arc::clone(&self.sink);
+        let Some(entry) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if entry.conn.wants_write() || entry.finalizing.is_empty() {
+            return;
+        }
+        let flushed = entry.conn.flushed_seq();
+        let mut index = 0;
+        while index < entry.finalizing.len() {
+            if entry.finalizing.get(index).is_some_and(|p| p.seq < flushed) {
+                let p = entry.finalizing.remove(index);
+                p.trace.record("write", p.write_start);
+                sink.record(p.trace.finish());
+            } else {
+                index += 1;
+            }
+        }
     }
 
     /// Applies every completion the workers produced, re-parsing any
@@ -549,6 +645,11 @@ impl Reactor {
             entry
                 .conn
                 .complete(done.seq, done.response, done.keep_alive);
+            entry.finalizing.push(PendingFinish {
+                seq: done.seq,
+                trace: done.trace,
+                write_start: done.finished_at,
+            });
             // A freed pipeline slot may unblock buffered requests.
             self.parse_conn(done.token);
             // Flush eagerly: most responses fit the socket buffer, so this
@@ -577,11 +678,19 @@ impl Reactor {
             self.stats.shed.fetch_add(1, Ordering::Relaxed);
             let retry = self.config.retry_after_secs;
             if let Some(entry) = self.conns.get_mut(&q.token) {
+                q.trace.record("queue_wait", q.enqueued);
+                q.trace.mark_shed();
+                q.trace.set_status(503);
+                let mut response = Response::unavailable(retry);
+                response.request_id = Some(q.trace.id());
                 // Shed keeps the connection: a backing-off client reuses
                 // its socket after Retry-After.
-                entry
-                    .conn
-                    .complete(q.seq, Response::unavailable(retry), q.keep_alive);
+                entry.conn.complete(q.seq, response, q.keep_alive);
+                entry.finalizing.push(PendingFinish {
+                    seq: q.seq,
+                    trace: q.trace,
+                    write_start: Instant::now(),
+                });
                 self.writable(q.token);
             }
         }
@@ -593,6 +702,7 @@ impl Reactor {
             if !self.conns.contains_key(&q.token) {
                 continue; // connection died while queued
             }
+            q.trace.record("queue_wait", q.enqueued);
             if self
                 .job_tx
                 .send(Job {
@@ -600,6 +710,8 @@ impl Reactor {
                     seq: q.seq,
                     keep_alive: q.keep_alive,
                     request: q.request,
+                    trace: q.trace,
+                    dispatched: Instant::now(),
                 })
                 .is_ok()
             {
@@ -628,11 +740,17 @@ impl Reactor {
         }
     }
 
-    /// Deregisters and drops a connection.
+    /// Deregisters and drops a connection, finalizing any traces still
+    /// waiting on a flush (their `write` span ends at the close — the
+    /// honest duration when the peer vanished mid-response).
     fn close(&mut self, token: u64) {
         if let Some(entry) = self.conns.remove(&token) {
             let _ = self.poller.remove(entry.conn.stream.as_raw_fd());
             self.stats.active.fetch_sub(1, Ordering::Relaxed);
+            for p in entry.finalizing {
+                p.trace.record("write", p.write_start);
+                self.sink.record(p.trace.finish());
+            }
         }
     }
 }
@@ -656,18 +774,46 @@ mod tests {
         }
     }
 
-    fn start(config: EventConfig) -> (EventHandle, Arc<NetStats>, Arc<AtomicU64>) {
+    /// Captures every finalized trace for assertions.
+    #[derive(Debug, Default)]
+    struct CaptureSink {
+        traces: std::sync::Mutex<Vec<crate::trace::RequestTrace>>,
+    }
+
+    impl TraceSink for CaptureSink {
+        fn record(&self, trace: crate::trace::RequestTrace) {
+            self.traces.lock().unwrap().push(trace);
+        }
+    }
+
+    impl CaptureSink {
+        fn take(&self) -> Vec<crate::trace::RequestTrace> {
+            self.traces.lock().unwrap().clone()
+        }
+
+        fn wait_for(&self, count: usize) -> Vec<crate::trace::RequestTrace> {
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while self.take().len() < count && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            self.take()
+        }
+    }
+
+    fn start(config: EventConfig) -> (EventHandle, Arc<NetStats>, Arc<CaptureSink>) {
         let stats = Arc::new(NetStats::new());
         let depth = Arc::new(AtomicU64::new(0));
+        let sink = Arc::new(CaptureSink::default());
         let handle = serve_event(
             "127.0.0.1:0",
             config,
             Arc::new(Echo),
             Arc::clone(&stats),
-            Arc::clone(&depth),
+            depth,
+            Arc::clone(&sink) as Arc<dyn TraceSink>,
         )
         .unwrap();
-        (handle, stats, depth)
+        (handle, stats, sink)
     }
 
     fn read_one_response(reader: &mut BufReader<TcpStream>) -> (u16, String, Vec<String>) {
@@ -861,6 +1007,88 @@ mod tests {
     fn shutdown_joins_cleanly_with_open_connections() {
         let (handle, _, _) = start(EventConfig::default());
         let _idle = TcpStream::connect(handle.addr()).unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn requests_are_traced_end_to_end_with_id_echo() {
+        let (handle, _, sink) = start(EventConfig::default());
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        (&stream)
+            .write_all(b"GET /traced HTTP/1.1\r\nX-Request-Id: my-id-1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let (status, _, headers) = read_one_response(&mut reader);
+        assert_eq!(status, 200);
+        assert!(
+            headers.iter().any(|h| h == "X-Request-Id: my-id-1"),
+            "honored id must echo: {headers:?}"
+        );
+        let traces = sink.wait_for(1);
+        let trace = traces.first().expect("one finalized trace");
+        assert_eq!(trace.id, "my-id-1");
+        assert_eq!(
+            (trace.method.as_str(), trace.path.as_str()),
+            ("GET", "/traced")
+        );
+        assert_eq!(trace.status, 200);
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name).collect();
+        for stage in ["parse", "queue_wait", "dispatch", "handler", "write"] {
+            assert!(names.contains(&stage), "missing {stage}: {names:?}");
+        }
+        assert!(
+            trace.stage_sum_us() <= trace.total_us,
+            "stages {} cannot exceed wall {}",
+            trace.stage_sum_us(),
+            trace.total_us
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shed_and_parse_reject_traces_reach_the_sink() {
+        let config = EventConfig {
+            workers: 1,
+            max_inflight: 1,
+            queue_deadline: Duration::from_millis(50),
+            ..EventConfig::default()
+        };
+        let (handle, _, sink) = start(config);
+        let blocker = TcpStream::connect(handle.addr()).unwrap();
+        (&blocker)
+            .write_all(b"GET /block?sleep_ms=400 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let victim = TcpStream::connect(handle.addr()).unwrap();
+        (&victim)
+            .write_all(b"GET /shed HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut reader = BufReader::new(victim.try_clone().unwrap());
+        let (status, _, headers) = read_one_response(&mut reader);
+        assert_eq!(status, 503);
+        assert!(
+            headers.iter().any(|h| h.starts_with("X-Request-Id: ")),
+            "shed responses carry an id: {headers:?}"
+        );
+        let mut garbage = TcpStream::connect(handle.addr()).unwrap();
+        garbage.write_all(b"garbage\r\n\r\n").unwrap();
+        let mut out = String::new();
+        garbage.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        assert!(out.contains("X-Request-Id: "), "{out}");
+
+        // Sink sees: the shed (503, shed flag, queue_wait span) and the
+        // reject (400, parse span) — plus the blocker once it flushes.
+        let traces = sink.wait_for(2);
+        let shed = traces.iter().find(|t| t.shed).expect("shed trace recorded");
+        assert_eq!(shed.status, 503);
+        assert!(shed.spans.iter().any(|s| s.name == "queue_wait"));
+        let reject = traces
+            .iter()
+            .find(|t| t.status == 400)
+            .expect("parse-reject trace recorded");
+        assert!(reject.spans.iter().any(|s| s.name == "parse"));
+        assert_eq!(reject.route_label(), "rejected");
         handle.shutdown();
     }
 }

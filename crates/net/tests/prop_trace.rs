@@ -1,0 +1,143 @@
+//! Property-based tests of the tail-sampling trace buffer under real
+//! concurrency: many threads hammer one [`TraceSampler`] and afterwards
+//! (a) a trace carrying the maximum latency is always retained — the
+//! relaxed-atomic admission floor must never skip a window's slowest
+//! request, (b) retained memory stays within the configured bounds, and
+//! (c) the record counter equals the number of offers. Shed and errored
+//! traces are mixed in so the bounded FIFO side-sets are exercised too.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use proptest::prelude::*;
+use viewseeker_net::trace::{RequestTrace, TraceSampler, TraceSink};
+
+/// One offered request outcome: latency plus how it ended.
+#[derive(Debug, Clone, Copy)]
+struct Offer {
+    total_us: u64,
+    status: u16,
+    shed: bool,
+}
+
+fn arb_offer() -> impl Strategy<Value = Offer> {
+    (0u64..5_000, 0u32..10).prop_map(|(total_us, class)| Offer {
+        total_us,
+        status: match class {
+            0 => 503,
+            1 => 429,
+            _ => 200,
+        },
+        shed: class == 0,
+    })
+}
+
+fn trace(id: String, offer: Offer) -> RequestTrace {
+    RequestTrace {
+        id,
+        method: "GET".to_owned(),
+        path: "/sessions/s/next".to_owned(),
+        route: if offer.shed {
+            ""
+        } else {
+            "GET /sessions/:id/next"
+        },
+        status: offer.status,
+        shed: offer.shed,
+        started: Instant::now(),
+        total_us: offer.total_us,
+        spans: Vec::new(),
+    }
+}
+
+/// Splits `offers` across `threads` workers, records them all
+/// concurrently, and returns the sampler.
+fn hammer(sampler: &Arc<TraceSampler>, offers: &[Offer], threads: usize) {
+    let chunk = offers.len().div_ceil(threads).max(1);
+    thread::scope(|scope| {
+        for (worker, slice) in offers.chunks(chunk).enumerate() {
+            let sampler = Arc::clone(sampler);
+            let slice = slice.to_vec();
+            scope.spawn(move || {
+                for (i, offer) in slice.iter().enumerate() {
+                    sampler.record(trace(format!("w{worker}-{i}"), *offer));
+                }
+            });
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Within one window (no rotation), the maximum-latency offer is
+    // always represented in the snapshot, no matter how offers
+    // interleave across threads. (Plain comments: the vendored
+    // proptest! grammar does not accept doc attributes on tests.)
+    #[test]
+    fn max_latency_trace_survives_concurrent_recording(
+        offers in proptest::collection::vec(arb_offer(), 1..400),
+        threads in 1usize..8,
+    ) {
+        // Window larger than the offer count: no rotation, so the
+        // retention guarantee covers every offer.
+        let sampler = Arc::new(TraceSampler::new(4, 2, 1 << 32));
+        hammer(&sampler, &offers, threads);
+
+        prop_assert_eq!(sampler.recorded(), offers.len() as u64);
+        let max_us = offers.iter().map(|o| o.total_us).max().unwrap_or(0);
+        let snapshot = sampler.snapshot();
+        prop_assert!(
+            snapshot.iter().any(|t| t.total_us == max_us),
+            "slowest offer ({max_us}us) lost; retained: {:?}",
+            snapshot.iter().map(|t| t.total_us).collect::<Vec<_>>()
+        );
+        // Slowest-first ordering puts it at the head.
+        prop_assert_eq!(snapshot.first().map(|t| t.total_us), Some(max_us));
+    }
+
+    // Memory stays bounded by the configured capacities across window
+    // rotations: at most two generations of (slow + errored + shed).
+    #[test]
+    fn retention_is_bounded_across_rotations(
+        offers in proptest::collection::vec(arb_offer(), 1..600),
+        threads in 1usize..8,
+        slow_capacity in 1usize..8,
+        error_capacity in 1usize..4,
+        window in 8u64..64,
+    ) {
+        let sampler = Arc::new(TraceSampler::new(slow_capacity, error_capacity, window));
+        hammer(&sampler, &offers, threads);
+
+        let bound = 2 * (slow_capacity + 2 * error_capacity);
+        prop_assert!(
+            sampler.retained() <= bound,
+            "retained {} > bound {bound}",
+            sampler.retained()
+        );
+        // The snapshot dedups by id, so it can only shrink further.
+        prop_assert!(sampler.snapshot().len() <= bound);
+        prop_assert_eq!(sampler.recorded(), offers.len() as u64);
+    }
+
+    // Every shed and every errored offer in a small batch is retained
+    // while the side-sets have room — tail sampling must not drop the
+    // outcomes it exists to capture.
+    #[test]
+    fn shed_and_errored_offers_are_kept_while_capacity_allows(
+        offers in proptest::collection::vec(arb_offer(), 1..32),
+        threads in 1usize..4,
+    ) {
+        let sampler = Arc::new(TraceSampler::new(2, 64, 1 << 32));
+        hammer(&sampler, &offers, threads);
+
+        let snapshot = sampler.snapshot();
+        let kept_shed = snapshot.iter().filter(|t| t.shed).count();
+        let kept_errored = snapshot.iter().filter(|t| !t.shed && t.status >= 400).count();
+        let offered_shed = offers.iter().filter(|o| o.shed).count();
+        let offered_errored = offers.iter().filter(|o| !o.shed && o.status >= 400).count();
+        prop_assert_eq!(kept_shed, offered_shed);
+        prop_assert_eq!(kept_errored, offered_errored);
+    }
+}

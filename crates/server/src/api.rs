@@ -28,6 +28,9 @@ pub struct AppState {
     /// Reactor counters behind the `viewseeker_net_*` series. All-zero
     /// under the blocking I/O path (no reactor runs there).
     pub net: Arc<viewseeker_net::NetStats>,
+    /// The tail sampler retaining the slowest/errored/shed request
+    /// traces, exported by `GET /debug/traces`.
+    pub traces: Arc<viewseeker_net::TraceSampler>,
     /// Server start time, for the uptime report.
     pub started: Instant,
 }
@@ -53,6 +56,7 @@ impl AppState {
             metrics,
             logger,
             net: Arc::new(viewseeker_net::NetStats::new()),
+            traces: Arc::new(viewseeker_net::TraceSampler::default()),
             // vslint::allow(wall-clock): process start time, reported only
             // as the /metrics uptime gauge.
             started: Instant::now(),
@@ -223,7 +227,10 @@ pub fn get_session(state: &AppState, id: &str) -> Result<SessionInfo, ServerErro
 pub fn next_views(state: &AppState, id: &str, m: usize) -> Result<Vec<ViewInfo>, ServerError> {
     let entry = state.registry.get(id)?;
     let mut seeker = entry.seeker_lock()?;
-    let ids = seeker.next_views(m)?;
+    crate::trace::tee_seeker(&mut seeker, &entry.recorder);
+    let result = seeker.next_views(m);
+    crate::trace::untee_seeker(&mut seeker, &entry.recorder);
+    let ids = result?;
     ids.into_iter()
         .map(|v| view_info(&entry, &seeker, v, None))
         .collect()
@@ -249,7 +256,10 @@ pub fn feedback(state: &AppState, id: &str, body: &str) -> Result<SessionInfo, S
     let entry = state.registry.get(id)?;
     {
         let mut seeker = entry.seeker_lock()?;
-        seeker.submit_feedback(ViewId::from_index(parsed.view), parsed.score)?;
+        crate::trace::tee_seeker(&mut seeker, &entry.recorder);
+        let result = seeker.submit_feedback(ViewId::from_index(parsed.view), parsed.score);
+        crate::trace::untee_seeker(&mut seeker, &entry.recorder);
+        result?;
     }
     Counters::bump(&state.metrics.counters().feedback_labels);
     session_info(&entry)
@@ -268,11 +278,14 @@ pub fn recommend(
     lambda: Option<f64>,
 ) -> Result<Vec<ViewInfo>, ServerError> {
     let entry = state.registry.get(id)?;
-    let seeker = entry.seeker_lock()?;
-    let ids = match lambda {
-        Some(l) => seeker.recommend_diverse(k, l)?,
-        None => seeker.recommend(k)?,
+    let mut seeker = entry.seeker_lock()?;
+    crate::trace::tee_seeker(&mut seeker, &entry.recorder);
+    let result = match lambda {
+        Some(l) => seeker.recommend_diverse(k, l),
+        None => seeker.recommend(k),
     };
+    crate::trace::untee_seeker(&mut seeker, &entry.recorder);
+    let ids = result?;
     let scores = seeker.predicted_scores()?;
     ids.into_iter()
         .map(|v| {
@@ -439,9 +452,40 @@ pub fn metrics_text(state: &AppState) -> String {
         state.registry.len(),
         state.metrics.counters(),
         &state.metrics.histograms(),
+        &state.metrics.stage_histograms(),
         &state.catalog.stats(),
         &state.net,
     )
+}
+
+/// `GET /debug/traces?format=chrome|folded&n=N` — the tail-sampled slow/
+/// errored/shed request traces, as Chrome trace-event JSON (Perfetto- and
+/// `chrome://tracing`-loadable, the default) or folded flamegraph stacks.
+/// `n` limits to the N slowest (0 = everything retained).
+///
+/// # Errors
+///
+/// Unknown `format` value.
+pub fn debug_traces(
+    state: &AppState,
+    format: &str,
+    limit: usize,
+) -> Result<crate::http::Response, ServerError> {
+    let mut kept = state.traces.snapshot();
+    if limit > 0 {
+        kept.truncate(limit);
+    }
+    match format {
+        "chrome" => Ok(crate::http::Response::json(
+            viewseeker_net::trace::chrome_trace_json(&kept),
+        )),
+        "folded" => Ok(crate::http::Response::text(
+            viewseeker_net::trace::folded_stacks(&kept),
+        )),
+        other => Err(ServerError::BadRequest(format!(
+            "unknown trace format {other:?} (chrome|folded)"
+        ))),
+    }
 }
 
 /// Convenience constructor used by the CLI and tests.
@@ -571,6 +615,45 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("viewseeker_active_sessions 1"), "{text}");
+    }
+
+    #[test]
+    fn debug_traces_renders_both_formats_and_rejects_unknown() {
+        use viewseeker_net::trace::{Span, TraceSink};
+
+        let state = state();
+        state.traces.record(viewseeker_net::RequestTrace {
+            id: "slow-1".into(),
+            method: "GET".into(),
+            path: "/sessions/s1/next".into(),
+            route: "GET /sessions/:id/next",
+            status: 200,
+            shed: false,
+            started: Instant::now(),
+            total_us: 900,
+            spans: vec![Span {
+                name: "handler",
+                start_us: 0,
+                dur_us: 880,
+                parent: None,
+            }],
+        });
+        let chrome = debug_traces(&state, "chrome", 0).unwrap();
+        assert_eq!(chrome.status, 200);
+        assert!(chrome.body.contains("\"traceEvents\""), "{}", chrome.body);
+        assert!(
+            chrome.body.contains("\"request_id\":\"slow-1\""),
+            "{}",
+            chrome.body
+        );
+        let folded = debug_traces(&state, "folded", 0).unwrap();
+        assert!(
+            folded.body.contains("GET /sessions/:id/next;handler 880"),
+            "{}",
+            folded.body
+        );
+        assert_eq!(folded.content_type, "text/plain; charset=utf-8");
+        assert_eq!(debug_traces(&state, "svg", 0).unwrap_err().status(), 400);
     }
 
     #[test]

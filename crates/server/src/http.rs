@@ -17,13 +17,21 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 
 pub use viewseeker_net::http1::{Handler, Request, Response};
 
 use viewseeker_net::http1;
+use viewseeker_net::trace::{ActiveTrace, TraceSink};
+
+/// The one wall-clock seam on this path.
+fn now() -> Instant {
+    // vslint::allow(wall-clock): per-request trace timestamps are
+    // observability metadata, never inputs to recommendation decisions.
+    Instant::now()
+}
 
 /// How long an idle keep-alive connection may sit between requests before
 /// the worker reclaims itself.
@@ -81,14 +89,22 @@ pub fn serve<H: Handler>(
     workers: usize,
     handler: Arc<H>,
 ) -> std::io::Result<ServerHandle> {
-    serve_observed(addr, workers, handler, Arc::new(AtomicU64::new(0)))
+    serve_observed(
+        addr,
+        workers,
+        handler,
+        Arc::new(AtomicU64::new(0)),
+        Arc::new(viewseeker_net::NoopTraceSink),
+    )
 }
 
-/// [`serve`] with a shared queue-depth gauge: the accept loop increments it
-/// for every connection handed to the channel and a worker decrements it on
-/// pickup, so the gauge reads the number of accepted-but-unserved
-/// connections. (The vendored channel has no `len()`; this external counter
-/// is the observable substitute.)
+/// [`serve`] with a shared queue-depth gauge and a [`TraceSink`]: the
+/// accept loop increments the gauge for every connection handed to the
+/// channel and a worker decrements it on pickup, so the gauge reads the
+/// number of accepted-but-unserved connections. (The vendored channel has
+/// no `len()`; this external counter is the observable substitute.) Every
+/// request — parse rejections included — produces a finished
+/// [`viewseeker_net::RequestTrace`] delivered to `sink`.
 ///
 /// # Errors
 ///
@@ -98,6 +114,7 @@ pub fn serve_observed<H: Handler>(
     workers: usize,
     handler: Arc<H>,
     queue_depth: Arc<AtomicU64>,
+    sink: Arc<dyn TraceSink>,
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
@@ -110,6 +127,7 @@ pub fn serve_observed<H: Handler>(
         let rx = rx.clone();
         let handler = Arc::clone(&handler);
         let depth = Arc::clone(&queue_depth);
+        let sink = Arc::clone(&sink);
         pool.push(
             std::thread::Builder::new()
                 .name(format!("vs-worker-{i}"))
@@ -117,7 +135,7 @@ pub fn serve_observed<H: Handler>(
                     // recv() errors once every sender is gone — clean exit.
                     while let Ok(mut stream) = rx.recv() {
                         depth.fetch_sub(1, Ordering::Relaxed);
-                        handle_connection(&mut stream, handler.as_ref());
+                        handle_connection(&mut stream, handler.as_ref(), sink.as_ref());
                     }
                 })?,
         );
@@ -166,30 +184,77 @@ fn send_response(stream: &mut TcpStream, response: &Response, keep_alive: bool) 
 /// keep-alive loop. Parse errors answer with their mapped status (`400`/
 /// `431`/`413`) and close; `Connection:` headers are honored on every
 /// response, errors included.
-fn handle_connection(stream: &mut TcpStream, handler: &dyn Handler) {
+///
+/// Every request gets a span tree: `parse` runs from the first byte of
+/// the request to a complete parse, `handler` wraps the dispatch, and
+/// `write` covers encoding plus the blocking socket write. There is no
+/// `queue_wait`/`dispatch` here — a worker owns its connection outright,
+/// so those stages exist only on the event path. Parse rejections trace
+/// too (with `-`/`-` placeholders for the request line the parser never
+/// produced), so 400/431/413 lines still carry a `request_id`.
+fn handle_connection(stream: &mut TcpStream, handler: &dyn Handler, sink: &dyn TraceSink) {
     let _ = stream.set_read_timeout(Some(KEEP_ALIVE_IDLE));
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 8192];
+    // The arrival time of the first byte of the *next* request on this
+    // connection: set on the read that starts a request, consumed when
+    // that request parses (or fails to).
+    let mut first_byte: Option<Instant> = None;
     loop {
         match http1::parse_request(&buf) {
             Ok(Some(parsed)) => {
                 buf.drain(..parsed.consumed);
-                let response = handler.handle(&parsed.request);
-                if !send_response(stream, &response, parsed.keep_alive) {
+                let started = first_byte.take().unwrap_or_else(now);
+                let trace = ActiveTrace::start(
+                    parsed.request.header("x-request-id"),
+                    &parsed.request.method,
+                    &parsed.request.path,
+                    started,
+                );
+                trace.record("parse", started);
+                if !buf.is_empty() {
+                    // A pipelined successor is already buffered; its parse
+                    // clock starts now, not at its own (long-gone) bytes.
+                    first_byte = Some(now());
+                }
+                let handler_start = now();
+                let mut response = handler.handle_traced(&parsed.request, &trace);
+                trace.record("handler", handler_start);
+                trace.set_status(response.status);
+                response.request_id = Some(trace.id());
+                let write_start = now();
+                let alive = send_response(stream, &response, parsed.keep_alive);
+                trace.record("write", write_start);
+                sink.record(trace.finish());
+                if !alive {
                     return;
                 }
                 continue; // drain pipelined requests before reading again
             }
             Ok(None) => {}
             Err(e) => {
-                let _ = send_response(stream, &e.to_response(), false);
+                let started = first_byte.take().unwrap_or_else(now);
+                let trace = ActiveTrace::start(None, "-", "-", started);
+                trace.record("parse", started);
+                let mut response = e.to_response();
+                trace.set_status(response.status);
+                response.request_id = Some(trace.id());
+                let write_start = now();
+                let _ = send_response(stream, &response, false);
+                trace.record("write", write_start);
+                sink.record(trace.finish());
                 return;
             }
         }
         match stream.read(&mut chunk) {
             // Peer closed; anything short of a full request is abandoned.
             Ok(0) => return,
-            Ok(n) => buf.extend_from_slice(chunk.get(..n).unwrap_or_default()),
+            Ok(n) => {
+                if first_byte.is_none() {
+                    first_byte = Some(now());
+                }
+                buf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -343,6 +408,55 @@ mod tests {
         assert!(out.starts_with("HTTP/1.1 431"), "{out}");
 
         handle.shutdown();
+    }
+
+    #[test]
+    fn traces_echo_ids_and_reach_the_sink_on_both_outcomes() {
+        use std::sync::Mutex;
+
+        #[derive(Debug, Default)]
+        struct Capture(Mutex<Vec<viewseeker_net::RequestTrace>>);
+        impl TraceSink for Capture {
+            fn record(&self, trace: viewseeker_net::RequestTrace) {
+                self.0.lock().unwrap().push(trace);
+            }
+        }
+
+        let sink = Arc::new(Capture::default());
+        let handle = serve_observed(
+            "127.0.0.1:0",
+            2,
+            Arc::new(Echo),
+            Arc::new(AtomicU64::new(0)),
+            Arc::clone(&sink) as Arc<dyn TraceSink>,
+        )
+        .unwrap();
+        let addr = handle.addr();
+
+        // A client-supplied id is honored and echoed back.
+        let reply = raw_roundtrip(
+            addr,
+            "GET /ping HTTP/1.1\r\nX-Request-Id: client-77\r\nConnection: close\r\n\r\n",
+        );
+        assert!(reply.contains("X-Request-Id: client-77"), "{reply}");
+
+        // A generated id appears even on parse rejections.
+        let reply = raw_roundtrip(addr, "garbage\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        assert!(reply.contains("X-Request-Id: r-"), "{reply}");
+
+        handle.shutdown();
+        let traces = sink.0.lock().unwrap();
+        assert_eq!(traces.len(), 2, "{traces:?}");
+        let ok = traces.iter().find(|t| t.id == "client-77").unwrap();
+        assert_eq!(ok.status, 200);
+        let names: Vec<&str> = ok.spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["parse", "handler", "write"]);
+        assert!(ok.stage_sum_us() <= ok.total_us, "{ok:?}");
+        let bad = traces.iter().find(|t| t.id != "client-77").unwrap();
+        assert_eq!(bad.status, 400);
+        assert_eq!(bad.method, "-");
+        assert!(bad.route.is_empty());
     }
 
     #[test]

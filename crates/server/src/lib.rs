@@ -22,6 +22,8 @@
 //! * [`hist`] — the log-linear bucketed latency histogram behind both.
 //! * [`prometheus`] — text exposition (format 0.0.4) for `GET /metrics`.
 //! * [`log`] — structured JSON/text access and lifecycle event logs.
+//! * [`trace`] — request-tracing glue: the thread-local trace scope, the
+//!   seeker-phase tee, and the sink feeding `/debug/traces`.
 //! * [`error`] — one error type with its HTTP status mapping.
 //!
 //! # In-process quickstart
@@ -44,6 +46,7 @@
 //!     io: Default::default(),
 //!     max_inflight: 256,
 //!     queue_deadline_ms: 500,
+//!     tracing: true,
 //! };
 //! let handle = serve_app(&config).unwrap();
 //! let addr = handle.addr(); // POST http://{addr}/sessions etc.
@@ -62,6 +65,7 @@ pub mod metrics;
 pub mod prometheus;
 pub mod registry;
 pub mod router;
+pub mod trace;
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -114,6 +118,12 @@ pub struct ServerConfig {
     /// admission queue before being shed with `503 + Retry-After`
     /// (`--queue-deadline-ms`).
     pub queue_deadline_ms: u64,
+    /// Per-request tracing (`--tracing false` disables): feeds the tail
+    /// sampler behind `GET /debug/traces` and the
+    /// `viewseeker_request_stage_seconds` histograms. `false` installs a
+    /// no-op sink — request ids are still generated and echoed; this knob
+    /// exists so the differential oracle can price the tracing overhead.
+    pub tracing: bool,
 }
 
 /// The I/O model behind [`serve_app`].
@@ -182,6 +192,7 @@ impl Default for ServerConfig {
             io: IoModel::default(),
             max_inflight: 256,
             queue_deadline_ms: 500,
+            tracing: true,
         }
     }
 }
@@ -210,6 +221,11 @@ pub fn serve_app(config: &ServerConfig) -> std::io::Result<AppHandle> {
     let state = api::shared_state_with_logger(registry, logger);
     let queue_depth = state.metrics.counters().queue_depth_handle();
     let net = Arc::clone(&state.net);
+    let sink: Arc<dyn viewseeker_net::TraceSink> = if config.tracing {
+        Arc::new(trace::ServerTraceSink::new(Arc::clone(&state)))
+    } else {
+        Arc::new(viewseeker_net::NoopTraceSink)
+    };
     let router = Router::new(state);
     match config.io {
         IoModel::Blocking => http::serve_observed(
@@ -217,6 +233,7 @@ pub fn serve_app(config: &ServerConfig) -> std::io::Result<AppHandle> {
             config.workers,
             Arc::new(router),
             queue_depth,
+            sink,
         )
         .map(AppHandle::Blocking),
         IoModel::Event => {
@@ -232,6 +249,7 @@ pub fn serve_app(config: &ServerConfig) -> std::io::Result<AppHandle> {
                 Arc::new(router),
                 net,
                 queue_depth,
+                sink,
             )
             .map(AppHandle::Event)
         }

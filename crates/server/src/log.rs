@@ -134,11 +134,20 @@ impl Logger {
     }
 
     /// Writes one structured line. `fields` are appended after the
-    /// timestamp, level, and event name, in order.
+    /// timestamp, level, and event name, in order. When the calling thread
+    /// is inside a request's [`crate::trace::TraceScope`] and `fields` has
+    /// no `request_id` of its own, the active request's id is appended —
+    /// so lifecycle events (session creation, eviction, snapshots) emitted
+    /// mid-handler correlate with the access line and `/debug/traces`.
     pub fn log(&self, level: LogLevel, event: &str, fields: &[(&'static str, Value)]) {
         if !self.enabled(level) {
             return;
         }
+        let request_id = if fields.iter().any(|(k, _)| *k == "request_id") {
+            None
+        } else {
+            crate::trace::current_id()
+        };
         // vslint::allow(wall-clock): log lines carry a real wall-clock
         // timestamp by design; it is presentation metadata, never an
         // input to recommendation or ordering decisions.
@@ -154,6 +163,9 @@ impl Logger {
                     ("event".to_owned(), Value::String(event.to_owned())),
                 ];
                 object.extend(fields.iter().map(|(k, v)| ((*k).to_owned(), v.clone())));
+                if let Some(id) = request_id {
+                    object.push(("request_id".to_owned(), Value::String(id)));
+                }
                 serde_json::render_compact(&Value::Object(object))
             }
             LogFormat::Text => {
@@ -168,6 +180,10 @@ impl Logger {
                         Value::String(s) if !s.contains(' ') => line.push_str(s),
                         other => line.push_str(&serde_json::render_compact(other)),
                     }
+                }
+                if let Some(id) = request_id {
+                    line.push_str(" request_id=");
+                    line.push_str(&id);
                 }
                 line
             }
@@ -281,6 +297,45 @@ mod tests {
 
         let disabled = Logger::disabled();
         assert!(!disabled.enabled(LogLevel::Error));
+    }
+
+    #[test]
+    fn lines_under_a_trace_scope_carry_the_request_id() {
+        let buffer = Buffer::default();
+        let logger = Logger::to_writer(LogFormat::Json, LogLevel::Info, Box::new(buffer.clone()));
+        let trace = viewseeker_net::ActiveTrace::detached("GET", "/x");
+        {
+            let _scope = crate::trace::enter(&trace);
+            logger.info("session_created", &[("session", s("s1"))]);
+            // An explicit request_id is never overridden or duplicated.
+            logger.info("request", &[("request_id", s("explicit-1"))]);
+        }
+        logger.info("sweep", &[]); // outside any scope: no id
+        let out = buffer.contents();
+        let lines: Vec<Value> = out
+            .lines()
+            .map(|l| serde_json::parse_value(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].get("request_id"), Some(&s(&trace.id())));
+        assert_eq!(lines[1].get("request_id"), Some(&s("explicit-1")));
+        assert_eq!(lines[2].get("request_id"), None);
+
+        let text_buffer = Buffer::default();
+        let text_logger = Logger::to_writer(
+            LogFormat::Text,
+            LogLevel::Info,
+            Box::new(text_buffer.clone()),
+        );
+        {
+            let _scope = crate::trace::enter(&trace);
+            text_logger.info("session_created", &[]);
+        }
+        let text = text_buffer.contents();
+        assert!(
+            text.contains(&format!("request_id={}", trace.id())),
+            "{text}"
+        );
     }
 
     #[test]

@@ -110,6 +110,9 @@ pub struct EndpointReport {
 #[derive(Debug, Default)]
 pub struct Metrics {
     endpoints: Mutex<HashMap<&'static str, Histogram>>,
+    /// Per-`(route, stage)` pipeline-stage latencies, fed by the trace
+    /// sink behind `viewseeker_request_stage_seconds`.
+    stages: Mutex<HashMap<(&'static str, &'static str), Histogram>>,
     counters: Arc<Counters>,
 }
 
@@ -168,6 +171,35 @@ impl Metrics {
             .map(|(route, hist)| ((*route).to_owned(), hist.clone()))
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn stages_lock(
+        &self,
+    ) -> std::sync::MutexGuard<'_, HashMap<(&'static str, &'static str), Histogram>> {
+        self.stages.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records one pipeline-stage duration against `(route, stage)`.
+    /// Both labels come from static registries (route table, `SPANS`,
+    /// `TracePhase`), so cardinality stays bounded.
+    pub fn record_stage(&self, route: &'static str, stage: &'static str, us: u64) {
+        self.stages_lock()
+            .entry((route, stage))
+            .or_default()
+            .record(us);
+    }
+
+    /// A snapshot of every `(route, stage)` histogram, sorted by route
+    /// then stage, for the Prometheus exporter.
+    #[must_use]
+    pub fn stage_histograms(&self) -> Vec<(String, String, Histogram)> {
+        let stages = self.stages_lock();
+        let mut out: Vec<(String, String, Histogram)> = stages
+            .iter()
+            .map(|((route, stage), hist)| ((*route).to_owned(), (*stage).to_owned(), hist.clone()))
+            .collect();
+        out.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
         out
     }
 }
@@ -230,6 +262,29 @@ mod tests {
         m.record("r", Duration::from_micros(7));
         let report = m.report();
         assert_eq!(report[0].count, 2);
+    }
+
+    #[test]
+    fn stage_histograms_key_on_route_and_stage() {
+        let m = Metrics::new();
+        m.record_stage("GET /sessions/:id/next", "handler", 900);
+        m.record_stage("GET /sessions/:id/next", "parse", 12);
+        m.record_stage("shed", "queue_wait", 450);
+        let stages = m.stage_histograms();
+        let keys: Vec<(&str, &str)> = stages
+            .iter()
+            .map(|(route, stage, _)| (route.as_str(), stage.as_str()))
+            .collect();
+        assert_eq!(
+            keys,
+            [
+                ("GET /sessions/:id/next", "handler"),
+                ("GET /sessions/:id/next", "parse"),
+                ("shed", "queue_wait"),
+            ]
+        );
+        assert_eq!(stages[0].2.count(), 1);
+        assert_eq!(stages[0].2.max_us(), 900);
     }
 
     #[test]

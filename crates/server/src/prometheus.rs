@@ -155,6 +155,11 @@ static SERIES: &[SeriesDef] = &[
         kind: "histogram",
         help: "Request latency, by route.",
     },
+    SeriesDef {
+        name: "viewseeker_request_stage_seconds",
+        kind: "histogram",
+        help: "Request latency broken down by pipeline stage (parse, queue_wait, dispatch, handler, serialize, write, and nested seeker phases), by route.",
+    },
 ];
 
 /// Incremental exposition writer. [`Exposition::series`] opens a family
@@ -253,6 +258,7 @@ pub fn render(
     active_sessions: usize,
     counters: &Counters,
     histograms: &[(String, Histogram)],
+    stages: &[(String, String, Histogram)],
     catalog: &CatalogStats,
     net: &NetStats,
 ) -> String {
@@ -374,6 +380,26 @@ pub fn render(
         exp.sample("_count", &labels, hist.count());
     }
 
+    exp.series("viewseeker_request_stage_seconds");
+    for (route, stage, hist) in stages {
+        let route = escape_label(route);
+        let stage = escape_label(stage);
+        let mut cumulative = 0u64;
+        for (bound_us, count) in hist.nonzero_buckets() {
+            cumulative += count;
+            let labels = format!(
+                "{{route=\"{route}\",stage=\"{stage}\",le=\"{}\"}}",
+                seconds(bound_us)
+            );
+            exp.sample("_bucket", &labels, cumulative);
+        }
+        let labels = format!("{{route=\"{route}\",stage=\"{stage}\",le=\"+Inf\"}}");
+        exp.sample("_bucket", &labels, hist.count());
+        let labels = format!("{{route=\"{route}\",stage=\"{stage}\"}}");
+        exp.sample("_sum", &labels, seconds(hist.sum_us()));
+        exp.sample("_count", &labels, hist.count());
+    }
+
     exp.finish()
 }
 
@@ -407,11 +433,18 @@ mod tests {
         net.active.store(2, std::sync::atomic::Ordering::Relaxed);
         net.record_tick(50);
         net.record_tick(50);
+        let mut stage_hist = Histogram::new();
+        stage_hist.record(100);
         render(
             12.5,
             3,
             &counters,
             &[("GET /sessions/:id".to_owned(), hist)],
+            &[(
+                "GET /sessions/:id".to_owned(),
+                "handler".to_owned(),
+                stage_hist,
+            )],
             &catalog,
             &net,
         )
@@ -561,6 +594,19 @@ mod tests {
             ),
             "{text}"
         );
+        // The 100 µs stage observation lands in [96,104) → le 0.000103.
+        assert!(
+            text.contains(
+                "viewseeker_request_stage_seconds_bucket{route=\"GET /sessions/:id\",stage=\"handler\",le=\"+Inf\"} 1\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "viewseeker_request_stage_seconds_count{route=\"GET /sessions/:id\",stage=\"handler\"} 1\n"
+            ),
+            "{text}"
+        );
     }
 
     /// Every family the table promises appears in a scrape with a header,
@@ -619,6 +665,7 @@ mod tests {
             0,
             &counters,
             &[("r".to_owned(), hist)],
+            &[],
             &CatalogStats::default(),
             &NetStats::new(),
         );

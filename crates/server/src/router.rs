@@ -19,6 +19,7 @@
 //! GET    /datasets
 //! GET    /datasets/:name
 //! DELETE /datasets/:name
+//! GET    /debug/traces?format=chrome|folded&n=N
 //! ```
 
 use std::sync::Arc;
@@ -134,6 +135,14 @@ impl Router {
                 api::delete_dataset(state, name)
                     .map(|()| Response::json("{\"deleted\": true}".to_owned())),
             ),
+            ("GET", ["debug", "traces"]) => (
+                "GET /debug/traces",
+                (|| {
+                    let limit = request.parsed_param("n", 0usize)?;
+                    let format = request.query_param("format").unwrap_or("chrome");
+                    api::debug_traces(state, format, limit)
+                })(),
+            ),
             _ => (
                 "unmatched",
                 Err(ServerError::NotFound(format!(
@@ -146,7 +155,10 @@ impl Router {
 }
 
 fn render<T: Serialize>(status: u16, payload: &T) -> Response {
-    match serde_json::to_string(payload) {
+    let started = Stopwatch::start();
+    let body = serde_json::to_string(payload);
+    crate::trace::record_serialize(started.elapsed());
+    match body {
         Ok(body) => Response::with_status(status, body),
         Err(e) => Response::with_status(
             500,
@@ -167,8 +179,18 @@ impl Router {
     /// The structured access line: one per request, with the session id and
     /// the session's cumulative trace-phase totals when the route is
     /// session-scoped (read via a non-LRU-touching peek, so logging never
-    /// keeps an idle session alive).
-    fn log_request(&self, request: &Request, route: &str, status: u16, elapsed: Duration) {
+    /// keeps an idle session alive). The `request_id` field is appended by
+    /// the logger from the active [`TraceScope`]; `stages_us` carries the
+    /// per-stage breakdown recorded up to this point (the trailing `write`
+    /// stage has not happened yet — `/debug/traces` has the complete tree).
+    fn log_request(
+        &self,
+        request: &Request,
+        route: &str,
+        status: u16,
+        elapsed: Duration,
+        trace: &viewseeker_net::ActiveTrace,
+    ) {
         let logger = &self.state.logger;
         let level = if status >= 500 {
             LogLevel::Warn
@@ -188,6 +210,18 @@ impl Router {
                 n(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)),
             ),
         ];
+        let stages = trace.stages_us();
+        if !stages.is_empty() {
+            fields.push((
+                "stages_us",
+                Value::Object(
+                    stages
+                        .into_iter()
+                        .map(|(name, dur)| (name.to_owned(), n(dur)))
+                        .collect(),
+                ),
+            ));
+        }
         let segments: Vec<&str> = request.path.split('/').filter(|p| !p.is_empty()).collect();
         if let ["sessions", id, ..] = segments.as_slice() {
             if *id != "restore" {
@@ -210,14 +244,25 @@ impl Router {
 
 impl Handler for Router {
     fn handle(&self, request: &Request) -> Response {
+        // Callers without a reactor-started trace (tests, embedding code)
+        // still get a span tree and a request id — just one that was born
+        // at dispatch rather than at the first byte.
+        let trace = viewseeker_net::ActiveTrace::detached(&request.method, &request.path);
+        self.handle_traced(request, &trace)
+    }
+
+    fn handle_traced(&self, request: &Request, trace: &viewseeker_net::ActiveTrace) -> Response {
+        let _scope = crate::trace::enter(trace);
         let start = Stopwatch::start();
         let (route, result) = self.dispatch(request);
         let response = result.unwrap_or_else(|e| {
             Response::with_status(e.status(), format!("{{\"error\": {:?}}}", e.message()))
         });
         let elapsed = start.elapsed();
+        trace.set_route(route);
+        trace.set_status(response.status);
         self.state.metrics.record(route, elapsed);
-        self.log_request(request, route, response.status, elapsed);
+        self.log_request(request, route, response.status, elapsed, trace);
         response
     }
 }
@@ -253,6 +298,7 @@ mod tests {
             method: method.to_owned(),
             path,
             query,
+            headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         }
     }

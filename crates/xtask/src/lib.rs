@@ -181,6 +181,7 @@ impl Workspace {
             rules::lock_order::check(file, &mut raw);
         }
         rules::metric_registry::check(self, &mut raw);
+        rules::span_registry::check(self, &mut raw);
 
         let mut out: Vec<Diagnostic> = Vec::new();
         for file in &self.files {

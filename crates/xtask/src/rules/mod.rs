@@ -9,6 +9,7 @@ pub mod hash_iter;
 pub mod lock_order;
 pub mod metric_registry;
 pub mod no_panic;
+pub mod span_registry;
 pub mod wall_clock;
 
 use crate::lexer::TokenKind;

@@ -1,0 +1,283 @@
+//! Rule `span-registry`: every request-pipeline stage name must be
+//! (a) defined exactly once in the `SPANS` table in
+//! `crates/net/src/trace.rs`, (b) emitted at least once by non-test code
+//! in the net or server crate, and (c) documented — the backtick-quoted
+//! name must appear in both DESIGN.md and README.md. This mirrors the
+//! `metric-registry` rule for Prometheus series: the trace export, the
+//! stage histograms, and the docs all key on these names, so a renamed
+//! or orphaned stage is a lint failure, not a silent drift.
+//!
+//! Unlike series names, span names are ordinary words (`parse`,
+//! `write`), so definitions are recognized structurally — string
+//! literals in `name: "..."` field position inside the table — and the
+//! documentation check requires the name in backticks to avoid matching
+//! prose.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokenKind;
+use crate::{Diagnostic, SourceFile, Workspace};
+
+const RULE: &str = "span-registry";
+const TRACE: &str = "crates/net/src/trace.rs";
+const EMIT_PREFIXES: [&str; 2] = ["crates/net/src/", "crates/server/src/"];
+
+/// Runs the rule over the whole workspace.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let Some(trace) = ws.files.iter().find(|f| f.path == TRACE) else {
+        return;
+    };
+    let Some((table_start, table_end)) = spans_table_range(trace) else {
+        out.push(Diagnostic {
+            file: TRACE.to_owned(),
+            line: 1,
+            rule: RULE,
+            message: "no `SPANS` table found; all request stage names must be \
+                      defined in one `static SPANS` array"
+                .to_owned(),
+        });
+        return;
+    };
+
+    // (a) Definitions: `name: "..."` literals inside the SPANS table,
+    // each exactly once.
+    let mut defined: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut i = table_start;
+    while i + 2 <= table_end {
+        let t = &trace.tokens[i];
+        if t.is_ident("name")
+            && trace.tokens[i + 1].is_punct(':')
+            && trace.tokens[i + 2].kind == TokenKind::Str
+        {
+            let lit = &trace.tokens[i + 2];
+            if let Some(first_line) = defined.get(lit.text.as_str()) {
+                out.push(Diagnostic {
+                    file: trace.path.clone(),
+                    line: lit.line,
+                    rule: RULE,
+                    message: format!(
+                        "stage `{}` defined more than once in SPANS (first on line {})",
+                        lit.text, first_line
+                    ),
+                });
+            } else {
+                defined.insert(lit.text.as_str(), lit.line);
+            }
+            i += 3;
+        } else {
+            i += 1;
+        }
+    }
+    if defined.is_empty() {
+        out.push(Diagnostic {
+            file: trace.path.clone(),
+            line: trace.tokens[table_start].line,
+            rule: RULE,
+            message: "SPANS table defines no stage names".to_owned(),
+        });
+        return;
+    }
+
+    // (b) Emissions: defined names appearing as string literals in
+    // non-test net/server code outside the table itself.
+    let mut emitted: BTreeMap<&str, (String, usize)> = BTreeMap::new();
+    for file in ws
+        .files
+        .iter()
+        .filter(|f| EMIT_PREFIXES.iter().any(|p| f.path.starts_with(p)))
+    {
+        let in_trace = file.path == TRACE;
+        for (i, t) in file.tokens.iter().enumerate() {
+            if t.kind != TokenKind::Str || file.is_test(i) {
+                continue;
+            }
+            if in_trace && (table_start..=table_end).contains(&i) {
+                continue;
+            }
+            if let Some((name, _)) = defined.get_key_value(t.text.as_str()) {
+                emitted
+                    .entry(name)
+                    .or_insert_with(|| (file.path.clone(), t.line));
+            }
+        }
+    }
+    for (name, def_line) in &defined {
+        if !emitted.contains_key(name) {
+            out.push(Diagnostic {
+                file: trace.path.clone(),
+                line: *def_line,
+                rule: RULE,
+                message: format!("stage `{name}` defined but never emitted"),
+            });
+        }
+    }
+
+    // (c) Documentation: each name, backtick-quoted, in both docs.
+    for doc_name in ["DESIGN.md", "README.md"] {
+        let Some((_, text)) = ws.docs.iter().find(|(n, _)| n == doc_name) else {
+            continue;
+        };
+        for (name, def_line) in &defined {
+            if !text.contains(&format!("`{name}`")) {
+                out.push(Diagnostic {
+                    file: trace.path.clone(),
+                    line: *def_line,
+                    rule: RULE,
+                    message: format!("stage `{name}` undocumented in {doc_name}"),
+                });
+            }
+        }
+    }
+}
+
+/// Token range (inclusive) of the bracketed initializer of the `SPANS`
+/// item: from its opening `[` (after the `=`) to the matching `]`.
+fn spans_table_range(file: &SourceFile) -> Option<(usize, usize)> {
+    let spans = (0..file.tokens.len()).find(|&i| {
+        file.tokens[i].is_ident("SPANS")
+            && i > 0
+            && (file.tokens[i - 1].is_ident("static") || file.tokens[i - 1].is_ident("const"))
+    })?;
+    // Skip past the type annotation (`: [SpanDef; 6]`) to the `=`, then
+    // take the initializer's opening `[`.
+    let mut open = spans;
+    while open < file.tokens.len() && !file.tokens[open].is_punct('=') {
+        if file.tokens[open].is_punct(';') && !in_type_brackets(file, spans, open) {
+            return None;
+        }
+        open += 1;
+    }
+    while open < file.tokens.len() && !file.tokens[open].is_punct('[') {
+        if file.tokens[open].is_punct(';') {
+            return None;
+        }
+        open += 1;
+    }
+    let mut depth = 0usize;
+    for j in open..file.tokens.len() {
+        if file.tokens[j].is_punct('[') {
+            depth += 1;
+        } else if file.tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((open, j));
+            }
+        }
+    }
+    None
+}
+
+/// Whether token `at` sits inside `[...]` brackets opened after `from` —
+/// the `;` in an array-length type like `[SpanDef; 6]` must not be
+/// mistaken for the end of the item.
+fn in_type_brackets(file: &SourceFile, from: usize, at: usize) -> bool {
+    let mut depth = 0isize;
+    for t in &file.tokens[from..at] {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+        }
+    }
+    depth > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: Vec<(&str, &str)>, docs: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ws = Workspace::from_sources(
+            files
+                .into_iter()
+                .map(|(p, s)| (p.to_owned(), s.to_owned()))
+                .collect(),
+            docs.iter()
+                .map(|(n, t)| ((*n).to_owned(), (*t).to_owned()))
+                .collect(),
+        );
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        out
+    }
+
+    const TABLE: &str = "static SPANS: [SpanDef; 2] = [\n\
+                         SpanDef { name: \"parse\", help: \"h\" },\n\
+                         SpanDef { name: \"write\", help: \"h\" },\n\
+                         ];\n";
+
+    const DOCS_OK: &[(&str, &str)] = &[
+        ("DESIGN.md", "stages `parse` and `write`"),
+        ("README.md", "`parse` then `write`"),
+    ];
+
+    #[test]
+    fn consistent_registry_passes() {
+        let emit = "fn f(t: &T) { t.record(\"parse\"); t.record(\"write\"); }";
+        let diags = run(vec![(TRACE, &format!("{TABLE}{emit}"))], DOCS_OK);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn emission_from_the_server_crate_counts() {
+        let emit = "fn g() { rec(\"parse\"); rec(\"write\"); }";
+        let diags = run(
+            vec![(TRACE, TABLE), ("crates/server/src/trace.rs", emit)],
+            DOCS_OK,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn duplicate_definition_is_flagged() {
+        let table = "static SPANS: [SpanDef; 2] = [\n\
+                     SpanDef { name: \"parse\", help: \"h\" },\n\
+                     SpanDef { name: \"parse\", help: \"h\" },\n\
+                     ];\n\
+                     fn f() { r(\"parse\"); }";
+        let diags = run(
+            vec![(TRACE, table)],
+            &[("DESIGN.md", "`parse`"), ("README.md", "`parse`")],
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("more than once"));
+    }
+
+    #[test]
+    fn unemitted_stage_is_flagged() {
+        let diags = run(vec![(TRACE, TABLE)], DOCS_OK);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.message.contains("never emitted")));
+    }
+
+    #[test]
+    fn test_code_and_table_literals_do_not_count_as_emission() {
+        let src = format!(
+            "{TABLE}#[cfg(test)]\nmod t {{ fn g() {{ assert(\"parse\"); assert(\"write\"); }} }}"
+        );
+        let diags = run(vec![(TRACE, &src)], DOCS_OK);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.message.contains("never emitted")));
+    }
+
+    #[test]
+    fn undocumented_stage_needs_backticks() {
+        let emit = "fn f(t: &T) { t.record(\"parse\"); t.record(\"write\"); }";
+        // Prose mentions of "parse"/"write" without backticks don't count.
+        let docs = &[
+            ("DESIGN.md", "we parse and write things; `write` is quoted"),
+            ("README.md", "`parse` and `write`"),
+        ];
+        let diags = run(vec![(TRACE, &format!("{TABLE}{emit}"))], docs);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("undocumented in DESIGN.md"));
+        assert!(diags[0].message.contains("`parse`"));
+    }
+
+    #[test]
+    fn missing_table_is_flagged() {
+        let diags = run(vec![(TRACE, "fn f() { r(\"parse\"); }")], DOCS_OK);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("no `SPANS` table"));
+    }
+}
