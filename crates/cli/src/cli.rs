@@ -26,8 +26,11 @@ USAGE:
                       [--executor naive|shared|fused]
                       [--io blocking|event] [--max-inflight N] [--queue-deadline-ms MS]
                       [--tracing true|false]
+                      [--shards N] [--peer HOST:PORT]...
   viewseeker loadgen  --addr HOST:PORT [--connections N] [--duration SECS]
-                      [--feedback-rounds N] [--out FILE.json] [--assert-clean true|false]
+                      [--feedback-rounds N] [--ramp SECS] [--out FILE.json]
+                      [--assert-clean true|false]
+  viewseeker cluster status --addr HOST:PORT
   viewseeker trace    --addr HOST:PORT [--format summary|chrome|folded] [--n N] [--out FILE]
   viewseeker dataset import  --data-dir DIR --csv FILE.csv [--name NAME]
   viewseeker dataset list    --data-dir DIR
@@ -167,6 +170,10 @@ pub enum Command {
         queue_deadline_ms: u64,
         /// Per-request tracing (tail sampler + stage histograms).
         tracing: bool,
+        /// Local session shards (consistent-hash routed; default 1).
+        shards: usize,
+        /// Remote peers speaking the same protocol (`--peer`, repeatable).
+        peers: Vec<String>,
     },
     /// Closed-loop load generator replaying interactive sessions.
     Loadgen {
@@ -179,6 +186,9 @@ pub enum Command {
         /// Feedback rounds per session (the `k` in create → (next →
         /// feedback) × k → recommend → delete).
         feedback_rounds: usize,
+        /// Seconds over which connections ramp up linearly (0 = all at
+        /// once).
+        ramp_secs: u64,
         /// Write the JSON report here (`None` = stdout only).
         out: Option<String>,
         /// Exit nonzero on any protocol error.
@@ -199,6 +209,8 @@ pub enum Command {
     },
     /// Manage the on-disk dataset catalog (VSC1 columnar store).
     Dataset(DatasetCmd),
+    /// Inspect a running sharded/peered deployment.
+    Cluster(ClusterCmd),
     /// Execute an ad-hoc SQL query and print the result table.
     Query {
         /// CSV path.
@@ -233,6 +245,17 @@ pub enum DatasetCmd {
         data_dir: String,
         /// Dataset name.
         name: String,
+    },
+}
+
+/// Actions under `viewseeker cluster`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterCmd {
+    /// Fetch and print `GET /cluster` from a running deployment: ring
+    /// membership, per-member routed/session counts, migration totals.
+    Status {
+        /// Target server address (`host:port`).
+        addr: String,
     },
 }
 
@@ -276,9 +299,12 @@ impl Command {
         if sub == "--help" || sub == "-h" || sub == "help" {
             return Ok(Command::Help);
         }
-        // `dataset` nests an action word before its flags.
+        // `dataset` and `cluster` nest an action word before their flags.
         if sub == "dataset" {
             return Self::parse_dataset(rest);
+        }
+        if sub == "cluster" {
+            return Self::parse_cluster(rest);
         }
         let flags = Flags::collect(rest)?;
         match sub.as_str() {
@@ -339,12 +365,15 @@ impl Command {
                 max_inflight: flags.get_parsed("--max-inflight")?.unwrap_or(256),
                 queue_deadline_ms: flags.get_parsed("--queue-deadline-ms")?.unwrap_or(500),
                 tracing: flags.get_parsed("--tracing")?.unwrap_or(true),
+                shards: flags.get_parsed("--shards")?.unwrap_or(1),
+                peers: flags.all("--peer"),
             }),
             "loadgen" => Ok(Command::Loadgen {
                 addr: flags.require("--addr")?,
                 connections: flags.get_parsed("--connections")?.unwrap_or(32),
                 duration_secs: flags.get_parsed("--duration")?.unwrap_or(10),
                 feedback_rounds: flags.get_parsed("--feedback-rounds")?.unwrap_or(3),
+                ramp_secs: flags.get_parsed("--ramp")?.unwrap_or(0),
                 out: flags.get("--out"),
                 assert_clean: flags.get_parsed("--assert-clean")?.unwrap_or(true),
             }),
@@ -393,6 +422,20 @@ impl Command {
         };
         Ok(Command::Dataset(cmd))
     }
+
+    fn parse_cluster(rest: &[String]) -> Result<Self, String> {
+        let Some((action, rest)) = rest.split_first() else {
+            return Err("cluster needs an action: status".into());
+        };
+        let flags = Flags::collect(rest)?;
+        let cmd = match action.as_str() {
+            "status" => ClusterCmd::Status {
+                addr: flags.require("--addr")?,
+            },
+            other => return Err(format!("unknown cluster action {other:?}")),
+        };
+        Ok(Command::Cluster(cmd))
+    }
 }
 
 /// `--flag value` pairs.
@@ -421,6 +464,15 @@ impl Flags {
             .iter()
             .find(|(f, _)| f == flag)
             .map(|(_, v)| v.clone())
+    }
+
+    /// Every value given for a repeatable flag, in order.
+    fn all(&self, flag: &str) -> Vec<String> {
+        self.pairs
+            .iter()
+            .filter(|(f, _)| f == flag)
+            .map(|(_, v)| v.clone())
+            .collect()
     }
 
     fn require(&self, flag: &str) -> Result<String, String> {
@@ -593,6 +645,8 @@ mod tests {
                 max_inflight: 256,
                 queue_deadline_ms: 500,
                 tracing: true,
+                shards: 1,
+                peers: vec![],
             }
         );
         let c = parse(&[
@@ -625,6 +679,12 @@ mod tests {
             "250",
             "--tracing",
             "false",
+            "--shards",
+            "4",
+            "--peer",
+            "10.0.0.2:7878",
+            "--peer",
+            "10.0.0.3:7878",
         ])
         .unwrap();
         assert_eq!(
@@ -644,9 +704,12 @@ mod tests {
                 max_inflight: 64,
                 queue_deadline_ms: 250,
                 tracing: false,
+                shards: 4,
+                peers: vec!["10.0.0.2:7878".into(), "10.0.0.3:7878".into()],
             }
         );
         assert!(parse(&["serve", "--workers", "two"]).is_err());
+        assert!(parse(&["serve", "--shards", "lots"]).is_err());
         assert!(parse(&["serve", "--tracing", "maybe"]).is_err());
         assert!(parse(&["serve", "--log-format", "xml"]).is_err());
         assert!(parse(&["serve", "--log-level", "verbose"]).is_err());
@@ -666,6 +729,7 @@ mod tests {
                 connections: 32,
                 duration_secs: 10,
                 feedback_rounds: 3,
+                ramp_secs: 0,
                 out: None,
                 assert_clean: true,
             }
@@ -680,6 +744,8 @@ mod tests {
             "30",
             "--feedback-rounds",
             "2",
+            "--ramp",
+            "5",
             "--out",
             "bench.json",
             "--assert-clean",
@@ -693,12 +759,14 @@ mod tests {
                 connections: 5000,
                 duration_secs: 30,
                 feedback_rounds: 2,
+                ramp_secs: 5,
                 out: Some("bench.json".into()),
                 assert_clean: false,
             }
         );
         assert!(parse(&["loadgen"]).is_err(), "--addr is required");
         assert!(parse(&["loadgen", "--addr", "x", "--connections", "many"]).is_err());
+        assert!(parse(&["loadgen", "--addr", "x", "--ramp", "slow"]).is_err());
     }
 
     #[test]
@@ -783,6 +851,20 @@ mod tests {
         assert!(parse(&["dataset"]).is_err());
         assert!(parse(&["dataset", "drop", "--data-dir", "/tmp/cat"]).is_err());
         assert!(parse(&["dataset", "inspect", "--data-dir", "/tmp/cat"]).is_err());
+    }
+
+    #[test]
+    fn parses_cluster_status() {
+        let c = parse(&["cluster", "status", "--addr", "127.0.0.1:7878"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Cluster(ClusterCmd::Status {
+                addr: "127.0.0.1:7878".into()
+            })
+        );
+        assert!(parse(&["cluster"]).is_err(), "needs an action");
+        assert!(parse(&["cluster", "rebalance", "--addr", "x"]).is_err());
+        assert!(parse(&["cluster", "status"]).is_err(), "--addr is required");
     }
 
     #[test]

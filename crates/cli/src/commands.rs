@@ -17,7 +17,7 @@ use viewseeker_eval::runner::{exact_feature_matrix, run_session, RunnerConfig, S
 use viewseeker_eval::SimulatedUser;
 
 use crate::chart::{render_density_grid, render_ranking, render_view};
-use crate::cli::{Command, DatasetCmd, USAGE};
+use crate::cli::{ClusterCmd, Command, DatasetCmd, USAGE};
 use crate::parse::{parse_query, parse_utility};
 
 /// Executes a parsed command.
@@ -75,6 +75,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
             max_inflight,
             queue_deadline_ms,
             tracing,
+            shards,
+            peers,
         } => serve(ServeArgs {
             addr,
             workers,
@@ -90,6 +92,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
             max_inflight,
             queue_deadline_ms,
             tracing,
+            shards,
+            peers,
         }),
         Command::Trace {
             addr,
@@ -102,6 +106,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             connections,
             duration_secs,
             feedback_rounds,
+            ramp_secs,
             out,
             assert_clean,
         } => loadgen(
@@ -109,10 +114,12 @@ pub fn run(cmd: Command) -> Result<(), String> {
             connections,
             duration_secs,
             feedback_rounds,
+            ramp_secs,
             out,
             assert_clean,
         ),
         Command::Dataset(cmd) => dataset(cmd),
+        Command::Cluster(cmd) => cluster(cmd),
         Command::Scatter {
             data,
             query,
@@ -150,6 +157,8 @@ struct ServeArgs {
     max_inflight: usize,
     queue_deadline_ms: u64,
     tracing: bool,
+    shards: usize,
+    peers: Vec<String>,
 }
 
 fn serve(args: ServeArgs) -> Result<(), String> {
@@ -168,6 +177,8 @@ fn serve(args: ServeArgs) -> Result<(), String> {
         max_inflight,
         queue_deadline_ms,
         tracing,
+        shards,
+        peers,
     } = args;
     let config = viewseeker_server::ServerConfig {
         addr: addr.clone(),
@@ -184,6 +195,8 @@ fn serve(args: ServeArgs) -> Result<(), String> {
         max_inflight,
         queue_deadline_ms,
         tracing,
+        shards,
+        peers,
     };
     let handle =
         viewseeker_server::serve_app(&config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -192,6 +205,13 @@ fn serve(args: ServeArgs) -> Result<(), String> {
          {max_sessions} max sessions, {ttl_secs}s TTL)",
         handle.addr()
     );
+    if config.shards > 1 || !config.peers.is_empty() {
+        println!(
+            "  cluster: {} local shard(s), {} peer(s) — GET /cluster for status",
+            config.shards.max(1),
+            config.peers.len()
+        );
+    }
     println!("  POST /sessions             {{\"dataset\": \"diab\", \"query\": \"a0 = 'a0_v0'\"}}");
     println!("  GET  /sessions/:id/next?m=1");
     println!("  POST /sessions/:id/feedback {{\"view\": 0, \"score\": 0.8}}");
@@ -216,6 +236,7 @@ fn loadgen(
     connections: usize,
     duration_secs: u64,
     feedback_rounds: usize,
+    ramp_secs: u64,
     out: Option<String>,
     assert_clean: bool,
 ) -> Result<(), String> {
@@ -224,6 +245,7 @@ fn loadgen(
         connections,
         duration: std::time::Duration::from_secs(duration_secs),
         feedback_rounds,
+        ramp: std::time::Duration::from_secs(ramp_secs),
     };
     let report = viewseeker_loadgen::run(&config).map_err(|e| format!("loadgen: {e}"))?;
     let json = report.to_json();
@@ -432,6 +454,65 @@ fn dataset(cmd: DatasetCmd) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// `viewseeker cluster status`: fetches `GET /cluster` from a running
+/// deployment and renders the ring membership and migration totals as a
+/// human table.
+fn cluster(cmd: ClusterCmd) -> Result<(), String> {
+    let ClusterCmd::Status { addr } = cmd;
+    let (status, body) = http_get(&addr, "/cluster")?;
+    if status != 200 {
+        return Err(format!("{addr} answered {status}: {body}"));
+    }
+    let parsed =
+        serde_json::parse_value(&body).map_err(|e| format!("unparseable /cluster payload: {e}"))?;
+    let truthy = |v: Option<&serde_json::Value>| matches!(v, Some(serde_json::Value::Bool(true)));
+    let num = |key: &str| parsed.get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+    let peer_count = parsed
+        .get("peers")
+        .and_then(|v| v.as_array())
+        .map_or(0, <[serde_json::Value]>::len);
+    println!(
+        "cluster at {addr}: {} local shard(s), {} peer(s){}",
+        num("local_shards"),
+        peer_count,
+        if truthy(parsed.get("rebalancing")) {
+            "  [REBALANCING]"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "forwarded {} (errors {}), migrated {} (errors {})\n",
+        num("forwarded"),
+        num("forward_errors"),
+        num("migrated_ok"),
+        num("migrated_err")
+    );
+    println!(
+        "{:<24} {:<6} {:>10} {:>10}  UP",
+        "MEMBER", "KIND", "ROUTED", "SESSIONS"
+    );
+    let members = parsed
+        .get("members")
+        .and_then(|v| v.as_array().map(<[serde_json::Value]>::to_vec))
+        .unwrap_or_default();
+    for m in &members {
+        println!(
+            "{:<24} {:<6} {:>10} {:>10}  {}",
+            m.get("name").and_then(|v| v.as_str()).unwrap_or("?"),
+            if truthy(m.get("local")) {
+                "shard"
+            } else {
+                "peer"
+            },
+            m.get("routed").and_then(|v| v.as_u64()).unwrap_or(0),
+            m.get("sessions").and_then(|v| v.as_u64()).unwrap_or(0),
+            if truthy(m.get("up")) { "yes" } else { "NO" }
+        );
+    }
+    Ok(())
 }
 
 fn generate(dataset: &str, rows: Option<usize>, seed: u64, out: &str) -> Result<(), String> {

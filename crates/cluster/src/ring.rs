@@ -1,0 +1,243 @@
+//! A deterministic consistent-hash ring over named members.
+//!
+//! Every member contributes [`VNODES`] virtual points, each at the
+//! 64-bit mixed FNV-1a hash of `"{name}#vnode-{v}"`. A key is owned by
+//! the member whose point is the first at or clockwise-after the key's
+//! own hash (wrapping at the top of the ring). Because the points are a
+//! pure function of the member *names*, two processes that agree on the
+//! member list agree on every assignment — no coordination, no gossip,
+//! nothing to converge — and adding or removing one member perturbs only
+//! the keys that land on that member's points (~1/N of the space).
+//!
+//! Member *identity* is the name, not the index: `shard_for` returns the
+//! index into the member list the ring was built from, so callers keep a
+//! parallel list of routing targets, but renaming is rebuilding.
+
+use std::collections::HashMap;
+
+/// Virtual points per member. 160 keeps the per-member share of the key
+/// space within a few percent of fair (relative spread shrinks like
+/// `1/sqrt(VNODES)`) while the ring stays small enough that a rebuild is
+/// microseconds.
+pub const VNODES: usize = 160;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over `bytes`.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+    })
+}
+
+/// A 64-bit finalizer (the murmur3 `fmix64` constants) on top of FNV-1a:
+/// short, similar keys like `"s1"`/`"s2"` differ in few input bits, and
+/// the avalanche step spreads them across the whole ring.
+#[must_use]
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// The position of `key` on the ring.
+#[must_use]
+pub fn key_point(key: &str) -> u64 {
+    mix(fnv1a(key.as_bytes()))
+}
+
+/// A consistent-hash ring built from an ordered list of member names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    /// `(point, member index)` sorted by point (ties broken by index so
+    /// construction order never matters).
+    points: Vec<(u64, usize)>,
+    members: usize,
+}
+
+impl HashRing {
+    /// Builds the ring. An empty member list yields an empty ring for
+    /// which [`HashRing::shard_for`] always answers member `0`; callers
+    /// are expected to pass at least one member.
+    #[must_use]
+    pub fn new<S: AsRef<str>>(members: &[S]) -> Self {
+        let mut points = Vec::with_capacity(members.len() * VNODES);
+        for (index, name) in members.iter().enumerate() {
+            let name = name.as_ref();
+            for vnode in 0..VNODES {
+                let point = mix(fnv1a(format!("{name}#vnode-{vnode}").as_bytes()));
+                points.push((point, index));
+            }
+        }
+        points.sort_unstable();
+        Self {
+            points,
+            members: members.len(),
+        }
+    }
+
+    /// Number of members the ring was built from.
+    #[must_use]
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// Whether the ring has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members == 0
+    }
+
+    /// The member index owning `key`: the first point at or clockwise
+    /// after the key's hash, wrapping past the top. `0` on an empty ring.
+    #[must_use]
+    pub fn shard_for(&self, key: &str) -> usize {
+        let point = key_point(key);
+        let at = self.points.partition_point(|&(p, _)| p < point);
+        self.points
+            .get(at)
+            .or_else(|| self.points.first())
+            .map_or(0, |&(_, member)| member)
+    }
+
+    /// Per-member key counts for `keys` — a cheap balance probe used by
+    /// tests and the `/cluster` status endpoint's self-description.
+    #[must_use]
+    pub fn distribution<S: AsRef<str>>(&self, keys: &[S]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.members];
+        for key in keys {
+            if let Some(slot) = {
+                let shard = self.shard_for(key.as_ref());
+                counts.get_mut(shard)
+            } {
+                *slot += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// How many of `keys` change owners between `before` and `after`, keyed
+/// by member *name* (indices may shift when the lists differ).
+#[must_use]
+pub fn remapped<S: AsRef<str>>(
+    before: (&HashRing, &[String]),
+    after: (&HashRing, &[String]),
+    keys: &[S],
+) -> usize {
+    let owner = |ring: &HashRing, names: &[String], key: &str| -> Option<String> {
+        names.get(ring.shard_for(key)).cloned()
+    };
+    keys.iter()
+        .filter(|key| {
+            owner(before.0, before.1, key.as_ref()) != owner(after.0, after.1, key.as_ref())
+        })
+        .count()
+}
+
+/// A map from member name to the share of `keys` it owns — used by the
+/// uniformity proptest.
+#[must_use]
+pub fn shares<S: AsRef<str>>(
+    ring: &HashRing,
+    names: &[String],
+    keys: &[S],
+) -> HashMap<String, usize> {
+    let mut out: HashMap<String, usize> = names.iter().map(|n| (n.clone(), 0)).collect();
+    for key in keys {
+        if let Some(name) = names.get(ring.shard_for(key.as_ref())) {
+            if let Some(count) = out.get_mut(name) {
+                *count += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("local-{i}")).collect()
+    }
+
+    #[test]
+    fn empty_ring_answers_zero() {
+        let ring = HashRing::new::<&str>(&[]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.shard_for("s1"), 0);
+    }
+
+    #[test]
+    fn single_member_owns_everything() {
+        let ring = HashRing::new(&names(1));
+        for i in 0..100 {
+            assert_eq!(ring.shard_for(&format!("s{i}")), 0);
+        }
+    }
+
+    #[test]
+    fn assignment_is_stable_across_rebuilds() {
+        let a = HashRing::new(&names(5));
+        let b = HashRing::new(&names(5));
+        assert_eq!(a, b);
+        for i in 0..1000 {
+            let key = format!("s{i}");
+            assert_eq!(a.shard_for(&key), b.shard_for(&key));
+        }
+    }
+
+    #[test]
+    fn golden_assignments_are_pinned() {
+        // Frozen expectations: a change here means persisted placements
+        // (and cross-process agreement) silently broke.
+        let ring = HashRing::new(&names(4));
+        let got: Vec<usize> = ["s1", "s2", "s3", "session-abc", "x"]
+            .iter()
+            .map(|k| ring.shard_for(k))
+            .collect();
+        assert_eq!(got, vec![0, 2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn every_member_owns_a_fair_share() {
+        let members = names(4);
+        let ring = HashRing::new(&members);
+        let keys: Vec<String> = (0..4000).map(|i| format!("s{i}")).collect();
+        let counts = ring.distribution(&keys);
+        assert_eq!(counts.iter().sum::<usize>(), 4000);
+        let fair = 1000;
+        for (member, &count) in counts.iter().enumerate() {
+            assert!(
+                count > fair / 2 && count < fair * 2,
+                "member {member} owns {count} of 4000"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_member_only_pulls_keys_to_it() {
+        let before_names = names(4);
+        let mut after_names = before_names.clone();
+        after_names.push("local-4".to_owned());
+        let before = HashRing::new(&before_names);
+        let after = HashRing::new(&after_names);
+        let keys: Vec<String> = (0..2000).map(|i| format!("s{i}")).collect();
+        let mut moved = 0usize;
+        for key in &keys {
+            let old = before.shard_for(key);
+            let new = after.shard_for(key);
+            if old != new {
+                assert_eq!(new, 4, "key {key} moved to an unrelated member");
+                moved += 1;
+            }
+        }
+        // Expect ~1/5 of keys to move; allow a generous band.
+        assert!(moved > 2000 / 10 && moved < 2000 / 2, "moved {moved}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Shared counters behind the `viewseeker_cluster_*` Prometheus series.
+//!
+//! The server's shard router increments these; the Prometheus exporter
+//! scrapes them. Per-member counters live behind an `RwLock<Vec<..>>` so
+//! a rebalance can change the member set at runtime without losing the
+//! counts of surviving members (matched by name). Everything else is
+//! lock-free atomics except the forward-latency histogram, which sits
+//! behind a mutex touched once per forwarded request (and recovers from
+//! poisoning — metrics must never take a request path down, matching the
+//! net/server policy).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+use viewseeker_net::hist::Histogram;
+
+/// Counters for one ring member (a local shard or a remote peer).
+#[derive(Debug, Default)]
+pub struct MemberStats {
+    /// Member name as it appears on the ring (`local-0`, `peer-<addr>`).
+    name: String,
+    /// Whether the member is a local shard of this process.
+    local: bool,
+    /// Requests routed to this member
+    /// (`viewseeker_cluster_routed_total`).
+    routed: AtomicU64,
+    /// Sessions resident on this member, set at scrape time for local
+    /// shards (`viewseeker_cluster_shard_sessions`).
+    sessions: AtomicU64,
+}
+
+/// A point-in-time copy of one member's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberSnapshot {
+    /// Ring member name.
+    pub name: String,
+    /// Whether the member is a local shard.
+    pub local: bool,
+    /// Requests routed to the member since startup.
+    pub routed: u64,
+    /// Sessions resident (meaningful for local members only).
+    pub sessions: u64,
+}
+
+/// Counters, gauges, and the forward-latency histogram for one shard
+/// router instance.
+#[derive(Debug, Default)]
+pub struct ClusterStats {
+    members: RwLock<Vec<Arc<MemberStats>>>,
+    /// Requests forwarded to remote peers, total
+    /// (`viewseeker_cluster_forwarded_total`).
+    pub forwarded: AtomicU64,
+    /// Forwards that failed (peer down, timeout) and were answered with
+    /// `503` (`viewseeker_cluster_forward_errors_total`).
+    pub forward_errors: AtomicU64,
+    /// Sessions migrated off this process successfully
+    /// (`viewseeker_cluster_migrated_sessions_total{outcome="ok"}`).
+    pub migrated_ok: AtomicU64,
+    /// Migration attempts that failed and left the session in place
+    /// (`viewseeker_cluster_migrated_sessions_total{outcome="error"}`).
+    pub migrated_err: AtomicU64,
+    /// Forward round-trip latencies
+    /// (`viewseeker_cluster_forward_seconds`).
+    forward: Mutex<Histogram>,
+}
+
+impl ClusterStats {
+    /// Fresh stats with no members; call [`ClusterStats::set_members`]
+    /// before routing.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the member set, preserving the counters of members whose
+    /// name survives (a rebalance must not zero routing history).
+    pub fn set_members(&self, members: &[(String, bool)]) {
+        let mut guard = self.members.write().unwrap_or_else(PoisonError::into_inner);
+        let old: Vec<Arc<MemberStats>> = guard.clone();
+        *guard = members
+            .iter()
+            .map(|(name, local)| {
+                old.iter()
+                    .find(|m| &m.name == name)
+                    .cloned()
+                    .unwrap_or_else(|| {
+                        Arc::new(MemberStats {
+                            name: name.clone(),
+                            local: *local,
+                            ..MemberStats::default()
+                        })
+                    })
+            })
+            .collect();
+    }
+
+    /// Number of members currently on the ring.
+    #[must_use]
+    pub fn member_count(&self) -> usize {
+        self.members
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Counts one request routed to member `index`.
+    pub fn bump_routed(&self, index: usize) {
+        let guard = self.members.read().unwrap_or_else(PoisonError::into_inner);
+        if let Some(member) = guard.get(index) {
+            member.routed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets the resident-session gauge of member `index` (scrape time).
+    pub fn set_sessions(&self, index: usize, sessions: u64) {
+        let guard = self.members.read().unwrap_or_else(PoisonError::into_inner);
+        if let Some(member) = guard.get(index) {
+            member.sessions.store(sessions, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of every member's counters, in ring order.
+    #[must_use]
+    pub fn members_snapshot(&self) -> Vec<MemberSnapshot> {
+        self.members
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|m| MemberSnapshot {
+                name: m.name.clone(),
+                local: m.local,
+                routed: m.routed.load(Ordering::Relaxed),
+                sessions: m.sessions.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Records one forward round trip of `us` microseconds.
+    pub fn record_forward(&self, us: u64) {
+        self.forward
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record(us);
+    }
+
+    /// A snapshot of the forward-latency histogram.
+    #[must_use]
+    pub fn forward_histogram(&self) -> Histogram {
+        self.forward
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Convenience relaxed read of a counter field.
+    #[must_use]
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_accumulate_and_snapshot() {
+        let stats = ClusterStats::new();
+        stats.set_members(&[("local-0".into(), true), ("peer-x".into(), false)]);
+        stats.bump_routed(0);
+        stats.bump_routed(0);
+        stats.bump_routed(1);
+        stats.set_sessions(0, 7);
+        let snap = stats.members_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(
+            (snap[0].routed, snap[0].sessions, snap[0].local),
+            (2, 7, true)
+        );
+        assert_eq!((snap[1].routed, snap[1].local), (1, false));
+    }
+
+    #[test]
+    fn rebalance_preserves_surviving_members() {
+        let stats = ClusterStats::new();
+        stats.set_members(&[("local-0".into(), true), ("local-1".into(), true)]);
+        stats.bump_routed(1);
+        stats.set_members(&[
+            ("local-0".into(), true),
+            ("local-1".into(), true),
+            ("local-2".into(), true),
+        ]);
+        let snap = stats.members_snapshot();
+        assert_eq!(snap[1].routed, 1, "survivor keeps its count");
+        assert_eq!(snap[2].routed, 0, "newcomer starts fresh");
+    }
+
+    #[test]
+    fn out_of_range_member_indices_are_ignored() {
+        let stats = ClusterStats::new();
+        stats.bump_routed(3);
+        stats.set_sessions(3, 9);
+        assert!(stats.members_snapshot().is_empty());
+    }
+
+    #[test]
+    fn forward_latencies_accumulate() {
+        let stats = ClusterStats::new();
+        stats.record_forward(250);
+        stats.record_forward(750);
+        let h = stats.forward_histogram();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_us(), 1000);
+    }
+}

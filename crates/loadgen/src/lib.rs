@@ -51,6 +51,10 @@ pub struct Config {
     pub duration: Duration,
     /// Feedback rounds per session (the `k` in the mix).
     pub feedback_rounds: usize,
+    /// Linear connection ramp: client `i` of `n` connects `ramp * i / n`
+    /// into the run instead of all connections up front (`--ramp`; zero
+    /// keeps the old everything-at-once behavior).
+    pub ramp: Duration,
 }
 
 /// Latency summary for one step of the session mix.
@@ -75,6 +79,8 @@ pub struct Report {
     pub connections: usize,
     /// Wall-clock run length in seconds.
     pub duration_secs: f64,
+    /// Configured connection ramp in seconds (zero = no ramp).
+    pub ramp_secs: f64,
     /// Responses received (any status).
     pub requests: u64,
     /// Full sessions completed (create through delete).
@@ -120,13 +126,15 @@ impl Report {
             .collect::<Vec<_>>()
             .join(", ");
         format!(
-            "{{\"connections\": {}, \"duration_secs\": {:.3}, \"requests\": {}, \
+            "{{\"connections\": {}, \"duration_secs\": {:.3}, \
+             \"ramp_secs\": {:.3}, \"requests\": {}, \
              \"sessions\": {}, \"errors\": {}, \"protocol_errors\": {}, \
              \"shed\": {}, \"reconnects\": {}, \"throughput_rps\": {:.1}, \
              \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}, \
              \"id_mismatches\": {}, \"endpoints\": {{{endpoints}}}}}",
             self.connections,
             self.duration_secs,
+            self.ramp_secs,
             self.requests,
             self.sessions,
             self.errors,
@@ -369,6 +377,15 @@ impl Client {
     }
 }
 
+/// When each of `connections` clients should connect, as offsets from the
+/// run start: a linear spread over `ramp`, first client at zero. A zero
+/// ramp yields all-zero offsets (everything connects immediately).
+fn ramp_offsets(ramp: Duration, connections: usize) -> Vec<Duration> {
+    (0..connections)
+        .map(|i| ramp.mul_f64(i as f64 / connections as f64))
+        .collect()
+}
+
 /// Extracts the first `"key": value` from a JSON body, stripping quotes —
 /// enough to pull session and view ids out of known-shape responses
 /// without a JSON parser.
@@ -405,36 +422,51 @@ pub fn run(config: &Config) -> io::Result<Report> {
     let mut counters = Counters::default();
     let mut latency = Latency::new();
 
-    // Ramp: establish every connection and queue its first create. The
+    // Ramp: connection `i` of `n` is established `ramp * i / n` into the
+    // run (a zero ramp brings everything up before the first poll). The
     // clock starts before the ramp so throughput reflects the whole run.
     let started = Instant::now();
     let deadline = started + config.duration;
+    let offsets = ramp_offsets(config.ramp, config.connections);
     let mut clients: Vec<Option<Client>> = Vec::with_capacity(config.connections);
-    for i in 0..config.connections {
-        match Client::connect(addr) {
-            Ok(mut client) => {
-                client.seed = i as u64;
-                client.issue();
-                client.interest = Interest::READ_WRITE;
-                poller.add(client.stream.as_raw_fd(), i as u64, client.interest)?;
-                clients.push(Some(client));
-            }
-            // The first connect failing means the server is not there at
-            // all; later failures (fd limits, backlog overflow) degrade
-            // the run instead of aborting it.
-            Err(e) if i == 0 => return Err(e),
-            Err(_) => {
-                counters.protocol_errors += 1;
-                clients.push(None);
-            }
-        }
-    }
-    let established = clients.iter().flatten().count();
 
     let mut events = Vec::new();
     let mut scratch = [0u8; 16 * 1024];
-    while Instant::now() < deadline {
-        let remaining = deadline.saturating_duration_since(Instant::now());
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        // Bring up every connection whose ramp slot has arrived.
+        while let Some(&offset) = offsets.get(clients.len()) {
+            if started + offset > now {
+                break;
+            }
+            let i = clients.len();
+            match Client::connect(addr) {
+                Ok(mut client) => {
+                    client.seed = i as u64;
+                    client.issue();
+                    client.interest = Interest::READ_WRITE;
+                    poller.add(client.stream.as_raw_fd(), i as u64, client.interest)?;
+                    clients.push(Some(client));
+                }
+                // The first connect failing means the server is not there
+                // at all; later failures (fd limits, backlog overflow)
+                // degrade the run instead of aborting it.
+                Err(e) if i == 0 => return Err(e),
+                Err(_) => {
+                    counters.protocol_errors += 1;
+                    clients.push(None);
+                }
+            }
+        }
+        // Sleep until the deadline or the next ramp slot, whichever is
+        // sooner, so a long poll never delays a scheduled connect.
+        let wake = offsets
+            .get(clients.len())
+            .map_or(deadline, |&offset| deadline.min(started + offset));
+        let remaining = wake.saturating_duration_since(now);
         let timeout_ms = i32::try_from(remaining.as_millis().min(100))
             .unwrap_or(100)
             .max(1);
@@ -478,10 +510,12 @@ pub fn run(config: &Config) -> io::Result<Report> {
         }
     }
 
+    let established = clients.iter().flatten().count();
     let elapsed = started.elapsed().as_secs_f64();
     Ok(Report {
         connections: established,
         duration_secs: elapsed,
+        ramp_secs: config.ramp.as_secs_f64(),
         requests: counters.requests,
         sessions: counters.sessions,
         errors: counters.errors,
@@ -633,6 +667,7 @@ mod tests {
         let report = Report {
             connections: 8,
             duration_secs: 2.0,
+            ramp_secs: 0.5,
             requests: 100,
             sessions: 10,
             errors: 0,
@@ -664,6 +699,7 @@ mod tests {
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"protocol_errors\": 0"), "{json}");
+        assert!(json.contains("\"ramp_secs\": 0.500"), "{json}");
         assert!(json.contains("\"shed\": 3"), "{json}");
         assert!(json.contains("\"id_mismatches\": 0"), "{json}");
         assert!(
@@ -692,6 +728,27 @@ mod tests {
         assert_eq!(next.count, 2);
         assert_eq!(next.max_us, 900);
         assert_eq!(latency.total.count(), 4);
+    }
+
+    #[test]
+    fn ramp_offsets_spread_connects_linearly() {
+        let offsets = ramp_offsets(Duration::from_secs(4), 4);
+        assert_eq!(
+            offsets,
+            [
+                Duration::ZERO,
+                Duration::from_secs(1),
+                Duration::from_secs(2),
+                Duration::from_secs(3),
+            ],
+            "first client at zero, last one ramp-width/n before the end"
+        );
+        assert_eq!(
+            ramp_offsets(Duration::ZERO, 3),
+            [Duration::ZERO; 3],
+            "zero ramp connects everything immediately"
+        );
+        assert!(ramp_offsets(Duration::from_secs(1), 0).is_empty());
     }
 
     #[test]

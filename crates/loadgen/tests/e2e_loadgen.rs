@@ -30,6 +30,7 @@ fn loadgen_completes_sessions_with_zero_protocol_errors() {
         connections: 8,
         duration: Duration::from_secs(2),
         feedback_rounds: 1,
+        ramp: Duration::from_millis(200),
     })
     .expect("load run");
 
@@ -50,6 +51,7 @@ fn loadgen_refuses_a_dead_target() {
         connections: 2,
         duration: Duration::from_millis(100),
         feedback_rounds: 0,
+        ramp: Duration::ZERO,
     });
     assert!(err.is_err());
 }

@@ -47,6 +47,8 @@
 //!     max_inflight: 256,
 //!     queue_deadline_ms: 500,
 //!     tracing: true,
+//!     shards: 1,
+//!     peers: Vec::new(),
 //! };
 //! let handle = serve_app(&config).unwrap();
 //! let addr = handle.addr(); // POST http://{addr}/sessions etc.
@@ -57,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod cluster;
 pub mod error;
 pub mod hist;
 pub mod http;
@@ -72,6 +75,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 pub use api::AppState;
+pub use cluster::ShardRouter;
 pub use error::ServerError;
 pub use http::{Request, Response, ServerHandle};
 pub use log::{LogFormat, LogLevel, Logger};
@@ -124,6 +128,14 @@ pub struct ServerConfig {
     /// no-op sink — request ids are still generated and echoed; this knob
     /// exists so the differential oracle can price the tracing overhead.
     pub tracing: bool,
+    /// Local session shards (`serve --shards N`; default 1). Above 1,
+    /// requests are consistent-hash routed by session id onto per-shard
+    /// registries, each with its own worker pool and lock domain.
+    pub shards: usize,
+    /// Remote peers (`serve --peer host:port`, repeatable) speaking the
+    /// same HTTP protocol. Sessions whose ring owner is a peer are
+    /// forwarded; on graceful shutdown local sessions drain to the peers.
+    pub peers: Vec<String>,
 }
 
 /// The I/O model behind [`serve_app`].
@@ -155,6 +167,14 @@ pub enum AppHandle {
     Blocking(ServerHandle),
     /// The event reactor.
     Event(viewseeker_net::EventHandle),
+    /// A sharded/peered deployment: the inner listener plus the shard
+    /// router, which drains local sessions to the peers on shutdown.
+    Clustered {
+        /// The listener actually serving the shard router.
+        inner: Box<AppHandle>,
+        /// The consistent-hash front door.
+        router: Arc<cluster::ShardRouter>,
+    },
 }
 
 impl AppHandle {
@@ -164,14 +184,21 @@ impl AppHandle {
         match self {
             AppHandle::Blocking(h) => h.addr(),
             AppHandle::Event(h) => h.addr(),
+            AppHandle::Clustered { inner, .. } => inner.addr(),
         }
     }
 
-    /// Stops serving, drains in-flight work, and joins every thread.
+    /// Stops serving, drains in-flight work, and joins every thread. A
+    /// clustered handle first migrates local sessions to its peers (the
+    /// graceful drain), so a rolling restart loses no session state.
     pub fn shutdown(self) {
         match self {
             AppHandle::Blocking(h) => h.shutdown(),
             AppHandle::Event(h) => h.shutdown(),
+            AppHandle::Clustered { inner, router } => {
+                router.drain_to_peers();
+                inner.shutdown();
+            }
         }
     }
 }
@@ -193,6 +220,8 @@ impl Default for ServerConfig {
             max_inflight: 256,
             queue_deadline_ms: 500,
             tracing: true,
+            shards: 1,
+            peers: Vec::new(),
         }
     }
 }
@@ -205,37 +234,66 @@ impl Default for ServerConfig {
 /// Propagates catalog-directory, TCP bind, and (event path) epoll setup
 /// failures.
 pub fn serve_app(config: &ServerConfig) -> std::io::Result<AppHandle> {
-    let catalog = match &config.data_dir {
+    let catalog = Arc::new(match &config.data_dir {
         Some(dir) => viewseeker_catalog::Catalog::open(dir, config.catalog_mem_budget)
             .map_err(|e| std::io::Error::other(format!("opening catalog: {e}")))?,
         None => viewseeker_catalog::Catalog::in_memory(config.catalog_mem_budget),
+    });
+    let shard_count = config.shards.max(1);
+    let max_sessions_per_shard = config.max_sessions.div_ceil(shard_count);
+    let make_registry = || {
+        let mut registry = SessionRegistry::with_catalog(
+            max_sessions_per_shard,
+            config.ttl,
+            config.snapshot_dir.clone(),
+            Arc::clone(&catalog),
+        );
+        registry.set_default_executor(config.default_executor);
+        registry
     };
-    let mut registry = SessionRegistry::with_catalog(
-        config.max_sessions,
-        config.ttl,
-        config.snapshot_dir.clone(),
-        Arc::new(catalog),
-    );
-    registry.set_default_executor(config.default_executor);
     let logger = Logger::stderr(config.log_format, config.log_level);
-    let state = api::shared_state_with_logger(registry, logger);
-    let queue_depth = state.metrics.counters().queue_depth_handle();
-    let net = Arc::clone(&state.net);
+    let mut state0 = AppState::with_logger(make_registry(), logger);
+    state0.runtime = api::RuntimeInfo {
+        io: match config.io {
+            IoModel::Blocking => "blocking".to_owned(),
+            IoModel::Event => "event".to_owned(),
+        },
+        tracing: config.tracing,
+        shard_id: 0,
+        shard_count,
+    };
+    let state0 = Arc::new(state0);
+    let queue_depth = state0.metrics.counters().queue_depth_handle();
+    let net = Arc::clone(&state0.net);
     let sink: Arc<dyn viewseeker_net::TraceSink> = if config.tracing {
-        Arc::new(trace::ServerTraceSink::new(Arc::clone(&state)))
+        Arc::new(trace::ServerTraceSink::new(Arc::clone(&state0)))
     } else {
         Arc::new(viewseeker_net::NoopTraceSink)
     };
-    let router = Router::new(state);
-    match config.io {
+    let mut shard_routers = vec![Arc::new(Router::new(Arc::clone(&state0)))];
+    for shard_id in 1..shard_count {
+        let state = Arc::new(state0.sibling(make_registry(), shard_id));
+        shard_routers.push(Arc::new(Router::new(state)));
+    }
+    let clustered = shard_count > 1 || !config.peers.is_empty();
+    let router = Arc::new(
+        cluster::ShardRouter::new(
+            shard_routers,
+            &config.peers,
+            config.workers.div_ceil(shard_count),
+        )
+        .map_err(|e| std::io::Error::other(format!("building shard router: {e}")))?,
+    );
+    let handler = Arc::clone(&router);
+    let inner = match config.io {
         IoModel::Blocking => http::serve_observed(
             config.addr.as_str(),
             config.workers,
-            Arc::new(router),
+            handler,
             queue_depth,
             sink,
         )
-        .map(AppHandle::Blocking),
+        .map(AppHandle::Blocking)?,
         IoModel::Event => {
             let event_config = viewseeker_net::EventConfig {
                 workers: config.workers,
@@ -246,12 +304,20 @@ pub fn serve_app(config: &ServerConfig) -> std::io::Result<AppHandle> {
             viewseeker_net::serve_event(
                 config.addr.as_str(),
                 event_config,
-                Arc::new(router),
+                handler,
                 net,
                 queue_depth,
                 sink,
             )
-            .map(AppHandle::Event)
+            .map(AppHandle::Event)?
         }
-    }
+    };
+    Ok(if clustered {
+        AppHandle::Clustered {
+            inner: Box::new(inner),
+            router,
+        }
+    } else {
+        inner
+    })
 }

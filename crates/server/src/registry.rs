@@ -37,6 +37,13 @@ use crate::metrics::Counters;
 /// `POST /sessions` request body.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionSpec {
+    /// Requested session id. `None` (the wire default — older clients
+    /// never send the key) lets the registry mint `s<n>`; the cluster
+    /// shard router sets it so an id's consistent-hash owner is decided
+    /// *before* the session exists, and so a forwarded create lands on a
+    /// plain peer server under the router-chosen id. Validated to 1–64
+    /// chars of `[A-Za-z0-9_-]`.
+    pub id: Option<String>,
     /// Named dataset: `"diab"` or `"syn"`.
     pub dataset: String,
     /// Row count (default: 3000).
@@ -63,6 +70,7 @@ impl SessionSpec {
     #[must_use]
     pub fn named(dataset: &str) -> Self {
         Self {
+            id: None,
             dataset: dataset.to_owned(),
             rows: None,
             seed: None,
@@ -387,6 +395,22 @@ impl SessionRegistry {
     ///
     /// Spec/seeker construction errors; eviction persistence errors.
     pub fn create(&self, mut spec: SessionSpec) -> Result<Arc<SessionEntry>, ServerError> {
+        // A requested id (set by the cluster shard router, or by any
+        // client that wants to pick its own handle) is honored after
+        // validation; it is lifted out of the spec so stored specs and
+        // snapshots stay canonical — the id lives on the entry.
+        let requested = match spec.id.take() {
+            Some(id) => {
+                Self::validate_id(&id)?;
+                if self.sessions_read().contains_key(&id) {
+                    return Err(ServerError::Conflict(format!(
+                        "session {id:?} is already live"
+                    )));
+                }
+                Some(id)
+            }
+            None => None,
+        };
         // Pin the executor into the spec so the snapshot records which one
         // actually built the session, even if the server default changes.
         if spec.executor.is_none() {
@@ -395,7 +419,8 @@ impl SessionRegistry {
         let dataset = spec.resolve_dataset(&self.catalog)?;
         let recorder = Recorder::shared();
         let seeker = spec.build_seeker_on(&dataset, Arc::clone(&recorder) as Arc<dyn Tracer>)?;
-        let id = format!("s{}", self.next_id.fetch_add(1, Ordering::SeqCst));
+        let id = requested
+            .unwrap_or_else(|| format!("s{}", self.next_id.fetch_add(1, Ordering::SeqCst)));
         let entry = self.insert(id, spec, &dataset, seeker, recorder)?;
         Counters::bump(&self.counters.sessions_created);
         let (views, executor, scans) = entry.seeker.lock().map_or((0, "?", 0), |sk| {
@@ -417,6 +442,22 @@ impl SessionRegistry {
             ],
         );
         Ok(entry)
+    }
+
+    /// Checks a client- or router-requested session id: 1–64 characters,
+    /// ASCII alphanumerics plus `-` and `_` (the same alphabet
+    /// [`SessionRegistry::snapshot_path`] preserves, so the id survives a
+    /// persist/restore round trip unchanged).
+    fn validate_id(id: &str) -> Result<(), ServerError> {
+        let ok_chars = id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+        if id.is_empty() || id.len() > 64 || !ok_chars {
+            return Err(ServerError::BadRequest(format!(
+                "bad session id {id:?}: expected 1-64 characters of [A-Za-z0-9_-]"
+            )));
+        }
+        Ok(())
     }
 
     /// Creates a session by replaying `persisted` labels over a freshly
@@ -734,6 +775,64 @@ mod tests {
         assert!(registry.get("nope").is_err());
         registry.remove(&entry.id).unwrap();
         assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn requested_id_is_honored() {
+        let registry = SessionRegistry::new(4, Duration::from_secs(60), None);
+        let entry = registry
+            .create(SessionSpec {
+                id: Some("shard-1_s42".into()),
+                ..spec()
+            })
+            .unwrap();
+        assert_eq!(entry.id, "shard-1_s42");
+        assert_eq!(registry.get("shard-1_s42").unwrap().id, entry.id);
+        // The id is lifted out of the stored spec.
+        assert_eq!(entry.spec.id, None);
+        // Minting continues independently for specs without an id.
+        let minted = registry.create(spec()).unwrap();
+        assert!(minted.id.starts_with('s'), "{}", minted.id);
+    }
+
+    #[test]
+    fn duplicate_requested_id_is_a_conflict() {
+        let registry = SessionRegistry::new(4, Duration::from_secs(60), None);
+        let forced = SessionSpec {
+            id: Some("dup".into()),
+            ..spec()
+        };
+        registry.create(forced.clone()).unwrap();
+        match registry.create(forced).map(|entry| entry.id.clone()) {
+            Err(ServerError::Conflict(msg)) => assert!(msg.contains("dup"), "{msg}"),
+            other => panic!("expected Conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_requested_ids_are_rejected() {
+        let registry = SessionRegistry::new(4, Duration::from_secs(60), None);
+        for bad in ["", "has space", "slash/y", "dot.y", &"x".repeat(65)] {
+            let result = registry
+                .create(SessionSpec {
+                    id: Some((*bad).to_owned()),
+                    ..spec()
+                })
+                .map(|entry| entry.id.clone());
+            match result {
+                Err(ServerError::BadRequest(_)) => {}
+                other => panic!("id {bad:?}: expected BadRequest, got {other:?}"),
+            }
+        }
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn spec_json_without_id_parses_to_none() {
+        let parsed: SessionSpec =
+            serde_json::from_str(r#"{"dataset":"diab","rows":800,"seed":5,"query":null,"alpha":null,"exclude":null,"bins":null,"executor":null}"#)
+                .unwrap();
+        assert_eq!(parsed.id, None);
     }
 
     #[test]

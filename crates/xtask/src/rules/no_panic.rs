@@ -1,5 +1,6 @@
 //! Rule `no-panic`: request-path code in `crates/server`, reactor/parser
-//! code in `crates/net`, and cache-path
+//! code in `crates/net`, ring/forwarding code in `crates/cluster`, and
+//! cache-path
 //! code in `crates/catalog` must not contain a reachable panic — no
 //! `unwrap()`, `expect()`, `panic!`, `unreachable!`, `todo!`,
 //! `unimplemented!`, and no `x[i]` indexing (which panics out of
@@ -19,6 +20,7 @@ const SCOPE: &[&str] = &[
     "crates/server/src/",
     "crates/catalog/src/",
     "crates/net/src/",
+    "crates/cluster/src/",
 ];
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
