@@ -3,32 +3,47 @@
 //! Every layer of the system resolves tables through a [`Catalog`] rather
 //! than generating or parsing its own copy. The catalog combines:
 //!
-//! * **the VSC1 on-disk format** ([`vsc`]) — a versioned manifest plus one
-//!   checksummed binary block per column, round-tripping [`Table`]s
-//!   bit-identically (including NaN payloads);
+//! * **the VSC2 on-disk format** ([`vsc2`]) — compressed, zone-mapped row
+//!   groups with per-chunk digests, zero-copy mmap cold starts ([`map`]),
+//!   and an append-only growth path. New datasets are written as VSC2;
+//! * **the VSC1 format** ([`vsc`]) — the original one-block-per-column
+//!   layout, still fully readable (and writable, as the differential
+//!   oracle for VSC2's test battery). Loads dispatch on the manifest's
+//!   format tag;
 //! * **ingestion** — [`Catalog::import_csv_bytes`] infers a schema by the
 //!   `m_`/`n_` naming convention and parses the rows, while
 //!   [`Catalog::materialize_generated`] runs the `diab`/`syn` generators
-//!   once and persists the result;
+//!   once and persists the result; [`Catalog::append_rows`] grows an
+//!   existing dataset in place, atomically;
 //! * **a concurrent in-memory cache** — lookups hand out shared
 //!   `Arc<Table>`s, so N sessions over one dataset hold one table. A byte
-//!   budget bounds residency with LRU eviction; hit/miss/eviction/bytes
-//!   accounting feeds the Prometheus exposition.
+//!   budget bounds residency with LRU eviction; tables are charged at what
+//!   they actually cost (owned heap bytes plus mapped file bytes — a
+//!   zero-copy column's pages are charged at mapped size, not at the
+//!   decoded-size estimate); hit/miss/eviction/bytes accounting feeds the
+//!   Prometheus exposition.
 //!
 //! A catalog is either *persistent* ([`Catalog::open`] on a data
-//! directory — every dataset is spilled to VSC1 and can be evicted and
+//! directory — every dataset is spilled to disk and can be evicted and
 //! reloaded) or *in-memory* ([`Catalog::in_memory`] — datasets are pinned,
 //! since eviction would destroy them).
 //!
 //! Consistency notes: one internal mutex serializes metadata operations and
-//! disk loads. Loads of a ~100k-row table are a few milliseconds from VSC1,
-//! and serializing them is what guarantees two concurrent `get`s of the same
-//! name return the *same* allocation rather than racing to load twice.
+//! disk loads. Loads are a few milliseconds (VSC2 cold starts are mmap
+//! page-ins, not decodes), and serializing them is what guarantees two
+//! concurrent `get`s of the same name return the *same* allocation rather
+//! than racing to load twice.
+//!
+//! `unsafe` is confined to the [`map`] module (the mmap syscall surface);
+//! the rest of the crate denies it, and the workspace lint enforces the
+//! boundary statically.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod map;
 pub mod vsc;
+pub mod vsc2;
 
 mod cache;
 
@@ -40,7 +55,7 @@ use std::sync::{Arc, Mutex, Weak};
 use serde::{Deserialize, Serialize};
 use viewseeker_dataset::generate::{generate_diab, generate_syn, DiabConfig, SynConfig};
 use viewseeker_dataset::schema::{AttributeRole, ColumnType};
-use viewseeker_dataset::{DatasetError, Table};
+use viewseeker_dataset::{DatasetError, Table, ZoneMaps};
 
 use cache::LruCache;
 
@@ -116,6 +131,21 @@ pub struct DatasetEntry {
     pub table: Arc<Table>,
     /// Content digest ([`vsc::table_checksum`]) as lowercase hex.
     pub checksum: String,
+    /// Row-group zone maps for the table (from the VSC2 manifest when
+    /// loaded from disk, built in-memory otherwise) — what the executor
+    /// uses to skip row groups a predicate provably excludes.
+    pub zones: Arc<ZoneMaps>,
+}
+
+/// The result of appending rows to a dataset.
+#[derive(Debug, Clone)]
+pub struct AppendOutcome {
+    /// The dataset after the append (merged table, fresh zones/checksum).
+    pub entry: DatasetEntry,
+    /// Rows added by this append.
+    pub appended: u64,
+    /// Total rows after the append.
+    pub total_rows: u64,
 }
 
 /// Schema of one column, as reported by listings.
@@ -136,8 +166,8 @@ pub struct DatasetSummary {
     pub name: String,
     /// Row count.
     pub rows: u64,
-    /// Stored bytes: VSC1 block bytes when persisted, resident estimate for
-    /// memory-only datasets.
+    /// Stored bytes: on-disk payload bytes when persisted, resident
+    /// estimate for memory-only datasets.
     pub bytes: u64,
     /// Content digest, lowercase hex.
     pub checksum: String,
@@ -154,7 +184,8 @@ pub struct DatasetDetail {
     pub name: String,
     /// Row count.
     pub rows: u64,
-    /// Estimated resident bytes of the in-memory table.
+    /// What the table costs while resident: owned heap bytes plus mapped
+    /// file bytes.
     pub resident_bytes: u64,
     /// Content digest, lowercase hex.
     pub checksum: String,
@@ -184,12 +215,25 @@ pub struct CatalogStats {
     pub misses: u64,
     /// Tables evicted under byte-budget pressure.
     pub evictions: u64,
-    /// Bytes of tables currently resident.
+    /// Bytes of tables currently resident (owned heap + mapped files).
     pub resident_bytes: u64,
     /// Number of tables currently resident.
     pub cached_datasets: u64,
     /// Number of datasets the catalog knows about (resident or not).
     pub known_datasets: u64,
+    /// Rows appended via [`Catalog::append_rows`] since startup.
+    pub append_rows: u64,
+}
+
+/// How a dataset is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stored {
+    /// Memory-only (in-memory catalog); pinned in cache.
+    Memory,
+    /// On disk in the legacy VSC1 layout.
+    Vsc1,
+    /// On disk in the VSC2 layout.
+    Vsc2,
 }
 
 struct MetaEntry {
@@ -197,7 +241,14 @@ struct MetaEntry {
     bytes: u64,
     checksum: String,
     columns: Vec<ColumnSchema>,
-    on_disk: bool,
+    stored: Stored,
+}
+
+/// Live-table side data: zone maps and the cache charge the table was
+/// admitted with (so a re-share after eviction charges the same bytes).
+struct Shape {
+    zones: Arc<ZoneMaps>,
+    charge: u64,
 }
 
 struct Inner {
@@ -206,6 +257,7 @@ struct Inner {
     /// evicted table a session still holds, and lets `delete` count live
     /// outside references.
     handles: std::collections::HashMap<String, Weak<Table>>,
+    shapes: std::collections::HashMap<String, Shape>,
     meta: std::collections::BTreeMap<String, MetaEntry>,
 }
 
@@ -216,6 +268,7 @@ pub struct Catalog {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    append_rows: AtomicU64,
 }
 
 fn column_schemas(table: &Table) -> Vec<ColumnSchema> {
@@ -243,6 +296,14 @@ fn role_str(r: AttributeRole) -> &'static str {
         AttributeRole::Dimension => "dimension",
         AttributeRole::Measure => "measure",
     }
+}
+
+/// Heap bytes actually owned by a table's columns (zero for mapped numeric
+/// storage — those bytes are charged at mapped size by the loader).
+fn table_owned_bytes(table: &Table) -> u64 {
+    (0..table.schema().len())
+        .map(|i| table.column(i).owned_bytes() as u64)
+        .sum()
 }
 
 /// Validates a user-supplied dataset name: 1-64 characters drawn from
@@ -280,17 +341,19 @@ impl Catalog {
             inner: Mutex::new(Inner {
                 cache: LruCache::new(mem_budget),
                 handles: std::collections::HashMap::new(),
+                shapes: std::collections::HashMap::new(),
                 meta: std::collections::BTreeMap::new(),
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            append_rows: AtomicU64::new(0),
         }
     }
 
     /// Opens (creating if needed) a persistent catalog rooted at `dir`.
-    /// Existing VSC1 dataset directories are indexed by reading their
-    /// manifests; directories without a valid manifest are ignored (a
+    /// Existing dataset directories (VSC1 or VSC2) are indexed by reading
+    /// their manifests; directories without a valid manifest are ignored (a
     /// crashed save leaves exactly that).
     ///
     /// # Errors
@@ -310,41 +373,23 @@ impl Catalog {
                 Ok(n) => n,
                 Err(_) => continue,
             };
-            let Ok(manifest) = vsc::peek(&path) else {
+            let Some(indexed) = index_dataset_dir(&path) else {
                 continue;
             };
-            let Ok(schema) = manifest.schema() else {
-                continue;
-            };
-            meta.insert(
-                name,
-                MetaEntry {
-                    rows: manifest.rows,
-                    bytes: manifest.block_bytes(),
-                    checksum: manifest.table_checksum.clone(),
-                    columns: schema
-                        .columns()
-                        .iter()
-                        .map(|m| ColumnSchema {
-                            name: m.name.clone(),
-                            kind: kind_str(m.column_type).to_owned(),
-                            role: role_str(m.role).to_owned(),
-                        })
-                        .collect(),
-                    on_disk: true,
-                },
-            );
+            meta.insert(name, indexed);
         }
         Ok(Self {
             dir: Some(dir),
             inner: Mutex::new(Inner {
                 cache: LruCache::new(mem_budget),
                 handles: std::collections::HashMap::new(),
+                shapes: std::collections::HashMap::new(),
                 meta,
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            append_rows: AtomicU64::new(0),
         })
     }
 
@@ -365,7 +410,7 @@ impl Catalog {
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    /// Registers `table` under `name`, persisting it as VSC1 when the
+    /// Registers `table` under `name`, persisting it as VSC2 when the
     /// catalog has a data directory, and caches it.
     ///
     /// # Errors
@@ -410,45 +455,98 @@ impl Catalog {
         table: Table,
     ) -> Result<DatasetEntry, CatalogError> {
         let checksum = format!("{:016x}", vsc::table_checksum(&table));
-        let resident = vsc::table_resident_bytes(&table);
         let columns = column_schemas(&table);
         let rows = table.row_count() as u64;
-        let (bytes, on_disk) = match self.dataset_dir(name) {
+        let (bytes, stored, zones) = match self.dataset_dir(name) {
             Some(dir) => {
-                let manifest = vsc::save(&dir, &table)?;
-                (manifest.block_bytes(), true)
+                let manifest = vsc2::save(&dir, &table, 0)?;
+                let zones = manifest.zone_maps()?;
+                (manifest.data_bytes(), Stored::Vsc2, zones)
             }
-            None => (resident, false),
+            None => (
+                table_owned_bytes(&table),
+                Stored::Memory,
+                ZoneMaps::build(&table, 0),
+            ),
         };
-        let table = Arc::new(table);
-        let evicted = inner
-            .cache
-            .insert(name, Arc::clone(&table), resident, on_disk);
-        self.evictions
-            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
-        inner
-            .handles
-            .insert(name.to_owned(), Arc::downgrade(&table));
-        inner.meta.insert(
-            name.to_owned(),
+        let charge = table_owned_bytes(&table);
+        self.admit(
+            inner,
+            name,
+            Arc::new(table),
+            Arc::new(zones),
+            charge,
             MetaEntry {
                 rows,
                 bytes,
                 checksum: checksum.clone(),
                 columns,
-                on_disk,
+                stored,
+            },
+        )
+    }
+
+    /// Inserts a resolved table into the cache, handle, shape, and meta
+    /// maps, returning its entry. The single place residency is admitted.
+    fn admit(
+        &self,
+        inner: &mut Inner,
+        name: &str,
+        table: Arc<Table>,
+        zones: Arc<ZoneMaps>,
+        charge: u64,
+        meta: MetaEntry,
+    ) -> Result<DatasetEntry, CatalogError> {
+        let checksum = meta.checksum.clone();
+        let evictable = meta.stored != Stored::Memory;
+        let evicted = inner
+            .cache
+            .insert(name, Arc::clone(&table), charge, evictable);
+        self.evictions
+            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        inner
+            .handles
+            .insert(name.to_owned(), Arc::downgrade(&table));
+        inner.shapes.insert(
+            name.to_owned(),
+            Shape {
+                zones: Arc::clone(&zones),
+                charge,
             },
         );
+        inner.meta.insert(name.to_owned(), meta);
         Ok(DatasetEntry {
             name: name.to_owned(),
             table,
             checksum,
+            zones,
         })
     }
 
+    /// Zone maps for `name`'s live `table`, from the shape map when
+    /// present, rebuilt (and remembered) otherwise.
+    fn zones_for(inner: &mut Inner, name: &str, table: &Table) -> Arc<ZoneMaps> {
+        if let Some(shape) = inner.shapes.get(name) {
+            if shape.zones.covers(table) {
+                return Arc::clone(&shape.zones);
+            }
+        }
+        let zones = Arc::new(ZoneMaps::build(table, 0));
+        let charge = table_owned_bytes(table);
+        inner.shapes.insert(
+            name.to_owned(),
+            Shape {
+                zones: Arc::clone(&zones),
+                charge,
+            },
+        );
+        zones
+    }
+
     /// Resolves `name` to its shared table: cache hit, a live handle some
-    /// session still holds, or a VSC1 load from disk — in that order. Two
-    /// concurrent calls for the same name return pointer-equal `Arc`s.
+    /// session still holds, or a disk load (VSC1 or VSC2, by format tag) —
+    /// in that order. Two concurrent calls for the same name return
+    /// pointer-equal `Arc`s.
     ///
     /// # Errors
     ///
@@ -456,6 +554,10 @@ impl Catalog {
     /// [`CatalogError::Corrupt`] when the on-disk copy fails validation.
     pub fn get(&self, name: &str) -> Result<DatasetEntry, CatalogError> {
         let mut inner = self.lock();
+        self.resolve(&mut inner, name)
+    }
+
+    fn resolve(&self, inner: &mut Inner, name: &str) -> Result<DatasetEntry, CatalogError> {
         if let Some(table) = inner.cache.get(name) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             let checksum = inner
@@ -463,20 +565,29 @@ impl Catalog {
                 .get(name)
                 .map(|m| m.checksum.clone())
                 .unwrap_or_else(|| format!("{:016x}", vsc::table_checksum(&table)));
+            let zones = Self::zones_for(inner, name, &table);
             return Ok(DatasetEntry {
                 name: name.to_owned(),
                 table,
                 checksum,
+                zones,
             });
         }
         // Evicted but still alive in some session: re-share that allocation.
         if let Some(table) = inner.handles.get(name).and_then(Weak::upgrade) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            let on_disk = inner.meta.get(name).is_some_and(|m| m.on_disk);
-            let resident = vsc::table_resident_bytes(&table);
+            let evictable = inner
+                .meta
+                .get(name)
+                .is_some_and(|m| m.stored != Stored::Memory);
+            let zones = Self::zones_for(inner, name, &table);
+            let charge = inner
+                .shapes
+                .get(name)
+                .map_or_else(|| table_owned_bytes(&table), |s| s.charge);
             let evicted = inner
                 .cache
-                .insert(name, Arc::clone(&table), resident, on_disk);
+                .insert(name, Arc::clone(&table), charge, evictable);
             self.evictions
                 .fetch_add(evicted.len() as u64, Ordering::Relaxed);
             let checksum = inner
@@ -488,44 +599,161 @@ impl Catalog {
                 name: name.to_owned(),
                 table,
                 checksum,
+                zones,
             });
         }
         let Some(dir) = self.dataset_dir(name).filter(|d| vsc::exists(d)) else {
             return Err(CatalogError::NotFound(name.to_owned()));
         };
-        let table = Arc::new(vsc::load(&dir)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let resident = vsc::table_resident_bytes(&table);
-        let evicted = inner.cache.insert(name, Arc::clone(&table), resident, true);
-        self.evictions
-            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
-        inner
-            .handles
-            .insert(name.to_owned(), Arc::downgrade(&table));
-        let checksum = match inner.meta.get(name) {
-            Some(m) => m.checksum.clone(),
-            None => {
-                // Dataset appeared on disk after open(); index it now.
-                let checksum = format!("{:016x}", vsc::table_checksum(&table));
-                let manifest = vsc::peek(&dir)?;
-                inner.meta.insert(
-                    name.to_owned(),
-                    MetaEntry {
-                        rows: table.row_count() as u64,
-                        bytes: manifest.block_bytes(),
-                        checksum: checksum.clone(),
-                        columns: column_schemas(&table),
-                        on_disk: true,
-                    },
-                );
-                checksum
+        // Dispatch on the stored format (probing the manifest when the
+        // dataset appeared on disk after open()).
+        let stored = match inner.meta.get(name).map(|m| m.stored) {
+            Some(s @ (Stored::Vsc1 | Stored::Vsc2)) => s,
+            _ => {
+                if vsc2::format_of(&dir)? == vsc2::FORMAT {
+                    Stored::Vsc2
+                } else {
+                    Stored::Vsc1
+                }
             }
         };
-        Ok(DatasetEntry {
-            name: name.to_owned(),
-            table,
+        let (table, zones, charge, bytes) = match stored {
+            Stored::Vsc2 => {
+                let loaded = vsc2::load(&dir)?;
+                let charge = loaded.resident_bytes();
+                let bytes = vsc2::peek(&dir)?.data_bytes();
+                (Arc::new(loaded.table), loaded.zones, charge, bytes)
+            }
+            _ => {
+                let table = vsc::load(&dir)?;
+                let zones = ZoneMaps::build(&table, 0);
+                let charge = table_owned_bytes(&table);
+                let bytes = vsc::peek(&dir)?.block_bytes();
+                (Arc::new(table), zones, charge, bytes)
+            }
+        };
+        let checksum = match inner.meta.get(name) {
+            Some(m) => m.checksum.clone(),
+            None => format!("{:016x}", vsc::table_checksum(&table)),
+        };
+        let meta = MetaEntry {
+            rows: table.row_count() as u64,
+            bytes,
             checksum,
+            columns: column_schemas(&table),
+            stored,
+        };
+        self.admit(inner, name, table, Arc::new(zones), charge, meta)
+    }
+
+    /// Appends `chunk`'s rows to the existing dataset `name`.
+    ///
+    /// Persistent VSC2 datasets grow in place via the append-only path
+    /// (new row groups plus an atomic manifest swap); VSC1 datasets are
+    /// upgraded to VSC2 on first append; memory-only datasets are merged
+    /// in place. The merged table replaces the cached one — sessions
+    /// holding the old `Arc` keep a consistent snapshot until they fold
+    /// the appended rows in.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::NotFound`] for unknown names,
+    /// [`CatalogError::Reserved`] for generated datasets (their contents
+    /// are defined by their parameters), [`CatalogError::Dataset`] for
+    /// schema mismatches or empty appends, [`CatalogError::Io`] /
+    /// [`CatalogError::Corrupt`] on persistence failure.
+    pub fn append_rows(&self, name: &str, chunk: Table) -> Result<AppendOutcome, CatalogError> {
+        validate_name(name)?;
+        if is_reserved(name) {
+            return Err(CatalogError::Reserved(name.to_owned()));
+        }
+        if chunk.row_count() == 0 {
+            return Err(CatalogError::Dataset("append carries no rows".into()));
+        }
+        let mut inner = self.lock();
+        if !inner.meta.contains_key(name) {
+            return Err(CatalogError::NotFound(name.to_owned()));
+        }
+        let current = self.resolve(&mut inner, name)?;
+        let appended = chunk.row_count() as u64;
+        let (table, zones, checksum, bytes, stored) =
+            match self.dataset_dir(name).filter(|d| vsc::exists(d)) {
+                Some(dir) => {
+                    if vsc2::format_of(&dir)? == vsc2::FORMAT {
+                        let manifest = vsc2::peek(&dir)?;
+                        let result = vsc2::append(&dir, &manifest, &current.table, &chunk)?;
+                        (
+                            result.table,
+                            result.zones,
+                            result.manifest.table_checksum.clone(),
+                            result.manifest.data_bytes(),
+                            Stored::Vsc2,
+                        )
+                    } else {
+                        // Legacy VSC1 dataset: merge in memory and rewrite as
+                        // VSC2 (the manifest swap is still atomic; stale VSC1
+                        // blocks become ignored orphans).
+                        let merged = vsc2::merge_tables(&current.table, &chunk)?;
+                        let manifest = vsc2::save(&dir, &merged, 0)?;
+                        let zones = manifest.zone_maps()?;
+                        (
+                            merged,
+                            zones,
+                            manifest.table_checksum.clone(),
+                            manifest.data_bytes(),
+                            Stored::Vsc2,
+                        )
+                    }
+                }
+                None => {
+                    let merged = vsc2::merge_tables(&current.table, &chunk)?;
+                    let zones = ZoneMaps::build(&merged, 0);
+                    let checksum = format!("{:016x}", vsc::table_checksum(&merged));
+                    let bytes = table_owned_bytes(&merged);
+                    (merged, zones, checksum, bytes, Stored::Memory)
+                }
+            };
+        let rows = table.row_count() as u64;
+        let columns = column_schemas(&table);
+        let charge = table_owned_bytes(&table);
+        let entry = self.admit(
+            &mut inner,
+            name,
+            Arc::new(table),
+            Arc::new(zones),
+            charge,
+            MetaEntry {
+                rows,
+                bytes,
+                checksum,
+                columns,
+                stored,
+            },
+        )?;
+        self.append_rows.fetch_add(appended, Ordering::Relaxed);
+        Ok(AppendOutcome {
+            entry,
+            appended,
+            total_rows: rows,
         })
+    }
+
+    /// Parses `bytes` as CSV against the dataset's existing schema (same
+    /// header required) and appends the rows via [`Catalog::append_rows`].
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::Dataset`] for malformed CSV or header mismatch,
+    /// plus everything [`Catalog::append_rows`] returns.
+    pub fn append_csv_bytes(
+        &self,
+        name: &str,
+        bytes: &[u8],
+    ) -> Result<AppendOutcome, CatalogError> {
+        let schema = self.get(name)?.table.schema().clone();
+        let chunk = viewseeker_dataset::csv::read_csv(&schema, Cursor::new(bytes))?;
+        self.append_rows(name, chunk)
     }
 
     /// Runs the named generator (`"diab"` or `"syn"`) with the given
@@ -563,10 +791,12 @@ impl Catalog {
                 .get(&name)
                 .map(|m| m.checksum.clone())
                 .unwrap_or_default();
+            let zones = Self::zones_for(&mut inner, &name, &table);
             return Ok(DatasetEntry {
                 name,
                 table,
                 checksum,
+                zones,
             });
         }
         let table = match kind {
@@ -603,6 +833,13 @@ impl Catalog {
     pub fn describe(&self, name: &str) -> Result<DatasetDetail, CatalogError> {
         let entry = self.get(name)?;
         let table = &entry.table;
+        let resident_bytes = {
+            let inner = self.lock();
+            inner
+                .shapes
+                .get(name)
+                .map_or_else(|| table_owned_bytes(table), |s| s.charge)
+        };
         let columns = table
             .schema()
             .columns()
@@ -618,7 +855,7 @@ impl Catalog {
         Ok(DatasetDetail {
             name: entry.name,
             rows: table.row_count() as u64,
-            resident_bytes: vsc::table_resident_bytes(table),
+            resident_bytes,
             checksum: entry.checksum,
             columns,
         })
@@ -651,6 +888,7 @@ impl Catalog {
         }
         inner.cache.remove(name);
         inner.handles.remove(name);
+        inner.shapes.remove(name);
         inner.meta.remove(name);
         if let Some(dir) = self.dataset_dir(name) {
             if dir.exists() {
@@ -671,6 +909,52 @@ impl Catalog {
             resident_bytes: inner.cache.resident_bytes(),
             cached_datasets: inner.cache.len() as u64,
             known_datasets: inner.meta.len() as u64,
+            append_rows: self.append_rows.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Indexes one on-disk dataset directory (either format), returning its
+/// metadata, or `None` when the manifest is unreadable.
+fn index_dataset_dir(path: &Path) -> Option<MetaEntry> {
+    match vsc2::format_of(path).ok()?.as_str() {
+        vsc2::FORMAT => {
+            let manifest = vsc2::peek(path).ok()?;
+            let schema = manifest.schema().ok()?;
+            Some(MetaEntry {
+                rows: manifest.rows,
+                bytes: manifest.data_bytes(),
+                checksum: manifest.table_checksum.clone(),
+                columns: schema
+                    .columns()
+                    .iter()
+                    .map(|m| ColumnSchema {
+                        name: m.name.clone(),
+                        kind: kind_str(m.column_type).to_owned(),
+                        role: role_str(m.role).to_owned(),
+                    })
+                    .collect(),
+                stored: Stored::Vsc2,
+            })
+        }
+        _ => {
+            let manifest = vsc::peek(path).ok()?;
+            let schema = manifest.schema().ok()?;
+            Some(MetaEntry {
+                rows: manifest.rows,
+                bytes: manifest.block_bytes(),
+                checksum: manifest.table_checksum.clone(),
+                columns: schema
+                    .columns()
+                    .iter()
+                    .map(|m| ColumnSchema {
+                        name: m.name.clone(),
+                        kind: kind_str(m.column_type).to_owned(),
+                        role: role_str(m.role).to_owned(),
+                    })
+                    .collect(),
+                stored: Stored::Vsc1,
+            })
         }
     }
 }
@@ -722,6 +1006,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a.table, &b.table));
         assert!(Arc::ptr_eq(&a.table, &entry.table));
         assert_eq!(a.checksum, entry.checksum);
+        assert!(a.zones.covers(&a.table));
         let stats = catalog.stats();
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 0);
@@ -788,6 +1073,24 @@ mod tests {
         assert_eq!(entry.checksum, checksum);
         assert_eq!(catalog.stats().misses, 1);
         assert!(catalog.list()[0].resident);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_vsc1_datasets_remain_readable() {
+        let dir = tmp("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let table = demo_table(40);
+        let checksum = format!("{:016x}", vsc::table_checksum(&table));
+        vsc::save(&dir.join("old"), &table).unwrap();
+        let catalog = Catalog::open(&dir, 1 << 20).unwrap();
+        let listed = catalog.list();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].checksum, checksum);
+        let entry = catalog.get("old").unwrap();
+        assert_eq!(entry.table.row_count(), 40);
+        assert_eq!(entry.checksum, checksum);
+        assert!(entry.zones.covers(&entry.table));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -898,6 +1201,118 @@ mod tests {
         assert_eq!(entry.table.row_count(), 300);
         // Served from disk, not regenerated: the load shows up as a miss.
         assert_eq!(catalog.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_grows_dataset_and_survives_reload() {
+        let dir = tmp("append");
+        let catalog = Catalog::open(&dir, 64 << 20).unwrap();
+        catalog.put("sales", demo_table(30)).unwrap();
+        let outcome = catalog.append_rows("sales", demo_table(12)).unwrap();
+        assert_eq!(outcome.appended, 12);
+        assert_eq!(outcome.total_rows, 42);
+        assert_eq!(outcome.entry.table.row_count(), 42);
+        assert!(outcome.entry.zones.covers(&outcome.entry.table));
+        assert_eq!(catalog.stats().append_rows, 12);
+        drop(catalog);
+        // Cold restart: the appended rows are on disk.
+        let catalog = Catalog::open(&dir, 64 << 20).unwrap();
+        let entry = catalog.get("sales").unwrap();
+        assert_eq!(entry.table.row_count(), 42);
+        assert_eq!(entry.checksum, outcome.entry.checksum);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_upgrades_legacy_vsc1_datasets() {
+        let dir = tmp("upgrade");
+        std::fs::create_dir_all(&dir).unwrap();
+        vsc::save(&dir.join("old"), &demo_table(30)).unwrap();
+        let catalog = Catalog::open(&dir, 64 << 20).unwrap();
+        let outcome = catalog.append_rows("old", demo_table(10)).unwrap();
+        assert_eq!(outcome.total_rows, 40);
+        assert_eq!(vsc2::format_of(&dir.join("old")).unwrap(), vsc2::FORMAT);
+        let entry = catalog.get("old").unwrap();
+        assert_eq!(entry.table.row_count(), 40);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_rejects_bad_targets_and_shapes() {
+        let catalog = Catalog::in_memory(1 << 20);
+        catalog.put("sales", demo_table(10)).unwrap();
+        assert!(matches!(
+            catalog.append_rows("missing", demo_table(5)),
+            Err(CatalogError::NotFound(_))
+        ));
+        assert!(matches!(
+            catalog.append_rows("gen-diab-r10-s1", demo_table(5)),
+            Err(CatalogError::Reserved(_))
+        ));
+        // Different schema.
+        let other = {
+            let schema = Schema::builder().measure("m_other").build().unwrap();
+            Table::new(schema, vec![Column::numeric(vec![1.0])]).unwrap()
+        };
+        assert!(matches!(
+            catalog.append_rows("sales", other),
+            Err(CatalogError::Dataset(_))
+        ));
+        // In-memory appends work.
+        let outcome = catalog.append_rows("sales", demo_table(3)).unwrap();
+        assert_eq!(outcome.total_rows, 13);
+    }
+
+    #[test]
+    fn append_csv_uses_existing_schema() {
+        let catalog = Catalog::in_memory(1 << 20);
+        let csv = b"region,n_age,m_profit\nwest,30,1.5\neast,40,2.5\n";
+        catalog.import_csv_bytes("regions", csv).unwrap();
+        let outcome = catalog
+            .append_csv_bytes("regions", b"region,n_age,m_profit\nnorth,25,9.5\n")
+            .unwrap();
+        assert_eq!(outcome.total_rows, 3);
+        let detail = catalog.describe("regions").unwrap();
+        assert_eq!(detail.columns[0].cardinality, 3, "dictionary grew");
+        assert!(matches!(
+            catalog.append_csv_bytes("regions", b"wrong,header\nx,1\n"),
+            Err(CatalogError::Dataset(_))
+        ));
+    }
+
+    #[test]
+    fn mapped_tables_are_charged_at_mapped_size() {
+        let dir = tmp("mapcharge");
+        // High-entropy measure: stays raw-encoded, so the reload serves it
+        // zero-copy from the mapping on Linux.
+        let rows = 4096usize;
+        let schema = Schema::builder().measure("m_noise").build().unwrap();
+        let table = Table::new(
+            schema,
+            vec![Column::numeric(
+                (0..rows).map(|i| (i as f64).sin() * 1e9).collect(),
+            )],
+        )
+        .unwrap();
+        {
+            let catalog = Catalog::open(&dir, 64 << 20).unwrap();
+            catalog.put("noise", table).unwrap();
+        }
+        let catalog = Catalog::open(&dir, 64 << 20).unwrap();
+        let entry = catalog.get("noise").unwrap();
+        let loaded = vsc2::load(&dir.join("noise")).unwrap();
+        // Regression: the cache charge equals what the load actually costs
+        // (owned heap + mapped file bytes), not a decoded-size estimate.
+        assert_eq!(catalog.stats().resident_bytes, loaded.resident_bytes());
+        if loaded.mapped_bytes > 0 {
+            // The zero-copy column owns no heap; its charge is the file.
+            let file_len = std::fs::metadata(dir.join("noise").join(vsc2::column_file(0)))
+                .unwrap()
+                .len();
+            assert_eq!(loaded.mapped_bytes, file_len);
+            assert_eq!(entry.table.column(0).owned_bytes(), 0);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

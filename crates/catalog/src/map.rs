@@ -1,0 +1,350 @@
+//! Read-only file memory mappings for zero-copy VSC2 loads.
+//!
+//! This is the catalog's **only** `unsafe` module (the crate root is
+//! `#![deny(unsafe_code)]`; this module opts back in with a scoped
+//! `allow`, and the vslint `forbid-unsafe` rule statically rejects an
+//! `unsafe` token anywhere else in the crate — the same confinement
+//! contract as `net::sys`). The workspace vendors no `libc`/`memmap`, so
+//! mapping goes straight to the platform's `mmap`/`munmap`, wrapped so
+//! that:
+//!
+//! * a [`Mapping`] is only ever created from a file the caller opened,
+//!   `PROT_READ` + `MAP_PRIVATE`, length fixed at map time — the kernel
+//!   never writes through it and the process never writes to it;
+//! * the byte slice handed out borrows the mapping, so the pages outlive
+//!   every reader (`Arc<Mapping>` keeps them alive across `Table`
+//!   columns);
+//! * `munmap` runs exactly once, in `Drop`;
+//! * the `&[f64]` reinterpretation ([`MappedF64`]) is only constructed
+//!   through a checked constructor that proves 8-byte alignment and
+//!   in-bounds length, and only on little-endian targets (the on-disk
+//!   payload is little-endian bit patterns — on big-endian targets the
+//!   loader falls back to a decoding copy and this fast path is never
+//!   taken).
+//!
+//! On non-Linux platforms [`Mapping::open`] falls back to reading the
+//! file into an owned buffer: same API, same digests, no page sharing —
+//! `is_mapped` reports which world the bytes live in so the cache can
+//! charge them correctly.
+
+#![allow(unsafe_code)]
+
+use std::path::Path;
+use std::sync::Arc;
+
+use viewseeker_dataset::NumericStorage;
+
+use crate::CatalogError;
+
+/// A read-only view of one file: memory-mapped on Linux, an owned buffer
+/// elsewhere.
+#[derive(Debug)]
+pub struct Mapping {
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    #[cfg(target_os = "linux")]
+    Mapped(linux::Map),
+    Owned(Vec<u8>),
+}
+
+impl Mapping {
+    /// Maps `path` read-only. Zero-length files produce an empty owned
+    /// buffer (POSIX forbids zero-length mappings).
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::Io`] for open/stat/map failures.
+    pub fn open(path: &Path) -> Result<Self, CatalogError> {
+        #[cfg(target_os = "linux")]
+        {
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len();
+            let len = usize::try_from(len)
+                .map_err(|_| CatalogError::Corrupt(format!("file {path:?} too large to map")))?;
+            if len == 0 {
+                return Ok(Mapping {
+                    inner: Inner::Owned(Vec::new()),
+                });
+            }
+            let map = linux::Map::new(&file, len)?;
+            Ok(Mapping {
+                inner: Inner::Mapped(map),
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Ok(Mapping {
+                inner: Inner::Owned(std::fs::read(path)?),
+            })
+        }
+    }
+
+    /// The mapped (or read) bytes.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Mapped(map) => map.bytes(),
+            Inner::Owned(bytes) => bytes,
+        }
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Whether the view is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the bytes live in a real file mapping (false on the owned
+    /// fallback). Mapped bytes are not heap-resident, so the catalog's
+    /// byte-budget cache charges them as mapped rather than owned.
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Mapped(_) => true,
+            Inner::Owned(_) => false,
+        }
+    }
+}
+
+/// A `&[f64]` view of an aligned byte range of a [`Mapping`] — the
+/// zero-copy backing storage for raw-encoded VSC2 numeric columns. The
+/// `Arc<Mapping>` keeps the pages alive for as long as any column (or
+/// clone of it) exists.
+#[derive(Debug)]
+pub struct MappedF64 {
+    map: Arc<Mapping>,
+    offset: usize,
+    values: usize,
+}
+
+impl MappedF64 {
+    /// Builds the view over `values` `f64`s starting at byte `offset`.
+    ///
+    /// Only available on little-endian targets: the payload bytes are
+    /// little-endian IEEE-754 bit patterns, which is the in-memory layout
+    /// there and only there.
+    ///
+    /// # Errors
+    ///
+    /// [`CatalogError::Corrupt`] when the range is out of bounds or not
+    /// 8-byte aligned (both alignment of the mapping base — page-aligned
+    /// by the kernel, checked anyway — and of the offset).
+    #[cfg(target_endian = "little")]
+    pub fn new(map: Arc<Mapping>, offset: usize, values: usize) -> Result<Self, CatalogError> {
+        let bytes = values
+            .checked_mul(8)
+            .ok_or_else(|| CatalogError::Corrupt("mapped column length overflows".into()))?;
+        let end = offset
+            .checked_add(bytes)
+            .ok_or_else(|| CatalogError::Corrupt("mapped column range overflows".into()))?;
+        if end > map.len() {
+            return Err(CatalogError::Corrupt(format!(
+                "mapped column range {offset}..{end} exceeds file of {} bytes",
+                map.len()
+            )));
+        }
+        let base = map.bytes().as_ptr() as usize;
+        if !(base + offset).is_multiple_of(std::mem::align_of::<f64>()) {
+            return Err(CatalogError::Corrupt(format!(
+                "mapped column at byte offset {offset} is not 8-byte aligned"
+            )));
+        }
+        Ok(MappedF64 {
+            map,
+            offset,
+            values,
+        })
+    }
+}
+
+#[cfg(target_endian = "little")]
+impl NumericStorage for MappedF64 {
+    fn as_f64s(&self) -> &[f64] {
+        // The constructor proved this range in-bounds; `get` keeps the
+        // method total (an impossible miss yields an empty slice, and the
+        // value count below is re-derived from the slice actually held).
+        let bytes = self
+            .map
+            .bytes()
+            .get(self.offset..self.offset + self.values * 8)
+            .unwrap_or(&[]);
+        // SAFETY: the constructor proved the range is in-bounds and 8-byte
+        // aligned; every f64 bit pattern is a valid value (NaN payloads
+        // included); the mapping is immutable (PROT_READ, MAP_PRIVATE) and
+        // outlives `self` via the owned Arc; on this (little-endian)
+        // target the on-disk byte order equals the in-memory one.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f64>(), bytes.len() / 8) }
+    }
+
+    fn owned_bytes(&self) -> usize {
+        // The pages belong to the file mapping, not the heap.
+        0
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use std::io;
+    use std::os::fd::AsRawFd;
+    use std::os::raw::{c_int, c_void};
+
+    // Stable Linux userspace ABI constants (asm-generic).
+    const PROT_READ: c_int = 0x1;
+    const MAP_PRIVATE: c_int = 0x02;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    }
+
+    /// One live `mmap` region; unmapped exactly once on drop.
+    #[derive(Debug)]
+    pub struct Map {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // SAFETY: the region is immutable (PROT_READ, MAP_PRIVATE) for its
+    // whole lifetime, so shared references from any thread are sound, and
+    // the raw pointer is only ever used to reconstruct byte slices.
+    unsafe impl Send for Map {}
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        /// Maps `len` bytes of `file` read-only from offset 0.
+        pub fn new(file: &std::fs::File, len: usize) -> io::Result<Map> {
+            // SAFETY: fd is a live file descriptor borrowed from `file`
+            // for the duration of the call; addr = null lets the kernel
+            // pick a page-aligned address; the returned pointer is only
+            // accepted when it is not MAP_FAILED.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Map {
+                ptr: ptr.cast_const().cast::<u8>(),
+                len,
+            })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            // SAFETY: ptr/len describe the live mapping created in `new`;
+            // the mapping stays valid until Drop, which is tied to &self's
+            // lifetime by borrow rules.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            // SAFETY: ptr/len came from a successful mmap and munmap runs
+            // exactly once (Drop). Failure is ignored: the region is
+            // read-only and private, so leaking it on a bogus error is
+            // harmless.
+            unsafe {
+                munmap(self.ptr.cast_mut().cast::<c_void>(), self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("vsmap-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_bytes_exactly() {
+        let path = tmp("bytes");
+        std::fs::write(&path, b"hello mapping").unwrap();
+        let map = Mapping::open(&path).unwrap();
+        assert_eq!(map.bytes(), b"hello mapping");
+        assert_eq!(map.len(), 13);
+        #[cfg(target_os = "linux")]
+        assert!(map.is_mapped());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_is_an_empty_view() {
+        let path = tmp("empty");
+        std::fs::write(&path, b"").unwrap();
+        let map = Mapping::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert!(!map.is_mapped(), "zero-length files use the owned fallback");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(matches!(
+            Mapping::open(&tmp("missing-nope")),
+            Err(CatalogError::Io(_))
+        ));
+    }
+
+    #[cfg(target_endian = "little")]
+    #[test]
+    fn mapped_f64_round_trips_bit_patterns() {
+        let path = tmp("f64");
+        let values = [1.5f64, -0.0, f64::NAN, f64::INFINITY, 1e300];
+        let mut bytes = Vec::new();
+        for v in values {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let map = Arc::new(Mapping::open(&path).unwrap());
+        let view = MappedF64::new(map, 0, values.len()).unwrap();
+        let got = view.as_f64s();
+        for (a, b) in values.iter().zip(got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(view.owned_bytes(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(target_endian = "little")]
+    #[test]
+    fn misaligned_or_oversized_views_are_rejected() {
+        let path = tmp("bad");
+        std::fs::write(&path, vec![0u8; 64]).unwrap();
+        let map = Arc::new(Mapping::open(&path).unwrap());
+        assert!(
+            MappedF64::new(Arc::clone(&map), 4, 2).is_err(),
+            "misaligned"
+        );
+        assert!(MappedF64::new(Arc::clone(&map), 0, 9).is_err(), "past end");
+        assert!(MappedF64::new(map, 0, 8).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+}

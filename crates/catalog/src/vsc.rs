@@ -172,7 +172,9 @@ pub fn fnv64(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
-fn hex(digest: u64) -> String {
+/// Formats a digest as 16 lowercase hex digits.
+#[must_use]
+pub fn hex(digest: u64) -> String {
     format!("{digest:016x}")
 }
 
@@ -187,7 +189,7 @@ fn encode_block(column: &Column) -> Vec<u8> {
         Column::Numeric(values) => {
             out.push(KIND_NUMERIC);
             out.extend_from_slice(&(values.len() as u64).to_le_bytes());
-            for v in values {
+            for v in values.as_slice() {
                 out.extend_from_slice(&v.to_bits().to_le_bytes());
             }
         }
@@ -281,7 +283,7 @@ fn decode_block(name: &str, bytes: &[u8], expect: &ManifestColumn) -> Result<Col
             for _ in 0..rows {
                 values.push(f64::from_bits(r.u64()?));
             }
-            Column::Numeric(values)
+            Column::numeric(values)
         }
         (KIND_CATEGORICAL, "categorical") => {
             let dict_len = r.u32()? as usize;

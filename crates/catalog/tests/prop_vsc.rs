@@ -118,7 +118,11 @@ fn arb_table() -> impl Strategy<Value = Table> {
 fn columns_bit_identical(a: &Column, b: &Column) -> bool {
     match (a, b) {
         (Column::Numeric(x), Column::Numeric(y)) => {
-            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+            x.len() == y.len()
+                && x.as_slice()
+                    .iter()
+                    .zip(y.as_slice())
+                    .all(|(p, q)| p.to_bits() == q.to_bits())
         }
         (
             Column::Categorical {

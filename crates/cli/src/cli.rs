@@ -33,6 +33,7 @@ USAGE:
   viewseeker cluster status --addr HOST:PORT
   viewseeker trace    --addr HOST:PORT [--format summary|chrome|folded] [--n N] [--out FILE]
   viewseeker dataset import  --data-dir DIR --csv FILE.csv [--name NAME]
+  viewseeker dataset append  --data-dir DIR --name NAME --csv FILE.csv
   viewseeker dataset list    --data-dir DIR
   viewseeker dataset inspect --data-dir DIR --name NAME
 
@@ -234,6 +235,16 @@ pub enum DatasetCmd {
         /// Dataset name (defaults to the CSV file stem).
         name: Option<String>,
     },
+    /// Append a CSV file's rows (same schema, header required) to an
+    /// existing dataset, atomically upgrading VSC1 stores to VSC2.
+    Append {
+        /// Catalog directory.
+        data_dir: String,
+        /// CSV file whose rows to append.
+        csv: String,
+        /// Dataset name.
+        name: String,
+    },
     /// List every dataset the catalog knows.
     List {
         /// Catalog directory.
@@ -402,7 +413,7 @@ impl Command {
 
     fn parse_dataset(rest: &[String]) -> Result<Self, String> {
         let Some((action, rest)) = rest.split_first() else {
-            return Err("dataset needs an action: import, list, or inspect".into());
+            return Err("dataset needs an action: import, append, list, or inspect".into());
         };
         let flags = Flags::collect(rest)?;
         let cmd = match action.as_str() {
@@ -410,6 +421,11 @@ impl Command {
                 data_dir: flags.require("--data-dir")?,
                 csv: flags.require("--csv")?,
                 name: flags.get("--name"),
+            },
+            "append" => DatasetCmd::Append {
+                data_dir: flags.require("--data-dir")?,
+                csv: flags.require("--csv")?,
+                name: flags.require("--name")?,
             },
             "list" => DatasetCmd::List {
                 data_dir: flags.require("--data-dir")?,
@@ -848,9 +864,40 @@ mod tests {
                 name: "sales".into(),
             })
         );
+        let c = parse(&[
+            "dataset",
+            "append",
+            "--data-dir",
+            "/tmp/cat",
+            "--name",
+            "sales",
+            "--csv",
+            "more.csv",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Dataset(DatasetCmd::Append {
+                data_dir: "/tmp/cat".into(),
+                csv: "more.csv".into(),
+                name: "sales".into(),
+            })
+        );
         assert!(parse(&["dataset"]).is_err());
         assert!(parse(&["dataset", "drop", "--data-dir", "/tmp/cat"]).is_err());
         assert!(parse(&["dataset", "inspect", "--data-dir", "/tmp/cat"]).is_err());
+        assert!(
+            parse(&[
+                "dataset",
+                "append",
+                "--data-dir",
+                "/tmp/cat",
+                "--csv",
+                "x.csv"
+            ])
+            .is_err(),
+            "append requires --name"
+        );
     }
 
     #[test]

@@ -380,7 +380,8 @@ fn print_trace_summary(chrome_json: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// `viewseeker dataset import|list|inspect` over a catalog directory. No
+/// `viewseeker dataset import|append|list|inspect` over a catalog
+/// directory. No
 /// server involved: the catalog is opened in-process with a small cache
 /// budget, so these work against the same directory a server later mounts
 /// with `--data-dir`.
@@ -412,6 +413,22 @@ fn dataset(cmd: DatasetCmd) -> Result<(), String> {
                 entry.table.row_count(),
                 entry.table.schema().len(),
                 entry.checksum
+            );
+            Ok(())
+        }
+        DatasetCmd::Append {
+            data_dir,
+            csv,
+            name,
+        } => {
+            let catalog = Catalog::open(&data_dir, CLI_CACHE_BUDGET).map_err(|e| e.to_string())?;
+            let bytes = std::fs::read(&csv).map_err(|e| format!("reading {csv}: {e}"))?;
+            let outcome = catalog
+                .append_csv_bytes(&name, &bytes)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "appended {} rows to {} ({} rows total, checksum {})",
+                outcome.appended, outcome.entry.name, outcome.total_rows, outcome.entry.checksum
             );
             Ok(())
         }

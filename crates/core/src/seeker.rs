@@ -33,7 +33,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use viewseeker_dataset::sample::bernoulli_sample;
-use viewseeker_dataset::{RowSet, SelectQuery, Table};
+use viewseeker_dataset::{RowSet, SelectQuery, Table, ZoneMaps};
 
 use crate::config::{MaterializeStrategy, RefineBudget, ViewSeekerConfig};
 use crate::estimator::Label;
@@ -45,8 +45,8 @@ use crate::trace::{
 };
 use crate::view::{ViewId, ViewSpace};
 use crate::viewgen::{
-    materialize_all, materialize_all_fused_with_stats, materialize_all_shared, materialize_view,
-    scan_group_count,
+    materialize_all, materialize_all_fused_pruned, materialize_all_fused_with_stats,
+    materialize_all_shared, materialize_view, scan_group_count, FusedRetained,
 };
 use crate::CoreError;
 
@@ -70,10 +70,19 @@ pub enum SeekerPhase {
 #[derive(Debug)]
 pub struct Seeker<H: Borrow<Table>> {
     table: H,
+    query: SelectQuery,
     dq: RowSet,
     dr: RowSet,
     config: ViewSeekerConfig,
     space: ViewSpace,
+    /// Zone maps of the current table, when the caller supplied them (or
+    /// the zone-pruned path built them); `None` for sessions that never
+    /// needed pruning.
+    zones: Option<Arc<ZoneMaps>>,
+    /// The fused scan's mergeable raw aggregates, retained when the session
+    /// was materialized exactly (fused executor, no α-sampling) so dataset
+    /// appends fold in with a tail-only scan.
+    retained: Option<FusedRetained>,
     /// Working copy of the matrix that refinement mutates; the session holds
     /// its own copy and is refreshed through `update_matrix`.
     matrix: FeatureMatrix,
@@ -101,8 +110,35 @@ pub struct MaterializationReport {
     pub scans: u64,
     /// Total rows visited across those passes.
     pub rows_scanned: u64,
+    /// Row groups visited while evaluating the DQ predicate (zone-pruned
+    /// fused path only; 0 when no zone maps were consulted).
+    pub rowgroups_scanned: u64,
+    /// Row groups the zone maps excluded from the DQ evaluation without
+    /// reading a value.
+    pub rowgroups_pruned: u64,
     /// Wall-clock of the materialization call, microseconds.
     pub duration_us: u64,
+}
+
+/// What one [`Seeker::absorb_append`] call did: whether the appended tail
+/// was folded into the retained fused aggregates (a tail-only scan) or the
+/// whole view space was re-materialized, and what the scan cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendReport {
+    /// `true` when only the appended rows were scanned and merged into the
+    /// retained aggregates; `false` when the session fell back to a full
+    /// rebuild (non-fused strategy, α-sampled session, or a categorical
+    /// dimension grew a new distinct value).
+    pub merged: bool,
+    /// Rows the table grew by.
+    pub appended_rows: u64,
+    /// Rows visited by this absorption's scan.
+    pub rows_scanned: u64,
+    /// Row groups visited while re-evaluating the DQ predicate (full
+    /// zone-pruned rebuilds only; 0 on the merged tail path).
+    pub rowgroups_scanned: u64,
+    /// Row groups the zone maps excluded during that re-evaluation.
+    pub rowgroups_pruned: u64,
 }
 
 /// The per-phase timing of one [`Seeker::run_refinement`] pass, fed into the
@@ -140,6 +176,21 @@ impl<H: Borrow<Table>> Seeker<H> {
         Self::new_traced(table, query, config, noop_tracer())
     }
 
+    /// [`Seeker::new`] with caller-supplied zone maps (see
+    /// [`Seeker::new_traced_with_zones`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Seeker::new`].
+    pub fn new_with_zones(
+        table: H,
+        query: &SelectQuery,
+        config: ViewSeekerConfig,
+        zones: Option<Arc<ZoneMaps>>,
+    ) -> Result<Self, CoreError> {
+        Self::new_traced_with_zones(table, query, config, zones, noop_tracer())
+    }
+
     /// [`Seeker::new`] with an explicit [`Tracer`]: the offline phases
     /// (view-space generation + materialization, feature extraction) are
     /// timed into it, and every later interactive turn reports there too.
@@ -155,9 +206,30 @@ impl<H: Borrow<Table>> Seeker<H> {
         config: ViewSeekerConfig,
         tracer: Arc<dyn Tracer>,
     ) -> Result<Self, CoreError> {
+        Self::new_traced_with_zones(table, query, config, None, tracer)
+    }
+
+    /// [`Seeker::new_traced`] with the table's zone maps supplied by the
+    /// caller (a catalog that loaded them from a VSC2 manifest). With the
+    /// fused executor and no α-sampling, the `DQ` predicate is then
+    /// evaluated through the zones — row groups the zones provably exclude
+    /// are skipped without reading a value, and the counts appear in
+    /// [`MaterializationReport::rowgroups_scanned`] /
+    /// [`MaterializationReport::rowgroups_pruned`]. Passing `None` builds
+    /// zone maps in-memory when that path needs them.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Seeker::new`].
+    pub fn new_traced_with_zones(
+        table: H,
+        query: &SelectQuery,
+        config: ViewSeekerConfig,
+        zones: Option<Arc<ZoneMaps>>,
+        tracer: Arc<dyn Tracer>,
+    ) -> Result<Self, CoreError> {
         config.validate()?;
         let table_ref: &Table = table.borrow();
-        let dq = query.execute(table_ref)?;
         let dr = table_ref.all_rows();
 
         let gen_started = Stopwatch::start();
@@ -167,38 +239,67 @@ impl<H: Borrow<Table>> Seeker<H> {
             &config.excluded_dimensions,
         )?;
 
-        let (init_dq, init_dr) = if config.alpha < 1.0 {
-            (
-                bernoulli_sample(&dq, config.alpha, config.seed),
-                bernoulli_sample(&dr, config.alpha, config.seed.wrapping_add(1)),
-            )
-        } else {
-            (dq.clone(), dr.clone())
-        };
-
         let threads = config.effective_threads();
         let mat_started = Stopwatch::start();
-        let (views, scans, rows_scanned) = match config.materialize {
-            MaterializeStrategy::Naive => {
-                let views = materialize_all(table_ref, &init_dq, &init_dr, &space, threads)?;
-                // Per view: one target scan, one reference scan, one
-                // dispersion pass over the target.
-                let v = space.len() as u64;
-                let rows = v * (2 * init_dq.len() as u64 + init_dr.len() as u64);
-                (views, 3 * v, rows)
-            }
-            MaterializeStrategy::Shared => {
-                let views = materialize_all_shared(table_ref, &init_dq, &init_dr, &space, threads)?;
-                let groups = scan_group_count(&space) as u64;
-                let rows = groups * (init_dq.len() as u64 + init_dr.len() as u64);
-                (views, 2 * groups, rows)
-            }
-            MaterializeStrategy::Fused => {
-                let (views, stats) = materialize_all_fused_with_stats(
-                    table_ref, &init_dq, &init_dr, &space, threads,
-                )?;
-                (views, stats.scans, stats.rows_scanned)
-            }
+        // The zone-pruned fused path needs exact features (no α-sampling):
+        // its retained aggregates must describe the full data to stay
+        // mergeable across appends.
+        let exact_fused = config.materialize == MaterializeStrategy::Fused && config.alpha >= 1.0;
+        let (views, dq, scans, rows_scanned, rowgroups, zones, retained) = if exact_fused {
+            let zones = match zones {
+                Some(z) => z,
+                None => Arc::new(ZoneMaps::build(table_ref, 0)),
+            };
+            let (views, dq, stats, retained) = materialize_all_fused_pruned(
+                table_ref,
+                &zones,
+                query.predicate(),
+                &space,
+                threads,
+            )?;
+            (
+                views,
+                dq,
+                stats.scans,
+                stats.rows_scanned,
+                (stats.rowgroups_scanned, stats.rowgroups_pruned),
+                Some(zones),
+                Some(retained),
+            )
+        } else {
+            let dq = query.execute(table_ref)?;
+            let (init_dq, init_dr) = if config.alpha < 1.0 {
+                (
+                    bernoulli_sample(&dq, config.alpha, config.seed),
+                    bernoulli_sample(&dr, config.alpha, config.seed.wrapping_add(1)),
+                )
+            } else {
+                (dq.clone(), dr.clone())
+            };
+            let (views, scans, rows_scanned) = match config.materialize {
+                MaterializeStrategy::Naive => {
+                    let views = materialize_all(table_ref, &init_dq, &init_dr, &space, threads)?;
+                    // Per view: one target scan, one reference scan, one
+                    // dispersion pass over the target.
+                    let v = space.len() as u64;
+                    let rows = v * (2 * init_dq.len() as u64 + init_dr.len() as u64);
+                    (views, 3 * v, rows)
+                }
+                MaterializeStrategy::Shared => {
+                    let views =
+                        materialize_all_shared(table_ref, &init_dq, &init_dr, &space, threads)?;
+                    let groups = scan_group_count(&space) as u64;
+                    let rows = groups * (init_dq.len() as u64 + init_dr.len() as u64);
+                    (views, 2 * groups, rows)
+                }
+                MaterializeStrategy::Fused => {
+                    let (views, stats) = materialize_all_fused_with_stats(
+                        table_ref, &init_dq, &init_dr, &space, threads,
+                    )?;
+                    (views, stats.scans, stats.rows_scanned)
+                }
+            };
+            (views, dq, scans, rows_scanned, (0, 0), zones, None)
         };
         let mat_elapsed = mat_started.elapsed();
         let materialization = MaterializationReport {
@@ -206,6 +307,8 @@ impl<H: Borrow<Table>> Seeker<H> {
             threads,
             scans,
             rows_scanned,
+            rowgroups_scanned: rowgroups.0,
+            rowgroups_pruned: rowgroups.1,
             duration_us: duration_us(mat_elapsed),
         };
         tracer.record_span(TracePhase::Materialization, mat_elapsed);
@@ -220,10 +323,13 @@ impl<H: Borrow<Table>> Seeker<H> {
 
         Ok(Self {
             table,
+            query: query.clone(),
             dq,
             dr,
             config,
             space,
+            zones,
+            retained,
             matrix,
             session,
             refiner,
@@ -238,6 +344,174 @@ impl<H: Borrow<Table>> Seeker<H> {
     #[must_use]
     pub fn materialization(&self) -> &MaterializationReport {
         &self.materialization
+    }
+
+    /// Whether the session holds mergeable fused aggregates, so the next
+    /// [`Seeker::absorb_append`] can fold appended rows in with a tail-only
+    /// scan instead of re-materializing the view space.
+    #[must_use]
+    pub fn can_merge_appends(&self) -> bool {
+        self.retained.is_some()
+    }
+
+    /// Rebinds the session to a grown version of its table — `table` must be
+    /// the same dataset with `appended` rows added at the end (same schema,
+    /// existing rows unchanged, categorical dictionaries extended
+    /// append-only) — and brings every view, feature, and estimator up to
+    /// date with the new rows without touching the collected labels.
+    ///
+    /// Sessions holding retained fused aggregates
+    /// ([`Seeker::can_merge_appends`]) scan only the appended tail and merge
+    /// its raw aggregates in; everything else (non-fused strategies,
+    /// α-sampled sessions, or a categorical dimension that grew a new
+    /// distinct value and so changed the view space's bin shapes) falls back
+    /// to a full re-materialization. Either way the rebuilt features are
+    /// exact, so any outstanding α-refinement debt is cleared.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Invalid`] when `table`'s schema differs from the
+    /// session's or it has fewer rows; materialization and estimator-refit
+    /// errors.
+    pub fn absorb_append(
+        &mut self,
+        table: H,
+        zones: Option<Arc<ZoneMaps>>,
+    ) -> Result<AppendReport, CoreError> {
+        let new_ref: &Table = table.borrow();
+        if new_ref.schema() != self.table.borrow().schema() {
+            return Err(CoreError::Invalid(
+                "absorb_append: the grown table's schema differs from the session's".into(),
+            ));
+        }
+        let old_rows = self.dr.len();
+        let new_rows = new_ref.row_count();
+        if new_rows < old_rows {
+            return Err(CoreError::Invalid(format!(
+                "absorb_append: table shrank from {old_rows} to {new_rows} rows"
+            )));
+        }
+        let appended_rows = (new_rows - old_rows) as u64;
+        let threads = self.config.effective_threads();
+
+        // Fast path: fold the tail into the retained fused aggregates.
+        if let Some(retained) = &mut self.retained {
+            if let Some((views, tail_dq, stats)) = retained.absorb_append(
+                new_ref,
+                old_rows,
+                self.query.predicate(),
+                &self.space,
+                threads,
+            )? {
+                let matrix = FeatureMatrix::from_views(&views, self.config.usability_optimal_bins)?;
+                self.session.update_matrix(matrix.clone())?;
+                self.matrix = matrix;
+                self.dq = self.dq.union(&tail_dq);
+                self.dr = new_ref.all_rows();
+                self.zones = zones;
+                self.table = table;
+                return Ok(AppendReport {
+                    merged: true,
+                    appended_rows,
+                    rows_scanned: stats.rows_scanned,
+                    rowgroups_scanned: 0,
+                    rowgroups_pruned: 0,
+                });
+            }
+        }
+
+        // Full rebuild — always exact (no α-sampling), which also clears any
+        // outstanding refinement debt and, on the fused path, re-arms the
+        // retained aggregates for the next append. The view space is
+        // re-enumerated so categorical bin specs pick up dictionary values
+        // the appended rows introduced; enumeration is deterministic over
+        // the (unchanged) schema, so views keep their ids and count — which
+        // `update_matrix` requires to preserve the session's labels.
+        let space = ViewSpace::enumerate_excluding(
+            new_ref,
+            &self.config.bin_configs,
+            &self.config.excluded_dimensions,
+        )?;
+        if space.len() != self.space.len() {
+            return Err(CoreError::Invalid(format!(
+                "absorb_append: view space changed size ({} -> {})",
+                self.space.len(),
+                space.len()
+            )));
+        }
+        self.space = space;
+        let report = match self.config.materialize {
+            MaterializeStrategy::Fused => {
+                let zones = match zones {
+                    Some(z) => z,
+                    None => Arc::new(ZoneMaps::build(new_ref, 0)),
+                };
+                let (views, dq, stats, retained) = materialize_all_fused_pruned(
+                    new_ref,
+                    &zones,
+                    self.query.predicate(),
+                    &self.space,
+                    threads,
+                )?;
+                let matrix = FeatureMatrix::from_views(&views, self.config.usability_optimal_bins)?;
+                self.session.update_matrix(matrix.clone())?;
+                self.matrix = matrix;
+                self.dq = dq;
+                self.zones = Some(zones);
+                self.retained = Some(retained);
+                AppendReport {
+                    merged: false,
+                    appended_rows,
+                    rows_scanned: stats.rows_scanned,
+                    rowgroups_scanned: stats.rowgroups_scanned,
+                    rowgroups_pruned: stats.rowgroups_pruned,
+                }
+            }
+            MaterializeStrategy::Naive => {
+                let dq = self.query.execute(new_ref)?;
+                let dr = new_ref.all_rows();
+                let views = materialize_all(new_ref, &dq, &dr, &self.space, threads)?;
+                let v = self.space.len() as u64;
+                let rows_scanned = v * (2 * dq.len() as u64 + dr.len() as u64);
+                let matrix = FeatureMatrix::from_views(&views, self.config.usability_optimal_bins)?;
+                self.session.update_matrix(matrix.clone())?;
+                self.matrix = matrix;
+                self.dq = dq;
+                self.zones = zones;
+                self.retained = None;
+                AppendReport {
+                    merged: false,
+                    appended_rows,
+                    rows_scanned,
+                    rowgroups_scanned: 0,
+                    rowgroups_pruned: 0,
+                }
+            }
+            MaterializeStrategy::Shared => {
+                let dq = self.query.execute(new_ref)?;
+                let dr = new_ref.all_rows();
+                let views = materialize_all_shared(new_ref, &dq, &dr, &self.space, threads)?;
+                let groups = scan_group_count(&self.space) as u64;
+                let rows_scanned = groups * (dq.len() as u64 + dr.len() as u64);
+                let matrix = FeatureMatrix::from_views(&views, self.config.usability_optimal_bins)?;
+                self.session.update_matrix(matrix.clone())?;
+                self.matrix = matrix;
+                self.dq = dq;
+                self.zones = zones;
+                self.retained = None;
+                AppendReport {
+                    merged: false,
+                    appended_rows,
+                    rows_scanned,
+                    rowgroups_scanned: 0,
+                    rowgroups_pruned: 0,
+                }
+            }
+        };
+        self.refiner = None;
+        self.dr = new_ref.all_rows();
+        self.table = table;
+        Ok(report)
     }
 
     /// Replaces the session's tracer (the default is the no-op one). Spans
@@ -888,5 +1162,152 @@ mod tests {
         // Distinct views.
         let set: HashSet<usize> = picks.iter().map(|v| v.index()).collect();
         assert_eq!(set.len(), 3);
+    }
+
+    /// Splits a diab table into a prefix (dictionary preserved by `gather`)
+    /// and the full table, for append-absorption tests.
+    fn split(table: &Table, prefix_rows: usize) -> Table {
+        let ids = (0..prefix_rows as u32).collect::<Vec<_>>();
+        table
+            .gather(&RowSet::from_sorted_ids(ids).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn absorb_append_merges_tail_into_retained_aggregates() {
+        let (full, query) = testbed();
+        let prefix = split(&full, 2_000);
+
+        let mut grown = ViewSeeker::new(&prefix, &query, ViewSeekerConfig::default()).unwrap();
+        assert!(grown.can_merge_appends(), "default fused path retains");
+        // Collect labels before the append so estimator state must survive.
+        let v1 = grown.next_views(1).unwrap()[0];
+        grown.submit_feedback(v1, 0.9).unwrap();
+        let v2 = grown.next_views(1).unwrap()[0];
+        grown.submit_feedback(v2, 0.1).unwrap();
+
+        let report = grown.absorb_append(&full, None).unwrap();
+        assert!(report.merged, "tail should fold into retained aggregates");
+        assert_eq!(report.appended_rows, 1_000);
+        assert!(
+            report.rows_scanned <= 2 * 1_000,
+            "merged path scans only the tail, not the {} prefix rows (scanned {})",
+            2_000,
+            report.rows_scanned
+        );
+        assert!(grown.can_merge_appends(), "still mergeable for next append");
+
+        // The merged session's features match a session materialized from
+        // scratch over the full table. (Not bit-for-bit: the merge adds the
+        // tail's bucket sums to the prefix's in one step, while the fresh
+        // scan accumulates row by row — same values, different float
+        // association.)
+        let fresh = ViewSeeker::new(&full, &query, ViewSeekerConfig::default()).unwrap();
+        assert_eq!(grown.feature_matrix().len(), fresh.feature_matrix().len());
+        for (i, (a, b)) in grown
+            .feature_matrix()
+            .rows()
+            .iter()
+            .zip(fresh.feature_matrix().rows())
+            .enumerate()
+        {
+            for (x, y) in a.iter().zip(b) {
+                assert!(
+                    (x - y).abs() < 1e-9,
+                    "view {i}: merged feature {x} vs fresh {y}"
+                );
+            }
+        }
+        assert_eq!(grown.dq().ids(), fresh.dq().ids());
+        // Labels survived and the session keeps recommending.
+        assert_eq!(grown.label_count(), 2);
+        assert!(grown.recommend(3).unwrap().len() <= 3);
+    }
+
+    #[test]
+    fn absorb_append_rebuilds_on_new_categorical_value() {
+        let schema = || {
+            viewseeker_dataset::Schema::builder()
+                .categorical_dimension("city")
+                .measure("sales")
+                .build()
+                .unwrap()
+        };
+        let rows = |values: &[(&str, f64)]| {
+            let mut b = viewseeker_dataset::builder::TableBuilder::new(schema());
+            for (city, sales) in values {
+                b.push_row(viewseeker_dataset::row![*city, *sales]).unwrap();
+            }
+            b.finish().unwrap()
+        };
+        let mut base: Vec<(&str, f64)> = (0..200)
+            .map(|i| (if i % 2 == 0 { "x" } else { "y" }, f64::from(i)))
+            .collect();
+        let prefix = rows(&base);
+        // The appended rows introduce dictionary value "z": the retained
+        // categorical bin specs can't describe it, so the session must
+        // re-enumerate and re-materialize instead of merging.
+        base.extend((0..50).map(|i| ("z", f64::from(1_000 + i))));
+        let full = rows(&base);
+
+        let query = SelectQuery::new(Predicate::eq("city", "x"));
+        let mut s = ViewSeeker::new(&prefix, &query, ViewSeekerConfig::default()).unwrap();
+        assert!(s.can_merge_appends());
+        let report = s.absorb_append(&full, None).unwrap();
+        assert!(!report.merged, "new dictionary value forces a rebuild");
+        assert_eq!(report.appended_rows, 50);
+        assert!(s.can_merge_appends(), "rebuild re-arms the fused retention");
+
+        let fresh = ViewSeeker::new(&full, &query, ViewSeekerConfig::default()).unwrap();
+        assert_eq!(s.feature_matrix(), fresh.feature_matrix());
+        assert_eq!(s.dq().ids(), fresh.dq().ids());
+    }
+
+    #[test]
+    fn absorb_append_rebuilds_for_sampled_and_unfused_sessions() {
+        let (full, query) = testbed();
+        let prefix = split(&full, 2_000);
+        for cfg in [
+            ViewSeekerConfig {
+                alpha: 0.4,
+                ..ViewSeekerConfig::default()
+            },
+            ViewSeekerConfig {
+                materialize: MaterializeStrategy::Shared,
+                ..ViewSeekerConfig::default()
+            },
+        ] {
+            let mut s = ViewSeeker::new(&prefix, &query, cfg).unwrap();
+            assert!(!s.can_merge_appends());
+            let report = s.absorb_append(&full, None).unwrap();
+            assert!(!report.merged);
+            assert_eq!(report.appended_rows, 1_000);
+            // The rebuild is exact, so refinement debt is gone.
+            assert_eq!(s.pending_refinements(), 0);
+            assert_eq!(s.dq().ids(), query.execute(&full).unwrap().ids());
+        }
+    }
+
+    #[test]
+    fn absorb_append_rejects_schema_changes_and_shrinks() {
+        let (full, query) = testbed();
+        let prefix = split(&full, 2_000);
+        let mut s = ViewSeeker::new(&full, &query, ViewSeekerConfig::default()).unwrap();
+        assert!(matches!(
+            s.absorb_append(&prefix, None),
+            Err(CoreError::Invalid(_))
+        ));
+        let schema = viewseeker_dataset::Schema::builder()
+            .categorical_dimension("city")
+            .measure("sales")
+            .build()
+            .unwrap();
+        let mut b = viewseeker_dataset::builder::TableBuilder::new(schema);
+        b.push_row(viewseeker_dataset::row!["a", 1.0]).unwrap();
+        let other = b.finish().unwrap();
+        assert!(matches!(
+            s.absorb_append(&other, None),
+            Err(CoreError::Invalid(_))
+        ));
     }
 }

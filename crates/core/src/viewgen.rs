@@ -9,11 +9,14 @@
 //! The within-bin dispersion of the target view (the MuVE-style accuracy
 //! quantity) is computed in the same pass.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use viewseeker_dataset::aggregate::{group_by_aggregate, group_by_all, within_bin_dispersion};
-use viewseeker_dataset::executor::{fused_group_by_all, FusedScanStats, GroupRequest};
-use viewseeker_dataset::{BinSpec, RowSet, Table};
+use viewseeker_dataset::executor::{
+    fused_group_by_all, fused_group_by_all_pruned, fused_group_by_all_raw, FusedGroupResult,
+    FusedScanStats, GroupRequest, RawAggregates,
+};
+use viewseeker_dataset::{BinSpec, Predicate, RowSet, Table, ZoneMaps};
 use viewseeker_stats::Distribution;
 
 use crate::view::{ViewDef, ViewSpace};
@@ -357,22 +360,38 @@ pub fn materialize_all_fused_with_stats(
     threads: usize,
 ) -> Result<(Vec<ViewData>, FusedScanStats), CoreError> {
     let plan = GroupPlan::build(table, space)?;
-    let requests: Vec<GroupRequest> = plan
-        .keys
-        .iter()
-        .enumerate()
-        .map(|(g, (dimension, _bins, measure))| GroupRequest {
-            dimension: dimension.clone(),
-            spec: plan.spec_of(g).clone(),
-            measure: measure.clone(),
-        })
-        .collect();
+    let requests = plan.requests();
     let (groups, stats) = fused_group_by_all(table, dq, dr, &requests, threads)?;
+    let views = views_from_groups(space, &plan.view_groups, &requests, &groups)?;
+    Ok((views, stats))
+}
 
-    let views = space
+impl GroupPlan {
+    /// The plan's groups as executor requests, in group order.
+    fn requests(&self) -> Vec<GroupRequest> {
+        self.keys
+            .iter()
+            .enumerate()
+            .map(|(g, (dimension, _bins, measure))| GroupRequest {
+                dimension: dimension.clone(),
+                spec: self.spec_of(g).clone(),
+                measure: measure.clone(),
+            })
+            .collect()
+    }
+}
+
+/// Reassembles per-view [`ViewData`] from finalized per-group results.
+fn views_from_groups(
+    space: &ViewSpace,
+    view_groups: &[usize],
+    requests: &[GroupRequest],
+    groups: &[FusedGroupResult],
+) -> Result<Vec<ViewData>, CoreError> {
+    space
         .defs()
         .iter()
-        .zip(&plan.view_groups)
+        .zip(view_groups)
         .map(|(def, &g)| {
             let group = &groups[g];
             Ok(ViewData {
@@ -385,8 +404,125 @@ pub fn materialize_all_fused_with_stats(
                 bins: requests[g].spec.bin_count(),
             })
         })
-        .collect::<Result<Vec<_>, CoreError>>()?;
-    Ok((views, stats))
+        .collect()
+}
+
+/// The fused scan's mergeable state, retained by sessions built through
+/// [`materialize_all_fused_pruned`]: the request list and raw per-bin
+/// accumulators of the full materialization pass. When the underlying
+/// dataset grows, [`FusedRetained::absorb_append`] folds the appended rows
+/// in by scanning **only the tail**, instead of rescanning the whole table.
+#[derive(Debug)]
+pub struct FusedRetained {
+    requests: Vec<GroupRequest>,
+    view_groups: Vec<usize>,
+    raw: RawAggregates,
+}
+
+/// Materializes every view of `space` with the fused executor, evaluating
+/// the `DQ` predicate through the table's zone maps first: row groups the
+/// zones provably exclude are skipped without reading a value (the counts
+/// land in the returned stats' `rowgroups_scanned` / `rowgroups_pruned`).
+/// The resulting views are identical to [`materialize_all_fused`] over
+/// `predicate.evaluate(table)`.
+///
+/// Also returns the evaluated `DQ` row set and a [`FusedRetained`] handle
+/// holding the scan's mergeable raw aggregates for later appends.
+///
+/// # Errors
+///
+/// Predicate-evaluation errors plus everything [`materialize_all_fused`]
+/// reports.
+pub fn materialize_all_fused_pruned(
+    table: &Table,
+    zones: &ZoneMaps,
+    predicate: &Predicate,
+    space: &ViewSpace,
+    threads: usize,
+) -> Result<(Vec<ViewData>, RowSet, FusedScanStats, FusedRetained), CoreError> {
+    let plan = GroupPlan::build(table, space)?;
+    let requests = plan.requests();
+    let (raw, dq, stats) = fused_group_by_all_pruned(table, zones, predicate, &requests, threads)?;
+    let views = views_from_groups(space, &plan.view_groups, &requests, &raw.finalize())?;
+    Ok((
+        views,
+        dq,
+        stats,
+        FusedRetained {
+            requests,
+            view_groups: plan.view_groups,
+            raw,
+        },
+    ))
+}
+
+impl FusedRetained {
+    /// Folds the rows `table[old_rows..]` — appended since the retained scan
+    /// ran — into the aggregates, scanning only that tail, and returns the
+    /// refreshed views, the tail's `DQ` rows (in `table` coordinates), and
+    /// the tail scan's stats.
+    ///
+    /// The original bin layout is kept: equal-width bins were derived from
+    /// the pre-append value range, so appended values outside it clamp into
+    /// the edge bins (the distributions stay comparable across the append).
+    /// An appended categorical value that is **not** in a dimension's
+    /// original dictionary would need a new bin, which no merge can
+    /// retrofit — that case returns `Ok(None)` and the caller must rebuild
+    /// from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Predicate/scan errors, and [`CoreError::Dataset`] when `table` no
+    /// longer matches the retained request layout.
+    pub fn absorb_append(
+        &mut self,
+        table: &Table,
+        old_rows: usize,
+        predicate: &Predicate,
+        space: &ViewSpace,
+        threads: usize,
+    ) -> Result<Option<(Vec<ViewData>, RowSet, FusedScanStats)>, CoreError> {
+        let new_rows = table.row_count();
+        let tail_ids: Vec<u32> = (old_rows as u32..new_rows as u32).collect();
+        let tail_rows = RowSet::from_sorted_ids(tail_ids)?;
+        let tail = table.gather(&tail_rows)?;
+
+        // A tail code beyond a categorical spec's label list is a brand-new
+        // dictionary value: its bin does not exist in the retained layout.
+        let mut checked: HashSet<&str> = HashSet::new();
+        for req in &self.requests {
+            if let BinSpec::Categorical { labels } = &req.spec {
+                if checked.insert(req.dimension.as_str()) {
+                    let col = tail.column_by_name(&req.dimension)?;
+                    let has_new = col
+                        .codes()
+                        .is_some_and(|codes| codes.iter().any(|&c| c as usize >= labels.len()));
+                    if has_new {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+
+        let tail_dq_local = predicate.evaluate(&tail)?;
+        let tail_dr = tail.all_rows();
+        let (tail_raw, stats) =
+            fused_group_by_all_raw(&tail, &tail_dq_local, &tail_dr, &self.requests, threads)?;
+        self.raw.merge(&tail_raw)?;
+        let views = views_from_groups(
+            space,
+            &self.view_groups,
+            &self.requests,
+            &self.raw.finalize(),
+        )?;
+        let global: Vec<u32> = tail_dq_local
+            .ids()
+            .iter()
+            .map(|&r| r + old_rows as u32)
+            .collect();
+        let tail_dq = RowSet::from_sorted_ids(global)?;
+        Ok(Some((views, tail_dq, stats)))
+    }
 }
 
 #[cfg(test)]

@@ -5,13 +5,112 @@
 //! * **Categorical** — dictionary-encoded: a `Vec<u32>` of codes plus a
 //!   dictionary of distinct string values. Group-by over a categorical
 //!   dimension is a direct scatter on the codes.
-//! * **Numeric** — dense `Vec<f64>`. Used for measures, and for numeric
+//! * **Numeric** — a dense `f64` buffer. Used for measures, and for numeric
 //!   dimensions that are grouped via equal-width binning (the SYN dataset's
-//!   3- and 4-bin configurations).
+//!   3- and 4-bin configurations). The buffer's backing storage is
+//!   abstracted behind [`NumericStorage`] so a column can either own its
+//!   values (`Vec<f64>`) or borrow them zero-copy from a memory-mapped
+//!   on-disk block (the VSC2 `catalog::map` loader) — every consumer sees
+//!   the same `&[f64]` slice either way.
+
+use std::ops::Deref;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::DatasetError;
+
+/// Backing storage for a numeric column: anything that can present its
+/// values as a dense `&[f64]` slice for the column's lifetime.
+///
+/// `Vec<f64>` is the owned implementation; the catalog's mmap loader
+/// provides a zero-copy implementation whose slice aliases a mapped file
+/// (the mapping is kept alive by the `Arc` inside [`F64Buffer`]).
+pub trait NumericStorage: Send + Sync {
+    /// The column's values.
+    fn as_f64s(&self) -> &[f64];
+
+    /// Heap bytes owned by this storage (0 for borrowed/mapped storage).
+    /// Lets the catalog's byte-budget cache charge mapped tables at mapped
+    /// size rather than decoded size.
+    fn owned_bytes(&self) -> usize;
+}
+
+impl NumericStorage for Vec<f64> {
+    fn as_f64s(&self) -> &[f64] {
+        self
+    }
+
+    fn owned_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// A shared, immutable `f64` buffer: cheap to clone, `Deref`s to `[f64]`.
+#[derive(Clone)]
+pub struct F64Buffer(Arc<dyn NumericStorage>);
+
+impl F64Buffer {
+    /// Wraps any [`NumericStorage`] implementation (owned or mapped).
+    #[must_use]
+    pub fn from_storage(storage: Arc<dyn NumericStorage>) -> Self {
+        F64Buffer(storage)
+    }
+
+    /// The values as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        self.0.as_f64s()
+    }
+
+    /// Heap bytes owned by the backing storage (0 when the values alias a
+    /// memory-mapped file).
+    #[must_use]
+    pub fn owned_bytes(&self) -> usize {
+        self.0.owned_bytes()
+    }
+}
+
+impl From<Vec<f64>> for F64Buffer {
+    fn from(values: Vec<f64>) -> Self {
+        F64Buffer(Arc::new(values))
+    }
+}
+
+impl Deref for F64Buffer {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        self.0.as_f64s()
+    }
+}
+
+impl std::fmt::Debug for F64Buffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+/// Same semantics as `Vec<f64>` equality (`NaN != NaN`).
+impl PartialEq for F64Buffer {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+/// Serializes exactly like `Vec<f64>` did; deserializing always produces
+/// owned storage.
+impl Serialize for F64Buffer {
+    fn to_value(&self) -> serde::Value {
+        self.as_slice().to_vec().to_value()
+    }
+}
+
+impl Deserialize for F64Buffer {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Vec::<f64>::from_value(v).map(F64Buffer::from)
+    }
+}
 
 /// A single column of data.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,7 +123,7 @@ pub enum Column {
         dictionary: Vec<String>,
     },
     /// Dense numeric column.
-    Numeric(Vec<f64>),
+    Numeric(F64Buffer),
 }
 
 impl Column {
@@ -73,10 +172,33 @@ impl Column {
         Ok(Column::Categorical { codes, dictionary })
     }
 
-    /// Builds a numeric column.
+    /// Builds a numeric column with owned storage.
     #[must_use]
     pub fn numeric(values: Vec<f64>) -> Self {
-        Column::Numeric(values)
+        Column::Numeric(F64Buffer::from(values))
+    }
+
+    /// Builds a numeric column over shared (possibly memory-mapped)
+    /// storage.
+    #[must_use]
+    pub fn numeric_shared(storage: Arc<dyn NumericStorage>) -> Self {
+        Column::Numeric(F64Buffer::from_storage(storage))
+    }
+
+    /// Heap bytes owned by this column's storage. Mapped numeric columns
+    /// report 0 — their bytes belong to the file mapping, not the heap.
+    #[must_use]
+    pub fn owned_bytes(&self) -> usize {
+        match self {
+            Column::Categorical { codes, dictionary } => {
+                codes.len() * 4
+                    + dictionary
+                        .iter()
+                        .map(|s| s.len() + std::mem::size_of::<String>())
+                        .sum::<usize>()
+            }
+            Column::Numeric(values) => values.owned_bytes(),
+        }
     }
 
     /// Number of rows.
@@ -122,7 +244,7 @@ impl Column {
     #[must_use]
     pub fn values(&self) -> Option<&[f64]> {
         match self {
-            Column::Numeric(values) => Some(values),
+            Column::Numeric(values) => Some(values.as_slice()),
             Column::Categorical { .. } => None,
         }
     }
@@ -185,7 +307,7 @@ impl Column {
                 dictionary: dictionary.clone(),
             },
             Column::Numeric(values) => {
-                Column::Numeric(rows.iter().map(|&r| values[r as usize]).collect())
+                Column::numeric(rows.iter().map(|&r| values[r as usize]).collect())
             }
         }
     }

@@ -42,8 +42,10 @@
 
 use crate::aggregate::GroupByAllResult;
 use crate::binning::BinSpec;
+use crate::predicate::Predicate;
 use crate::selection::RowSet;
 use crate::table::Table;
+use crate::zones::ZoneMaps;
 use crate::DatasetError;
 
 /// Strict-order float sum: a sequential left-to-right fold with a fixed
@@ -105,6 +107,12 @@ pub struct FusedScanStats {
     /// plus 1 when a target tail pass was needed). The unfused equivalent
     /// would be `2 × groups`.
     pub scans: u64,
+    /// Row groups visited while building the DQ row set (zone-pruned
+    /// entry points only; 0 when no zone maps were consulted).
+    pub rowgroups_scanned: u64,
+    /// Row groups the zone maps excluded from the DQ evaluation without
+    /// reading a value.
+    pub rowgroups_pruned: u64,
 }
 
 /// Per-partition accumulator block.
@@ -116,6 +124,7 @@ pub struct FusedScanStats {
 /// `(bucket, bin, member)`, laid out member-contiguous
 /// (`val_base + bin·M + member`) so one row's update is a short loop over
 /// adjacent slots the compiler can vectorize.
+#[derive(Debug)]
 struct AccBlock {
     counts: Vec<u64>,
     sums: Vec<f64>,
@@ -350,6 +359,7 @@ fn scan_rows(
 /// One fused scan bucket: every request sharing one `(dimension, spec)`
 /// pair, with its member measures in first-appearance order and its slot
 /// ranges in the accumulator blocks.
+#[derive(Debug)]
 struct Bucket {
     assign: usize,
     n_bins: usize,
@@ -438,8 +448,69 @@ pub fn fused_group_by_all(
     requests: &[GroupRequest],
     threads: usize,
 ) -> Result<(Vec<FusedGroupResult>, FusedScanStats), DatasetError> {
+    let (raw, stats) = fused_group_by_all_raw(table, dq, dr, requests, threads)?;
+    Ok((raw.finalize(), stats))
+}
+
+/// [`fused_group_by_all`] with zone-map pruning of the target row set: the
+/// DQ predicate is evaluated through
+/// [`Predicate::evaluate_pruned`], skipping row groups the zones provably
+/// exclude, and the resulting row set feeds the same fused scan. The
+/// reference set is always the full table (reference aggregates need every
+/// row, so nothing can be pruned there).
+///
+/// Returns the raw mergeable aggregates, the DQ row set actually used
+/// (identical to `dq_predicate.evaluate(table)` — callers can keep it),
+/// and stats with `rowgroups_scanned` / `rowgroups_pruned` filled in.
+///
+/// # Errors
+///
+/// Predicate evaluation errors plus everything [`fused_group_by_all`]
+/// reports.
+pub fn fused_group_by_all_pruned(
+    table: &Table,
+    zones: &ZoneMaps,
+    dq_predicate: &Predicate,
+    requests: &[GroupRequest],
+    threads: usize,
+) -> Result<(RawAggregates, RowSet, FusedScanStats), DatasetError> {
+    let (dq, prune) = dq_predicate.evaluate_pruned(table, zones)?;
+    let dr = table.all_rows();
+    let (raw, mut stats) = fused_group_by_all_raw(table, &dq, &dr, requests, threads)?;
+    stats.rowgroups_scanned = prune.scanned + prune.included;
+    stats.rowgroups_pruned = prune.pruned;
+    Ok((raw, dq, stats))
+}
+
+/// The fused scan, stopping before finalization: the returned
+/// [`RawAggregates`] holds the per-bin `(count, sum, sq_sum, min, max)`
+/// accumulators for the target and reference halves, which
+/// [`RawAggregates::finalize`] turns into the same results
+/// [`fused_group_by_all`] returns — and which
+/// [`RawAggregates::merge`] can fold together with the aggregates of an
+/// appended row-chunk scanned under the same requests, so appends extend
+/// live results without rescanning old rows.
+///
+/// # Errors
+///
+/// Same as [`fused_group_by_all`].
+pub fn fused_group_by_all_raw(
+    table: &Table,
+    dq: &RowSet,
+    dr: &RowSet,
+    requests: &[GroupRequest],
+    threads: usize,
+) -> Result<(RawAggregates, FusedScanStats), DatasetError> {
     if requests.is_empty() {
-        return Ok((Vec::new(), FusedScanStats::default()));
+        return Ok((
+            RawAggregates {
+                request_slots: Vec::new(),
+                buckets: Vec::new(),
+                target: AccBlock::new(0, 0),
+                reference: AccBlock::new(0, 0),
+            },
+            FusedScanStats::default(),
+        ));
     }
     let n_rows = table.row_count();
     // Match the sequential scan's error order: target rows are checked
@@ -675,21 +746,90 @@ pub fn fused_group_by_all(
         }
     }
 
-    let results = request_slots
-        .iter()
-        .map(|&(bucket, member)| FusedGroupResult {
-            target: finalize_request(&target, &buckets[bucket], member),
-            reference: finalize_request(&reference, &buckets[bucket], member),
-        })
-        .collect();
     let stats = FusedScanStats {
         rows_scanned: (dr_ids.len() + dq_extra.len()) as u64,
         partitions: n_parts,
         groups: requests.len(),
         bin_assignments: assignments.len(),
         scans: u64::from(!dr_ids.is_empty()) + u64::from(!dq_extra.is_empty()),
+        rowgroups_scanned: 0,
+        rowgroups_pruned: 0,
     };
-    Ok((results, stats))
+    Ok((
+        RawAggregates {
+            request_slots,
+            buckets,
+            target,
+            reference,
+        },
+        stats,
+    ))
+}
+
+/// The fused scan's accumulator state before finalization: mergeable
+/// partials, one target block and one reference block, plus the bucket
+/// layout needed to read them back out per request.
+///
+/// Two `RawAggregates` produced by scans with the **same request list**
+/// (same order, same specs) have identical layouts and can be merged; the
+/// layout is checked structurally before any slot is touched.
+#[derive(Debug)]
+pub struct RawAggregates {
+    request_slots: Vec<(usize, usize)>,
+    buckets: Vec<Bucket>,
+    target: AccBlock,
+    reference: AccBlock,
+}
+
+impl RawAggregates {
+    /// Number of requests these aggregates answer.
+    #[must_use]
+    pub fn request_count(&self) -> usize {
+        self.request_slots.len()
+    }
+
+    /// Finalizes into per-request results — exactly what
+    /// [`fused_group_by_all`] would have returned for the same scan.
+    #[must_use]
+    pub fn finalize(&self) -> Vec<FusedGroupResult> {
+        self.request_slots
+            .iter()
+            .map(|&(bucket, member)| FusedGroupResult {
+                target: finalize_request(&self.target, &self.buckets[bucket], member),
+                reference: finalize_request(&self.reference, &self.buckets[bucket], member),
+            })
+            .collect()
+    }
+
+    /// Folds `tail` — the aggregates of an appended row chunk scanned
+    /// under the same requests — into `self`. Counts add, sums add in
+    /// `self`-then-`tail` order (a fixed association, deterministic for
+    /// any thread count on either side), and extremes combine under the
+    /// scan's NaN discipline.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::Invalid`] when the two layouts differ (different
+    /// requests, bins, or measure sets) — merging those would silently
+    /// misattribute bins.
+    pub fn merge(&mut self, tail: &RawAggregates) -> Result<(), DatasetError> {
+        let same_layout = self.request_slots == tail.request_slots
+            && self.buckets.len() == tail.buckets.len()
+            && self.buckets.iter().zip(&tail.buckets).all(|(a, b)| {
+                a.n_bins == b.n_bins
+                    && a.members == b.members
+                    && a.cnt_base == b.cnt_base
+                    && a.val_base == b.val_base
+            });
+        if !same_layout {
+            return Err(DatasetError::Invalid(
+                "cannot merge fused aggregates with different request layouts".into(),
+            ));
+        }
+        self.target.merge_half(&tail.target, 0, 0);
+        self.reference.merge_half(&tail.reference, 0, 0);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -951,6 +1091,81 @@ mod tests {
             assert_eq!(fused[0].reference.mins, vec![-1.0]);
             assert_eq!(fused[0].reference.maxs, vec![4.0]);
         }
+    }
+
+    #[test]
+    fn raw_merge_of_a_split_scan_matches_one_scan_on_integer_data() {
+        // Integer-valued measures: f64 addition is exact, so merging the
+        // aggregates of two disjoint halves must reproduce the one-scan
+        // result bit for bit. This is the append fold's contract.
+        let t = small_table();
+        let reqs = requests_for(&t);
+        let head = t
+            .gather(&RowSet::from_ids(vec![0, 1, 2, 3]).unwrap())
+            .unwrap();
+        let tail = t.gather(&RowSet::from_ids(vec![4, 5]).unwrap()).unwrap();
+        // DQ = rows {0, 2, 4} of the full table → {0, 2} in head, {0} in tail.
+        let (mut head_raw, _) = fused_group_by_all_raw(
+            &head,
+            &RowSet::from_ids(vec![0, 2]).unwrap(),
+            &head.all_rows(),
+            &reqs,
+            1,
+        )
+        .unwrap();
+        let (tail_raw, _) = fused_group_by_all_raw(
+            &tail,
+            &RowSet::from_ids(vec![0]).unwrap(),
+            &tail.all_rows(),
+            &reqs,
+            1,
+        )
+        .unwrap();
+        head_raw.merge(&tail_raw).unwrap();
+        let merged = head_raw.finalize();
+        let (whole, _) = fused_group_by_all(
+            &t,
+            &RowSet::from_ids(vec![0, 2, 4]).unwrap(),
+            &t.all_rows(),
+            &reqs,
+            1,
+        )
+        .unwrap();
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn raw_merge_rejects_mismatched_layouts() {
+        let t = small_table();
+        let reqs = requests_for(&t);
+        let (mut a, _) =
+            fused_group_by_all_raw(&t, &t.all_rows(), &t.all_rows(), &reqs, 1).unwrap();
+        let (b, _) =
+            fused_group_by_all_raw(&t, &t.all_rows(), &t.all_rows(), &reqs[..1], 1).unwrap();
+        assert!(matches!(a.merge(&b), Err(DatasetError::Invalid(_))));
+    }
+
+    #[test]
+    fn pruned_entry_is_bit_identical_to_plain_evaluation() {
+        let t = generate_diab(&DiabConfig::small(6_000, 5)).unwrap();
+        let zones = crate::zones::ZoneMaps::build(&t, 512);
+        let pred = Predicate::eq("a0", "a0_v0");
+        let spec = BinSpec::categorical_of(t.column_by_name("a1").unwrap()).unwrap();
+        let reqs = vec![GroupRequest {
+            dimension: "a1".into(),
+            spec,
+            measure: "m0".into(),
+        }];
+        let dq = SelectQuery::new(pred.clone()).execute(&t).unwrap();
+        let (plain, _) = fused_group_by_all(&t, &dq, &t.all_rows(), &reqs, 2).unwrap();
+        let (raw, pruned_dq, stats) =
+            fused_group_by_all_pruned(&t, &zones, &pred, &reqs, 2).unwrap();
+        assert_eq!(pruned_dq.ids(), dq.ids());
+        assert_eq!(raw.finalize(), plain);
+        assert_eq!(
+            stats.rowgroups_scanned + stats.rowgroups_pruned,
+            6_000u64.div_ceil(512)
+        );
     }
 
     #[test]

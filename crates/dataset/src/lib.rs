@@ -38,18 +38,21 @@ pub mod schema;
 pub mod selection;
 pub mod sql;
 pub mod table;
+pub mod zones;
 
 pub use aggregate::{AggregateFunction, GroupByResult};
 pub use binning::BinSpec;
-pub use column::Column;
+pub use column::{Column, F64Buffer, NumericStorage};
 pub use executor::{
-    fused_group_by_all, strict_sum, FusedGroupResult, FusedScanStats, GroupRequest,
+    fused_group_by_all, fused_group_by_all_pruned, fused_group_by_all_raw, strict_sum,
+    FusedGroupResult, FusedScanStats, GroupRequest, RawAggregates,
 };
 pub use predicate::Predicate;
 pub use query::SelectQuery;
 pub use schema::{AttributeRole, ColumnMeta, Schema};
 pub use selection::RowSet;
 pub use table::Table;
+pub use zones::{ColumnZone, PruneStats, ZoneMaps, DEFAULT_GROUP_ROWS};
 
 /// Errors produced by the dataset engine.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,687 @@
+//! Zone maps: per-row-group column statistics and predicate pruning.
+//!
+//! A [`ZoneMaps`] cuts a table's row range into fixed-size *row groups*
+//! and records, for every `(group, column)` pair, a small summary — value
+//! range, NaN count, and a distinct-count bound. The VSC2 on-disk format
+//! persists these summaries in its manifest so a predicate can be pruned
+//! against a dataset *before* any block is decoded; for in-memory tables
+//! the same summaries are built in one streaming pass.
+//!
+//! Pruning classifies a predicate per group into a tri-state
+//! [`ZoneDecision`]:
+//!
+//! * `Exclude` — the zone proves **no** row of the group can match; the
+//!   group's rows are skipped without being read;
+//! * `IncludeAll` — the zone proves **every** row matches; the group's
+//!   row ids are emitted without reading values;
+//! * `Scan` — the zone is inconclusive; the group is evaluated row by
+//!   row, exactly like [`Predicate::evaluate`] would.
+//!
+//! [`Predicate::evaluate_pruned`] is *set-identical* to
+//! [`Predicate::evaluate`] for every predicate/table pair (pinned by a
+//! differential property test): classification is sound in both
+//! directions, and the `Scan` fallback applies the same row-wise
+//! semantics — half-open ranges, NaN never matching `Range`, unknown
+//! `Eq`/`In` values matching nothing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::column::Column;
+use crate::predicate::Predicate;
+use crate::selection::RowSet;
+use crate::table::Table;
+use crate::DatasetError;
+
+/// Default rows per group: matches the VSC2 on-disk row-group size, so
+/// in-memory zone maps line up with persisted ones.
+pub const DEFAULT_GROUP_ROWS: usize = 65_536;
+
+/// Zone summary for one `(row group, column)` pair.
+///
+/// Float bounds are stored as IEEE-754 bit patterns so the summary
+/// serializes losslessly through JSON manifests (`serde_json` cannot
+/// round-trip `±inf`, and exact bits are what tamper detection compares).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnZone {
+    /// Numeric column summary.
+    Numeric {
+        /// Bit pattern of the minimum non-NaN value (`+inf` when every
+        /// value is NaN or the group is empty).
+        min_bits: u64,
+        /// Bit pattern of the maximum non-NaN value (`-inf` when every
+        /// value is NaN or the group is empty).
+        max_bits: u64,
+        /// NaN values in the group.
+        nan_count: u64,
+        /// Upper bound on the number of distinct values (run count — every
+        /// distinct value occupies at least one maximal run).
+        distinct_bound: u64,
+    },
+    /// Categorical column summary over dictionary codes.
+    Categorical {
+        /// Smallest code in the group (0 when empty).
+        min_code: u32,
+        /// Largest code in the group (0 when empty).
+        max_code: u32,
+        /// Upper bound on the number of distinct codes (run count).
+        distinct_bound: u64,
+    },
+}
+
+impl ColumnZone {
+    /// Summarizes a slice of numeric values.
+    #[must_use]
+    pub fn of_numeric(values: &[f64]) -> Self {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut nan_count = 0u64;
+        let mut runs = 0u64;
+        let mut prev_bits: Option<u64> = None;
+        for &v in values {
+            if v.is_nan() {
+                nan_count += 1;
+            } else {
+                if v < min {
+                    min = v;
+                }
+                if v > max {
+                    max = v;
+                }
+            }
+            let bits = v.to_bits();
+            if prev_bits != Some(bits) {
+                runs += 1;
+                prev_bits = Some(bits);
+            }
+        }
+        ColumnZone::Numeric {
+            min_bits: min.to_bits(),
+            max_bits: max.to_bits(),
+            nan_count,
+            distinct_bound: runs,
+        }
+    }
+
+    /// Summarizes a slice of dictionary codes.
+    #[must_use]
+    pub fn of_codes(codes: &[u32]) -> Self {
+        let mut min = u32::MAX;
+        let mut max = 0u32;
+        let mut runs = 0u64;
+        let mut prev: Option<u32> = None;
+        for &c in codes {
+            if c < min {
+                min = c;
+            }
+            if c > max {
+                max = c;
+            }
+            if prev != Some(c) {
+                runs += 1;
+                prev = Some(c);
+            }
+        }
+        if codes.is_empty() {
+            min = 0;
+        }
+        ColumnZone::Categorical {
+            min_code: min,
+            max_code: max,
+            distinct_bound: runs,
+        }
+    }
+
+    /// Summarizes the rows `[start, end)` of a column.
+    #[must_use]
+    pub fn of_column(column: &Column, start: usize, end: usize) -> Self {
+        match column {
+            Column::Numeric(values) => {
+                ColumnZone::of_numeric(values.as_slice().get(start..end).unwrap_or(&[]))
+            }
+            Column::Categorical { codes, .. } => {
+                ColumnZone::of_codes(codes.get(start..end).unwrap_or(&[]))
+            }
+        }
+    }
+}
+
+/// Per-row-group zone summaries for every column of a table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoneMaps {
+    /// Rows per group (the final group may be shorter).
+    pub group_rows: usize,
+    /// Total rows covered.
+    pub rows: usize,
+    /// `groups[g][c]` summarizes rows `[g·group_rows, ..)` of column `c`.
+    pub groups: Vec<Vec<ColumnZone>>,
+}
+
+impl ZoneMaps {
+    /// Builds zone maps for `table` in one streaming pass.
+    ///
+    /// A `group_rows` of zero falls back to [`DEFAULT_GROUP_ROWS`].
+    #[must_use]
+    pub fn build(table: &Table, group_rows: usize) -> Self {
+        let group_rows = if group_rows == 0 {
+            DEFAULT_GROUP_ROWS
+        } else {
+            group_rows
+        };
+        let rows = table.row_count();
+        let n_groups = rows.div_ceil(group_rows);
+        let n_cols = table.schema().len();
+        let mut groups = Vec::with_capacity(n_groups);
+        for g in 0..n_groups {
+            let start = g * group_rows;
+            let end = (start + group_rows).min(rows);
+            let mut zones = Vec::with_capacity(n_cols);
+            for c in 0..n_cols {
+                zones.push(ColumnZone::of_column(table.column(c), start, end));
+            }
+            groups.push(zones);
+        }
+        ZoneMaps {
+            group_rows,
+            rows,
+            groups,
+        }
+    }
+
+    /// Number of row groups.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The row range `[start, end)` of group `g`.
+    #[must_use]
+    pub fn group_range(&self, g: usize) -> (usize, usize) {
+        let start = g * self.group_rows;
+        (
+            (start).min(self.rows),
+            (start + self.group_rows).min(self.rows),
+        )
+    }
+
+    /// Whether these maps describe `table`'s shape (row count and column
+    /// count); a mismatch means the maps were built for different data.
+    #[must_use]
+    pub fn covers(&self, table: &Table) -> bool {
+        self.rows == table.row_count()
+            && self.groups.iter().all(|g| g.len() == table.schema().len())
+    }
+}
+
+/// Outcome of classifying a predicate against one row group's zones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZoneDecision {
+    /// No row of the group can match.
+    Exclude,
+    /// Every row of the group matches.
+    IncludeAll,
+    /// Inconclusive; evaluate row by row.
+    Scan,
+}
+
+/// Work counters from one pruned predicate evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneStats {
+    /// Total row groups considered.
+    pub groups: u64,
+    /// Groups excluded entirely by their zones (no rows read).
+    pub pruned: u64,
+    /// Groups fully included by their zones (row ids emitted, no values
+    /// read).
+    pub included: u64,
+    /// Groups evaluated row by row.
+    pub scanned: u64,
+}
+
+/// A predicate compiled against one table: column references resolved to
+/// indices and value slices, `Eq`/`In` values translated to a code mask.
+/// Shared by the classification pass and the row-wise `Scan` fallback.
+enum Compiled<'t> {
+    True,
+    /// `Eq`/`In`: the row's code must be `wanted`.
+    Member {
+        col: usize,
+        codes: &'t [u32],
+        wanted: Vec<bool>,
+    },
+    /// `Range`: `low <= v < high` (false for NaN).
+    Range {
+        col: usize,
+        values: &'t [f64],
+        low: f64,
+        high: f64,
+    },
+    And(Vec<Compiled<'t>>),
+    Or(Vec<Compiled<'t>>),
+    Not(Box<Compiled<'t>>),
+}
+
+impl<'t> Compiled<'t> {
+    fn compile(pred: &Predicate, table: &'t Table) -> Result<Self, DatasetError> {
+        match pred {
+            Predicate::True => Ok(Compiled::True),
+            Predicate::Eq { column, value } => {
+                Compiled::member(table, column, std::slice::from_ref(value))
+            }
+            Predicate::In { column, values } => Compiled::member(table, column, values),
+            Predicate::Range { column, low, high } => {
+                let col = table
+                    .schema()
+                    .index_of(column)
+                    .ok_or_else(|| DatasetError::UnknownColumn(column.clone()))?;
+                let values =
+                    table
+                        .column(col)
+                        .values()
+                        .ok_or_else(|| DatasetError::ColumnTypeMismatch {
+                            column: column.clone(),
+                            expected: "numeric (Range predicate)",
+                        })?;
+                Ok(Compiled::Range {
+                    col,
+                    values,
+                    low: *low,
+                    high: *high,
+                })
+            }
+            Predicate::And(preds) => Ok(Compiled::And(
+                preds
+                    .iter()
+                    .map(|p| Compiled::compile(p, table))
+                    .collect::<Result<_, _>>()?,
+            )),
+            Predicate::Or(preds) => Ok(Compiled::Or(
+                preds
+                    .iter()
+                    .map(|p| Compiled::compile(p, table))
+                    .collect::<Result<_, _>>()?,
+            )),
+            Predicate::Not(inner) => Ok(Compiled::Not(Box::new(Compiled::compile(inner, table)?))),
+        }
+    }
+
+    fn member(table: &'t Table, column: &str, values: &[String]) -> Result<Self, DatasetError> {
+        let col = table
+            .schema()
+            .index_of(column)
+            .ok_or_else(|| DatasetError::UnknownColumn(column.to_owned()))?;
+        let (codes, dictionary) = match (table.column(col).codes(), table.column(col).dictionary())
+        {
+            (Some(c), Some(d)) => (c, d),
+            _ => {
+                return Err(DatasetError::ColumnTypeMismatch {
+                    column: column.to_owned(),
+                    expected: "categorical (Eq/In predicate)",
+                })
+            }
+        };
+        let mut wanted = vec![false; dictionary.len()];
+        for v in values {
+            if let Some(code) = dictionary.iter().position(|d| d == v) {
+                if let Some(w) = wanted.get_mut(code) {
+                    *w = true;
+                }
+            }
+        }
+        Ok(Compiled::Member { col, codes, wanted })
+    }
+
+    /// Row-wise evaluation — exactly [`Predicate::evaluate`]'s semantics.
+    fn matches(&self, row: usize) -> bool {
+        match self {
+            Compiled::True => true,
+            Compiled::Member { codes, wanted, .. } => codes
+                .get(row)
+                .is_some_and(|&c| wanted.get(c as usize).copied().unwrap_or(false)),
+            Compiled::Range {
+                values, low, high, ..
+            } => values.get(row).is_some_and(|&v| v >= *low && v < *high),
+            Compiled::And(preds) => preds.iter().all(|p| p.matches(row)),
+            Compiled::Or(preds) => preds.iter().any(|p| p.matches(row)),
+            Compiled::Not(inner) => !inner.matches(row),
+        }
+    }
+
+    /// Classifies this predicate against group `g`'s zones. Sound in both
+    /// directions: `Exclude` only when no row can match, `IncludeAll` only
+    /// when every row must match.
+    fn classify(&self, zones: &[ColumnZone], group_len: usize) -> ZoneDecision {
+        match self {
+            Compiled::True => ZoneDecision::IncludeAll,
+            Compiled::Member { col, wanted, .. } => {
+                let Some(ColumnZone::Categorical {
+                    min_code, max_code, ..
+                }) = zones.get(*col)
+                else {
+                    return ZoneDecision::Scan;
+                };
+                if group_len == 0 {
+                    return ZoneDecision::Exclude;
+                }
+                if *max_code as usize >= wanted.len() || min_code > max_code {
+                    // Codes beyond the dictionary (or an inverted span)
+                    // mean the zone wasn't built for this column: don't
+                    // reason from it — and don't iterate an attacker-sized
+                    // span either.
+                    return ZoneDecision::Scan;
+                }
+                let span = *min_code..=*max_code;
+                let mut any = false;
+                let mut all = true;
+                for code in span {
+                    let hit = wanted.get(code as usize).copied().unwrap_or(false);
+                    any |= hit;
+                    all &= hit;
+                }
+                if !any {
+                    ZoneDecision::Exclude
+                } else if all {
+                    // Every code the group *can* contain is wanted, and
+                    // every row's code lies in [min, max].
+                    ZoneDecision::IncludeAll
+                } else {
+                    ZoneDecision::Scan
+                }
+            }
+            Compiled::Range { col, low, high, .. } => {
+                let Some(ColumnZone::Numeric {
+                    min_bits,
+                    max_bits,
+                    nan_count,
+                    ..
+                }) = zones.get(*col)
+                else {
+                    return ZoneDecision::Scan;
+                };
+                if group_len == 0 {
+                    return ZoneDecision::Exclude;
+                }
+                let min = f64::from_bits(*min_bits);
+                let max = f64::from_bits(*max_bits);
+                if *nan_count as usize == group_len {
+                    // All NaN: comparisons are false for every row.
+                    return ZoneDecision::Exclude;
+                }
+                if max < *low || min >= *high {
+                    // Every non-NaN value misses, NaN rows never match.
+                    return ZoneDecision::Exclude;
+                }
+                if *nan_count == 0 && min >= *low && max < *high {
+                    return ZoneDecision::IncludeAll;
+                }
+                ZoneDecision::Scan
+            }
+            Compiled::And(preds) => {
+                let mut all_include = true;
+                for p in preds {
+                    match p.classify(zones, group_len) {
+                        ZoneDecision::Exclude => return ZoneDecision::Exclude,
+                        ZoneDecision::Scan => all_include = false,
+                        ZoneDecision::IncludeAll => {}
+                    }
+                }
+                if all_include {
+                    ZoneDecision::IncludeAll
+                } else {
+                    ZoneDecision::Scan
+                }
+            }
+            Compiled::Or(preds) => {
+                let mut all_exclude = true;
+                for p in preds {
+                    match p.classify(zones, group_len) {
+                        ZoneDecision::IncludeAll => return ZoneDecision::IncludeAll,
+                        ZoneDecision::Scan => all_exclude = false,
+                        ZoneDecision::Exclude => {}
+                    }
+                }
+                if all_exclude {
+                    ZoneDecision::Exclude
+                } else {
+                    ZoneDecision::Scan
+                }
+            }
+            Compiled::Not(inner) => match inner.classify(zones, group_len) {
+                ZoneDecision::Exclude => ZoneDecision::IncludeAll,
+                ZoneDecision::IncludeAll => ZoneDecision::Exclude,
+                ZoneDecision::Scan => ZoneDecision::Scan,
+            },
+        }
+    }
+}
+
+impl Predicate {
+    /// Evaluates the predicate with zone-map pruning: row groups the zones
+    /// prove excluded are skipped without reading a value, fully-included
+    /// groups emit their row ids directly, and only inconclusive groups
+    /// are evaluated row by row.
+    ///
+    /// The returned [`RowSet`] is **identical** to
+    /// [`Predicate::evaluate`]'s for any predicate/table pair; `zones`
+    /// that do not cover the table (different row/column count) fall back
+    /// to scanning every group.
+    ///
+    /// # Errors
+    ///
+    /// The same column-resolution and type errors as
+    /// [`Predicate::evaluate`].
+    pub fn evaluate_pruned(
+        &self,
+        table: &Table,
+        zones: &ZoneMaps,
+    ) -> Result<(RowSet, PruneStats), DatasetError> {
+        let compiled = Compiled::compile(self, table)?;
+        let usable = zones.covers(table);
+        let n_rows = table.row_count();
+        let group_rows = if zones.group_rows == 0 {
+            DEFAULT_GROUP_ROWS
+        } else {
+            zones.group_rows
+        };
+        let n_groups = n_rows.div_ceil(group_rows);
+        let mut stats = PruneStats {
+            groups: n_groups as u64,
+            ..PruneStats::default()
+        };
+        let mut ids: Vec<u32> = Vec::new();
+        let empty: Vec<ColumnZone> = Vec::new();
+        for g in 0..n_groups {
+            let start = g * group_rows;
+            let end = (start + group_rows).min(n_rows);
+            let zone = if usable {
+                zones.groups.get(g).unwrap_or(&empty)
+            } else {
+                &empty
+            };
+            let decision = if usable && !zone.is_empty() {
+                compiled.classify(zone, end - start)
+            } else {
+                ZoneDecision::Scan
+            };
+            match decision {
+                ZoneDecision::Exclude => stats.pruned += 1,
+                ZoneDecision::IncludeAll => {
+                    stats.included += 1;
+                    ids.extend((start as u32)..(end as u32));
+                }
+                ZoneDecision::Scan => {
+                    stats.scanned += 1;
+                    for row in start..end {
+                        if compiled.matches(row) {
+                            ids.push(row as u32);
+                        }
+                    }
+                }
+            }
+        }
+        Ok((RowSet::from_sorted_ids(ids)?, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn table(rows: usize) -> Table {
+        // Clustered layout: color blocks of 8, ascending ages — zones can
+        // actually prune.
+        let colors: Vec<&str> = (0..rows)
+            .map(|i| ["red", "blue", "green"][(i / 8) % 3])
+            .collect();
+        let ages: Vec<f64> = (0..rows).map(|i| i as f64).collect();
+        let schema = Schema::builder()
+            .categorical_dimension("color")
+            .numeric_dimension("age")
+            .build()
+            .unwrap();
+        Table::new(
+            schema,
+            vec![
+                Column::categorical_from_values(&colors),
+                Column::numeric(ages),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn assert_identical(pred: &Predicate, t: &Table, zones: &ZoneMaps) -> PruneStats {
+        let plain = pred.evaluate(t).unwrap();
+        let (pruned, stats) = pred.evaluate_pruned(t, zones).unwrap();
+        assert_eq!(plain.ids(), pruned.ids(), "pruned evaluation diverged");
+        stats
+    }
+
+    #[test]
+    fn range_pruning_skips_excluded_groups() {
+        let t = table(64);
+        let zones = ZoneMaps::build(&t, 16);
+        let p = Predicate::range("age", 0.0, 16.0);
+        let stats = assert_identical(&p, &t, &zones);
+        assert_eq!(stats.groups, 4);
+        assert_eq!(stats.pruned, 3);
+        assert_eq!(stats.included, 1, "first group is wholly inside");
+    }
+
+    #[test]
+    fn boundary_straddling_ranges_scan_only_edge_groups() {
+        let t = table(64);
+        let zones = ZoneMaps::build(&t, 16);
+        let p = Predicate::range("age", 8.0, 24.0);
+        let stats = assert_identical(&p, &t, &zones);
+        assert_eq!(stats.pruned, 2);
+        assert_eq!(stats.scanned, 2);
+    }
+
+    #[test]
+    fn categorical_pruning_uses_code_spans() {
+        let t = table(48);
+        let zones = ZoneMaps::build(&t, 8);
+        // Groups are single-color runs of 8 — every group is either all
+        // "red" (IncludeAll) or red-free (Exclude).
+        let stats = assert_identical(&Predicate::eq("color", "red"), &t, &zones);
+        assert_eq!(stats.scanned, 0);
+        assert!(stats.pruned > 0 && stats.included > 0);
+    }
+
+    #[test]
+    fn boolean_composition_and_unknown_values_stay_identical() {
+        let t = table(100);
+        let zones = ZoneMaps::build(&t, 16);
+        let preds = [
+            Predicate::True,
+            Predicate::eq("color", "purple"),
+            Predicate::eq("color", "red").and(Predicate::range("age", 10.0, 60.0)),
+            Predicate::Or(vec![
+                Predicate::range("age", 0.0, 5.0),
+                Predicate::range("age", 90.0, f64::INFINITY),
+            ]),
+            Predicate::Not(Box::new(Predicate::range("age", 20.0, 80.0))),
+            Predicate::And(vec![]),
+            Predicate::Or(vec![]),
+        ];
+        for p in &preds {
+            assert_identical(p, &t, &zones);
+        }
+    }
+
+    #[test]
+    fn nan_rows_never_match_ranges() {
+        let schema = Schema::builder().numeric_dimension("x").build().unwrap();
+        let t = Table::new(
+            schema,
+            vec![Column::numeric(vec![
+                1.0,
+                f64::NAN,
+                3.0,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+            ])],
+        )
+        .unwrap();
+        let zones = ZoneMaps::build(&t, 3);
+        // Second group is all-NaN → Exclude even for an unbounded range.
+        let p = Predicate::range("x", f64::NEG_INFINITY, f64::INFINITY);
+        let stats = assert_identical(&p, &t, &zones);
+        assert_eq!(stats.pruned, 1);
+    }
+
+    #[test]
+    fn mismatched_zones_fall_back_to_scanning() {
+        let t = table(32);
+        let other = table(16);
+        let zones = ZoneMaps::build(&other, 8);
+        let p = Predicate::range("age", 0.0, 8.0);
+        let (set, stats) = p.evaluate_pruned(&t, &zones).unwrap();
+        assert_eq!(set.ids(), p.evaluate(&t).unwrap().ids());
+        assert_eq!(stats.pruned, 0, "uncovered zones must not prune");
+    }
+
+    #[test]
+    fn zone_summaries_handle_empty_and_nan() {
+        let z = ColumnZone::of_numeric(&[]);
+        match z {
+            ColumnZone::Numeric {
+                min_bits,
+                max_bits,
+                nan_count,
+                distinct_bound,
+            } => {
+                assert_eq!(f64::from_bits(min_bits), f64::INFINITY);
+                assert_eq!(f64::from_bits(max_bits), f64::NEG_INFINITY);
+                assert_eq!((nan_count, distinct_bound), (0, 0));
+            }
+            ColumnZone::Categorical { .. } => panic!("numeric zone expected"),
+        }
+        let z = ColumnZone::of_numeric(&[f64::NAN, f64::NAN]);
+        match z {
+            ColumnZone::Numeric { nan_count, .. } => assert_eq!(nan_count, 2),
+            ColumnZone::Categorical { .. } => panic!("numeric zone expected"),
+        }
+    }
+
+    #[test]
+    fn distinct_bound_is_an_upper_bound() {
+        // [1,2,1,2] has 2 distinct values and 4 runs — the bound may be
+        // loose but never under-counts.
+        let z = ColumnZone::of_numeric(&[1.0, 2.0, 1.0, 2.0]);
+        match z {
+            ColumnZone::Numeric { distinct_bound, .. } => assert_eq!(distinct_bound, 4),
+            ColumnZone::Categorical { .. } => panic!("numeric zone expected"),
+        }
+        let z = ColumnZone::of_codes(&[5, 5, 5, 2]);
+        match z {
+            ColumnZone::Categorical {
+                min_code,
+                max_code,
+                distinct_bound,
+            } => assert_eq!((min_code, max_code, distinct_bound), (2, 5, 2)),
+            ColumnZone::Numeric { .. } => panic!("categorical zone expected"),
+        }
+    }
+}

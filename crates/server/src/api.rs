@@ -379,7 +379,7 @@ pub fn snapshot(state: &AppState, id: &str) -> Result<PersistedSession, ServerEr
         spec: entry.spec.clone(),
         snapshot: viewseeker_core::SessionSnapshot::from_seeker(&seeker),
         dataset_name: Some(entry.dataset_name.clone()),
-        dataset_checksum: Some(entry.dataset_checksum.clone()),
+        dataset_checksum: Some(entry.dataset_checksum()),
     })
 }
 
@@ -432,6 +432,63 @@ pub fn upload_dataset(
         ],
     );
     summary_of(state, &entry.name)
+}
+
+/// `POST /datasets/:name/rows` response: what grew and which live
+/// sessions were brought up to date.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AppendInfo {
+    /// The dataset appended to.
+    pub dataset: String,
+    /// Rows this request appended.
+    pub appended: u64,
+    /// Rows in the dataset after the append.
+    pub total_rows: u64,
+    /// Content digest of the grown table, lowercase hex.
+    pub checksum: String,
+    /// Live sessions over this dataset that absorbed the new rows.
+    pub sessions_updated: usize,
+    /// Of those, how many folded the tail into retained fused aggregates
+    /// (the rest re-materialized).
+    pub sessions_merged: usize,
+}
+
+/// `POST /datasets/:name/rows` — append the raw CSV body (header row
+/// required, columns matching the dataset's schema) to an existing
+/// dataset, durably (atomic manifest swap when the catalog is
+/// disk-backed), then fold the new rows into every live session built
+/// over the dataset.
+///
+/// # Errors
+///
+/// Unknown/reserved name, schema mismatch, unparseable or empty CSV, or
+/// storage failure. Per-session absorption failures are logged, not
+/// surfaced: the append itself is already durable.
+pub fn append_dataset(
+    state: &AppState,
+    name: &str,
+    body: &[u8],
+) -> Result<AppendInfo, ServerError> {
+    let outcome = state.catalog.append_csv_bytes(name, body)?;
+    let updated = state.registry.absorb_append(&outcome.entry);
+    let merged = updated.iter().filter(|(_, m)| *m).count();
+    state.logger.info(
+        "dataset_appended",
+        &[
+            ("dataset", crate::log::s(&outcome.entry.name)),
+            ("appended_rows", crate::log::n(outcome.appended)),
+            ("total_rows", crate::log::n(outcome.total_rows)),
+            ("sessions_updated", crate::log::n(updated.len() as u64)),
+        ],
+    );
+    Ok(AppendInfo {
+        dataset: outcome.entry.name.clone(),
+        appended: outcome.appended,
+        total_rows: outcome.total_rows,
+        checksum: outcome.entry.checksum.clone(),
+        sessions_updated: updated.len(),
+        sessions_merged: merged,
+    })
 }
 
 fn summary_of(state: &AppState, name: &str) -> Result<DatasetSummary, ServerError> {

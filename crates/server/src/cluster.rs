@@ -576,7 +576,7 @@ impl ShardRouter {
                 spec: entry.spec.clone(),
                 snapshot: viewseeker_core::SessionSnapshot::from_seeker(&seeker),
                 dataset_name: Some(entry.dataset_name.clone()),
-                dataset_checksum: Some(entry.dataset_checksum.clone()),
+                dataset_checksum: Some(entry.dataset_checksum()),
             }
         };
         drop(entry);

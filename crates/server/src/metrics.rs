@@ -50,6 +50,12 @@ pub struct Counters {
     /// Wall-clock microseconds spent in offline view materialization,
     /// summed over sessions.
     pub materialize_us: AtomicU64,
+    /// Row groups visited while evaluating session `DQ` predicates through
+    /// zone maps, summed over session builds and append absorptions.
+    pub rowgroups_scanned: AtomicU64,
+    /// Row groups the zone maps excluded from those evaluations without
+    /// reading a value.
+    pub rowgroups_pruned: AtomicU64,
     /// Gauge: connections accepted but not yet picked up by a worker.
     queue_depth: Arc<AtomicU64>,
 }

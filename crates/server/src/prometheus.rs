@@ -146,6 +146,21 @@ static SERIES: &[SeriesDef] = &[
         help: "Datasets known to the catalog, by residency.",
     },
     SeriesDef {
+        name: "viewseeker_catalog_rowgroups_scanned_total",
+        kind: "counter",
+        help: "Row groups visited while evaluating session DQ predicates through zone maps.",
+    },
+    SeriesDef {
+        name: "viewseeker_catalog_rowgroups_pruned_total",
+        kind: "counter",
+        help: "Row groups excluded by zone maps without reading a value.",
+    },
+    SeriesDef {
+        name: "viewseeker_append_rows_total",
+        kind: "counter",
+        help: "Rows appended to catalog datasets.",
+    },
+    SeriesDef {
         name: "viewseeker_cluster_routed_total",
         kind: "counter",
         help: "Requests routed by the shard router, by ring member.",
@@ -390,6 +405,15 @@ pub fn render(
     exp.sample("", "{state=\"cached\"}", catalog.cached_datasets);
     exp.sample("", "{state=\"known\"}", catalog.known_datasets);
 
+    exp.series("viewseeker_catalog_rowgroups_scanned_total");
+    exp.sample("", "", Counters::read(&counters.rowgroups_scanned));
+
+    exp.series("viewseeker_catalog_rowgroups_pruned_total");
+    exp.sample("", "", Counters::read(&counters.rowgroups_pruned));
+
+    exp.series("viewseeker_append_rows_total");
+    exp.sample("", "", catalog.append_rows);
+
     use viewseeker_cluster::ClusterStats;
     let members = cluster.members_snapshot();
 
@@ -492,6 +516,8 @@ mod tests {
         Counters::add(&counters.materialize_scans, 2);
         Counters::add(&counters.materialize_rows, 6_000);
         Counters::add(&counters.materialize_us, 2_500);
+        Counters::add(&counters.rowgroups_scanned, 14);
+        Counters::add(&counters.rowgroups_pruned, 50);
         let mut hist = Histogram::new();
         hist.record(5);
         hist.record(150);
@@ -503,6 +529,7 @@ mod tests {
             resident_bytes: 4096,
             cached_datasets: 2,
             known_datasets: 3,
+            append_rows: 1_200,
         };
         let net = NetStats::new();
         net.accepted.store(9, std::sync::atomic::Ordering::Relaxed);
@@ -647,6 +674,18 @@ mod tests {
         );
         assert!(
             text.contains("viewseeker_catalog_datasets{state=\"known\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_catalog_rowgroups_scanned_total 14\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_catalog_rowgroups_pruned_total 50\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("viewseeker_append_rows_total 1200\n"),
             "{text}"
         );
         assert!(

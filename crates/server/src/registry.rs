@@ -171,10 +171,11 @@ impl SessionSpec {
         tracer: Arc<dyn Tracer>,
     ) -> Result<OwnedSeeker, ServerError> {
         let query = self.build_query()?;
-        Ok(Seeker::new_traced(
+        Ok(Seeker::new_traced_with_zones(
             Arc::clone(&dataset.table),
             &query,
             self.build_config()?,
+            Some(Arc::clone(&dataset.zones)),
             tracer,
         )?)
     }
@@ -209,8 +210,11 @@ pub struct SessionEntry {
     pub spec: SessionSpec,
     /// The catalog name the spec's dataset resolved to.
     pub dataset_name: String,
-    /// Content digest of the session's table, lowercase hex.
-    pub dataset_checksum: String,
+    /// Content digest of the session's table, lowercase hex. Behind a lock
+    /// because a dataset append retargets live sessions onto the grown
+    /// table, whose digest differs; read it via
+    /// [`SessionEntry::dataset_checksum`].
+    dataset_checksum: Mutex<String>,
     /// The interactive session itself; lock to use.
     pub seeker: Mutex<OwnedSeeker>,
     /// The session's trace recorder (the seeker reports into it; readable
@@ -220,6 +224,24 @@ pub struct SessionEntry {
 }
 
 impl SessionEntry {
+    /// The current content digest of the session's table. A poisoned lock
+    /// is recovered: the guarded value is a plain `String`, structurally
+    /// valid no matter where a panicking thread died.
+    #[must_use]
+    pub fn dataset_checksum(&self) -> String {
+        self.dataset_checksum
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn set_dataset_checksum(&self, checksum: String) {
+        *self
+            .dataset_checksum
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = checksum;
+    }
+
     /// The LRU clock. A poisoned clock lock is recovered: the guarded
     /// value is a plain `Instant`, structurally valid no matter where a
     /// panicking thread died.
@@ -560,11 +582,13 @@ impl SessionRegistry {
         Counters::add(&self.counters.materialize_scans, report.scans);
         Counters::add(&self.counters.materialize_rows, report.rows_scanned);
         Counters::add(&self.counters.materialize_us, report.duration_us);
+        Counters::add(&self.counters.rowgroups_scanned, report.rowgroups_scanned);
+        Counters::add(&self.counters.rowgroups_pruned, report.rowgroups_pruned);
         let entry = Arc::new(SessionEntry {
             id: id.clone(),
             spec,
             dataset_name: dataset.name.clone(),
-            dataset_checksum: dataset.checksum.clone(),
+            dataset_checksum: Mutex::new(dataset.checksum.clone()),
             seeker: Mutex::new(seeker),
             recorder,
             // vslint::allow(wall-clock): initializes the LRU recency clock,
@@ -684,6 +708,64 @@ impl SessionRegistry {
         Ok(ids)
     }
 
+    /// Folds a just-appended dataset into every live session built over it:
+    /// each session either merges the appended tail into its retained fused
+    /// aggregates (a tail-only scan) or re-materializes its view space on
+    /// the grown table, then re-fits its estimators on the exact features —
+    /// collected labels survive. Returns `(session_id, merged)` per updated
+    /// session, sorted by id.
+    ///
+    /// A session whose absorption fails is logged and left on its previous
+    /// table — the old `Arc<Table>` is still intact, so the session stays
+    /// self-consistent, just behind the appended data.
+    pub fn absorb_append(&self, dataset: &DatasetEntry) -> Vec<(String, bool)> {
+        // Clone matching entries out so no session lock is taken while the
+        // registry lock is held (vslint rule lock-order).
+        let entries: Vec<Arc<SessionEntry>> = self
+            .sessions_read()
+            .values()
+            .filter(|e| e.dataset_name == dataset.name)
+            .cloned()
+            .collect();
+        let mut updated = Vec::new();
+        for entry in entries {
+            let result = entry.seeker_lock().and_then(|mut seeker| {
+                Ok(seeker
+                    .absorb_append(Arc::clone(&dataset.table), Some(Arc::clone(&dataset.zones)))?)
+            });
+            match result {
+                Ok(report) => {
+                    Counters::add(&self.counters.rowgroups_scanned, report.rowgroups_scanned);
+                    Counters::add(&self.counters.rowgroups_pruned, report.rowgroups_pruned);
+                    entry.set_dataset_checksum(dataset.checksum.clone());
+                    self.logger.info(
+                        "session_absorbed_append",
+                        &[
+                            ("session", s(&entry.id)),
+                            ("dataset", s(&dataset.name)),
+                            ("appended_rows", n(report.appended_rows)),
+                            ("mode", s(if report.merged { "merged" } else { "rebuilt" })),
+                            ("rows_scanned", n(report.rows_scanned)),
+                        ],
+                    );
+                    updated.push((entry.id.clone(), report.merged));
+                }
+                Err(e) => {
+                    self.logger.warn(
+                        "session_absorb_append_failed",
+                        &[
+                            ("session", s(&entry.id)),
+                            ("dataset", s(&dataset.name)),
+                            ("error", s(e.message())),
+                        ],
+                    );
+                }
+            }
+        }
+        updated.sort();
+        updated
+    }
+
     /// Snapshots `entry` to the snapshot directory (no-op without one).
     ///
     /// # Errors
@@ -721,7 +803,7 @@ impl SessionRegistry {
             spec: entry.spec.clone(),
             snapshot: SessionSnapshot::from_seeker(&seeker),
             dataset_name: Some(entry.dataset_name.clone()),
-            dataset_checksum: Some(entry.dataset_checksum.clone()),
+            dataset_checksum: Some(entry.dataset_checksum()),
         };
         drop(seeker);
         if let Some(parent) = path.parent() {
@@ -1042,7 +1124,7 @@ mod tests {
         // same restore succeeds.
         let ok = PersistedSession {
             id: "ghost".into(),
-            dataset_checksum: Some(entry.dataset_checksum.clone()),
+            dataset_checksum: Some(entry.dataset_checksum()),
             ..persisted.clone()
         };
         registry.restore(&ok).unwrap();

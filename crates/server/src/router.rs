@@ -16,6 +16,7 @@
 //! POST   /sessions/:id/snapshot
 //! POST   /sessions/:id/restore
 //! POST   /datasets/:name                 body: raw CSV
+//! POST   /datasets/:name/rows            body: raw CSV (same schema)
 //! GET    /datasets
 //! GET    /datasets/:name
 //! DELETE /datasets/:name
@@ -125,6 +126,10 @@ impl Router {
             ("POST", ["datasets", name]) => (
                 "POST /datasets/:name",
                 api::upload_dataset(state, name, &request.body).map(created),
+            ),
+            ("POST", ["datasets", name, "rows"]) => (
+                "POST /datasets/:name/rows",
+                api::append_dataset(state, name, &request.body).map(ok),
             ),
             ("GET", ["datasets"]) => ("GET /datasets", Ok(ok(api::list_datasets(state)))),
             ("GET", ["datasets", name]) => {
@@ -445,6 +450,50 @@ mod tests {
         );
         // Lifecycle events from the registry landed in the same stream.
         assert!(raw.contains("\"event\":\"session_created\""), "{raw}");
+    }
+
+    #[test]
+    fn append_route_grows_dataset_and_updates_live_sessions() {
+        let r = router();
+        let csv = "city,m_sales\nparis,10.0\nlyon,20.0\nparis,30.0\nlyon,40.0\n";
+        let reply = r.handle(&req("POST", "/datasets/tiny", csv));
+        assert_eq!(reply.status, 201, "{}", reply.body);
+
+        let reply = r.handle(&req(
+            "POST",
+            "/sessions",
+            r#"{"dataset": "tiny", "query": "city = 'paris'"}"#,
+        ));
+        assert_eq!(reply.status, 201, "{}", reply.body);
+
+        let reply = r.handle(&req(
+            "POST",
+            "/datasets/tiny/rows",
+            "city,m_sales\nparis,50.0\nlyon,60.0\n",
+        ));
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert!(
+            reply.body.contains("\"dataset\":\"tiny\""),
+            "{}",
+            reply.body
+        );
+        assert!(reply.body.contains("\"appended\":2"), "{}", reply.body);
+        assert!(reply.body.contains("\"total_rows\":6"), "{}", reply.body);
+        assert!(
+            reply.body.contains("\"sessions_updated\":1"),
+            "{}",
+            reply.body
+        );
+
+        // The session keeps serving over the grown table.
+        let reply = r.handle(&req("GET", "/sessions/s1/next?m=1", ""));
+        assert_eq!(reply.status, 200, "{}", reply.body);
+
+        // Schema mismatch is a client error; unknown dataset is 404.
+        let reply = r.handle(&req("POST", "/datasets/tiny/rows", "bogus\nx\n"));
+        assert_eq!(reply.status, 400, "{}", reply.body);
+        let reply = r.handle(&req("POST", "/datasets/ghost/rows", csv));
+        assert_eq!(reply.status, 404, "{}", reply.body);
     }
 
     #[test]

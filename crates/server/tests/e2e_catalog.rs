@@ -91,6 +91,129 @@ fn server(data_dir: &std::path::Path) -> viewseeker_server::AppHandle {
     .expect("bind")
 }
 
+/// The append path end-to-end: rows appended under live sessions are
+/// folded into their aggregates (the absorbed session agrees with a fresh
+/// session built over the grown table), the append is durable as VSC2,
+/// and a restart cold-starts from the mapped store with identical bodies.
+#[test]
+fn append_under_live_sessions_and_mmap_cold_start() {
+    let dir = std::env::temp_dir().join(format!("vs-e2e-append-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = server(&dir);
+    let addr = handle.addr();
+
+    let csv = sales_csv(240);
+    let (status, _) = call(addr, "POST", "/datasets/sales", &csv);
+    assert_eq!(status, 201);
+
+    // A live session built before the append, with no feedback yet.
+    let (status, body) = call(
+        addr,
+        "POST",
+        "/sessions",
+        r#"{"dataset": "sales", "query": "region = 'west'"}"#,
+    );
+    assert_eq!(status, 201, "{body}");
+    let live = json_field(&body, "id").to_owned();
+
+    // Append 12 fresh rows (header required, same schema).
+    let mut tail = String::from("region,product,n_age,m_sales\n");
+    for i in 0..12 {
+        let region = ["west", "east"][i % 2];
+        tail.push_str(&format!(
+            "{region},widget,{},{:.1}\n",
+            30 + i,
+            500.0 + i as f64
+        ));
+    }
+    let (status, body) = call(addr, "POST", "/datasets/sales/rows", &tail);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_field(&body, "appended"), "12");
+    assert_eq!(json_field(&body, "total_rows"), "252");
+    assert_eq!(json_field(&body, "sessions_updated"), "1");
+    let (status, body) = call(addr, "GET", "/datasets/sales", "");
+    assert_eq!(status, 200);
+    assert_eq!(json_field(&body, "rows"), "252");
+
+    // Appending a schema mismatch is a client error and changes nothing.
+    let (status, _) = call(addr, "POST", "/datasets/sales/rows", "bogus\n1\n");
+    assert_eq!(status, 400);
+
+    // The live session absorbed the new rows: with no labels on either
+    // side, its next-view ranking must agree with a session built from
+    // scratch over the grown table.
+    let (status, body) = call(
+        addr,
+        "POST",
+        "/sessions",
+        r#"{"dataset": "sales", "query": "region = 'west'"}"#,
+    );
+    assert_eq!(status, 201, "{body}");
+    let fresh = json_field(&body, "id").to_owned();
+    let (status, live_next) = call(addr, "GET", &format!("/sessions/{live}/next?m=1"), "");
+    assert_eq!(status, 200, "{live_next}");
+    let (status, fresh_next) = call(addr, "GET", &format!("/sessions/{fresh}/next?m=1"), "");
+    assert_eq!(status, 200, "{fresh_next}");
+    assert_eq!(
+        json_field(&live_next, "id"),
+        json_field(&fresh_next, "id"),
+        "absorbed session ranks differently than a fresh session over the grown table"
+    );
+    // Feedback and recommend both run over the absorbed (grown) table.
+    for score in [0.9, 0.2, 0.7] {
+        let (status, body) = call(addr, "GET", &format!("/sessions/{live}/next?m=1"), "");
+        assert_eq!(status, 200, "{body}");
+        let view = json_field(&body, "id").to_owned();
+        let (status, body) = call(
+            addr,
+            "POST",
+            &format!("/sessions/{live}/feedback"),
+            &format!("{{\"view\": {view}, \"score\": {score}}}"),
+        );
+        assert_eq!(status, 200, "{body}");
+    }
+    let (status, body) = call(addr, "GET", &format!("/sessions/{live}/recommend?k=2"), "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("FROM sales"), "{body}");
+
+    // Appends upgraded the store to VSC2 on disk, and the scrape carries
+    // the append/pruning counters.
+    let manifest = std::fs::read_to_string(dir.join("sales").join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"format\": \"VSC2\""), "{manifest}");
+    let (status, scrape) = call(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert_eq!(scrape_value(&scrape, "viewseeker_append_rows_total "), 12.0);
+    assert!(
+        scrape.contains("viewseeker_catalog_rowgroups_scanned_total "),
+        "{scrape}"
+    );
+
+    // Restart over the same directory: the VSC2 store cold-starts (numeric
+    // columns mapped, not decoded) and serves byte-identical dataset
+    // bodies and a working session.
+    let (status, before) = call(addr, "GET", "/datasets/sales", "");
+    assert_eq!(status, 200);
+    handle.shutdown();
+    let handle = server(&dir);
+    let addr = handle.addr();
+    let (status, after) = call(addr, "GET", "/datasets/sales", "");
+    assert_eq!(status, 200);
+    assert_eq!(before, after, "cold start changed the dataset body");
+    let (status, body) = call(
+        addr,
+        "POST",
+        "/sessions",
+        r#"{"dataset": "sales", "query": "region = 'west'"}"#,
+    );
+    assert_eq!(status, 201, "{body}");
+    let id = json_field(&body, "id").to_owned();
+    let (status, body) = call(addr, "GET", &format!("/sessions/{id}/next?m=1"), "");
+    assert_eq!(status, 200, "{body}");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn csv_upload_session_loop_delete_guard_and_metrics() {
     let dir = std::env::temp_dir().join(format!("vs-e2e-catalog-{}", std::process::id()));

@@ -4,25 +4,27 @@
 //! overridden further down the module tree, so this single line per crate
 //! is a proof there is no unsafe block anywhere in it.
 //!
-//! One audited exception: `viewseeker-net` wraps raw epoll syscalls, and
-//! FFI is inherently `unsafe`. Its root must instead carry
+//! Audited exceptions: `viewseeker-net` wraps raw epoll syscalls, and
+//! `viewseeker-catalog` wraps `mmap` for zero-copy column loads — FFI is
+//! inherently `unsafe`. Those crate roots must instead carry
 //! `#![deny(unsafe_code)]` (so a module has to opt back in explicitly),
 //! and the rule statically rejects an `unsafe` token anywhere in the
-//! workspace outside `crates/net/src/sys.rs` — confining the entire
-//! unsafe surface to that one reviewed file.
+//! workspace outside the audited modules listed in [`UNSAFE_MODULES`] —
+//! confining the entire unsafe surface to those reviewed files.
 
 use crate::{Diagnostic, SourceFile};
 
 const RULE: &str = "forbid-unsafe";
 
-/// The crate root allowed to hold unsafe code beneath it.
-const NET_ROOT: &str = "crates/net/src/lib.rs";
-/// The single module allowed to contain `unsafe` tokens.
-const UNSAFE_MODULE: &str = "crates/net/src/sys.rs";
+/// Crate roots allowed to hold unsafe code beneath them (they must still
+/// `deny` at the root so the opt-in is explicit and local).
+const DENY_ROOTS: &[&str] = &["crates/net/src/lib.rs", "crates/catalog/src/lib.rs"];
+/// The audited modules allowed to contain `unsafe` tokens.
+const UNSAFE_MODULES: &[&str] = &["crates/net/src/sys.rs", "crates/catalog/src/map.rs"];
 
 /// Runs the rule over one file.
 pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if file.path != UNSAFE_MODULE {
+    if !UNSAFE_MODULES.contains(&file.path.as_str()) {
         for token in &file.tokens {
             if token.is_ident("unsafe") {
                 out.push(Diagnostic {
@@ -30,8 +32,9 @@ pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                     line: token.line,
                     rule: RULE,
                     message: format!(
-                        "`unsafe` is only permitted in {UNSAFE_MODULE}; \
-                         raw syscalls are confined there"
+                        "`unsafe` is only permitted in {}; \
+                         raw syscalls are confined there",
+                        UNSAFE_MODULES.join(", ")
                     ),
                 });
             }
@@ -40,16 +43,16 @@ pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     if !is_crate_root(&file.path) {
         return;
     }
-    if file.path == NET_ROOT {
-        // `forbid` would reject the audited sys module, so the net root
-        // must carry at least `deny` (forbid is accepted as stricter).
+    if DENY_ROOTS.contains(&file.path.as_str()) {
+        // `forbid` would reject the crate's audited unsafe module, so these
+        // roots must carry at least `deny` (forbid is accepted as stricter).
         if !has_lint_attr(file, "deny") && !has_lint_attr(file, "forbid") {
             out.push(Diagnostic {
                 file: file.path.clone(),
                 line: 1,
                 rule: RULE,
                 message: "crate root is missing #![deny(unsafe_code)] \
-                          (the audited FFI crate must still deny by default)"
+                          (crates with an audited FFI module must still deny by default)"
                     .to_owned(),
             });
         }
@@ -119,20 +122,14 @@ mod tests {
     }
 
     #[test]
-    fn net_root_requires_deny_and_accepts_forbid() {
-        assert!(run(
-            "crates/net/src/lib.rs",
-            "#![deny(unsafe_code)]\npub mod sys;",
-        )
-        .is_empty());
-        assert!(run(
-            "crates/net/src/lib.rs",
-            "#![forbid(unsafe_code)]\npub fn f() {}",
-        )
-        .is_empty());
-        let diags = run("crates/net/src/lib.rs", "pub mod sys;");
-        assert_eq!(diags.len(), 1);
-        assert!(diags[0].message.contains("deny(unsafe_code)"));
+    fn deny_roots_require_deny_and_accept_forbid() {
+        for root in DENY_ROOTS {
+            assert!(run(root, "#![deny(unsafe_code)]\npub mod sys;").is_empty());
+            assert!(run(root, "#![forbid(unsafe_code)]\npub fn f() {}").is_empty());
+            let diags = run(root, "pub mod sys;");
+            assert_eq!(diags.len(), 1, "{root}");
+            assert!(diags[0].message.contains("deny(unsafe_code)"));
+        }
     }
 
     #[test]
@@ -143,7 +140,7 @@ mod tests {
     }
 
     #[test]
-    fn unsafe_tokens_outside_the_sys_module_are_flagged() {
+    fn unsafe_tokens_outside_audited_modules_are_flagged() {
         let diags = run(
             "crates/core/src/seeker.rs",
             "fn f() {\n    unsafe { fast_path() }\n}",
@@ -151,15 +148,27 @@ mod tests {
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].line, 2);
         assert!(diags[0].message.contains("crates/net/src/sys.rs"));
+        assert!(diags[0].message.contains("crates/catalog/src/map.rs"));
+        // The catalog's unsafe surface is map.rs alone — not the rest of
+        // the crate, even though its root only denies.
+        assert_eq!(
+            run(
+                "crates/catalog/src/vsc2.rs",
+                "fn f() { unsafe { fast_path() } }",
+            )
+            .len(),
+            1
+        );
     }
 
     #[test]
-    fn unsafe_inside_the_sys_module_is_permitted() {
-        assert!(run(
-            "crates/net/src/sys.rs",
-            "pub fn f() { unsafe { syscall() } }",
-        )
-        .is_empty());
+    fn unsafe_inside_audited_modules_is_permitted() {
+        for module in UNSAFE_MODULES {
+            assert!(
+                run(module, "pub fn f() { unsafe { syscall() } }").is_empty(),
+                "{module}"
+            );
+        }
     }
 
     #[test]

@@ -173,12 +173,18 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is a valid &str).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().ok_or_else(|| self.err("empty input"))?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume a maximal run of plain characters in one go.
+                    // Both delimiters (`"` and `\`) are ASCII and UTF-8
+                    // continuation bytes are >= 0x80, so a bytewise scan
+                    // stops on char boundaries and the run is valid UTF-8
+                    // (the input is a valid &str).
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    let run = &self.bytes[start..self.pos];
+                    let s = std::str::from_utf8(run).map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
                 }
             }
         }
