@@ -201,14 +201,11 @@ impl FeatureMatrix {
         self.raw.is_empty()
     }
 
-    /// The normalized feature row of view `i` (each entry in `[0, 1]`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i` is out of range.
+    /// The normalized feature row of view `i` (each entry in `[0, 1]`);
+    /// empty for an out-of-range `i`.
     #[must_use]
     pub fn row(&self, i: usize) -> &[f64] {
-        &self.normalized[i]
+        self.normalized.get(i).map_or(&[], Vec::as_slice)
     }
 
     /// All normalized rows.
@@ -256,13 +253,23 @@ impl FeatureMatrix {
     pub fn renormalize(&mut self) {
         let n = self.raw.len();
         let mut columns: Vec<Vec<f64>> = (0..FEATURE_COUNT)
-            .map(|c| self.raw.iter().map(|r| r[c]).collect())
+            .map(|c| {
+                self.raw
+                    .iter()
+                    .map(|r| r.get(c).copied().unwrap_or_default())
+                    .collect()
+            })
             .collect();
         for col in &mut columns {
             min_max_normalize(col);
         }
         self.normalized = (0..n)
-            .map(|i| (0..FEATURE_COUNT).map(|c| columns[c][i]).collect())
+            .map(|i| {
+                columns
+                    .iter()
+                    .map(|col| col.get(i).copied().unwrap_or_default())
+                    .collect()
+            })
             .collect();
     }
 }

@@ -277,14 +277,18 @@ impl Recorder {
         let inner = self.lock();
         TracePhase::ALL
             .iter()
-            .map(|&p| (p, inner.totals[p.index()]))
+            .map(|&p| (p, inner.totals.get(p.index()).copied().unwrap_or_default()))
             .collect()
     }
 
     /// Cumulative stats for one phase.
     #[must_use]
     pub fn phase_total(&self, phase: TracePhase) -> PhaseTotal {
-        self.lock().totals[phase.index()]
+        self.lock()
+            .totals
+            .get(phase.index())
+            .copied()
+            .unwrap_or_default()
     }
 
     /// The retained recent iterations, oldest first.

@@ -119,9 +119,11 @@ impl GroupPlan {
         })
     }
 
-    /// The spec of group `g`.
-    fn spec_of(&self, g: usize) -> &BinSpec {
-        &self.specs[self.group_specs[g]]
+    /// The spec of group `g`; `None` for an out-of-range group (the plan
+    /// builder assigns every group a spec, so callers treat that as an
+    /// internal invariant violation).
+    fn spec_of(&self, g: usize) -> Option<&BinSpec> {
+        self.specs.get(self.group_specs.get(g).copied()?)
     }
 }
 
@@ -205,10 +207,18 @@ pub fn materialize_all(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("materialization worker panicked"))
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(CoreError::Invalid("materialization worker panicked".into()))
+                })
+            })
             .collect()
     })
-    .expect("crossbeam scope failed");
+    .unwrap_or_else(|_| {
+        vec![Err(CoreError::Invalid(
+            "materialization scope panicked".into(),
+        ))]
+    });
 
     let mut out = Vec::with_capacity(defs.len());
     for r in results {
@@ -248,8 +258,12 @@ pub fn materialize_all_shared(
         .keys
         .iter()
         .enumerate()
-        .map(|(g, key)| (key, plan.spec_of(g)))
-        .collect();
+        .map(|(g, key)| {
+            plan.spec_of(g)
+                .map(|spec| (key, spec))
+                .ok_or_else(|| CoreError::Invalid(format!("scan group {g} has no bin spec")))
+        })
+        .collect::<Result<_, _>>()?;
 
     let compute_group = |&(key, spec): &(&GroupKey, &BinSpec)| -> Result<GroupData, CoreError> {
         let (dimension, _bins, measure) = key;
@@ -279,10 +293,20 @@ pub fn materialize_all_shared(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shared materialization worker panicked"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(CoreError::Invalid(
+                            "shared materialization worker panicked".into(),
+                        ))
+                    })
+                })
                 .collect()
         })
-        .expect("crossbeam scope failed");
+        .unwrap_or_else(|_| {
+            vec![Err(CoreError::Invalid(
+                "shared materialization scope panicked".into(),
+            ))]
+        });
         let mut out = Vec::with_capacity(work.len());
         for r in results {
             out.extend(r?);
@@ -295,7 +319,9 @@ pub fn materialize_all_shared(
         .iter()
         .zip(&plan.view_groups)
         .map(|(def, &g)| {
-            let group = &groups[g];
+            let group = groups.get(g).ok_or_else(|| {
+                CoreError::Invalid(format!("view maps to missing scan group {g}"))
+            })?;
             Ok(ViewData {
                 target: Distribution::from_aggregates(group.target.aggregates(def.aggregate))?,
                 reference: Distribution::from_aggregates(
@@ -360,7 +386,7 @@ pub fn materialize_all_fused_with_stats(
     threads: usize,
 ) -> Result<(Vec<ViewData>, FusedScanStats), CoreError> {
     let plan = GroupPlan::build(table, space)?;
-    let requests = plan.requests();
+    let requests = plan.requests()?;
     let (groups, stats) = fused_group_by_all(table, dq, dr, &requests, threads)?;
     let views = views_from_groups(space, &plan.view_groups, &requests, &groups)?;
     Ok((views, stats))
@@ -368,14 +394,19 @@ pub fn materialize_all_fused_with_stats(
 
 impl GroupPlan {
     /// The plan's groups as executor requests, in group order.
-    fn requests(&self) -> Vec<GroupRequest> {
+    fn requests(&self) -> Result<Vec<GroupRequest>, CoreError> {
         self.keys
             .iter()
             .enumerate()
-            .map(|(g, (dimension, _bins, measure))| GroupRequest {
-                dimension: dimension.clone(),
-                spec: self.spec_of(g).clone(),
-                measure: measure.clone(),
+            .map(|(g, (dimension, _bins, measure))| {
+                let spec = self
+                    .spec_of(g)
+                    .ok_or_else(|| CoreError::Invalid(format!("scan group {g} has no bin spec")))?;
+                Ok(GroupRequest {
+                    dimension: dimension.clone(),
+                    spec: spec.clone(),
+                    measure: measure.clone(),
+                })
             })
             .collect()
     }
@@ -393,7 +424,12 @@ fn views_from_groups(
         .iter()
         .zip(view_groups)
         .map(|(def, &g)| {
-            let group = &groups[g];
+            let group = groups.get(g).ok_or_else(|| {
+                CoreError::Invalid(format!("view maps to missing scan group {g}"))
+            })?;
+            let request = requests
+                .get(g)
+                .ok_or_else(|| CoreError::Invalid(format!("scan group {g} has no request")))?;
             Ok(ViewData {
                 target: Distribution::from_aggregates(group.target.aggregates(def.aggregate))?,
                 reference: Distribution::from_aggregates(
@@ -401,7 +437,7 @@ fn views_from_groups(
                 )?,
                 target_rows: group.target.total_rows(),
                 dispersion: group.target.dispersion,
-                bins: requests[g].spec.bin_count(),
+                bins: request.spec.bin_count(),
             })
         })
         .collect()
@@ -441,7 +477,7 @@ pub fn materialize_all_fused_pruned(
     threads: usize,
 ) -> Result<(Vec<ViewData>, RowSet, FusedScanStats, FusedRetained), CoreError> {
     let plan = GroupPlan::build(table, space)?;
-    let requests = plan.requests();
+    let requests = plan.requests()?;
     let (raw, dq, stats) = fused_group_by_all_pruned(table, zones, predicate, &requests, threads)?;
     let views = views_from_groups(space, &plan.view_groups, &requests, &raw.finalize())?;
     Ok((

@@ -83,6 +83,75 @@ impl GroupByResult {
     }
 }
 
+/// Per-bin running accumulator shared by every single-pass scan in this
+/// module. One accumulator per bin replaces the older struct-of-arrays
+/// layout so the hot loop performs a single bounds check per row.
+#[derive(Debug, Clone, Copy)]
+struct BinAcc {
+    count: u64,
+    sum: f64,
+    sq_sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl BinAcc {
+    const EMPTY: BinAcc = BinAcc {
+        count: 0,
+        sum: 0.0,
+        sq_sum: 0.0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+    };
+}
+
+/// The shared scan: bins the dimension with `spec`, then accumulates count,
+/// sum, sum of squares, min, and max of the measure for every selected row.
+fn scan_bins(
+    table: &Table,
+    rows: &RowSet,
+    dimension: &str,
+    spec: &BinSpec,
+    measure: &str,
+) -> Result<Vec<BinAcc>, DatasetError> {
+    let dim_col = table.column_by_name(dimension)?;
+    let measure_vals = table.numeric_values(measure)?;
+    let bins = spec.assign(dim_col)?;
+
+    let mut accs = vec![BinAcc::EMPTY; spec.bin_count()];
+    for &row in rows.ids() {
+        let row = row as usize;
+        let Some(&b) = bins.get(row) else {
+            return Err(DatasetError::IndexOutOfRange {
+                index: row,
+                len: bins.len(),
+            });
+        };
+        let Some(&v) = measure_vals.get(row) else {
+            return Err(DatasetError::IndexOutOfRange {
+                index: row,
+                len: measure_vals.len(),
+            });
+        };
+        let Some(acc) = accs.get_mut(b as usize) else {
+            return Err(DatasetError::IndexOutOfRange {
+                index: b as usize,
+                len: accs.len(),
+            });
+        };
+        acc.count += 1;
+        acc.sum += v;
+        acc.sq_sum += v * v;
+        if v < acc.min {
+            acc.min = v;
+        }
+        if v > acc.max {
+            acc.max = v;
+        }
+    }
+    Ok(accs)
+}
+
 /// Executes `SELECT dimension, func(measure) GROUP BY dimension` over the
 /// rows of `rows`, binning the dimension with `spec`.
 ///
@@ -98,52 +167,24 @@ pub fn group_by_aggregate(
     measure: &str,
     func: AggregateFunction,
 ) -> Result<GroupByResult, DatasetError> {
-    let dim_col = table.column_by_name(dimension)?;
-    let measure_vals = table.numeric_values(measure)?;
-    let bins = spec.assign(dim_col)?;
-    let n_bins = spec.bin_count();
-
-    let mut counts = vec![0u64; n_bins];
-    let mut sums = vec![0.0f64; n_bins];
-    let mut mins = vec![f64::INFINITY; n_bins];
-    let mut maxs = vec![f64::NEG_INFINITY; n_bins];
-
-    for &row in rows.ids() {
-        let row = row as usize;
-        if row >= bins.len() {
-            return Err(DatasetError::IndexOutOfRange {
-                index: row,
-                len: bins.len(),
-            });
-        }
-        let b = bins[row] as usize;
-        let v = measure_vals[row];
-        counts[b] += 1;
-        sums[b] += v;
-        if v < mins[b] {
-            mins[b] = v;
-        }
-        if v > maxs[b] {
-            maxs[b] = v;
-        }
-    }
-
-    let aggregates = (0..n_bins)
-        .map(|b| {
-            if counts[b] == 0 {
+    let accs = scan_bins(table, rows, dimension, spec, measure)?;
+    let aggregates = accs
+        .iter()
+        .map(|acc| {
+            if acc.count == 0 {
                 0.0
             } else {
                 match func {
-                    AggregateFunction::Count => counts[b] as f64,
-                    AggregateFunction::Sum => sums[b],
-                    AggregateFunction::Avg => sums[b] / counts[b] as f64,
-                    AggregateFunction::Min => mins[b],
-                    AggregateFunction::Max => maxs[b],
+                    AggregateFunction::Count => acc.count as f64,
+                    AggregateFunction::Sum => acc.sum,
+                    AggregateFunction::Avg => acc.sum / acc.count as f64,
+                    AggregateFunction::Min => acc.min,
+                    AggregateFunction::Max => acc.max,
                 }
             }
         })
         .collect();
-
+    let counts = accs.iter().map(|acc| acc.count).collect();
     Ok(GroupByResult { aggregates, counts })
 }
 
@@ -165,40 +206,18 @@ pub fn within_bin_dispersion(
     spec: &BinSpec,
     measure: &str,
 ) -> Result<f64, DatasetError> {
-    let dim_col = table.column_by_name(dimension)?;
-    let measure_vals = table.numeric_values(measure)?;
-    let bins = spec.assign(dim_col)?;
-    let n_bins = spec.bin_count();
-
-    // Single-pass variance via sum and sum of squares per bin.
-    let mut counts = vec![0u64; n_bins];
-    let mut sums = vec![0.0f64; n_bins];
-    let mut sq_sums = vec![0.0f64; n_bins];
-    for &row in rows.ids() {
-        let row = row as usize;
-        if row >= bins.len() {
-            return Err(DatasetError::IndexOutOfRange {
-                index: row,
-                len: bins.len(),
-            });
-        }
-        let b = bins[row] as usize;
-        let v = measure_vals[row];
-        counts[b] += 1;
-        sums[b] += v;
-        sq_sums[b] += v * v;
-    }
-
-    let total: u64 = counts.iter().sum::<u64>();
+    // Single-pass variance via the shared per-bin sum / sum-of-squares scan.
+    let accs = scan_bins(table, rows, dimension, spec, measure)?;
+    let total = accs.iter().map(|acc| acc.count).sum::<u64>();
     if total == 0 {
         return Ok(0.0);
     }
     let mut sse = 0.0;
-    for b in 0..n_bins {
-        if counts[b] > 0 {
-            let n = counts[b] as f64;
+    for acc in &accs {
+        if acc.count > 0 {
+            let n = acc.count as f64;
             // Σ(v−mean)² = Σv² − (Σv)²/n ; clamp tiny negative round-off.
-            sse += (sq_sums[b] - sums[b] * sums[b] / n).max(0.0);
+            sse += (acc.sq_sum - acc.sum * acc.sum / n).max(0.0);
         }
     }
     Ok(sse / total as f64)
@@ -263,51 +282,32 @@ pub fn group_by_all(
     spec: &BinSpec,
     measure: &str,
 ) -> Result<GroupByAllResult, DatasetError> {
-    let dim_col = table.column_by_name(dimension)?;
-    let measure_vals = table.numeric_values(measure)?;
-    let bins = spec.assign(dim_col)?;
-    let n_bins = spec.bin_count();
+    let accs = scan_bins(table, rows, dimension, spec, measure)?;
+    let total = accs.iter().map(|acc| acc.count).sum::<u64>();
 
-    let mut counts = vec![0u64; n_bins];
-    let mut sums = vec![0.0f64; n_bins];
-    let mut sq_sums = vec![0.0f64; n_bins];
-    let mut mins = vec![f64::INFINITY; n_bins];
-    let mut maxs = vec![f64::NEG_INFINITY; n_bins];
-
-    for &row in rows.ids() {
-        let row = row as usize;
-        if row >= bins.len() {
-            return Err(DatasetError::IndexOutOfRange {
-                index: row,
-                len: bins.len(),
-            });
-        }
-        let b = bins[row] as usize;
-        let v = measure_vals[row];
-        counts[b] += 1;
-        sums[b] += v;
-        sq_sums[b] += v * v;
-        if v < mins[b] {
-            mins[b] = v;
-        }
-        if v > maxs[b] {
-            maxs[b] = v;
-        }
-    }
-
-    let total: u64 = counts.iter().sum::<u64>();
+    let n_bins = accs.len();
+    let mut counts = Vec::with_capacity(n_bins);
+    let mut count_values = Vec::with_capacity(n_bins);
+    let mut sums = Vec::with_capacity(n_bins);
+    let mut avgs = Vec::with_capacity(n_bins);
+    let mut mins = Vec::with_capacity(n_bins);
+    let mut maxs = Vec::with_capacity(n_bins);
     let mut sse = 0.0;
-    let mut count_values = vec![0.0; n_bins];
-    let mut avgs = vec![0.0; n_bins];
-    for b in 0..n_bins {
-        if counts[b] == 0 {
-            mins[b] = 0.0;
-            maxs[b] = 0.0;
+    for acc in &accs {
+        counts.push(acc.count);
+        sums.push(acc.sum);
+        if acc.count == 0 {
+            count_values.push(0.0);
+            avgs.push(0.0);
+            mins.push(0.0);
+            maxs.push(0.0);
         } else {
-            let n = counts[b] as f64;
-            count_values[b] = n;
-            avgs[b] = sums[b] / n;
-            sse += (sq_sums[b] - sums[b] * sums[b] / n).max(0.0);
+            let n = acc.count as f64;
+            count_values.push(n);
+            avgs.push(acc.sum / n);
+            mins.push(acc.min);
+            maxs.push(acc.max);
+            sse += (acc.sq_sum - acc.sum * acc.sum / n).max(0.0);
         }
     }
     let dispersion = if total == 0 { 0.0 } else { sse / total as f64 };

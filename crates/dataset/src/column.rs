@@ -257,7 +257,7 @@ impl Column {
             Column::Categorical { dictionary, .. } => dictionary.len(),
             Column::Numeric(values) => {
                 let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
-                sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+                sorted.sort_by(f64::total_cmp);
                 sorted.dedup();
                 sorted.len()
             }

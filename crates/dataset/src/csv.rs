@@ -70,10 +70,12 @@ pub fn read_csv<R: BufRead>(schema: &Schema, input: R) -> Result<Table, DatasetE
                 schema.len()
             )));
         }
-        for (i, (field, meta)) in record.iter().zip(schema.columns()).enumerate() {
+        let fields = record.iter().zip(schema.columns());
+        for ((field, meta), (cat, num)) in fields.zip(cat_data.iter_mut().zip(num_data.iter_mut()))
+        {
             match meta.column_type {
-                ColumnType::Categorical => cat_data[i].push(field.clone()),
-                ColumnType::Numeric => num_data[i].push(field.parse::<f64>().map_err(|_| {
+                ColumnType::Categorical => cat.push(field.clone()),
+                ColumnType::Numeric => num.push(field.parse::<f64>().map_err(|_| {
                     DatasetError::Csv(format!("cannot parse {field:?} as a number"))
                 })?),
             }
@@ -83,10 +85,10 @@ pub fn read_csv<R: BufRead>(schema: &Schema, input: R) -> Result<Table, DatasetE
     let columns = schema
         .columns()
         .iter()
-        .enumerate()
-        .map(|(i, meta)| match meta.column_type {
-            ColumnType::Categorical => Column::categorical_from_values(&cat_data[i]),
-            ColumnType::Numeric => Column::numeric(std::mem::take(&mut num_data[i])),
+        .zip(cat_data.iter().zip(num_data.iter_mut()))
+        .map(|(meta, (cat, num))| match meta.column_type {
+            ColumnType::Categorical => Column::categorical_from_values(cat),
+            ColumnType::Numeric => Column::numeric(std::mem::take(num)),
         })
         .collect();
     Table::new(schema.clone(), columns)

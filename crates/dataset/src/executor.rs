@@ -151,28 +151,33 @@ impl AccBlock {
     /// NaN discipline (a NaN never becomes a minimum or maximum).
     #[inline]
     fn accumulate(&mut self, base: usize, vals: &[f64]) {
-        let m = vals.len();
-        let sums = &mut self.sums[base..base + m];
-        let sq_sums = &mut self.sq_sums[base..base + m];
-        let mins = &mut self.mins[base..base + m];
-        let maxs = &mut self.maxs[base..base + m];
+        let end = base + vals.len();
+        let (Some(sums), Some(sq_sums), Some(mins), Some(maxs)) = (
+            self.sums.get_mut(base..end),
+            self.sq_sums.get_mut(base..end),
+            self.mins.get_mut(base..end),
+            self.maxs.get_mut(base..end),
+        ) else {
+            debug_assert!(false, "accumulator slot range out of bounds");
+            return;
+        };
         // One loop per accumulator array (not one interleaved loop): LLVM's
         // vectorizers give up on the four-way interleaved store pattern but
         // pack each single-array loop — measurably ~1.6x on the whole scan.
-        for j in 0..m {
-            sums[j] += vals[j];
+        for (s, &v) in sums.iter_mut().zip(vals) {
+            *s += v;
         }
-        for j in 0..m {
-            sq_sums[j] += vals[j] * vals[j];
+        for (s, &v) in sq_sums.iter_mut().zip(vals) {
+            *s += v * v;
         }
         // Branchless selects (not `f64::min`/`max`, whose NaN handling
         // differs): the comparison is false for NaN, keeping the old
         // value, and the unconditional stores vectorize.
-        for j in 0..m {
-            mins[j] = if vals[j] < mins[j] { vals[j] } else { mins[j] };
+        for (slot, &v) in mins.iter_mut().zip(vals) {
+            *slot = if v < *slot { v } else { *slot };
         }
-        for j in 0..m {
-            maxs[j] = if vals[j] > maxs[j] { vals[j] } else { maxs[j] };
+        for (slot, &v) in maxs.iter_mut().zip(vals) {
+            *slot = if v > *slot { v } else { *slot };
         }
     }
 
@@ -182,17 +187,28 @@ impl AccBlock {
     /// partial minimum of `+∞` (empty or all-NaN partition) never
     /// overwrites anything.
     fn merge_half(&mut self, other: &AccBlock, cnt_off: usize, val_off: usize) {
-        for i in 0..self.counts.len() {
-            self.counts[i] += other.counts[cnt_off + i];
+        let o_counts = other.counts.get(cnt_off..).unwrap_or(&[]);
+        for (c, o) in self.counts.iter_mut().zip(o_counts) {
+            *c += o;
         }
-        for i in 0..self.sums.len() {
-            self.sums[i] += other.sums[val_off + i];
-            self.sq_sums[i] += other.sq_sums[val_off + i];
-            if other.mins[val_off + i] < self.mins[i] {
-                self.mins[i] = other.mins[val_off + i];
+        let o_sums = other.sums.get(val_off..).unwrap_or(&[]);
+        for (s, o) in self.sums.iter_mut().zip(o_sums) {
+            *s += o;
+        }
+        let o_sq_sums = other.sq_sums.get(val_off..).unwrap_or(&[]);
+        for (s, o) in self.sq_sums.iter_mut().zip(o_sq_sums) {
+            *s += o;
+        }
+        let o_mins = other.mins.get(val_off..).unwrap_or(&[]);
+        for (slot, &o) in self.mins.iter_mut().zip(o_mins) {
+            if o < *slot {
+                *slot = o;
             }
-            if other.maxs[val_off + i] > self.maxs[i] {
-                self.maxs[i] = other.maxs[val_off + i];
+        }
+        let o_maxs = other.maxs.get(val_off..).unwrap_or(&[]);
+        for (slot, &o) in self.maxs.iter_mut().zip(o_maxs) {
+            if o > *slot {
+                *slot = o;
             }
         }
     }
@@ -343,12 +359,17 @@ fn scan_rows(
             for &row in rows {
                 let r = row as usize;
                 for (v, col) in vals.iter_mut().zip(cols) {
-                    *v = col[r];
+                    *v = col.get(r).copied().unwrap_or_default();
                 }
-                let miss = usize::from(!mask[r]);
+                let miss = usize::from(!mask.get(r).copied().unwrap_or(false));
                 for scan in scans {
-                    let bin = scan.bins[r] as usize;
-                    block.counts[miss * cnt_stride + scan.cnt_base + bin] += 1;
+                    let bin = scan.bins.get(r).map_or(0, |&b| b as usize);
+                    if let Some(c) = block
+                        .counts
+                        .get_mut(miss * cnt_stride + scan.cnt_base + bin)
+                    {
+                        *c += 1;
+                    }
                     block.accumulate(miss * val_stride + scan.val_base + bin * m, &vals);
                 }
             }
@@ -375,32 +396,52 @@ struct Bucket {
 fn finalize_request(block: &AccBlock, bucket: &Bucket, member: usize) -> GroupByAllResult {
     let n_bins = bucket.n_bins;
     let m = bucket.members.len();
-    let mut counts = vec![0u64; n_bins];
-    let mut count_values = vec![0.0; n_bins];
-    let mut sums = vec![0.0; n_bins];
-    let mut avgs = vec![0.0; n_bins];
-    let mut mins = vec![0.0; n_bins];
-    let mut maxs = vec![0.0; n_bins];
+    let bin_counts = block
+        .counts
+        .get(bucket.cnt_base..bucket.cnt_base + n_bins)
+        .unwrap_or(&[]);
+    let mut counts = Vec::with_capacity(n_bins);
+    let mut count_values = Vec::with_capacity(n_bins);
+    let mut sums = Vec::with_capacity(n_bins);
+    let mut avgs = Vec::with_capacity(n_bins);
+    let mut mins = Vec::with_capacity(n_bins);
+    let mut maxs = Vec::with_capacity(n_bins);
     let mut total = 0u64;
     let mut sse = 0.0;
-    for b in 0..n_bins {
-        let c = block.counts[bucket.cnt_base + b];
-        counts[b] = c;
+    for (b, &c) in bin_counts.iter().enumerate() {
+        counts.push(c);
         total += c;
-        if c == 0 {
+        let slot = bucket.val_base + b * m + member;
+        let stats = if c == 0 {
             // Empty bin: keep the 0.0 min/max/avg defaults — the ±∞
             // sentinels never leak out of the block.
-            continue;
+            None
+        } else {
+            match (
+                block.sums.get(slot),
+                block.sq_sums.get(slot),
+                block.mins.get(slot),
+                block.maxs.get(slot),
+            ) {
+                (Some(&sum), Some(&sq), Some(&mn), Some(&mx)) => Some((sum, sq, mn, mx)),
+                _ => None,
+            }
+        };
+        if let Some((sum, sq, mn, mx)) = stats {
+            let n = c as f64;
+            count_values.push(n);
+            sums.push(sum);
+            avgs.push(sum / n);
+            mins.push(mn);
+            maxs.push(mx);
+            sse += (sq - sum * sum / n).max(0.0);
+        } else {
+            count_values.push(0.0);
+            sums.push(0.0);
+            avgs.push(0.0);
+            mins.push(0.0);
+            maxs.push(0.0);
         }
-        let slot = bucket.val_base + b * m + member;
-        let sum = block.sums[slot];
-        let n = c as f64;
-        count_values[b] = n;
-        sums[b] = sum;
-        avgs[b] = sum / n;
-        mins[b] = block.mins[slot];
-        maxs[b] = block.maxs[slot];
-        sse += (block.sq_sums[slot] - sum * sum / n).max(0.0);
     }
     let dispersion = if total == 0 { 0.0 } else { sse / total as f64 };
 
@@ -559,7 +600,11 @@ pub fn fused_group_by_all_raw(
                 measures.len() - 1
             }
         };
-        let bucket = &mut buckets[assign];
+        let Some(bucket) = buckets.get_mut(assign) else {
+            return Err(DatasetError::Invalid(
+                "fused scan bucket index out of range".into(),
+            ));
+        };
         let member = match bucket.members.iter().position(|&mi| mi == measure) {
             Some(j) => j,
             None => {
@@ -580,7 +625,12 @@ pub fn fused_group_by_all_raw(
     // Per-bucket measure column slices, resolved once.
     let bucket_cols: Vec<Vec<&[f64]>> = buckets
         .iter()
-        .map(|b| b.members.iter().map(|&mi| measures[mi]).collect())
+        .map(|b| {
+            b.members
+                .iter()
+                .filter_map(|&mi| measures.get(mi).copied())
+                .collect()
+        })
         .collect();
     // Buckets sharing one member list (the common case: every dimension ×
     // the same measures) also share one row-major packed-value buffer per
@@ -611,10 +661,12 @@ pub fn fused_group_by_all_raw(
                 .iter()
                 .zip(&bucket_set)
                 .filter(|&(_, &s)| s == set)
-                .map(|(bucket, _)| BucketScan {
-                    bins: &assignments[bucket.assign],
-                    cnt_base: bucket.cnt_base,
-                    val_base: bucket.val_base,
+                .filter_map(|(bucket, _)| {
+                    assignments.get(bucket.assign).map(|bins| BucketScan {
+                        bins,
+                        cnt_base: bucket.cnt_base,
+                        val_base: bucket.val_base,
+                    })
                 })
                 .collect()
         })
@@ -623,7 +675,9 @@ pub fn fused_group_by_all_raw(
     // Target membership bitmap, built once.
     let mut dq_mask = vec![false; n_rows];
     for &r in dq.ids() {
-        dq_mask[r as usize] = true;
+        if let Some(slot) = dq_mask.get_mut(r as usize) {
+            *slot = true;
+        }
     }
     // Target rows the reference scan will not visit (DQ ⊄ DR happens when
     // both sets are α-sampled independently).
@@ -634,10 +688,10 @@ pub fn fused_group_by_all_raw(
             .iter()
             .copied()
             .filter(|&q| {
-                while i < dr_ids.len() && dr_ids[i] < q {
+                while dr_ids.get(i).is_some_and(|&d| d < q) {
                     i += 1;
                 }
-                !(i < dr_ids.len() && dr_ids[i] == q)
+                dr_ids.get(i) != Some(&q)
             })
             .collect()
     };
@@ -674,13 +728,13 @@ pub fn fused_group_by_all_raw(
         // Double-size block: [0, slots) is the target-hit half,
         // [slots, 2·slots) the complement half.
         let mut block = AccBlock::new(2 * count_slots, 2 * value_slots);
-        let rows = &dr_ids[start..end];
-        for (set, scans) in set_scans.iter().enumerate() {
+        let rows = dr_ids.get(start..end).unwrap_or(&[]);
+        for (scans, cols) in set_scans.iter().zip(&set_cols) {
             scan_rows(
                 &mut block,
                 scans,
                 rows,
-                set_cols[set],
+                cols,
                 &dq_mask,
                 count_slots,
                 value_slots,
@@ -705,11 +759,17 @@ pub fn fused_group_by_all_raw(
                     s.spawn(move || slice.iter().map(|&p| scan_partition(p)).collect::<Vec<_>>())
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("fused scan worker panicked"))
-                .collect()
-        })
+            let mut all = Vec::with_capacity(n_parts);
+            for h in handles {
+                match h.join() {
+                    Ok(blocks) => all.extend(blocks),
+                    Err(_) => {
+                        return Err(DatasetError::Invalid("fused scan worker panicked".into()))
+                    }
+                }
+            }
+            Ok(all)
+        })?
     };
 
     // Strict left fold in ascending partition order — the determinism
@@ -732,16 +792,22 @@ pub fn fused_group_by_all_raw(
     // always after the fold so the order never depends on `threads`.
     let mut vals: Vec<f64> = Vec::new();
     for (bucket, cols) in buckets.iter().zip(&bucket_cols) {
-        let bins = &assignments[bucket.assign];
+        let Some(bins) = assignments.get(bucket.assign) else {
+            return Err(DatasetError::Invalid(
+                "fused scan bucket lost its bin assignment".into(),
+            ));
+        };
         vals.clear();
         vals.resize(cols.len(), 0.0);
         for &row in &dq_extra {
             let row = row as usize;
             for (v, col) in vals.iter_mut().zip(cols) {
-                *v = col[row];
+                *v = col.get(row).copied().unwrap_or_default();
             }
-            let bin = bins[row] as usize;
-            target.counts[bucket.cnt_base + bin] += 1;
+            let bin = bins.get(row).map_or(0, |&b| b as usize);
+            if let Some(c) = target.counts.get_mut(bucket.cnt_base + bin) {
+                *c += 1;
+            }
             target.accumulate(bucket.val_base + bin * cols.len(), &vals);
         }
     }
@@ -794,9 +860,12 @@ impl RawAggregates {
     pub fn finalize(&self) -> Vec<FusedGroupResult> {
         self.request_slots
             .iter()
-            .map(|&(bucket, member)| FusedGroupResult {
-                target: finalize_request(&self.target, &self.buckets[bucket], member),
-                reference: finalize_request(&self.reference, &self.buckets[bucket], member),
+            .filter_map(|&(bucket, member)| {
+                let bucket = self.buckets.get(bucket)?;
+                Some(FusedGroupResult {
+                    target: finalize_request(&self.target, bucket, member),
+                    reference: finalize_request(&self.reference, bucket, member),
+                })
             })
             .collect()
     }

@@ -147,17 +147,20 @@ pub fn generate_diab(config: &DiabConfig) -> Result<Table, DatasetError> {
         let effects: Vec<Vec<f64>> = chosen
             .iter()
             .map(|&d| {
-                (0..config.dimension_cardinalities[d])
-                    .map(|_| rng.gen_range(-3.0..3.0))
-                    .collect()
+                let cardinality = config.dimension_cardinalities.get(d).copied().unwrap_or(0);
+                (0..cardinality).map(|_| rng.gen_range(-3.0..3.0)).collect()
             })
             .collect();
 
         let values: Vec<f64> = (0..config.rows)
             .map(|row| {
                 let mut v = base;
-                for (ci, &d) in chosen.iter().enumerate() {
-                    v += effects[ci][dim_codes[d][row] as usize];
+                for (effect, &d) in effects.iter().zip(&chosen) {
+                    let code = dim_codes
+                        .get(d)
+                        .and_then(|codes| codes.get(row))
+                        .map_or(0, |&c| c as usize);
+                    v += effect.get(code).copied().unwrap_or_default();
                 }
                 v + noise.sample(&mut rng)
             })

@@ -173,14 +173,18 @@ fn eval_membership(table: &Table, column: &str, values: &[String]) -> Result<Row
     // Translate values to codes once, then scan the code vector.
     let mut wanted = vec![false; dictionary.len()];
     for v in values {
-        if let Some(code) = dictionary.iter().position(|d| d == v) {
-            wanted[code] = true;
+        if let Some(slot) = dictionary
+            .iter()
+            .position(|d| d == v)
+            .and_then(|code| wanted.get_mut(code))
+        {
+            *slot = true;
         }
     }
     let ids = codes
         .iter()
         .enumerate()
-        .filter(|(_, c)| wanted[**c as usize])
+        .filter(|(_, c)| wanted.get(**c as usize).copied().unwrap_or(false))
         .map(|(i, _)| i as u32)
         .collect();
     RowSet::from_sorted_ids(ids)

@@ -30,7 +30,9 @@ pub fn bernoulli_sample(rows: &RowSet, fraction: f64, seed: u64) -> RowSet {
         .copied()
         .filter(|_| rng.gen::<f64>() < fraction)
         .collect();
-    RowSet::from_sorted_ids(ids).expect("filtering preserves sort order")
+    // Filtering a sorted id list preserves strict ordering, so this cannot
+    // fail; the fallback keeps the path panic-free regardless.
+    RowSet::from_sorted_ids(ids).unwrap_or_else(|_| RowSet::empty())
 }
 
 /// Draws exactly `min(k, rows.len())` rows uniformly without replacement,

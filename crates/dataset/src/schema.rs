@@ -57,7 +57,7 @@ impl Schema {
             return Err(DatasetError::Invalid("schema has no columns".into()));
         }
         for (i, c) in columns.iter().enumerate() {
-            if columns[..i].iter().any(|p| p.name == c.name) {
+            if columns.iter().take(i).any(|p| p.name == c.name) {
                 return Err(DatasetError::Invalid(format!(
                     "duplicate column name: {}",
                     c.name

@@ -52,7 +52,7 @@ impl RowSet {
     /// Returns [`DatasetError::Invalid`] if the ids are not strictly
     /// increasing.
     pub fn from_sorted_ids(ids: Vec<u32>) -> Result<Self, DatasetError> {
-        if ids.windows(2).any(|w| w[0] >= w[1]) {
+        if ids.iter().zip(ids.iter().skip(1)).any(|(a, b)| a >= b) {
             return Err(DatasetError::Invalid(
                 "ids must be strictly increasing".into(),
             ));
@@ -89,12 +89,12 @@ impl RowSet {
     pub fn intersect(&self, other: &RowSet) -> RowSet {
         let mut out = Vec::with_capacity(self.len().min(other.len()));
         let (mut i, mut j) = (0, 0);
-        while i < self.ids.len() && j < other.ids.len() {
-            match self.ids[i].cmp(&other.ids[j]) {
+        while let (Some(&a), Some(&b)) = (self.ids.get(i), other.ids.get(j)) {
+            match a.cmp(&b) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    out.push(self.ids[i]);
+                    out.push(a);
                     i += 1;
                     j += 1;
                 }

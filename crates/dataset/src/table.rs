@@ -76,14 +76,14 @@ impl Table {
         self.rows
     }
 
-    /// Column by index.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of range.
+    /// Column by index. Out-of-range indices yield a shared empty numeric
+    /// column rather than panicking.
     #[must_use]
     pub fn column(&self, index: usize) -> &Column {
-        &self.columns[index]
+        static EMPTY_COLUMN: std::sync::OnceLock<Column> = std::sync::OnceLock::new();
+        self.columns
+            .get(index)
+            .unwrap_or_else(|| EMPTY_COLUMN.get_or_init(|| Column::numeric(Vec::new())))
     }
 
     /// Column by name.
@@ -94,7 +94,7 @@ impl Table {
     pub fn column_by_name(&self, name: &str) -> Result<&Column, DatasetError> {
         self.schema
             .index_of(name)
-            .map(|i| &self.columns[i])
+            .and_then(|i| self.columns.get(i))
             .ok_or_else(|| DatasetError::UnknownColumn(name.to_owned()))
     }
 

@@ -83,7 +83,7 @@ impl RidgeRegression {
                 y.len()
             )));
         }
-        let d = x[0].len();
+        let d = x.first().map_or(0, Vec::len);
         if x.iter().any(|row| row.len() != d) {
             return Err(LearnError::DimensionMismatch(
                 "inconsistent feature dimensions".into(),
@@ -103,14 +103,17 @@ impl RidgeRegression {
         if self.config.fit_intercept {
             // Remove the ridge from the intercept column, but keep a tiny
             // jitter so the factorization cannot hit an exact zero pivot.
-            gram[(d, d)] += 1e-12 - self.config.lambda.max(0.0);
+            if let Some(slot) = gram.at_mut(d, d) {
+                *slot += 1e-12 - self.config.lambda.max(0.0);
+            }
         }
         let rhs = design.transpose_mul_vec(y)?;
-        let solution = gram.cholesky_solve(&rhs)?;
+        let mut solution = gram.cholesky_solve(&rhs)?;
 
         if self.config.fit_intercept {
-            self.intercept = solution[d];
-            self.weights = Some(solution[..d].to_vec());
+            // The intercept is the trailing column of the design matrix.
+            self.intercept = solution.pop().unwrap_or_default();
+            self.weights = Some(solution);
         } else {
             self.intercept = 0.0;
             self.weights = Some(solution);

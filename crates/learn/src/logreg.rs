@@ -90,7 +90,7 @@ impl LogisticRegression {
                 y.len()
             )));
         }
-        let d = x[0].len();
+        let d = x.first().map_or(0, Vec::len);
         if x.iter().any(|r| r.len() != d) {
             return Err(LearnError::DimensionMismatch(
                 "inconsistent feature dimensions".into(),

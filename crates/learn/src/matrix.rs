@@ -31,7 +31,9 @@ impl Matrix {
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
-            m[(i, i)] = 1.0;
+            if let Some(slot) = m.at_mut(i, i) {
+                *slot = 1.0;
+            }
         }
         m
     }
@@ -64,14 +66,27 @@ impl Matrix {
         self.cols
     }
 
-    /// A row as a slice.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `r` is out of range.
+    /// A row as a slice; empty for an out-of-range `r`.
     #[must_use]
     pub fn row(&self, r: usize) -> &[f64] {
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        let start = r * self.cols;
+        self.data
+            .get(start..start.saturating_add(self.cols))
+            .unwrap_or(&[])
+    }
+
+    /// The entry at `(r, c)`, or `0.0` out of range. The solvers below
+    /// only read coordinates their own loop bounds keep in range.
+    pub(crate) fn at(&self, r: usize, c: usize) -> f64 {
+        self.data
+            .get(r * self.cols + c)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Mutable entry at `(r, c)`; `None` out of range.
+    pub(crate) fn at_mut(&mut self, r: usize, c: usize) -> Option<&mut f64> {
+        self.data.get_mut(r * self.cols + c)
     }
 
     /// `Aᵀ A + λI` — the regularized Gram matrix of the design matrix, the
@@ -80,24 +95,29 @@ impl Matrix {
     pub fn gram_regularized(&self, lambda: f64) -> Matrix {
         let n = self.cols;
         let mut g = Matrix::zeros(n, n);
-        for r in 0..self.rows {
-            let row = self.row(r);
-            for i in 0..n {
-                let vi = row[i];
+        for row in self.data.chunks_exact(n.max(1)) {
+            for (i, &vi) in row.iter().enumerate() {
                 if vi == 0.0 {
                     continue;
                 }
-                for j in i..n {
-                    g[(i, j)] += vi * row[j];
+                // g[i][i..] += vi * row[i..] (upper triangle only).
+                let upper = g.data.iter_mut().skip(i * n + i);
+                for (gij, &vj) in upper.zip(row.iter().skip(i)) {
+                    *gij += vi * vj;
                 }
             }
         }
         // mirror the upper triangle and add the ridge.
         for i in 0..n {
             for j in 0..i {
-                g[(i, j)] = g[(j, i)];
+                let mirrored = g.at(j, i);
+                if let Some(slot) = g.at_mut(i, j) {
+                    *slot = mirrored;
+                }
             }
-            g[(i, i)] += lambda;
+            if let Some(diag) = g.at_mut(i, i) {
+                *diag += lambda;
+            }
         }
         g
     }
@@ -116,12 +136,12 @@ impl Matrix {
             )));
         }
         let mut out = vec![0.0; self.cols];
-        for (r, &yr) in y.iter().enumerate() {
+        for (row, &yr) in self.data.chunks_exact(self.cols.max(1)).zip(y) {
             if yr == 0.0 {
                 continue;
             }
-            for (c, v) in self.row(r).iter().enumerate() {
-                out[c] += v * yr;
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v * yr;
             }
         }
         Ok(out)
@@ -164,43 +184,69 @@ impl Matrix {
                 b.len()
             )));
         }
-        // Factorize into lower-triangular L.
+        // Factorize into lower-triangular L (row-major `n × n`).
         let mut l = vec![0.0; n * n];
         for i in 0..n {
             for j in 0..=i {
-                let mut sum = self[(i, j)];
-                for k in 0..j {
-                    sum -= l[i * n + k] * l[j * n + k];
-                }
+                // Σ_{k<j} L[i][k]·L[j][k], as a zip over the two row
+                // prefixes (the slice bounds encode the loop bounds).
+                let prod: f64 = l
+                    .get(i * n..i * n + j)
+                    .unwrap_or(&[])
+                    .iter()
+                    .zip(l.get(j * n..j * n + j).unwrap_or(&[]))
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let sum = self.at(i, j) - prod;
                 if i == j {
                     if sum <= 0.0 || !sum.is_finite() {
                         return Err(LearnError::Numerical(format!(
                             "matrix not positive definite at pivot {i} (value {sum})"
                         )));
                     }
-                    l[i * n + j] = sum.sqrt();
+                    if let Some(slot) = l.get_mut(i * n + j) {
+                        *slot = sum.sqrt();
+                    }
                 } else {
-                    l[i * n + j] = sum / l[j * n + j];
+                    let pivot = l.get(j * n + j).copied().unwrap_or_default();
+                    if let Some(slot) = l.get_mut(i * n + j) {
+                        *slot = sum / pivot;
+                    }
                 }
             }
         }
         // Forward substitution: L z = b.
         let mut z = vec![0.0; n];
         for i in 0..n {
-            let mut sum = b[i];
-            for k in 0..i {
-                sum -= l[i * n + k] * z[k];
+            let prod: f64 = l
+                .get(i * n..i * n + i)
+                .unwrap_or(&[])
+                .iter()
+                .zip(&z)
+                .map(|(a, b)| a * b)
+                .sum();
+            let sum = b.get(i).copied().unwrap_or_default() - prod;
+            let pivot = l.get(i * n + i).copied().unwrap_or_default();
+            if let Some(slot) = z.get_mut(i) {
+                *slot = sum / pivot;
             }
-            z[i] = sum / l[i * n + i];
         }
-        // Back substitution: Lᵀ x = z.
+        // Back substitution: Lᵀ x = z. L's column `i` below the diagonal
+        // is the strided walk starting at `(i+1, i)`.
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
-            let mut sum = z[i];
-            for k in i + 1..n {
-                sum -= l[k * n + i] * x[k];
+            let prod: f64 = l
+                .iter()
+                .skip((i + 1) * n + i)
+                .step_by(n.max(1))
+                .zip(x.iter().skip(i + 1))
+                .map(|(a, b)| a * b)
+                .sum();
+            let sum = z.get(i).copied().unwrap_or_default() - prod;
+            let pivot = l.get(i * n + i).copied().unwrap_or_default();
+            if let Some(slot) = x.get_mut(i) {
+                *slot = sum / pivot;
             }
-            x[i] = sum / l[i * n + i];
         }
         Ok(x)
     }

@@ -167,6 +167,76 @@ impl Histogram {
     }
 }
 
+/// A lock-free variant of [`Histogram`] for writers that must never
+/// block: the reactor records its loop-tick duration on the hot path,
+/// where a mutex shared with the scrape thread would stall every
+/// connection at once. Same fixed bucket layout; [`AtomicHistogram::snapshot`]
+/// materializes a plain mergeable [`Histogram`].
+///
+/// All operations are `Relaxed`: a scrape racing a record may observe a
+/// bucket increment before the matching `count` increment (or vice
+/// versa), which is fine for metrics — successive scrapes converge.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: Vec<std::sync::atomic::AtomicU64>,
+    count: std::sync::atomic::AtomicU64,
+    sum_us: std::sync::atomic::AtomicU64,
+    max_us: std::sync::atomic::AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: std::iter::repeat_with(std::sync::atomic::AtomicU64::default)
+                .take(BUCKETS)
+                .collect(),
+            count: std::sync::atomic::AtomicU64::new(0),
+            sum_us: std::sync::atomic::AtomicU64::new(0),
+            max_us: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation without taking any lock.
+    pub fn record(&self, us: u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        if let Some(slot) = self.counts.get(bucket_index(us)) {
+            slot.fetch_add(1, Relaxed);
+        }
+        self.count.fetch_add(1, Relaxed);
+        // Saturating add via CAS loop: latency sums can plausibly reach
+        // u64::MAX over a long uptime and must not wrap.
+        let mut cur = self.sum_us.load(Relaxed);
+        loop {
+            let next = cur.saturating_add(us);
+            match self.sum_us.compare_exchange(cur, next, Relaxed, Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.max_us.fetch_max(us, Relaxed);
+    }
+
+    /// A point-in-time copy as a plain [`Histogram`].
+    #[must_use]
+    pub fn snapshot(&self) -> Histogram {
+        use std::sync::atomic::Ordering::Relaxed;
+        Histogram {
+            counts: self.counts.iter().map(|c| c.load(Relaxed)).collect(),
+            count: self.count.load(Relaxed),
+            sum_us: self.sum_us.load(Relaxed),
+            max_us: self.max_us.load(Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,5 +333,40 @@ mod tests {
         for pair in buckets.windows(2) {
             assert!(pair[0].0 < pair[1].0);
         }
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_matches_plain_recording() {
+        let atomic = AtomicHistogram::new();
+        let mut plain = Histogram::new();
+        for v in [0, 3, 8, 100, 40_000, u64::MAX] {
+            atomic.record(v);
+            plain.record(v);
+        }
+        assert_eq!(atomic.snapshot(), plain);
+    }
+
+    #[test]
+    fn atomic_histogram_is_consistent_under_concurrent_writers() {
+        let atomic = AtomicHistogram::new();
+        std::thread::scope(|scope| {
+            for thread in 0..4u64 {
+                let atomic = &atomic;
+                scope.spawn(move || {
+                    for n in 0..1000u64 {
+                        atomic.record(n * 31 + thread);
+                    }
+                });
+            }
+        });
+        let snap = atomic.snapshot();
+        assert_eq!(snap.count(), 4000);
+        assert_eq!(
+            snap.sum_us(),
+            (0..4u64)
+                .map(|t| (0..1000u64).map(|n| n * 31 + t).sum::<u64>())
+                .sum()
+        );
+        assert_eq!(snap.max_us(), 999 * 31 + 3);
     }
 }

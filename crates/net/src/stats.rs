@@ -1,15 +1,15 @@
 //! Shared counters behind the `viewseeker_net_*` Prometheus series.
 //!
 //! The reactor increments these; `viewseeker-server`'s exporter scrapes
-//! them. Everything is lock-free atomics except the loop-tick histogram,
-//! which sits behind a mutex the loop touches once per tick (and recovers
-//! from poisoning, matching the server's metrics policy: metrics must
-//! never take a request path down).
+//! them. Everything is lock-free atomics, including the loop-tick
+//! histogram: the loop records it once per tick, and a mutex shared with
+//! the scrape thread there would let a slow scrape stall every
+//! connection at once (the `blocking-in-reactor` vslint rule enforces
+//! this).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
 
-use crate::hist::Histogram;
+use crate::hist::{AtomicHistogram, Histogram};
 
 /// Counters and gauges for one reactor instance.
 #[derive(Debug, Default)]
@@ -28,7 +28,7 @@ pub struct NetStats {
     /// (`viewseeker_net_write_stalls_total`).
     pub write_stalls: AtomicU64,
     /// Busy loop-tick durations (`viewseeker_net_loop_tick_seconds`).
-    ticks: Mutex<Histogram>,
+    ticks: AtomicHistogram,
 }
 
 impl NetStats {
@@ -38,21 +38,16 @@ impl NetStats {
         Self::default()
     }
 
-    /// Records one busy loop tick of `us` microseconds.
+    /// Records one busy loop tick of `us` microseconds. Lock-free: this
+    /// runs on the reactor's tick path.
     pub fn record_tick(&self, us: u64) {
-        self.ticks
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .record(us);
+        self.ticks.record(us);
     }
 
     /// A snapshot of the loop-tick histogram.
     #[must_use]
     pub fn tick_histogram(&self) -> Histogram {
-        self.ticks
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone()
+        self.ticks.snapshot()
     }
 
     /// Convenience relaxed read of a counter field.

@@ -31,7 +31,7 @@
 //! checks each name is defined exactly once, actually emitted, and
 //! documented in DESIGN.md and README.md.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -145,24 +145,55 @@ impl RequestTrace {
     }
 }
 
+/// One top-level stage slot. `seq` is 0 until the stage is recorded;
+/// afterwards it holds a 1-based recording-order sequence number (the
+/// `Release` store that publishes `start_us`/`dur_us`).
+#[derive(Debug, Default)]
+struct StageCell {
+    seq: AtomicU64,
+    start_us: AtomicU64,
+    dur_us: AtomicU64,
+}
+
+/// Worker-side trace state. The mutex guarding it is taken by the worker
+/// thread (`record_nested`, `set_route`, `stages_us`) and never by the
+/// reactor: `finish` uses `try_lock`, which cannot block the tick path.
+#[derive(Debug, Default)]
+struct WorkerState {
+    route: &'static str,
+    nested: Vec<Span>,
+}
+
 #[derive(Debug)]
-struct ActiveInner {
+struct ActiveShared {
+    /// Immutable after `start` — readable from any thread without a lock.
     id: String,
     method: String,
     path: String,
-    route: &'static str,
-    status: u16,
-    shed: bool,
-    spans: Vec<Span>,
+    status: AtomicU16,
+    shed: AtomicBool,
+    /// Recording-order counter for the stage slots.
+    next_seq: AtomicU64,
+    /// One slot per [`SPANS`] stage, written lock-free from whichever
+    /// thread completes the stage.
+    stages: [StageCell; SPANS.len()],
+    worker: Mutex<WorkerState>,
 }
 
 /// The live handle for a request being traced. Cloning shares the
 /// underlying trace; the reactor thread and a worker thread stamp spans
 /// into the same tree from opposite ends of the pipeline.
+///
+/// Everything the reactor touches (`record`, `set_status`, `mark_shed`,
+/// `id`, `finish`) is lock-free — a mutex shared with a worker here
+/// would let one slow handler stall every connection at once, and the
+/// `blocking-in-reactor` vslint rule enforces that it stays that way.
+/// Only worker-side extras (nested seeker phases, the resolved route)
+/// live behind a mutex.
 #[derive(Debug, Clone)]
 pub struct ActiveTrace {
     started: Instant,
-    inner: Arc<Mutex<ActiveInner>>,
+    shared: Arc<ActiveShared>,
 }
 
 impl ActiveTrace {
@@ -177,15 +208,16 @@ impl ActiveTrace {
             .unwrap_or_else(next_request_id);
         Self {
             started,
-            inner: Arc::new(Mutex::new(ActiveInner {
+            shared: Arc::new(ActiveShared {
                 id,
                 method: method.to_owned(),
                 path: path.to_owned(),
-                route: "",
-                status: 0,
-                shed: false,
-                spans: Vec::new(),
-            })),
+                status: AtomicU16::new(0),
+                shed: AtomicBool::new(false),
+                next_seq: AtomicU64::new(0),
+                stages: Default::default(),
+                worker: Mutex::new(WorkerState::default()),
+            }),
         }
     }
 
@@ -196,36 +228,50 @@ impl ActiveTrace {
         Self::start(None, method, path, Instant::now())
     }
 
-    fn lock(&self) -> MutexGuard<'_, ActiveInner> {
+    /// The worker-side state; see [`WorkerState`] for why the reactor
+    /// never calls this.
+    fn worker_lock(&self) -> MutexGuard<'_, WorkerState> {
         // A panicking recorder must not take tracing down with it; span
         // data is append-only so the state is structurally fine.
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        self.shared
+            .worker
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The request id.
     #[must_use]
     pub fn id(&self) -> String {
-        self.lock().id.clone()
+        self.shared.id.clone()
     }
 
     /// Records a top-level stage span running from `from` until now.
+    /// `name` must be one of the [`SPANS`] stages (the `span-registry`
+    /// lint pins every call site); anything else is dropped.
     pub fn record(&self, name: &'static str, from: Instant) {
+        let Some(cell) = SPANS
+            .iter()
+            .position(|s| s.name == name)
+            .and_then(|i| self.shared.stages.get(i))
+        else {
+            debug_assert!(false, "unknown stage {name}");
+            return;
+        };
         let start_us = us(from.saturating_duration_since(self.started));
         let dur_us = us(from.elapsed());
-        self.lock().spans.push(Span {
-            name,
-            start_us,
-            dur_us,
-            parent: None,
-        });
+        cell.start_us.store(start_us, Ordering::Relaxed);
+        cell.dur_us.store(dur_us, Ordering::Relaxed);
+        let seq = self.shared.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        cell.seq.store(seq, Ordering::Release);
     }
 
     /// Records a span nested under `handler` that ended just now and ran
     /// for `duration` — the shape `core::trace` phase reports arrive in.
+    /// Worker-thread only (takes the worker mutex).
     pub fn record_nested(&self, name: &'static str, duration: Duration) {
         let dur_us = us(duration);
         let end_us = us(self.started.elapsed());
-        self.lock().spans.push(Span {
+        self.worker_lock().nested.push(Span {
             name,
             start_us: end_us.saturating_sub(dur_us),
             dur_us,
@@ -233,50 +279,94 @@ impl ActiveTrace {
         });
     }
 
-    /// The spans recorded so far as `(name, dur_us)` pairs, in recording
-    /// order — what an access log emitted mid-pipeline can know (later
-    /// stages like `write` have not happened yet).
-    #[must_use]
-    pub fn stages_us(&self) -> Vec<(&'static str, u64)> {
-        self.lock()
-            .spans
+    /// The stage slots recorded so far, as spans in recording order.
+    fn stage_spans(&self) -> Vec<Span> {
+        let mut recorded: Vec<(u64, Span)> = SPANS
             .iter()
-            .map(|s| (s.name, s.dur_us))
-            .collect()
+            .zip(&self.shared.stages)
+            .filter_map(|(def, cell)| {
+                let seq = cell.seq.load(Ordering::Acquire);
+                (seq > 0).then(|| {
+                    (
+                        seq,
+                        Span {
+                            name: def.name,
+                            start_us: cell.start_us.load(Ordering::Relaxed),
+                            dur_us: cell.dur_us.load(Ordering::Relaxed),
+                            parent: None,
+                        },
+                    )
+                })
+            })
+            .collect();
+        recorded.sort_by_key(|&(seq, _)| seq);
+        recorded.into_iter().map(|(_, span)| span).collect()
     }
 
-    /// Sets the route label the server resolved.
+    /// The spans recorded so far as `(name, dur_us)` pairs, stages in
+    /// recording order followed by nested spans — what an access log
+    /// emitted mid-pipeline can know (later stages like `write` have not
+    /// happened yet). Worker-thread only (takes the worker mutex).
+    #[must_use]
+    pub fn stages_us(&self) -> Vec<(&'static str, u64)> {
+        let mut out: Vec<(&'static str, u64)> = self
+            .stage_spans()
+            .iter()
+            .map(|s| (s.name, s.dur_us))
+            .collect();
+        out.extend(self.worker_lock().nested.iter().map(|s| (s.name, s.dur_us)));
+        out
+    }
+
+    /// Sets the route label the server resolved. Worker-thread only
+    /// (takes the worker mutex).
     pub fn set_route(&self, route: &'static str) {
-        self.lock().route = route;
+        self.worker_lock().route = route;
     }
 
     /// Sets the response status.
     pub fn set_status(&self, status: u16) {
-        self.lock().status = status;
+        self.shared.status.store(status, Ordering::Relaxed);
     }
 
     /// Marks the request shed by admission control.
     pub fn mark_shed(&self) {
-        self.lock().shed = true;
+        self.shared.shed.store(true, Ordering::Relaxed);
     }
 
     /// Finalizes into a [`RequestTrace`], with `total_us` measured from
     /// the first byte to now. The handle stays usable, but callers
     /// finalize exactly once, at last-byte-flushed.
+    ///
+    /// Runs on the reactor thread, so the worker state is read with
+    /// `try_lock`: by last-byte-flushed the worker finished with this
+    /// request long ago, so contention means a *different* request's
+    /// recorder holds the lock — never wait for it. On the (theoretical)
+    /// miss the trace ships without route/nested spans rather than
+    /// stalling the tick loop.
     #[must_use]
     pub fn finish(&self) -> RequestTrace {
         let total_us = us(self.started.elapsed());
-        let inner = self.lock();
+        let mut spans = self.stage_spans();
+        let (route, nested) = match self.shared.worker.try_lock() {
+            Ok(worker) => (worker.route, worker.nested.clone()),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                let worker = poisoned.into_inner();
+                (worker.route, worker.nested.clone())
+            }
+            Err(std::sync::TryLockError::WouldBlock) => ("", Vec::new()),
+        };
+        spans.extend(nested);
         RequestTrace {
-            id: inner.id.clone(),
-            method: inner.method.clone(),
-            path: inner.path.clone(),
-            route: inner.route,
-            status: inner.status,
-            shed: inner.shed,
+            id: self.shared.id.clone(),
+            method: self.shared.method.clone(),
+            path: self.shared.path.clone(),
+            route,
+            status: self.shared.status.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
             started: self.started,
             total_us,
-            spans: inner.spans.clone(),
+            spans,
         }
     }
 }

@@ -15,6 +15,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod graph;
+pub mod items;
 pub mod lexer;
 mod rules;
 
@@ -36,6 +38,23 @@ pub struct Diagnostic {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// Interprocedural findings only: the call path from an entry point
+    /// to the offending function, as qualified fn names.
+    pub witness: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A finding with no call-path witness (the file-local rules).
+    #[must_use]
+    pub fn new(file: String, line: usize, rule: &'static str, message: String) -> Diagnostic {
+        Diagnostic {
+            file,
+            line,
+            rule,
+            message,
+            witness: Vec::new(),
+        }
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -44,7 +63,11 @@ impl fmt::Display for Diagnostic {
             f,
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.message
-        )
+        )?;
+        if !self.witness.is_empty() {
+            write!(f, "\n    via {}", self.witness.join(" -> "))?;
+        }
+        Ok(())
     }
 }
 
@@ -182,6 +205,11 @@ impl Workspace {
         }
         rules::metric_registry::check(self, &mut raw);
         rules::span_registry::check(self, &mut raw);
+        // The interprocedural rules share one call graph.
+        let call_graph = graph::CallGraph::build(self);
+        rules::panic_reach::check(self, &call_graph, &mut raw);
+        rules::lock_graph::check(self, &call_graph, &mut raw);
+        rules::reactor_blocking::check(self, &call_graph, &mut raw);
 
         let mut out: Vec<Diagnostic> = Vec::new();
         for file in &self.files {
@@ -201,26 +229,26 @@ impl Workspace {
             }
             for allow in &allows {
                 if !allow.ok {
-                    out.push(Diagnostic {
-                        file: file.path.clone(),
-                        line: allow.comment_line,
-                        rule: "bad-suppression",
-                        message: format!(
+                    out.push(Diagnostic::new(
+                        file.path.clone(),
+                        allow.comment_line,
+                        "bad-suppression",
+                        format!(
                             "vslint::allow({}) requires a justification: \
                              `// vslint::allow({}): <why this is sound>`",
                             allow.rule, allow.rule
                         ),
-                    });
+                    ));
                 } else if !allow.used {
-                    out.push(Diagnostic {
-                        file: file.path.clone(),
-                        line: allow.comment_line,
-                        rule: "unused-suppression",
-                        message: format!(
+                    out.push(Diagnostic::new(
+                        file.path.clone(),
+                        allow.comment_line,
+                        "unused-suppression",
+                        format!(
                             "vslint::allow({}) suppresses nothing on lines {}-{}; remove it",
                             allow.rule, allow.start_line, allow.end_line
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -235,6 +263,33 @@ impl Workspace {
         out.dedup();
         out
     }
+}
+
+/// Renders diagnostics as a JSON array (`lint --json`): one object per
+/// finding with `rule`, `file`, `line`, `message`, and — for
+/// interprocedural findings — the call-path `witness`.
+#[must_use]
+pub fn diagnostics_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        let witness: Vec<String> = d
+            .witness
+            .iter()
+            .map(|w| format!("\"{}\"", graph::json_escape(w)))
+            .collect();
+        out.push_str(&format!(
+            "  {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \
+             \"witness\": [{}]}}{}\n",
+            graph::json_escape(d.rule),
+            graph::json_escape(&d.file),
+            d.line,
+            graph::json_escape(&d.message),
+            witness.join(", "),
+            if i + 1 < diags.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
 }
 
 /// Recursively collects `.rs` files under `dir` into `out` with
@@ -406,7 +461,7 @@ fn scan_attr(tokens: &[Token], i: usize) -> Option<(usize, bool)> {
 
 /// Returns the index of the token ending the item starting at `j`: the
 /// matching `}` of its first body brace, or the terminating `;`.
-fn item_end(tokens: &[Token], j: usize) -> usize {
+pub(crate) fn item_end(tokens: &[Token], j: usize) -> usize {
     let mut k = j;
     while k < tokens.len() {
         let t = &tokens[k];

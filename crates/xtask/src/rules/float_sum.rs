@@ -45,15 +45,15 @@ pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 }
 
 fn diag(file: &SourceFile, i: usize, what: &str) -> Diagnostic {
-    Diagnostic {
-        file: file.path.clone(),
-        line: file.tokens[i].line,
-        rule: RULE,
-        message: format!(
+    Diagnostic::new(
+        file.path.clone(),
+        file.tokens[i].line,
+        RULE,
+        format!(
             "{what} is order-sensitive for floats; use executor::strict_sum \
              or prove integer with `.sum::<u64>()`"
         ),
-    }
+    )
 }
 
 #[cfg(test)]

@@ -27,16 +27,16 @@ pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     if !UNSAFE_MODULES.contains(&file.path.as_str()) {
         for token in &file.tokens {
             if token.is_ident("unsafe") {
-                out.push(Diagnostic {
-                    file: file.path.clone(),
-                    line: token.line,
-                    rule: RULE,
-                    message: format!(
+                out.push(Diagnostic::new(
+                    file.path.clone(),
+                    token.line,
+                    RULE,
+                    format!(
                         "`unsafe` is only permitted in {}; \
                          raw syscalls are confined there",
                         UNSAFE_MODULES.join(", ")
                     ),
-                });
+                ));
             }
         }
     }
@@ -47,24 +47,24 @@ pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
         // `forbid` would reject the crate's audited unsafe module, so these
         // roots must carry at least `deny` (forbid is accepted as stricter).
         if !has_lint_attr(file, "deny") && !has_lint_attr(file, "forbid") {
-            out.push(Diagnostic {
-                file: file.path.clone(),
-                line: 1,
-                rule: RULE,
-                message: "crate root is missing #![deny(unsafe_code)] \
-                          (crates with an audited FFI module must still deny by default)"
+            out.push(Diagnostic::new(
+                file.path.clone(),
+                1,
+                RULE,
+                "crate root is missing #![deny(unsafe_code)] \
+                 (crates with an audited FFI module must still deny by default)"
                     .to_owned(),
-            });
+            ));
         }
         return;
     }
     if !has_lint_attr(file, "forbid") {
-        out.push(Diagnostic {
-            file: file.path.clone(),
-            line: 1,
-            rule: RULE,
-            message: "crate root is missing #![forbid(unsafe_code)]".to_owned(),
-        });
+        out.push(Diagnostic::new(
+            file.path.clone(),
+            1,
+            RULE,
+            "crate root is missing #![forbid(unsafe_code)]".to_owned(),
+        ));
     }
 }
 

@@ -57,6 +57,28 @@ const ORDER_FREE_SINKS: &[&str] = &[
     "count", "len", "sum", "any", "all", "min", "max", "contains", "is_empty", "fold",
 ];
 
+/// Methods that return the collection itself (or a view of it): guard
+/// acquisition and smart-pointer plumbing. An iteration method *behind*
+/// one of these — `self.m.lock().unwrap().values()` — still iterates the
+/// hash collection, so the chain walk sees through them. Anything else
+/// (`.get(k)`, `.snapshot()`) returns a different value and ends the
+/// walk.
+const PASS_THROUGH: &[&str] = &[
+    "lock",
+    "read",
+    "write",
+    "borrow",
+    "borrow_mut",
+    "unwrap",
+    "expect",
+    "as_ref",
+    "as_mut",
+    "clone",
+];
+
+/// How many chained calls the walk follows before giving up.
+const CHAIN_LIMIT: usize = 6;
+
 /// Runs the rule over one file.
 pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     if !in_determinism_scope(&file.path) {
@@ -74,12 +96,9 @@ pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
         if t.kind != TokenKind::Ident || !hash_idents.contains(t.text.as_str()) {
             continue;
         }
-        // `name.iter()` / `self.name.values()` …
-        let is_iter_call = file.tok(i + 1).is_some_and(|d| d.is_punct('.'))
-            && file
-                .tok(i + 2)
-                .is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
-            && file.tok(i + 3).is_some_and(|p| p.is_punct('('));
+        // `name.iter()` / `self.name.values()` — possibly behind guard
+        // methods: `self.name.lock().unwrap().values()`.
+        let is_iter_call = chain_reaches_iteration(file, i);
         // `for k in &name {` / `for (k, v) in name {` — the collection is
         // the loop iterable directly (IntoIterator on &HashMap).
         let is_for_loop =
@@ -90,18 +109,59 @@ pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
         if absolved(file, i) {
             continue;
         }
-        out.push(Diagnostic {
-            file: file.path.clone(),
-            line: t.line,
-            rule: RULE,
-            message: format!(
+        out.push(Diagnostic::new(
+            file.path.clone(),
+            t.line,
+            RULE,
+            format!(
                 "iteration over HashMap/HashSet `{}` in hash order may feed ordered \
                  output; sort the results, use a BTree collection, or justify with \
                  vslint::allow",
                 t.text
             ),
-        });
+        ));
     }
+}
+
+/// Walks the method chain starting after the collection name at `i`:
+/// `.method(args)` segments, seeing through [`PASS_THROUGH`] methods,
+/// until an [`ITER_METHODS`] call (hash iteration — true), a different
+/// method (a new value — false), or [`CHAIN_LIMIT`] segments.
+fn chain_reaches_iteration(file: &SourceFile, i: usize) -> bool {
+    let mut j = i + 1;
+    for _ in 0..CHAIN_LIMIT {
+        if !file.tok(j).is_some_and(|d| d.is_punct('.')) {
+            return false;
+        }
+        let Some(m) = file.tok(j + 1) else {
+            return false;
+        };
+        if m.kind != TokenKind::Ident || !file.tok(j + 2).is_some_and(|p| p.is_punct('(')) {
+            return false;
+        }
+        if ITER_METHODS.contains(&m.text.as_str()) {
+            return true;
+        }
+        if !PASS_THROUGH.contains(&m.text.as_str()) {
+            return false;
+        }
+        // Skip the pass-through call's arguments to its closing paren.
+        let mut depth = 0usize;
+        let mut k = j + 2;
+        while let Some(t) = file.tok(k) {
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        j = k + 1;
+    }
+    false
 }
 
 /// Whether the iteration at token `i` is absolved: the enclosing function
@@ -150,9 +210,9 @@ fn preceded_by_for_in(file: &SourceFile, i: usize) -> bool {
 /// anywhere in the file: `name: HashMap<..>` (bindings, params, struct
 /// fields) and `name = HashMap::new()` / `with_capacity`. Wrappers like
 /// `Arc<Mutex<HashMap<..>>>` still mention `HashMap` within the
-/// declaration window, so wrapped fields are tracked too — guard methods
-/// (`.lock()`) between the name and the iteration call don't matter
-/// because detection keys on the *name* adjacent to an iteration method.
+/// declaration window, so wrapped fields are tracked too; the chain walk
+/// in [`chain_reaches_iteration`] sees through the guard methods that
+/// unwrap them at the iteration site.
 fn collect_hash_idents(file: &SourceFile) -> BTreeSet<&str> {
     let mut out = BTreeSet::new();
     for i in 0..file.tokens.len() {
@@ -252,6 +312,32 @@ mod tests {
              for (_k, v) in m { out.push(*v); } }",
         );
         assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn iteration_behind_a_guard_chain_is_flagged() {
+        // The map lives in Arc<Mutex<..>>; the iteration happens behind
+        // `.lock().unwrap()`, which must not hide it.
+        let diags = run(
+            "crates/core/src/x.rs",
+            "struct S { m: Arc<Mutex<HashMap<String, u32>>> }\n\
+             impl S { fn f(&self) -> Vec<u32> { \
+             self.m.lock().unwrap().values().copied().collect() } }",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("`m`"));
+    }
+
+    #[test]
+    fn non_pass_through_methods_end_the_chain() {
+        // `.snapshot()` returns some other value; `.iter()` on that value
+        // is not hash iteration.
+        assert!(run(
+            "crates/core/src/x.rs",
+            "struct S { m: HashMap<String, u32> }\n\
+             impl S { fn f(&self) -> Vec<u32> { self.m.snapshot().iter().collect() } }",
+        )
+        .is_empty());
     }
 
     #[test]

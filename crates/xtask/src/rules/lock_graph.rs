@@ -1,0 +1,461 @@
+//! Rule `lock-order-v2`: cross-function deadlock detection over named
+//! lock domains. The file-local `lock-order` rule sees nesting inside
+//! one function; this rule chases guards held *across call edges* —
+//! function `a` acquires `Registry.sessions`, then calls `b`, which
+//! acquires `Session.seeker`: that is an arc `Registry.sessions ->
+//! Session.seeker` in the workspace lock-acquisition graph. A cycle in
+//! that graph is two threads that can each hold what the other wants:
+//! a potential deadlock, reported with the held-guard context and a
+//! call-path witness for every arc.
+//!
+//! A **lock domain** names what a `.lock()`/`.read()`/`.write()`
+//! receiver protects: `Type.field` for `self.field.lock()` inside
+//! `impl Type` (the common case), `Type` for `self.lock()`. Acquisitions
+//! whose receiver cannot be named — locals, free-standing expressions —
+//! are not graph nodes: an unnameable domain cannot be matched across
+//! functions, and guessing would fabricate cycles. Calls that resolve to
+//! *workspace* fns named `lock`/`read`/`write` are call edges, not
+//! acquisitions; the callee's own acquisitions propagate through the
+//! fixpoint instead.
+//!
+//! Same-domain self-arcs are reported too (re-acquiring a held Mutex
+//! deadlocks unconditionally), except read->read, which `RwLock` admits.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::{receiver_chain, CallGraph};
+use crate::rules::lock_order;
+use crate::{Diagnostic, Workspace};
+
+const RULE: &str = "lock-order-v2";
+
+/// One direct acquisition of a named domain inside a workspace fn.
+struct Acq {
+    /// Fn index in the call graph.
+    fn_idx: usize,
+    /// Token index of the method name in the fn's file.
+    token: usize,
+    /// Acquisition method: `lock`, `read`, or `write`.
+    method: String,
+    /// The named lock domain (`Registry.sessions`).
+    domain: String,
+    /// Last token at which the guard is live ([`lock_order::liveness_end`]).
+    live_end: usize,
+}
+
+/// One arc in the domain graph, with enough context to report it.
+#[derive(Clone)]
+struct Arc {
+    /// Acquisition methods on the held and acquired side (`lock`/`read`/
+    /// `write`) — read->read arcs are dropped before cycle detection.
+    methods: (String, String),
+    /// File/line of the held guard's acquisition.
+    held_at: (String, usize),
+    /// File/line where the second domain is (directly) acquired.
+    acquired_at: (String, usize),
+    /// Call path from the holder fn to the fn acquiring the second
+    /// domain; a single element for same-fn arcs.
+    witness: Vec<String>,
+}
+
+/// Runs the rule over the workspace.
+pub fn check(ws: &Workspace, graph: &CallGraph, out: &mut Vec<Diagnostic>) {
+    let acqs = direct_acquisitions(ws, graph);
+    let (trans, via) = transitive_domains(graph, &acqs);
+    let arcs = domain_arcs(ws, graph, &acqs, &trans, &via);
+    report_cycles(&arcs, out);
+}
+
+/// Scans every non-test fn for zero-arg `.lock()`/`.read()`/`.write()`
+/// acquisitions with a nameable domain. Sites that resolved to workspace
+/// fns are call edges, not acquisitions.
+fn direct_acquisitions(ws: &Workspace, graph: &CallGraph) -> Vec<Acq> {
+    let mut out = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        for site in lock_order::acquisition_sites(file) {
+            if graph.resolved_sites.contains(&(fi, site.token)) {
+                continue;
+            }
+            let Some(fn_idx) = graph.innermost_fn(fi, site.token) else {
+                continue;
+            };
+            if graph.fns[fn_idx].is_test {
+                continue;
+            }
+            let Some(domain) = domain_of(graph, fn_idx, file, site.token) else {
+                continue;
+            };
+            let live_end = lock_order::liveness_end(file, &site);
+            out.push(Acq {
+                fn_idx,
+                token: site.token,
+                method: file.tokens[site.token].text.clone(),
+                domain,
+                live_end,
+            });
+        }
+    }
+    out
+}
+
+/// Names the domain of the acquisition at `token`: `Type.field...` for a
+/// `self.field` receiver chain inside `impl Type`, `Type` for bare
+/// `self`. `None` when the receiver cannot be named.
+fn domain_of(
+    graph: &CallGraph,
+    fn_idx: usize,
+    file: &crate::SourceFile,
+    token: usize,
+) -> Option<String> {
+    let chain = receiver_chain(file, token)?;
+    if chain.first().map(String::as_str) != Some("self") {
+        return None;
+    }
+    let ty = graph.fns[fn_idx].self_ty.clone()?;
+    if chain.len() == 1 {
+        Some(ty)
+    } else {
+        Some(format!("{ty}.{}", chain[1..].join(".")))
+    }
+}
+
+/// Fixpoint over call edges: for each fn, the set of domains it may
+/// acquire transitively, plus — for inherited domains — the callee the
+/// acquisition flows through (for witness reconstruction).
+#[allow(clippy::type_complexity)]
+fn transitive_domains(
+    graph: &CallGraph,
+    acqs: &[Acq],
+) -> (Vec<BTreeSet<String>>, BTreeMap<(usize, String), usize>) {
+    let mut trans: Vec<BTreeSet<String>> = vec![BTreeSet::new(); graph.fns.len()];
+    for a in acqs {
+        trans[a.fn_idx].insert(a.domain.clone());
+    }
+    let mut via: BTreeMap<(usize, String), usize> = BTreeMap::new();
+    loop {
+        let mut changed = false;
+        for e in &graph.edges {
+            let inherited: Vec<String> = trans[e.callee]
+                .iter()
+                .filter(|d| !trans[e.caller].contains(*d))
+                .cloned()
+                .collect();
+            for d in inherited {
+                via.insert((e.caller, d.clone()), e.callee);
+                trans[e.caller].insert(d);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (trans, via)
+}
+
+/// The call path from `fn_idx` down to a fn that directly acquires
+/// `domain`, following the fixpoint's `via` links.
+fn acquire_path(
+    graph: &CallGraph,
+    via: &BTreeMap<(usize, String), usize>,
+    mut fn_idx: usize,
+    domain: &str,
+) -> Vec<String> {
+    let mut path = vec![graph.fns[fn_idx].qualified()];
+    while let Some(&next) = via.get(&(fn_idx, domain.to_owned())) {
+        path.push(graph.fns[next].qualified());
+        fn_idx = next;
+    }
+    path
+}
+
+/// Builds the domain arcs: for every live guard window, later same-fn
+/// acquisitions and call edges into fns that (transitively) acquire.
+fn domain_arcs(
+    ws: &Workspace,
+    graph: &CallGraph,
+    acqs: &[Acq],
+    trans: &[BTreeSet<String>],
+    via: &BTreeMap<(usize, String), usize>,
+) -> BTreeMap<(String, String), Arc> {
+    let mut arcs: BTreeMap<(String, String), Arc> = BTreeMap::new();
+    let mut add = |from: &str, to: &str, arc: Arc| {
+        // read->read never deadlocks on its own; drop it here so it can
+        // neither form nor close a cycle.
+        if arc.methods.0 == "read" && arc.methods.1 == "read" {
+            return;
+        }
+        arcs.entry((from.to_owned(), to.to_owned())).or_insert(arc);
+    };
+    for a in acqs {
+        let file = &ws.files[graph.fns[a.fn_idx].file];
+        let held_at = (file.path.clone(), file.tokens[a.token].line);
+        // Same-fn: later direct acquisitions inside the live window.
+        for b in acqs {
+            if b.fn_idx == a.fn_idx && b.token > a.token && b.token <= a.live_end {
+                add(
+                    &a.domain,
+                    &b.domain,
+                    Arc {
+                        methods: (a.method.clone(), b.method.clone()),
+                        held_at: held_at.clone(),
+                        acquired_at: (file.path.clone(), file.tokens[b.token].line),
+                        witness: vec![graph.fns[a.fn_idx].qualified()],
+                    },
+                );
+            }
+        }
+        // Cross-fn: call edges inside the live window, into fns that
+        // transitively acquire.
+        for &ei in &graph.out[a.fn_idx] {
+            let edge = &graph.edges[ei];
+            if edge.token <= a.token || edge.token > a.live_end {
+                continue;
+            }
+            for d in &trans[edge.callee] {
+                let mut witness = vec![graph.fns[a.fn_idx].qualified()];
+                witness.extend(acquire_path(graph, via, edge.callee, d));
+                let tail = acqs.iter().find(|x| {
+                    graph.fns[x.fn_idx].qualified() == *witness.last().unwrap() && x.domain == *d
+                });
+                let acquired_at = tail
+                    .map(|x| {
+                        let tf = &ws.files[graph.fns[x.fn_idx].file];
+                        (tf.path.clone(), tf.tokens[x.token].line)
+                    })
+                    .unwrap_or_else(|| held_at.clone());
+                let tail_method = tail.map_or_else(|| "lock".to_owned(), |x| x.method.clone());
+                add(
+                    &a.domain,
+                    d,
+                    Arc {
+                        methods: (a.method.clone(), tail_method),
+                        held_at: held_at.clone(),
+                        acquired_at,
+                        witness,
+                    },
+                );
+            }
+        }
+    }
+    arcs
+}
+
+/// Finds cycles in the domain digraph and reports one diagnostic per
+/// strongly-connected cycle (plus self-arcs), deterministically.
+fn report_cycles(arcs: &BTreeMap<(String, String), Arc>, out: &mut Vec<Diagnostic>) {
+    let nodes: BTreeSet<&String> = arcs.keys().flat_map(|(a, b)| [a, b]).collect();
+    // Reachability closure over the (small) domain graph.
+    let mut reach: BTreeMap<&String, BTreeSet<&String>> = BTreeMap::new();
+    for (a, b) in arcs.keys() {
+        reach.entry(a).or_default().insert(b);
+    }
+    loop {
+        let mut changed = false;
+        for &n in &nodes {
+            let step: BTreeSet<&String> = reach
+                .get(n)
+                .map(|succ| {
+                    succ.iter()
+                        .filter_map(|s| reach.get(*s))
+                        .flatten()
+                        .copied()
+                        .collect()
+                })
+                .unwrap_or_default();
+            let entry = reach.entry(n).or_default();
+            for s in step {
+                changed |= entry.insert(s);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // A node on a cycle reaches itself; mutually-reaching nodes form one
+    // component, reported once from its lexicographically-first member.
+    let mut reported: BTreeSet<&String> = BTreeSet::new();
+    for &n in &nodes {
+        if reported.contains(n) || !reach.get(n).is_some_and(|r| r.contains(n)) {
+            continue;
+        }
+        let component: Vec<&String> = nodes
+            .iter()
+            .copied()
+            .filter(|&m| {
+                m == n
+                    || (reach.get(n).is_some_and(|r| r.contains(m))
+                        && reach.get(m).is_some_and(|r| r.contains(n)))
+            })
+            .collect();
+        reported.extend(component.iter().copied());
+        // Walk a representative cycle starting from `n`.
+        let cycle = cycle_from(n, &component, arcs);
+        let detail: Vec<String> = cycle
+            .windows(2)
+            .filter_map(|w| arcs.get(&(w[0].clone(), w[1].clone())))
+            .map(|arc| {
+                format!(
+                    "{} held at {}:{} while acquiring at {}:{} (via {})",
+                    arc.methods.0,
+                    arc.held_at.0,
+                    arc.held_at.1,
+                    arc.acquired_at.0,
+                    arc.acquired_at.1,
+                    arc.witness.join(" -> "),
+                )
+            })
+            .collect();
+        let first = arcs
+            .get(&(cycle[0].clone(), cycle[1].clone()))
+            .expect("cycle arcs exist");
+        out.push(Diagnostic {
+            file: first.held_at.0.clone(),
+            line: first.held_at.1,
+            rule: RULE,
+            message: format!(
+                "lock domains form a cycle: {}; two threads can each hold what the \
+                 other wants — establish one global acquisition order [{}]",
+                cycle.join(" -> "),
+                detail.join("; "),
+            ),
+            witness: first.witness.clone(),
+        });
+    }
+}
+
+/// A representative cycle `n -> ... -> n` using only arcs inside the
+/// component, greedily following the smallest successor.
+fn cycle_from(
+    start: &String,
+    component: &[&String],
+    arcs: &BTreeMap<(String, String), Arc>,
+) -> Vec<String> {
+    let mut cycle = vec![start.clone()];
+    let mut cur = start;
+    loop {
+        let next = component.iter().copied().find(|&m| {
+            arcs.contains_key(&(cur.clone(), m.clone())) && (!cycle.contains(m) || m == start)
+        });
+        match next {
+            Some(m) => {
+                cycle.push(m.clone());
+                if m == start {
+                    return cycle;
+                }
+                cur = m;
+            }
+            // Dead end inside the component (shouldn't happen in an SCC,
+            // but stay total): close the cycle formally.
+            None => {
+                cycle.push(start.clone());
+                return cycle;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace::from_sources(
+            vec![("crates/server/src/reg.rs".to_owned(), src.to_owned())],
+            Vec::new(),
+        );
+        let graph = CallGraph::build(&ws);
+        let mut out = Vec::new();
+        check(&ws, &graph, &mut out);
+        out
+    }
+
+    #[test]
+    fn cross_function_cycle_is_reported_with_witness() {
+        let diags = lint(
+            "pub struct S;\n\
+             impl S {\n\
+               pub fn ab(&self) { let g = self.x.lock(); self.grab_y(); drop(g); }\n\
+               fn grab_y(&self) { let h = self.y.lock(); touch(&h); }\n\
+               pub fn ba(&self) { let h = self.y.lock(); self.grab_x(); drop(h); }\n\
+               fn grab_x(&self) { let g = self.x.lock(); touch(&g); }\n\
+             }\n\
+             fn touch(_g: &G) {}\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "lock-order-v2");
+        assert!(
+            diags[0].message.contains("S.x -> S.y"),
+            "{}",
+            diags[0].message
+        );
+        assert_eq!(
+            diags[0].witness,
+            ["server::reg::S::ab", "server::reg::S::grab_y"]
+        );
+    }
+
+    #[test]
+    fn consistent_global_order_has_no_cycle() {
+        assert!(lint(
+            "pub struct S;\n\
+             impl S {\n\
+               pub fn ab(&self) { let g = self.x.lock(); self.grab_y(); drop(g); }\n\
+               fn grab_y(&self) { let h = self.y.lock(); touch(&h); }\n\
+               pub fn also_ab(&self) { let g = self.x.lock(); let h = self.y.lock(); use2(g, h); }\n\
+             }\n\
+             fn touch(_g: &G) {}\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn reacquiring_a_held_mutex_through_a_helper_is_a_self_cycle() {
+        let diags = lint(
+            "pub struct S;\n\
+             impl S {\n\
+               pub fn outer(&self) { let g = self.x.lock(); self.inner(); drop(g); }\n\
+               fn inner(&self) { let h = self.x.lock(); touch(&h); }\n\
+             }\n\
+             fn touch(_g: &G) {}\n",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("S.x -> S.x"),
+            "{}",
+            diags[0].message
+        );
+        assert_eq!(
+            diags[0].witness,
+            ["server::reg::S::outer", "server::reg::S::inner"]
+        );
+    }
+
+    #[test]
+    fn read_read_reacquisition_is_allowed() {
+        assert!(lint(
+            "pub struct S;\n\
+             impl S {\n\
+               pub fn outer(&self) { let g = self.x.read(); self.inner(); drop(g); }\n\
+               fn inner(&self) { let h = self.x.read(); touch(&h); }\n\
+             }\n\
+             fn touch(_g: &G) {}\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn dropped_guard_opens_no_window() {
+        assert!(lint(
+            "pub struct S;\n\
+             impl S {\n\
+               pub fn ab(&self) { let g = self.x.lock(); drop(g); self.grab_y(); }\n\
+               fn grab_y(&self) { let h = self.y.lock(); touch(&h); }\n\
+               pub fn ba(&self) { let h = self.y.lock(); drop(h); self.grab_x(); }\n\
+               fn grab_x(&self) { let g = self.x.lock(); touch(&g); }\n\
+             }\n\
+             fn touch(_g: &G) {}\n",
+        )
+        .is_empty());
+    }
+}

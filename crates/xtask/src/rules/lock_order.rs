@@ -7,16 +7,21 @@
 //!
 //! Acquisitions are zero-argument `.lock()` / `.read()` / `.write()`
 //! calls (`io::Read::read(&mut buf)` takes an argument and is ignored).
-//! A `let`-bound guard is live until `drop(guard)` or the end of its
-//! enclosing block; an unbound (temporary) guard is live to the end of
-//! its statement.
+//! A `let`-bound guard is live until it is moved by value — `drop(g)`,
+//! `consume(g)`, `f(a, g)` — or the end of its enclosing block; an
+//! unbound (temporary) guard is live to the end of its statement.
+//! By-reference uses (`peek(&g)`, `g.field`) keep the guard live.
+//!
+//! The interprocedural `lock-order-v2` rule
+//! ([`crate::rules::lock_graph`]) reuses these acquisition/liveness
+//! primitives to chase guards held across call edges.
 
 use crate::lexer::TokenKind;
 use crate::{Diagnostic, SourceFile};
 
 const RULE: &str = "lock-order";
 const SCOPE: &[&str] = &["crates/server/src/", "crates/catalog/src/"];
-const ACQUIRE: &[&str] = &["lock", "read", "write"];
+pub(crate) const ACQUIRE: &[&str] = &["lock", "read", "write"];
 
 /// Runs the rule over one file.
 pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
@@ -33,33 +38,33 @@ pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
             if later.fn_range != site.fn_range {
                 continue;
             }
-            out.push(Diagnostic {
-                file: file.path.clone(),
-                line: file.tokens[later.token].line,
-                rule: RULE,
-                message: format!(
+            out.push(Diagnostic::new(
+                file.path.clone(),
+                file.tokens[later.token].line,
+                RULE,
+                format!(
                     ".{}() acquired while the guard from .{}() on line {} is live; \
                      drop the first guard or document the lock order with vslint::allow",
                     file.tokens[later.token].text,
                     file.tokens[site.token].text,
                     file.tokens[site.token].line,
                 ),
-            });
+            ));
         }
     }
 }
 
 /// One `.lock()`-style acquisition.
-struct Site {
+pub(crate) struct Site {
     /// Token index of the method name.
-    token: usize,
+    pub(crate) token: usize,
     /// Identifier the guard is `let`-bound to, if any.
-    bound: Option<String>,
+    pub(crate) bound: Option<String>,
     /// Enclosing fn body range (sites in different fns never interact).
-    fn_range: (usize, usize),
+    pub(crate) fn_range: (usize, usize),
 }
 
-fn acquisition_sites(file: &SourceFile) -> Vec<Site> {
+pub(crate) fn acquisition_sites(file: &SourceFile) -> Vec<Site> {
     let mut out = Vec::new();
     for i in 0..file.tokens.len() {
         if file.is_test(i) {
@@ -115,7 +120,7 @@ fn binding_ident(file: &SourceFile, i: usize) -> Option<String> {
 }
 
 /// Last token index at which the guard acquired at `site` is still live.
-fn liveness_end(file: &SourceFile, site: &Site) -> usize {
+pub(crate) fn liveness_end(file: &SourceFile, site: &Site) -> usize {
     match &site.bound {
         None => {
             // Temporary guard: dies at the end of the statement.
@@ -129,8 +134,12 @@ fn liveness_end(file: &SourceFile, site: &Site) -> usize {
             file.tokens.len().saturating_sub(1)
         }
         Some(name) => {
-            // Bound guard: until `drop(name)` or the end of the enclosing
-            // block (brace depth falls below the acquisition's).
+            // Bound guard: until it is moved by value or the end of the
+            // enclosing block (brace depth falls below the acquisition's).
+            // A move is the guard's name standing alone in argument
+            // position — `drop(g)`, `consume(g)`, `f(a, g, b)`. The `&` in
+            // `peek(&g)` is the previous token, so by-ref uses don't end
+            // liveness; neither does `g.field` (next token `.`).
             let mut depth = 0i32;
             let mut j = site.token;
             while let Some(t) = file.tok(j) {
@@ -141,9 +150,14 @@ fn liveness_end(file: &SourceFile, site: &Site) -> usize {
                     if depth < 0 {
                         return j;
                     }
-                } else if t.is_ident("drop")
-                    && file.tok(j + 1).is_some_and(|p| p.is_punct('('))
-                    && file.tok(j + 2).is_some_and(|n| n.is_ident(name))
+                } else if t.is_ident(name)
+                    && j > site.token
+                    && file
+                        .tok(j - 1)
+                        .is_some_and(|p| p.is_punct('(') || p.is_punct(','))
+                    && file
+                        .tok(j + 1)
+                        .is_some_and(|p| p.is_punct(')') || p.is_punct(','))
                 {
                     return j;
                 }
@@ -208,6 +222,29 @@ mod tests {
             run("fn f(s: &mut TcpStream, buf: &mut [u8]) { s.read(buf); s.write(buf); }",)
                 .is_empty()
         );
+    }
+
+    #[test]
+    fn guard_moved_by_value_into_a_call_clears_liveness() {
+        // `consume(g)` moves the guard just like `drop(g)` does; the
+        // later acquisition happens with nothing held.
+        assert!(run(
+            "fn f(&self) { let g = self.a.lock(); consume(g); let h = self.b.lock(); use_it(h); }",
+        )
+        .is_empty());
+        // Moves in non-first argument position count too.
+        assert!(run(
+            "fn f(&self) { let g = self.a.lock(); store(1, g); let h = self.b.lock(); use_it(h); }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn by_ref_use_keeps_the_guard_live() {
+        let diags = run(
+            "fn f(&self) { let g = self.a.lock(); peek(&g); let h = self.b.lock(); use_it(h, g); }",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
     }
 
     #[test]

@@ -22,14 +22,14 @@ pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
         return;
     };
     let Some((table_start, table_end)) = series_table_range(prom) else {
-        out.push(Diagnostic {
-            file: PROMETHEUS.to_owned(),
-            line: 1,
-            rule: RULE,
-            message: "no `SERIES` table found; all viewseeker_* series must be \
-                      defined in one `static SERIES` slice"
+        out.push(Diagnostic::new(
+            PROMETHEUS.to_owned(),
+            1,
+            RULE,
+            "no `SERIES` table found; all viewseeker_* series must be \
+             defined in one `static SERIES` slice"
                 .to_owned(),
-        });
+        ));
         return;
     };
 
@@ -39,15 +39,15 @@ pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
         let t = &prom.tokens[i];
         if t.kind == TokenKind::Str && is_series_name(&t.text) {
             if let Some(first_line) = defined.get(t.text.as_str()) {
-                out.push(Diagnostic {
-                    file: prom.path.clone(),
-                    line: t.line,
-                    rule: RULE,
-                    message: format!(
+                out.push(Diagnostic::new(
+                    prom.path.clone(),
+                    t.line,
+                    RULE,
+                    format!(
                         "series `{}` defined more than once in SERIES (first on line {})",
                         t.text, first_line
                     ),
-                });
+                ));
             } else {
                 defined.insert(t.text.as_str(), t.line);
             }
@@ -71,12 +71,12 @@ pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
                 continue;
             }
             if !defined.contains_key(t.text.as_str()) {
-                out.push(Diagnostic {
-                    file: file.path.clone(),
-                    line: t.line,
-                    rule: RULE,
-                    message: format!("series `{}` emitted but not defined in SERIES", t.text),
-                });
+                out.push(Diagnostic::new(
+                    file.path.clone(),
+                    t.line,
+                    RULE,
+                    format!("series `{}` emitted but not defined in SERIES", t.text),
+                ));
             }
             emitted
                 .entry(t.text.as_str())
@@ -85,12 +85,12 @@ pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     }
     for (name, def_line) in &defined {
         if !emitted.contains_key(name) {
-            out.push(Diagnostic {
-                file: prom.path.clone(),
-                line: *def_line,
-                rule: RULE,
-                message: format!("series `{name}` defined but never emitted"),
-            });
+            out.push(Diagnostic::new(
+                prom.path.clone(),
+                *def_line,
+                RULE,
+                format!("series `{name}` defined but never emitted"),
+            ));
         }
     }
 
@@ -101,12 +101,12 @@ pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
         };
         for (name, def_line) in &defined {
             if !text.contains(name) {
-                out.push(Diagnostic {
-                    file: prom.path.clone(),
-                    line: *def_line,
-                    rule: RULE,
-                    message: format!("series `{name}` undocumented in {doc_name}"),
-                });
+                out.push(Diagnostic::new(
+                    prom.path.clone(),
+                    *def_line,
+                    RULE,
+                    format!("series `{name}` undocumented in {doc_name}"),
+                ));
             }
         }
     }

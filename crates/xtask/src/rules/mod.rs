@@ -6,9 +6,12 @@
 pub mod float_sum;
 pub mod forbid_unsafe;
 pub mod hash_iter;
+pub mod lock_graph;
 pub mod lock_order;
 pub mod metric_registry;
 pub mod no_panic;
+pub mod panic_reach;
+pub mod reactor_blocking;
 pub mod span_registry;
 pub mod wall_clock;
 

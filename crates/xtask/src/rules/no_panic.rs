@@ -16,7 +16,11 @@ use crate::{Diagnostic, SourceFile};
 use super::is_method_call;
 
 const RULE: &str = "no-panic";
-const SCOPE: &[&str] = &[
+/// Files where *every* panic site is flagged directly, reachable or not.
+/// The interprocedural `panic-reachability` rule extends the guarantee to
+/// the rest of the workspace via the call graph, so the two scopes are
+/// deliberately disjoint.
+pub(crate) const SCOPE: &[&str] = &[
     "crates/server/src/",
     "crates/catalog/src/",
     "crates/net/src/",
@@ -24,52 +28,70 @@ const SCOPE: &[&str] = &[
 ];
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
-/// Runs the rule over one file.
-pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if !SCOPE.iter().any(|p| file.path.starts_with(p)) {
-        return;
-    }
+/// One potential panic in non-test, non-`debug_assert!` code.
+pub(crate) struct PanicSite {
+    /// Token index of the offending token.
+    pub token: usize,
+    /// Short description: `.unwrap()`, `panic!`, `slice/array indexing`.
+    pub what: String,
+}
+
+/// Finds every panic site in `file`: `.unwrap()`/`.expect()` method
+/// calls, `panic!`-family macros, and `x[i]` indexing, excluding test
+/// code and `debug_assert!` arguments.
+pub(crate) fn panic_sites(file: &SourceFile) -> Vec<PanicSite> {
+    let mut out = Vec::new();
     let debug_assert_mask = debug_assert_mask(file);
     for (i, t) in file.tokens.iter().enumerate() {
         if file.is_test(i) || debug_assert_mask.get(i).copied().unwrap_or(false) {
             continue;
         }
         if is_method_call(file, i) && (t.text == "unwrap" || t.text == "expect") {
-            out.push(diag(
-                file,
-                i,
-                format!(
-                    ".{}() in request-path code; propagate a typed error \
-                     (ServerError/CatalogError) instead",
-                    t.text
-                ),
-            ));
+            out.push(PanicSite {
+                token: i,
+                what: format!(".{}()", t.text),
+            });
         } else if t.kind == TokenKind::Ident
             && PANIC_MACROS.contains(&t.text.as_str())
             && file.tok(i + 1).is_some_and(|n| n.is_punct('!'))
         {
-            out.push(diag(
-                file,
-                i,
-                format!("{}! in request-path code; return an error instead", t.text),
-            ));
+            out.push(PanicSite {
+                token: i,
+                what: format!("{}!", t.text),
+            });
         } else if t.is_punct('[') && i > 0 && is_index_expr(file, i - 1) {
-            out.push(diag(
-                file,
-                i,
-                "slice/array indexing panics out of bounds; use .get()/.get_mut()".to_owned(),
-            ));
+            out.push(PanicSite {
+                token: i,
+                what: "slice/array indexing".to_owned(),
+            });
         }
+    }
+    out
+}
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !SCOPE.iter().any(|p| file.path.starts_with(p)) {
+        return;
+    }
+    for site in panic_sites(file) {
+        let message = match site.what.as_str() {
+            ".unwrap()" | ".expect()" => format!(
+                "{} in request-path code; propagate a typed error \
+                 (ServerError/CatalogError) instead",
+                site.what
+            ),
+            "slice/array indexing" => {
+                "slice/array indexing panics out of bounds; use .get()/.get_mut()".to_owned()
+            }
+            other => format!("{other} in request-path code; return an error instead"),
+        };
+        out.push(diag(file, site.token, message));
     }
 }
 
 fn diag(file: &SourceFile, i: usize, message: String) -> Diagnostic {
-    Diagnostic {
-        file: file.path.clone(),
-        line: file.tokens[i].line,
-        rule: RULE,
-        message,
-    }
+    Diagnostic::new(file.path.clone(), file.tokens[i].line, RULE, message)
 }
 
 /// A `[` indexes an expression when the previous token could end one:

@@ -28,14 +28,14 @@ pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
         return;
     };
     let Some((table_start, table_end)) = spans_table_range(trace) else {
-        out.push(Diagnostic {
-            file: TRACE.to_owned(),
-            line: 1,
-            rule: RULE,
-            message: "no `SPANS` table found; all request stage names must be \
-                      defined in one `static SPANS` array"
+        out.push(Diagnostic::new(
+            TRACE.to_owned(),
+            1,
+            RULE,
+            "no `SPANS` table found; all request stage names must be \
+             defined in one `static SPANS` array"
                 .to_owned(),
-        });
+        ));
         return;
     };
 
@@ -51,15 +51,15 @@ pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
         {
             let lit = &trace.tokens[i + 2];
             if let Some(first_line) = defined.get(lit.text.as_str()) {
-                out.push(Diagnostic {
-                    file: trace.path.clone(),
-                    line: lit.line,
-                    rule: RULE,
-                    message: format!(
+                out.push(Diagnostic::new(
+                    trace.path.clone(),
+                    lit.line,
+                    RULE,
+                    format!(
                         "stage `{}` defined more than once in SPANS (first on line {})",
                         lit.text, first_line
                     ),
-                });
+                ));
             } else {
                 defined.insert(lit.text.as_str(), lit.line);
             }
@@ -69,12 +69,12 @@ pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
         }
     }
     if defined.is_empty() {
-        out.push(Diagnostic {
-            file: trace.path.clone(),
-            line: trace.tokens[table_start].line,
-            rule: RULE,
-            message: "SPANS table defines no stage names".to_owned(),
-        });
+        out.push(Diagnostic::new(
+            trace.path.clone(),
+            trace.tokens[table_start].line,
+            RULE,
+            "SPANS table defines no stage names".to_owned(),
+        ));
         return;
     }
 
@@ -103,12 +103,12 @@ pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     }
     for (name, def_line) in &defined {
         if !emitted.contains_key(name) {
-            out.push(Diagnostic {
-                file: trace.path.clone(),
-                line: *def_line,
-                rule: RULE,
-                message: format!("stage `{name}` defined but never emitted"),
-            });
+            out.push(Diagnostic::new(
+                trace.path.clone(),
+                *def_line,
+                RULE,
+                format!("stage `{name}` defined but never emitted"),
+            ));
         }
     }
 
@@ -119,12 +119,12 @@ pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
         };
         for (name, def_line) in &defined {
             if !text.contains(&format!("`{name}`")) {
-                out.push(Diagnostic {
-                    file: trace.path.clone(),
-                    line: *def_line,
-                    rule: RULE,
-                    message: format!("stage `{name}` undocumented in {doc_name}"),
-                });
+                out.push(Diagnostic::new(
+                    trace.path.clone(),
+                    *def_line,
+                    RULE,
+                    format!("stage `{name}` undocumented in {doc_name}"),
+                ));
             }
         }
     }

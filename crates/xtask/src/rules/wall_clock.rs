@@ -23,15 +23,15 @@ pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
         }
         for clock in ["Instant", "SystemTime"] {
             if file.matches_seq(i, &[('i', clock), ('p', ":"), ('p', ":"), ('i', "now")]) {
-                out.push(Diagnostic {
-                    file: file.path.clone(),
-                    line: file.tokens[i].line,
-                    rule: RULE,
-                    message: format!(
+                out.push(Diagnostic::new(
+                    file.path.clone(),
+                    file.tokens[i].line,
+                    RULE,
+                    format!(
                         "{clock}::now() outside core::trace/server::metrics; route timing \
                          through trace::Stopwatch or justify with vslint::allow"
                     ),
-                });
+                ));
             }
         }
     }

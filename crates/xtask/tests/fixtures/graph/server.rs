@@ -1,0 +1,39 @@
+#![forbid(unsafe_code)]
+//! Seeded interprocedural violations: `handle` reaches a panicking
+//! helper two call edges away in the util crate, and the two lock
+//! domains are acquired in opposite orders across call edges.
+
+pub struct Router {
+    jobs: Slot,
+    stats: Slot,
+}
+
+impl Router {
+    pub fn handle(&self) {
+        let estimate = viewseeker_util::estimate(7);
+        let g = self.jobs.lock();
+        self.audit();
+        drop(g);
+        consume(estimate);
+    }
+
+    fn audit(&self) {
+        let s = self.stats.lock();
+        observe(&s);
+    }
+
+    pub fn rebalance(&self) {
+        let s = self.stats.lock();
+        self.drain();
+        drop(s);
+    }
+
+    fn drain(&self) {
+        let g = self.jobs.lock();
+        observe(&g);
+    }
+}
+
+fn observe<T>(_guard: &T) {}
+
+fn consume(_estimate: f64) {}

@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+//! A panic hidden two calls behind the server entry point: `estimate`
+//! looks innocuous from the handler's side, and this file is outside
+//! the file-local no-panic scope, so only the interprocedural rule
+//! can see the `unwrap()`.
+
+pub fn estimate(seed: u64) -> f64 {
+    let table = vec![0.25, 0.5];
+    scale(&table, seed)
+}
+
+fn scale(table: &[f64], seed: u64) -> f64 {
+    table.get(seed as usize % 2).copied().unwrap() * 2.0
+}

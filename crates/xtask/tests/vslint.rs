@@ -328,6 +328,117 @@ pub fn render() -> String { emit("viewseeker_up") + emit("viewseeker_rogue_total
     assert!(diags[0].message.contains("not defined"));
 }
 
+// ------------------------------------------- interprocedural (call graph)
+
+/// A three-crate mini-workspace with one seeded violation per
+/// interprocedural rule: a panic behind a cross-crate helper chain, a
+/// cross-function lock-ordering cycle, and a blocking mutex acquisition
+/// on the reactor tick path.
+fn graph_workspace() -> Workspace {
+    Workspace::from_sources(
+        vec![
+            (
+                "crates/server/src/lib.rs".to_owned(),
+                include_str!("fixtures/graph/server.rs").to_owned(),
+            ),
+            (
+                "crates/util/src/lib.rs".to_owned(),
+                include_str!("fixtures/graph/util.rs").to_owned(),
+            ),
+            (
+                "crates/net/src/lib.rs".to_owned(),
+                include_str!("fixtures/graph/net.rs").to_owned(),
+            ),
+        ],
+        vec![
+            ("DESIGN.md".to_owned(), String::new()),
+            ("README.md".to_owned(), String::new()),
+        ],
+    )
+}
+
+#[test]
+fn graph_fixture_seeds_exactly_the_three_interprocedural_rules() {
+    let diags = graph_workspace().lint();
+    let mut found = rules(&diags);
+    found.sort_unstable();
+    assert_eq!(
+        found,
+        vec!["blocking-in-reactor", "lock-order-v2", "panic-reachability"],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn panic_reachability_crosses_crates_with_a_witness() {
+    let diags = graph_workspace().lint();
+    let d = diags
+        .iter()
+        .find(|d| d.rule == "panic-reachability")
+        .expect("panic-reachability finding");
+    assert_eq!(d.file, "crates/util/src/lib.rs");
+    assert_eq!(d.line, 13, "the unwrap in scale()");
+    assert!(
+        d.message.contains("server::Router::handle"),
+        "{}",
+        d.message
+    );
+    assert_eq!(
+        d.witness,
+        ["server::Router::handle", "util::estimate", "util::scale"],
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn lock_order_v2_detects_the_cross_function_cycle() {
+    let diags = graph_workspace().lint();
+    let d = diags
+        .iter()
+        .find(|d| d.rule == "lock-order-v2")
+        .expect("lock-order-v2 finding");
+    assert!(
+        d.message.contains("Router.jobs") && d.message.contains("Router.stats"),
+        "{}",
+        d.message
+    );
+    assert!(
+        d.message.contains("cycle"),
+        "names the deadlock: {}",
+        d.message
+    );
+}
+
+#[test]
+fn blocking_in_reactor_chases_the_lock_through_the_registry() {
+    let diags = graph_workspace().lint();
+    let d = diags
+        .iter()
+        .find(|d| d.rule == "blocking-in-reactor")
+        .expect("blocking-in-reactor finding");
+    assert_eq!(d.file, "crates/net/src/lib.rs");
+    assert_eq!(d.line, 25, "the lock in Registry::note");
+    assert_eq!(
+        d.witness,
+        ["net::Reactor::flush", "net::Registry::note"],
+        "{diags:#?}"
+    );
+}
+
+/// The call graph of the fixture workspace, serialized exactly as
+/// `cargo run -p viewseeker-xtask -- graph --json` would emit it, must
+/// match the checked-in golden file. A resolution regression — a lost
+/// edge, a fabricated edge, a changed module path — shows up as a
+/// one-line diff here before it silently changes rule results.
+#[test]
+fn call_graph_json_matches_the_golden_file() {
+    let ws = graph_workspace();
+    let graph = viewseeker_xtask::graph::CallGraph::build(&ws);
+    let got = graph.to_json(&ws);
+    let want = include_str!("fixtures/graph/golden_graph.json");
+    assert_eq!(got.trim(), want.trim(), "call-graph JSON drifted");
+}
+
 // ---------------------------------------------------------------- self-test
 
 /// The shipped tree must lint clean — this is the same invariant the
